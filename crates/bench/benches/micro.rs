@@ -1,0 +1,114 @@
+//! Criterion micro-benchmarks of the primitives behind every table/figure:
+//! tensor kernels, compression, the utility score and Algorithm 1.
+
+use adafl_compression::{top_k, DgcCompressor, QsgdQuantizer, SparseUpdate};
+use adafl_core::{select_clients, utility_score, SimilarityMetric, UtilityInputs};
+use adafl_netsim::{LinkProfile, LinkTrace, SimTime, TraceKind};
+use adafl_tensor::{im2col, Conv2dGeometry, Tensor};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn wavy(n: usize) -> Vec<f32> {
+    (0..n).map(|i| ((i as f32) * 0.173).sin()).collect()
+}
+
+fn tensor_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tensor_ops");
+    let a = Tensor::from_vec(wavy(128 * 128), &[128, 128]).unwrap();
+    let b = Tensor::from_vec(wavy(128 * 128), &[128, 128]).unwrap();
+    g.bench_function("matmul_128", |bench| {
+        bench.iter(|| black_box(a.matmul(&b).unwrap()))
+    });
+    let img = Tensor::from_vec(wavy(3 * 32 * 32), &[3 * 32 * 32]).unwrap();
+    let geom = Conv2dGeometry::new(3, 32, 32, 3, 1, 1);
+    g.bench_function("im2col_32x32x3_k3", |bench| {
+        bench.iter(|| black_box(im2col(&img, &geom).unwrap()))
+    });
+    let v = wavy(56_000);
+    g.bench_function("softmax_rows_100x560", |bench| {
+        let t = Tensor::from_vec(v.clone(), &[100, 560]).unwrap();
+        bench.iter(|| black_box(t.softmax_rows().unwrap()))
+    });
+    g.finish();
+}
+
+fn compression(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compression");
+    let grad = wavy(56_000); // ≈ the 16×16 MNIST CNN dimension
+    g.bench_function("top_k_1pct_56k", |bench| {
+        bench.iter(|| black_box(top_k(&grad, 560)))
+    });
+    g.bench_function("dgc_compress_50x_56k", |bench| {
+        bench.iter_batched(
+            || DgcCompressor::new(grad.len(), 0.9, 10.0),
+            |mut dgc| black_box(dgc.compress(&grad, 50.0)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("dgc_compress_210x_56k", |bench| {
+        bench.iter_batched(
+            || DgcCompressor::new(grad.len(), 0.9, 10.0),
+            |mut dgc| black_box(dgc.compress(&grad, 210.0)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("qsgd_quantize_56k", |bench| {
+        bench.iter_batched(
+            || QsgdQuantizer::new(8, 0),
+            |mut q| black_box(q.quantize(&grad)),
+            BatchSize::SmallInput,
+        )
+    });
+    let sparse = top_k(&grad, 560);
+    g.bench_function("sparse_codec_round_trip", |bench| {
+        bench.iter(|| {
+            let bytes = sparse.encode();
+            black_box(SparseUpdate::decode(&bytes).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn utility_and_selection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("adafl_components");
+    let local = wavy(56_000);
+    let global: Vec<f32> = local.iter().map(|x| x * 0.9 + 0.01).collect();
+    let link = LinkProfile::Constrained.spec();
+    g.bench_function("utility_score_56k", |bench| {
+        bench.iter(|| {
+            black_box(utility_score(
+                &UtilityInputs { local_gradient: &local, global_gradient: &global, link, expected_payload: 14_000 },
+                SimilarityMetric::Cosine,
+                0.7,
+            ))
+        })
+    });
+    let scores: Vec<f32> = (0..100).map(|i| ((i * 37) % 100) as f32 / 100.0).collect();
+    g.bench_function("algorithm1_select_100", |bench| {
+        bench.iter(|| black_box(select_clients(&scores, 10, 0.35)))
+    });
+    g.finish();
+}
+
+fn netsim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim");
+    let trace = LinkTrace::new(
+        LinkProfile::Cellular.spec(),
+        TraceKind::RandomWalk { step: 5.0, min_scale: 0.3, max_scale: 1.0, seed: 7 },
+    );
+    g.bench_function("trace_link_at", |bench| {
+        let mut t = 0.0f64;
+        bench.iter(|| {
+            t += 0.25;
+            black_box(trace.link_at(SimTime::from_seconds(t)))
+        })
+    });
+    g.bench_function("transfer_time_math", |bench| {
+        let spec = LinkProfile::Constrained.spec();
+        bench.iter(|| black_box(spec.uplink_time(1_640_000)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, tensor_ops, compression, utility_and_selection, netsim);
+criterion_main!(benches);

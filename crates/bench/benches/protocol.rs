@@ -1,0 +1,91 @@
+//! Criterion benchmarks of whole protocol rounds — one group per paper
+//! artifact (Figure 3 rounds, Tables I/II aggregation paths, the Q3
+//! overhead comparison).
+
+use adafl_bench::fleet;
+use adafl_bench::runner::{run_async, run_sync, Scenario};
+use adafl_bench::tasks::Task;
+use adafl_core::{utility_score, AdaFlConfig, SimilarityMetric, UtilityInputs};
+use adafl_data::partition::Partitioner;
+use adafl_fl::faults::FaultPlan;
+use adafl_fl::{FlClient, FlConfig};
+use adafl_netsim::LinkProfile;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn scenario(rounds: usize, budget: u64) -> Scenario {
+    let task = Task::mnist_logreg(400, 100, 0);
+    let fl = FlConfig::builder()
+        .clients(6)
+        .rounds(rounds)
+        .local_steps(3)
+        .batch_size(16)
+        .model(task.model.clone())
+        .build();
+    Scenario {
+        network: fleet::mixed_network(6, 0.3, 1),
+        compute: fleet::uniform_compute(6, 0.05, 2),
+        faults: FaultPlan::reliable(6),
+        ada: AdaFlConfig { max_selected: 3, warmup_rounds: 1, ..AdaFlConfig::default() },
+        partitioner: Partitioner::Iid,
+        update_budget: budget,
+        fl,
+        task,
+    }
+}
+
+/// Figure 3(a,b) / Table I path: one full synchronous run per strategy.
+fn sync_rounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sync_round");
+    g.sample_size(10);
+    let s = scenario(3, 0);
+    for strategy in ["fedavg", "scaffold", "adafl"] {
+        g.bench_function(strategy, |bench| {
+            bench.iter(|| black_box(run_sync(&s, strategy)))
+        });
+    }
+    g.finish();
+}
+
+/// Figure 3(c,d) / Table II path: one asynchronous run per strategy.
+fn async_rounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("async_round");
+    g.sample_size(10);
+    let s = scenario(3, 18);
+    for strategy in ["fedasync", "fedbuff", "adafl"] {
+        g.bench_function(strategy, |bench| {
+            bench.iter(|| black_box(run_async(&s, strategy)))
+        });
+    }
+    g.finish();
+}
+
+/// Q3 overhead: utility-score calculation vs. a local training round on the
+/// paper's CNN.
+fn overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("overhead");
+    g.sample_size(20);
+    let task = Task::mnist_cnn(300, 50, 0);
+    let mut client =
+        FlClient::new(0, task.model.build(0), task.train.clone(), 0.05, 0.9, 32, 0);
+    let global = client.model().params_flat();
+    g.bench_function("local_training_5_steps", |bench| {
+        bench.iter(|| black_box(client.train_local(&global, 5, None)))
+    });
+    let g_hat: Vec<f32> = global.iter().map(|x| x * 0.01).collect();
+    let probe = client.probe_gradient();
+    let link = LinkProfile::Constrained.spec();
+    g.bench_function("utility_score_math", |bench| {
+        bench.iter(|| {
+            black_box(utility_score(
+                &UtilityInputs { local_gradient: &probe, global_gradient: &g_hat, link, expected_payload: 14_000 },
+                SimilarityMetric::Cosine,
+                0.7,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, sync_rounds, async_rounds, overhead);
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! Minimal `--key value` argument parsing for the experiment binaries.
+//!
+//! Hand-rolled so the workspace adds no CLI dependency; only the handful of
+//! flags the harness needs are supported.
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` and `--flag` arguments.
+///
+/// # Examples
+///
+/// ```
+/// use adafl_bench::args::Args;
+///
+/// let args = Args::parse(["--protocol", "sync", "--quick"]);
+/// assert_eq!(args.get("protocol"), Some("sync"));
+/// assert!(args.flag("quick"));
+/// assert_eq!(args.get_usize("rounds", 40), 40);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments (skipping `argv[0]`).
+    pub fn from_env() -> Self {
+        Args::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list.
+    ///
+    /// A token starting with `--` followed by a non-`--` token is a
+    /// key/value pair; a `--` token followed by another `--` token (or
+    /// nothing) is a boolean flag. Other tokens are ignored.
+    pub fn parse<I, S>(iter: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let tokens: Vec<String> = iter.into_iter().map(Into::into).collect();
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            if let Some(key) = tokens[i].strip_prefix("--") {
+                match tokens.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => {
+                        values.insert(key.to_string(), v.clone());
+                        i += 2;
+                    }
+                    _ => {
+                        flags.push(key.to_string());
+                        i += 1;
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+        Args { values, flags }
+    }
+
+    /// String value of `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Whether the boolean flag `key` was passed.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// `usize` value of `key`, or `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value is present but unparsable.
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.get(key).map_or(default, |v| {
+            v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}"))
+        })
+    }
+
+    /// `f64` value of `key`, or `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value is present but unparsable.
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.get(key).map_or(default, |v| {
+            v.parse().unwrap_or_else(|_| panic!("--{key} expects a number, got {v:?}"))
+        })
+    }
+
+    /// `u64` value of `key`, or `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value is present but unparsable.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.get(key).map_or(default, |v| {
+            v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}"))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_value_and_flags() {
+        let a = Args::parse(["--model", "cnn", "--quick", "--rounds", "20"]);
+        assert_eq!(a.get("model"), Some("cnn"));
+        assert_eq!(a.get_usize("rounds", 5), 20);
+        assert!(a.flag("quick"));
+        assert!(!a.flag("verbose"));
+        assert_eq!(a.get("missing"), None);
+    }
+
+    #[test]
+    fn trailing_flag() {
+        let a = Args::parse(["--quick"]);
+        assert!(a.flag("quick"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = Args::parse(Vec::<String>::new());
+        assert_eq!(a.get_usize("rounds", 7), 7);
+        assert_eq!(a.get_f64("alpha", 0.5), 0.5);
+        assert_eq!(a.get_u64("budget", 9), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects an integer")]
+    fn bad_integer_panics() {
+        Args::parse(["--rounds", "abc"]).get_usize("rounds", 0);
+    }
+}

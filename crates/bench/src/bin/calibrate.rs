@@ -1,0 +1,39 @@
+//! Internal calibration helper: sweeps synthetic-task difficulty and
+//! reports the accuracy the paper's CNN reaches, so the task definitions in
+//! `tasks.rs` can be pinned to the paper's accuracy bands (MNIST ≈ 93 %,
+//! CIFAR-100 ≈ 62 %). Not part of the experiment index.
+
+use adafl_bench::args::Args;
+use adafl_data::loader::BatchLoader;
+use adafl_data::synthetic::{Difficulty, SyntheticSpec};
+use adafl_nn::loss::CrossEntropyLoss;
+use adafl_nn::metrics::accuracy;
+use adafl_nn::models::ModelSpec;
+use adafl_nn::optim::Sgd;
+
+fn main() {
+    let args = Args::from_env();
+    let steps = args.get_usize("steps", 1000);
+    for noise in [1.1f32, 1.15, 1.2, 1.25, 1.3, 1.35] {
+        for shift in [2usize, 3] {
+            let mut spec = SyntheticSpec::mnist_like(16, 2500);
+            spec.difficulty = Difficulty { noise_std: noise, max_shift: shift, contrast_jitter: 0.2 };
+            let data = spec.generate(1);
+            let (train, test) = data.split_at(2000);
+            let mut model = ModelSpec::MnistCnn { height: 16, width: 16, classes: 10 }.build(0);
+            let mut loader = BatchLoader::new(32, 3);
+            let mut sgd = Sgd::new(0.02, 0.9, 0.0);
+            for _ in 0..steps {
+                let (x, labels) = loader.next_batch(&train);
+                model.zero_grads();
+                let logits = model.forward(&x, true);
+                let (_, grad) = CrossEntropyLoss.loss_and_grad(&logits, &labels);
+                model.backward(&grad);
+                model.apply_gradient_step(&mut sgd);
+            }
+            let (x, labels) = test.full_batch();
+            let acc = accuracy(&model.forward(&x, false), &labels);
+            println!("noise={noise} shift={shift}: cnn acc {:.3}", acc);
+        }
+    }
+}

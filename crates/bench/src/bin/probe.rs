@@ -1,0 +1,68 @@
+//! Internal calibration probe: non-IID behaviour of AdaFL's selection —
+//! per-client participation counts, accuracy trajectory and the effect of
+//! utility-function variants. Used to pin experiment defaults; not part of
+//! the experiment index.
+
+use adafl_bench::args::Args;
+use adafl_bench::fleet;
+use adafl_bench::tasks::Task;
+use adafl_core::{AdaFlConfig, AdaFlSyncEngine};
+use adafl_data::partition::Partitioner;
+use adafl_fl::faults::FaultPlan;
+use adafl_fl::FlConfig;
+
+fn main() {
+    let args = Args::from_env();
+    let rounds = args.get_usize("rounds", 80);
+    let clients = 10;
+    let task = match args.get("task") {
+        Some("cifar100") => Task::cifar100_vgg(2000, 400, 42),
+        _ => Task::mnist_cnn(2000, 400, 42),
+    };
+    let variants: Vec<(&str, AdaFlConfig)> = vec![
+        ("beta0.7", AdaFlConfig::default()),
+        ("beta0.85", AdaFlConfig { similarity_weight: 0.85, ..AdaFlConfig::default() }),
+        ("beta0.95", AdaFlConfig { similarity_weight: 0.95, ..AdaFlConfig::default() }),
+        ("beta1.0", AdaFlConfig { similarity_weight: 1.0, ..AdaFlConfig::default() }),
+    ];
+    for (name, ada) in variants {
+        let fl = FlConfig::builder()
+            .clients(clients)
+            .rounds(rounds)
+            .participation(0.5)
+            .local_steps(5)
+            .batch_size(32)
+            .model(task.model.clone())
+            .build();
+        let shards = Partitioner::LabelShards { shards_per_client: 2 }.split(
+            &task.train,
+            clients,
+            fl.seed_for("partition"),
+        );
+        let mut engine = AdaFlSyncEngine::with_parts(
+            fl,
+            ada,
+            shards,
+            task.test.clone(),
+            fleet::mixed_network(clients, 0.3, 42),
+            fleet::uniform_compute(clients, 0.1, 42),
+            FaultPlan::reliable(clients),
+        );
+        let history = engine.run();
+        let per_client: Vec<u64> = (0..clients)
+            .map(|c| engine.ledger().client_uplink_updates(c))
+            .collect();
+        let curve: Vec<String> = history
+            .records()
+            .iter()
+            .step_by(10)
+            .map(|r| format!("{:.2}", r.accuracy))
+            .collect();
+        println!(
+            "{name}: final {:.3} curve {} per-client-updates {:?}",
+            history.final_accuracy(),
+            curve.join(" "),
+            per_client
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Internal calibration probe for the asynchronous AdaFL engine: sweeps
+//! the mixing weight and staleness exponent on both distributions. Not part
+//! of the experiment index.
+
+use adafl_bench::args::Args;
+use adafl_bench::fleet;
+use adafl_bench::tasks::Task;
+use adafl_core::{AdaFlAsyncEngine, AdaFlConfig};
+use adafl_fl::faults::FaultPlan;
+use adafl_fl::FlConfig;
+
+fn main() {
+    let args = Args::from_env();
+    let budget = args.get_u64("budget", 200);
+    let clients = 10;
+    let task = Task::mnist_cnn(1200, 300, 42);
+    for (alpha, exponent) in [(0.6f32, 0.5f32), (0.3, 0.5), (0.9, 0.5), (0.6, 0.0), (0.6, 1.0)] {
+        for (dist_name, partitioner) in Task::partitioners() {
+            let fl = FlConfig::builder()
+                .clients(clients)
+                .rounds(40)
+                .local_steps(5)
+                .batch_size(32)
+                .model(task.model.clone())
+                .build();
+            let shards = partitioner.split(&task.train, clients, fl.seed_for("partition"));
+            let ada = AdaFlConfig {
+                async_alpha: alpha,
+                async_staleness_exponent: exponent,
+                ..AdaFlConfig::default()
+            };
+            let mut engine = AdaFlAsyncEngine::with_parts(
+                fl,
+                ada,
+                shards,
+                task.test.clone(),
+                fleet::mixed_network(clients, 0.3, 42),
+                fleet::uniform_compute(clients, 0.1, 42),
+                FaultPlan::reliable(clients),
+                budget,
+            );
+            let history = engine.run();
+            println!(
+                "alpha={alpha} exp={exponent} {dist_name}: final {:.3} best {:.3}",
+                history.final_accuracy(),
+                history.best_accuracy()
+            );
+        }
+    }
+}

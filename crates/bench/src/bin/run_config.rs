@@ -1,0 +1,96 @@
+//! Runs a single experiment described by a JSON configuration file, so
+//! experiment setups can live in version control and be re-run exactly.
+//!
+//! ```text
+//! cargo run -p adafl-bench --release --bin run_config -- --config exp.json
+//! ```
+//!
+//! Example configuration:
+//!
+//! ```json
+//! {
+//!   "protocol": "sync",
+//!   "strategy": "adafl",
+//!   "task": "mnist-cnn",
+//!   "train_samples": 2000,
+//!   "test_samples": 400,
+//!   "clients": 10,
+//!   "rounds": 40,
+//!   "participation": 0.5,
+//!   "partition": { "LabelShards": { "shards_per_client": 2 } },
+//!   "constrained_fraction": 0.3,
+//!   "update_budget": 400,
+//!   "seed": 42,
+//!   "adafl": null
+//! }
+//! ```
+//!
+//! `adafl` may carry a full `AdaFlConfig` object to override its defaults.
+
+use adafl_bench::args::Args;
+use adafl_bench::config::ExperimentConfig;
+use adafl_bench::runner::{run_async, run_sync, RunResult, Scenario};
+use adafl_bench::tasks::Task;
+use adafl_bench::{fleet, report};
+use adafl_fl::faults::FaultPlan;
+use adafl_fl::FlConfig;
+
+fn main() {
+    let args = Args::from_env();
+    let path = args.get("config").expect("--config <file.json> is required");
+    let raw = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let cfg: ExperimentConfig =
+        serde_json::from_str(&raw).unwrap_or_else(|e| panic!("invalid config {path}: {e}"));
+
+    let task = match cfg.task.as_str() {
+        "mnist-cnn" => Task::mnist_cnn(cfg.train_samples, cfg.test_samples, cfg.seed),
+        "mnist-logreg" => Task::mnist_logreg(cfg.train_samples, cfg.test_samples, cfg.seed),
+        "cifar10-resnet" => Task::cifar10_resnet(cfg.train_samples, cfg.test_samples, cfg.seed),
+        "cifar100-vgg" => Task::cifar100_vgg(cfg.train_samples, cfg.test_samples, cfg.seed),
+        other => panic!("unknown task {other:?}"),
+    };
+    let mut builder = FlConfig::builder()
+        .clients(cfg.clients)
+        .rounds(cfg.rounds)
+        .participation(cfg.participation)
+        .local_steps(cfg.local_steps)
+        .batch_size(cfg.batch_size)
+        .seed(cfg.seed)
+        .model(task.model.clone());
+    if let Some(lr) = cfg.learning_rate {
+        builder = builder.learning_rate(lr);
+    }
+    if let Some(m) = cfg.momentum {
+        builder = builder.momentum(m);
+    }
+    let fl = builder.build();
+
+    let scenario = Scenario {
+        network: fleet::mixed_network(cfg.clients, cfg.constrained_fraction, cfg.seed),
+        compute: fleet::uniform_compute(cfg.clients, 0.1, cfg.seed),
+        faults: FaultPlan::reliable(cfg.clients),
+        ada: cfg.adafl.unwrap_or_default(),
+        partitioner: cfg.partition,
+        update_budget: cfg.update_budget,
+        task,
+        fl,
+    };
+
+    let result: RunResult = match cfg.protocol.as_str() {
+        "sync" => run_sync(&scenario, &cfg.strategy),
+        "async" => run_async(&scenario, &cfg.strategy),
+        other => panic!("protocol must be sync or async, got {other:?}"),
+    };
+
+    let refs = [(String::new(), &result)];
+    report::print_series("", &refs);
+    eprintln!(
+        "{} {}: final acc {:.3}, uplink {}, {} updates",
+        cfg.protocol,
+        cfg.strategy,
+        result.history.final_accuracy(),
+        report::human_bytes(result.uplink_bytes),
+        result.uplink_updates
+    );
+}

@@ -1,0 +1,85 @@
+//! Section V — scalability: 20 to 100 clients.
+//!
+//! The paper "conducted experiments with 20 to 100 clients to assess its
+//! scalability". This binary sweeps the fleet size for AdaFL and the FedAvg
+//! reference on the MNIST-like task and reports final accuracy and
+//! communication cost per client count.
+//!
+//! ```text
+//! cargo run -p adafl-bench --release --bin scalability
+//! cargo run -p adafl-bench --release --bin scalability -- --quick
+//! ```
+
+use adafl_bench::args::Args;
+use adafl_bench::runner::{run_sync, Scenario};
+use adafl_bench::tasks::Task;
+use adafl_bench::{fleet, report};
+use adafl_core::AdaFlConfig;
+use adafl_data::partition::Partitioner;
+use adafl_fl::faults::FaultPlan;
+use adafl_fl::FlConfig;
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.flag("quick");
+    let rounds = args.get_usize("rounds", if quick { 10 } else { 40 });
+    let seed = args.get_u64("seed", 42);
+    let fleet_sizes: Vec<usize> =
+        if quick { vec![10, 20] } else { vec![10, 20, 50, 100] };
+
+    let mut table = report::TextTable::new([
+        "clients",
+        "method",
+        "final_acc",
+        "uplink_updates",
+        "uplink_bytes",
+        "bytes_per_client",
+    ]);
+
+    for clients in fleet_sizes {
+        // Keep per-client shard size constant as the fleet grows.
+        let per_client = if quick { 60 } else { 120 };
+        let task = Task::mnist_cnn(clients * per_client, 400, seed);
+        for strategy in ["fedavg", "adafl"] {
+            let fl = FlConfig::builder()
+                .clients(clients)
+                .rounds(rounds)
+                .participation(0.5)
+                .local_steps(5)
+                .batch_size(32)
+                .model(task.model.clone())
+                .seed(seed)
+                .build();
+            let ada = AdaFlConfig {
+                // Scale the selection budget with the fleet: k = N/2 like the
+                // baselines' r_p = 0.5.
+                max_selected: (clients / 2).max(1),
+                ..AdaFlConfig::default()
+            };
+            let scenario = Scenario {
+                network: fleet::mixed_network(clients, 0.3, seed),
+                compute: fleet::uniform_compute(clients, 0.1, seed),
+                faults: FaultPlan::reliable(clients),
+                partitioner: Partitioner::LabelShards { shards_per_client: 2 },
+                update_budget: 0,
+                task: task.clone(),
+                fl,
+                ada,
+            };
+            let result = run_sync(&scenario, strategy);
+            eprintln!(
+                "scalability N={clients} {strategy}: acc {:.3}",
+                result.history.final_accuracy()
+            );
+            table.row([
+                clients.to_string(),
+                strategy.to_string(),
+                format!("{:.2}%", result.history.final_accuracy() * 100.0),
+                result.uplink_updates.to_string(),
+                report::human_bytes(result.uplink_bytes),
+                report::human_bytes(result.uplink_bytes / clients as u64),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,125 @@
+//! Table I — synchronous FL evaluation results.
+//!
+//! Columns mirror the paper: clients, participation rate, update frequency,
+//! communication-cost reduction vs. full participation, gradient wire size,
+//! compression ratio, and top-1 accuracy under IID / non-IID — for FedAvg,
+//! FedAdam, FedProx, SCAFFOLD and AdaFL on the MNIST-like CNN task and the
+//! CIFAR-100-like VGG task.
+//!
+//! ```text
+//! cargo run -p adafl-bench --release --bin table1
+//! cargo run -p adafl-bench --release --bin table1 -- --quick
+//! ```
+
+use adafl_bench::args::Args;
+use adafl_bench::runner::{run_sync, Scenario, SYNC_STRATEGIES};
+use adafl_bench::tasks::Task;
+use adafl_bench::{fleet, report};
+use adafl_compression::dense_wire_size;
+use adafl_core::AdaFlConfig;
+use adafl_fl::faults::FaultPlan;
+use adafl_fl::FlConfig;
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.flag("quick");
+    let clients = args.get_usize("clients", 10);
+    let rounds = args.get_usize("rounds", if quick { 12 } else { 80 });
+    let seed = args.get_u64("seed", 42);
+    let (train, test) = if quick { (600, 150) } else { (2000, 400) };
+
+    let tasks = if quick {
+        vec![Task::mnist_cnn(train, test, seed)]
+    } else {
+        vec![Task::mnist_cnn(train, test, seed), Task::cifar100_vgg(train, test, seed)]
+    };
+
+    let mut table = report::TextTable::new([
+        "method",
+        "task",
+        "clients",
+        "particip",
+        "update_freq",
+        "cost_reduc",
+        "grad_size",
+        "compress",
+        "acc_iid",
+        "acc_noniid",
+    ]);
+
+    for task in &tasks {
+        let dense = dense_wire_size(task.model.build(0).param_count());
+        // "Ideal" = every client updates every round, dense.
+        let ideal_updates = (clients * rounds) as u64;
+        let ideal_bytes = ideal_updates * dense as u64;
+
+        for strategy in SYNC_STRATEGIES {
+            let mut accs = Vec::new();
+            let mut freq = 0u64;
+            let mut bytes = 0u64;
+            let mut mean_payload = 0.0f64;
+            for (_dist, partitioner) in Task::partitioners() {
+                let fl = FlConfig::builder()
+                    .clients(clients)
+                    .rounds(rounds)
+                    .participation(0.5)
+                    .local_steps(5)
+                    .batch_size(32)
+                    .model(task.model.clone())
+                    .seed(seed)
+                    .build();
+                let scenario = Scenario {
+                    network: fleet::mixed_network(clients, 0.3, seed),
+                    compute: fleet::uniform_compute(clients, 0.1, seed),
+                    faults: FaultPlan::reliable(clients),
+                    ada: AdaFlConfig::default(),
+                    partitioner,
+                    update_budget: 0,
+                    task: task.clone(),
+                    fl,
+                };
+                let result = run_sync(&scenario, strategy);
+                eprintln!(
+                    "table1 {strategy} {} {_dist}: acc {:.3}, {} updates, {} up",
+                    task.name,
+                    result.history.final_accuracy(),
+                    result.uplink_updates,
+                    report::human_bytes(result.uplink_bytes)
+                );
+                accs.push(result.history.final_accuracy());
+                freq = result.uplink_updates;
+                bytes = result.uplink_bytes;
+                mean_payload = result.mean_uplink_payload;
+            }
+            let (grad_size, compress, particip) = if strategy == "adafl" {
+                let ada = AdaFlConfig::default();
+                (
+                    format!(
+                        "{}-{}",
+                        report::human_bytes((dense as f32 / ada.max_ratio) as u64),
+                        report::human_bytes((dense as f32 / ada.min_ratio) as u64)
+                    ),
+                    format!("{:.0}x-{:.0}x", ada.max_ratio, ada.min_ratio),
+                    "adaptive".to_string(),
+                )
+            } else {
+                (report::human_bytes(dense as u64), "1x".to_string(), "0.5".to_string())
+            };
+            let _ = mean_payload;
+            table.row([
+                strategy.to_string(),
+                task.name.to_string(),
+                clients.to_string(),
+                particip,
+                freq.to_string(),
+                format!("{:.1}%", report::cost_reduction_pct(ideal_bytes, bytes)),
+                grad_size,
+                compress,
+                format!("{:.2}%", accs[0] * 100.0),
+                format!("{:.2}%", accs[1] * 100.0),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!("(cost_reduc is uplink bytes saved vs. full dense participation: {} clients × {} rounds)", clients, rounds);
+}

@@ -1,0 +1,75 @@
+//! JSON schema for config-driven experiments (the `run_config` binary).
+//!
+//! Checked-in configurations live under `configs/`; a test validates that
+//! they always deserialize against this schema.
+
+use adafl_core::AdaFlConfig;
+use adafl_data::partition::Partitioner;
+use serde::Deserialize;
+
+/// JSON schema of one experiment.
+#[derive(Debug, Deserialize)]
+pub struct ExperimentConfig {
+    pub protocol: String,
+    pub strategy: String,
+    pub task: String,
+    #[serde(default = "default_train")]
+    pub train_samples: usize,
+    #[serde(default = "default_test")]
+    pub test_samples: usize,
+    #[serde(default = "default_clients")]
+    pub clients: usize,
+    #[serde(default = "default_rounds")]
+    pub rounds: usize,
+    #[serde(default = "default_participation")]
+    pub participation: f64,
+    #[serde(default = "default_local_steps")]
+    pub local_steps: usize,
+    #[serde(default = "default_batch")]
+    pub batch_size: usize,
+    #[serde(default)]
+    pub learning_rate: Option<f32>,
+    #[serde(default)]
+    pub momentum: Option<f32>,
+    pub partition: Partitioner,
+    #[serde(default = "default_constrained")]
+    pub constrained_fraction: f64,
+    #[serde(default = "default_budget")]
+    pub update_budget: u64,
+    #[serde(default = "default_seed")]
+    pub seed: u64,
+    #[serde(default)]
+    pub adafl: Option<AdaFlConfig>,
+}
+
+fn default_train() -> usize {
+    2000
+}
+fn default_test() -> usize {
+    400
+}
+fn default_clients() -> usize {
+    10
+}
+fn default_rounds() -> usize {
+    40
+}
+fn default_participation() -> f64 {
+    0.5
+}
+fn default_local_steps() -> usize {
+    5
+}
+fn default_batch() -> usize {
+    32
+}
+fn default_constrained() -> f64 {
+    0.3
+}
+fn default_budget() -> u64 {
+    400
+}
+fn default_seed() -> u64 {
+    42
+}
+

@@ -1,0 +1,115 @@
+//! Fleet builders: networks, compute models and fault plans for the
+//! experiment scenarios.
+
+use adafl_fl::compute::ComputeModel;
+use adafl_fl::faults::{FaultKind, FaultPlan};
+use adafl_netsim::{ClientNetwork, LinkProfile, LinkTrace, TraceKind};
+
+/// A homogeneous broadband fleet (the paper's fixed-bandwidth evaluation
+/// setting for Tables I/II).
+pub fn broadband_network(clients: usize, seed: u64) -> ClientNetwork {
+    ClientNetwork::new(
+        vec![LinkTrace::constant(LinkProfile::Broadband.spec()); clients],
+        seed,
+    )
+}
+
+/// A mixed embedded fleet: the first `constrained_fraction` of clients sit
+/// on constrained, time-varying links (random-walk congestion), the rest on
+/// broadband — the heterogeneity AdaFL's bandwidth term keys on.
+pub fn mixed_network(clients: usize, constrained_fraction: f64, seed: u64) -> ClientNetwork {
+    let n_constrained = (clients as f64 * constrained_fraction).round() as usize;
+    let traces: Vec<LinkTrace> = (0..clients)
+        .map(|c| {
+            if c < n_constrained {
+                LinkTrace::new(
+                    LinkProfile::Constrained.spec(),
+                    TraceKind::RandomWalk {
+                        step: 5.0,
+                        min_scale: 0.3,
+                        max_scale: 1.0,
+                        seed: seed ^ c as u64,
+                    },
+                )
+            } else {
+                LinkTrace::constant(LinkProfile::Broadband.spec())
+            }
+        })
+        .collect();
+    ClientNetwork::new(traces, seed)
+}
+
+/// A fleet where the first `fraction` of clients sit behind links that drop
+/// whole transfers with probability `drop_prob` — the asynchronous-dropout
+/// condition of Figure 1(i–l).
+pub fn lossy_network(
+    clients: usize,
+    fraction: f64,
+    drop_prob: f64,
+    seed: u64,
+) -> ClientNetwork {
+    let n_lossy = (clients as f64 * fraction).round() as usize;
+    let traces: Vec<LinkTrace> = (0..clients)
+        .map(|c| {
+            let spec = if c < n_lossy {
+                LinkProfile::Broadband.spec().with_drop_prob(drop_prob)
+            } else {
+                LinkProfile::Broadband.spec()
+            };
+            LinkTrace::constant(spec)
+        })
+        .collect();
+    ClientNetwork::new(traces, seed)
+}
+
+/// A uniform compute fleet with mild per-query jitter.
+pub fn uniform_compute(clients: usize, seconds_per_step: f64, seed: u64) -> ComputeModel {
+    ComputeModel::uniform(clients, seconds_per_step).with_jitter(0.1, seed)
+}
+
+/// Fault plan for Figure 1's synchronous panels: `fraction` of clients
+/// behave as stragglers of the given kind.
+pub fn straggler_plan(clients: usize, fraction: f64, kind: &str, seed: u64) -> FaultPlan {
+    let fault = match kind {
+        "dropout" => FaultKind::Dropout { period: 2 },
+        "dataloss" => FaultKind::DataLoss { prob: 0.5 },
+        "stale" => FaultKind::Stale { factor: 3.0 },
+        other => panic!("unknown fault kind {other:?} (expected dropout|dataloss|stale)"),
+    };
+    FaultPlan::with_fraction(clients, fraction, fault, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adafl_netsim::SimTime;
+
+    #[test]
+    fn mixed_network_constrains_prefix() {
+        let net = mixed_network(10, 0.3, 0);
+        let slow = net.link_at(0, SimTime::ZERO);
+        let fast = net.link_at(9, SimTime::ZERO);
+        assert!(slow.uplink_bandwidth() < fast.uplink_bandwidth());
+        assert_eq!(net.len(), 10);
+    }
+
+    #[test]
+    fn straggler_plan_kinds() {
+        assert_eq!(straggler_plan(10, 0.2, "dropout", 0).affected_clients().len(), 2);
+        assert_eq!(straggler_plan(10, 0.4, "dataloss", 0).affected_clients().len(), 4);
+        assert_eq!(straggler_plan(10, 0.1, "stale", 0).affected_clients().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown fault kind")]
+    fn bad_fault_kind_panics() {
+        straggler_plan(10, 0.2, "gremlins", 0);
+    }
+
+    #[test]
+    fn uniform_compute_has_jitter_bounds() {
+        let cm = uniform_compute(4, 0.1, 1);
+        let t = cm.training_time(0, 10).seconds();
+        assert!((0.9..=1.1).contains(&t));
+    }
+}

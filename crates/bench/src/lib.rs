@@ -1,0 +1,23 @@
+//! Experiment harness regenerating every table and figure of the AdaFL
+//! paper.
+//!
+//! Each binary in `src/bin/` reproduces one artifact (see DESIGN.md's
+//! experiment index); this library holds the shared pieces: the task
+//! definitions ([`tasks`]), fleet builders ([`fleet`]), run drivers
+//! ([`runner`]) and reporting helpers ([`report`]).
+//!
+//! Absolute numbers differ from the paper (synthetic data, scaled models,
+//! simulated links — see DESIGN.md's substitution table); the comparisons —
+//! who wins, by roughly what factor, where the curves cross — are the
+//! reproduction target.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod args;
+pub mod config;
+pub mod fleet;
+pub mod plot;
+pub mod report;
+pub mod runner;
+pub mod tasks;

@@ -1,0 +1,143 @@
+//! Reporting helpers: CSV series and aligned text tables.
+
+use crate::runner::RunResult;
+
+/// Prints a CSV header followed by every run's records, tagged with extra
+/// key columns (e.g. distribution, straggler fraction).
+///
+/// Output format:
+/// `<extra columns>,label,round,sim_time_s,accuracy,loss,uplink_bytes,uplink_updates,contributors`
+pub fn print_series(extra_header: &str, runs: &[(String, &RunResult)]) {
+    println!(
+        "{extra_header}{}label,round,sim_time_s,accuracy,loss,uplink_bytes,uplink_updates,contributors",
+        if extra_header.is_empty() { "" } else { "," }
+    );
+    for (extra, run) in runs {
+        for r in run.history.records() {
+            let prefix = if extra.is_empty() { String::new() } else { format!("{extra},") };
+            println!(
+                "{prefix}{},{},{:.3},{:.4},{:.4},{},{},{}",
+                run.history.label(),
+                r.round,
+                r.sim_time.seconds(),
+                r.accuracy,
+                r.loss,
+                r.uplink_bytes,
+                r.uplink_updates,
+                r.contributors
+            );
+        }
+    }
+}
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cell count differs from the header.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a byte count with a binary-ish unit for table cells.
+pub fn human_bytes(bytes: u64) -> String {
+    const KB: f64 = 1000.0;
+    let b = bytes as f64;
+    if b >= KB * KB {
+        format!("{:.2}MB", b / (KB * KB))
+    } else if b >= KB {
+        format!("{:.1}KB", b / KB)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+/// Percentage cost reduction of `ours` relative to `baseline` (positive
+/// when `ours` is cheaper).
+pub fn cost_reduction_pct(baseline: u64, ours: u64) -> f64 {
+    if baseline == 0 {
+        return 0.0;
+    }
+    (1.0 - ours as f64 / baseline as f64) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(["method", "acc"]);
+        t.row(["fedavg", "0.93"]);
+        t.row(["adafl-longer", "0.94"]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("method"));
+        assert!(lines[3].starts_with("adafl-longer"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        TextTable::new(["a", "b"]).row(["only-one"]);
+    }
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(500), "500B");
+        assert_eq!(human_bytes(1_640_000), "1.64MB");
+        assert_eq!(human_bytes(8_000), "8.0KB");
+    }
+
+    #[test]
+    fn cost_reduction_math() {
+        assert_eq!(cost_reduction_pct(100, 30), 70.0);
+        assert_eq!(cost_reduction_pct(100, 100), 0.0);
+        assert_eq!(cost_reduction_pct(0, 10), 0.0);
+        assert!(cost_reduction_pct(100, 150) < 0.0);
+    }
+}

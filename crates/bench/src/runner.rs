@@ -1,0 +1,228 @@
+//! Scenario runners: one entry point per (protocol, strategy) pair so every
+//! experiment binary drives runs the same way.
+
+use crate::tasks::Task;
+use adafl_core::{AdaFlAsyncEngine, AdaFlConfig, AdaFlSyncEngine};
+use adafl_data::partition::Partitioner;
+use adafl_fl::compute::ComputeModel;
+use adafl_fl::faults::FaultPlan;
+use adafl_fl::r#async::strategies::{FedAsync, FedBuff};
+use adafl_fl::r#async::{AsyncEngine, AsyncStrategy};
+use adafl_fl::sync::strategies::{FedAdam, FedAvg, FedProx, Scaffold};
+use adafl_fl::sync::{SyncEngine, SyncStrategy};
+use adafl_fl::{FlConfig, RunHistory};
+use adafl_netsim::ClientNetwork;
+
+/// Everything needed to execute one run.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// FL protocol configuration.
+    pub fl: FlConfig,
+    /// AdaFL-specific configuration (used when the strategy is `adafl`).
+    pub ada: AdaFlConfig,
+    /// The learning task.
+    pub task: Task,
+    /// Data distribution across clients.
+    pub partitioner: Partitioner,
+    /// Per-client link conditions.
+    pub network: ClientNetwork,
+    /// Per-client compute speeds.
+    pub compute: ComputeModel,
+    /// Fault injection plan.
+    pub faults: FaultPlan,
+    /// Async protocols: total server-received updates before stopping.
+    pub update_budget: u64,
+}
+
+/// Outcome of one run: the evaluation history plus communication totals.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Evaluation series.
+    pub history: RunHistory,
+    /// Total client→server bytes.
+    pub uplink_bytes: u64,
+    /// Total server→client bytes.
+    pub downlink_bytes: u64,
+    /// Total client→server updates (the paper's update frequency).
+    pub uplink_updates: u64,
+    /// Mean uplink payload in bytes.
+    pub mean_uplink_payload: f64,
+}
+
+/// The synchronous strategy names [`run_sync`] accepts.
+pub const SYNC_STRATEGIES: [&str; 5] = ["fedavg", "fedadam", "fedprox", "scaffold", "adafl"];
+
+/// The asynchronous strategy names [`run_async`] accepts.
+pub const ASYNC_STRATEGIES: [&str; 3] = ["fedasync", "fedbuff", "adafl"];
+
+fn sync_baseline(name: &str) -> Box<dyn SyncStrategy> {
+    match name {
+        "fedavg" => Box::new(FedAvg::new()),
+        "fedadam" => Box::new(FedAdam::new(0.01)),
+        "fedprox" => Box::new(FedProx::new(0.01)),
+        "scaffold" => Box::new(Scaffold::new()),
+        other => panic!("unknown sync strategy {other:?} (expected one of {SYNC_STRATEGIES:?})"),
+    }
+}
+
+fn async_baseline(name: &str) -> Box<dyn AsyncStrategy> {
+    match name {
+        "fedasync" => Box::new(FedAsync::new(0.6, 0.5)),
+        "fedbuff" => Box::new(FedBuff::new(3, 0.3)),
+        other => panic!("unknown async strategy {other:?} (expected one of {ASYNC_STRATEGIES:?})"),
+    }
+}
+
+/// Runs one synchronous scenario under the named strategy.
+///
+/// # Panics
+///
+/// Panics on an unknown strategy name.
+pub fn run_sync(scenario: &Scenario, strategy: &str) -> RunResult {
+    let shards = scenario.partitioner.split(
+        &scenario.task.train,
+        scenario.fl.clients,
+        scenario.fl.seed_for("partition"),
+    );
+    if strategy == "adafl" {
+        let mut engine = AdaFlSyncEngine::with_parts(
+            scenario.fl.clone(),
+            scenario.ada.clone(),
+            shards,
+            scenario.task.test.clone(),
+            scenario.network.clone(),
+            scenario.compute.clone(),
+            scenario.faults.clone(),
+        );
+        let history = engine.run();
+        result(history, engine.ledger())
+    } else {
+        let mut engine = SyncEngine::with_parts(
+            scenario.fl.clone(),
+            shards,
+            scenario.task.test.clone(),
+            sync_baseline(strategy),
+            scenario.network.clone(),
+            scenario.compute.clone(),
+            scenario.faults.clone(),
+        );
+        let history = engine.run();
+        result(history, engine.ledger())
+    }
+}
+
+/// Runs one asynchronous scenario under the named strategy.
+///
+/// # Panics
+///
+/// Panics on an unknown strategy name.
+pub fn run_async(scenario: &Scenario, strategy: &str) -> RunResult {
+    let shards = scenario.partitioner.split(
+        &scenario.task.train,
+        scenario.fl.clients,
+        scenario.fl.seed_for("partition"),
+    );
+    if strategy == "adafl" {
+        let mut engine = AdaFlAsyncEngine::with_parts(
+            scenario.fl.clone(),
+            scenario.ada.clone(),
+            shards,
+            scenario.task.test.clone(),
+            scenario.network.clone(),
+            scenario.compute.clone(),
+            scenario.faults.clone(),
+            scenario.update_budget,
+        );
+        let history = engine.run();
+        result(history, engine.ledger())
+    } else {
+        let mut engine = AsyncEngine::with_parts(
+            scenario.fl.clone(),
+            shards,
+            scenario.task.test.clone(),
+            async_baseline(strategy),
+            scenario.network.clone(),
+            scenario.compute.clone(),
+            scenario.faults.clone(),
+            scenario.update_budget,
+        );
+        let history = engine.run();
+        result(history, engine.ledger())
+    }
+}
+
+fn result(history: RunHistory, ledger: &adafl_fl::CommunicationLedger) -> RunResult {
+    RunResult {
+        uplink_bytes: ledger.uplink_bytes(),
+        downlink_bytes: ledger.downlink_bytes(),
+        uplink_updates: ledger.uplink_updates(),
+        mean_uplink_payload: ledger.mean_uplink_payload(),
+        history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet;
+
+    fn scenario() -> Scenario {
+        let task = Task::mnist_logreg(300, 80, 0);
+        let fl = FlConfig::builder()
+            .clients(5)
+            .rounds(6)
+            .local_steps(3)
+            .batch_size(16)
+            .model(task.model.clone())
+            .build();
+        Scenario {
+            network: fleet::broadband_network(5, 1),
+            compute: fleet::uniform_compute(5, 0.05, 2),
+            faults: FaultPlan::reliable(5),
+            ada: AdaFlConfig { max_selected: 3, warmup_rounds: 2, ..AdaFlConfig::default() },
+            partitioner: Partitioner::Iid,
+            update_budget: 25,
+            fl,
+            task,
+        }
+    }
+
+    #[test]
+    fn every_sync_strategy_runs() {
+        let s = scenario();
+        for name in SYNC_STRATEGIES {
+            let r = run_sync(&s, name);
+            assert_eq!(r.history.len(), 6, "{name} produced wrong history length");
+            assert!(r.uplink_updates > 0, "{name} sent nothing");
+        }
+    }
+
+    #[test]
+    fn every_async_strategy_runs() {
+        let s = scenario();
+        for name in ASYNC_STRATEGIES {
+            let r = run_async(&s, name);
+            assert!(!r.history.is_empty(), "{name} recorded nothing");
+            assert!(r.uplink_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn adafl_sends_fewer_bytes_than_fedavg() {
+        let s = scenario();
+        let fedavg = run_sync(&s, "fedavg");
+        let adafl = run_sync(&s, "adafl");
+        assert!(
+            adafl.uplink_bytes < fedavg.uplink_bytes,
+            "adafl {} vs fedavg {}",
+            adafl.uplink_bytes,
+            fedavg.uplink_bytes
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown sync strategy")]
+    fn unknown_strategy_panics() {
+        run_sync(&scenario(), "sgd");
+    }
+}

@@ -1,0 +1,79 @@
+//! Checked-in experiment configurations must always deserialize against the
+//! current schema — a config that silently rots defeats the purpose of
+//! keeping it in version control.
+
+use adafl_bench::config::ExperimentConfig;
+use std::path::Path;
+
+fn configs_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../configs")
+}
+
+#[test]
+fn every_checked_in_config_deserializes() {
+    let dir = configs_dir();
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&dir).expect("configs/ directory exists") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let raw = std::fs::read_to_string(&path).unwrap();
+        let cfg: ExperimentConfig = serde_json::from_str(&raw)
+            .unwrap_or_else(|e| panic!("{path:?} no longer matches the schema: {e}"));
+        assert!(
+            matches!(cfg.protocol.as_str(), "sync" | "async"),
+            "{path:?} has invalid protocol {}",
+            cfg.protocol
+        );
+        assert!(!cfg.strategy.is_empty());
+        seen += 1;
+    }
+    assert!(seen >= 2, "expected the example configs to exist, found {seen}");
+}
+
+#[test]
+fn schema_defaults_fill_missing_fields() {
+    let minimal = r#"{
+        "protocol": "sync",
+        "strategy": "fedavg",
+        "task": "mnist-logreg",
+        "partition": "Iid"
+    }"#;
+    let cfg: ExperimentConfig = serde_json::from_str(minimal).unwrap();
+    assert_eq!(cfg.clients, 10);
+    assert_eq!(cfg.rounds, 40);
+    assert_eq!(cfg.seed, 42);
+    assert!(cfg.adafl.is_none());
+    assert!(cfg.learning_rate.is_none());
+}
+
+#[test]
+fn schema_accepts_full_adafl_override() {
+    let full = r#"{
+        "protocol": "sync",
+        "strategy": "adafl",
+        "task": "mnist-cnn",
+        "partition": { "Dirichlet": { "alpha": 0.5 } },
+        "adafl": {
+            "similarity_weight": 0.9,
+            "utility_threshold": 0.4,
+            "max_selected": 4,
+            "warmup_rounds": 2,
+            "min_ratio": 4.0,
+            "max_ratio": 100.0,
+            "warmup_ratio": 2.0,
+            "ratio_curve": 0.35,
+            "dgc_momentum": 0.0,
+            "clip_norm": 1.0,
+            "metric": "Cosine",
+            "selection": "Utility",
+            "async_alpha": 0.3,
+            "async_staleness_exponent": 0.5
+        }
+    }"#;
+    let cfg: ExperimentConfig = serde_json::from_str(full).unwrap();
+    let ada = cfg.adafl.expect("adafl override present");
+    ada.validate();
+    assert_eq!(ada.max_selected, 4);
+}

@@ -1,0 +1,165 @@
+//! Error-feedback compression (the EF-SGD / DoubleSqueeze [15] idea).
+//!
+//! Wraps any lossy compression step with a residual memory: the compression
+//! error of round `t` is added back to the input of round `t + 1`, so the
+//! *cumulative* transmitted signal converges to the cumulative input even
+//! when every individual round is heavily compressed. DGC achieves this
+//! with index-wise accumulation; error feedback is the general form that
+//! also works for quantizers (QSGD, TernGrad) where "untransmitted mass"
+//! is spread across all coordinates.
+
+/// Error-feedback wrapper around an arbitrary compression function.
+///
+/// # Examples
+///
+/// ```
+/// use adafl_compression::{top_k, ErrorFeedback};
+///
+/// let mut ef = ErrorFeedback::new(4);
+/// let sent = ef.compress(&[1.0, 0.5, 0.0, 0.0], |g| top_k(g, 1).to_dense());
+/// assert_eq!(sent, vec![1.0, 0.0, 0.0, 0.0]);
+/// // The 0.5 lives on in the residual and is sent next round.
+/// let sent2 = ef.compress(&[0.0; 4], |g| top_k(g, 1).to_dense());
+/// assert_eq!(sent2, vec![0.0, 0.5, 0.0, 0.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorFeedback {
+    residual: Vec<f32>,
+}
+
+impl ErrorFeedback {
+    /// Creates a wrapper for gradients of length `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dim` is zero.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "gradient dimension must be positive");
+        ErrorFeedback { residual: vec![0.0; dim] }
+    }
+
+    /// Gradient dimension.
+    pub fn dim(&self) -> usize {
+        self.residual.len()
+    }
+
+    /// L2 norm of the carried-over compression error.
+    pub fn residual_norm(&self) -> f32 {
+        adafl_tensor::vecops::l2_norm(&self.residual)
+    }
+
+    /// Compresses `gradient + residual` with `compressor` (which returns
+    /// the dense decoding of whatever it transmitted) and retains the new
+    /// error.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `gradient.len()` differs from [`ErrorFeedback::dim`] or
+    /// the compressor returns a different length.
+    pub fn compress(
+        &mut self,
+        gradient: &[f32],
+        compressor: impl FnOnce(&[f32]) -> Vec<f32>,
+    ) -> Vec<f32> {
+        assert_eq!(gradient.len(), self.dim(), "gradient length mismatch");
+        let corrected: Vec<f32> = gradient
+            .iter()
+            .zip(&self.residual)
+            .map(|(g, r)| g + r)
+            .collect();
+        let sent = compressor(&corrected);
+        assert_eq!(sent.len(), self.dim(), "compressor changed the length");
+        for ((r, c), s) in self.residual.iter_mut().zip(&corrected).zip(&sent) {
+            *r = c - s;
+        }
+        sent
+    }
+
+    /// Drops the residual (when resynchronising to a fresh model).
+    pub fn reset(&mut self) {
+        self.residual.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{top_k, QsgdQuantizer, TernGrad};
+
+    #[test]
+    fn no_compression_leaves_no_residual() {
+        let mut ef = ErrorFeedback::new(3);
+        let sent = ef.compress(&[1.0, 2.0, 3.0], |g| g.to_vec());
+        assert_eq!(sent, vec![1.0, 2.0, 3.0]);
+        assert_eq!(ef.residual_norm(), 0.0);
+    }
+
+    #[test]
+    fn cumulative_mass_is_conserved_with_top_k() {
+        let mut ef = ErrorFeedback::new(8);
+        let inputs: Vec<Vec<f32>> = (0..6)
+            .map(|r| (0..8).map(|i| ((r * 8 + i) % 5) as f32 - 2.0).collect())
+            .collect();
+        let mut transmitted = [0.0f32; 8];
+        for g in &inputs {
+            let sent = ef.compress(g, |x| top_k(x, 2).to_dense());
+            for (t, s) in transmitted.iter_mut().zip(&sent) {
+                *t += s;
+            }
+        }
+        // Drain the residual.
+        for _ in 0..32 {
+            let sent = ef.compress(&[0.0; 8], |x| top_k(x, 2).to_dense());
+            for (t, s) in transmitted.iter_mut().zip(&sent) {
+                *t += s;
+            }
+        }
+        let mut expected = vec![0.0f32; 8];
+        for g in &inputs {
+            for (e, x) in expected.iter_mut().zip(g) {
+                *e += x;
+            }
+        }
+        for (t, e) in transmitted.iter().zip(&expected) {
+            assert!((t - e).abs() < 1e-3, "mass leak: {t} vs {e}");
+        }
+    }
+
+    #[test]
+    fn works_with_quantizers() {
+        let mut ef = ErrorFeedback::new(4);
+        let mut q = QsgdQuantizer::new(2, 7);
+        let g = [0.9f32, -0.3, 0.1, 0.5];
+        let sent = ef.compress(&g, |x| q.quantize(x).to_dense());
+        assert_eq!(sent.len(), 4);
+        // Residual equals input minus transmitted.
+        for ((r, gi), s) in
+            ef.residual.iter().zip(&g).zip(&sent)
+        {
+            assert!((r - (gi - s)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn works_with_terngrad() {
+        let mut ef = ErrorFeedback::new(3);
+        let mut t = TernGrad::new(9);
+        let sent = ef.compress(&[1.0, -0.2, 0.0], |x| t.ternarize(x).to_dense());
+        assert_eq!(sent.len(), 3);
+    }
+
+    #[test]
+    fn reset_clears_residual() {
+        let mut ef = ErrorFeedback::new(2);
+        ef.compress(&[1.0, 1.0], |_| vec![0.0, 0.0]);
+        assert!(ef.residual_norm() > 0.0);
+        ef.reset();
+        assert_eq!(ef.residual_norm(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "changed the length")]
+    fn length_changing_compressor_panics() {
+        ErrorFeedback::new(2).compress(&[1.0, 2.0], |_| vec![0.0]);
+    }
+}

@@ -1,0 +1,54 @@
+//! Gradient compression for communication-efficient federated learning.
+//!
+//! Implements the compression stack AdaFL builds on:
+//!
+//! * [`SparseUpdate`] — the wire format of a sparsified gradient, with
+//!   byte-exact size accounting and a binary codec.
+//! * [`top_k`] — magnitude-based sparsification.
+//! * [`DgcCompressor`] — Deep Gradient Compression (Lin et al. [10]): top-k
+//!   sparsification with **local gradient accumulation**, **momentum
+//!   correction** and **local gradient clipping**, the three components the
+//!   paper integrates.
+//! * [`QsgdQuantizer`] — QSGD-style stochastic quantization [11] and
+//!   [`TernGrad`] ternary quantization [13], the model-level baselines
+//!   from related work.
+//! * [`ErrorFeedback`] — the EF-SGD / DoubleSqueeze [15] residual wrapper
+//!   that makes any lossy compressor unbiased in the long run.
+//!
+//! The compression *ratio* vocabulary follows the paper's Tables I/II: a
+//! ratio of `210×` means one in 210 gradient elements is transmitted.
+//!
+//! # Examples
+//!
+//! ```
+//! use adafl_compression::DgcCompressor;
+//!
+//! let mut dgc = DgcCompressor::new(4, 0.9, 1.0);
+//! let update = dgc.compress(&[0.0, 5.0, 0.1, -0.2], 4.0);
+//! assert_eq!(update.nnz(), 1); // ratio 4× on 4 elements keeps 1
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod dgc;
+mod error_feedback;
+mod quantize;
+mod sparse;
+mod terngrad;
+mod topk;
+
+pub use dgc::DgcCompressor;
+pub use error_feedback::ErrorFeedback;
+pub use quantize::{QsgdQuantizer, QuantizedUpdate};
+pub use sparse::SparseUpdate;
+pub use terngrad::{TernGrad, TernaryUpdate};
+pub use topk::top_k;
+
+/// Wire size in bytes of a dense `f32` gradient of `len` elements.
+///
+/// Four bytes per element plus an 8-byte length header — the format all
+/// dense baselines (FedAvg etc.) are accounted at.
+pub fn dense_wire_size(len: usize) -> usize {
+    8 + 4 * len
+}

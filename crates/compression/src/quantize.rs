@@ -1,0 +1,173 @@
+//! QSGD-style stochastic gradient quantization (Alistarh et al. [11]).
+//!
+//! The model-level baseline from the paper's related work: each gradient is
+//! encoded as its L2 norm plus per-coordinate sign and a stochastically
+//! rounded level in `0..=levels`, giving an unbiased estimator whose wire
+//! cost is ~`log2(levels)+1` bits per coordinate (accounted at byte
+//! granularity here).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A quantized gradient: norm, per-coordinate signs and levels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedUpdate {
+    norm: f32,
+    levels: u8,
+    /// Sign-and-level per coordinate: `level` in low 7 bits, sign in bit 7.
+    codes: Vec<u8>,
+}
+
+impl QuantizedUpdate {
+    /// Decodes back to a dense vector.
+    pub fn to_dense(&self) -> Vec<f32> {
+        let s = self.levels as f32;
+        self.codes
+            .iter()
+            .map(|&c| {
+                let sign = if c & 0x80 != 0 { -1.0 } else { 1.0 };
+                let level = (c & 0x7F) as f32;
+                sign * self.norm * level / s
+            })
+            .collect()
+    }
+
+    /// Number of coordinates.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Returns `true` for an empty update.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Wire size in bytes: 8-byte header + norm + one byte per coordinate.
+    pub fn wire_size(&self) -> usize {
+        8 + 4 + self.codes.len()
+    }
+}
+
+/// Stateless (but seeded) QSGD quantizer.
+///
+/// # Examples
+///
+/// ```
+/// use adafl_compression::QsgdQuantizer;
+///
+/// let mut q = QsgdQuantizer::new(4, 7);
+/// let update = q.quantize(&[1.0, -0.5, 0.0]);
+/// assert_eq!(update.len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QsgdQuantizer {
+    levels: u8,
+    rng: StdRng,
+}
+
+impl QsgdQuantizer {
+    /// Creates a quantizer with `levels` quantization levels (1–127).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `levels` is zero or exceeds 127 (the sign bit is packed
+    /// into the same byte).
+    pub fn new(levels: u8, seed: u64) -> Self {
+        assert!((1..=127).contains(&levels), "levels must be in 1..=127");
+        QsgdQuantizer { levels, rng: StdRng::seed_from_u64(seed ^ 0x0045_4617) }
+    }
+
+    /// Number of quantization levels.
+    pub fn levels(&self) -> u8 {
+        self.levels
+    }
+
+    /// Stochastically quantizes `gradient`.
+    ///
+    /// The expectation of [`QuantizedUpdate::to_dense`] over the rounding
+    /// randomness equals `gradient` (unbiasedness), which
+    /// `quantization_is_unbiased` verifies statistically.
+    pub fn quantize(&mut self, gradient: &[f32]) -> QuantizedUpdate {
+        let norm = adafl_tensor::vecops::l2_norm(gradient);
+        if norm == 0.0 {
+            return QuantizedUpdate { norm: 0.0, levels: self.levels, codes: vec![0; gradient.len()] };
+        }
+        let s = self.levels as f32;
+        let codes = gradient
+            .iter()
+            .map(|&g| {
+                let sign_bit = if g < 0.0 { 0x80u8 } else { 0 };
+                let x = g.abs() / norm * s; // in [0, s]
+                let lower = x.floor();
+                let p = x - lower;
+                let level = if self.rng.gen::<f32>() < p { lower + 1.0 } else { lower };
+                sign_bit | (level.min(s) as u8)
+            })
+            .collect();
+        QuantizedUpdate { norm, levels: self.levels, codes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_vector_round_trips() {
+        let mut q = QsgdQuantizer::new(4, 0);
+        let u = q.quantize(&[0.0, 0.0]);
+        assert_eq!(u.to_dense(), vec![0.0, 0.0]);
+        assert!(!u.is_empty());
+    }
+
+    #[test]
+    fn signs_are_preserved() {
+        let mut q = QsgdQuantizer::new(127, 1);
+        let g = [3.0f32, -4.0];
+        let d = q.quantize(&g).to_dense();
+        assert!(d[0] >= 0.0);
+        assert!(d[1] <= 0.0);
+    }
+
+    #[test]
+    fn quantization_is_unbiased() {
+        let mut q = QsgdQuantizer::new(2, 2);
+        let g = [0.6f32, -0.8];
+        let mut mean = [0.0f64; 2];
+        let trials = 4000;
+        for _ in 0..trials {
+            let d = q.quantize(&g).to_dense();
+            mean[0] += d[0] as f64;
+            mean[1] += d[1] as f64;
+        }
+        mean[0] /= trials as f64;
+        mean[1] /= trials as f64;
+        assert!((mean[0] - 0.6).abs() < 0.03, "biased: {}", mean[0]);
+        assert!((mean[1] + 0.8).abs() < 0.03, "biased: {}", mean[1]);
+    }
+
+    #[test]
+    fn more_levels_give_lower_error() {
+        let g: Vec<f32> = (0..100).map(|i| ((i as f32) * 0.31).sin()).collect();
+        let err = |levels: u8| {
+            let mut q = QsgdQuantizer::new(levels, 3);
+            let d = q.quantize(&g).to_dense();
+            g.iter().zip(&d).map(|(a, b)| (a - b).powi(2)).sum::<f32>()
+        };
+        assert!(err(127) < err(1));
+    }
+
+    #[test]
+    fn wire_size_is_one_byte_per_coordinate() {
+        let mut q = QsgdQuantizer::new(4, 4);
+        let u = q.quantize(&[1.0; 100]);
+        assert_eq!(u.wire_size(), 8 + 4 + 100);
+        assert!(u.wire_size() < crate::dense_wire_size(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "levels")]
+    fn too_many_levels_panics() {
+        QsgdQuantizer::new(128, 0);
+    }
+}

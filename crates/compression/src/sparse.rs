@@ -1,0 +1,248 @@
+//! Sparse gradient updates and their wire codec.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// A sparsified gradient: the surviving `(index, value)` pairs of a dense
+/// vector of length `dense_len`.
+///
+/// Indices are strictly increasing `u32`s, which the codec relies on.
+///
+/// # Examples
+///
+/// ```
+/// use adafl_compression::SparseUpdate;
+///
+/// let u = SparseUpdate::new(vec![1, 3], vec![0.5, -0.5], 4);
+/// assert_eq!(u.to_dense(), vec![0.0, 0.5, 0.0, -0.5]);
+/// let bytes = u.encode();
+/// assert_eq!(SparseUpdate::decode(&bytes).unwrap(), u);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SparseUpdate {
+    indices: Vec<u32>,
+    values: Vec<f32>,
+    dense_len: usize,
+}
+
+/// Error from [`SparseUpdate::decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// The buffer ended before the declared payload.
+    Truncated,
+    /// Indices were not strictly increasing or exceeded the dense length.
+    InvalidIndices,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "buffer shorter than declared payload"),
+            DecodeError::InvalidIndices => write!(f, "indices not strictly increasing in range"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl SparseUpdate {
+    /// Creates a sparse update.
+    ///
+    /// # Panics
+    ///
+    /// Panics when lengths differ, indices are not strictly increasing, or
+    /// any index is `≥ dense_len`.
+    pub fn new(indices: Vec<u32>, values: Vec<f32>, dense_len: usize) -> Self {
+        assert_eq!(indices.len(), values.len(), "index/value length mismatch");
+        for w in indices.windows(2) {
+            assert!(w[0] < w[1], "indices must be strictly increasing");
+        }
+        if let Some(&last) = indices.last() {
+            assert!((last as usize) < dense_len, "index {last} out of range {dense_len}");
+        }
+        SparseUpdate { indices, values, dense_len }
+    }
+
+    /// An all-zero update of the given dense length.
+    pub fn zero(dense_len: usize) -> Self {
+        SparseUpdate { indices: Vec::new(), values: Vec::new(), dense_len }
+    }
+
+    /// Number of transmitted (non-zero) elements.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Length of the dense vector this update sparsifies.
+    pub fn dense_len(&self) -> usize {
+        self.dense_len
+    }
+
+    /// The surviving indices.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// The surviving values.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Achieved compression ratio `dense_len / nnz` (`∞` → `f64::INFINITY`
+    /// for an empty update).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.indices.is_empty() {
+            f64::INFINITY
+        } else {
+            self.dense_len as f64 / self.indices.len() as f64
+        }
+    }
+
+    /// Wire size in bytes: 16-byte header + 8 bytes per element.
+    pub fn wire_size(&self) -> usize {
+        16 + 8 * self.indices.len()
+    }
+
+    /// Materialises the dense vector.
+    pub fn to_dense(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dense_len];
+        for (&i, &v) in self.indices.iter().zip(&self.values) {
+            out[i as usize] = v;
+        }
+        out
+    }
+
+    /// Adds this update into `dense` (scaled by `scale`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dense.len() != dense_len`.
+    pub fn add_into(&self, dense: &mut [f32], scale: f32) {
+        assert_eq!(dense.len(), self.dense_len, "dense length mismatch");
+        for (&i, &v) in self.indices.iter().zip(&self.values) {
+            dense[i as usize] += scale * v;
+        }
+    }
+
+    /// Serialises to the wire format.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.wire_size());
+        buf.put_u64_le(self.dense_len as u64);
+        buf.put_u64_le(self.indices.len() as u64);
+        for (&i, &v) in self.indices.iter().zip(&self.values) {
+            buf.put_u32_le(i);
+            buf.put_f32_le(v);
+        }
+        buf.freeze()
+    }
+
+    /// Parses the wire format produced by [`SparseUpdate::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::Truncated`] for short buffers and
+    /// [`DecodeError::InvalidIndices`] for malformed index streams.
+    pub fn decode(mut buf: &[u8]) -> Result<Self, DecodeError> {
+        if buf.len() < 16 {
+            return Err(DecodeError::Truncated);
+        }
+        let dense_len = buf.get_u64_le() as usize;
+        let nnz = buf.get_u64_le() as usize;
+        if buf.len() < nnz * 8 {
+            return Err(DecodeError::Truncated);
+        }
+        let mut indices = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        let mut prev: Option<u32> = None;
+        for _ in 0..nnz {
+            let i = buf.get_u32_le();
+            let v = buf.get_f32_le();
+            if (i as usize) >= dense_len || prev.is_some_and(|p| p >= i) {
+                return Err(DecodeError::InvalidIndices);
+            }
+            prev = Some(i);
+            indices.push(i);
+            values.push(v);
+        }
+        Ok(SparseUpdate { indices, values, dense_len })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_round_trip() {
+        let u = SparseUpdate::new(vec![0, 2], vec![1.0, -2.0], 3);
+        assert_eq!(u.to_dense(), vec![1.0, 0.0, -2.0]);
+        assert_eq!(u.nnz(), 2);
+        assert_eq!(u.dense_len(), 3);
+    }
+
+    #[test]
+    fn add_into_accumulates_with_scale() {
+        let u = SparseUpdate::new(vec![1], vec![4.0], 2);
+        let mut dense = vec![1.0, 1.0];
+        u.add_into(&mut dense, 0.5);
+        assert_eq!(dense, vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        let u = SparseUpdate::new(vec![3, 7, 100], vec![0.25, -1.5, 3.75], 128);
+        let bytes = u.encode();
+        assert_eq!(bytes.len(), u.wire_size());
+        assert_eq!(SparseUpdate::decode(&bytes).unwrap(), u);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let u = SparseUpdate::new(vec![0, 1], vec![1.0, 2.0], 4);
+        let bytes = u.encode();
+        assert_eq!(SparseUpdate::decode(&bytes[..10]).unwrap_err(), DecodeError::Truncated);
+        assert_eq!(
+            SparseUpdate::decode(&bytes[..bytes.len() - 1]).unwrap_err(),
+            DecodeError::Truncated
+        );
+    }
+
+    #[test]
+    fn decode_rejects_bad_indices() {
+        // Hand-craft a buffer with decreasing indices.
+        let mut buf = bytes::BytesMut::new();
+        buf.put_u64_le(10);
+        buf.put_u64_le(2);
+        buf.put_u32_le(5);
+        buf.put_f32_le(1.0);
+        buf.put_u32_le(3);
+        buf.put_f32_le(1.0);
+        assert_eq!(SparseUpdate::decode(&buf).unwrap_err(), DecodeError::InvalidIndices);
+    }
+
+    #[test]
+    fn compression_ratio_math() {
+        let u = SparseUpdate::new(vec![0], vec![1.0], 210);
+        assert_eq!(u.compression_ratio(), 210.0);
+        assert_eq!(SparseUpdate::zero(100).compression_ratio(), f64::INFINITY);
+    }
+
+    #[test]
+    fn sparse_beats_dense_on_wire_when_sparse_enough() {
+        let dense_bytes = crate::dense_wire_size(1000);
+        let u = SparseUpdate::new(vec![1, 2, 3], vec![0.0; 3], 1000);
+        assert!(u.wire_size() < dense_bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_indices_panic() {
+        SparseUpdate::new(vec![2, 1], vec![0.0, 0.0], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_panics() {
+        SparseUpdate::new(vec![4], vec![0.0], 4);
+    }
+}

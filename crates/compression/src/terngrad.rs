@@ -1,0 +1,195 @@
+//! TernGrad ternary gradient quantization (Wen et al. [13]).
+//!
+//! Each gradient coordinate is stochastically rounded to
+//! `{−s, 0, +s}` where `s = max|gᵢ|`, giving an unbiased two-bit encoding.
+//! Cited in the paper's related work as a static model-level
+//! communication-reduction technique; implemented here as a comparison
+//! baseline for the compression benches.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A ternarized gradient: the scale `s` plus 2-bit codes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TernaryUpdate {
+    scale: f32,
+    len: usize,
+    /// Four 2-bit codes per byte: `0b00` = 0, `0b01` = +s, `0b10` = −s.
+    packed: Vec<u8>,
+}
+
+impl TernaryUpdate {
+    /// Decodes back to a dense vector.
+    pub fn to_dense(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.len);
+        for i in 0..self.len {
+            let byte = self.packed[i / 4];
+            let code = (byte >> ((i % 4) * 2)) & 0b11;
+            out.push(match code {
+                0b01 => self.scale,
+                0b10 => -self.scale,
+                _ => 0.0,
+            });
+        }
+        out
+    }
+
+    /// Number of coordinates.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` for an empty update.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The ternary scale `s`.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Wire size in bytes: 12-byte header + 2 bits per coordinate.
+    pub fn wire_size(&self) -> usize {
+        12 + self.packed.len()
+    }
+
+    /// Serialises to the wire format.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.wire_size());
+        buf.put_u64_le(self.len as u64);
+        buf.put_f32_le(self.scale);
+        buf.put_slice(&self.packed);
+        buf.freeze()
+    }
+
+    /// Parses the wire format produced by [`TernaryUpdate::encode`].
+    ///
+    /// Returns `None` when the buffer is truncated.
+    pub fn decode(mut buf: &[u8]) -> Option<Self> {
+        if buf.len() < 12 {
+            return None;
+        }
+        let len = buf.get_u64_le() as usize;
+        let scale = buf.get_f32_le();
+        let packed_len = len.div_ceil(4);
+        if buf.len() < packed_len {
+            return None;
+        }
+        Some(TernaryUpdate { scale, len, packed: buf[..packed_len].to_vec() })
+    }
+}
+
+/// Stochastic ternary quantizer.
+///
+/// # Examples
+///
+/// ```
+/// use adafl_compression::TernGrad;
+///
+/// let mut t = TernGrad::new(1);
+/// let update = t.ternarize(&[0.5, -1.0, 0.0, 0.25]);
+/// assert_eq!(update.len(), 4);
+/// assert_eq!(update.scale(), 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TernGrad {
+    rng: StdRng,
+}
+
+impl TernGrad {
+    /// Creates a quantizer with the given seed.
+    pub fn new(seed: u64) -> Self {
+        TernGrad { rng: StdRng::seed_from_u64(seed ^ 0x7E56) }
+    }
+
+    /// Stochastically ternarizes `gradient`: coordinate `gᵢ` becomes
+    /// `sign(gᵢ)·s` with probability `|gᵢ|/s`, else 0 — an unbiased
+    /// estimator.
+    pub fn ternarize(&mut self, gradient: &[f32]) -> TernaryUpdate {
+        let scale = gradient.iter().fold(0.0f32, |m, g| m.max(g.abs()));
+        let mut packed = vec![0u8; gradient.len().div_ceil(4)];
+        if scale > 0.0 {
+            for (i, &g) in gradient.iter().enumerate() {
+                let p = g.abs() / scale;
+                if self.rng.gen::<f32>() < p {
+                    let code: u8 = if g >= 0.0 { 0b01 } else { 0b10 };
+                    packed[i / 4] |= code << ((i % 4) * 2);
+                }
+            }
+        }
+        TernaryUpdate { scale, len: gradient.len(), packed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_gradient_round_trips() {
+        let mut t = TernGrad::new(0);
+        let u = t.ternarize(&[0.0; 7]);
+        assert_eq!(u.to_dense(), vec![0.0; 7]);
+        assert!(!u.is_empty());
+    }
+
+    #[test]
+    fn values_are_ternary() {
+        let mut t = TernGrad::new(1);
+        let g: Vec<f32> = (0..100).map(|i| ((i as f32) * 0.37).sin()).collect();
+        let u = t.ternarize(&g);
+        let s = u.scale();
+        for v in u.to_dense() {
+            assert!(v == 0.0 || (v - s).abs() < 1e-6 || (v + s).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn extreme_coordinate_always_survives() {
+        // |g| == s has probability 1 of being kept.
+        let mut t = TernGrad::new(2);
+        for _ in 0..20 {
+            let u = t.ternarize(&[2.0, 0.0]);
+            assert_eq!(u.to_dense()[0], 2.0);
+        }
+    }
+
+    #[test]
+    fn ternarization_is_unbiased() {
+        let g = [0.3f32, -0.9, 0.6];
+        let mut t = TernGrad::new(3);
+        let mut mean = [0.0f64; 3];
+        let trials = 6000;
+        for _ in 0..trials {
+            for (m, v) in mean.iter_mut().zip(t.ternarize(&g).to_dense()) {
+                *m += v as f64;
+            }
+        }
+        for (m, expected) in mean.iter().zip(&g) {
+            let avg = m / trials as f64;
+            assert!(
+                (avg - *expected as f64).abs() < 0.04,
+                "biased: {avg} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        let mut t = TernGrad::new(4);
+        let u = t.ternarize(&[1.0, -0.5, 0.25, 0.0, 0.9]);
+        let decoded = TernaryUpdate::decode(&u.encode()).unwrap();
+        assert_eq!(decoded, u);
+        assert!(TernaryUpdate::decode(&u.encode()[..5]).is_none());
+    }
+
+    #[test]
+    fn wire_size_is_quarter_byte_per_coordinate() {
+        let mut t = TernGrad::new(5);
+        let u = t.ternarize(&vec![1.0f32; 1000]);
+        assert_eq!(u.wire_size(), 12 + 250);
+        assert!(u.wire_size() < crate::dense_wire_size(1000) / 10);
+    }
+}

@@ -1,0 +1,94 @@
+//! Magnitude top-k sparsification.
+
+use crate::SparseUpdate;
+
+/// Keeps the `k` largest-magnitude elements of `dense`, returning them as a
+/// [`SparseUpdate`].
+///
+/// Ties at the threshold magnitude are broken by index order (lower indices
+/// win), so the result is deterministic. `k = 0` yields an empty update;
+/// `k ≥ len` yields a dense-equivalent update.
+///
+/// # Examples
+///
+/// ```
+/// use adafl_compression::top_k;
+///
+/// let u = top_k(&[0.1, -5.0, 3.0, 0.0], 2);
+/// assert_eq!(u.indices(), &[1, 2]);
+/// assert_eq!(u.values(), &[-5.0, 3.0]);
+/// ```
+pub fn top_k(dense: &[f32], k: usize) -> SparseUpdate {
+    let n = dense.len();
+    if k == 0 || n == 0 {
+        return SparseUpdate::zero(n);
+    }
+    let k = k.min(n);
+    // Find the k-th largest magnitude with a partial sort of index keys.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.select_nth_unstable_by(k - 1, |&a, &b| {
+        let ma = dense[a as usize].abs();
+        let mb = dense[b as usize].abs();
+        mb.partial_cmp(&ma)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.cmp(&b))
+    });
+    let mut keep: Vec<u32> = order[..k].to_vec();
+    keep.sort_unstable();
+    let values: Vec<f32> = keep.iter().map(|&i| dense[i as usize]).collect();
+    SparseUpdate::new(keep, values, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_largest_magnitudes() {
+        let u = top_k(&[1.0, -10.0, 5.0, -2.0], 2);
+        assert_eq!(u.indices(), &[1, 2]);
+        assert_eq!(u.values(), &[-10.0, 5.0]);
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        let u = top_k(&[1.0, 2.0], 0);
+        assert_eq!(u.nnz(), 0);
+        assert_eq!(u.dense_len(), 2);
+    }
+
+    #[test]
+    fn k_larger_than_len_keeps_everything() {
+        let u = top_k(&[1.0, 2.0], 10);
+        assert_eq!(u.nnz(), 2);
+        assert_eq!(u.to_dense(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn ties_resolve_to_lower_indices() {
+        let u = top_k(&[1.0, 1.0, 1.0, 1.0], 2);
+        assert_eq!(u.indices(), &[0, 1]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let u = top_k(&[], 3);
+        assert_eq!(u.nnz(), 0);
+        assert_eq!(u.dense_len(), 0);
+    }
+
+    #[test]
+    fn reconstruction_error_shrinks_with_k() {
+        let dense: Vec<f32> = (0..100).map(|i| ((i * 37) % 19) as f32 - 9.0).collect();
+        let err = |k: usize| {
+            let d = top_k(&dense, k).to_dense();
+            dense
+                .iter()
+                .zip(&d)
+                .map(|(a, b)| (a - b).powi(2))
+                .sum::<f32>()
+        };
+        assert!(err(50) < err(10));
+        assert!(err(100) < 1e-9);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property-based tests for the compression stack.
+
+use adafl_compression::{top_k, DgcCompressor, QsgdQuantizer, SparseUpdate};
+use proptest::prelude::*;
+
+fn vec_f32(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-50.0f32..50.0, len)
+}
+
+proptest! {
+    #[test]
+    fn top_k_keeps_exactly_k(dense in vec_f32(64), k in 0usize..80) {
+        let u = top_k(&dense, k);
+        prop_assert_eq!(u.nnz(), k.min(64));
+        prop_assert_eq!(u.dense_len(), 64);
+    }
+
+    #[test]
+    fn top_k_values_dominate_dropped_values(dense in vec_f32(32), k in 1usize..32) {
+        let u = top_k(&dense, k);
+        let kept_min = u.values().iter().map(|v| v.abs()).fold(f32::INFINITY, f32::min);
+        let kept: std::collections::HashSet<u32> = u.indices().iter().copied().collect();
+        for (i, v) in dense.iter().enumerate() {
+            if !kept.contains(&(i as u32)) {
+                prop_assert!(v.abs() <= kept_min + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_codec_round_trips(dense in vec_f32(48), k in 0usize..48) {
+        let u = top_k(&dense, k);
+        let decoded = SparseUpdate::decode(&u.encode()).unwrap();
+        prop_assert_eq!(decoded, u);
+    }
+
+    #[test]
+    fn dgc_conserves_gradient_mass(grads in proptest::collection::vec(vec_f32(16), 1..6)) {
+        // With momentum 0 and no clipping, transmitted + residual == sum of
+        // inputs at every point in time.
+        let mut dgc = DgcCompressor::new(16, 0.0, 1e12);
+        let mut transmitted = vec![0.0f32; 16];
+        let mut expected = vec![0.0f32; 16];
+        for g in &grads {
+            dgc.compress(g, 8.0).add_into(&mut transmitted, 1.0);
+            for (e, x) in expected.iter_mut().zip(g) {
+                *e += x;
+            }
+        }
+        // Drain residual.
+        for _ in 0..64 {
+            dgc.compress(&[0.0; 16], 8.0).add_into(&mut transmitted, 1.0);
+        }
+        for (t, e) in transmitted.iter().zip(&expected) {
+            prop_assert!((t - e).abs() < 1e-2 * (1.0 + e.abs()), "mass leak {t} vs {e}");
+        }
+    }
+
+    #[test]
+    fn dgc_nnz_matches_ratio(g in vec_f32(100), ratio in 1.0f32..100.0) {
+        let mut dgc = DgcCompressor::new(100, 0.9, 10.0);
+        let u = dgc.compress(&g, ratio);
+        let expected = ((100.0 / ratio).round() as usize).max(1);
+        prop_assert_eq!(u.nnz(), expected.min(100));
+    }
+
+    #[test]
+    fn quantizer_error_bounded_by_norm(g in vec_f32(32)) {
+        let mut q = QsgdQuantizer::new(8, 9);
+        let u = q.quantize(&g);
+        let d = u.to_dense();
+        let norm = adafl_tensor::vecops::l2_norm(&g);
+        for (a, b) in g.iter().zip(&d) {
+            // Each coordinate is off by at most one quantization step.
+            prop_assert!((a - b).abs() <= norm / 8.0 + 1e-4);
+        }
+    }
+}

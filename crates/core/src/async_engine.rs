@@ -1,0 +1,374 @@
+//! The fully-asynchronous AdaFL engine.
+//!
+//! "Under asynchronous context, AdaFL adapts fully asynchronous FL, where
+//! the server upgrades its global model each time it receives a gradient
+//! update." Each client loops independently; after training it evaluates
+//! its own utility against the `ĝ` digest it received with the global
+//! model:
+//!
+//! * score `< τ` → the client **halts**: it discards the upload (saving the
+//!   uplink entirely) and waits for the next global model — the paper's
+//!   computational-saving behaviour for low-utility clients;
+//! * score `≥ τ` → the delta is DGC-compressed at a score-dependent ratio
+//!   and uploaded; the server mixes it in with a staleness-discounted
+//!   weight.
+
+use crate::compression_control::CompressionController;
+use crate::config::AdaFlConfig;
+use crate::utility::{utility_score, UtilityInputs};
+use adafl_compression::{dense_wire_size, top_k, DgcCompressor};
+use adafl_data::partition::Partitioner;
+use adafl_data::Dataset;
+use adafl_fl::client::evaluate_model;
+use adafl_fl::compute::ComputeModel;
+use adafl_fl::faults::FaultPlan;
+use adafl_fl::{CommunicationLedger, FlClient, FlConfig, RoundRecord, RunHistory};
+use adafl_netsim::{ClientNetwork, EventQueue, LinkProfile, LinkTrace, SimTime};
+use adafl_tensor::vecops;
+
+/// Fraction of coordinates kept in the `ĝ` digest shipped with each global
+/// model download.
+const DIGEST_FRACTION: usize = 100;
+
+#[derive(Debug)]
+enum Event {
+    StartTraining { client: usize },
+    UpdateArrival { client: usize, version: u64 },
+    Resync { client: usize },
+}
+
+/// Fully-asynchronous AdaFL engine.
+#[derive(Debug)]
+pub struct AdaFlAsyncEngine {
+    fl: FlConfig,
+    ada: AdaFlConfig,
+    clients: Vec<FlClient>,
+    compressors: Vec<DgcCompressor>,
+    controller: CompressionController,
+    snapshots: Vec<Vec<f32>>,
+    in_flight: Vec<Option<adafl_compression::SparseUpdate>>,
+    global: Vec<f32>,
+    global_model: adafl_nn::Model,
+    global_gradient: Vec<f32>,
+    version: u64,
+    test_set: Dataset,
+    network: ClientNetwork,
+    compute: ComputeModel,
+    ledger: CommunicationLedger,
+    update_budget: u64,
+    eval_every: u64,
+    /// How many server updates count as warm-up (full participation, light
+    /// compression): `warmup_rounds × clients`.
+    warmup_updates: u64,
+}
+
+impl AdaFlAsyncEngine {
+    /// Creates an engine over a homogeneous broadband network with uniform
+    /// compute; `update_budget` bounds total server-received updates.
+    pub fn new(
+        fl: FlConfig,
+        ada: AdaFlConfig,
+        train_set: &Dataset,
+        test_set: Dataset,
+        partitioner: Partitioner,
+        update_budget: u64,
+    ) -> Self {
+        let shards = partitioner.split(train_set, fl.clients, fl.seed_for("partition"));
+        let network = ClientNetwork::new(
+            vec![LinkTrace::constant(LinkProfile::Broadband.spec()); fl.clients],
+            fl.seed_for("network"),
+        );
+        let compute = ComputeModel::uniform(fl.clients, 0.1);
+        let faults = FaultPlan::reliable(fl.clients);
+        AdaFlAsyncEngine::with_parts(fl, ada, shards, test_set, network, compute, faults, update_budget)
+    }
+
+    /// Creates an engine with explicit parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when part sizes disagree with `fl.clients`, any shard is
+    /// empty, `update_budget` is zero, or the AdaFL configuration is
+    /// invalid.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_parts(
+        fl: FlConfig,
+        ada: AdaFlConfig,
+        shards: Vec<Dataset>,
+        test_set: Dataset,
+        network: ClientNetwork,
+        mut compute: ComputeModel,
+        faults: FaultPlan,
+        update_budget: u64,
+    ) -> Self {
+        ada.validate();
+        assert_eq!(shards.len(), fl.clients, "shard count mismatch");
+        assert_eq!(network.len(), fl.clients, "network size mismatch");
+        assert_eq!(compute.clients(), fl.clients, "compute model size mismatch");
+        assert_eq!(faults.clients(), fl.clients, "fault plan size mismatch");
+        assert!(update_budget > 0, "update budget must be positive");
+        let clients = FlClient::fleet(
+            &fl.model,
+            shards,
+            fl.learning_rate,
+            fl.momentum,
+            fl.batch_size,
+            fl.seed_for("model"),
+        );
+        let mut global_model = fl.model.build(fl.seed_for("model"));
+        let global = global_model.params_flat();
+        global_model.set_params_flat(&global);
+        let dim = global.len();
+        for c in 0..fl.clients {
+            let slow = faults.slowdown(c);
+            if slow > 1.0 {
+                compute.scale_client(c, slow);
+            }
+        }
+        AdaFlAsyncEngine {
+            controller: CompressionController::new(&ada),
+            compressors: vec![DgcCompressor::new(dim, ada.dgc_momentum, ada.clip_norm); fl.clients],
+            snapshots: vec![global.clone(); fl.clients],
+            in_flight: vec![None; fl.clients],
+            ledger: CommunicationLedger::new(fl.clients),
+            global_gradient: vec![0.0; dim],
+            warmup_updates: (ada.warmup_rounds * fl.clients) as u64,
+            clients,
+            global,
+            global_model,
+            version: 0,
+            test_set,
+            network,
+            compute,
+            fl,
+            ada,
+            update_budget,
+            eval_every: 5,
+        }
+    }
+
+    /// Sets the evaluation interval in server updates (default 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero.
+    pub fn set_eval_every(&mut self, n: u64) {
+        assert!(n > 0, "evaluation interval must be positive");
+        self.eval_every = n;
+    }
+
+    /// The communication ledger (cumulative).
+    pub fn ledger(&self) -> &CommunicationLedger {
+        &self.ledger
+    }
+
+    /// Number of global model changes so far.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Runs until `update_budget` updates have been applied.
+    pub fn run(&mut self) -> RunHistory {
+        let mut history = RunHistory::new("adafl");
+        let mut queue: EventQueue<Event> = EventQueue::new();
+        let dense_payload = dense_wire_size(self.global.len());
+
+        for c in 0..self.fl.clients {
+            self.schedule_downlink(&mut queue, c, SimTime::ZERO);
+        }
+
+        let mut arrivals: u64 = 0;
+        // Liveness guard: a pathological configuration (e.g. an unreachable
+        // utility threshold) can leave every client in a halt→resync loop
+        // that never produces an arrival; bound the total event count so
+        // `run` always terminates.
+        let max_events = self
+            .update_budget
+            .saturating_mul(self.fl.clients as u64)
+            .saturating_mul(50)
+            .max(10_000);
+        let mut events: u64 = 0;
+        while let Some((now, event)) = queue.pop() {
+            events += 1;
+            if events > max_events {
+                break;
+            }
+            match event {
+                Event::StartTraining { client } => {
+                    let version = self.version;
+                    let snapshot = self.snapshots[client].clone();
+                    let outcome =
+                        self.clients[client].train_local(&snapshot, self.fl.local_steps, None);
+                    let done = now + self.compute.training_time(client, self.fl.local_steps);
+
+                    // Utility gate: compare the fresh local delta with ĝ.
+                    let in_warmup = arrivals < self.warmup_updates;
+                    let link = self.network.link_at(client, done);
+                    let expected_payload = dense_wire_size(self.global.len()) / 16;
+                    let score = utility_score(
+                        &UtilityInputs {
+                            local_gradient: &outcome.delta,
+                            global_gradient: &self.global_gradient,
+                            link,
+                            expected_payload,
+                        },
+                        self.ada.metric,
+                        self.ada.similarity_weight,
+                    );
+                    if !in_warmup && score < self.ada.utility_threshold {
+                        // Halt: skip the upload, wait for a fresher global
+                        // model before contributing again.
+                        queue.push(done + SimTime::from_seconds(1.0), Event::Resync { client });
+                        continue;
+                    }
+
+                    let ratio = self.controller.ratio_for_score(in_warmup, score);
+                    let sparse = self.compressors[client].compress(&outcome.delta, ratio);
+                    let payload = sparse.wire_size();
+                    self.in_flight[client] = Some(sparse);
+                    match self.network.uplink_transfer(client, payload, done).arrival() {
+                        Some(arrival) => {
+                            self.ledger.record_uplink(client, payload);
+                            queue.push(arrival, Event::UpdateArrival { client, version });
+                        }
+                        None => {
+                            self.in_flight[client] = None;
+                            queue.push(done + SimTime::from_seconds(1.0), Event::Resync { client });
+                        }
+                    }
+                }
+                Event::UpdateArrival { client, version } => {
+                    arrivals += 1;
+                    let staleness = self.version.saturating_sub(version);
+                    let sparse = self.in_flight[client]
+                        .take()
+                        .expect("arrival without an in-flight update");
+                    let alpha = self.ada.async_alpha
+                        * (1.0 + staleness as f32).powf(-self.ada.async_staleness_exponent);
+                    let mut dense = vec![0.0f32; self.global.len()];
+                    sparse.add_into(&mut dense, alpha);
+                    vecops::axpy(&mut self.global, 1.0, &dense);
+                    self.global_gradient = dense;
+                    self.version += 1;
+
+                    if arrivals.is_multiple_of(self.eval_every) || arrivals == self.update_budget {
+                        self.global_model.set_params_flat(&self.global);
+                        let (accuracy, loss) =
+                            evaluate_model(&mut self.global_model, &self.test_set);
+                        history.push(RoundRecord {
+                            round: arrivals as usize,
+                            sim_time: now,
+                            accuracy,
+                            loss,
+                            uplink_bytes: self.ledger.uplink_bytes(),
+                            uplink_updates: self.ledger.uplink_updates(),
+                            contributors: 1,
+                        });
+                    }
+                    if arrivals >= self.update_budget {
+                        break;
+                    }
+                    self.schedule_downlink(&mut queue, client, now);
+                }
+                Event::Resync { client } => {
+                    self.schedule_downlink(&mut queue, client, now);
+                }
+            }
+        }
+        let _ = dense_payload;
+        history
+    }
+
+    fn schedule_downlink(
+        &mut self,
+        queue: &mut EventQueue<Event>,
+        client: usize,
+        now: SimTime,
+    ) {
+        // The download carries the full model plus the ĝ digest.
+        let digest_k = (self.global.len() / DIGEST_FRACTION).max(1);
+        let digest = top_k(&self.global_gradient, digest_k);
+        let payload = dense_wire_size(self.global.len()) + digest.wire_size();
+        self.snapshots[client].copy_from_slice(&self.global);
+        match self.network.downlink_transfer(client, payload, now).arrival() {
+            Some(arrival) => {
+                self.ledger.record_downlink(client, payload);
+                queue.push(arrival, Event::StartTraining { client });
+            }
+            None => {
+                queue.push(now + SimTime::from_seconds(1.0), Event::Resync { client });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adafl_data::synthetic::SyntheticSpec;
+    use adafl_nn::models::ModelSpec;
+
+    fn fl_config() -> FlConfig {
+        FlConfig::builder()
+            .clients(5)
+            .rounds(10)
+            .local_steps(3)
+            .batch_size(16)
+            .model(ModelSpec::LogisticRegression { in_features: 64, classes: 10 })
+            .build()
+    }
+
+    fn engine(budget: u64) -> AdaFlAsyncEngine {
+        let data = SyntheticSpec::mnist_like(8, 500).generate(0);
+        let (train, test) = data.split_at(400);
+        AdaFlAsyncEngine::new(
+            fl_config(),
+            AdaFlConfig { warmup_rounds: 2, ..AdaFlConfig::default() },
+            &train,
+            test,
+            Partitioner::Iid,
+            budget,
+        )
+    }
+
+    #[test]
+    fn adafl_async_learns() {
+        let mut e = engine(100);
+        let history = e.run();
+        assert!(
+            history.final_accuracy() > 0.55,
+            "adafl async stalled at {}",
+            history.final_accuracy()
+        );
+        assert!(e.version() > 0);
+    }
+
+    #[test]
+    fn uplink_payloads_are_compressed() {
+        let mut e = engine(40);
+        e.run();
+        let dense = dense_wire_size(e.global.len()) as f64;
+        assert!(
+            e.ledger().mean_uplink_payload() < dense,
+            "no compression: {} vs {}",
+            e.ledger().mean_uplink_payload(),
+            dense
+        );
+    }
+
+    #[test]
+    fn run_is_reproducible() {
+        let h1 = engine(30).run();
+        let h2 = engine(30).run();
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn history_time_is_monotone() {
+        let mut e = engine(40);
+        let history = e.run();
+        let times: Vec<f64> =
+            history.records().iter().map(|r| r.sim_time.seconds()).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

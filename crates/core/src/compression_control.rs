@@ -1,0 +1,158 @@
+//! Adaptive compression-rate control.
+//!
+//! Maps utility (rank within the selected cohort for synchronous rounds, or
+//! the raw score for asynchronous clients) to a DGC compression ratio:
+//! high-utility clients are compressed lightly ("less compression to
+//! preserve important information"), low-utility ones aggressively. During
+//! warm-up all clients use a fixed light ratio.
+
+use crate::AdaFlConfig;
+
+/// Computes per-client compression ratios from utility.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressionController {
+    min_ratio: f32,
+    max_ratio: f32,
+    warmup_ratio: f32,
+    warmup_rounds: usize,
+    utility_threshold: f32,
+    ratio_curve: f32,
+}
+
+impl CompressionController {
+    /// Creates a controller from the AdaFL configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is invalid (see
+    /// [`AdaFlConfig::validate`]).
+    pub fn new(config: &AdaFlConfig) -> Self {
+        config.validate();
+        CompressionController {
+            min_ratio: config.min_ratio,
+            max_ratio: config.max_ratio,
+            warmup_ratio: config.warmup_ratio,
+            warmup_rounds: config.warmup_rounds,
+            utility_threshold: config.utility_threshold,
+            ratio_curve: config.ratio_curve,
+        }
+    }
+
+    /// Whether `round` is still in the warm-up phase.
+    pub fn in_warmup(&self, round: usize) -> bool {
+        round < self.warmup_rounds
+    }
+
+    /// Ratio for a synchronous participant: rank `0` (highest utility) of
+    /// `cohort` selected clients gets `min_ratio`; the last rank gets
+    /// `max_ratio`; ranks interpolate log-linearly (the ratio scale spans
+    /// two orders of magnitude, so linear-in-log keeps mid ranks
+    /// meaningful). While `in_warmup` is true, `warmup_ratio` is used
+    /// instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rank ≥ cohort`.
+    pub fn ratio_for_rank(&self, in_warmup: bool, rank: usize, cohort: usize) -> f32 {
+        assert!(rank < cohort, "rank {rank} out of cohort {cohort}");
+        if in_warmup {
+            return self.warmup_ratio;
+        }
+        if cohort == 1 {
+            return self.min_ratio;
+        }
+        let t = rank as f32 / (cohort - 1) as f32;
+        self.interpolate(1.0 - t)
+    }
+
+    /// Ratio for an asynchronous client from its raw utility score: scores
+    /// at or below the threshold get `max_ratio`, score `1.0` gets
+    /// `min_ratio`, log-linear in between. While `in_warmup` is true,
+    /// `warmup_ratio` is used instead.
+    pub fn ratio_for_score(&self, in_warmup: bool, score: f32) -> f32 {
+        if in_warmup {
+            return self.warmup_ratio;
+        }
+        let span = (1.0 - self.utility_threshold).max(1e-6);
+        let t = ((score - self.utility_threshold) / span).clamp(0.0, 1.0);
+        self.interpolate(t)
+    }
+
+    /// Log-scale interpolation with a convex curve: `t = 1` → `min_ratio`,
+    /// `t = 0` → `max_ratio`. `ratio_curve < 1` bends the curve so that
+    /// mid-utility clients stay lightly compressed and only clearly
+    /// low-utility updates approach `max_ratio` — extreme ratios are the
+    /// tail of the distribution (as in the paper's observed 8–420 KB
+    /// range), not the per-round norm.
+    fn interpolate(&self, t: f32) -> f32 {
+        let shaped = t.clamp(0.0, 1.0).powf(self.ratio_curve);
+        let lo = self.min_ratio.ln();
+        let hi = self.max_ratio.ln();
+        (hi + (lo - hi) * shaped).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> CompressionController {
+        CompressionController::new(&AdaFlConfig::default())
+    }
+
+    #[test]
+    fn warmup_uses_light_fixed_ratio() {
+        let c = controller();
+        assert!(c.in_warmup(0));
+        assert!(!c.in_warmup(3));
+        assert_eq!(c.ratio_for_rank(true, 0, 5), 2.0);
+        assert_eq!(c.ratio_for_rank(true, 4, 5), 2.0);
+        assert_eq!(c.ratio_for_score(true, 0.2), 2.0);
+    }
+
+    #[test]
+    fn rank_extremes_hit_configured_bounds() {
+        let c = controller();
+        assert!((c.ratio_for_rank(false, 0, 5) - 4.0).abs() < 1e-3);
+        assert!((c.ratio_for_rank(false, 4, 5) - 210.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn ratios_are_monotone_in_rank() {
+        let c = controller();
+        let ratios: Vec<f32> = (0..5).map(|r| c.ratio_for_rank(false, r, 5)).collect();
+        for w in ratios.windows(2) {
+            assert!(w[0] < w[1], "ratios not increasing: {ratios:?}");
+        }
+    }
+
+    #[test]
+    fn singleton_cohort_gets_lightest_compression() {
+        let c = controller();
+        assert_eq!(c.ratio_for_rank(false, 0, 1), 4.0);
+    }
+
+    #[test]
+    fn score_extremes_hit_bounds() {
+        let c = controller();
+        assert!((c.ratio_for_score(false, 1.0) - 4.0).abs() < 1e-3);
+        assert!((c.ratio_for_score(false, 0.35) - 210.0).abs() < 1e-2);
+        // Below threshold clamps to max.
+        assert!((c.ratio_for_score(false, 0.0) - 210.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn scores_are_monotone() {
+        let c = controller();
+        let r_low = c.ratio_for_score(false, 0.4);
+        let r_mid = c.ratio_for_score(false, 0.7);
+        let r_high = c.ratio_for_score(false, 0.95);
+        assert!(r_low > r_mid && r_mid > r_high);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of cohort")]
+    fn rank_out_of_cohort_panics() {
+        controller().ratio_for_rank(false, 5, 5);
+    }
+}

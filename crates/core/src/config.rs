@@ -1,0 +1,140 @@
+//! AdaFL hyperparameters.
+
+use crate::selection::SelectionPolicy;
+use crate::utility::SimilarityMetric;
+
+/// AdaFL-specific configuration, layered on top of
+/// [`adafl_fl::FlConfig`].
+///
+/// Defaults follow the paper's setup: `k ≤ 5` of 10 clients, cosine
+/// similarity, compression ratios spanning 4×–210× (Table I), and a short
+/// warm-up with full participation and light compression.
+#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaFlConfig {
+    /// Weight of gradient similarity vs. bandwidth in the utility score,
+    /// in `[0, 1]` (`β` in the crate docs; 1.0 ignores bandwidth).
+    pub similarity_weight: f32,
+    /// Utility threshold `τ ∈ [0, 1]` (Algorithm 1's filter).
+    pub utility_threshold: f32,
+    /// Maximum clients selected per round (`K` in Algorithm 1).
+    pub max_selected: usize,
+    /// Warm-up rounds with full participation and `warmup_ratio`
+    /// compression.
+    pub warmup_rounds: usize,
+    /// Lightest compression ratio (highest-utility clients), ≥ 1.
+    pub min_ratio: f32,
+    /// Heaviest compression ratio (lowest-utility clients).
+    pub max_ratio: f32,
+    /// Compression ratio used during warm-up.
+    pub warmup_ratio: f32,
+    /// Shape of the utility→ratio curve: exponent applied to the
+    /// normalised utility before log-interpolating between `max_ratio` and
+    /// `min_ratio`. Values below 1 keep mid-utility clients lightly
+    /// compressed, pushing extreme ratios into the tail.
+    pub ratio_curve: f32,
+    /// DGC momentum-correction coefficient. Defaults to 0: the engines
+    /// compress round-level *deltas* already produced by momentum SGD, so
+    /// momentum correction (designed for raw per-step gradients) would
+    /// apply momentum twice and destabilise non-IID training. Set it above
+    /// 0 only when clients train with plain SGD.
+    pub dgc_momentum: f32,
+    /// DGC local gradient-clipping norm.
+    pub clip_norm: f32,
+    /// Similarity metric for the utility score.
+    pub metric: SimilarityMetric,
+    /// How the synchronous server picks the cohort. Non-default policies
+    /// are ablation baselines: they still run the scoring control plane
+    /// (so compression ranking stays defined) but ignore the scores when
+    /// selecting.
+    pub selection: SelectionPolicy,
+    /// Async only: base mixing weight for arriving updates.
+    pub async_alpha: f32,
+    /// Async only: polynomial staleness-discount exponent.
+    pub async_staleness_exponent: f32,
+}
+
+impl Default for AdaFlConfig {
+    fn default() -> Self {
+        AdaFlConfig {
+            similarity_weight: 0.7,
+            utility_threshold: 0.35,
+            max_selected: 5,
+            warmup_rounds: 3,
+            min_ratio: 4.0,
+            max_ratio: 210.0,
+            warmup_ratio: 2.0,
+            ratio_curve: 0.35,
+            dgc_momentum: 0.0,
+            clip_norm: 1.0,
+            metric: SimilarityMetric::Cosine,
+            selection: SelectionPolicy::Utility,
+            async_alpha: 0.3,
+            async_staleness_exponent: 0.5,
+        }
+    }
+}
+
+impl AdaFlConfig {
+    /// Validates all ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any field is out of range (weights/thresholds outside
+    /// `[0, 1]`, ratios below 1, `min_ratio > max_ratio`, zero
+    /// `max_selected`, non-positive clipping norm or async alpha).
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.similarity_weight),
+            "similarity weight must be in [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.utility_threshold),
+            "utility threshold must be in [0, 1]"
+        );
+        assert!(self.max_selected > 0, "max selected clients must be positive");
+        assert!(self.min_ratio >= 1.0, "min ratio must be ≥ 1");
+        assert!(self.min_ratio <= self.max_ratio, "min ratio must not exceed max ratio");
+        assert!(self.warmup_ratio >= 1.0, "warm-up ratio must be ≥ 1");
+        assert!(
+            self.ratio_curve > 0.0 && self.ratio_curve.is_finite(),
+            "ratio curve exponent must be positive"
+        );
+        assert!((0.0..1.0).contains(&self.dgc_momentum), "DGC momentum must be in [0, 1)");
+        assert!(self.clip_norm > 0.0, "clip norm must be positive");
+        assert!(
+            self.async_alpha > 0.0 && self.async_alpha <= 1.0,
+            "async alpha must be in (0, 1]"
+        );
+        assert!(
+            self.async_staleness_exponent >= 0.0,
+            "staleness exponent must be non-negative"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_ranges() {
+        let cfg = AdaFlConfig::default();
+        cfg.validate();
+        assert_eq!(cfg.max_selected, 5);
+        assert_eq!(cfg.min_ratio, 4.0);
+        assert_eq!(cfg.max_ratio, 210.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "min ratio")]
+    fn inverted_ratios_panic() {
+        AdaFlConfig { min_ratio: 300.0, ..AdaFlConfig::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn invalid_threshold_panics() {
+        AdaFlConfig { utility_threshold: 1.5, ..AdaFlConfig::default() }.validate();
+    }
+}

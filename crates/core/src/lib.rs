@@ -1,0 +1,67 @@
+//! **AdaFL** — the adaptive federated-learning framework of *"Resilient
+//! Federated Learning on Embedded Devices with Constrained Network
+//! Connectivity"* (DAC 2025).
+//!
+//! AdaFL couples two adaptive mechanisms, both driven by a per-client
+//! **utility score** `S_i = f(B_i^down, B_i^up, U(g_i, ĝ))` combining the
+//! client's link bandwidth with the similarity between its local gradient
+//! and the previous round's global gradient:
+//!
+//! 1. **Adaptive node selection** ([`selection`], Algorithm 1 of the paper):
+//!    only clients whose score passes a threshold `τ`, ranked top-`K`,
+//!    transmit updates — exploiting the paper's empirical finding that
+//!    moderate client dropout barely hurts accuracy.
+//! 2. **Adaptive gradient compression** ([`compression_control`]): selected
+//!    clients compress with deep gradient compression at a rate set by
+//!    their utility — high-utility clients send nearly-dense updates
+//!    (ratio → 4×), low-utility clients aggressive sparse ones (→ 210×) —
+//!    exploiting the finding that *staleness* hurts more than *sparsity*,
+//!    so updates must above all stay timely.
+//!
+//! [`AdaFlSyncEngine`] and [`AdaFlAsyncEngine`] embed these mechanisms in
+//! the synchronous and fully-asynchronous protocols evaluated in the paper
+//! (Tables I/II, Figure 3), on top of the substrate crates (`adafl-fl`,
+//! `adafl-netsim`, `adafl-compression`).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use adafl_core::{AdaFlConfig, AdaFlSyncEngine};
+//! use adafl_data::{partition::Partitioner, synthetic::SyntheticSpec};
+//! use adafl_fl::FlConfig;
+//! use adafl_nn::models::ModelSpec;
+//!
+//! let data = SyntheticSpec::mnist_like(16, 1000).generate(0);
+//! let (train, test) = data.split_at(800);
+//! let fl = FlConfig::builder()
+//!     .clients(10)
+//!     .rounds(30)
+//!     .model(ModelSpec::MnistCnn { height: 16, width: 16, classes: 10 })
+//!     .build();
+//! let mut engine = AdaFlSyncEngine::new(
+//!     fl,
+//!     AdaFlConfig::default(),
+//!     &train,
+//!     test,
+//!     Partitioner::LabelShards { shards_per_client: 2 },
+//! );
+//! let history = engine.run();
+//! println!("AdaFL reached {:.1}%", history.final_accuracy() * 100.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod async_engine;
+pub mod compression_control;
+mod config;
+pub mod selection;
+mod sync_engine;
+pub mod utility;
+
+pub use async_engine::AdaFlAsyncEngine;
+pub use compression_control::CompressionController;
+pub use config::AdaFlConfig;
+pub use selection::select_clients;
+pub use sync_engine::AdaFlSyncEngine;
+pub use utility::{utility_score, SimilarityMetric, UtilityInputs};

@@ -1,0 +1,247 @@
+//! Adaptive node selection — Algorithm 1 of the paper, verbatim:
+//! threshold-filter by utility, rank descending, take the top `K′ =
+//! min(K, |filtered|)`.
+
+/// Selects clients by utility score.
+///
+/// Returns client indices satisfying all three of Algorithm 1's
+/// constraints:
+///
+/// * `|selected| ≤ k`
+/// * every selected score `≥ tau`
+/// * every selected score ≥ every non-selected score (ties broken by lower
+///   client index, making selection deterministic)
+///
+/// # Panics
+///
+/// Panics when `k` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use adafl_core::select_clients;
+///
+/// let scores = [0.9, 0.2, 0.7, 0.55];
+/// assert_eq!(select_clients(&scores, 2, 0.5), vec![0, 2]);
+/// ```
+pub fn select_clients(scores: &[f32], k: usize, tau: f32) -> Vec<usize> {
+    assert!(k > 0, "selection budget k must be positive");
+    // Client Filtering: C_filtered = { i : S_i ≥ τ }.
+    let mut filtered: Vec<usize> = (0..scores.len()).filter(|&i| scores[i] >= tau).collect();
+    // Client Ranking: sort by S_i descending (stable on index for ties).
+    filtered.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.cmp(&b))
+    });
+    // Selection: first K′ = min(K, |filtered|).
+    filtered.truncate(k);
+    filtered.sort_unstable();
+    filtered
+}
+
+/// How the server chooses the round's cohort.
+///
+/// [`SelectionPolicy::Utility`] is AdaFL's Algorithm 1; the others are
+/// ablation baselines showing what the utility guidance buys.
+#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum SelectionPolicy {
+    /// Algorithm 1: threshold-filter by utility, rank, take top-K.
+    #[default]
+    Utility,
+    /// Uniform random K clients per round (FedAvg-style sampling).
+    RandomK,
+    /// Deterministic rotation: the next K clients in id order each round.
+    RoundRobin,
+}
+
+/// Stateful selector implementing a [`SelectionPolicy`].
+///
+/// # Examples
+///
+/// ```
+/// use adafl_core::selection::{Selector, SelectionPolicy};
+///
+/// let mut s = Selector::new(SelectionPolicy::RoundRobin, 9);
+/// assert_eq!(s.select(&[0.0; 5], 2, 0.0), vec![0, 1]);
+/// assert_eq!(s.select(&[0.0; 5], 2, 0.0), vec![2, 3]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Selector {
+    policy: SelectionPolicy,
+    rng: rand::rngs::StdRng,
+    cursor: usize,
+}
+
+impl Selector {
+    /// Creates a selector; `seed` drives [`SelectionPolicy::RandomK`].
+    pub fn new(policy: SelectionPolicy, seed: u64) -> Self {
+        use rand::SeedableRng;
+        Selector {
+            policy,
+            rng: rand::rngs::StdRng::seed_from_u64(seed ^ 0x005E_1EC7),
+            cursor: 0,
+        }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> SelectionPolicy {
+        self.policy
+    }
+
+    /// Chooses this round's cohort given the clients' utility scores.
+    ///
+    /// Non-utility policies ignore `scores` and `tau` (they model servers
+    /// without the utility control plane).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is zero.
+    pub fn select(&mut self, scores: &[f32], k: usize, tau: f32) -> Vec<usize> {
+        assert!(k > 0, "selection budget k must be positive");
+        let n = scores.len();
+        match self.policy {
+            SelectionPolicy::Utility => select_clients(scores, k, tau),
+            SelectionPolicy::RandomK => {
+                use rand::seq::SliceRandom;
+                let mut ids: Vec<usize> = (0..n).collect();
+                ids.shuffle(&mut self.rng);
+                ids.truncate(k.min(n));
+                ids.sort_unstable();
+                ids
+            }
+            SelectionPolicy::RoundRobin => {
+                if n == 0 {
+                    return Vec::new();
+                }
+                let mut ids: Vec<usize> =
+                    (0..k.min(n)).map(|i| (self.cursor + i) % n).collect();
+                self.cursor = (self.cursor + k) % n;
+                ids.sort_unstable();
+                ids
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_top_k_above_threshold() {
+        let scores = [0.1, 0.9, 0.8, 0.7, 0.6];
+        assert_eq!(select_clients(&scores, 3, 0.5), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn threshold_can_shrink_selection_below_k() {
+        let scores = [0.1, 0.2, 0.9];
+        assert_eq!(select_clients(&scores, 3, 0.5), vec![2]);
+        assert!(select_clients(&scores, 3, 0.95).is_empty());
+    }
+
+    #[test]
+    fn k_caps_selection() {
+        let scores = [0.9, 0.8, 0.7];
+        assert_eq!(select_clients(&scores, 1, 0.0).len(), 1);
+        assert_eq!(select_clients(&scores, 1, 0.0), vec![0]);
+    }
+
+    #[test]
+    fn exact_threshold_is_included() {
+        let scores = [0.5, 0.49];
+        assert_eq!(select_clients(&scores, 2, 0.5), vec![0]);
+    }
+
+    #[test]
+    fn ties_break_deterministically_by_index() {
+        let scores = [0.7, 0.7, 0.7];
+        assert_eq!(select_clients(&scores, 2, 0.0), vec![0, 1]);
+    }
+
+    #[test]
+    fn invariants_hold_on_random_inputs() {
+        // Exhaustive check of Algorithm 1's three "Subject to" constraints.
+        let scores: Vec<f32> = (0..20).map(|i| ((i * 7919) % 101) as f32 / 100.0).collect();
+        for k in 1..6 {
+            for tau10 in 0..10 {
+                let tau = tau10 as f32 / 10.0;
+                let sel = select_clients(&scores, k, tau);
+                assert!(sel.len() <= k);
+                assert!(sel.iter().all(|&i| scores[i] >= tau));
+                let min_selected =
+                    sel.iter().map(|&i| scores[i]).fold(f32::INFINITY, f32::min);
+                if sel.len() == k {
+                    for (i, &score) in scores.iter().enumerate() {
+                        if !sel.contains(&i) {
+                            assert!(
+                                score <= min_selected,
+                                "unselected {i} outranks a selected client"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_scores_select_nothing() {
+        assert!(select_clients(&[], 3, 0.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_k_panics() {
+        select_clients(&[0.5], 0, 0.0);
+    }
+
+    #[test]
+    fn utility_selector_matches_algorithm1() {
+        let scores = [0.9f32, 0.2, 0.7];
+        let mut s = Selector::new(SelectionPolicy::Utility, 0);
+        assert_eq!(s.select(&scores, 2, 0.5), select_clients(&scores, 2, 0.5));
+        assert_eq!(s.policy(), SelectionPolicy::Utility);
+    }
+
+    #[test]
+    fn random_k_covers_everyone_eventually() {
+        let mut s = Selector::new(SelectionPolicy::RandomK, 7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50 {
+            for c in s.select(&[0.0; 6], 2, 0.9) {
+                seen.insert(c);
+            }
+        }
+        assert_eq!(seen.len(), 6, "random selection starved clients: {seen:?}");
+    }
+
+    #[test]
+    fn random_k_is_seed_deterministic() {
+        let run = |seed: u64| {
+            let mut s = Selector::new(SelectionPolicy::RandomK, seed);
+            (0..10).map(|_| s.select(&[0.0; 8], 3, 0.0)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn round_robin_rotates_and_wraps() {
+        let mut s = Selector::new(SelectionPolicy::RoundRobin, 0);
+        assert_eq!(s.select(&[0.0; 5], 2, 0.0), vec![0, 1]);
+        assert_eq!(s.select(&[0.0; 5], 2, 0.0), vec![2, 3]);
+        assert_eq!(s.select(&[0.0; 5], 2, 0.0), vec![0, 4]);
+    }
+
+    #[test]
+    fn non_utility_policies_ignore_threshold() {
+        let mut s = Selector::new(SelectionPolicy::RandomK, 1);
+        // τ = 1.0 would filter everyone under Utility; RandomK still picks.
+        assert_eq!(s.select(&[0.0; 4], 2, 1.0).len(), 2);
+    }
+}

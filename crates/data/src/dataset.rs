@@ -1,0 +1,243 @@
+use adafl_tensor::Tensor;
+
+/// An in-memory labelled dataset: `n` feature rows of width `dim` plus one
+/// class label per row.
+///
+/// Features are stored flat and row-major so a batch can be materialised as
+/// a `[batch, dim]` [`Tensor`] with a single copy.
+///
+/// # Examples
+///
+/// ```
+/// use adafl_data::Dataset;
+///
+/// let ds = Dataset::new(vec![0.0, 1.0, 2.0, 3.0], vec![0, 1], 2);
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.features(1), &[2.0, 3.0]);
+/// ```
+#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Dataset {
+    features: Vec<f32>,
+    labels: Vec<usize>,
+    dim: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset from flat features, labels and the row width.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dim` is zero or `features.len() != labels.len() * dim`.
+    pub fn new(features: Vec<f32>, labels: Vec<usize>, dim: usize) -> Self {
+        assert!(dim > 0, "feature dimension must be positive");
+        assert_eq!(
+            features.len(),
+            labels.len() * dim,
+            "features length must equal labels × dim"
+        );
+        Dataset { features, labels, dim }
+    }
+
+    /// Creates an empty dataset with row width `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dim` is zero.
+    pub fn empty(dim: usize) -> Self {
+        Dataset::new(Vec::new(), Vec::new(), dim)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature row width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Feature row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of bounds.
+    pub fn features(&self, i: usize) -> &[f32] {
+        &self.features[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Label of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of bounds.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// Number of distinct classes, computed as `max(label) + 1`; zero for an
+    /// empty dataset.
+    pub fn classes(&self) -> usize {
+        self.labels.iter().max().map_or(0, |m| m + 1)
+    }
+
+    /// Appends one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row.len() != dim`.
+    pub fn push(&mut self, row: &[f32], label: usize) {
+        assert_eq!(row.len(), self.dim, "row width mismatch");
+        self.features.extend_from_slice(row);
+        self.labels.push(label);
+    }
+
+    /// Builds a new dataset from the given sample indices (cloning rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics when any index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let mut out = Dataset::empty(self.dim);
+        for &i in indices {
+            out.push(self.features(i), self.labels[i]);
+        }
+        out
+    }
+
+    /// Materialises the samples at `indices` as a `[batch, dim]` tensor plus
+    /// labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any index is out of bounds.
+    pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let mut flat = Vec::with_capacity(indices.len() * self.dim);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            flat.extend_from_slice(self.features(i));
+            labels.push(self.labels[i]);
+        }
+        let t = Tensor::from_vec(flat, &[indices.len(), self.dim])
+            .expect("batch volume matches by construction");
+        (t, labels)
+    }
+
+    /// Materialises the whole dataset as one `[len, dim]` tensor plus labels.
+    pub fn full_batch(&self) -> (Tensor, Vec<usize>) {
+        let indices: Vec<usize> = (0..self.len()).collect();
+        self.batch(&indices)
+    }
+
+    /// Splits into `(first, second)` where `first` holds `n_first` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n_first > len`.
+    pub fn split_at(&self, n_first: usize) -> (Dataset, Dataset) {
+        assert!(n_first <= self.len(), "split beyond dataset size");
+        let first: Vec<usize> = (0..n_first).collect();
+        let second: Vec<usize> = (n_first..self.len()).collect();
+        (self.subset(&first), self.subset(&second))
+    }
+
+    /// Per-class sample counts, indexed by label.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.classes()];
+        for &l in &self.labels {
+            hist[l] += 1;
+        }
+        hist
+    }
+}
+
+impl Extend<(Vec<f32>, usize)> for Dataset {
+    fn extend<T: IntoIterator<Item = (Vec<f32>, usize)>>(&mut self, iter: T) {
+        for (row, label) in iter {
+            self.push(&row, label);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        Dataset::new(vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0], vec![0, 1, 0], 2)
+    }
+
+    #[test]
+    fn construction_validates_lengths() {
+        let ds = tiny();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.dim(), 2);
+        assert_eq!(ds.classes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels × dim")]
+    fn mismatched_features_panic() {
+        Dataset::new(vec![0.0; 5], vec![0, 1], 2);
+    }
+
+    #[test]
+    fn subset_clones_selected_rows() {
+        let ds = tiny();
+        let sub = ds.subset(&[2, 0]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.features(0), &[4.0, 5.0]);
+        assert_eq!(sub.label(1), 0);
+    }
+
+    #[test]
+    fn batch_materialises_tensor() {
+        let ds = tiny();
+        let (t, labels) = ds.batch(&[1, 2]);
+        assert_eq!(t.shape().dims(), &[2, 2]);
+        assert_eq!(t.as_slice(), &[2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(labels, vec![1, 0]);
+    }
+
+    #[test]
+    fn split_at_partitions() {
+        let (a, b) = tiny().split_at(1);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.features(0), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn histogram_counts_labels() {
+        assert_eq!(tiny().class_histogram(), vec![2, 1]);
+        assert!(Dataset::empty(4).class_histogram().is_empty());
+    }
+
+    #[test]
+    fn push_and_extend() {
+        let mut ds = Dataset::empty(2);
+        ds.push(&[1.0, 2.0], 3);
+        ds.extend(vec![(vec![4.0, 5.0], 1)]);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.classes(), 4);
+    }
+
+    #[test]
+    fn full_batch_covers_everything() {
+        let ds = tiny();
+        let (t, labels) = ds.full_batch();
+        assert_eq!(t.shape().dims(), &[3, 2]);
+        assert_eq!(labels.len(), 3);
+    }
+}

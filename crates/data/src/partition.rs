@@ -1,0 +1,268 @@
+//! Federated data partitioners.
+//!
+//! Splits a central [`Dataset`] into per-client shards:
+//!
+//! * [`Partitioner::Iid`] — uniform random split (the paper's IID setting).
+//! * [`Partitioner::LabelShards`] — sort-by-label shard assignment from
+//!   McMahan et al. [19], the paper's non-IID setting: each client receives
+//!   `shards_per_client` contiguous label shards, so most clients see only a
+//!   few classes.
+//! * [`Partitioner::Dirichlet`] — label-distribution skew with concentration
+//!   `alpha` (smaller α → more skew), the common generalisation used by
+//!   later FL work.
+
+use crate::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Strategy for splitting a dataset across federated clients.
+#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum Partitioner {
+    /// Uniform random split: every client's data is drawn IID.
+    Iid,
+    /// McMahan-style non-IID: sort by label, cut into
+    /// `clients × shards_per_client` shards, deal shards randomly.
+    LabelShards {
+        /// Shards dealt to each client (2 in the original FedAvg paper).
+        shards_per_client: usize,
+    },
+    /// Dirichlet label skew with concentration `alpha`.
+    Dirichlet {
+        /// Concentration parameter; smaller values give more skew.
+        alpha: f32,
+    },
+}
+
+impl Partitioner {
+    /// Splits `dataset` into `clients` shards using randomness from `seed`.
+    ///
+    /// Every sample is assigned to exactly one client. Clients may receive
+    /// slightly different sample counts; none is left empty unless the
+    /// dataset itself has fewer samples than clients.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `clients` is zero, or for [`Partitioner::LabelShards`]
+    /// when `shards_per_client` is zero, or for [`Partitioner::Dirichlet`]
+    /// when `alpha` is not positive.
+    pub fn split(&self, dataset: &Dataset, clients: usize, seed: u64) -> Vec<Dataset> {
+        assert!(clients > 0, "client count must be positive");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9A27_1707);
+        let assignment = match self {
+            Partitioner::Iid => iid_assignment(dataset.len(), clients, &mut rng),
+            Partitioner::LabelShards { shards_per_client } => {
+                assert!(*shards_per_client > 0, "shards_per_client must be positive");
+                shard_assignment(dataset, clients, *shards_per_client, &mut rng)
+            }
+            Partitioner::Dirichlet { alpha } => {
+                assert!(*alpha > 0.0, "alpha must be positive");
+                dirichlet_assignment(dataset, clients, *alpha, &mut rng)
+            }
+        };
+        let mut indices: Vec<Vec<usize>> = vec![Vec::new(); clients];
+        for (sample, client) in assignment.into_iter().enumerate() {
+            indices[client].push(sample);
+        }
+        indices.iter().map(|ix| dataset.subset(ix)).collect()
+    }
+}
+
+fn iid_assignment(n: usize, clients: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    let mut assignment = vec![0usize; n];
+    for (pos, &sample) in order.iter().enumerate() {
+        assignment[sample] = pos % clients;
+    }
+    assignment
+}
+
+fn shard_assignment(
+    dataset: &Dataset,
+    clients: usize,
+    shards_per_client: usize,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    let n = dataset.len();
+    // Sort sample indices by label (stable, so generation order breaks ties).
+    let mut by_label: Vec<usize> = (0..n).collect();
+    by_label.sort_by_key(|&i| dataset.label(i));
+    let n_shards = clients * shards_per_client;
+    let shard_size = n.div_ceil(n_shards.max(1));
+    let mut shard_ids: Vec<usize> = (0..n_shards).collect();
+    shard_ids.shuffle(rng);
+    let mut assignment = vec![0usize; n];
+    for (deal_pos, &shard) in shard_ids.iter().enumerate() {
+        let client = deal_pos % clients;
+        let start = shard * shard_size;
+        let end = ((shard + 1) * shard_size).min(n);
+        for &sample in by_label.get(start..end).unwrap_or(&[]) {
+            assignment[sample] = client;
+        }
+    }
+    assignment
+}
+
+fn dirichlet_assignment(
+    dataset: &Dataset,
+    clients: usize,
+    alpha: f32,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    let classes = dataset.classes().max(1);
+    // Per-class Dirichlet(α) proportions over clients, sampled via gamma.
+    let mut proportions = vec![vec![0.0f32; clients]; classes];
+    for class_props in &mut proportions {
+        let mut total = 0.0f32;
+        for p in class_props.iter_mut() {
+            *p = gamma_sample(rng, alpha);
+            total += *p;
+        }
+        if total <= 0.0 {
+            // Degenerate draw; fall back to uniform.
+            class_props.iter_mut().for_each(|p| *p = 1.0 / clients as f32);
+        } else {
+            class_props.iter_mut().for_each(|p| *p /= total);
+        }
+    }
+    let mut assignment = vec![0usize; dataset.len()];
+    for i in 0..dataset.len() {
+        let props = &proportions[dataset.label(i)];
+        let u: f32 = rng.gen();
+        let mut acc = 0.0f32;
+        let mut chosen = clients - 1;
+        for (c, &p) in props.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                chosen = c;
+                break;
+            }
+        }
+        assignment[i] = chosen;
+    }
+    assignment
+}
+
+/// Marsaglia-Tsang gamma sampler (shape `k`, scale 1); uses the boost trick
+/// for `k < 1`.
+fn gamma_sample(rng: &mut StdRng, k: f32) -> f32 {
+    if k < 1.0 {
+        let u: f32 = rng.gen_range(f32::EPSILON..1.0);
+        return gamma_sample(rng, k + 1.0) * u.powf(1.0 / k);
+    }
+    let d = k - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = normal_sample(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f32 = rng.gen_range(f32::EPSILON..1.0);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+fn normal_sample(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticSpec;
+
+    fn data() -> Dataset {
+        SyntheticSpec::mnist_like(8, 400).generate(0)
+    }
+
+    fn total(parts: &[Dataset]) -> usize {
+        parts.iter().map(Dataset::len).sum()
+    }
+
+    #[test]
+    fn iid_split_covers_all_samples_evenly() {
+        let ds = data();
+        let parts = Partitioner::Iid.split(&ds, 10, 1);
+        assert_eq!(parts.len(), 10);
+        assert_eq!(total(&parts), ds.len());
+        assert!(parts.iter().all(|p| p.len() == 40));
+        // IID clients should see many distinct classes on average (non-IID
+        // shard clients see ~2; see shard_split_skews_labels below).
+        let avg_classes: f32 = parts
+            .iter()
+            .map(|p| p.class_histogram().iter().filter(|&&c| c > 0).count() as f32)
+            .sum::<f32>()
+            / parts.len() as f32;
+        assert!(avg_classes >= 8.0, "IID split too skewed: avg {avg_classes} classes");
+    }
+
+    #[test]
+    fn shard_split_skews_labels() {
+        let ds = data();
+        let parts = Partitioner::LabelShards { shards_per_client: 2 }.split(&ds, 10, 1);
+        assert_eq!(total(&parts), ds.len());
+        // With 2 shards/client over 10 classes, most clients see ≤ 4 classes.
+        let avg_classes: f32 = parts
+            .iter()
+            .map(|p| p.class_histogram().iter().filter(|&&c| c > 0).count() as f32)
+            .sum::<f32>()
+            / parts.len() as f32;
+        assert!(avg_classes <= 4.0, "shard split too uniform: avg {avg_classes} classes");
+    }
+
+    #[test]
+    fn dirichlet_low_alpha_skews_more_than_high_alpha() {
+        let ds = data();
+        let skew = |alpha: f32| {
+            let parts = Partitioner::Dirichlet { alpha }.split(&ds, 10, 2);
+            // Mean per-client max-class fraction as a skew proxy.
+            parts
+                .iter()
+                .filter(|p| !p.is_empty())
+                .map(|p| {
+                    let h = p.class_histogram();
+                    *h.iter().max().unwrap() as f32 / p.len() as f32
+                })
+                .sum::<f32>()
+                / parts.len() as f32
+        };
+        assert!(skew(0.1) > skew(100.0) + 0.1);
+    }
+
+    #[test]
+    fn dirichlet_preserves_every_sample() {
+        let ds = data();
+        let parts = Partitioner::Dirichlet { alpha: 0.5 }.split(&ds, 7, 3);
+        assert_eq!(total(&parts), ds.len());
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let ds = data();
+        let a = Partitioner::LabelShards { shards_per_client: 2 }.split(&ds, 5, 9);
+        let b = Partitioner::LabelShards { shards_per_client: 2 }.split(&ds, 5, 9);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "client count")]
+    fn zero_clients_panics() {
+        Partitioner::Iid.split(&data(), 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn non_positive_alpha_panics() {
+        Partitioner::Dirichlet { alpha: 0.0 }.split(&data(), 2, 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! End-to-end learnability checks: the synthetic tasks must be learnable by
+//! the models the experiments train, with the easy (MNIST-like) task
+//! converging faster than the hard (CIFAR-like) one — the property the
+//! paper's experiments rely on.
+
+use adafl_data::loader::BatchLoader;
+use adafl_data::synthetic::SyntheticSpec;
+use adafl_data::Dataset;
+use adafl_nn::loss::CrossEntropyLoss;
+use adafl_nn::metrics::accuracy;
+use adafl_nn::models::ModelSpec;
+use adafl_nn::optim::Sgd;
+use adafl_nn::Model;
+
+fn train(model: &mut Model, train_set: &Dataset, steps: usize, lr: f32) {
+    let mut loader = BatchLoader::new(32, 11);
+    let mut sgd = Sgd::new(lr, 0.9, 0.0);
+    for _ in 0..steps {
+        let (x, labels) = loader.next_batch(train_set);
+        model.zero_grads();
+        let logits = model.forward(&x, true);
+        let (_, grad) = CrossEntropyLoss.loss_and_grad(&logits, &labels);
+        model.backward(&grad);
+        model.apply_gradient_step(&mut sgd);
+    }
+}
+
+fn test_accuracy(model: &mut Model, test_set: &Dataset) -> f32 {
+    let (x, labels) = test_set.full_batch();
+    accuracy(&model.forward(&x, false), &labels)
+}
+
+#[test]
+fn logistic_regression_learns_mnist_like() {
+    let data = SyntheticSpec::mnist_like(12, 600).generate(5);
+    let (train_set, test_set) = data.split_at(500);
+    let spec = ModelSpec::LogisticRegression { in_features: 144, classes: 10 };
+    let mut model = spec.build(0);
+    train(&mut model, &train_set, 150, 0.05);
+    let acc = test_accuracy(&mut model, &test_set);
+    assert!(acc > 0.7, "logreg reached only {acc}");
+}
+
+#[test]
+fn cnn_learns_mnist_like() {
+    let data = SyntheticSpec::mnist_like(16, 600).generate(6);
+    let (train_set, test_set) = data.split_at(500);
+    let spec = ModelSpec::MnistCnn { height: 16, width: 16, classes: 10 };
+    let mut model = spec.build(0);
+    train(&mut model, &train_set, 120, 0.03);
+    let acc = test_accuracy(&mut model, &test_set);
+    assert!(acc > 0.7, "cnn reached only {acc}");
+}
+
+#[test]
+fn hard_task_converges_slower_than_easy_task() {
+    let steps = 60;
+    let easy = SyntheticSpec::mnist_like(12, 500).generate(7);
+    let mut hard_spec = SyntheticSpec::mnist_like(12, 500);
+    hard_spec.difficulty = adafl_data::synthetic::Difficulty::hard();
+    let hard = hard_spec.generate(7);
+
+    let run = |data: &Dataset| {
+        let (train_set, test_set) = data.split_at(400);
+        let mut model =
+            ModelSpec::LogisticRegression { in_features: 144, classes: 10 }.build(1);
+        train(&mut model, &train_set, steps, 0.05);
+        test_accuracy(&mut model, &test_set)
+    };
+    let easy_acc = run(&easy);
+    let hard_acc = run(&hard);
+    assert!(
+        easy_acc > hard_acc,
+        "difficulty knob ineffective: easy {easy_acc} vs hard {hard_acc}"
+    );
+}

@@ -1,0 +1,399 @@
+//! The event-driven asynchronous FL engine.
+//!
+//! Clients loop independently: receive the global model → train locally →
+//! upload. The server reacts to each arriving update according to its
+//! [`AsyncStrategy`] (FedAsync updates immediately; FedBuff buffers), then
+//! pushes the fresh global model back to the sender. All timing runs on the
+//! simulated clock via an [`EventQueue`], so staleness emerges naturally
+//! from slow compute or slow links rather than being injected.
+
+use crate::client::{evaluate_model, FlClient};
+use crate::compute::ComputeModel;
+use crate::config::FlConfig;
+use crate::faults::FaultPlan;
+use crate::history::{RoundRecord, RunHistory};
+use crate::ledger::CommunicationLedger;
+use adafl_compression::dense_wire_size;
+use adafl_data::partition::Partitioner;
+use adafl_data::Dataset;
+use adafl_netsim::{ClientNetwork, EventQueue, LinkProfile, LinkTrace, SimTime};
+
+/// Server-side behaviour of an asynchronous FL strategy.
+pub trait AsyncStrategy: std::fmt::Debug + Send {
+    /// Strategy name for run labels.
+    fn name(&self) -> &'static str;
+
+    /// Called once with the model dimension before the run.
+    fn init(&mut self, _dim: usize) {}
+
+    /// Handles one arriving client update.
+    ///
+    /// `snapshot` is the global model the client trained from (so
+    /// model-mixing strategies can reconstruct the client's local model as
+    /// `snapshot + delta`); `staleness` is the number of global versions
+    /// the sender missed while training. Returns `true` when the global
+    /// parameters changed (FedBuff returns `false` while buffering).
+    fn on_update(
+        &mut self,
+        global: &mut [f32],
+        delta: &[f32],
+        snapshot: &[f32],
+        weight: f32,
+        staleness: u64,
+    ) -> bool;
+}
+
+#[derive(Debug)]
+enum Event {
+    /// A client finished downloading the global model and starts training.
+    StartTraining { client: usize },
+    /// A client's update reached the server.
+    UpdateArrival { client: usize, version: u64 },
+    /// A transfer was lost; the client re-requests the global model.
+    Resync { client: usize },
+}
+
+/// Asynchronous federated-learning engine.
+#[derive(Debug)]
+pub struct AsyncEngine {
+    config: FlConfig,
+    clients: Vec<FlClient>,
+    /// Per-client snapshot of the global model they are training from.
+    snapshots: Vec<Vec<f32>>,
+    /// Per-client pending delta awaiting arrival (at most one in flight).
+    in_flight: Vec<Option<Vec<f32>>>,
+    global: Vec<f32>,
+    global_model: adafl_nn::Model,
+    version: u64,
+    test_set: Dataset,
+    strategy: Box<dyn AsyncStrategy>,
+    network: ClientNetwork,
+    compute: ComputeModel,
+    ledger: CommunicationLedger,
+    update_budget: u64,
+    eval_every: u64,
+}
+
+impl AsyncEngine {
+    /// Creates an engine with a homogeneous broadband network and uniform
+    /// compute; `update_budget` bounds the total number of server updates.
+    pub fn new(
+        config: FlConfig,
+        train_set: &Dataset,
+        test_set: Dataset,
+        partitioner: Partitioner,
+        strategy: Box<dyn AsyncStrategy>,
+        update_budget: u64,
+    ) -> Self {
+        let shards = partitioner.split(train_set, config.clients, config.seed_for("partition"));
+        let network = ClientNetwork::new(
+            vec![LinkTrace::constant(LinkProfile::Broadband.spec()); config.clients],
+            config.seed_for("network"),
+        );
+        let compute = ComputeModel::uniform(config.clients, 0.1);
+        let faults = FaultPlan::reliable(config.clients);
+        AsyncEngine::with_parts(config, shards, test_set, strategy, network, compute, faults, update_budget)
+    }
+
+    /// Creates an engine with explicit parts; stale clients in `faults` are
+    /// folded into the compute model as slowdowns.
+    ///
+    /// # Panics
+    ///
+    /// Panics when part sizes disagree with `config.clients` or any shard is
+    /// empty.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_parts(
+        config: FlConfig,
+        shards: Vec<Dataset>,
+        test_set: Dataset,
+        mut strategy: Box<dyn AsyncStrategy>,
+        network: ClientNetwork,
+        mut compute: ComputeModel,
+        faults: FaultPlan,
+        update_budget: u64,
+    ) -> Self {
+        assert_eq!(shards.len(), config.clients, "shard count mismatch");
+        assert_eq!(network.len(), config.clients, "network size mismatch");
+        assert_eq!(compute.clients(), config.clients, "compute model size mismatch");
+        assert_eq!(faults.clients(), config.clients, "fault plan size mismatch");
+        assert!(update_budget > 0, "update budget must be positive");
+        let clients = FlClient::fleet(
+            &config.model,
+            shards,
+            config.learning_rate,
+            config.momentum,
+            config.batch_size,
+            config.seed_for("model"),
+        );
+        let mut global_model = config.model.build(config.seed_for("model"));
+        let global = global_model.params_flat();
+        global_model.set_params_flat(&global);
+        strategy.init(global.len());
+        for c in 0..config.clients {
+            let slow = faults.slowdown(c);
+            if slow > 1.0 {
+                compute.scale_client(c, slow);
+            }
+        }
+        let snapshots = vec![global.clone(); config.clients];
+        AsyncEngine {
+            ledger: CommunicationLedger::new(config.clients),
+            in_flight: vec![None; config.clients],
+            snapshots,
+            clients,
+            global,
+            global_model,
+            version: 0,
+            test_set,
+            strategy,
+            network,
+            compute,
+            config,
+            update_budget,
+            eval_every: 5,
+        }
+    }
+
+    /// Sets how many server updates elapse between test-set evaluations
+    /// (default 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero.
+    pub fn set_eval_every(&mut self, n: u64) {
+        assert!(n > 0, "evaluation interval must be positive");
+        self.eval_every = n;
+    }
+
+    /// The communication ledger (cumulative).
+    pub fn ledger(&self) -> &CommunicationLedger {
+        &self.ledger
+    }
+
+    /// Current global version (number of global model changes).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Runs until `update_budget` client updates have reached the server,
+    /// returning the evaluation history against simulated time.
+    pub fn run(&mut self) -> RunHistory {
+        let mut history = RunHistory::new(self.strategy.name());
+        let mut queue: EventQueue<Event> = EventQueue::new();
+        let payload = dense_wire_size(self.global.len());
+
+        // Bootstrap: broadcast the initial model to everyone.
+        for c in 0..self.config.clients {
+            self.schedule_downlink(&mut queue, c, payload, SimTime::ZERO);
+        }
+
+        let mut arrivals: u64 = 0;
+        // Per-client version tags of the snapshot they are training from.
+        let mut client_versions = vec![0u64; self.config.clients];
+
+        // Liveness guard: fully-lossy networks can resync forever without an
+        // arrival; bound total events so `run` always terminates.
+        let max_events = self
+            .update_budget
+            .saturating_mul(self.config.clients as u64)
+            .saturating_mul(50)
+            .max(10_000);
+        let mut events: u64 = 0;
+        while let Some((now, event)) = queue.pop() {
+            events += 1;
+            if events > max_events {
+                break;
+            }
+            match event {
+                Event::StartTraining { client } => {
+                    client_versions[client] = self.version;
+                    let snapshot = self.snapshots[client].clone();
+                    let outcome =
+                        self.clients[client].train_local(&snapshot, self.config.local_steps, None);
+                    self.in_flight[client] = Some(outcome.delta);
+                    let train_time =
+                        self.compute.training_time(client, self.config.local_steps);
+                    let done = now + train_time;
+                    match self.network.uplink_transfer(client, payload, done).arrival() {
+                        Some(arrival) => {
+                            self.ledger.record_uplink(client, payload);
+                            queue.push(
+                                arrival,
+                                Event::UpdateArrival { client, version: client_versions[client] },
+                            );
+                        }
+                        None => {
+                            // Update lost in transit: resync after a timeout.
+                            self.in_flight[client] = None;
+                            queue.push(
+                                done + SimTime::from_seconds(1.0),
+                                Event::Resync { client },
+                            );
+                        }
+                    }
+                }
+                Event::UpdateArrival { client, version } => {
+                    arrivals += 1;
+                    let staleness = self.version.saturating_sub(version);
+                    let delta = self.in_flight[client]
+                        .take()
+                        .expect("arrival without an in-flight update");
+                    let weight = self.clients[client].num_samples() as f32;
+                    let snapshot = std::mem::take(&mut self.snapshots[client]);
+                    let changed = self.strategy.on_update(
+                        &mut self.global,
+                        &delta,
+                        &snapshot,
+                        weight,
+                        staleness,
+                    );
+                    self.snapshots[client] = snapshot;
+                    if changed {
+                        self.version += 1;
+                    }
+                    if arrivals.is_multiple_of(self.eval_every) || arrivals == self.update_budget {
+                        let (accuracy, loss) = self.evaluate();
+                        history.push(RoundRecord {
+                            round: arrivals as usize,
+                            sim_time: now,
+                            accuracy,
+                            loss,
+                            uplink_bytes: self.ledger.uplink_bytes(),
+                            uplink_updates: self.ledger.uplink_updates(),
+                            contributors: 1,
+                        });
+                    }
+                    if arrivals >= self.update_budget {
+                        break;
+                    }
+                    self.schedule_downlink(&mut queue, client, payload, now);
+                }
+                Event::Resync { client } => {
+                    self.schedule_downlink(&mut queue, client, payload, now);
+                }
+            }
+        }
+        history
+    }
+
+    fn schedule_downlink(
+        &mut self,
+        queue: &mut EventQueue<Event>,
+        client: usize,
+        payload: usize,
+        now: SimTime,
+    ) {
+        self.snapshots[client].copy_from_slice(&self.global);
+        match self.network.downlink_transfer(client, payload, now).arrival() {
+            Some(arrival) => {
+                self.ledger.record_downlink(client, payload);
+                queue.push(arrival, Event::StartTraining { client });
+            }
+            None => {
+                queue.push(now + SimTime::from_seconds(1.0), Event::Resync { client });
+            }
+        }
+    }
+
+    fn evaluate(&mut self) -> (f32, f32) {
+        self.global_model.set_params_flat(&self.global);
+        evaluate_model(&mut self.global_model, &self.test_set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::r#async::strategies::{FedAsync, FedBuff};
+    use adafl_data::synthetic::SyntheticSpec;
+    use adafl_nn::models::ModelSpec;
+
+    fn config() -> FlConfig {
+        FlConfig::builder()
+            .clients(4)
+            .rounds(10)
+            .local_steps(3)
+            .batch_size(16)
+            .model(ModelSpec::LogisticRegression { in_features: 64, classes: 10 })
+            .build()
+    }
+
+    fn engine(strategy: Box<dyn AsyncStrategy>, budget: u64) -> AsyncEngine {
+        let data = SyntheticSpec::mnist_like(8, 400).generate(0);
+        let (train, test) = data.split_at(320);
+        AsyncEngine::new(config(), &train, test, Partitioner::Iid, strategy, budget)
+    }
+
+    #[test]
+    fn fedasync_learns() {
+        let mut e = engine(Box::new(FedAsync::new(0.6, 0.5)), 60);
+        let history = e.run();
+        assert!(!history.is_empty());
+        assert!(
+            history.final_accuracy() > 0.5,
+            "fedasync stalled at {}",
+            history.final_accuracy()
+        );
+        assert!(e.ledger().uplink_updates() >= 60);
+    }
+
+    #[test]
+    fn fedbuff_learns_and_buffers() {
+        let mut e = engine(Box::new(FedBuff::new(3, 1.0)), 60);
+        let history = e.run();
+        assert!(history.final_accuracy() > 0.5, "fedbuff stalled");
+        // Buffered: global version changes once per 3 arrivals.
+        assert_eq!(e.version(), 20);
+    }
+
+    #[test]
+    fn run_is_reproducible() {
+        let h1 = engine(Box::new(FedAsync::new(0.6, 0.5)), 30).run();
+        let h2 = engine(Box::new(FedAsync::new(0.6, 0.5)), 30).run();
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn sim_time_is_monotone_in_history() {
+        let mut e = engine(Box::new(FedAsync::new(0.6, 0.5)), 40);
+        let history = e.run();
+        let times: Vec<f64> = history.records().iter().map(|r| r.sim_time.seconds()).collect();
+        for w in times.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn slow_clients_are_staler() {
+        // Make client 0 very slow; its updates should carry staleness yet
+        // the run must still complete the budget.
+        let data = SyntheticSpec::mnist_like(8, 400).generate(0);
+        let (train, test) = data.split_at(320);
+        let cfg = config();
+        let shards = Partitioner::Iid.split(&train, cfg.clients, cfg.seed_for("partition"));
+        let network = ClientNetwork::new(
+            vec![LinkTrace::constant(LinkProfile::Broadband.spec()); cfg.clients],
+            0,
+        );
+        let compute = ComputeModel::heterogeneous(vec![3.0, 0.1, 0.1, 0.1]);
+        let faults = FaultPlan::reliable(cfg.clients);
+        let mut e = AsyncEngine::with_parts(
+            cfg,
+            shards,
+            test,
+            Box::new(FedAsync::new(0.6, 0.5)),
+            network,
+            compute,
+            faults,
+            40,
+        );
+        let history = e.run();
+        // Sends are ledgered at transmit time, so in-flight updates beyond
+        // the arrival budget are included.
+        assert!(e.ledger().uplink_updates() >= 40);
+        assert!(history.final_accuracy() > 0.4);
+        // The slow client contributed far fewer updates.
+        assert!(e.ledger().client_uplink_updates(0) < e.ledger().client_uplink_updates(1));
+    }
+}

@@ -1,0 +1,8 @@
+//! Asynchronous federated learning: the event-driven engine and its
+//! baseline strategies.
+
+pub mod strategies;
+
+mod engine;
+
+pub use engine::{AsyncEngine, AsyncStrategy};

@@ -1,0 +1,229 @@
+//! Model checkpointing: a versioned binary format for flat parameter
+//! vectors, so a federated server can persist and resume the global model
+//! across restarts — table stakes for a production deployment on flaky
+//! embedded infrastructure.
+//!
+//! Format: magic `ADFL` + format version (u16) + global round (u64) +
+//! parameter count (u64) + raw little-endian `f32`s + a Fletcher-64-style
+//! checksum over the payload.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"ADFL";
+const VERSION: u16 = 1;
+
+/// A saved global-model state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Communication round at which the snapshot was taken.
+    pub round: u64,
+    /// Flat global parameters.
+    pub params: Vec<f32>,
+}
+
+/// Error from [`Checkpoint::decode`] / [`Checkpoint::read_file`].
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CheckpointError {
+    /// The buffer is not a checkpoint (bad magic or truncated header).
+    InvalidFormat,
+    /// The format version is newer than this library understands.
+    UnsupportedVersion(u16),
+    /// The payload checksum does not match (corruption).
+    ChecksumMismatch,
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::InvalidFormat => write!(f, "not a checkpoint file"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v}")
+            }
+            CheckpointError::ChecksumMismatch => write!(f, "checkpoint payload corrupted"),
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o failed: {e}"),
+        }
+    }
+}
+
+impl Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+fn checksum(payload: &[u8]) -> u64 {
+    // Fletcher-style running sums; cheap and order-sensitive.
+    let mut a: u64 = 0xAD_F1;
+    let mut b: u64 = 0;
+    for &byte in payload {
+        a = (a + byte as u64) % 0xFFFF_FFFB;
+        b = (b + a) % 0xFFFF_FFFB;
+    }
+    (b << 32) | a
+}
+
+impl Checkpoint {
+    /// Creates a checkpoint of `params` at `round`.
+    pub fn new(round: u64, params: Vec<f32>) -> Self {
+        Checkpoint { round, params }
+    }
+
+    /// Serialises to the binary format.
+    pub fn encode(&self) -> Bytes {
+        let mut payload = BytesMut::with_capacity(16 + 4 * self.params.len());
+        payload.put_u64_le(self.round);
+        payload.put_u64_le(self.params.len() as u64);
+        for &p in &self.params {
+            payload.put_f32_le(p);
+        }
+        let sum = checksum(&payload);
+        let mut out = BytesMut::with_capacity(payload.len() + 14);
+        out.put_slice(MAGIC);
+        out.put_u16_le(VERSION);
+        out.put_slice(&payload);
+        out.put_u64_le(sum);
+        out.freeze()
+    }
+
+    /// Parses the binary format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] for non-checkpoint data, a newer
+    /// version, or a corrupted payload.
+    pub fn decode(buf: &[u8]) -> Result<Self, CheckpointError> {
+        if buf.len() < 4 + 2 + 16 + 8 || &buf[..4] != MAGIC {
+            return Err(CheckpointError::InvalidFormat);
+        }
+        let mut rest = &buf[4..];
+        let version = rest.get_u16_le();
+        if version > VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        let payload = &buf[6..buf.len() - 8];
+        let stored_sum = (&buf[buf.len() - 8..]).get_u64_le();
+        if checksum(payload) != stored_sum {
+            return Err(CheckpointError::ChecksumMismatch);
+        }
+        let mut p = payload;
+        let round = p.get_u64_le();
+        let count = p.get_u64_le() as usize;
+        if p.len() != count * 4 {
+            return Err(CheckpointError::InvalidFormat);
+        }
+        let mut params = Vec::with_capacity(count);
+        for _ in 0..count {
+            params.push(p.get_f32_le());
+        }
+        Ok(Checkpoint { round, params })
+    }
+
+    /// Writes the checkpoint to a file (atomically via a sibling temp file).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] on filesystem failures.
+    pub fn write_file(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let path = path.as_ref();
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, self.encode())?;
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads a checkpoint from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] on I/O failures or malformed content.
+    pub fn read_file(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
+        let data = fs::read(path)?;
+        Checkpoint::decode(&data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint::new(42, (0..100).map(|i| (i as f32 * 0.37).sin()).collect())
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let c = sample();
+        assert_eq!(Checkpoint::decode(&c.encode()).unwrap(), c);
+    }
+
+    #[test]
+    fn empty_params_round_trip() {
+        let c = Checkpoint::new(0, Vec::new());
+        assert_eq!(Checkpoint::decode(&c.encode()).unwrap(), c);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            Checkpoint::decode(b"not a checkpoint at all"),
+            Err(CheckpointError::InvalidFormat)
+        ));
+        assert!(matches!(Checkpoint::decode(&[]), Err(CheckpointError::InvalidFormat)));
+    }
+
+    #[test]
+    fn detects_corruption() {
+        let mut bytes = sample().encode().to_vec();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        assert!(matches!(
+            Checkpoint::decode(&bytes),
+            Err(CheckpointError::ChecksumMismatch)
+        ));
+    }
+
+    #[test]
+    fn rejects_newer_version() {
+        let mut bytes = sample().encode().to_vec();
+        bytes[4] = 99; // bump the version field
+        assert!(matches!(
+            Checkpoint::decode(&bytes),
+            Err(CheckpointError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("adafl_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("global.ckpt");
+        let c = sample();
+        c.write_file(&path).unwrap();
+        assert_eq!(Checkpoint::read_file(&path).unwrap(), c);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = Checkpoint::read_file("/nonexistent/nope.ckpt").unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+        assert!(err.source().is_some());
+    }
+}

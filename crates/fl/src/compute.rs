@@ -1,0 +1,158 @@
+//! Client compute-time models.
+//!
+//! Simulated training time per local step, so the asynchronous engine (and
+//! the sync engine's round-time accounting, Eq. 3 of the paper) can place
+//! client completion events on the simulated clock.
+
+use adafl_netsim::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-client seconds-per-local-step model with optional jitter.
+///
+/// # Examples
+///
+/// ```
+/// use adafl_fl::compute::ComputeModel;
+///
+/// let cm = ComputeModel::uniform(4, 0.1);
+/// let t = cm.training_time(2, 10);
+/// assert!((t.seconds() - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ComputeModel {
+    seconds_per_step: Vec<f64>,
+    jitter_frac: f64,
+    rng_seed: u64,
+}
+
+impl ComputeModel {
+    /// Every client takes `seconds_per_step` per local step, no jitter.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `clients` is zero or `seconds_per_step` is not positive.
+    pub fn uniform(clients: usize, seconds_per_step: f64) -> Self {
+        assert!(clients > 0, "client count must be positive");
+        assert!(seconds_per_step > 0.0, "step time must be positive");
+        ComputeModel {
+            seconds_per_step: vec![seconds_per_step; clients],
+            jitter_frac: 0.0,
+            rng_seed: 0,
+        }
+    }
+
+    /// Heterogeneous fleet: per-client step times supplied directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `seconds_per_step` is empty or contains a non-positive
+    /// value.
+    pub fn heterogeneous(seconds_per_step: Vec<f64>) -> Self {
+        assert!(!seconds_per_step.is_empty(), "need at least one client");
+        assert!(
+            seconds_per_step.iter().all(|&s| s > 0.0),
+            "step times must be positive"
+        );
+        ComputeModel { seconds_per_step, jitter_frac: 0.0, rng_seed: 0 }
+    }
+
+    /// Adds multiplicative jitter of `±frac` to each query, seeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `frac` is outside `[0, 1)`.
+    pub fn with_jitter(mut self, frac: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&frac), "jitter fraction must be in [0, 1)");
+        self.jitter_frac = frac;
+        self.rng_seed = seed;
+        self
+    }
+
+    /// Number of clients.
+    pub fn clients(&self) -> usize {
+        self.seconds_per_step.len()
+    }
+
+    /// Nominal step time of one client.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `client` is out of bounds.
+    pub fn step_time(&self, client: usize) -> f64 {
+        self.seconds_per_step[client]
+    }
+
+    /// Scales one client's step time (used to model stale/slow clients).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `client` is out of bounds or `factor` is not positive.
+    pub fn scale_client(&mut self, client: usize, factor: f64) {
+        assert!(factor > 0.0, "scale factor must be positive");
+        self.seconds_per_step[client] *= factor;
+    }
+
+    /// Simulated time for `client` to run `steps` local steps.
+    ///
+    /// Jittered deterministically by `(client, steps)` so repeated queries
+    /// agree.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `client` is out of bounds.
+    pub fn training_time(&self, client: usize, steps: usize) -> SimTime {
+        let base = self.seconds_per_step[client] * steps as f64;
+        if self.jitter_frac == 0.0 {
+            return SimTime::from_seconds(base);
+        }
+        let mut rng = StdRng::seed_from_u64(
+            self.rng_seed ^ (client as u64).wrapping_mul(0x9E37_79B9) ^ (steps as u64),
+        );
+        let scale = 1.0 + rng.gen_range(-self.jitter_frac..=self.jitter_frac);
+        SimTime::from_seconds(base * scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_time_is_linear_in_steps() {
+        let cm = ComputeModel::uniform(2, 0.5);
+        assert_eq!(cm.training_time(0, 4).seconds(), 2.0);
+        assert_eq!(cm.training_time(1, 0).seconds(), 0.0);
+        assert_eq!(cm.clients(), 2);
+    }
+
+    #[test]
+    fn heterogeneous_clients_differ() {
+        let cm = ComputeModel::heterogeneous(vec![0.1, 1.0]);
+        assert!(cm.training_time(1, 5) > cm.training_time(0, 5));
+        assert_eq!(cm.step_time(1), 1.0);
+    }
+
+    #[test]
+    fn scaling_models_slow_clients() {
+        let mut cm = ComputeModel::uniform(2, 1.0);
+        cm.scale_client(1, 3.0); // the paper's 3× slower stale clients
+        assert_eq!(cm.training_time(1, 1).seconds(), 3.0);
+        assert_eq!(cm.training_time(0, 1).seconds(), 1.0);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let cm = ComputeModel::uniform(1, 1.0).with_jitter(0.2, 7);
+        let a = cm.training_time(0, 10);
+        let b = cm.training_time(0, 10);
+        assert_eq!(a, b);
+        assert!((8.0..=12.0).contains(&a.seconds()));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_step_time_panics() {
+        ComputeModel::uniform(1, 0.0);
+    }
+}

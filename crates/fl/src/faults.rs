@@ -1,0 +1,219 @@
+//! Fault injection for the paper's resiliency study (Figure 1).
+//!
+//! A [`FaultPlan`] assigns one [`FaultKind`] per client; the engines query
+//! it each round. The three conditions mirror Section III:
+//!
+//! * **Dropout** — a high-latency client in synchronous FL whose update only
+//!   reaches the server every other round.
+//! * **DataLoss** — an unreliable link that loses the client's update with
+//!   some probability.
+//! * **Stale** — an asynchronous client training `factor×` slower, so its
+//!   contributions are based on outdated global models.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Failure behaviour of one client.
+#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// Healthy client.
+    Reliable,
+    /// Update reaches the server only once every `period` rounds
+    /// (the paper uses `period = 2`: "every other communication round").
+    Dropout {
+        /// Update delivery period in rounds (≥ 2).
+        period: usize,
+    },
+    /// Each update is lost independently with probability `prob`.
+    DataLoss {
+        /// Loss probability in `[0, 1]`.
+        prob: f64,
+    },
+    /// Trains `factor×` slower than nominal (async staleness; the paper
+    /// uses `factor = 3`).
+    Stale {
+        /// Slowdown factor (> 1).
+        factor: f64,
+    },
+}
+
+/// A per-client fault assignment with seeded stochastic evaluation.
+///
+/// # Examples
+///
+/// ```
+/// use adafl_fl::faults::{FaultKind, FaultPlan};
+///
+/// let plan = FaultPlan::with_fraction(10, 0.2, FaultKind::Dropout { period: 2 }, 1);
+/// assert_eq!(plan.affected_clients().len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    kinds: Vec<FaultKind>,
+    rng: StdRng,
+}
+
+impl FaultPlan {
+    /// All clients reliable.
+    pub fn reliable(clients: usize) -> Self {
+        FaultPlan {
+            kinds: vec![FaultKind::Reliable; clients],
+            rng: StdRng::seed_from_u64(0),
+        }
+    }
+
+    /// Creates a plan from explicit per-client kinds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `kinds` is empty or any kind's parameters are invalid
+    /// (`period < 2`, `prob ∉ [0,1]`, `factor ≤ 1`).
+    pub fn new(kinds: Vec<FaultKind>, seed: u64) -> Self {
+        assert!(!kinds.is_empty(), "need at least one client");
+        for k in &kinds {
+            match *k {
+                FaultKind::Reliable => {}
+                FaultKind::Dropout { period } => {
+                    assert!(period >= 2, "dropout period must be ≥ 2")
+                }
+                FaultKind::DataLoss { prob } => {
+                    assert!((0.0..=1.0).contains(&prob), "loss probability must be in [0,1]")
+                }
+                FaultKind::Stale { factor } => {
+                    assert!(factor > 1.0, "staleness factor must exceed 1")
+                }
+            }
+        }
+        FaultPlan { kinds, rng: StdRng::seed_from_u64(seed ^ 0xFA17) }
+    }
+
+    /// Marks the **first** `⌊fraction·clients⌋` clients with `kind` — the
+    /// paper's "proportion of unreliable clients" knob.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `clients` is zero or `fraction` is outside `[0, 1]`.
+    pub fn with_fraction(clients: usize, fraction: f64, kind: FaultKind, seed: u64) -> Self {
+        assert!(clients > 0, "need at least one client");
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        let affected = (fraction * clients as f64).round() as usize;
+        let kinds = (0..clients)
+            .map(|i| if i < affected { kind } else { FaultKind::Reliable })
+            .collect();
+        FaultPlan::new(kinds, seed)
+    }
+
+    /// Number of clients in the plan.
+    pub fn clients(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Fault kind of one client.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `client` is out of bounds.
+    pub fn kind(&self, client: usize) -> FaultKind {
+        self.kinds[client]
+    }
+
+    /// Indices of non-reliable clients.
+    pub fn affected_clients(&self) -> Vec<usize> {
+        self.kinds
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| !matches!(k, FaultKind::Reliable))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Whether `client`'s update reaches the server in `round`
+    /// (evaluates dropout periods and data-loss randomness; staleness always
+    /// delivers — it is a *timing* fault handled by the compute model).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `client` is out of bounds.
+    pub fn update_delivered(&mut self, client: usize, round: usize) -> bool {
+        match self.kinds[client] {
+            FaultKind::Reliable | FaultKind::Stale { .. } => true,
+            FaultKind::Dropout { period } => round % period == period - 1,
+            FaultKind::DataLoss { prob } => self.rng.gen::<f64>() >= prob,
+        }
+    }
+
+    /// Compute-time slowdown factor of one client (1.0 unless stale).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `client` is out of bounds.
+    pub fn slowdown(&self, client: usize) -> f64 {
+        match self.kinds[client] {
+            FaultKind::Stale { factor } => factor,
+            _ => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_plan_always_delivers() {
+        let mut plan = FaultPlan::reliable(3);
+        for round in 0..10 {
+            for c in 0..3 {
+                assert!(plan.update_delivered(c, round));
+            }
+        }
+        assert!(plan.affected_clients().is_empty());
+    }
+
+    #[test]
+    fn dropout_delivers_every_other_round() {
+        let mut plan =
+            FaultPlan::new(vec![FaultKind::Dropout { period: 2 }], 0);
+        let delivered: Vec<bool> = (0..6).map(|r| plan.update_delivered(0, r)).collect();
+        assert_eq!(delivered, vec![false, true, false, true, false, true]);
+    }
+
+    #[test]
+    fn data_loss_rate_matches_probability() {
+        let mut plan = FaultPlan::new(vec![FaultKind::DataLoss { prob: 0.25 }], 3);
+        let delivered = (0..4000).filter(|&r| plan.update_delivered(0, r)).count();
+        let rate = delivered as f64 / 4000.0;
+        assert!((rate - 0.75).abs() < 0.03, "delivery rate {rate}");
+    }
+
+    #[test]
+    fn stale_clients_deliver_but_slow_down() {
+        let mut plan = FaultPlan::new(vec![FaultKind::Stale { factor: 3.0 }], 0);
+        assert!(plan.update_delivered(0, 0));
+        assert_eq!(plan.slowdown(0), 3.0);
+        assert_eq!(FaultPlan::reliable(1).slowdown(0), 1.0);
+    }
+
+    #[test]
+    fn fraction_marks_expected_count() {
+        let plan = FaultPlan::with_fraction(10, 0.4, FaultKind::DataLoss { prob: 0.5 }, 0);
+        assert_eq!(plan.affected_clients(), vec![0, 1, 2, 3]);
+        assert_eq!(plan.kind(4), FaultKind::Reliable);
+        let none = FaultPlan::with_fraction(10, 0.0, FaultKind::Dropout { period: 2 }, 0);
+        assert!(none.affected_clients().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "period")]
+    fn invalid_period_panics() {
+        FaultPlan::new(vec![FaultKind::Dropout { period: 1 }], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn invalid_staleness_panics() {
+        FaultPlan::new(vec![FaultKind::Stale { factor: 1.0 }], 0);
+    }
+}

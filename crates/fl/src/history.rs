@@ -1,0 +1,205 @@
+//! Run histories: the per-round series the experiment harness prints.
+
+use adafl_netsim::SimTime;
+
+/// One evaluation point of a federated run.
+#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundRecord {
+    /// Communication round (sync) or aggregation count (async).
+    pub round: usize,
+    /// Simulated time at which this state was reached.
+    pub sim_time: SimTime,
+    /// Global-model test accuracy in `[0, 1]`.
+    pub accuracy: f32,
+    /// Global-model test loss.
+    pub loss: f32,
+    /// Cumulative uplink bytes so far.
+    pub uplink_bytes: u64,
+    /// Cumulative client→server updates so far.
+    pub uplink_updates: u64,
+    /// Number of clients that contributed this round.
+    pub contributors: usize,
+}
+
+/// The full evaluation series of one run.
+///
+/// # Examples
+///
+/// ```
+/// use adafl_fl::{RoundRecord, RunHistory};
+/// use adafl_netsim::SimTime;
+///
+/// let mut h = RunHistory::new("fedavg");
+/// h.push(RoundRecord {
+///     round: 0,
+///     sim_time: SimTime::from_seconds(1.0),
+///     accuracy: 0.5,
+///     loss: 1.2,
+///     uplink_bytes: 100,
+///     uplink_updates: 5,
+///     contributors: 5,
+/// });
+/// assert_eq!(h.final_accuracy(), 0.5);
+/// ```
+#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunHistory {
+    label: String,
+    records: Vec<RoundRecord>,
+}
+
+impl RunHistory {
+    /// Creates an empty history labelled with the strategy name.
+    pub fn new(label: impl Into<String>) -> Self {
+        RunHistory { label: label.into(), records: Vec::new() }
+    }
+
+    /// The strategy label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Appends one evaluation point.
+    pub fn push(&mut self, record: RoundRecord) {
+        self.records.push(record);
+    }
+
+    /// All evaluation points in order.
+    pub fn records(&self) -> &[RoundRecord] {
+        &self.records
+    }
+
+    /// Number of evaluation points.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` when no evaluations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Accuracy of the last evaluation, `0.0` when empty.
+    pub fn final_accuracy(&self) -> f32 {
+        self.records.last().map_or(0.0, |r| r.accuracy)
+    }
+
+    /// Best accuracy across the run, `0.0` when empty.
+    pub fn best_accuracy(&self) -> f32 {
+        self.records.iter().map(|r| r.accuracy).fold(0.0, f32::max)
+    }
+
+    /// Cumulative uplink bytes at the end of the run.
+    pub fn total_uplink_bytes(&self) -> u64 {
+        self.records.last().map_or(0, |r| r.uplink_bytes)
+    }
+
+    /// Cumulative uplink updates at the end of the run.
+    pub fn total_uplink_updates(&self) -> u64 {
+        self.records.last().map_or(0, |r| r.uplink_updates)
+    }
+
+    /// First simulated time at which accuracy reached `target`, if ever.
+    pub fn time_to_accuracy(&self, target: f32) -> Option<SimTime> {
+        self.records.iter().find(|r| r.accuracy >= target).map(|r| r.sim_time)
+    }
+
+    /// Accuracy at (or at the last evaluation before) simulated time `t`.
+    pub fn accuracy_at_time(&self, t: SimTime) -> f32 {
+        self.records
+            .iter()
+            .take_while(|r| r.sim_time <= t)
+            .last()
+            .map_or(0.0, |r| r.accuracy)
+    }
+
+    /// Renders the history as CSV rows: header plus one line per record.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "label,round,sim_time_s,accuracy,loss,uplink_bytes,uplink_updates,contributors\n",
+        );
+        for r in &self.records {
+            out.push_str(&format!(
+                "{},{},{:.3},{:.4},{:.4},{},{},{}\n",
+                self.label,
+                r.round,
+                r.sim_time.seconds(),
+                r.accuracy,
+                r.loss,
+                r.uplink_bytes,
+                r.uplink_updates,
+                r.contributors
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(round: usize, t: f64, acc: f32) -> RoundRecord {
+        RoundRecord {
+            round,
+            sim_time: SimTime::from_seconds(t),
+            accuracy: acc,
+            loss: 1.0 - acc,
+            uplink_bytes: round as u64 * 100,
+            uplink_updates: round as u64,
+            contributors: 5,
+        }
+    }
+
+    fn history() -> RunHistory {
+        let mut h = RunHistory::new("test");
+        h.push(record(1, 1.0, 0.3));
+        h.push(record(2, 2.0, 0.7));
+        h.push(record(3, 3.0, 0.6));
+        h
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let h = history();
+        assert_eq!(h.final_accuracy(), 0.6);
+        assert_eq!(h.best_accuracy(), 0.7);
+        assert_eq!(h.total_uplink_bytes(), 300);
+        assert_eq!(h.total_uplink_updates(), 3);
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn time_to_accuracy_finds_first_crossing() {
+        let h = history();
+        assert_eq!(h.time_to_accuracy(0.5).unwrap().seconds(), 2.0);
+        assert!(h.time_to_accuracy(0.9).is_none());
+    }
+
+    #[test]
+    fn accuracy_at_time_steps() {
+        let h = history();
+        assert_eq!(h.accuracy_at_time(SimTime::from_seconds(0.5)), 0.0);
+        assert_eq!(h.accuracy_at_time(SimTime::from_seconds(2.5)), 0.7);
+        assert_eq!(h.accuracy_at_time(SimTime::from_seconds(99.0)), 0.6);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = history().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("label,round"));
+        assert!(lines[1].starts_with("test,1,"));
+    }
+
+    #[test]
+    fn empty_history_is_safe() {
+        let h = RunHistory::new("empty");
+        assert!(h.is_empty());
+        assert_eq!(h.final_accuracy(), 0.0);
+        assert_eq!(h.best_accuracy(), 0.0);
+        assert!(h.time_to_accuracy(0.1).is_none());
+    }
+}

@@ -1,0 +1,197 @@
+//! Communication-cost accounting.
+//!
+//! Tracks bytes and update counts per client so the harness can report the
+//! cost-reduction and update-frequency columns of Tables I/II.
+
+/// Per-client and aggregate communication accounting.
+///
+/// # Examples
+///
+/// ```
+/// use adafl_fl::CommunicationLedger;
+///
+/// let mut ledger = CommunicationLedger::new(2);
+/// ledger.record_uplink(0, 1_000);
+/// ledger.record_downlink(1, 2_000);
+/// assert_eq!(ledger.total_bytes(), 3_000);
+/// assert_eq!(ledger.uplink_updates(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommunicationLedger {
+    up_bytes: Vec<u64>,
+    down_bytes: Vec<u64>,
+    up_updates: Vec<u64>,
+    down_updates: Vec<u64>,
+    control_bytes: Vec<u64>,
+    control_messages: Vec<u64>,
+}
+
+impl CommunicationLedger {
+    /// Creates a ledger for `clients` clients.
+    pub fn new(clients: usize) -> Self {
+        CommunicationLedger {
+            up_bytes: vec![0; clients],
+            down_bytes: vec![0; clients],
+            up_updates: vec![0; clients],
+            down_updates: vec![0; clients],
+            control_bytes: vec![0; clients],
+            control_messages: vec![0; clients],
+        }
+    }
+
+    /// Number of clients tracked.
+    pub fn clients(&self) -> usize {
+        self.up_bytes.len()
+    }
+
+    /// Records one client→server transfer of `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `client` is out of bounds.
+    pub fn record_uplink(&mut self, client: usize, bytes: usize) {
+        self.up_bytes[client] += bytes as u64;
+        self.up_updates[client] += 1;
+    }
+
+    /// Records one server→client transfer of `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `client` is out of bounds.
+    pub fn record_downlink(&mut self, client: usize, bytes: usize) {
+        self.down_bytes[client] += bytes as u64;
+        self.down_updates[client] += 1;
+    }
+
+    /// Records a control-plane message (utility-score report, ĝ digest)
+    /// of `bytes` for `client`. Control traffic counts toward byte totals
+    /// but not toward the update frequency — the paper's "update freq."
+    /// counts gradient updates only.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `client` is out of bounds.
+    pub fn record_control(&mut self, client: usize, bytes: usize) {
+        self.control_bytes[client] += bytes as u64;
+        self.control_messages[client] += 1;
+    }
+
+    /// Total control-plane bytes across clients.
+    pub fn control_bytes(&self) -> u64 {
+        self.control_bytes.iter().sum()
+    }
+
+    /// Total control-plane messages across clients.
+    pub fn control_messages(&self) -> u64 {
+        self.control_messages.iter().sum()
+    }
+
+    /// Total uplink bytes across clients (excluding control traffic).
+    pub fn uplink_bytes(&self) -> u64 {
+        self.up_bytes.iter().sum()
+    }
+
+    /// Total bytes in both directions plus control traffic — the full
+    /// communication bill.
+    pub fn total_bytes_with_control(&self) -> u64 {
+        self.total_bytes() + self.control_bytes()
+    }
+
+    /// Total downlink bytes across clients.
+    pub fn downlink_bytes(&self) -> u64 {
+        self.down_bytes.iter().sum()
+    }
+
+    /// Total bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.uplink_bytes() + self.downlink_bytes()
+    }
+
+    /// Total client→server updates (the paper's "update frequency").
+    pub fn uplink_updates(&self) -> u64 {
+        self.up_updates.iter().sum()
+    }
+
+    /// Total server→client transfers.
+    pub fn downlink_updates(&self) -> u64 {
+        self.down_updates.iter().sum()
+    }
+
+    /// Uplink bytes for one client.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `client` is out of bounds.
+    pub fn client_uplink_bytes(&self, client: usize) -> u64 {
+        self.up_bytes[client]
+    }
+
+    /// Uplink update count for one client.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `client` is out of bounds.
+    pub fn client_uplink_updates(&self, client: usize) -> u64 {
+        self.up_updates[client]
+    }
+
+    /// Mean uplink payload in bytes, `0.0` before any update.
+    pub fn mean_uplink_payload(&self) -> f64 {
+        let n = self.uplink_updates();
+        if n == 0 {
+            0.0
+        } else {
+            self.uplink_bytes() as f64 / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_accumulate() {
+        let mut l = CommunicationLedger::new(3);
+        l.record_uplink(0, 100);
+        l.record_uplink(0, 200);
+        l.record_uplink(2, 50);
+        l.record_downlink(1, 500);
+        assert_eq!(l.uplink_bytes(), 350);
+        assert_eq!(l.downlink_bytes(), 500);
+        assert_eq!(l.total_bytes(), 850);
+        assert_eq!(l.uplink_updates(), 3);
+        assert_eq!(l.downlink_updates(), 1);
+        assert_eq!(l.client_uplink_bytes(0), 300);
+        assert_eq!(l.client_uplink_updates(0), 2);
+        assert_eq!(l.clients(), 3);
+    }
+
+    #[test]
+    fn mean_payload_math() {
+        let mut l = CommunicationLedger::new(1);
+        assert_eq!(l.mean_uplink_payload(), 0.0);
+        l.record_uplink(0, 100);
+        l.record_uplink(0, 300);
+        assert_eq!(l.mean_uplink_payload(), 200.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_client_panics() {
+        CommunicationLedger::new(1).record_uplink(1, 10);
+    }
+
+    #[test]
+    fn control_traffic_counts_bytes_but_not_updates() {
+        let mut l = CommunicationLedger::new(2);
+        l.record_uplink(0, 1000);
+        l.record_control(0, 16);
+        l.record_control(1, 16);
+        assert_eq!(l.uplink_updates(), 1);
+        assert_eq!(l.control_messages(), 2);
+        assert_eq!(l.control_bytes(), 32);
+        assert_eq!(l.total_bytes_with_control(), 1032);
+    }
+}

@@ -1,0 +1,50 @@
+//! Federated-learning framework for the AdaFL reproduction.
+//!
+//! Provides everything around the paper's contribution: clients that train
+//! local models ([`FlClient`]), a synchronous round engine
+//! ([`sync::SyncEngine`]) with the FedAvg / FedAdam / FedProx / SCAFFOLD
+//! baselines, an asynchronous event-driven engine
+//! ([`r#async::AsyncEngine`]) with FedAsync / FedBuff, network integration
+//! via `adafl-netsim`, fault injection ([`faults`]) for the paper's
+//! resiliency study (Figure 1), and communication accounting ([`ledger`])
+//! for Tables I/II.
+//!
+//! The AdaFL strategy itself lives in `adafl-core`, which builds on the
+//! primitives here.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use adafl_data::{partition::Partitioner, synthetic::SyntheticSpec};
+//! use adafl_fl::{config::FlConfig, sync::{SyncEngine, strategies::FedAvg}};
+//! use adafl_nn::models::ModelSpec;
+//!
+//! let data = SyntheticSpec::mnist_like(16, 1000).generate(0);
+//! let (train, test) = data.split_at(800);
+//! let cfg = FlConfig::builder()
+//!     .clients(10)
+//!     .rounds(20)
+//!     .model(ModelSpec::LogisticRegression { in_features: 256, classes: 10 })
+//!     .build();
+//! let mut engine = SyncEngine::new(cfg, &train, test, Partitioner::Iid, Box::new(FedAvg::new()));
+//! let history = engine.run();
+//! println!("final accuracy {}", history.final_accuracy());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod r#async;
+pub mod checkpoint;
+pub mod client;
+pub mod compute;
+pub mod config;
+pub mod faults;
+pub mod history;
+pub mod ledger;
+pub mod sync;
+
+pub use client::{FlClient, LocalOutcome};
+pub use config::FlConfig;
+pub use history::{RoundRecord, RunHistory};
+pub use ledger::CommunicationLedger;

@@ -1,0 +1,583 @@
+//! The synchronous round engine (FedAvg-style protocol, Eq. 3 of the paper).
+
+use crate::client::{evaluate_model, FlClient};
+use crate::sync::{CompressorState, StaticCompression};
+use crate::compute::ComputeModel;
+use crate::config::FlConfig;
+use crate::faults::FaultPlan;
+use crate::history::{RoundRecord, RunHistory};
+use crate::ledger::CommunicationLedger;
+use adafl_compression::dense_wire_size;
+use adafl_data::partition::Partitioner;
+use adafl_data::Dataset;
+use adafl_netsim::{ClientNetwork, LinkProfile, LinkTrace, SimTime};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One client's contribution to a synchronous aggregation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientUpdate {
+    /// Client identifier.
+    pub client: usize,
+    /// Parameter delta `w_local − w_global`.
+    pub delta: Vec<f32>,
+    /// Aggregation weight (the client's `n_i`).
+    pub weight: f32,
+}
+
+/// Server-side behaviour of a synchronous FL strategy.
+///
+/// The engine owns the protocol (selection, communication, faults); a
+/// strategy contributes the client-side gradient correction and the
+/// server-side aggregation rule. This split is what lets FedAvg, FedAdam,
+/// FedProx and SCAFFOLD share one engine.
+pub trait SyncStrategy: std::fmt::Debug + Send + Sync {
+    /// Strategy name for run labels.
+    fn name(&self) -> &'static str;
+
+    /// Called once before the first round with the model dimension and
+    /// client count.
+    fn init(&mut self, _dim: usize, _clients: usize) {}
+
+    /// Client-side gradient correction applied at every local step.
+    fn gradient_hook(
+        &self,
+        _client: usize,
+        _grad: &mut [f32],
+        _params: &[f32],
+        _global: &[f32],
+    ) {
+    }
+
+    /// Called after a client finishes local training (before aggregation),
+    /// with its delta and the hyperparameters that produced it. `lr` is the
+    /// *effective* per-step learning rate — the engine folds momentum
+    /// amplification (`η / (1 − μ)`) in, so SCAFFOLD's control-variate
+    /// update stays calibrated under client momentum.
+    fn after_local_round(&mut self, _client: usize, _delta: &[f32], _steps: usize, _lr: f32) {}
+
+    /// Folds the round's delivered updates into the global parameters.
+    fn aggregate(&mut self, global: &mut [f32], updates: &[ClientUpdate]);
+}
+
+/// Synchronous federated-learning engine.
+///
+/// Each round: sample `⌈r_p·N⌉` participants → broadcast the global model →
+/// clients run local SGD → upload deltas over the simulated network (fault
+/// plan and link losses apply) → aggregate → evaluate. Round time follows
+/// Eq. 3: the slowest participant gates the round.
+#[derive(Debug)]
+pub struct SyncEngine {
+    config: FlConfig,
+    clients: Vec<FlClient>,
+    global: Vec<f32>,
+    global_model: adafl_nn::Model,
+    test_set: Dataset,
+    strategy: Box<dyn SyncStrategy>,
+    network: ClientNetwork,
+    compute: ComputeModel,
+    faults: FaultPlan,
+    ledger: CommunicationLedger,
+    rng: StdRng,
+    clock: SimTime,
+    parallel: bool,
+    compression: StaticCompression,
+    compressors: Vec<CompressorState>,
+}
+
+impl SyncEngine {
+    /// Creates an engine with a default homogeneous broadband network, a
+    /// uniform compute model and no faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the partitioner produces an empty shard for any client
+    /// (use more samples or fewer clients).
+    pub fn new(
+        config: FlConfig,
+        train_set: &Dataset,
+        test_set: Dataset,
+        partitioner: Partitioner,
+        strategy: Box<dyn SyncStrategy>,
+    ) -> Self {
+        let shards = partitioner.split(train_set, config.clients, config.seed_for("partition"));
+        let network = ClientNetwork::new(
+            vec![LinkTrace::constant(LinkProfile::Broadband.spec()); config.clients],
+            config.seed_for("network"),
+        );
+        let compute = ComputeModel::uniform(config.clients, 0.1);
+        let faults = FaultPlan::reliable(config.clients);
+        SyncEngine::with_parts(config, shards, test_set, strategy, network, compute, faults)
+    }
+
+    /// Creates an engine with explicit shards, network, compute model and
+    /// fault plan — the constructor the experiment harness uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shard/network/compute/fault sizes disagree with
+    /// `config.clients` or any shard is empty.
+    pub fn with_parts(
+        config: FlConfig,
+        shards: Vec<Dataset>,
+        test_set: Dataset,
+        mut strategy: Box<dyn SyncStrategy>,
+        network: ClientNetwork,
+        mut compute: ComputeModel,
+        faults: FaultPlan,
+    ) -> Self {
+        assert_eq!(shards.len(), config.clients, "shard count mismatch");
+        assert_eq!(network.len(), config.clients, "network size mismatch");
+        assert_eq!(compute.clients(), config.clients, "compute model size mismatch");
+        assert_eq!(faults.clients(), config.clients, "fault plan size mismatch");
+        let clients = FlClient::fleet(
+            &config.model,
+            shards,
+            config.learning_rate,
+            config.momentum,
+            config.batch_size,
+            config.seed_for("model"),
+        );
+        let mut global_model = config.model.build(config.seed_for("model"));
+        let global = global_model.params_flat();
+        // Re-evaluate to ensure consistency between server copy and fleet.
+        global_model.set_params_flat(&global);
+        strategy.init(global.len(), config.clients);
+        // Stale clients run slower.
+        for c in 0..config.clients {
+            let slow = faults.slowdown(c);
+            if slow > 1.0 {
+                compute.scale_client(c, slow);
+            }
+        }
+        let rng = StdRng::seed_from_u64(config.seed_for("selection"));
+        let compressors = (0..config.clients)
+            .map(|c| {
+                CompressorState::new(
+                    StaticCompression::None,
+                    global.len(),
+                    config.seed_for("compression") ^ c as u64,
+                )
+            })
+            .collect();
+        SyncEngine {
+            ledger: CommunicationLedger::new(config.clients),
+            parallel: true,
+            compression: StaticCompression::None,
+            compressors,
+            config,
+            clients,
+            global,
+            global_model,
+            test_set,
+            strategy,
+            network,
+            compute,
+            faults,
+            rng,
+            clock: SimTime::ZERO,
+        }
+    }
+
+    /// The experiment configuration.
+    pub fn config(&self) -> &FlConfig {
+        &self.config
+    }
+
+    /// Enables or disables multi-threaded local training (on by default).
+    /// Results are identical either way; this only affects wall-clock time.
+    pub fn set_parallel(&mut self, parallel: bool) {
+        self.parallel = parallel;
+    }
+
+    /// Applies a *static* client-side compression scheme to every uplink —
+    /// the fixed model-level techniques from the paper's related work
+    /// (QSGD [11], TernGrad [13], fixed top-k [10][14]). Call before
+    /// [`SyncEngine::run`]; resets all per-client compressor state.
+    pub fn set_compression(&mut self, scheme: StaticCompression) {
+        self.compression = scheme;
+        let dim = self.global.len();
+        self.compressors = (0..self.config.clients)
+            .map(|c| {
+                CompressorState::new(scheme, dim, self.config.seed_for("compression") ^ c as u64)
+            })
+            .collect();
+    }
+
+    /// The communication ledger (cumulative).
+    pub fn ledger(&self) -> &CommunicationLedger {
+        &self.ledger
+    }
+
+    /// Current global parameters.
+    pub fn global_params(&self) -> &[f32] {
+        &self.global
+    }
+
+    /// Installs global parameters (e.g. restored from a
+    /// [`Checkpoint`](crate::checkpoint::Checkpoint)) before running.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `params.len()` differs from the model's parameter count.
+    pub fn set_global_params(&mut self, params: &[f32]) {
+        assert_eq!(params.len(), self.global.len(), "flat parameter length mismatch");
+        self.global.copy_from_slice(params);
+        self.global_model.set_params_flat(params);
+    }
+
+    /// Current simulated time.
+    pub fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Runs all configured rounds, returning the evaluation history.
+    pub fn run(&mut self) -> RunHistory {
+        let mut history = RunHistory::new(self.strategy.name());
+        for round in 0..self.config.rounds {
+            let contributors = self.run_round(round);
+            let (accuracy, loss) = evaluate_global(&mut self.global_model, &self.global, &self.test_set);
+            history.push(RoundRecord {
+                round,
+                sim_time: self.clock,
+                accuracy,
+                loss,
+                uplink_bytes: self.ledger.uplink_bytes(),
+                uplink_updates: self.ledger.uplink_updates(),
+                contributors,
+            });
+        }
+        history
+    }
+
+    /// Runs one round; returns the number of updates that reached the
+    /// server.
+    pub fn run_round(&mut self, round: usize) -> usize {
+        let participants = self.sample_participants();
+        let payload = dense_wire_size(self.global.len());
+        let mut updates: Vec<ClientUpdate> = Vec::new();
+        let mut round_time = SimTime::ZERO;
+        let mut deadline_hit = false;
+
+        // Phase 1 — broadcast the global model; clients whose broadcast is
+        // lost sit the round out.
+        let mut ready: Vec<(usize, SimTime)> = Vec::with_capacity(participants.len());
+        for &c in &participants {
+            let down = self.network.downlink_transfer(c, payload, self.clock);
+            self.ledger.record_downlink(c, payload);
+            if let Some(t) = down.arrival() {
+                ready.push((c, t));
+            }
+        }
+
+        // Phase 2 — local training, in parallel when enabled. Clients are
+        // independent, so parallel wall-clock execution is bit-identical to
+        // sequential: outcomes are collected in participant order.
+        let outcomes = self.train_ready(&ready);
+
+        // Phase 3 — uplink, fault gating and deadline policy, in
+        // deterministic participant order.
+        let effective_lr = self.config.learning_rate / (1.0 - self.config.momentum);
+        for ((c, downlink_done), outcome) in ready.into_iter().zip(outcomes) {
+            self.strategy.after_local_round(c, &outcome.delta, outcome.steps, effective_lr);
+
+            // Stale clients' slowdowns were folded into the compute model
+            // at construction.
+            let steps_time =
+                self.compute.training_time(c, self.config.local_steps).seconds();
+            let train_done = downlink_done + SimTime::from_seconds(steps_time);
+
+            if !self.faults.update_delivered(c, round) {
+                continue;
+            }
+            // Static client-side compression (identity by default).
+            let (sent_delta, wire) = self.compressors[c].compress(&outcome.delta);
+            let up = self.network.uplink_transfer(c, wire, train_done);
+            match up.arrival() {
+                Some(arrival) => {
+                    // Bytes are on the wire regardless of the deadline.
+                    self.ledger.record_uplink(c, wire);
+                    let elapsed = arrival - self.clock;
+                    if let Some(deadline) = self.config.round_deadline {
+                        // §III max-wait-time policy: the server drops
+                        // updates arriving after the deadline.
+                        if elapsed.seconds() > deadline {
+                            deadline_hit = true;
+                            continue;
+                        }
+                    }
+                    round_time = round_time.max(elapsed);
+                    updates.push(ClientUpdate {
+                        client: c,
+                        delta: sent_delta,
+                        weight: outcome.num_samples as f32,
+                    });
+                }
+                None => continue,
+            }
+        }
+
+        // Eq. 3: the round completes when the slowest delivered participant
+        // finishes; when the deadline fired, the server waited exactly that
+        // long; a round with no delivered update costs the wait timeout.
+        if deadline_hit {
+            self.clock += SimTime::from_seconds(
+                self.config.round_deadline.expect("deadline_hit implies a deadline"),
+            );
+        } else if updates.is_empty() {
+            self.clock += SimTime::from_seconds(0.5);
+        } else {
+            self.clock += round_time;
+        }
+
+        if !updates.is_empty() {
+            self.strategy.aggregate(&mut self.global, &updates);
+        }
+        updates.len()
+    }
+
+    /// Trains the broadcast-ready clients, returning outcomes in the same
+    /// order. Parallel across threads when enabled — clients are mutually
+    /// independent during local training, so results do not depend on
+    /// scheduling.
+    fn train_ready(&mut self, ready: &[(usize, SimTime)]) -> Vec<crate::client::LocalOutcome> {
+        let steps = self.config.local_steps;
+        let strategy = &self.strategy;
+        let global = &self.global;
+        // Pull disjoint &mut references for the ready clients (ascending
+        // participant order is preserved by iter_mut).
+        let ready_ids: Vec<usize> = ready.iter().map(|&(c, _)| c).collect();
+        let mut client_refs: Vec<(usize, &mut FlClient)> = self
+            .clients
+            .iter_mut()
+            .enumerate()
+            .filter(|(c, _)| ready_ids.contains(c))
+            .collect();
+
+        if self.parallel && client_refs.len() > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = client_refs
+                    .drain(..)
+                    .map(|(c, client)| {
+                        scope.spawn(move || {
+                            let mut hook =
+                                |grad: &mut [f32], params: &[f32], g: &[f32]| {
+                                    strategy.gradient_hook(c, grad, params, g);
+                                };
+                            client.train_local(global, steps, Some(&mut hook))
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("client training thread panicked"))
+                    .collect()
+            })
+        } else {
+            client_refs
+                .drain(..)
+                .map(|(c, client)| {
+                    let mut hook = |grad: &mut [f32], params: &[f32], g: &[f32]| {
+                        strategy.gradient_hook(c, grad, params, g);
+                    };
+                    client.train_local(global, steps, Some(&mut hook))
+                })
+                .collect()
+        }
+    }
+
+    fn sample_participants(&mut self) -> Vec<usize> {
+        let k = self.config.participants_per_round();
+        let mut ids: Vec<usize> = (0..self.config.clients).collect();
+        ids.shuffle(&mut self.rng);
+        ids.truncate(k);
+        ids.sort_unstable();
+        ids
+    }
+}
+
+/// Evaluates `params` installed into `model` against `test_set`.
+pub(crate) fn evaluate_global(
+    model: &mut adafl_nn::Model,
+    params: &[f32],
+    test_set: &Dataset,
+) -> (f32, f32) {
+    model.set_params_flat(params);
+    evaluate_model(model, test_set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::strategies::FedAvg;
+    use adafl_data::synthetic::SyntheticSpec;
+    use adafl_nn::models::ModelSpec;
+
+    fn small_config(rounds: usize) -> FlConfig {
+        FlConfig::builder()
+            .clients(4)
+            .rounds(rounds)
+            .participation(1.0)
+            .local_steps(3)
+            .batch_size(16)
+            .model(ModelSpec::LogisticRegression { in_features: 64, classes: 10 })
+            .build()
+    }
+
+    fn engine(rounds: usize) -> SyncEngine {
+        let data = SyntheticSpec::mnist_like(8, 400).generate(0);
+        let (train, test) = data.split_at(320);
+        SyncEngine::new(small_config(rounds), &train, test, Partitioner::Iid, Box::new(FedAvg::new()))
+    }
+
+    #[test]
+    fn accuracy_improves_over_rounds() {
+        let mut e = engine(15);
+        let history = e.run();
+        assert_eq!(history.len(), 15);
+        let first = history.records()[0].accuracy;
+        let last = history.final_accuracy();
+        assert!(last > first + 0.2, "no learning: {first} → {last}");
+    }
+
+    #[test]
+    fn ledger_counts_round_trips() {
+        let mut e = engine(2);
+        e.run();
+        // 4 clients × 2 rounds, full participation, lossless broadband.
+        assert_eq!(e.ledger().uplink_updates(), 8);
+        assert_eq!(e.ledger().downlink_updates(), 8);
+        assert!(e.ledger().uplink_bytes() > 0);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut e = engine(3);
+        let mut last = SimTime::ZERO;
+        let history = e.run();
+        for r in history.records() {
+            assert!(r.sim_time >= last);
+            last = r.sim_time;
+        }
+        assert!(last.seconds() > 0.0);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let h1 = engine(5).run();
+        let h2 = engine(5).run();
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn parallel_and_sequential_training_agree_bitwise() {
+        let mut par = engine(5);
+        par.set_parallel(true);
+        let mut seq = engine(5);
+        seq.set_parallel(false);
+        assert_eq!(par.run(), seq.run());
+        assert_eq!(par.global_params(), seq.global_params());
+    }
+
+    #[test]
+    fn static_compression_cuts_uplink_but_still_learns() {
+        let mut dense = engine(12);
+        let dense_history = dense.run();
+        let mut compressed = engine(12);
+        compressed.set_compression(StaticCompression::TopK { ratio: 16.0 });
+        let comp_history = compressed.run();
+        assert!(
+            compressed.ledger().uplink_bytes() < dense.ledger().uplink_bytes() / 4,
+            "top-k did not cut bytes: {} vs {}",
+            compressed.ledger().uplink_bytes(),
+            dense.ledger().uplink_bytes()
+        );
+        assert!(
+            comp_history.final_accuracy() > dense_history.final_accuracy() - 0.25,
+            "compression destroyed learning: {} vs {}",
+            comp_history.final_accuracy(),
+            dense_history.final_accuracy()
+        );
+    }
+
+    #[test]
+    fn quantized_baselines_run() {
+        for scheme in [
+            StaticCompression::Qsgd { levels: 8 },
+            StaticCompression::TernGrad,
+        ] {
+            let mut e = engine(6);
+            e.set_compression(scheme);
+            let history = e.run();
+            assert!(
+                history.final_accuracy() > 0.3,
+                "{scheme:?} failed to learn: {}",
+                history.final_accuracy()
+            );
+        }
+    }
+
+    #[test]
+    fn round_deadline_drops_slow_participants() {
+        let data = SyntheticSpec::mnist_like(8, 400).generate(0);
+        let (train, test) = data.split_at(320);
+        let base = small_config(4);
+        let mut cfg = base.clone();
+        cfg.round_deadline = Some(1.0);
+        let shards = Partitioner::Iid.split(&train, cfg.clients, cfg.seed_for("partition"));
+        let network = ClientNetwork::new(
+            vec![LinkTrace::constant(LinkProfile::Broadband.spec()); cfg.clients],
+            0,
+        );
+        // Client 0 takes ~3 s to train — past the 1 s deadline.
+        let compute = ComputeModel::heterogeneous(vec![1.0, 0.01, 0.01, 0.01]);
+        let mut e = SyncEngine::with_parts(
+            cfg,
+            shards,
+            test,
+            Box::new(FedAvg::new()),
+            network,
+            compute,
+            FaultPlan::reliable(4),
+        );
+        let history = e.run();
+        // Every round: 4 uplinks transmitted, 3 accepted.
+        assert!(history.records().iter().all(|r| r.contributors == 3));
+        assert_eq!(e.ledger().uplink_updates(), 16);
+        // The clock advances by exactly the deadline each round.
+        assert!((e.clock().seconds() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dropout_faults_reduce_update_count() {
+        let data = SyntheticSpec::mnist_like(8, 400).generate(0);
+        let (train, test) = data.split_at(320);
+        let cfg = small_config(4);
+        let shards = Partitioner::Iid.split(&train, cfg.clients, cfg.seed_for("partition"));
+        let network = ClientNetwork::new(
+            vec![LinkTrace::constant(LinkProfile::Broadband.spec()); cfg.clients],
+            0,
+        );
+        let compute = ComputeModel::uniform(cfg.clients, 0.1);
+        let faults = FaultPlan::with_fraction(
+            cfg.clients,
+            0.5,
+            crate::faults::FaultKind::Dropout { period: 2 },
+            0,
+        );
+        let mut e = SyncEngine::with_parts(
+            cfg,
+            shards,
+            test,
+            Box::new(FedAvg::new()),
+            network,
+            compute,
+            faults,
+        );
+        e.run();
+        // 4 clients × 4 rounds = 16 ideal; 2 dropout clients deliver in only
+        // 2 of 4 rounds → 12 expected.
+        assert_eq!(e.ledger().uplink_updates(), 12);
+    }
+}

@@ -1,0 +1,11 @@
+//! Synchronous federated learning: the round engine and its baseline
+//! strategies.
+
+pub mod strategies;
+
+mod engine;
+mod static_compression;
+
+pub use engine::{ClientUpdate, SyncEngine, SyncStrategy};
+pub use static_compression::StaticCompression;
+pub(crate) use static_compression::CompressorState;

@@ -1,0 +1,191 @@
+//! Gilbert-Elliott two-state burst-loss model.
+//!
+//! Real wireless links lose transfers in *bursts*, not independently: the
+//! channel alternates between a Good state (low loss) and a Bad state (high
+//! loss) with asymmetric transition probabilities. This is the classic
+//! model behind the "unreliable connections" the paper's §III discusses,
+//! and a finer-grained alternative to [`LinkSpec::drop_prob`]'s Bernoulli
+//! losses.
+//!
+//! [`LinkSpec::drop_prob`]: crate::LinkSpec::drop_prob
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Channel state of the Gilbert-Elliott model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChannelState {
+    /// Low-loss state.
+    Good,
+    /// High-loss (burst) state.
+    Bad,
+}
+
+/// A two-state Markov loss channel.
+///
+/// # Examples
+///
+/// ```
+/// use adafl_netsim::GilbertElliott;
+///
+/// // 1% loss in Good, 50% in Bad; bursts start rarely and last a while.
+/// let mut ch = GilbertElliott::new(0.05, 0.3, 0.01, 0.5, 7);
+/// let losses = (0..1000).filter(|_| ch.transfer_lost()).count();
+/// assert!(losses > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GilbertElliott {
+    p_good_to_bad: f64,
+    p_bad_to_good: f64,
+    loss_good: f64,
+    loss_bad: f64,
+    state: ChannelState,
+    rng: StdRng,
+}
+
+impl GilbertElliott {
+    /// Creates a channel starting in the Good state.
+    ///
+    /// `p_good_to_bad` / `p_bad_to_good` are per-transfer transition
+    /// probabilities; `loss_good` / `loss_bad` are per-transfer loss
+    /// probabilities within each state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any probability is outside `[0, 1]`.
+    pub fn new(
+        p_good_to_bad: f64,
+        p_bad_to_good: f64,
+        loss_good: f64,
+        loss_bad: f64,
+        seed: u64,
+    ) -> Self {
+        for (name, p) in [
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} must be in [0, 1]");
+        }
+        GilbertElliott {
+            p_good_to_bad,
+            p_bad_to_good,
+            loss_good,
+            loss_bad,
+            state: ChannelState::Good,
+            rng: StdRng::seed_from_u64(seed ^ 0x61_1B),
+        }
+    }
+
+    /// Current channel state.
+    pub fn state(&self) -> ChannelState {
+        self.state
+    }
+
+    /// Stationary probability of being in the Bad state.
+    pub fn stationary_bad(&self) -> f64 {
+        let denom = self.p_good_to_bad + self.p_bad_to_good;
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.p_good_to_bad / denom
+        }
+    }
+
+    /// Long-run expected loss rate.
+    pub fn expected_loss_rate(&self) -> f64 {
+        let pb = self.stationary_bad();
+        (1.0 - pb) * self.loss_good + pb * self.loss_bad
+    }
+
+    /// Advances the channel one transfer and reports whether that transfer
+    /// was lost.
+    pub fn transfer_lost(&mut self) -> bool {
+        // Transition first, then sample the loss in the new state.
+        let flip: f64 = self.rng.gen();
+        self.state = match self.state {
+            ChannelState::Good if flip < self.p_good_to_bad => ChannelState::Bad,
+            ChannelState::Bad if flip < self.p_bad_to_good => ChannelState::Good,
+            s => s,
+        };
+        let loss_p = match self.state {
+            ChannelState::Good => self.loss_good,
+            ChannelState::Bad => self.loss_bad,
+        };
+        self.rng.gen::<f64>() < loss_p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_channel_never_drops() {
+        let mut ch = GilbertElliott::new(0.1, 0.1, 0.0, 0.0, 0);
+        assert!((0..500).all(|_| !ch.transfer_lost()));
+    }
+
+    #[test]
+    fn always_bad_channel_matches_bad_loss() {
+        let mut ch = GilbertElliott::new(1.0, 0.0, 0.0, 1.0, 1);
+        // First transfer transitions to Bad and stays there.
+        let losses = (0..200).filter(|_| ch.transfer_lost()).count();
+        assert_eq!(losses, 200);
+        assert_eq!(ch.state(), ChannelState::Bad);
+    }
+
+    #[test]
+    fn long_run_loss_matches_stationary_rate() {
+        let mut ch = GilbertElliott::new(0.05, 0.2, 0.01, 0.6, 42);
+        let expected = ch.expected_loss_rate();
+        let n = 60_000;
+        let losses = (0..n).filter(|_| ch.transfer_lost()).count();
+        let observed = losses as f64 / n as f64;
+        assert!(
+            (observed - expected).abs() < 0.02,
+            "observed {observed} vs stationary {expected}"
+        );
+    }
+
+    #[test]
+    fn losses_are_bursty() {
+        // With rare transitions and extreme per-state rates, consecutive
+        // outcomes should be heavily correlated — unlike Bernoulli loss.
+        let mut ch = GilbertElliott::new(0.02, 0.02, 0.0, 1.0, 3);
+        let outcomes: Vec<bool> = (0..20_000).map(|_| ch.transfer_lost()).collect();
+        let loss_rate = outcomes.iter().filter(|&&l| l).count() as f64 / outcomes.len() as f64;
+        // P(loss | previous loss) should far exceed the base rate.
+        let mut joint = 0usize;
+        let mut prev_losses = 0usize;
+        for w in outcomes.windows(2) {
+            if w[0] {
+                prev_losses += 1;
+                if w[1] {
+                    joint += 1;
+                }
+            }
+        }
+        let conditional = joint as f64 / prev_losses.max(1) as f64;
+        assert!(
+            conditional > loss_rate + 0.3,
+            "no burstiness: P(loss|loss) {conditional} vs base {loss_rate}"
+        );
+    }
+
+    #[test]
+    fn stationary_math() {
+        let ch = GilbertElliott::new(0.1, 0.3, 0.0, 1.0, 0);
+        assert!((ch.stationary_bad() - 0.25).abs() < 1e-12);
+        assert!((ch.expected_loss_rate() - 0.25).abs() < 1e-12);
+        let never = GilbertElliott::new(0.0, 0.0, 0.05, 0.5, 0);
+        assert_eq!(never.stationary_bad(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn invalid_probability_panics() {
+        GilbertElliott::new(1.5, 0.1, 0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Discrete-event network simulator for federated learning — the offline
+//! stand-in for the ns3-fl simulation the paper uses (see DESIGN.md).
+//!
+//! The FL engines in `adafl-fl` consume three abstractions from this crate:
+//!
+//! * [`LinkSpec`] — a client's instantaneous uplink/downlink bandwidth,
+//!   latency and loss probability, with [`LinkSpec::uplink_time`] /
+//!   [`LinkSpec::downlink_time`] computing transfer delays for a payload.
+//! * [`LinkTrace`] — time-varying link conditions (constant, periodic
+//!   degradation, seeded random walk), because the paper's core argument is
+//!   that *static* strategies fail under *dynamic* networks.
+//! * [`EventQueue`] — a deterministic discrete-event scheduler driving the
+//!   asynchronous FL engine and all simulated-time measurements.
+//!
+//! # Examples
+//!
+//! ```
+//! use adafl_netsim::{LinkSpec, SimTime};
+//!
+//! let link = LinkSpec::new(1_000_000.0, 2_000_000.0, 0.02, 0.01, 0.0);
+//! let t = link.uplink_time(500_000);
+//! assert!((t.seconds() - 0.52).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod event;
+mod gilbert;
+mod link;
+mod network;
+mod time;
+mod trace;
+pub mod tracefile;
+
+pub use event::EventQueue;
+pub use gilbert::{ChannelState, GilbertElliott};
+pub use link::{LinkProfile, LinkSpec};
+pub use network::{ClientNetwork, TransferOutcome};
+pub use time::SimTime;
+pub use trace::{LinkTrace, TraceKind};

@@ -1,0 +1,207 @@
+//! Per-client network state and transfer simulation.
+
+use crate::{LinkSpec, LinkTrace, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Outcome of a simulated transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TransferOutcome {
+    /// The payload arrived at the given simulated time.
+    Delivered {
+        /// Arrival time at the receiver.
+        arrival: SimTime,
+    },
+    /// The payload was lost; the sender learns nothing until a timeout.
+    Dropped,
+}
+
+impl TransferOutcome {
+    /// Arrival time if delivered.
+    pub fn arrival(&self) -> Option<SimTime> {
+        match self {
+            TransferOutcome::Delivered { arrival } => Some(*arrival),
+            TransferOutcome::Dropped => None,
+        }
+    }
+
+    /// Returns `true` when the transfer was delivered.
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, TransferOutcome::Delivered { .. })
+    }
+}
+
+/// The network state of a federated client fleet: one [`LinkTrace`] per
+/// client plus a seeded RNG for loss events.
+///
+/// # Examples
+///
+/// ```
+/// use adafl_netsim::{ClientNetwork, LinkProfile, LinkTrace, SimTime};
+///
+/// let traces = vec![LinkTrace::constant(LinkProfile::Broadband.spec()); 3];
+/// let mut net = ClientNetwork::new(traces, 42);
+/// let outcome = net.uplink_transfer(0, 1_000_000, SimTime::ZERO);
+/// assert!(outcome.is_delivered());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClientNetwork {
+    traces: Vec<LinkTrace>,
+    rng: StdRng,
+}
+
+impl ClientNetwork {
+    /// Creates a network over the given per-client traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `traces` is empty.
+    pub fn new(traces: Vec<LinkTrace>, seed: u64) -> Self {
+        assert!(!traces.is_empty(), "network needs at least one client");
+        ClientNetwork { traces, rng: StdRng::seed_from_u64(seed ^ 0x006E_7511) }
+    }
+
+    /// Number of clients.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Returns `true` when the network has no clients (never true
+    /// post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Link conditions of `client` at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `client` is out of bounds.
+    pub fn link_at(&self, client: usize, now: SimTime) -> LinkSpec {
+        self.traces[client].link_at(now)
+    }
+
+    /// Replaces a client's trace (used by fault-injection schedules).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `client` is out of bounds.
+    pub fn set_trace(&mut self, client: usize, trace: LinkTrace) {
+        self.traces[client] = trace;
+    }
+
+    /// Simulates sending `bytes` from `client` to the server starting at
+    /// `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `client` is out of bounds.
+    pub fn uplink_transfer(
+        &mut self,
+        client: usize,
+        bytes: usize,
+        now: SimTime,
+    ) -> TransferOutcome {
+        let link = self.traces[client].link_at(now);
+        if self.rng.gen::<f64>() < link.drop_prob() {
+            return TransferOutcome::Dropped;
+        }
+        TransferOutcome::Delivered { arrival: now + link.uplink_time(bytes) }
+    }
+
+    /// Simulates sending `bytes` from the server to `client` starting at
+    /// `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `client` is out of bounds.
+    pub fn downlink_transfer(
+        &mut self,
+        client: usize,
+        bytes: usize,
+        now: SimTime,
+    ) -> TransferOutcome {
+        let link = self.traces[client].link_at(now);
+        if self.rng.gen::<f64>() < link.drop_prob() {
+            return TransferOutcome::Dropped;
+        }
+        TransferOutcome::Delivered { arrival: now + link.downlink_time(bytes) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinkProfile;
+
+    fn perfect_network(n: usize) -> ClientNetwork {
+        let spec = LinkSpec::new(1000.0, 2000.0, 0.1, 0.2, 0.0);
+        ClientNetwork::new(vec![LinkTrace::constant(spec); n], 0)
+    }
+
+    #[test]
+    fn lossless_link_always_delivers() {
+        let mut net = perfect_network(2);
+        for _ in 0..100 {
+            assert!(net.uplink_transfer(0, 100, SimTime::ZERO).is_delivered());
+        }
+    }
+
+    #[test]
+    fn delivery_time_matches_link_math() {
+        let mut net = perfect_network(1);
+        let out = net.uplink_transfer(0, 1000, SimTime::from_seconds(5.0));
+        assert!((out.arrival().unwrap().seconds() - 6.1).abs() < 1e-9);
+        let down = net.downlink_transfer(0, 2000, SimTime::ZERO);
+        assert!((down.arrival().unwrap().seconds() - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fully_lossy_link_always_drops() {
+        let spec = LinkProfile::Broadband.spec().with_drop_prob(1.0);
+        let mut net = ClientNetwork::new(vec![LinkTrace::constant(spec)], 0);
+        for _ in 0..20 {
+            let out = net.uplink_transfer(0, 10, SimTime::ZERO);
+            assert_eq!(out, TransferOutcome::Dropped);
+            assert!(out.arrival().is_none());
+        }
+    }
+
+    #[test]
+    fn loss_rate_approximates_drop_prob() {
+        let spec = LinkProfile::Broadband.spec().with_drop_prob(0.3);
+        let mut net = ClientNetwork::new(vec![LinkTrace::constant(spec)], 1);
+        let drops = (0..2000)
+            .filter(|_| !net.uplink_transfer(0, 10, SimTime::ZERO).is_delivered())
+            .count();
+        let rate = drops as f64 / 2000.0;
+        assert!((rate - 0.3).abs() < 0.05, "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn set_trace_swaps_conditions() {
+        let mut net = perfect_network(1);
+        net.set_trace(0, LinkTrace::constant(LinkSpec::new(1.0, 1.0, 0.0, 0.0, 0.0)));
+        let out = net.uplink_transfer(0, 100, SimTime::ZERO);
+        assert!((out.arrival().unwrap().seconds() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfers_are_deterministic_per_seed() {
+        let spec = LinkProfile::Lossy.spec();
+        let run = |seed: u64| {
+            let mut net = ClientNetwork::new(vec![LinkTrace::constant(spec)], seed);
+            (0..50)
+                .map(|_| net.uplink_transfer(0, 10, SimTime::ZERO).is_delivered())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn empty_network_panics() {
+        ClientNetwork::new(Vec::new(), 0);
+    }
+}

@@ -1,0 +1,122 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Simulated time in seconds since the start of the experiment.
+///
+/// A newtype over `f64` so simulated time cannot be confused with wall-clock
+/// durations or payload sizes. All time-axis results in the experiment
+/// harness use `SimTime`, never wall time.
+///
+/// # Examples
+///
+/// ```
+/// use adafl_netsim::SimTime;
+///
+/// let t = SimTime::from_seconds(1.5) + SimTime::from_seconds(0.5);
+/// assert_eq!(t.seconds(), 2.0);
+/// ```
+#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `seconds` is negative or not finite.
+    pub fn from_seconds(seconds: f64) -> Self {
+        assert!(seconds.is_finite() && seconds >= 0.0, "time must be finite and non-negative");
+        SimTime(seconds)
+    }
+
+    /// Seconds since time zero.
+    pub fn seconds(&self) -> f64 {
+        self.0
+    }
+
+    /// Returns the later of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if other.0 > self.0 {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+
+    /// # Panics
+    ///
+    /// Panics when the result would be negative.
+    fn sub(self, rhs: SimTime) -> SimTime {
+        assert!(self.0 >= rhs.0, "time subtraction went negative");
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = SimTime::from_seconds(2.0);
+        let b = SimTime::from_seconds(0.5);
+        assert_eq!((a + b).seconds(), 2.5);
+        assert_eq!((a - b).seconds(), 1.5);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.seconds(), 2.5);
+    }
+
+    #[test]
+    fn max_picks_later() {
+        let a = SimTime::from_seconds(1.0);
+        let b = SimTime::from_seconds(3.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_subtraction_panics() {
+        let _ = SimTime::from_seconds(1.0) - SimTime::from_seconds(2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_construction_panics() {
+        SimTime::from_seconds(-1.0);
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(SimTime::from_seconds(1.25).to_string(), "1.250s");
+    }
+}

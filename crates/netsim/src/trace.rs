@@ -1,0 +1,197 @@
+//! Time-varying link conditions.
+//!
+//! The paper's core critique of prior work is that static compression and
+//! selection strategies assume static networks; [`LinkTrace`] models the
+//! dynamic conditions AdaFL adapts to.
+
+use crate::{LinkSpec, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How a client's link evolves over simulated time.
+#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum TraceKind {
+    /// Conditions never change.
+    Constant,
+    /// Bandwidth periodically degrades: every `period` seconds the link
+    /// spends `duty × period` seconds at `degraded_scale` of its nominal
+    /// bandwidth (models recurring congestion).
+    Periodic {
+        /// Cycle length in seconds.
+        period: f64,
+        /// Fraction of the cycle spent degraded, in `(0, 1)`.
+        duty: f64,
+        /// Bandwidth multiplier while degraded, in `(0, 1]`.
+        degraded_scale: f64,
+    },
+    /// Seeded multiplicative random walk over bandwidth in
+    /// `[min_scale, max_scale]`, re-sampled every `step` seconds.
+    RandomWalk {
+        /// Re-sampling interval in seconds.
+        step: f64,
+        /// Lower bandwidth multiplier bound.
+        min_scale: f64,
+        /// Upper bandwidth multiplier bound.
+        max_scale: f64,
+        /// Walk seed.
+        seed: u64,
+    },
+}
+
+/// A client's nominal link plus its evolution over time.
+///
+/// # Examples
+///
+/// ```
+/// use adafl_netsim::{LinkProfile, LinkTrace, SimTime, TraceKind};
+///
+/// let trace = LinkTrace::new(LinkProfile::Broadband.spec(), TraceKind::Constant);
+/// let now = SimTime::from_seconds(100.0);
+/// assert_eq!(trace.link_at(now), trace.nominal());
+/// ```
+#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkTrace {
+    nominal: LinkSpec,
+    kind: TraceKind,
+}
+
+impl LinkTrace {
+    /// Creates a trace around a nominal link spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the trace kind's parameters are out of range (see
+    /// [`TraceKind`] field docs).
+    pub fn new(nominal: LinkSpec, kind: TraceKind) -> Self {
+        match kind {
+            TraceKind::Constant => {}
+            TraceKind::Periodic { period, duty, degraded_scale } => {
+                assert!(period > 0.0, "period must be positive");
+                assert!((0.0..1.0).contains(&duty) && duty > 0.0, "duty must be in (0, 1)");
+                assert!(
+                    degraded_scale > 0.0 && degraded_scale <= 1.0,
+                    "degraded_scale must be in (0, 1]"
+                );
+            }
+            TraceKind::RandomWalk { step, min_scale, max_scale, .. } => {
+                assert!(step > 0.0, "step must be positive");
+                assert!(
+                    0.0 < min_scale && min_scale <= max_scale,
+                    "scales must satisfy 0 < min ≤ max"
+                );
+            }
+        }
+        LinkTrace { nominal, kind }
+    }
+
+    /// Convenience constructor for a constant link.
+    pub fn constant(nominal: LinkSpec) -> Self {
+        LinkTrace::new(nominal, TraceKind::Constant)
+    }
+
+    /// The nominal (undegraded) link spec.
+    pub fn nominal(&self) -> LinkSpec {
+        self.nominal
+    }
+
+    /// The trace kind.
+    pub fn kind(&self) -> TraceKind {
+        self.kind
+    }
+
+    /// Link conditions at simulated time `now`.
+    ///
+    /// Random-walk traces derive their sample from the seed and the step
+    /// index, so the same `(trace, time)` pair always yields the same link —
+    /// the simulation stays deterministic regardless of query order.
+    pub fn link_at(&self, now: SimTime) -> LinkSpec {
+        match self.kind {
+            TraceKind::Constant => self.nominal,
+            TraceKind::Periodic { period, duty, degraded_scale } => {
+                let phase = (now.seconds() / period).fract();
+                if phase < duty {
+                    self.nominal.with_bandwidth_scaled(degraded_scale)
+                } else {
+                    self.nominal
+                }
+            }
+            TraceKind::RandomWalk { step, min_scale, max_scale, seed } => {
+                let index = (now.seconds() / step) as u64;
+                let mut rng = StdRng::seed_from_u64(seed ^ index.wrapping_mul(0x9E37_79B9));
+                let scale = rng.gen_range(min_scale..=max_scale);
+                self.nominal.with_bandwidth_scaled(scale)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinkProfile;
+
+    #[test]
+    fn constant_trace_never_changes() {
+        let trace = LinkTrace::constant(LinkProfile::Broadband.spec());
+        for t in [0.0, 1.0, 1e6] {
+            assert_eq!(trace.link_at(SimTime::from_seconds(t)), trace.nominal());
+        }
+    }
+
+    #[test]
+    fn periodic_trace_degrades_during_duty_window() {
+        let trace = LinkTrace::new(
+            LinkSpec::new(1000.0, 1000.0, 0.0, 0.0, 0.0),
+            TraceKind::Periodic { period: 10.0, duty: 0.3, degraded_scale: 0.1 },
+        );
+        // Inside the duty window.
+        let degraded = trace.link_at(SimTime::from_seconds(1.0));
+        assert_eq!(degraded.uplink_bandwidth(), 100.0);
+        // Outside it.
+        let normal = trace.link_at(SimTime::from_seconds(5.0));
+        assert_eq!(normal.uplink_bandwidth(), 1000.0);
+        // Next cycle degrades again.
+        let next = trace.link_at(SimTime::from_seconds(11.0));
+        assert_eq!(next.uplink_bandwidth(), 100.0);
+    }
+
+    #[test]
+    fn random_walk_is_deterministic_and_bounded() {
+        let trace = LinkTrace::new(
+            LinkSpec::new(1000.0, 1000.0, 0.0, 0.0, 0.0),
+            TraceKind::RandomWalk { step: 1.0, min_scale: 0.2, max_scale: 0.8, seed: 7 },
+        );
+        for i in 0..50 {
+            let t = SimTime::from_seconds(i as f64 * 0.5);
+            let a = trace.link_at(t);
+            let b = trace.link_at(t);
+            assert_eq!(a, b, "same query must give same link");
+            let bw = a.uplink_bandwidth();
+            assert!((200.0..=800.0).contains(&bw), "bandwidth {bw} out of range");
+        }
+    }
+
+    #[test]
+    fn random_walk_actually_varies() {
+        let trace = LinkTrace::new(
+            LinkSpec::new(1000.0, 1000.0, 0.0, 0.0, 0.0),
+            TraceKind::RandomWalk { step: 1.0, min_scale: 0.1, max_scale: 1.0, seed: 3 },
+        );
+        let a = trace.link_at(SimTime::from_seconds(0.5));
+        let b = trace.link_at(SimTime::from_seconds(1.5));
+        let c = trace.link_at(SimTime::from_seconds(2.5));
+        assert!(a != b || b != c, "walk never moved");
+    }
+
+    #[test]
+    #[should_panic(expected = "duty")]
+    fn invalid_duty_panics() {
+        LinkTrace::new(
+            LinkProfile::Broadband.spec(),
+            TraceKind::Periodic { period: 1.0, duty: 1.5, degraded_scale: 0.5 },
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! CSV import/export for per-client link traces.
+//!
+//! ns3-fl experiments are usually driven by trace files; this module gives
+//! the same workflow to the simulator: a fleet's nominal links and trace
+//! kinds serialise to a small CSV schema that can be checked into an
+//! experiment repository and re-loaded bit-identically.
+//!
+//! Schema (one row per client):
+//!
+//! ```csv
+//! client,up_bw,down_bw,up_lat,down_lat,drop_prob,kind,p1,p2,p3,p4
+//! 0,2000000,10000000,0.01,0.01,0.0,constant,,,,
+//! 1,50000,200000,0.05,0.05,0.01,periodic,60,0.25,0.1,
+//! 2,100000,500000,0.1,0.1,0.05,randomwalk,5,0.3,1.0,7
+//! ```
+
+use crate::{LinkSpec, LinkTrace, TraceKind};
+use std::error::Error;
+use std::fmt;
+
+/// Error from [`parse_traces`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    line: usize,
+    message: String,
+}
+
+impl ParseTraceError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseTraceError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace file line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseTraceError {}
+
+/// Renders a fleet's traces to the CSV schema.
+pub fn render_traces(traces: &[LinkTrace]) -> String {
+    let mut out =
+        String::from("client,up_bw,down_bw,up_lat,down_lat,drop_prob,kind,p1,p2,p3,p4\n");
+    for (i, trace) in traces.iter().enumerate() {
+        let l = trace.nominal();
+        let (kind, p1, p2, p3, p4) = match trace.kind() {
+            TraceKind::Constant => ("constant", String::new(), String::new(), String::new(), String::new()),
+            TraceKind::Periodic { period, duty, degraded_scale } => (
+                "periodic",
+                period.to_string(),
+                duty.to_string(),
+                degraded_scale.to_string(),
+                String::new(),
+            ),
+            TraceKind::RandomWalk { step, min_scale, max_scale, seed } => (
+                "randomwalk",
+                step.to_string(),
+                min_scale.to_string(),
+                max_scale.to_string(),
+                seed.to_string(),
+            ),
+        };
+        out.push_str(&format!(
+            "{i},{},{},{},{},{},{kind},{p1},{p2},{p3},{p4}\n",
+            l.uplink_bandwidth(),
+            l.downlink_bandwidth(),
+            l.uplink_latency(),
+            l.downlink_latency(),
+            l.drop_prob(),
+        ));
+    }
+    out
+}
+
+fn field<T: std::str::FromStr>(
+    cols: &[&str],
+    idx: usize,
+    name: &str,
+    line: usize,
+) -> Result<T, ParseTraceError> {
+    cols.get(idx)
+        .ok_or_else(|| ParseTraceError::new(line, format!("missing column {name}")))?
+        .trim()
+        .parse()
+        .map_err(|_| ParseTraceError::new(line, format!("invalid {name}: {:?}", cols[idx])))
+}
+
+/// Parses the CSV schema produced by [`render_traces`].
+///
+/// Rows must be ordered by client id starting at 0. Blank lines are
+/// skipped; a header row is required.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] describing the offending line for malformed
+/// input.
+pub fn parse_traces(csv: &str) -> Result<Vec<LinkTrace>, ParseTraceError> {
+    let mut lines = csv.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ParseTraceError::new(0, "empty trace file"))?;
+    if !header.starts_with("client,") {
+        return Err(ParseTraceError::new(1, "missing header row"));
+    }
+    let mut traces = Vec::new();
+    for (i, raw) in lines {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let cols: Vec<&str> = line.split(',').collect();
+        let client: usize = field(&cols, 0, "client", line_no)?;
+        if client != traces.len() {
+            return Err(ParseTraceError::new(
+                line_no,
+                format!("client ids must be dense: expected {}, got {client}", traces.len()),
+            ));
+        }
+        let up_bw: f64 = field(&cols, 1, "up_bw", line_no)?;
+        let down_bw: f64 = field(&cols, 2, "down_bw", line_no)?;
+        let up_lat: f64 = field(&cols, 3, "up_lat", line_no)?;
+        let down_lat: f64 = field(&cols, 4, "down_lat", line_no)?;
+        let drop: f64 = field(&cols, 5, "drop_prob", line_no)?;
+        if up_bw <= 0.0 || down_bw <= 0.0 || !(0.0..=1.0).contains(&drop) {
+            return Err(ParseTraceError::new(line_no, "link parameters out of range"));
+        }
+        let spec = LinkSpec::new(up_bw, down_bw, up_lat, down_lat, drop);
+        let kind_str = cols
+            .get(6)
+            .map(|s| s.trim())
+            .ok_or_else(|| ParseTraceError::new(line_no, "missing kind column"))?;
+        let kind = match kind_str {
+            "constant" => TraceKind::Constant,
+            "periodic" => TraceKind::Periodic {
+                period: field(&cols, 7, "period", line_no)?,
+                duty: field(&cols, 8, "duty", line_no)?,
+                degraded_scale: field(&cols, 9, "degraded_scale", line_no)?,
+            },
+            "randomwalk" => TraceKind::RandomWalk {
+                step: field(&cols, 7, "step", line_no)?,
+                min_scale: field(&cols, 8, "min_scale", line_no)?,
+                max_scale: field(&cols, 9, "max_scale", line_no)?,
+                seed: field(&cols, 10, "seed", line_no)?,
+            },
+            other => {
+                return Err(ParseTraceError::new(line_no, format!("unknown kind {other:?}")))
+            }
+        };
+        traces.push(LinkTrace::new(spec, kind));
+    }
+    Ok(traces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinkProfile;
+
+    fn fleet() -> Vec<LinkTrace> {
+        vec![
+            LinkTrace::constant(LinkProfile::Broadband.spec()),
+            LinkTrace::new(
+                LinkProfile::Constrained.spec(),
+                TraceKind::Periodic { period: 60.0, duty: 0.25, degraded_scale: 0.1 },
+            ),
+            LinkTrace::new(
+                LinkProfile::Cellular.spec(),
+                TraceKind::RandomWalk { step: 5.0, min_scale: 0.3, max_scale: 1.0, seed: 7 },
+            ),
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_traces() {
+        let original = fleet();
+        let csv = render_traces(&original);
+        let parsed = parse_traces(&csv).unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let err = parse_traces("0,1,1,0,0,0,constant,,,,\n").unwrap_err();
+        assert!(err.to_string().contains("header"));
+    }
+
+    #[test]
+    fn rejects_sparse_client_ids() {
+        let csv = "client,up_bw,down_bw,up_lat,down_lat,drop_prob,kind,p1,p2,p3,p4\n\
+                   1,1000,1000,0,0,0,constant,,,,\n";
+        let err = parse_traces(csv).unwrap_err();
+        assert!(err.to_string().contains("dense"));
+    }
+
+    #[test]
+    fn rejects_bad_numbers_and_kinds() {
+        let base = "client,up_bw,down_bw,up_lat,down_lat,drop_prob,kind,p1,p2,p3,p4\n";
+        assert!(parse_traces(&format!("{base}0,abc,1000,0,0,0,constant,,,,\n")).is_err());
+        assert!(parse_traces(&format!("{base}0,1000,1000,0,0,2.0,constant,,,,\n")).is_err());
+        assert!(parse_traces(&format!("{base}0,1000,1000,0,0,0,quantum,,,,\n")).is_err());
+        assert!(parse_traces(&format!("{base}0,1000,1000,0,0,0,periodic,60,,,\n")).is_err());
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let csv = format!("{}\n\n", render_traces(&fleet()));
+        assert_eq!(parse_traces(&csv).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let csv = "client,up_bw,down_bw,up_lat,down_lat,drop_prob,kind,p1,p2,p3,p4\n\
+                   0,1000,1000,0,0,0,constant,,,,\n\
+                   1,zzz,1000,0,0,0,constant,,,,\n";
+        let err = parse_traces(csv).unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+    }
+}

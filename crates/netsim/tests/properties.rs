@@ -1,0 +1,87 @@
+//! Property-based tests of the network simulator.
+
+use adafl_netsim::{EventQueue, LinkSpec, LinkTrace, SimTime, TraceKind};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn transfer_time_is_monotone_in_payload(
+        bw in 1_000.0f64..10_000_000.0,
+        latency in 0.0f64..1.0,
+        small in 0usize..100_000,
+        extra in 1usize..100_000,
+    ) {
+        let link = LinkSpec::new(bw, bw, latency, latency, 0.0);
+        let t_small = link.uplink_time(small);
+        let t_big = link.uplink_time(small + extra);
+        prop_assert!(t_big > t_small);
+        prop_assert!(t_small.seconds() >= latency);
+    }
+
+    #[test]
+    fn transfer_time_scales_inversely_with_bandwidth(
+        bw in 1_000.0f64..1_000_000.0,
+        bytes in 1usize..1_000_000,
+    ) {
+        let slow = LinkSpec::new(bw, bw, 0.0, 0.0, 0.0);
+        let fast = LinkSpec::new(bw * 2.0, bw * 2.0, 0.0, 0.0, 0.0);
+        let ratio = slow.uplink_time(bytes).seconds() / fast.uplink_time(bytes).seconds();
+        prop_assert!((ratio - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn event_queue_pops_sorted(times in proptest::collection::vec(0.0f64..1000.0, 1..50)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_seconds(t), i);
+        }
+        let mut last = -1.0f64;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t.seconds() >= last);
+            last = t.seconds();
+        }
+    }
+
+    #[test]
+    fn periodic_trace_never_exceeds_nominal(
+        period in 0.5f64..100.0,
+        duty in 0.01f64..0.99,
+        scale in 0.01f64..1.0,
+        at in 0.0f64..10_000.0,
+    ) {
+        let nominal = LinkSpec::new(1_000_000.0, 2_000_000.0, 0.01, 0.01, 0.0);
+        let trace = LinkTrace::new(
+            nominal,
+            TraceKind::Periodic { period, duty, degraded_scale: scale },
+        );
+        let link = trace.link_at(SimTime::from_seconds(at));
+        prop_assert!(link.uplink_bandwidth() <= nominal.uplink_bandwidth() + 1e-9);
+        prop_assert!(link.uplink_bandwidth() >= nominal.uplink_bandwidth() * scale - 1e-9);
+    }
+
+    #[test]
+    fn random_walk_trace_stays_in_bounds(
+        step in 0.1f64..50.0,
+        lo in 0.05f64..0.5,
+        hi_extra in 0.0f64..0.5,
+        seed in 0u64..100,
+        at in 0.0f64..10_000.0,
+    ) {
+        let hi = lo + hi_extra;
+        let nominal = LinkSpec::new(1_000_000.0, 1_000_000.0, 0.0, 0.0, 0.0);
+        let trace = LinkTrace::new(
+            nominal,
+            TraceKind::RandomWalk { step, min_scale: lo, max_scale: hi, seed },
+        );
+        let bw = trace.link_at(SimTime::from_seconds(at)).uplink_bandwidth();
+        prop_assert!(bw >= 1_000_000.0 * lo - 1e-6);
+        prop_assert!(bw <= 1_000_000.0 * hi + 1e-6);
+    }
+
+    #[test]
+    fn sim_time_addition_is_commutative(a in 0.0f64..1e6, b in 0.0f64..1e6) {
+        let x = SimTime::from_seconds(a) + SimTime::from_seconds(b);
+        let y = SimTime::from_seconds(b) + SimTime::from_seconds(a);
+        prop_assert_eq!(x, y);
+    }
+}

@@ -1,0 +1,61 @@
+use adafl_tensor::Tensor;
+
+/// A neural-network layer with explicit forward and backward passes.
+///
+/// All layers exchange rank-2 tensors shaped `[batch, features]`;
+/// convolutional layers interpret each row as a flattened
+/// `channels × height × width` image using geometry fixed at construction.
+/// This keeps the container plumbing trivial while supporting the paper's
+/// CNN/ResNet/VGG topologies.
+///
+/// A layer caches whatever it needs from `forward` (inputs, masks, argmax
+/// indices) so that `backward` can run without re-receiving the input.
+/// Parameter gradients accumulate across `backward` calls until
+/// [`Layer::zero_grads`] is called, matching the local-iteration loop of
+/// federated clients.
+///
+/// The trait is object-safe: models store `Box<dyn Layer>`.
+pub trait Layer: Send + std::fmt::Debug {
+    /// Runs the forward pass, caching state needed by [`Layer::backward`].
+    ///
+    /// `train` distinguishes training from inference for layers such as
+    /// dropout that behave differently between the two.
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Propagates `grad_out` (∂loss/∂output) to the input, returning
+    /// ∂loss/∂input and accumulating parameter gradients internally.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when called before [`Layer::forward`] or
+    /// with a gradient whose shape differs from the last forward output.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Total number of trainable scalars in this layer.
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    /// Visits each parameter block (read-only), in a stable order.
+    fn visit_params(&self, _f: &mut dyn FnMut(&[f32])) {}
+
+    /// Visits each parameter block mutably, in the same order as
+    /// [`Layer::visit_params`].
+    fn visit_params_mut(&mut self, _f: &mut dyn FnMut(&mut [f32])) {}
+
+    /// Visits each gradient block (read-only), in the same order as
+    /// [`Layer::visit_params`].
+    fn visit_grads(&self, _f: &mut dyn FnMut(&[f32])) {}
+
+    /// Resets accumulated gradients to zero.
+    fn zero_grads(&mut self) {}
+
+    /// Short human-readable layer name for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Output feature count for a given input feature count, used to chain
+    /// layers when building models.
+    fn out_features(&self, in_features: usize) -> usize {
+        in_features
+    }
+}

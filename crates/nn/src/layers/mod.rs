@@ -1,0 +1,22 @@
+//! Concrete layer implementations.
+//!
+//! All layers implement [`Layer`](crate::Layer) and exchange `[batch,
+//! features]` tensors; see the trait docs for the calling convention.
+
+mod activation;
+mod activation2;
+mod avgpool;
+mod conv;
+mod dense;
+mod dropout;
+mod pool;
+mod residual;
+
+pub use activation::Relu;
+pub use activation2::{Sigmoid, Tanh};
+pub use avgpool::AvgPool2d;
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use pool::MaxPool2d;
+pub use residual::Residual;

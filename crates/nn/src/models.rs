@@ -1,0 +1,372 @@
+//! The model zoo used by the paper's experiments.
+//!
+//! * [`mnist_cnn`] — the **exact** CNN from the paper (and [27]): two 5×5
+//!   convolutions with 20 and 50 output channels, each followed by 2×2 max
+//!   pooling, then a 500-unit fully-connected layer and the classifier head.
+//! * [`resnet_lite`] — a scaled-down residual network standing in for
+//!   ResNet-50 (see DESIGN.md's substitution table).
+//! * [`vgg_lite`] — a scaled-down VGG-style network standing in for VGG-Net.
+//! * [`mlp`] / [`logistic_regression`] — light models for fast tests.
+//!
+//! [`ModelSpec`] is a serializable-by-value recipe so that every federated
+//! client can construct the *same* initial model from the same seed.
+
+use crate::layers::{Conv2d, Dense, MaxPool2d, Relu, Residual};
+use crate::{Layer, Model};
+use adafl_tensor::Conv2dGeometry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds the paper's MNIST CNN for `height × width` single-channel inputs.
+///
+/// Architecture: conv 5×5 → 20 ch → 2×2 max-pool → conv 5×5 → 50 ch →
+/// 2×2 max-pool → dense 500 → ReLU → dense `classes`.
+///
+/// # Panics
+///
+/// Panics when the input is too small for the two 5×5/pool stages (the
+/// spatial size after each convolution must be even and positive; 28×28 and
+/// 16×16 both work).
+pub fn mnist_cnn<R: Rng + ?Sized>(
+    rng: &mut R,
+    height: usize,
+    width: usize,
+    classes: usize,
+) -> Model {
+    let g1 = Conv2dGeometry::new(1, height, width, 5, 1, 0);
+    let (h1, w1) = (g1.out_h(), g1.out_w());
+    assert!(h1 % 2 == 0 && w1 % 2 == 0, "first conv output must be pool-divisible");
+    let conv1 = Conv2d::new(rng, g1, 20);
+    let pool1 = MaxPool2d::new(20, h1, w1, 2);
+    let g2 = Conv2dGeometry::new(20, h1 / 2, w1 / 2, 5, 1, 0);
+    let (h2, w2) = (g2.out_h(), g2.out_w());
+    assert!(h2 % 2 == 0 && w2 % 2 == 0, "second conv output must be pool-divisible");
+    let conv2 = Conv2d::new(rng, g2, 50);
+    let pool2 = MaxPool2d::new(50, h2, w2, 2);
+    let flat = 50 * (h2 / 2) * (w2 / 2);
+    let fc1 = Dense::new(rng, flat, 500);
+    let fc2 = Dense::new(rng, 500, classes);
+    Model::new(
+        vec![
+            Box::new(conv1),
+            Box::new(Relu::new()),
+            Box::new(pool1),
+            Box::new(conv2),
+            Box::new(Relu::new()),
+            Box::new(pool2),
+            Box::new(fc1),
+            Box::new(Relu::new()),
+            Box::new(fc2),
+        ],
+        height * width,
+    )
+}
+
+/// Builds a compact residual network for `[channels, height, width]` inputs.
+///
+/// Stem convolution (3×3, pad 1) to `base_channels`, 2×2 pool, then `blocks`
+/// shape-preserving residual blocks (conv 3×3 pad 1 + ReLU bodies), a final
+/// pool and a dense classifier. Stand-in for ResNet-50 per DESIGN.md.
+///
+/// # Panics
+///
+/// Panics when the spatial dims are not divisible by 4 (two 2× pools).
+pub fn resnet_lite<R: Rng + ?Sized>(
+    rng: &mut R,
+    channels: usize,
+    height: usize,
+    width: usize,
+    base_channels: usize,
+    blocks: usize,
+    classes: usize,
+) -> Model {
+    assert!(height.is_multiple_of(4) && width.is_multiple_of(4), "input dims must be divisible by 4");
+    let stem_geom = Conv2dGeometry::new(channels, height, width, 3, 1, 1);
+    let mut layers: Vec<Box<dyn Layer>> = vec![
+        Box::new(Conv2d::new(rng, stem_geom, base_channels)),
+        Box::new(Relu::new()),
+        Box::new(MaxPool2d::new(base_channels, height, width, 2)),
+    ];
+    let (h, w) = (height / 2, width / 2);
+    for _ in 0..blocks {
+        let body_geom = Conv2dGeometry::new(base_channels, h, w, 3, 1, 1);
+        let body: Vec<Box<dyn Layer>> = vec![
+            Box::new(Conv2d::new(rng, body_geom, base_channels)),
+            Box::new(Relu::new()),
+        ];
+        layers.push(Box::new(Residual::new(body)));
+    }
+    layers.push(Box::new(MaxPool2d::new(base_channels, h, w, 2)));
+    let flat = base_channels * (h / 2) * (w / 2);
+    layers.push(Box::new(Dense::new(rng, flat, classes)));
+    Model::new(layers, channels * height * width)
+}
+
+/// Builds a compact VGG-style network: two conv-conv-pool stages followed by
+/// a dense head. Stand-in for VGG-Net per DESIGN.md.
+///
+/// # Panics
+///
+/// Panics when the spatial dims are not divisible by 4 (two 2× pools).
+pub fn vgg_lite<R: Rng + ?Sized>(
+    rng: &mut R,
+    channels: usize,
+    height: usize,
+    width: usize,
+    base_channels: usize,
+    classes: usize,
+) -> Model {
+    assert!(height.is_multiple_of(4) && width.is_multiple_of(4), "input dims must be divisible by 4");
+    let c1 = base_channels;
+    let c2 = base_channels * 2;
+    let g1 = Conv2dGeometry::new(channels, height, width, 3, 1, 1);
+    let g1b = Conv2dGeometry::new(c1, height, width, 3, 1, 1);
+    let (h2, w2) = (height / 2, width / 2);
+    let g2 = Conv2dGeometry::new(c1, h2, w2, 3, 1, 1);
+    let g2b = Conv2dGeometry::new(c2, h2, w2, 3, 1, 1);
+    let flat = c2 * (h2 / 2) * (w2 / 2);
+    Model::new(
+        vec![
+            Box::new(Conv2d::new(rng, g1, c1)),
+            Box::new(Relu::new()),
+            Box::new(Conv2d::new(rng, g1b, c1)),
+            Box::new(Relu::new()),
+            Box::new(MaxPool2d::new(c1, height, width, 2)),
+            Box::new(Conv2d::new(rng, g2, c2)),
+            Box::new(Relu::new()),
+            Box::new(Conv2d::new(rng, g2b, c2)),
+            Box::new(Relu::new()),
+            Box::new(MaxPool2d::new(c2, h2, w2, 2)),
+            Box::new(Dense::new(rng, flat, 128)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(rng, 128, classes)),
+        ],
+        channels * height * width,
+    )
+}
+
+/// Builds a multi-layer perceptron with ReLU activations between layers.
+///
+/// # Panics
+///
+/// Panics when `in_features` or `classes` is zero.
+pub fn mlp<R: Rng + ?Sized>(
+    rng: &mut R,
+    in_features: usize,
+    hidden: &[usize],
+    classes: usize,
+) -> Model {
+    assert!(in_features > 0 && classes > 0, "widths must be positive");
+    let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+    let mut width = in_features;
+    for &h in hidden {
+        layers.push(Box::new(Dense::new(rng, width, h)));
+        layers.push(Box::new(Relu::new()));
+        width = h;
+    }
+    layers.push(Box::new(Dense::new(rng, width, classes)));
+    Model::new(layers, in_features)
+}
+
+/// Builds a softmax (logistic) regression model: a single dense layer.
+pub fn logistic_regression<R: Rng + ?Sized>(
+    rng: &mut R,
+    in_features: usize,
+    classes: usize,
+) -> Model {
+    Model::new(vec![Box::new(Dense::new(rng, in_features, classes))], in_features)
+}
+
+/// A by-value recipe for constructing a model deterministically.
+///
+/// Federated experiments hand the same `ModelSpec` + seed to every client so
+/// all parties start from identical parameters.
+///
+/// # Examples
+///
+/// ```
+/// use adafl_nn::models::ModelSpec;
+///
+/// let spec = ModelSpec::Mlp { in_features: 8, hidden: vec![16], classes: 4 };
+/// let a = spec.build(7);
+/// let b = spec.build(7);
+/// assert_eq!(a.params_flat(), b.params_flat());
+/// ```
+#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelSpec {
+    /// The paper's MNIST CNN ([`mnist_cnn`]).
+    MnistCnn {
+        /// Input height (e.g. 28 or 16).
+        height: usize,
+        /// Input width.
+        width: usize,
+        /// Number of classes.
+        classes: usize,
+    },
+    /// Residual stand-in for ResNet-50 ([`resnet_lite`]).
+    ResNetLite {
+        /// Input channels.
+        channels: usize,
+        /// Input height.
+        height: usize,
+        /// Input width.
+        width: usize,
+        /// Stem channel width.
+        base_channels: usize,
+        /// Number of residual blocks.
+        blocks: usize,
+        /// Number of classes.
+        classes: usize,
+    },
+    /// VGG-style stand-in for VGG-Net ([`vgg_lite`]).
+    VggLite {
+        /// Input channels.
+        channels: usize,
+        /// Input height.
+        height: usize,
+        /// Input width.
+        width: usize,
+        /// First-stage channel width.
+        base_channels: usize,
+        /// Number of classes.
+        classes: usize,
+    },
+    /// Multi-layer perceptron ([`mlp`]).
+    Mlp {
+        /// Input feature width.
+        in_features: usize,
+        /// Hidden widths.
+        hidden: Vec<usize>,
+        /// Number of classes.
+        classes: usize,
+    },
+    /// Softmax regression ([`logistic_regression`]).
+    LogisticRegression {
+        /// Input feature width.
+        in_features: usize,
+        /// Number of classes.
+        classes: usize,
+    },
+}
+
+impl ModelSpec {
+    /// Constructs the model with weights drawn from `seed`.
+    pub fn build(&self, seed: u64) -> Model {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match self {
+            ModelSpec::MnistCnn { height, width, classes } => {
+                mnist_cnn(&mut rng, *height, *width, *classes)
+            }
+            ModelSpec::ResNetLite { channels, height, width, base_channels, blocks, classes } => {
+                resnet_lite(&mut rng, *channels, *height, *width, *base_channels, *blocks, *classes)
+            }
+            ModelSpec::VggLite { channels, height, width, base_channels, classes } => {
+                vgg_lite(&mut rng, *channels, *height, *width, *base_channels, *classes)
+            }
+            ModelSpec::Mlp { in_features, hidden, classes } => {
+                mlp(&mut rng, *in_features, hidden, *classes)
+            }
+            ModelSpec::LogisticRegression { in_features, classes } => {
+                logistic_regression(&mut rng, *in_features, *classes)
+            }
+        }
+    }
+
+    /// Input feature width of models built from this spec.
+    pub fn in_features(&self) -> usize {
+        match self {
+            ModelSpec::MnistCnn { height, width, .. } => height * width,
+            ModelSpec::ResNetLite { channels, height, width, .. }
+            | ModelSpec::VggLite { channels, height, width, .. } => channels * height * width,
+            ModelSpec::Mlp { in_features, .. }
+            | ModelSpec::LogisticRegression { in_features, .. } => *in_features,
+        }
+    }
+
+    /// Number of classes of models built from this spec.
+    pub fn classes(&self) -> usize {
+        match self {
+            ModelSpec::MnistCnn { classes, .. }
+            | ModelSpec::ResNetLite { classes, .. }
+            | ModelSpec::VggLite { classes, .. }
+            | ModelSpec::Mlp { classes, .. }
+            | ModelSpec::LogisticRegression { classes, .. } => *classes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adafl_tensor::Tensor;
+
+    #[test]
+    fn mnist_cnn_matches_paper_dimensions() {
+        // 28×28 → conv5 → 24 → pool → 12 → conv5 → 8 → pool → 4.
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut m = mnist_cnn(&mut rng, 28, 28, 10);
+        assert_eq!(m.in_features(), 784);
+        assert_eq!(m.out_features(), 10);
+        let y = m.forward(&Tensor::zeros(&[1, 784]), false);
+        assert_eq!(y.shape().dims(), &[1, 10]);
+        // Parameter count: conv1 5·5·1·20+20, conv2 5·5·20·50+50,
+        // fc1 800·500+500, fc2 500·10+10.
+        let expected = (25 * 20 + 20) + (25 * 20 * 50 + 50) + (800 * 500 + 500) + (500 * 10 + 10);
+        assert_eq!(m.param_count(), expected);
+    }
+
+    #[test]
+    fn mnist_cnn_small_input_variant() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut m = mnist_cnn(&mut rng, 16, 16, 10);
+        let y = m.forward(&Tensor::zeros(&[2, 256]), false);
+        assert_eq!(y.shape().dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn resnet_lite_forward_backward() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = resnet_lite(&mut rng, 3, 8, 8, 8, 2, 10);
+        let x = Tensor::ones(&[2, 3 * 64]);
+        let y = m.forward(&x, true);
+        assert_eq!(y.shape().dims(), &[2, 10]);
+        let dx = m.backward(&Tensor::ones(&[2, 10]));
+        assert_eq!(dx.shape().dims(), &[2, 192]);
+    }
+
+    #[test]
+    fn vgg_lite_forward() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut m = vgg_lite(&mut rng, 3, 8, 8, 4, 100);
+        let y = m.forward(&Tensor::zeros(&[1, 192]), false);
+        assert_eq!(y.shape().dims(), &[1, 100]);
+    }
+
+    #[test]
+    fn spec_builds_identical_models_per_seed() {
+        let spec = ModelSpec::MnistCnn { height: 16, width: 16, classes: 10 };
+        assert_eq!(spec.build(3).params_flat(), spec.build(3).params_flat());
+        assert_ne!(spec.build(3).params_flat(), spec.build(4).params_flat());
+        assert_eq!(spec.in_features(), 256);
+        assert_eq!(spec.classes(), 10);
+    }
+
+    #[test]
+    fn mlp_hidden_stack() {
+        let spec = ModelSpec::Mlp { in_features: 6, hidden: vec![8, 4], classes: 2 };
+        let m = spec.build(0);
+        // dense(6→8)+relu+dense(8→4)+relu+dense(4→2)
+        assert_eq!(m.len(), 5);
+        assert_eq!(m.param_count(), (6 * 8 + 8) + (8 * 4 + 4) + (4 * 2 + 2));
+    }
+
+    #[test]
+    fn logistic_regression_is_single_layer() {
+        let spec = ModelSpec::LogisticRegression { in_features: 5, classes: 3 };
+        let m = spec.build(0);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.param_count(), 5 * 3 + 3);
+    }
+}

@@ -1,0 +1,199 @@
+//! Learning-rate schedules.
+//!
+//! Federated runs often decay the client learning rate over communication
+//! rounds; a [`LrSchedule`] maps a round index to a rate, and
+//! [`LrSchedule::apply`] installs it on any [`Optimizer`](crate::optim::Optimizer).
+
+use crate::optim::Optimizer;
+
+/// A learning-rate schedule over training rounds.
+///
+/// # Examples
+///
+/// ```
+/// use adafl_nn::schedule::LrSchedule;
+///
+/// let s = LrSchedule::step(0.1, 10, 0.5);
+/// assert_eq!(s.rate_at(0), 0.1);
+/// assert_eq!(s.rate_at(10), 0.05);
+/// assert_eq!(s.rate_at(25), 0.025);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LrSchedule {
+    /// Constant rate.
+    Constant {
+        /// The rate.
+        rate: f32,
+    },
+    /// Multiply by `gamma` every `every` rounds.
+    Step {
+        /// Initial rate.
+        initial: f32,
+        /// Decay interval in rounds.
+        every: usize,
+        /// Multiplicative decay factor in `(0, 1]`.
+        gamma: f32,
+    },
+    /// Cosine annealing from `initial` to `floor` over `horizon` rounds,
+    /// constant at `floor` afterwards.
+    Cosine {
+        /// Initial rate.
+        initial: f32,
+        /// Final rate.
+        floor: f32,
+        /// Annealing horizon in rounds.
+        horizon: usize,
+    },
+    /// Linear warm-up from `initial / warmup` to `initial` over `warmup`
+    /// rounds, constant afterwards.
+    Warmup {
+        /// Post-warm-up rate.
+        initial: f32,
+        /// Warm-up length in rounds.
+        warmup: usize,
+    },
+}
+
+impl LrSchedule {
+    /// Constant schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rate` is not positive.
+    pub fn constant(rate: f32) -> Self {
+        assert!(rate > 0.0, "rate must be positive");
+        LrSchedule::Constant { rate }
+    }
+
+    /// Step-decay schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `initial ≤ 0`, `every == 0`, or `gamma ∉ (0, 1]`.
+    pub fn step(initial: f32, every: usize, gamma: f32) -> Self {
+        assert!(initial > 0.0, "initial rate must be positive");
+        assert!(every > 0, "decay interval must be positive");
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
+        LrSchedule::Step { initial, every, gamma }
+    }
+
+    /// Cosine-annealing schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics when rates are non-positive, `floor > initial`, or
+    /// `horizon == 0`.
+    pub fn cosine(initial: f32, floor: f32, horizon: usize) -> Self {
+        assert!(initial > 0.0 && floor > 0.0, "rates must be positive");
+        assert!(floor <= initial, "floor must not exceed the initial rate");
+        assert!(horizon > 0, "horizon must be positive");
+        LrSchedule::Cosine { initial, floor, horizon }
+    }
+
+    /// Linear warm-up schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `initial ≤ 0` or `warmup == 0`.
+    pub fn warmup(initial: f32, warmup: usize) -> Self {
+        assert!(initial > 0.0, "initial rate must be positive");
+        assert!(warmup > 0, "warm-up length must be positive");
+        LrSchedule::Warmup { initial, warmup }
+    }
+
+    /// Learning rate at round `round`.
+    pub fn rate_at(&self, round: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant { rate } => rate,
+            LrSchedule::Step { initial, every, gamma } => {
+                initial * gamma.powi((round / every) as i32)
+            }
+            LrSchedule::Cosine { initial, floor, horizon } => {
+                if round >= horizon {
+                    floor
+                } else {
+                    let t = round as f32 / horizon as f32;
+                    floor
+                        + 0.5 * (initial - floor) * (1.0 + (std::f32::consts::PI * t).cos())
+                }
+            }
+            LrSchedule::Warmup { initial, warmup } => {
+                if round >= warmup {
+                    initial
+                } else {
+                    initial * (round + 1) as f32 / warmup as f32
+                }
+            }
+        }
+    }
+
+    /// Installs the rate for `round` on an optimizer.
+    pub fn apply(&self, optimizer: &mut dyn Optimizer, round: usize) {
+        optimizer.set_learning_rate(self.rate_at(round));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Sgd;
+
+    #[test]
+    fn constant_never_changes() {
+        let s = LrSchedule::constant(0.1);
+        assert_eq!(s.rate_at(0), 0.1);
+        assert_eq!(s.rate_at(1000), 0.1);
+    }
+
+    #[test]
+    fn step_decays_multiplicatively() {
+        let s = LrSchedule::step(1.0, 5, 0.1);
+        assert_eq!(s.rate_at(4), 1.0);
+        assert!((s.rate_at(5) - 0.1).abs() < 1e-7);
+        assert!((s.rate_at(14) - 0.01).abs() < 1e-7);
+    }
+
+    #[test]
+    fn cosine_interpolates_and_floors() {
+        let s = LrSchedule::cosine(1.0, 0.1, 10);
+        assert_eq!(s.rate_at(0), 1.0);
+        let mid = s.rate_at(5);
+        assert!((mid - 0.55).abs() < 1e-6, "midpoint {mid}");
+        assert_eq!(s.rate_at(10), 0.1);
+        assert_eq!(s.rate_at(99), 0.1);
+    }
+
+    #[test]
+    fn cosine_is_monotone_decreasing() {
+        let s = LrSchedule::cosine(1.0, 0.01, 20);
+        let mut prev = f32::INFINITY;
+        for r in 0..=20 {
+            let rate = s.rate_at(r);
+            assert!(rate <= prev + 1e-7);
+            prev = rate;
+        }
+    }
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = LrSchedule::warmup(0.5, 5);
+        assert!((s.rate_at(0) - 0.1).abs() < 1e-7);
+        assert!((s.rate_at(4) - 0.5).abs() < 1e-7);
+        assert_eq!(s.rate_at(100), 0.5);
+    }
+
+    #[test]
+    fn apply_sets_optimizer_rate() {
+        let s = LrSchedule::step(1.0, 1, 0.5);
+        let mut sgd = Sgd::new(1.0, 0.0, 0.0);
+        s.apply(&mut sgd, 2);
+        assert_eq!(sgd.learning_rate(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "floor")]
+    fn inverted_cosine_panics() {
+        LrSchedule::cosine(0.1, 1.0, 5);
+    }
+}

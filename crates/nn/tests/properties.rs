@@ -1,0 +1,103 @@
+//! Property-based tests of model and optimizer invariants.
+
+use adafl_nn::loss::{CrossEntropyLoss, MseLoss};
+use adafl_nn::models::ModelSpec;
+use adafl_nn::optim::{Adam, Optimizer, Sgd};
+use adafl_tensor::Tensor;
+use proptest::prelude::*;
+
+fn vec_f32(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-5.0f32..5.0, len)
+}
+
+proptest! {
+    #[test]
+    fn params_flat_round_trips_through_any_vector(values in vec_f32(3 * 4 + 4)) {
+        let spec = ModelSpec::LogisticRegression { in_features: 3, classes: 4 };
+        let mut model = spec.build(0);
+        model.set_params_flat(&values);
+        prop_assert_eq!(model.params_flat(), values);
+    }
+
+    #[test]
+    fn forward_is_pure_wrt_parameters(data in vec_f32(6), seed in 0u64..100) {
+        let spec = ModelSpec::Mlp { in_features: 3, hidden: vec![4], classes: 2 };
+        let mut model = spec.build(seed);
+        let x = Tensor::from_vec(data, &[2, 3]).unwrap();
+        let before = model.params_flat();
+        let y1 = model.forward(&x, false);
+        let y2 = model.forward(&x, false);
+        prop_assert_eq!(y1, y2);
+        prop_assert_eq!(model.params_flat(), before);
+    }
+
+    #[test]
+    fn cross_entropy_is_non_negative(logits in vec_f32(8), label in 0usize..4) {
+        let t = Tensor::from_vec(logits, &[2, 4]).unwrap();
+        let (loss, grad) = CrossEntropyLoss.loss_and_grad(&t, &[label, 3 - label.min(3)]);
+        prop_assert!(loss >= 0.0);
+        prop_assert!(grad.as_slice().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn cross_entropy_gradient_rows_sum_to_zero(logits in vec_f32(12)) {
+        let t = Tensor::from_vec(logits, &[3, 4]).unwrap();
+        let (_, grad) = CrossEntropyLoss.loss_and_grad(&t, &[0, 1, 2]);
+        for row in grad.as_slice().chunks(4) {
+            let s: f32 = row.iter().sum();
+            prop_assert!(s.abs() < 1e-5, "row sum {s}");
+        }
+    }
+
+    #[test]
+    fn mse_is_zero_iff_equal(a in vec_f32(6)) {
+        let t = Tensor::from_slice(&a);
+        let (loss, _) = MseLoss.loss_and_grad(&t, &t);
+        prop_assert_eq!(loss, 0.0);
+        let shifted = t.map(|x| x + 1.0);
+        let (loss2, _) = MseLoss.loss_and_grad(&t, &shifted);
+        prop_assert!(loss2 > 0.5);
+    }
+
+    #[test]
+    fn sgd_zero_gradient_is_identity_without_decay(params in vec_f32(8), lr in 0.001f32..1.0) {
+        let mut sgd = Sgd::new(lr, 0.9, 0.0);
+        let mut p = params.clone();
+        sgd.step(&mut p, &[0.0; 8]);
+        prop_assert_eq!(p, params);
+    }
+
+    #[test]
+    fn sgd_step_is_linear_in_learning_rate(params in vec_f32(4), grads in vec_f32(4)) {
+        let step = |lr: f32| {
+            let mut sgd = Sgd::new(lr, 0.0, 0.0);
+            let mut p = params.clone();
+            sgd.step(&mut p, &grads);
+            p
+        };
+        let small = step(0.1);
+        let big = step(0.2);
+        for ((s, b), orig) in small.iter().zip(&big).zip(&params) {
+            let ds = s - orig;
+            let db = b - orig;
+            prop_assert!((db - 2.0 * ds).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn adam_moves_opposite_to_gradient_sign(grads in vec_f32(6)) {
+        prop_assume!(grads.iter().all(|g| g.abs() > 0.01));
+        let mut adam = Adam::new(0.1);
+        let mut p = vec![0.0f32; 6];
+        adam.step(&mut p, &grads);
+        for (x, g) in p.iter().zip(&grads) {
+            prop_assert!(x * g <= 0.0, "adam moved with the gradient: {x} vs {g}");
+        }
+    }
+
+    #[test]
+    fn model_spec_builds_are_seed_deterministic(seed in 0u64..1000) {
+        let spec = ModelSpec::Mlp { in_features: 4, hidden: vec![3], classes: 2 };
+        prop_assert_eq!(spec.build(seed).params_flat(), spec.build(seed).params_flat());
+    }
+}

@@ -1,0 +1,100 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by tensor construction and arithmetic.
+///
+/// All fallible public functions in this crate return
+/// [`Result<T, TensorError>`](crate::Result).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// The provided data length does not match the product of the shape.
+    LengthMismatch {
+        /// Number of elements implied by the requested shape.
+        expected: usize,
+        /// Number of elements actually supplied.
+        actual: usize,
+    },
+    /// Two tensors have incompatible shapes for the attempted operation.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand.
+        rhs: Vec<usize>,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// The operation requires a tensor of a specific rank.
+    RankMismatch {
+        /// Rank the operation requires.
+        expected: usize,
+        /// Rank of the tensor supplied.
+        actual: usize,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// An axis argument is out of bounds for the tensor's rank.
+    AxisOutOfBounds {
+        /// The offending axis.
+        axis: usize,
+        /// Rank of the tensor.
+        rank: usize,
+    },
+    /// A tensor with zero elements was used where data is required.
+    Empty {
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "data length {actual} does not match shape volume {expected}")
+            }
+            TensorError::ShapeMismatch { lhs, rhs, op } => {
+                write!(f, "shape mismatch in {op}: lhs {lhs:?} vs rhs {rhs:?}")
+            }
+            TensorError::RankMismatch { expected, actual, op } => {
+                write!(f, "{op} requires rank {expected}, got rank {actual}")
+            }
+            TensorError::AxisOutOfBounds { axis, rank } => {
+                write!(f, "axis {axis} out of bounds for rank {rank}")
+            }
+            TensorError::Empty { op } => write!(f, "{op} requires a non-empty tensor"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_shapes() {
+        let err = TensorError::ShapeMismatch {
+            lhs: vec![2, 3],
+            rhs: vec![4, 5],
+            op: "add",
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("add"));
+        assert!(msg.contains("[2, 3]"));
+        assert!(msg.contains("[4, 5]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn display_length_mismatch() {
+        let err = TensorError::LengthMismatch { expected: 6, actual: 5 };
+        assert_eq!(err.to_string(), "data length 5 does not match shape volume 6");
+    }
+}

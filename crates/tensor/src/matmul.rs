@@ -1,0 +1,231 @@
+//! Cache-blocked matrix multiplication kernels.
+//!
+//! Three variants cover the needs of forward and backward passes without
+//! materialising transposes:
+//!
+//! * [`Tensor::matmul`] / [`matmul_into`] — `C = A · B`
+//! * [`matmul_tn`] — `C = Aᵀ · B` (weight gradients)
+//! * [`matmul_nt`] — `C = A · Bᵀ` (input gradients)
+
+use crate::{Result, Tensor, TensorError};
+
+const BLOCK: usize = 64;
+
+fn dims2(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
+    if t.rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: t.rank(), op });
+    }
+    Ok((t.shape().dims()[0], t.shape().dims()[1]))
+}
+
+impl Tensor {
+    /// Matrix product `self · rhs` for rank-2 tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrices and
+    /// [`TensorError::ShapeMismatch`] when inner dimensions disagree.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adafl_tensor::Tensor;
+    /// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+    /// let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2])?;
+    /// assert_eq!(a.matmul(&b)?.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    /// # Ok::<(), adafl_tensor::TensorError>(())
+    /// ```
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
+        let (m, k) = dims2(self, "matmul")?;
+        let (k2, n) = dims2(rhs, "matmul")?;
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape().dims().to_vec(),
+                rhs: rhs.shape().dims().to_vec(),
+                op: "matmul",
+            });
+        }
+        let mut out = Tensor::zeros(&[m, n]);
+        matmul_into(self.as_slice(), rhs.as_slice(), out.as_mut_slice(), m, k, n);
+        Ok(out)
+    }
+}
+
+/// Computes `c += a · b` where `a` is `m×k`, `b` is `k×n`, `c` is `m×n`,
+/// all row-major flat slices.
+///
+/// Uses i-k-j loop order with k-blocking, which vectorises well and avoids
+/// striding through `b` column-wise.
+///
+/// # Panics
+///
+/// Panics when slice lengths do not match the stated dimensions.
+pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "lhs length");
+    assert_eq!(b.len(), k * n, "rhs length");
+    assert_eq!(c.len(), m * n, "out length");
+    for kb in (0..k).step_by(BLOCK) {
+        let k_end = (kb + BLOCK).min(k);
+        for i in 0..m {
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for kk in kb..k_end {
+                let aik = a[i * k + kk];
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += aik * bv;
+                }
+            }
+        }
+    }
+}
+
+/// Computes `c += aᵀ · b` where `a` is `k×m`, `b` is `k×n`, `c` is `m×n`.
+///
+/// This is the weight-gradient kernel: `dW = Xᵀ · dY` without materialising
+/// `Xᵀ`.
+///
+/// # Panics
+///
+/// Panics when slice lengths do not match the stated dimensions.
+pub fn matmul_tn(a: &[f32], b: &[f32], c: &mut [f32], k: usize, m: usize, n: usize) {
+    assert_eq!(a.len(), k * m, "lhs length");
+    assert_eq!(b.len(), k * n, "rhs length");
+    assert_eq!(c.len(), m * n, "out length");
+    for kk in 0..k {
+        let a_row = &a[kk * m..(kk + 1) * m];
+        let b_row = &b[kk * n..(kk + 1) * n];
+        for (i, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// Computes `c += a · bᵀ` where `a` is `m×k`, `b` is `n×k`, `c` is `m×n`.
+///
+/// This is the input-gradient kernel: `dX = dY · Wᵀ` without materialising
+/// `Wᵀ`.
+///
+/// # Panics
+///
+/// Panics when slice lengths do not match the stated dimensions.
+pub fn matmul_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "lhs length");
+    assert_eq!(b.len(), n * k, "rhs length");
+    assert_eq!(c.len(), m * n, "out length");
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (av, bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            *cv += acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for kk in 0..k {
+                    c[i * n + j] += a[i * k + kk] * b[kk * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matmul_matches_known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape().dims(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_inner_dim_mismatch() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(a.matmul(&b).is_err());
+        assert!(Tensor::zeros(&[3]).matmul(&b).is_err());
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Tensor::from_vec((0..9).map(|i| i as f32).collect(), &[3, 3]).unwrap();
+        let c = a.matmul(&Tensor::eye(3)).unwrap();
+        assert_eq!(c.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn blocked_matches_naive_on_odd_sizes() {
+        // Sizes chosen to straddle the blocking factor.
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (65, 66, 67), (2, 130, 3)] {
+            let a: Vec<f32> = (0..m * k).map(|i| ((i * 37 % 11) as f32) - 5.0).collect();
+            let b: Vec<f32> = (0..k * n).map(|i| ((i * 53 % 13) as f32) - 6.0).collect();
+            let mut c = vec![0.0; m * n];
+            matmul_into(&a, &b, &mut c, m, k, n);
+            let expected = naive(&a, &b, m, k, n);
+            for (x, y) in c.iter().zip(&expected) {
+                assert!((x - y).abs() < 1e-3, "mismatch {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn tn_matches_explicit_transpose() {
+        let (k, m, n) = (4, 3, 5);
+        let a: Vec<f32> = (0..k * m).map(|i| i as f32 * 0.5 - 2.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| i as f32 * 0.25 - 1.0).collect();
+        // Explicit transpose of a (k×m → m×k).
+        let mut at = vec![0.0; m * k];
+        for kk in 0..k {
+            for i in 0..m {
+                at[i * k + kk] = a[kk * m + i];
+            }
+        }
+        let expected = naive(&at, &b, m, k, n);
+        let mut c = vec![0.0; m * n];
+        matmul_tn(&a, &b, &mut c, k, m, n);
+        for (x, y) in c.iter().zip(&expected) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn nt_matches_explicit_transpose() {
+        let (m, k, n) = (3, 4, 5);
+        let a: Vec<f32> = (0..m * k).map(|i| i as f32 * 0.5 - 2.0).collect();
+        let b: Vec<f32> = (0..n * k).map(|i| i as f32 * 0.25 - 1.0).collect();
+        let mut bt = vec![0.0; k * n];
+        for j in 0..n {
+            for kk in 0..k {
+                bt[kk * n + j] = b[j * k + kk];
+            }
+        }
+        let expected = naive(&a, &bt, m, k, n);
+        let mut c = vec![0.0; m * n];
+        matmul_nt(&a, &b, &mut c, m, k, n);
+        for (x, y) in c.iter().zip(&expected) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+use std::fmt;
+
+/// Shape of a tensor: the extent of each dimension, row-major.
+///
+/// `Shape` is a thin, validated wrapper around `Vec<usize>` providing volume
+/// and stride computation. It is cheap to clone for the small ranks (≤ 4)
+/// used throughout the workspace.
+///
+/// # Examples
+///
+/// ```
+/// use adafl_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.volume(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from a slice of dimension extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// Returns the number of dimensions (rank).
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns the extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Returns the total number of elements (product of extents).
+    ///
+    /// An empty (rank-0) shape has volume 1, matching the scalar convention.
+    pub fn volume(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Returns the row-major strides for this shape.
+    ///
+    /// The last dimension always has stride 1.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Returns the extent of dimension `axis`, or `None` if out of bounds.
+    pub fn dim(&self, axis: usize) -> Option<usize> {
+        self.0.get(axis).copied()
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl AsRef<[usize]> for Shape {
+    fn as_ref(&self) -> &[usize] {
+        &self.0
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_of_empty_shape_is_one() {
+        assert_eq!(Shape::new(&[]).volume(), 1);
+    }
+
+    #[test]
+    fn volume_multiplies_extents() {
+        assert_eq!(Shape::new(&[2, 3, 4]).volume(), 24);
+        assert_eq!(Shape::new(&[7]).volume(), 7);
+        assert_eq!(Shape::new(&[5, 0, 3]).volume(), 0);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[10]).strides(), vec![1]);
+        assert_eq!(Shape::new(&[]).strides(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn dim_access_bounds_checked() {
+        let s = Shape::new(&[4, 5]);
+        assert_eq!(s.dim(0), Some(4));
+        assert_eq!(s.dim(1), Some(5));
+        assert_eq!(s.dim(2), None);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let dims = vec![3usize, 2];
+        let s: Shape = dims.clone().into();
+        assert_eq!(s.as_ref(), dims.as_slice());
+        assert_eq!(s.rank(), 2);
+    }
+
+    #[test]
+    fn display_shows_dims() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "[2, 3]");
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the tensor substrate.
+
+use adafl_tensor::{col2im, im2col, vecops, Conv2dGeometry, Tensor};
+use proptest::prelude::*;
+
+fn vec_f32(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-100.0f32..100.0, len)
+}
+
+proptest! {
+    #[test]
+    fn add_is_commutative(data in vec_f32(16), data2 in vec_f32(16)) {
+        let a = Tensor::from_slice(&data);
+        let b = Tensor::from_slice(&data2);
+        let ab = &a + &b;
+        let ba = &b + &a;
+        prop_assert_eq!(ab.as_slice(), ba.as_slice());
+    }
+
+    #[test]
+    fn sub_then_add_round_trips(data in vec_f32(16), data2 in vec_f32(16)) {
+        let a = Tensor::from_slice(&data);
+        let b = Tensor::from_slice(&data2);
+        let r = &(&a - &b) + &b;
+        for (x, y) in r.as_slice().iter().zip(a.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-3);
+        }
+    }
+
+    #[test]
+    fn scale_is_linear(data in vec_f32(8), k in -10.0f32..10.0) {
+        let a = Tensor::from_slice(&data);
+        let lhs = a.scale(k).sum();
+        let rhs = a.sum() * k;
+        prop_assert!((lhs - rhs).abs() <= 1e-1 * (1.0 + rhs.abs()));
+    }
+
+    #[test]
+    fn transpose_is_involution(rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000) {
+        let data: Vec<f32> = (0..rows * cols).map(|i| ((i as u64 * 7 + seed) % 13) as f32).collect();
+        let t = Tensor::from_vec(data, &[rows, cols]).unwrap();
+        let tt = t.transpose().unwrap().transpose().unwrap();
+        prop_assert_eq!(t, tt);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in vec_f32(6), b in vec_f32(6), c in vec_f32(6)
+    ) {
+        // A·(B+C) == A·B + A·C for 2x3 · 3x2 matrices.
+        let a = Tensor::from_vec(a, &[2, 3]).unwrap();
+        let b = Tensor::from_vec(b, &[3, 2]).unwrap();
+        let c = Tensor::from_vec(c, &[3, 2]).unwrap();
+        let lhs = a.matmul(&(&b + &c)).unwrap();
+        let rhs = &a.matmul(&b).unwrap() + &a.matmul(&c).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-1);
+        }
+    }
+
+    #[test]
+    fn cosine_similarity_bounded(a in vec_f32(32), b in vec_f32(32)) {
+        let c = vecops::cosine_similarity(&a, &b);
+        prop_assert!((-1.0..=1.0).contains(&c));
+    }
+
+    #[test]
+    fn cosine_similarity_scale_invariant(a in vec_f32(16), b in vec_f32(16), k in 0.1f32..50.0) {
+        let scaled: Vec<f32> = a.iter().map(|x| x * k).collect();
+        let c1 = vecops::cosine_similarity(&a, &b);
+        let c2 = vecops::cosine_similarity(&scaled, &b);
+        prop_assert!((c1 - c2).abs() <= 1e-3);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(data in vec_f32(12)) {
+        let t = Tensor::from_vec(data, &[3, 4]).unwrap();
+        let s = t.softmax_rows().unwrap();
+        for row in s.as_slice().chunks(4) {
+            let total: f32 = row.iter().sum();
+            prop_assert!((total - 1.0).abs() <= 1e-4);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        kernel in 1usize..4,
+        stride in 1usize..3,
+        padding in 0usize..2,
+        seed in 0u64..100,
+    ) {
+        let (c, h, w) = (2usize, 6usize, 6usize);
+        prop_assume!(h + 2 * padding >= kernel);
+        let geom = Conv2dGeometry::new(c, h, w, kernel, stride, padding);
+        let xs: Vec<f32> = (0..geom.input_volume())
+            .map(|i| (((i as u64 * 31 + seed) % 17) as f32) - 8.0)
+            .collect();
+        let ys: Vec<f32> = (0..geom.patch_len() * geom.n_patches())
+            .map(|i| (((i as u64 * 29 + seed) % 19) as f32) - 9.0)
+            .collect();
+        let x = Tensor::from_vec(xs.clone(), &[geom.input_volume()]).unwrap();
+        let y = Tensor::from_vec(ys.clone(), &[geom.patch_len() * geom.n_patches()]).unwrap();
+        let ax = im2col(&x, &geom).unwrap();
+        let aty = col2im(&y, &geom).unwrap();
+        let lhs = vecops::dot(ax.as_slice(), &ys);
+        let rhs = vecops::dot(&xs, aty.as_slice());
+        prop_assert!((lhs - rhs).abs() <= 1e-2 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn weighted_average_stays_in_hull(v1 in vec_f32(4), v2 in vec_f32(4), w in 0.01f32..0.99) {
+        let avg = vecops::weighted_average(&[&v1, &v2], &[w, 1.0 - w]).unwrap();
+        for i in 0..4 {
+            let lo = v1[i].min(v2[i]) - 1e-3;
+            let hi = v1[i].max(v2[i]) + 1e-3;
+            prop_assert!(avg[i] >= lo && avg[i] <= hi);
+        }
+    }
+
+    #[test]
+    fn clip_l2_never_exceeds_bound(mut a in vec_f32(16), max_norm in 0.1f32..10.0) {
+        vecops::clip_l2(&mut a, max_norm);
+        prop_assert!(vecops::l2_norm(&a) <= max_norm * 1.001);
+    }
+}

@@ -1,0 +1,65 @@
+//! The paper's resiliency insight in miniature: moderate client dropout
+//! barely hurts synchronous FL.
+//!
+//! Sweeps the straggler fraction and prints final accuracy — the compressed
+//! form of Figure 1(a–d), and the empirical license for AdaFL's selective
+//! participation.
+//!
+//! ```text
+//! cargo run --release --example lossy_network
+//! ```
+
+use adafl_data::partition::Partitioner;
+use adafl_data::synthetic::SyntheticSpec;
+use adafl_fl::compute::ComputeModel;
+use adafl_fl::faults::{FaultKind, FaultPlan};
+use adafl_fl::sync::strategies::FedAvg;
+use adafl_fl::sync::SyncEngine;
+use adafl_fl::FlConfig;
+use adafl_netsim::{ClientNetwork, LinkProfile, LinkTrace};
+use adafl_nn::models::ModelSpec;
+
+const CLIENTS: usize = 10;
+
+fn main() {
+    let data = SyntheticSpec::mnist_like(16, 1200).generate(3);
+    let (train, test) = data.split_at(1000);
+
+    println!("== FedAvg accuracy vs straggler fraction (20 rounds, IID) ==");
+    println!("{:<10} {:<10} {:<10}", "fraction", "dropout", "data-loss");
+    for fraction in [0.0, 0.1, 0.2, 0.4] {
+        let mut row = vec![format!("{fraction:<10}")];
+        for kind in [
+            FaultKind::Dropout { period: 2 },
+            FaultKind::DataLoss { prob: 0.5 },
+        ] {
+            let fl = FlConfig::builder()
+                .clients(CLIENTS)
+                .rounds(20)
+                .participation(1.0)
+                .model(ModelSpec::MnistCnn { height: 16, width: 16, classes: 10 })
+                .build();
+            let shards =
+                Partitioner::Iid.split(&train, CLIENTS, fl.seed_for("partition"));
+            let network = ClientNetwork::new(
+                vec![LinkTrace::constant(LinkProfile::Broadband.spec()); CLIENTS],
+                1,
+            );
+            let mut engine = SyncEngine::with_parts(
+                fl,
+                shards,
+                test.clone(),
+                Box::new(FedAvg::new()),
+                network,
+                ComputeModel::uniform(CLIENTS, 0.1),
+                FaultPlan::with_fraction(CLIENTS, fraction, kind, 5),
+            );
+            let history = engine.run();
+            row.push(format!("{:<10.3}", history.final_accuracy()));
+        }
+        println!("{}", row.join(" "));
+    }
+    println!();
+    println!("Paper insight 1: 10-20% stragglers barely move the final accuracy,");
+    println!("which is the headroom AdaFL's adaptive node selection exploits.");
+}

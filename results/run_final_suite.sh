@@ -1,0 +1,23 @@
+#!/bin/bash
+# Final experiment suite: regenerates every table and figure with the
+# release binaries, then renders the figure SVGs.
+cd /root/repo
+B=./target/release
+set -x
+$B/fig3 --protocol sync  > results/fig3_sync.csv  2> results/fig3_sync.log
+$B/fig3 --protocol async --budget 300 > results/fig3_async.csv 2> results/fig3_async.log
+$B/table1 --rounds 60 > results/table1.txt 2> results/table1.log
+$B/table2 --budget 300 > results/table2.txt 2> results/table2.log
+$B/fig1 --protocol sync --rounds 25 > results/fig1_sync.csv 2> results/fig1_sync.log
+$B/fig1 --protocol async --budget 200 > results/fig1_async.csv 2> results/fig1_async.log
+$B/scalability --rounds 20 > results/scalability.txt 2> results/scalability.log
+$B/ablation --rounds 40 > results/ablation.txt 2> results/ablation.log
+$B/extensions --rounds 50 > results/extensions.txt 2> results/extensions.log
+$B/overhead    > results/overhead.txt    2> results/overhead.log
+for dist in iid noniid; do
+  $B/plot --input results/fig3_sync.csv  --x round      --filter "$dist," \
+      --title "Fig3 sync ($dist)"  --output results/fig3_sync_$dist.svg
+  $B/plot --input results/fig3_async.csv --x sim_time_s --filter "$dist," \
+      --title "Fig3 async ($dist)" --output results/fig3_async_$dist.svg
+done
+touch results/FINAL_SUITE_DONE

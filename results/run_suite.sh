@@ -1,0 +1,12 @@
+#!/bin/bash
+cd /root/repo
+B=./target/release
+$B/fig3 --protocol async > results/fig3_async.csv 2> results/fig3_async.log
+$B/table1 > results/table1.txt 2> results/table1.log
+$B/table2 > results/table2.txt 2> results/table2.log
+$B/fig1 --protocol sync > results/fig1_sync.csv 2> results/fig1_sync.log
+$B/fig1 --protocol async > results/fig1_async.csv 2> results/fig1_async.log
+$B/scalability > results/scalability.txt 2> results/scalability.log
+$B/ablation > results/ablation.txt 2> results/ablation.log
+$B/overhead > results/overhead.txt 2> results/overhead.log
+touch results/SUITE_DONE

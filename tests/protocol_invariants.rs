@@ -1,0 +1,220 @@
+//! Cross-crate protocol invariants: communication accounting, fault
+//! arithmetic and timing properties that must hold for any strategy.
+
+use adafl_compression::dense_wire_size;
+use adafl_data::partition::Partitioner;
+use adafl_data::synthetic::SyntheticSpec;
+use adafl_data::Dataset;
+use adafl_fl::compute::ComputeModel;
+use adafl_fl::faults::{FaultKind, FaultPlan};
+use adafl_fl::r#async::strategies::FedAsync;
+use adafl_fl::r#async::AsyncEngine;
+use adafl_fl::sync::strategies::FedAvg;
+use adafl_fl::sync::SyncEngine;
+use adafl_fl::FlConfig;
+use adafl_netsim::{ClientNetwork, LinkProfile, LinkSpec, LinkTrace};
+use adafl_nn::models::ModelSpec;
+
+const CLIENTS: usize = 6;
+
+fn task() -> (Dataset, Dataset) {
+    let data = SyntheticSpec::mnist_like(8, 600).generate(1);
+    data.split_at(480)
+}
+
+fn config(rounds: usize) -> FlConfig {
+    FlConfig::builder()
+        .clients(CLIENTS)
+        .rounds(rounds)
+        .participation(1.0)
+        .local_steps(3)
+        .batch_size(16)
+        .model(ModelSpec::LogisticRegression { in_features: 64, classes: 10 })
+        .build()
+}
+
+fn broadband() -> ClientNetwork {
+    ClientNetwork::new(
+        vec![LinkTrace::constant(LinkProfile::Broadband.spec()); CLIENTS],
+        3,
+    )
+}
+
+#[test]
+fn sync_bytes_equal_updates_times_dense_payload() {
+    let (train, test) = task();
+    let cfg = config(4);
+    let shards = Partitioner::Iid.split(&train, CLIENTS, cfg.seed_for("partition"));
+    let mut engine = SyncEngine::with_parts(
+        cfg.clone(),
+        shards,
+        test,
+        Box::new(FedAvg::new()),
+        broadband(),
+        ComputeModel::uniform(CLIENTS, 0.1),
+        FaultPlan::reliable(CLIENTS),
+    );
+    engine.run();
+    let dense = dense_wire_size(engine.global_params().len()) as u64;
+    let ledger = engine.ledger();
+    assert_eq!(ledger.uplink_bytes(), ledger.uplink_updates() * dense);
+    assert_eq!(ledger.downlink_bytes(), ledger.downlink_updates() * dense);
+    // Full participation, lossless: one round trip per client per round.
+    assert_eq!(ledger.uplink_updates(), (CLIENTS * 4) as u64);
+}
+
+#[test]
+fn dropout_period_halves_faulty_clients_updates() {
+    let (train, test) = task();
+    let cfg = config(8);
+    let shards = Partitioner::Iid.split(&train, CLIENTS, cfg.seed_for("partition"));
+    let faults = FaultPlan::with_fraction(
+        CLIENTS,
+        0.5,
+        FaultKind::Dropout { period: 2 },
+        0,
+    );
+    let mut engine = SyncEngine::with_parts(
+        cfg,
+        shards,
+        test,
+        Box::new(FedAvg::new()),
+        broadband(),
+        ComputeModel::uniform(CLIENTS, 0.1),
+        faults,
+    );
+    engine.run();
+    let ledger = engine.ledger();
+    // 3 reliable clients send 8×, 3 dropout clients send 4×.
+    assert_eq!(ledger.uplink_updates(), 3 * 8 + 3 * 4);
+    for c in 0..3 {
+        assert_eq!(ledger.client_uplink_updates(c), 4, "dropout client {c}");
+    }
+    for c in 3..6 {
+        assert_eq!(ledger.client_uplink_updates(c), 8, "reliable client {c}");
+    }
+}
+
+#[test]
+fn sync_round_time_is_gated_by_slowest_participant() {
+    // Eq. 3: T_sync = max_i(Ψ + Υ_up + Υ_down). One slow client should
+    // dominate the clock even though the rest are fast.
+    let (train, test) = task();
+    let cfg = config(2);
+    let shards = Partitioner::Iid.split(&train, CLIENTS, cfg.seed_for("partition"));
+    let run_with_compute = |compute: ComputeModel| {
+        let mut engine = SyncEngine::with_parts(
+            cfg.clone(),
+            shards.clone(),
+            test.clone(),
+            Box::new(FedAvg::new()),
+            broadband(),
+            compute,
+            FaultPlan::reliable(CLIENTS),
+        );
+        engine.run();
+        engine.clock().seconds()
+    };
+    let fast = run_with_compute(ComputeModel::uniform(CLIENTS, 0.1));
+    let mut speeds = vec![0.1; CLIENTS];
+    speeds[0] = 5.0; // one straggler
+    let slow = run_with_compute(ComputeModel::heterogeneous(speeds));
+    assert!(
+        slow > fast * 5.0,
+        "straggler did not gate the round: {slow} vs {fast}"
+    );
+}
+
+#[test]
+fn constrained_uplinks_slow_the_simulated_clock() {
+    let (train, test) = task();
+    let cfg = config(3);
+    let shards = Partitioner::Iid.split(&train, CLIENTS, cfg.seed_for("partition"));
+    let run_with_network = |network: ClientNetwork| {
+        let mut engine = SyncEngine::with_parts(
+            cfg.clone(),
+            shards.clone(),
+            test.clone(),
+            Box::new(FedAvg::new()),
+            network,
+            ComputeModel::uniform(CLIENTS, 0.01),
+            FaultPlan::reliable(CLIENTS),
+        );
+        engine.run();
+        engine.clock().seconds()
+    };
+    let fast = run_with_network(broadband());
+    let slow = run_with_network(ClientNetwork::new(
+        vec![LinkTrace::constant(LinkProfile::Constrained.spec()); CLIENTS],
+        3,
+    ));
+    assert!(slow > fast * 2.0, "bandwidth had no timing effect: {slow} vs {fast}");
+}
+
+#[test]
+fn staleness_hurts_more_than_dropout_in_async() {
+    // Paper insight 2: async accuracy at a fixed simulated-time horizon
+    // suffers more from stale (slow) clients than from lossy ones.
+    let (train, test) = task();
+    let cfg = FlConfig::builder()
+        .clients(CLIENTS)
+        .rounds(10)
+        .local_steps(3)
+        .batch_size(16)
+        .model(ModelSpec::LogisticRegression { in_features: 64, classes: 10 })
+        .build();
+    let shards = Partitioner::Iid.split(&train, CLIENTS, cfg.seed_for("partition"));
+    let budget = 80u64;
+
+    // Stale fleet: 40% of clients train 6× slower.
+    let mut stale_compute = ComputeModel::uniform(CLIENTS, 0.1);
+    for c in 0..2 {
+        stale_compute.scale_client(c, 6.0);
+    }
+    let mut stale_engine = AsyncEngine::with_parts(
+        cfg.clone(),
+        shards.clone(),
+        test.clone(),
+        Box::new(FedAsync::new(0.6, 0.5)),
+        broadband(),
+        stale_compute,
+        FaultPlan::reliable(CLIENTS),
+        budget,
+    );
+    let stale = stale_engine.run();
+
+    // Dropout fleet: 40% of clients on links that lose half the updates.
+    let mut traces = vec![LinkTrace::constant(LinkProfile::Broadband.spec()); CLIENTS];
+    for t in traces.iter_mut().take(2) {
+        *t = LinkTrace::constant(
+            LinkSpec::new(2e6, 10e6, 0.01, 0.01, 0.5),
+        );
+    }
+    let mut lossy_engine = AsyncEngine::with_parts(
+        cfg,
+        shards,
+        test,
+        Box::new(FedAsync::new(0.6, 0.5)),
+        ClientNetwork::new(traces, 3),
+        ComputeModel::uniform(CLIENTS, 0.1),
+        FaultPlan::reliable(CLIENTS),
+        budget,
+    );
+    let lossy = lossy_engine.run();
+
+    // Compare accuracy at the earlier of the two horizons.
+    let horizon = stale
+        .records()
+        .last()
+        .unwrap()
+        .sim_time
+        .seconds()
+        .min(lossy.records().last().unwrap().sim_time.seconds());
+    let t = adafl_netsim::SimTime::from_seconds(horizon);
+    assert!(
+        lossy.accuracy_at_time(t) >= stale.accuracy_at_time(t) - 0.05,
+        "staleness should hurt at least as much as dropout: stale {} vs lossy {}",
+        stale.accuracy_at_time(t),
+        lossy.accuracy_at_time(t)
+    );
+}

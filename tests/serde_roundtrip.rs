@@ -1,0 +1,115 @@
+//! Serde round-trips for the workspace's data-structure types: experiment
+//! configurations, link traces, run histories and datasets all serialise to
+//! JSON and back losslessly, so experiment setups can live in version
+//! control and results can feed external tooling.
+
+use adafl_core::selection::SelectionPolicy;
+use adafl_core::{AdaFlConfig, SimilarityMetric};
+use adafl_data::synthetic::SyntheticSpec;
+use adafl_fl::faults::FaultKind;
+use adafl_fl::{FlConfig, RoundRecord, RunHistory};
+use adafl_netsim::{LinkProfile, LinkTrace, SimTime, TraceKind};
+use adafl_nn::models::ModelSpec;
+use adafl_tensor::Tensor;
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn tensor_round_trips() {
+    let t = Tensor::from_vec(vec![1.0, -2.5, 3.25, 0.0], &[2, 2]).unwrap();
+    assert_eq!(round_trip(&t), t);
+}
+
+#[test]
+fn dataset_round_trips() {
+    let ds = SyntheticSpec::mnist_like(8, 30).generate(1);
+    assert_eq!(round_trip(&ds), ds);
+}
+
+#[test]
+fn link_traces_round_trip() {
+    for trace in [
+        LinkTrace::constant(LinkProfile::Lossy.spec()),
+        LinkTrace::new(
+            LinkProfile::Cellular.spec(),
+            TraceKind::Periodic { period: 30.0, duty: 0.2, degraded_scale: 0.5 },
+        ),
+        LinkTrace::new(
+            LinkProfile::Broadband.spec(),
+            TraceKind::RandomWalk { step: 5.0, min_scale: 0.2, max_scale: 0.9, seed: 3 },
+        ),
+    ] {
+        assert_eq!(round_trip(&trace), trace);
+    }
+}
+
+#[test]
+fn fl_config_round_trips() {
+    let cfg = FlConfig::builder()
+        .clients(12)
+        .rounds(50)
+        .participation(0.4)
+        .round_deadline(2.5)
+        .model(ModelSpec::MnistCnn { height: 16, width: 16, classes: 10 })
+        .build();
+    assert_eq!(round_trip(&cfg), cfg);
+}
+
+#[test]
+fn adafl_config_round_trips() {
+    let cfg = AdaFlConfig {
+        metric: SimilarityMetric::Euclidean,
+        selection: SelectionPolicy::RoundRobin,
+        max_selected: 7,
+        ..AdaFlConfig::default()
+    };
+    let back = round_trip(&cfg);
+    assert_eq!(back, cfg);
+    back.validate();
+}
+
+#[test]
+fn fault_kinds_round_trip() {
+    for kind in [
+        FaultKind::Reliable,
+        FaultKind::Dropout { period: 2 },
+        FaultKind::DataLoss { prob: 0.3 },
+        FaultKind::Stale { factor: 3.0 },
+    ] {
+        assert_eq!(round_trip(&kind), kind);
+    }
+}
+
+#[test]
+fn run_history_round_trips() {
+    let mut h = RunHistory::new("adafl");
+    h.push(RoundRecord {
+        round: 3,
+        sim_time: SimTime::from_seconds(12.5),
+        accuracy: 0.91,
+        loss: 0.31,
+        uplink_bytes: 1234,
+        uplink_updates: 17,
+        contributors: 5,
+    });
+    let back = round_trip(&h);
+    assert_eq!(back, h);
+    assert_eq!(back.final_accuracy(), 0.91);
+}
+
+#[test]
+fn config_json_is_human_editable() {
+    // The JSON form uses field names, not positional encoding — the
+    // property that makes checked-in configs reviewable.
+    let cfg = AdaFlConfig::default();
+    let json = serde_json::to_string_pretty(&cfg).unwrap();
+    assert!(json.contains("\"utility_threshold\""));
+    assert!(json.contains("\"max_ratio\""));
+    assert!(json.contains("\"selection\""));
+}
