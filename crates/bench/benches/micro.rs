@@ -77,7 +77,12 @@ fn utility_and_selection(c: &mut Criterion) {
     g.bench_function("utility_score_56k", |bench| {
         bench.iter(|| {
             black_box(utility_score(
-                &UtilityInputs { local_gradient: &local, global_gradient: &global, link, expected_payload: 14_000 },
+                &UtilityInputs {
+                    local_gradient: &local,
+                    global_gradient: &global,
+                    link,
+                    expected_payload: 14_000,
+                },
                 SimilarityMetric::Cosine,
                 0.7,
             ))
@@ -94,7 +99,12 @@ fn netsim(c: &mut Criterion) {
     let mut g = c.benchmark_group("netsim");
     let trace = LinkTrace::new(
         LinkProfile::Cellular.spec(),
-        TraceKind::RandomWalk { step: 5.0, min_scale: 0.3, max_scale: 1.0, seed: 7 },
+        TraceKind::RandomWalk {
+            step: 5.0,
+            min_scale: 0.3,
+            max_scale: 1.0,
+            seed: 7,
+        },
     );
     g.bench_function("trace_link_at", |bench| {
         let mut t = 0.0f64;
@@ -110,5 +120,11 @@ fn netsim(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, tensor_ops, compression, utility_and_selection, netsim);
+criterion_group!(
+    benches,
+    tensor_ops,
+    compression,
+    utility_and_selection,
+    netsim
+);
 criterion_main!(benches);

@@ -26,7 +26,11 @@ fn scenario(rounds: usize, budget: u64) -> Scenario {
         network: fleet::mixed_network(6, 0.3, 1),
         compute: fleet::uniform_compute(6, 0.05, 2),
         faults: FaultPlan::reliable(6),
-        ada: AdaFlConfig { max_selected: 3, warmup_rounds: 1, ..AdaFlConfig::default() },
+        ada: AdaFlConfig {
+            max_selected: 3,
+            warmup_rounds: 1,
+            ..AdaFlConfig::default()
+        },
         partitioner: Partitioner::Iid,
         update_budget: budget,
         fl,
@@ -66,8 +70,7 @@ fn overhead(c: &mut Criterion) {
     let mut g = c.benchmark_group("overhead");
     g.sample_size(20);
     let task = Task::mnist_cnn(300, 50, 0);
-    let mut client =
-        FlClient::new(0, task.model.build(0), task.train.clone(), 0.05, 0.9, 32, 0);
+    let mut client = FlClient::new(0, task.model.build(0), task.train.clone(), 0.05, 0.9, 32, 0);
     let global = client.model().params_flat();
     g.bench_function("local_training_5_steps", |bench| {
         bench.iter(|| black_box(client.train_local(&global, 5, None)))
@@ -78,7 +81,12 @@ fn overhead(c: &mut Criterion) {
     g.bench_function("utility_score_math", |bench| {
         bench.iter(|| {
             black_box(utility_score(
-                &UtilityInputs { local_gradient: &probe, global_gradient: &g_hat, link, expected_payload: 14_000 },
+                &UtilityInputs {
+                    local_gradient: &probe,
+                    global_gradient: &g_hat,
+                    link,
+                    expected_payload: 14_000,
+                },
                 SimilarityMetric::Cosine,
                 0.7,
             ))

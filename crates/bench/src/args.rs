@@ -79,7 +79,8 @@ impl Args {
     /// Panics when the value is present but unparsable.
     pub fn get_usize(&self, key: &str, default: usize) -> usize {
         self.get(key).map_or(default, |v| {
-            v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}"))
+            v.parse()
+                .unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}"))
         })
     }
 
@@ -90,7 +91,8 @@ impl Args {
     /// Panics when the value is present but unparsable.
     pub fn get_f64(&self, key: &str, default: f64) -> f64 {
         self.get(key).map_or(default, |v| {
-            v.parse().unwrap_or_else(|_| panic!("--{key} expects a number, got {v:?}"))
+            v.parse()
+                .unwrap_or_else(|_| panic!("--{key} expects a number, got {v:?}"))
         })
     }
 
@@ -101,7 +103,8 @@ impl Args {
     /// Panics when the value is present but unparsable.
     pub fn get_u64(&self, key: &str, default: u64) -> u64 {
         self.get(key).map_or(default, |v| {
-            v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}"))
+            v.parse()
+                .unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}"))
         })
     }
 }

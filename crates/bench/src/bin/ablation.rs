@@ -33,43 +33,122 @@ fn main() {
     let base = AdaFlConfig::default();
     let variants: Vec<(String, AdaFlConfig)> = vec![
         ("default".into(), base.clone()),
-        ("metric=l2norm".into(), AdaFlConfig { metric: SimilarityMetric::L2Norm, ..base.clone() }),
+        (
+            "metric=l2norm".into(),
+            AdaFlConfig {
+                metric: SimilarityMetric::L2Norm,
+                ..base.clone()
+            },
+        ),
         (
             "metric=euclidean".into(),
-            AdaFlConfig { metric: SimilarityMetric::Euclidean, ..base.clone() },
+            AdaFlConfig {
+                metric: SimilarityMetric::Euclidean,
+                ..base.clone()
+            },
         ),
-        ("beta=0.0".into(), AdaFlConfig { similarity_weight: 0.0, ..base.clone() }),
-        ("beta=0.3".into(), AdaFlConfig { similarity_weight: 0.3, ..base.clone() }),
-        ("beta=1.0".into(), AdaFlConfig { similarity_weight: 1.0, ..base.clone() }),
-        ("warmup=0".into(), AdaFlConfig { warmup_rounds: 0, ..base.clone() }),
-        ("warmup=8".into(), AdaFlConfig { warmup_rounds: 8, ..base.clone() }),
+        (
+            "beta=0.0".into(),
+            AdaFlConfig {
+                similarity_weight: 0.0,
+                ..base.clone()
+            },
+        ),
+        (
+            "beta=0.3".into(),
+            AdaFlConfig {
+                similarity_weight: 0.3,
+                ..base.clone()
+            },
+        ),
+        (
+            "beta=1.0".into(),
+            AdaFlConfig {
+                similarity_weight: 1.0,
+                ..base.clone()
+            },
+        ),
+        (
+            "warmup=0".into(),
+            AdaFlConfig {
+                warmup_rounds: 0,
+                ..base.clone()
+            },
+        ),
+        (
+            "warmup=8".into(),
+            AdaFlConfig {
+                warmup_rounds: 8,
+                ..base.clone()
+            },
+        ),
         (
             "ratio=4-50".into(),
-            AdaFlConfig { min_ratio: 4.0, max_ratio: 50.0, ..base.clone() },
+            AdaFlConfig {
+                min_ratio: 4.0,
+                max_ratio: 50.0,
+                ..base.clone()
+            },
         ),
         (
             "ratio=2-500".into(),
-            AdaFlConfig { min_ratio: 2.0, max_ratio: 500.0, ..base.clone() },
+            AdaFlConfig {
+                min_ratio: 2.0,
+                max_ratio: 500.0,
+                ..base.clone()
+            },
         ),
-        ("tau=0.0".into(), AdaFlConfig { utility_threshold: 0.0, ..base.clone() }),
-        ("tau=0.6".into(), AdaFlConfig { utility_threshold: 0.6, ..base.clone() }),
+        (
+            "tau=0.0".into(),
+            AdaFlConfig {
+                utility_threshold: 0.0,
+                ..base.clone()
+            },
+        ),
+        (
+            "tau=0.6".into(),
+            AdaFlConfig {
+                utility_threshold: 0.6,
+                ..base.clone()
+            },
+        ),
         (
             "select=random".into(),
-            AdaFlConfig { selection: SelectionPolicy::RandomK, ..base.clone() },
+            AdaFlConfig {
+                selection: SelectionPolicy::RandomK,
+                ..base.clone()
+            },
         ),
         (
             "select=roundrobin".into(),
-            AdaFlConfig { selection: SelectionPolicy::RoundRobin, ..base.clone() },
+            AdaFlConfig {
+                selection: SelectionPolicy::RoundRobin,
+                ..base.clone()
+            },
         ),
-        ("curve=1.0".into(), AdaFlConfig { ratio_curve: 1.0, ..base.clone() }),
+        (
+            "curve=1.0".into(),
+            AdaFlConfig {
+                ratio_curve: 1.0,
+                ..base.clone()
+            },
+        ),
         (
             "dgc_momentum=0.9".into(),
-            AdaFlConfig { dgc_momentum: 0.9, ..base.clone() },
+            AdaFlConfig {
+                dgc_momentum: 0.9,
+                ..base.clone()
+            },
         ),
     ];
 
-    let mut table =
-        report::TextTable::new(["variant", "final_acc", "best_acc", "uplink_bytes", "updates"]);
+    let mut table = report::TextTable::new([
+        "variant",
+        "final_acc",
+        "best_acc",
+        "uplink_bytes",
+        "updates",
+    ]);
     for (name, ada) in variants {
         let fl = FlConfig::builder()
             .clients(clients)
@@ -84,14 +163,19 @@ fn main() {
             network: fleet::mixed_network(clients, 0.3, seed),
             compute: fleet::uniform_compute(clients, 0.1, seed),
             faults: FaultPlan::reliable(clients),
-            partitioner: Partitioner::LabelShards { shards_per_client: 2 },
+            partitioner: Partitioner::LabelShards {
+                shards_per_client: 2,
+            },
             update_budget: 0,
             task: task.clone(),
             fl,
             ada,
         };
         let result = run_sync(&scenario, "adafl");
-        eprintln!("ablation {name}: acc {:.3}", result.history.final_accuracy());
+        eprintln!(
+            "ablation {name}: acc {:.3}",
+            result.history.final_accuracy()
+        );
         table.row([
             name,
             format!("{:.2}%", result.history.final_accuracy() * 100.0),

@@ -17,10 +17,19 @@ fn main() {
     for noise in [1.1f32, 1.15, 1.2, 1.25, 1.3, 1.35] {
         for shift in [2usize, 3] {
             let mut spec = SyntheticSpec::mnist_like(16, 2500);
-            spec.difficulty = Difficulty { noise_std: noise, max_shift: shift, contrast_jitter: 0.2 };
+            spec.difficulty = Difficulty {
+                noise_std: noise,
+                max_shift: shift,
+                contrast_jitter: 0.2,
+            };
             let data = spec.generate(1);
             let (train, test) = data.split_at(2000);
-            let mut model = ModelSpec::MnistCnn { height: 16, width: 16, classes: 10 }.build(0);
+            let mut model = ModelSpec::MnistCnn {
+                height: 16,
+                width: 16,
+                classes: 10,
+            }
+            .build(0);
             let mut loader = BatchLoader::new(32, 3);
             let mut sgd = Sgd::new(0.02, 0.9, 0.0);
             for _ in 0..steps {

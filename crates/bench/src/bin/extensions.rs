@@ -30,7 +30,9 @@ fn main() {
     let seed = args.get_u64("seed", 42);
     let (train, test) = if quick { (600, 150) } else { (2000, 400) };
     let task = Task::mnist_cnn(train, test, seed);
-    let partitioner = Partitioner::LabelShards { shards_per_client: 2 };
+    let partitioner = Partitioner::LabelShards {
+        shards_per_client: 2,
+    };
 
     let fl = || {
         FlConfig::builder()
@@ -43,9 +45,7 @@ fn main() {
             .seed(seed)
             .build()
     };
-    let shards = || {
-        partitioner.split(&task.train, clients, fl().seed_for("partition"))
-    };
+    let shards = || partitioner.split(&task.train, clients, fl().seed_for("partition"));
 
     let mut table = report::TextTable::new([
         "variant",
@@ -58,7 +58,11 @@ fn main() {
     // Dense and statically-compressed FedAvg, plus the extra adaptive
     // server optimizers.
     let runs: Vec<(&str, Box<dyn SyncStrategy>, StaticCompression)> = vec![
-        ("fedavg-dense", Box::new(FedAvg::new()), StaticCompression::None),
+        (
+            "fedavg-dense",
+            Box::new(FedAvg::new()),
+            StaticCompression::None,
+        ),
         (
             "fedavg-topk32",
             Box::new(FedAvg::new()),
@@ -69,9 +73,21 @@ fn main() {
             Box::new(FedAvg::new()),
             StaticCompression::Qsgd { levels: 8 },
         ),
-        ("fedavg-terngrad", Box::new(FedAvg::new()), StaticCompression::TernGrad),
-        ("fedadagrad", Box::new(FedAdagrad::new(0.02, 1e-3)), StaticCompression::None),
-        ("fedyogi", Box::new(FedYogi::new(0.02, 1e-3)), StaticCompression::None),
+        (
+            "fedavg-terngrad",
+            Box::new(FedAvg::new()),
+            StaticCompression::TernGrad,
+        ),
+        (
+            "fedadagrad",
+            Box::new(FedAdagrad::new(0.02, 1e-3)),
+            StaticCompression::None,
+        ),
+        (
+            "fedyogi",
+            Box::new(FedYogi::new(0.02, 1e-3)),
+            StaticCompression::None,
+        ),
     ];
     for (name, strategy, scheme) in runs {
         let mut engine = SyncEngine::with_parts(

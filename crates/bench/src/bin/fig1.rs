@@ -92,8 +92,7 @@ fn sync_panels(args: &Args, clients: usize, seed: u64, quick: bool) {
             }
         }
     }
-    let refs: Vec<(String, &RunResult)> =
-        runs.iter().map(|(k, r)| (k.clone(), r)).collect();
+    let refs: Vec<(String, &RunResult)> = runs.iter().map(|(k, r)| (k.clone(), r)).collect();
     report::print_series("model,dist,fault,straggler_frac", &refs);
 }
 
@@ -145,7 +144,6 @@ fn async_panels(args: &Args, clients: usize, seed: u64, quick: bool) {
             }
         }
     }
-    let refs: Vec<(String, &RunResult)> =
-        runs.iter().map(|(k, r)| (k.clone(), r)).collect();
+    let refs: Vec<(String, &RunResult)> = runs.iter().map(|(k, r)| (k.clone(), r)).collect();
     report::print_series("dist,fault,straggler_frac", &refs);
 }

@@ -14,7 +14,9 @@
 //! ```
 
 use adafl_bench::args::Args;
-use adafl_bench::runner::{run_async, run_sync, RunResult, Scenario, ASYNC_STRATEGIES, SYNC_STRATEGIES};
+use adafl_bench::runner::{
+    run_async, run_sync, RunResult, Scenario, ASYNC_STRATEGIES, SYNC_STRATEGIES,
+};
 use adafl_bench::tasks::Task;
 use adafl_bench::{fleet, report};
 use adafl_core::AdaFlConfig;

@@ -54,7 +54,12 @@ fn main() {
     for _ in 0..reps {
         let probe = client.probe_gradient();
         let s = utility_score(
-            &UtilityInputs { local_gradient: &probe, global_gradient: &g_hat, link, expected_payload: 14_000 },
+            &UtilityInputs {
+                local_gradient: &probe,
+                global_gradient: &g_hat,
+                link,
+                expected_payload: 14_000,
+            },
             SimilarityMetric::Cosine,
             0.7,
         );
@@ -68,7 +73,12 @@ fn main() {
     let t1b = Instant::now();
     for _ in 0..reps * 10 {
         let s = utility_score(
-            &UtilityInputs { local_gradient: &probe, global_gradient: &g_hat, link, expected_payload: 14_000 },
+            &UtilityInputs {
+                local_gradient: &probe,
+                global_gradient: &g_hat,
+                link,
+                expected_payload: 14_000,
+            },
             SimilarityMetric::Cosine,
             0.7,
         );
@@ -88,10 +98,26 @@ fn main() {
 
     let pct = |t: f64| format!("{:.3}%", t / train_time * 100.0);
     let mut table = report::TextTable::new(["component", "time_per_round", "vs_training"]);
-    table.row(["local training (5 steps)".to_string(), format!("{:.3}ms", train_time * 1e3), "100%".to_string()]);
-    table.row(["utility score (pure math)".to_string(), format!("{:.4}ms", score_only_time * 1e3), pct(score_only_time)]);
-    table.row(["utility score (incl. probe)".to_string(), format!("{:.3}ms", utility_time * 1e3), pct(utility_time)]);
-    table.row(["DGC compression (50x)".to_string(), format!("{:.3}ms", compress_time * 1e3), pct(compress_time)]);
+    table.row([
+        "local training (5 steps)".to_string(),
+        format!("{:.3}ms", train_time * 1e3),
+        "100%".to_string(),
+    ]);
+    table.row([
+        "utility score (pure math)".to_string(),
+        format!("{:.4}ms", score_only_time * 1e3),
+        pct(score_only_time),
+    ]);
+    table.row([
+        "utility score (incl. probe)".to_string(),
+        format!("{:.3}ms", utility_time * 1e3),
+        pct(utility_time),
+    ]);
+    table.row([
+        "DGC compression (50x)".to_string(),
+        format!("{:.3}ms", compress_time * 1e3),
+        pct(compress_time),
+    ]);
     println!("{}", table.render());
 
     println!(

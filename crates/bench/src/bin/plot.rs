@@ -22,11 +22,14 @@ fn main() {
     let title = args.get("title").unwrap_or("accuracy").to_string();
     let filter = args.get("filter");
 
-    let csv = fs::read_to_string(input)
-        .unwrap_or_else(|e| panic!("cannot read {input}: {e}"));
+    let csv = fs::read_to_string(input).unwrap_or_else(|e| panic!("cannot read {input}: {e}"));
     let mut plot = LinePlot::new(
         title,
-        if x_column == "round" { "communication round" } else { "simulated time (s)" },
+        if x_column == "round" {
+            "communication round"
+        } else {
+            "simulated time (s)"
+        },
         "test accuracy",
     );
     let mut kept = 0usize;
@@ -36,7 +39,6 @@ fn main() {
             kept += 1;
         }
     }
-    fs::write(output, plot.render())
-        .unwrap_or_else(|e| panic!("cannot write {output}: {e}"));
+    fs::write(output, plot.render()).unwrap_or_else(|e| panic!("cannot write {output}: {e}"));
     eprintln!("wrote {output} with {kept} series");
 }

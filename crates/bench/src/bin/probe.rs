@@ -21,9 +21,27 @@ fn main() {
     };
     let variants: Vec<(&str, AdaFlConfig)> = vec![
         ("beta0.7", AdaFlConfig::default()),
-        ("beta0.85", AdaFlConfig { similarity_weight: 0.85, ..AdaFlConfig::default() }),
-        ("beta0.95", AdaFlConfig { similarity_weight: 0.95, ..AdaFlConfig::default() }),
-        ("beta1.0", AdaFlConfig { similarity_weight: 1.0, ..AdaFlConfig::default() }),
+        (
+            "beta0.85",
+            AdaFlConfig {
+                similarity_weight: 0.85,
+                ..AdaFlConfig::default()
+            },
+        ),
+        (
+            "beta0.95",
+            AdaFlConfig {
+                similarity_weight: 0.95,
+                ..AdaFlConfig::default()
+            },
+        ),
+        (
+            "beta1.0",
+            AdaFlConfig {
+                similarity_weight: 1.0,
+                ..AdaFlConfig::default()
+            },
+        ),
     ];
     for (name, ada) in variants {
         let fl = FlConfig::builder()
@@ -34,11 +52,10 @@ fn main() {
             .batch_size(32)
             .model(task.model.clone())
             .build();
-        let shards = Partitioner::LabelShards { shards_per_client: 2 }.split(
-            &task.train,
-            clients,
-            fl.seed_for("partition"),
-        );
+        let shards = Partitioner::LabelShards {
+            shards_per_client: 2,
+        }
+        .split(&task.train, clients, fl.seed_for("partition"));
         let mut engine = AdaFlSyncEngine::with_parts(
             fl,
             ada,

@@ -14,7 +14,13 @@ fn main() {
     let budget = args.get_u64("budget", 200);
     let clients = 10;
     let task = Task::mnist_cnn(1200, 300, 42);
-    for (alpha, exponent) in [(0.6f32, 0.5f32), (0.3, 0.5), (0.9, 0.5), (0.6, 0.0), (0.6, 1.0)] {
+    for (alpha, exponent) in [
+        (0.6f32, 0.5f32),
+        (0.3, 0.5),
+        (0.9, 0.5),
+        (0.6, 0.0),
+        (0.6, 1.0),
+    ] {
         for (dist_name, partitioner) in Task::partitioners() {
             let fl = FlConfig::builder()
                 .clients(clients)

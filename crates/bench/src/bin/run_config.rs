@@ -5,6 +5,10 @@
 //! cargo run -p adafl-bench --release --bin run_config -- --config exp.json
 //! ```
 //!
+//! Pass `--telemetry trace.jsonl` to capture a structured trace of the run
+//! (round spans, per-client transfers, compression byte counters) as JSONL.
+//! Tracing is passive: the experiment output is byte-identical either way.
+//!
 //! Example configuration:
 //!
 //! ```json
@@ -29,17 +33,19 @@
 
 use adafl_bench::args::Args;
 use adafl_bench::config::ExperimentConfig;
-use adafl_bench::runner::{run_async, run_sync, RunResult, Scenario};
+use adafl_bench::runner::{run_async_with, run_sync_with, RunResult, Scenario};
 use adafl_bench::tasks::Task;
 use adafl_bench::{fleet, report};
 use adafl_fl::faults::FaultPlan;
 use adafl_fl::FlConfig;
+use adafl_telemetry::{export, InMemoryRecorder, SharedRecorder};
 
 fn main() {
     let args = Args::from_env();
-    let path = args.get("config").expect("--config <file.json> is required");
-    let raw = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let path = args
+        .get("config")
+        .expect("--config <file.json> is required");
+    let raw = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
     let cfg: ExperimentConfig =
         serde_json::from_str(&raw).unwrap_or_else(|e| panic!("invalid config {path}: {e}"));
 
@@ -77,11 +83,30 @@ fn main() {
         fl,
     };
 
+    let trace_path = args.get("telemetry");
+    let memory = trace_path.map(|_| InMemoryRecorder::shared());
+    let recorder: SharedRecorder = match &memory {
+        Some(recorder) => recorder.clone(),
+        None => adafl_telemetry::noop(),
+    };
+
     let result: RunResult = match cfg.protocol.as_str() {
-        "sync" => run_sync(&scenario, &cfg.strategy),
-        "async" => run_async(&scenario, &cfg.strategy),
+        "sync" => run_sync_with(&scenario, &cfg.strategy, recorder),
+        "async" => run_async_with(&scenario, &cfg.strategy, recorder),
         other => panic!("protocol must be sync or async, got {other:?}"),
     };
+
+    if let (Some(path), Some(memory)) = (trace_path, &memory) {
+        let trace = memory.snapshot();
+        let jsonl = export::to_jsonl_string(&trace);
+        std::fs::write(path, jsonl).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!(
+            "telemetry: {} spans, {} events, {} counters -> {path}",
+            trace.spans.len(),
+            trace.events.len(),
+            trace.counters.len()
+        );
+    }
 
     let refs = [(String::new(), &result)];
     report::print_series("", &refs);

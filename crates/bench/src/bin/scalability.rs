@@ -24,8 +24,11 @@ fn main() {
     let quick = args.flag("quick");
     let rounds = args.get_usize("rounds", if quick { 10 } else { 40 });
     let seed = args.get_u64("seed", 42);
-    let fleet_sizes: Vec<usize> =
-        if quick { vec![10, 20] } else { vec![10, 20, 50, 100] };
+    let fleet_sizes: Vec<usize> = if quick {
+        vec![10, 20]
+    } else {
+        vec![10, 20, 50, 100]
+    };
 
     let mut table = report::TextTable::new([
         "clients",
@@ -60,7 +63,9 @@ fn main() {
                 network: fleet::mixed_network(clients, 0.3, seed),
                 compute: fleet::uniform_compute(clients, 0.1, seed),
                 faults: FaultPlan::reliable(clients),
-                partitioner: Partitioner::LabelShards { shards_per_client: 2 },
+                partitioner: Partitioner::LabelShards {
+                    shards_per_client: 2,
+                },
                 update_budget: 0,
                 task: task.clone(),
                 fl,

@@ -31,7 +31,10 @@ fn main() {
     let tasks = if quick {
         vec![Task::mnist_cnn(train, test, seed)]
     } else {
-        vec![Task::mnist_cnn(train, test, seed), Task::cifar100_vgg(train, test, seed)]
+        vec![
+            Task::mnist_cnn(train, test, seed),
+            Task::cifar100_vgg(train, test, seed),
+        ]
     };
 
     let mut table = report::TextTable::new([
@@ -103,7 +106,11 @@ fn main() {
                     "adaptive".to_string(),
                 )
             } else {
-                (report::human_bytes(dense as u64), "1x".to_string(), "0.5".to_string())
+                (
+                    report::human_bytes(dense as u64),
+                    "1x".to_string(),
+                    "0.5".to_string(),
+                )
             };
             let _ = mean_payload;
             table.row([
@@ -121,5 +128,8 @@ fn main() {
         }
     }
     println!("{}", table.render());
-    println!("(cost_reduc is uplink bytes saved vs. full dense participation: {} clients × {} rounds)", clients, rounds);
+    println!(
+        "(cost_reduc is uplink bytes saved vs. full dense participation: {} clients × {} rounds)",
+        clients, rounds
+    );
 }

@@ -28,7 +28,10 @@ fn main() {
     let tasks = if quick {
         vec![Task::mnist_cnn(train, test, seed)]
     } else {
-        vec![Task::mnist_cnn(train, test, seed), Task::cifar100_vgg(train, test, seed)]
+        vec![
+            Task::mnist_cnn(train, test, seed),
+            Task::cifar100_vgg(train, test, seed),
+        ]
     };
 
     let mut table = report::TextTable::new([
@@ -96,7 +99,11 @@ fn main() {
                     "adaptive".to_string(),
                 )
             } else {
-                (report::human_bytes(dense as u64), "1x".to_string(), "0.5".to_string())
+                (
+                    report::human_bytes(dense as u64),
+                    "1x".to_string(),
+                    "0.5".to_string(),
+                )
             };
             table.row([
                 strategy.to_string(),
@@ -113,5 +120,7 @@ fn main() {
         }
     }
     println!("{}", table.render());
-    println!("(cost_reduc is uplink bytes saved vs. a dense no-selection run of {budget}x2 updates)");
+    println!(
+        "(cost_reduc is uplink bytes saved vs. a dense no-selection run of {budget}x2 updates)"
+    );
 }

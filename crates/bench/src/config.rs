@@ -10,34 +10,51 @@ use serde::Deserialize;
 /// JSON schema of one experiment.
 #[derive(Debug, Deserialize)]
 pub struct ExperimentConfig {
+    /// `"sync"` or `"async"`.
     pub protocol: String,
+    /// Strategy name understood by the matching runner (e.g. `"adafl"`).
     pub strategy: String,
+    /// Task name: `mnist-cnn`, `mnist-logreg`, `cifar10-resnet`, `cifar100-vgg`.
     pub task: String,
+    /// Training-set size.
     #[serde(default = "default_train")]
     pub train_samples: usize,
+    /// Held-out evaluation-set size.
     #[serde(default = "default_test")]
     pub test_samples: usize,
+    /// Fleet size.
     #[serde(default = "default_clients")]
     pub clients: usize,
+    /// Synchronous round count.
     #[serde(default = "default_rounds")]
     pub rounds: usize,
+    /// Fraction of clients invited per round.
     #[serde(default = "default_participation")]
     pub participation: f64,
+    /// Local SGD steps per client per round.
     #[serde(default = "default_local_steps")]
     pub local_steps: usize,
+    /// Local mini-batch size.
     #[serde(default = "default_batch")]
     pub batch_size: usize,
+    /// Client learning rate; `null` keeps the builder default.
     #[serde(default)]
     pub learning_rate: Option<f32>,
+    /// Client SGD momentum; `null` keeps the builder default.
     #[serde(default)]
     pub momentum: Option<f32>,
+    /// Data distribution across clients.
     pub partition: Partitioner,
+    /// Fraction of the fleet on constrained (LPWAN-class) links.
     #[serde(default = "default_constrained")]
     pub constrained_fraction: f64,
+    /// Async protocols: total server-received updates before stopping.
     #[serde(default = "default_budget")]
     pub update_budget: u64,
+    /// Root RNG seed for the whole run.
     #[serde(default = "default_seed")]
     pub seed: u64,
+    /// AdaFL overrides; `null` uses [`AdaFlConfig::default`].
     #[serde(default)]
     pub adafl: Option<AdaFlConfig>,
 }
@@ -72,4 +89,3 @@ fn default_budget() -> u64 {
 fn default_seed() -> u64 {
     42
 }
-

@@ -42,12 +42,7 @@ pub fn mixed_network(clients: usize, constrained_fraction: f64, seed: u64) -> Cl
 /// A fleet where the first `fraction` of clients sit behind links that drop
 /// whole transfers with probability `drop_prob` — the asynchronous-dropout
 /// condition of Figure 1(i–l).
-pub fn lossy_network(
-    clients: usize,
-    fraction: f64,
-    drop_prob: f64,
-    seed: u64,
-) -> ClientNetwork {
+pub fn lossy_network(clients: usize, fraction: f64, drop_prob: f64, seed: u64) -> ClientNetwork {
     let n_lossy = (clients as f64 * fraction).round() as usize;
     let traces: Vec<LinkTrace> = (0..clients)
         .map(|c| {
@@ -95,9 +90,22 @@ mod tests {
 
     #[test]
     fn straggler_plan_kinds() {
-        assert_eq!(straggler_plan(10, 0.2, "dropout", 0).affected_clients().len(), 2);
-        assert_eq!(straggler_plan(10, 0.4, "dataloss", 0).affected_clients().len(), 4);
-        assert_eq!(straggler_plan(10, 0.1, "stale", 0).affected_clients().len(), 1);
+        assert_eq!(
+            straggler_plan(10, 0.2, "dropout", 0)
+                .affected_clients()
+                .len(),
+            2
+        );
+        assert_eq!(
+            straggler_plan(10, 0.4, "dataloss", 0)
+                .affected_clients()
+                .len(),
+            4
+        );
+        assert_eq!(
+            straggler_plan(10, 0.1, "stale", 0).affected_clients().len(),
+            1
+        );
     }
 
     #[test]

@@ -111,8 +111,14 @@ impl LinePlot {
         }
 
         // Data bounds with a little headroom.
-        let xs = self.series.iter().flat_map(|s| s.points.iter().map(|p| p.0));
-        let ys = self.series.iter().flat_map(|s| s.points.iter().map(|p| p.1));
+        let xs = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.0));
+        let ys = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.1));
         let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
         for x in xs {
             x_min = x_min.min(x);
@@ -229,7 +235,9 @@ fn format_tick(v: f64) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Parses harness CSV output (as produced by
@@ -245,9 +253,18 @@ fn escape(s: &str) -> String {
 pub fn series_from_csv(csv: &str, x_column: &str) -> Vec<Series> {
     let mut lines = csv.lines().filter(|l| !l.trim().is_empty());
     let header: Vec<&str> = lines.next().expect("csv header").split(',').collect();
-    let label_idx = header.iter().position(|&h| h == "label").expect("label column");
-    let x_idx = header.iter().position(|&h| h == x_column).expect("x column");
-    let y_idx = header.iter().position(|&h| h == "accuracy").expect("accuracy column");
+    let label_idx = header
+        .iter()
+        .position(|&h| h == "label")
+        .expect("label column");
+    let x_idx = header
+        .iter()
+        .position(|&h| h == x_column)
+        .expect("x column");
+    let y_idx = header
+        .iter()
+        .position(|&h| h == "accuracy")
+        .expect("accuracy column");
 
     let mut order: Vec<String> = Vec::new();
     let mut map: std::collections::HashMap<String, Vec<(f64, f64)>> =
@@ -329,7 +346,10 @@ mod tests {
     #[test]
     fn degenerate_single_point_does_not_divide_by_zero() {
         let svg = LinePlot::new("p", "x", "y")
-            .with_series(Series { name: "one".into(), points: vec![(1.0, 1.0)] })
+            .with_series(Series {
+                name: "one".into(),
+                points: vec![(1.0, 1.0)],
+            })
             .render();
         assert!(!svg.contains("NaN"));
     }

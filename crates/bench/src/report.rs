@@ -8,14 +8,29 @@ use crate::runner::RunResult;
 /// Output format:
 /// `<extra columns>,label,round,sim_time_s,accuracy,loss,uplink_bytes,uplink_updates,contributors`
 pub fn print_series(extra_header: &str, runs: &[(String, &RunResult)]) {
-    println!(
+    print!("{}", series_csv(extra_header, runs));
+}
+
+/// The exact CSV text [`print_series`] emits, as a string (trailing newline
+/// included) so tests can assert on it byte for byte.
+pub fn series_csv(extra_header: &str, runs: &[(String, &RunResult)]) -> String {
+    use std::fmt::Write;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
         "{extra_header}{}label,round,sim_time_s,accuracy,loss,uplink_bytes,uplink_updates,contributors",
         if extra_header.is_empty() { "" } else { "," }
     );
     for (extra, run) in runs {
         for r in run.history.records() {
-            let prefix = if extra.is_empty() { String::new() } else { format!("{extra},") };
-            println!(
+            let prefix = if extra.is_empty() {
+                String::new()
+            } else {
+                format!("{extra},")
+            };
+            let _ = writeln!(
+                out,
                 "{prefix}{},{},{:.3},{:.4},{:.4},{},{},{}",
                 run.history.label(),
                 r.round,
@@ -28,6 +43,7 @@ pub fn print_series(extra_header: &str, runs: &[(String, &RunResult)]) {
             );
         }
     }
+    out
 }
 
 /// A simple fixed-width text table.
@@ -40,7 +56,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
-        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row.

@@ -12,6 +12,7 @@ use adafl_fl::sync::strategies::{FedAdam, FedAvg, FedProx, Scaffold};
 use adafl_fl::sync::{SyncEngine, SyncStrategy};
 use adafl_fl::{FlConfig, RunHistory};
 use adafl_netsim::ClientNetwork;
+use adafl_telemetry::SharedRecorder;
 
 /// Everything needed to execute one run.
 #[derive(Debug, Clone)]
@@ -79,6 +80,17 @@ fn async_baseline(name: &str) -> Box<dyn AsyncStrategy> {
 ///
 /// Panics on an unknown strategy name.
 pub fn run_sync(scenario: &Scenario, strategy: &str) -> RunResult {
+    run_sync_with(scenario, strategy, adafl_telemetry::noop())
+}
+
+/// [`run_sync`] with a telemetry recorder attached to the engine (and,
+/// through it, the simulated network). Recording is passive: results are
+/// identical to the untraced run.
+///
+/// # Panics
+///
+/// Panics on an unknown strategy name.
+pub fn run_sync_with(scenario: &Scenario, strategy: &str, recorder: SharedRecorder) -> RunResult {
     let shards = scenario.partitioner.split(
         &scenario.task.train,
         scenario.fl.clients,
@@ -94,6 +106,7 @@ pub fn run_sync(scenario: &Scenario, strategy: &str) -> RunResult {
             scenario.compute.clone(),
             scenario.faults.clone(),
         );
+        engine.set_recorder(recorder);
         let history = engine.run();
         result(history, engine.ledger())
     } else {
@@ -106,6 +119,7 @@ pub fn run_sync(scenario: &Scenario, strategy: &str) -> RunResult {
             scenario.compute.clone(),
             scenario.faults.clone(),
         );
+        engine.set_recorder(recorder);
         let history = engine.run();
         result(history, engine.ledger())
     }
@@ -117,6 +131,17 @@ pub fn run_sync(scenario: &Scenario, strategy: &str) -> RunResult {
 ///
 /// Panics on an unknown strategy name.
 pub fn run_async(scenario: &Scenario, strategy: &str) -> RunResult {
+    run_async_with(scenario, strategy, adafl_telemetry::noop())
+}
+
+/// [`run_async`] with a telemetry recorder attached to the engine (and,
+/// through it, the simulated network). Recording is passive: results are
+/// identical to the untraced run.
+///
+/// # Panics
+///
+/// Panics on an unknown strategy name.
+pub fn run_async_with(scenario: &Scenario, strategy: &str, recorder: SharedRecorder) -> RunResult {
     let shards = scenario.partitioner.split(
         &scenario.task.train,
         scenario.fl.clients,
@@ -133,6 +158,7 @@ pub fn run_async(scenario: &Scenario, strategy: &str) -> RunResult {
             scenario.faults.clone(),
             scenario.update_budget,
         );
+        engine.set_recorder(recorder);
         let history = engine.run();
         result(history, engine.ledger())
     } else {
@@ -146,6 +172,7 @@ pub fn run_async(scenario: &Scenario, strategy: &str) -> RunResult {
             scenario.faults.clone(),
             scenario.update_budget,
         );
+        engine.set_recorder(recorder);
         let history = engine.run();
         result(history, engine.ledger())
     }
@@ -179,7 +206,11 @@ mod tests {
             network: fleet::broadband_network(5, 1),
             compute: fleet::uniform_compute(5, 0.05, 2),
             faults: FaultPlan::reliable(5),
-            ada: AdaFlConfig { max_selected: 3, warmup_rounds: 2, ..AdaFlConfig::default() },
+            ada: AdaFlConfig {
+                max_selected: 3,
+                warmup_rounds: 2,
+                ..AdaFlConfig::default()
+            },
             partitioner: Partitioner::Iid,
             update_budget: 25,
             fl,

@@ -9,7 +9,11 @@ use adafl_nn::models::ModelSpec;
 /// Difficulty calibrated (see the `calibrate` binary) so the paper's CNN
 /// tops out near the paper's MNIST accuracy band instead of saturating.
 fn bench_difficulty() -> Difficulty {
-    Difficulty { noise_std: 1.2, max_shift: 2, contrast_jitter: 0.2 }
+    Difficulty {
+        noise_std: 1.2,
+        max_shift: 2,
+        contrast_jitter: 0.2,
+    }
 }
 
 /// A complete learning task: train/test data plus the model to train.
@@ -38,7 +42,11 @@ impl Task {
             name: "mnist-cnn",
             train,
             test,
-            model: ModelSpec::MnistCnn { height: 16, width: 16, classes: 10 },
+            model: ModelSpec::MnistCnn {
+                height: 16,
+                width: 16,
+                classes: 10,
+            },
         }
     }
 
@@ -46,14 +54,20 @@ impl Task {
     /// sweeps (Figure 1's many-configuration grid).
     pub fn mnist_logreg(train_samples: usize, test_samples: usize, seed: u64) -> Task {
         let mut spec = SyntheticSpec::mnist_like(12, train_samples + test_samples);
-        spec.difficulty = Difficulty { max_shift: 1, ..bench_difficulty() };
+        spec.difficulty = Difficulty {
+            max_shift: 1,
+            ..bench_difficulty()
+        };
         let data = spec.generate(seed);
         let (train, test) = data.split_at(train_samples);
         Task {
             name: "mnist-logreg",
             train,
             test,
-            model: ModelSpec::LogisticRegression { in_features: 144, classes: 10 },
+            model: ModelSpec::LogisticRegression {
+                in_features: 144,
+                classes: 10,
+            },
         }
     }
 
@@ -61,7 +75,11 @@ impl Task {
     /// deeper model of Figure 1(e–h)).
     pub fn cifar10_resnet(train_samples: usize, test_samples: usize, seed: u64) -> Task {
         let mut spec = SyntheticSpec::cifar10_like(16, train_samples + test_samples);
-        spec.difficulty = Difficulty { noise_std: 1.4, contrast_jitter: 0.3, ..bench_difficulty() };
+        spec.difficulty = Difficulty {
+            noise_std: 1.4,
+            contrast_jitter: 0.3,
+            ..bench_difficulty()
+        };
         let data = spec.generate(seed);
         let (train, test) = data.split_at(train_samples);
         Task {
@@ -83,7 +101,11 @@ impl Task {
     /// Tables I/II).
     pub fn cifar100_vgg(train_samples: usize, test_samples: usize, seed: u64) -> Task {
         let mut spec = SyntheticSpec::cifar100_like(16, train_samples + test_samples);
-        spec.difficulty = Difficulty { noise_std: 1.4, contrast_jitter: 0.3, ..bench_difficulty() };
+        spec.difficulty = Difficulty {
+            noise_std: 1.4,
+            contrast_jitter: 0.3,
+            ..bench_difficulty()
+        };
         let data = spec.generate(seed);
         let (train, test) = data.split_at(train_samples);
         Task {
@@ -104,7 +126,12 @@ impl Task {
     pub fn partitioners() -> [(&'static str, Partitioner); 2] {
         [
             ("iid", Partitioner::Iid),
-            ("noniid", Partitioner::LabelShards { shards_per_client: 2 }),
+            (
+                "noniid",
+                Partitioner::LabelShards {
+                    shards_per_client: 2,
+                },
+            ),
         ]
     }
 }

@@ -29,7 +29,10 @@ fn every_checked_in_config_deserializes() {
         assert!(!cfg.strategy.is_empty());
         seen += 1;
     }
-    assert!(seen >= 2, "expected the example configs to exist, found {seen}");
+    assert!(
+        seen >= 2,
+        "expected the example configs to exist, found {seen}"
+    );
 }
 
 #[test]

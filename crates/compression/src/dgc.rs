@@ -201,7 +201,11 @@ mod tests {
         let sent = dgc.compress(&[0.0, 0.0], 2.0);
         assert_eq!(sent.indices(), &[1]);
         // v₁ after third round: u₁ = 0.9·1.9 = 1.71, v₁ = 2.9 + 1.71 = 4.61.
-        assert!((sent.values()[0] - 4.61).abs() < 1e-4, "got {}", sent.values()[0]);
+        assert!(
+            (sent.values()[0] - 4.61).abs() < 1e-4,
+            "got {}",
+            sent.values()[0]
+        );
         // Strictly more than the plain sum 2.0 — momentum correction at work.
         assert!(sent.values()[0] > 2.0);
     }

@@ -35,7 +35,9 @@ impl ErrorFeedback {
     /// Panics when `dim` is zero.
     pub fn new(dim: usize) -> Self {
         assert!(dim > 0, "gradient dimension must be positive");
-        ErrorFeedback { residual: vec![0.0; dim] }
+        ErrorFeedback {
+            residual: vec![0.0; dim],
+        }
     }
 
     /// Gradient dimension.
@@ -133,9 +135,7 @@ mod tests {
         let sent = ef.compress(&g, |x| q.quantize(x).to_dense());
         assert_eq!(sent.len(), 4);
         // Residual equals input minus transmitted.
-        for ((r, gi), s) in
-            ef.residual.iter().zip(&g).zip(&sent)
-        {
+        for ((r, gi), s) in ef.residual.iter().zip(&g).zip(&sent) {
             assert!((r - (gi - s)).abs() < 1e-6);
         }
     }

@@ -35,6 +35,7 @@ mod dgc;
 mod error_feedback;
 mod quantize;
 mod sparse;
+mod telemetry;
 mod terngrad;
 mod topk;
 
@@ -42,6 +43,7 @@ pub use dgc::DgcCompressor;
 pub use error_feedback::ErrorFeedback;
 pub use quantize::{QsgdQuantizer, QuantizedUpdate};
 pub use sparse::SparseUpdate;
+pub use telemetry::record_compression;
 pub use terngrad::{TernGrad, TernaryUpdate};
 pub use topk::top_k;
 

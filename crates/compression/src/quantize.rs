@@ -74,7 +74,10 @@ impl QsgdQuantizer {
     /// into the same byte).
     pub fn new(levels: u8, seed: u64) -> Self {
         assert!((1..=127).contains(&levels), "levels must be in 1..=127");
-        QsgdQuantizer { levels, rng: StdRng::seed_from_u64(seed ^ 0x0045_4617) }
+        QsgdQuantizer {
+            levels,
+            rng: StdRng::seed_from_u64(seed ^ 0x0045_4617),
+        }
     }
 
     /// Number of quantization levels.
@@ -90,7 +93,11 @@ impl QsgdQuantizer {
     pub fn quantize(&mut self, gradient: &[f32]) -> QuantizedUpdate {
         let norm = adafl_tensor::vecops::l2_norm(gradient);
         if norm == 0.0 {
-            return QuantizedUpdate { norm: 0.0, levels: self.levels, codes: vec![0; gradient.len()] };
+            return QuantizedUpdate {
+                norm: 0.0,
+                levels: self.levels,
+                codes: vec![0; gradient.len()],
+            };
         }
         let s = self.levels as f32;
         let codes = gradient
@@ -100,11 +107,19 @@ impl QsgdQuantizer {
                 let x = g.abs() / norm * s; // in [0, s]
                 let lower = x.floor();
                 let p = x - lower;
-                let level = if self.rng.gen::<f32>() < p { lower + 1.0 } else { lower };
+                let level = if self.rng.gen::<f32>() < p {
+                    lower + 1.0
+                } else {
+                    lower
+                };
                 sign_bit | (level.min(s) as u8)
             })
             .collect();
-        QuantizedUpdate { norm, levels: self.levels, codes }
+        QuantizedUpdate {
+            norm,
+            levels: self.levels,
+            codes,
+        }
     }
 }
 

@@ -58,14 +58,25 @@ impl SparseUpdate {
             assert!(w[0] < w[1], "indices must be strictly increasing");
         }
         if let Some(&last) = indices.last() {
-            assert!((last as usize) < dense_len, "index {last} out of range {dense_len}");
+            assert!(
+                (last as usize) < dense_len,
+                "index {last} out of range {dense_len}"
+            );
         }
-        SparseUpdate { indices, values, dense_len }
+        SparseUpdate {
+            indices,
+            values,
+            dense_len,
+        }
     }
 
     /// An all-zero update of the given dense length.
     pub fn zero(dense_len: usize) -> Self {
-        SparseUpdate { indices: Vec::new(), values: Vec::new(), dense_len }
+        SparseUpdate {
+            indices: Vec::new(),
+            values: Vec::new(),
+            dense_len,
+        }
     }
 
     /// Number of transmitted (non-zero) elements.
@@ -164,7 +175,11 @@ impl SparseUpdate {
             indices.push(i);
             values.push(v);
         }
-        Ok(SparseUpdate { indices, values, dense_len })
+        Ok(SparseUpdate {
+            indices,
+            values,
+            dense_len,
+        })
     }
 }
 
@@ -200,7 +215,10 @@ mod tests {
     fn decode_rejects_truncation() {
         let u = SparseUpdate::new(vec![0, 1], vec![1.0, 2.0], 4);
         let bytes = u.encode();
-        assert_eq!(SparseUpdate::decode(&bytes[..10]).unwrap_err(), DecodeError::Truncated);
+        assert_eq!(
+            SparseUpdate::decode(&bytes[..10]).unwrap_err(),
+            DecodeError::Truncated
+        );
         assert_eq!(
             SparseUpdate::decode(&bytes[..bytes.len() - 1]).unwrap_err(),
             DecodeError::Truncated
@@ -217,7 +235,10 @@ mod tests {
         buf.put_f32_le(1.0);
         buf.put_u32_le(3);
         buf.put_f32_le(1.0);
-        assert_eq!(SparseUpdate::decode(&buf).unwrap_err(), DecodeError::InvalidIndices);
+        assert_eq!(
+            SparseUpdate::decode(&buf).unwrap_err(),
+            DecodeError::InvalidIndices
+        );
     }
 
     #[test]

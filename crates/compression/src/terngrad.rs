@@ -77,7 +77,11 @@ impl TernaryUpdate {
         if buf.len() < packed_len {
             return None;
         }
-        Some(TernaryUpdate { scale, len, packed: buf[..packed_len].to_vec() })
+        Some(TernaryUpdate {
+            scale,
+            len,
+            packed: buf[..packed_len].to_vec(),
+        })
     }
 }
 
@@ -101,7 +105,9 @@ pub struct TernGrad {
 impl TernGrad {
     /// Creates a quantizer with the given seed.
     pub fn new(seed: u64) -> Self {
-        TernGrad { rng: StdRng::seed_from_u64(seed ^ 0x7E56) }
+        TernGrad {
+            rng: StdRng::seed_from_u64(seed ^ 0x7E56),
+        }
     }
 
     /// Stochastically ternarizes `gradient`: coordinate `gᵢ` becomes
@@ -119,7 +125,11 @@ impl TernGrad {
                 }
             }
         }
-        TernaryUpdate { scale, len: gradient.len(), packed }
+        TernaryUpdate {
+            scale,
+            len: gradient.len(),
+            packed,
+        }
     }
 }
 

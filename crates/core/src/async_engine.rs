@@ -24,6 +24,7 @@ use adafl_fl::compute::ComputeModel;
 use adafl_fl::faults::FaultPlan;
 use adafl_fl::{CommunicationLedger, FlClient, FlConfig, RoundRecord, RunHistory};
 use adafl_netsim::{ClientNetwork, EventQueue, LinkProfile, LinkTrace, SimTime};
+use adafl_telemetry::{names, EventRecord, SharedRecorder, SpanRecord};
 use adafl_tensor::vecops;
 
 /// Fraction of coordinates kept in the `ĝ` digest shipped with each global
@@ -60,6 +61,7 @@ pub struct AdaFlAsyncEngine {
     /// How many server updates count as warm-up (full participation, light
     /// compression): `warmup_rounds × clients`.
     warmup_updates: u64,
+    recorder: SharedRecorder,
 }
 
 impl AdaFlAsyncEngine {
@@ -80,7 +82,16 @@ impl AdaFlAsyncEngine {
         );
         let compute = ComputeModel::uniform(fl.clients, 0.1);
         let faults = FaultPlan::reliable(fl.clients);
-        AdaFlAsyncEngine::with_parts(fl, ada, shards, test_set, network, compute, faults, update_budget)
+        AdaFlAsyncEngine::with_parts(
+            fl,
+            ada,
+            shards,
+            test_set,
+            network,
+            compute,
+            faults,
+            update_budget,
+        )
     }
 
     /// Creates an engine with explicit parts.
@@ -144,7 +155,16 @@ impl AdaFlAsyncEngine {
             ada,
             update_budget,
             eval_every: 5,
+            recorder: adafl_telemetry::noop(),
         }
+    }
+
+    /// Attaches a telemetry recorder, also wiring it into the simulated
+    /// network. Recording is strictly passive — the utility gate, event
+    /// scheduling and RNG state are untouched.
+    pub fn set_recorder(&mut self, recorder: SharedRecorder) {
+        self.network.set_recorder(recorder.clone());
+        self.recorder = recorder;
     }
 
     /// Sets the evaluation interval in server updates (default 5).
@@ -200,6 +220,17 @@ impl AdaFlAsyncEngine {
                     let outcome =
                         self.clients[client].train_local(&snapshot, self.fl.local_steps, None);
                     let done = now + self.compute.training_time(client, self.fl.local_steps);
+                    if self.recorder.enabled() {
+                        self.recorder.span(
+                            SpanRecord::new(
+                                names::SPAN_CLIENT_COMPUTE,
+                                now.seconds(),
+                                done.seconds(),
+                            )
+                            .client(client)
+                            .field("steps", self.fl.local_steps),
+                        );
+                    }
 
                     // Utility gate: compare the fresh local delta with ĝ.
                     let in_warmup = arrivals < self.warmup_updates;
@@ -215,9 +246,21 @@ impl AdaFlAsyncEngine {
                         self.ada.metric,
                         self.ada.similarity_weight,
                     );
+                    if self.recorder.enabled() {
+                        self.recorder
+                            .histogram_record(names::ADAFL_UTILITY, f64::from(score));
+                    }
                     if !in_warmup && score < self.ada.utility_threshold {
                         // Halt: skip the upload, wait for a fresher global
                         // model before contributing again.
+                        if self.recorder.enabled() {
+                            self.recorder.counter_add(names::ADAFL_HALTS, 1);
+                            self.recorder.event(
+                                EventRecord::new(names::EVENT_HALT, done.seconds())
+                                    .client(client)
+                                    .field("score", score),
+                            );
+                        }
                         queue.push(done + SimTime::from_seconds(1.0), Event::Resync { client });
                         continue;
                     }
@@ -225,8 +268,22 @@ impl AdaFlAsyncEngine {
                     let ratio = self.controller.ratio_for_score(in_warmup, score);
                     let sparse = self.compressors[client].compress(&outcome.delta, ratio);
                     let payload = sparse.wire_size();
+                    if self.recorder.enabled() {
+                        self.recorder
+                            .histogram_record(names::ADAFL_ASSIGNED_RATIO, f64::from(ratio));
+                        adafl_compression::record_compression(
+                            &self.recorder,
+                            "dgc",
+                            dense_payload,
+                            payload,
+                        );
+                    }
                     self.in_flight[client] = Some(sparse);
-                    match self.network.uplink_transfer(client, payload, done).arrival() {
+                    match self
+                        .network
+                        .uplink_transfer(client, payload, done)
+                        .arrival()
+                    {
                         Some(arrival) => {
                             self.ledger.record_uplink(client, payload);
                             queue.push(arrival, Event::UpdateArrival { client, version });
@@ -240,6 +297,16 @@ impl AdaFlAsyncEngine {
                 Event::UpdateArrival { client, version } => {
                     arrivals += 1;
                     let staleness = self.version.saturating_sub(version);
+                    if self.recorder.enabled() {
+                        self.recorder
+                            .histogram_record(names::ASYNC_STALENESS, staleness as f64);
+                        self.recorder.event(
+                            EventRecord::new(names::EVENT_STALENESS, now.seconds())
+                                .round(arrivals as usize)
+                                .client(client)
+                                .field("staleness", staleness),
+                        );
+                    }
                     let sparse = self.in_flight[client]
                         .take()
                         .expect("arrival without an in-flight update");
@@ -275,22 +342,20 @@ impl AdaFlAsyncEngine {
                 }
             }
         }
-        let _ = dense_payload;
         history
     }
 
-    fn schedule_downlink(
-        &mut self,
-        queue: &mut EventQueue<Event>,
-        client: usize,
-        now: SimTime,
-    ) {
+    fn schedule_downlink(&mut self, queue: &mut EventQueue<Event>, client: usize, now: SimTime) {
         // The download carries the full model plus the ĝ digest.
         let digest_k = (self.global.len() / DIGEST_FRACTION).max(1);
         let digest = top_k(&self.global_gradient, digest_k);
         let payload = dense_wire_size(self.global.len()) + digest.wire_size();
         self.snapshots[client].copy_from_slice(&self.global);
-        match self.network.downlink_transfer(client, payload, now).arrival() {
+        match self
+            .network
+            .downlink_transfer(client, payload, now)
+            .arrival()
+        {
             Some(arrival) => {
                 self.ledger.record_downlink(client, payload);
                 queue.push(arrival, Event::StartTraining { client });
@@ -314,7 +379,10 @@ mod tests {
             .rounds(10)
             .local_steps(3)
             .batch_size(16)
-            .model(ModelSpec::LogisticRegression { in_features: 64, classes: 10 })
+            .model(ModelSpec::LogisticRegression {
+                in_features: 64,
+                classes: 10,
+            })
             .build()
     }
 
@@ -323,7 +391,10 @@ mod tests {
         let (train, test) = data.split_at(400);
         AdaFlAsyncEngine::new(
             fl_config(),
-            AdaFlConfig { warmup_rounds: 2, ..AdaFlConfig::default() },
+            AdaFlConfig {
+                warmup_rounds: 2,
+                ..AdaFlConfig::default()
+            },
             &train,
             test,
             Partitioner::Iid,
@@ -364,11 +435,31 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_observes_scores_without_perturbing_results() {
+        use adafl_telemetry::{names, InMemoryRecorder};
+
+        let plain = engine(30).run();
+        let mut traced = engine(30);
+        let rec = InMemoryRecorder::shared();
+        traced.set_recorder(rec.clone());
+        assert_eq!(plain, traced.run());
+
+        let t = rec.snapshot();
+        assert!(t.histograms[names::ADAFL_UTILITY].count() >= 30);
+        assert!(t.histograms[names::ADAFL_ASSIGNED_RATIO].count() >= 30);
+        assert_eq!(t.histograms[names::ASYNC_STALENESS].count(), 30);
+        assert!(t.counters["compression.bytes_post.dgc"] > 0);
+    }
+
+    #[test]
     fn history_time_is_monotone() {
         let mut e = engine(40);
         let history = e.run();
-        let times: Vec<f64> =
-            history.records().iter().map(|r| r.sim_time.seconds()).collect();
+        let times: Vec<f64> = history
+            .records()
+            .iter()
+            .map(|r| r.sim_time.seconds())
+            .collect();
         assert!(times.windows(2).all(|w| w[0] <= w[1]));
     }
 }

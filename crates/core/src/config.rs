@@ -9,8 +9,7 @@ use crate::utility::SimilarityMetric;
 /// Defaults follow the paper's setup: `k ≤ 5` of 10 clients, cosine
 /// similarity, compression ratios spanning 4×–210× (Table I), and a short
 /// warm-up with full participation and light compression.
-#[derive(serde::Serialize, serde::Deserialize)]
-#[derive(Debug, Clone, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq)]
 pub struct AdaFlConfig {
     /// Weight of gradient similarity vs. bandwidth in the utility score,
     /// in `[0, 1]` (`β` in the crate docs; 1.0 ignores bandwidth).
@@ -92,15 +91,24 @@ impl AdaFlConfig {
             (0.0..=1.0).contains(&self.utility_threshold),
             "utility threshold must be in [0, 1]"
         );
-        assert!(self.max_selected > 0, "max selected clients must be positive");
+        assert!(
+            self.max_selected > 0,
+            "max selected clients must be positive"
+        );
         assert!(self.min_ratio >= 1.0, "min ratio must be ≥ 1");
-        assert!(self.min_ratio <= self.max_ratio, "min ratio must not exceed max ratio");
+        assert!(
+            self.min_ratio <= self.max_ratio,
+            "min ratio must not exceed max ratio"
+        );
         assert!(self.warmup_ratio >= 1.0, "warm-up ratio must be ≥ 1");
         assert!(
             self.ratio_curve > 0.0 && self.ratio_curve.is_finite(),
             "ratio curve exponent must be positive"
         );
-        assert!((0.0..1.0).contains(&self.dgc_momentum), "DGC momentum must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&self.dgc_momentum),
+            "DGC momentum must be in [0, 1)"
+        );
         assert!(self.clip_norm > 0.0, "clip norm must be positive");
         assert!(
             self.async_alpha > 0.0 && self.async_alpha <= 1.0,
@@ -129,12 +137,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "min ratio")]
     fn inverted_ratios_panic() {
-        AdaFlConfig { min_ratio: 300.0, ..AdaFlConfig::default() }.validate();
+        AdaFlConfig {
+            min_ratio: 300.0,
+            ..AdaFlConfig::default()
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "threshold")]
     fn invalid_threshold_panics() {
-        AdaFlConfig { utility_threshold: 1.5, ..AdaFlConfig::default() }.validate();
+        AdaFlConfig {
+            utility_threshold: 1.5,
+            ..AdaFlConfig::default()
+        }
+        .validate();
     }
 }

@@ -45,8 +45,9 @@ pub fn select_clients(scores: &[f32], k: usize, tau: f32) -> Vec<usize> {
 ///
 /// [`SelectionPolicy::Utility`] is AdaFL's Algorithm 1; the others are
 /// ablation baselines showing what the utility guidance buys.
-#[derive(serde::Serialize, serde::Deserialize)]
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(
+    serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq, Hash, Default,
+)]
 #[non_exhaustive]
 pub enum SelectionPolicy {
     /// Algorithm 1: threshold-filter by utility, rank, take top-K.
@@ -117,8 +118,7 @@ impl Selector {
                 if n == 0 {
                     return Vec::new();
                 }
-                let mut ids: Vec<usize> =
-                    (0..k.min(n)).map(|i| (self.cursor + i) % n).collect();
+                let mut ids: Vec<usize> = (0..k.min(n)).map(|i| (self.cursor + i) % n).collect();
                 self.cursor = (self.cursor + k) % n;
                 ids.sort_unstable();
                 ids
@@ -173,8 +173,7 @@ mod tests {
                 let sel = select_clients(&scores, k, tau);
                 assert!(sel.len() <= k);
                 assert!(sel.iter().all(|&i| scores[i] >= tau));
-                let min_selected =
-                    sel.iter().map(|&i| scores[i]).fold(f32::INFINITY, f32::min);
+                let min_selected = sel.iter().map(|&i| scores[i]).fold(f32::INFINITY, f32::min);
                 if sel.len() == k {
                     for (i, &score) in scores.iter().enumerate() {
                         if !sel.contains(&i) {
@@ -224,7 +223,9 @@ mod tests {
     fn random_k_is_seed_deterministic() {
         let run = |seed: u64| {
             let mut s = Selector::new(SelectionPolicy::RandomK, seed);
-            (0..10).map(|_| s.select(&[0.0; 8], 3, 0.0)).collect::<Vec<_>>()
+            (0..10)
+                .map(|_| s.select(&[0.0; 8], 3, 0.0))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(1), run(1));
         assert_ne!(run(1), run(2));

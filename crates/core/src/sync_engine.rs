@@ -27,6 +27,7 @@ use adafl_fl::compute::ComputeModel;
 use adafl_fl::faults::FaultPlan;
 use adafl_fl::{CommunicationLedger, FlClient, FlConfig, RoundRecord, RunHistory};
 use adafl_netsim::{ClientNetwork, LinkProfile, LinkTrace, SimTime};
+use adafl_telemetry::{names, EventRecord, SharedRecorder, SpanRecord};
 use adafl_tensor::vecops;
 
 /// Wire size of a utility-score report (client id + score + tag).
@@ -54,6 +55,7 @@ pub struct AdaFlSyncEngine {
     faults: FaultPlan,
     ledger: CommunicationLedger,
     clock: SimTime,
+    recorder: SharedRecorder,
 }
 
 impl AdaFlSyncEngine {
@@ -131,7 +133,16 @@ impl AdaFlSyncEngine {
             fl,
             ada,
             clock: SimTime::ZERO,
+            recorder: adafl_telemetry::noop(),
         }
+    }
+
+    /// Attaches a telemetry recorder, also wiring it into the simulated
+    /// network. Recording is strictly passive — selection, compression and
+    /// clock behaviour are identical with or without it.
+    pub fn set_recorder(&mut self, recorder: SharedRecorder) {
+        self.network.set_recorder(recorder.clone());
+        self.recorder = recorder;
     }
 
     /// The communication ledger (cumulative).
@@ -181,6 +192,9 @@ impl AdaFlSyncEngine {
         let dense_payload = dense_wire_size(self.global.len());
         let mut updates: Vec<(usize, adafl_compression::SparseUpdate, f32)> = Vec::new();
         let mut round_time = SimTime::ZERO;
+        let tracing = self.recorder.enabled();
+        let round_start = self.clock;
+        let wall_start = self.recorder.wall_micros();
 
         // Phase 1 — full model download for selected clients only.
         let mut ready: Vec<(usize, usize, SimTime)> = Vec::with_capacity(selected.len());
@@ -220,8 +234,19 @@ impl AdaFlSyncEngine {
 
         // Phase 3 — adaptive compression and uplink, in cohort-rank order.
         for (&(rank, c, downlink_done), outcome) in ready.iter().zip(outcomes) {
-            let train_done = downlink_done
-                + self.compute.training_time(c, self.fl.local_steps);
+            let train_done = downlink_done + self.compute.training_time(c, self.fl.local_steps);
+            if tracing {
+                self.recorder.span(
+                    SpanRecord::new(
+                        names::SPAN_CLIENT_COMPUTE,
+                        downlink_done.seconds(),
+                        train_done.seconds(),
+                    )
+                    .round(round)
+                    .client(c)
+                    .field("steps", self.fl.local_steps),
+                );
+            }
 
             let ratio = self.controller.ratio_for_rank(
                 self.controller.in_warmup(round),
@@ -230,11 +255,33 @@ impl AdaFlSyncEngine {
             );
             let sparse = self.compressors[c].compress(&outcome.delta, ratio);
             let payload = sparse.wire_size();
+            if tracing {
+                self.recorder
+                    .histogram_record(names::ADAFL_ASSIGNED_RATIO, f64::from(ratio));
+                adafl_compression::record_compression(
+                    &self.recorder,
+                    "dgc",
+                    dense_payload,
+                    payload,
+                );
+            }
 
             if !self.faults.update_delivered(c, round) {
+                if tracing {
+                    self.recorder.counter_add(names::FL_DROPOUTS, 1);
+                    self.recorder.event(
+                        EventRecord::new(names::EVENT_DROPOUT, train_done.seconds())
+                            .round(round)
+                            .client(c),
+                    );
+                }
                 continue;
             }
-            match self.network.uplink_transfer(c, payload, train_done).arrival() {
+            match self
+                .network
+                .uplink_transfer(c, payload, train_done)
+                .arrival()
+            {
                 Some(arrival) => {
                     self.ledger.record_uplink(c, payload);
                     round_time = round_time.max(arrival - self.clock);
@@ -260,12 +307,25 @@ impl AdaFlSyncEngine {
             vecops::axpy(&mut self.global, 1.0, &mean);
             self.global_gradient = mean;
         }
+        if tracing {
+            let (start, end) = (round_start.seconds(), self.clock.seconds());
+            self.recorder
+                .histogram_record(names::ROUND_SIM_SECONDS, end - start);
+            self.recorder.span(
+                SpanRecord::new(names::SPAN_ROUND, start, end)
+                    .round(round)
+                    .wall(self.recorder.wall_micros().saturating_sub(wall_start))
+                    .field("participants", selected.len())
+                    .field("delivered", updates.len())
+                    .field("warmup", self.controller.in_warmup(round)),
+            );
+        }
         updates.len()
     }
 
     /// Runs the control plane (digest broadcast + score reports) and
     /// Algorithm 1.
-    fn select(&mut self, _round: usize) -> Vec<usize> {
+    fn select(&mut self, round: usize) -> Vec<usize> {
         // Digest of ĝ: top 1% coordinates, broadcast to every client.
         let digest_k = (self.global.len() / DIGEST_FRACTION).max(1);
         let digest = top_k(&self.global_gradient, digest_k);
@@ -294,8 +354,24 @@ impl AdaFlSyncEngine {
             );
             self.ledger.record_control(c, SCORE_REPORT_BYTES);
         }
-        self.selector
-            .select(&scores, self.ada.max_selected, self.ada.utility_threshold)
+        let selected =
+            self.selector
+                .select(&scores, self.ada.max_selected, self.ada.utility_threshold);
+        if self.recorder.enabled() {
+            for &s in &scores {
+                self.recorder
+                    .histogram_record(names::ADAFL_UTILITY, f64::from(s));
+            }
+            self.recorder
+                .gauge_set(names::ADAFL_SELECTED, selected.len() as f64);
+            self.recorder.event(
+                EventRecord::new(names::EVENT_SELECTION, self.clock.seconds())
+                    .round(round)
+                    .field("scored", scores.len())
+                    .field("selected", selected.len()),
+            );
+        }
+        selected
     }
 }
 
@@ -311,7 +387,10 @@ mod tests {
             .rounds(rounds)
             .local_steps(3)
             .batch_size(16)
-            .model(ModelSpec::LogisticRegression { in_features: 64, classes: 10 })
+            .model(ModelSpec::LogisticRegression {
+                in_features: 64,
+                classes: 10,
+            })
             .build()
     }
 
@@ -320,7 +399,11 @@ mod tests {
         let (train, test) = data.split_at(480);
         AdaFlSyncEngine::new(
             fl_config(rounds),
-            AdaFlConfig { max_selected: 3, warmup_rounds: 2, ..AdaFlConfig::default() },
+            AdaFlConfig {
+                max_selected: 3,
+                warmup_rounds: 2,
+                ..AdaFlConfig::default()
+            },
             &train,
             test,
             Partitioner::Iid,
@@ -342,8 +425,7 @@ mod tests {
     fn warmup_includes_everyone_then_selection_caps_cohort() {
         let mut e = engine(6);
         let history = e.run();
-        let contributors: Vec<usize> =
-            history.records().iter().map(|r| r.contributors).collect();
+        let contributors: Vec<usize> = history.records().iter().map(|r| r.contributors).collect();
         // Warm-up rounds: all 6 clients (lossless links).
         assert_eq!(contributors[0], 6);
         assert_eq!(contributors[1], 6);
@@ -373,6 +455,27 @@ mod tests {
         let h1 = engine(5).run();
         let h2 = engine(5).run();
         assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn telemetry_observes_selection_without_perturbing_results() {
+        use adafl_telemetry::{names, InMemoryRecorder};
+
+        let plain = engine(5).run();
+        let mut traced = engine(5);
+        let rec = InMemoryRecorder::shared();
+        traced.set_recorder(rec.clone());
+        assert_eq!(plain, traced.run());
+
+        let t = rec.snapshot();
+        assert_eq!(t.spans_of(names::SPAN_ROUND).count(), 5);
+        // 3 post-warm-up rounds × 6 scored clients.
+        assert_eq!(t.histograms[names::ADAFL_UTILITY].count(), 18);
+        assert_eq!(t.events_of(names::EVENT_SELECTION).count(), 3);
+        assert!(t.gauges[names::ADAFL_SELECTED] <= 3.0);
+        assert!(t.histograms[names::ADAFL_ASSIGNED_RATIO].count() > 0);
+        // DGC wire bytes must undercut the raw bytes overall.
+        assert!(t.counters["compression.bytes_post.dgc"] < t.counters["compression.bytes_pre.dgc"]);
     }
 
     #[test]

@@ -18,8 +18,9 @@ const BW_SUFFICIENCY_WINDOW_S: f64 = 1.0;
 /// The paper uses cosine similarity and notes L2-norm ratio and Euclidean
 /// distance as alternatives [33]; all three are provided for the ablation
 /// bench.
-#[derive(serde::Serialize, serde::Deserialize)]
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(
+    serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq, Hash, Default,
+)]
 #[non_exhaustive]
 pub enum SimilarityMetric {
     /// Cosine similarity, mapped from `[-1, 1]` to `[0, 1]`. Directionally
@@ -51,9 +52,7 @@ impl SimilarityMetric {
             return 0.5;
         }
         match self {
-            SimilarityMetric::Cosine => {
-                (vecops::cosine_similarity(local, global_ref) + 1.0) / 2.0
-            }
+            SimilarityMetric::Cosine => (vecops::cosine_similarity(local, global_ref) + 1.0) / 2.0,
             SimilarityMetric::L2Norm => nl.min(ng) / nl.max(ng),
             SimilarityMetric::Euclidean => {
                 let d = vecops::l2_distance(local, global_ref) / ng;
@@ -89,7 +88,10 @@ pub struct UtilityInputs<'a> {
 /// genuinely cannot keep up with the compressed payloads AdaFL sends (see
 /// DESIGN.md §5b).
 pub fn bandwidth01(link: &LinkSpec, expected_payload: usize) -> f32 {
-    let bw = link.uplink_bandwidth().min(link.downlink_bandwidth()).max(1.0);
+    let bw = link
+        .uplink_bandwidth()
+        .min(link.downlink_bandwidth())
+        .max(1.0);
     let deliverable = bw * BW_SUFFICIENCY_WINDOW_S;
     ((deliverable / expected_payload.max(1) as f64).clamp(0.0, 1.0)) as f32
 }
@@ -134,7 +136,11 @@ mod tests {
 
     #[test]
     fn zero_gradient_is_neutral_for_all_metrics() {
-        for m in [SimilarityMetric::Cosine, SimilarityMetric::L2Norm, SimilarityMetric::Euclidean] {
+        for m in [
+            SimilarityMetric::Cosine,
+            SimilarityMetric::L2Norm,
+            SimilarityMetric::Euclidean,
+        ] {
             assert_eq!(m.similarity01(&[0.0, 0.0], &[1.0, 1.0]), 0.5);
             assert_eq!(m.similarity01(&[1.0, 1.0], &[0.0, 0.0]), 0.5);
         }
@@ -144,7 +150,10 @@ mod tests {
     fn l2_metric_ignores_direction() {
         let m = SimilarityMetric::L2Norm;
         let a = m.similarity01(&[3.0, 0.0], &[0.0, 3.0]);
-        assert!((a - 1.0).abs() < 1e-6, "equal norms score 1 regardless of direction");
+        assert!(
+            (a - 1.0).abs() < 1e-6,
+            "equal norms score 1 regardless of direction"
+        );
         assert!((m.similarity01(&[1.0, 0.0], &[4.0, 0.0]) - 0.25).abs() < 1e-6);
     }
 

@@ -20,14 +20,21 @@ fn fl_config(clients: usize, rounds: usize) -> FlConfig {
         .rounds(rounds)
         .local_steps(3)
         .batch_size(16)
-        .model(ModelSpec::LogisticRegression { in_features: 64, classes: 10 })
+        .model(ModelSpec::LogisticRegression {
+            in_features: 64,
+            classes: 10,
+        })
         .build()
 }
 
 #[test]
 fn control_plane_is_accounted_separately_from_updates() {
     let (train, test) = task();
-    let ada = AdaFlConfig { warmup_rounds: 2, max_selected: 3, ..AdaFlConfig::default() };
+    let ada = AdaFlConfig {
+        warmup_rounds: 2,
+        max_selected: 3,
+        ..AdaFlConfig::default()
+    };
     let mut engine = AdaFlSyncEngine::new(fl_config(6, 10), ada, &train, test, Partitioner::Iid);
     engine.run();
     let ledger = engine.ledger();
@@ -53,15 +60,25 @@ fn selection_policies_change_participation_patterns() {
             max_selected: 2,
             ..AdaFlConfig::default()
         };
-        let mut engine =
-            AdaFlSyncEngine::new(fl_config(6, 13), ada, &train, test.clone(), Partitioner::Iid);
+        let mut engine = AdaFlSyncEngine::new(
+            fl_config(6, 13),
+            ada,
+            &train,
+            test.clone(),
+            Partitioner::Iid,
+        );
         engine.run();
-        (0..6).map(|c| engine.ledger().client_uplink_updates(c)).collect::<Vec<_>>()
+        (0..6)
+            .map(|c| engine.ledger().client_uplink_updates(c))
+            .collect::<Vec<_>>()
     };
     let round_robin = run(SelectionPolicy::RoundRobin);
     // Round-robin over 12 post-warm-up rounds × 2 slots = 24 slots over 6
     // clients → exactly 4 each (+1 warm-up round).
-    assert!(round_robin.iter().all(|&u| u == 5), "round robin skewed: {round_robin:?}");
+    assert!(
+        round_robin.iter().all(|&u| u == 5),
+        "round robin skewed: {round_robin:?}"
+    );
     let utility = run(SelectionPolicy::Utility);
     assert_eq!(utility.iter().sum::<u64>(), round_robin.iter().sum::<u64>());
 }

@@ -31,7 +31,10 @@ use rand::{Rng, SeedableRng};
 /// assert_eq!(noisy.labels(), &[1, 0, 1, 0]);
 /// ```
 pub fn with_label_noise(dataset: &Dataset, noise_rate: f64, seed: u64) -> Dataset {
-    assert!((0.0..=1.0).contains(&noise_rate), "noise rate must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&noise_rate),
+        "noise rate must be in [0, 1]"
+    );
     let classes = dataset.classes();
     if classes < 2 {
         return dataset.clone();
@@ -71,7 +74,10 @@ pub fn quantity_skew_split(
 ) -> Vec<Dataset> {
     assert!(clients > 0, "client count must be positive");
     assert!(skew >= 0.0, "skew must be non-negative");
-    assert!(dataset.len() >= clients, "need at least one sample per client");
+    assert!(
+        dataset.len() >= clients,
+        "need at least one sample per client"
+    );
     use rand::seq::SliceRandom;
     let mut order: Vec<usize> = (0..dataset.len()).collect();
     order.shuffle(&mut StdRng::seed_from_u64(seed ^ 0x0005_CE77));
@@ -80,8 +86,10 @@ pub fn quantity_skew_split(
     let total: f64 = weights.iter().sum();
     // Give everyone 1 sample, distribute the rest by weight.
     let spare = dataset.len() - clients;
-    let mut counts: Vec<usize> =
-        weights.iter().map(|w| 1 + (w / total * spare as f64) as usize).collect();
+    let mut counts: Vec<usize> = weights
+        .iter()
+        .map(|w| 1 + (w / total * spare as f64) as usize)
+        .collect();
     // Fix rounding drift onto the largest shard.
     let assigned: usize = counts.iter().sum();
     counts[0] += dataset.len() - assigned;
@@ -127,7 +135,9 @@ mod tests {
     fn partial_noise_rate_is_respected() {
         let ds = data();
         let noisy = with_label_noise(&ds, 0.3, 2);
-        let flipped = (0..ds.len()).filter(|&i| noisy.label(i) != ds.label(i)).count();
+        let flipped = (0..ds.len())
+            .filter(|&i| noisy.label(i) != ds.label(i))
+            .count();
         let rate = flipped as f64 / ds.len() as f64;
         assert!((rate - 0.3).abs() < 0.08, "observed flip rate {rate}");
     }
@@ -136,7 +146,10 @@ mod tests {
     fn noise_is_deterministic_per_seed() {
         let ds = data();
         assert_eq!(with_label_noise(&ds, 0.5, 9), with_label_noise(&ds, 0.5, 9));
-        assert_ne!(with_label_noise(&ds, 0.5, 9), with_label_noise(&ds, 0.5, 10));
+        assert_ne!(
+            with_label_noise(&ds, 0.5, 9),
+            with_label_noise(&ds, 0.5, 10)
+        );
     }
 
     #[test]

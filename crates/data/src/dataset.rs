@@ -15,8 +15,7 @@ use adafl_tensor::Tensor;
 /// assert_eq!(ds.len(), 2);
 /// assert_eq!(ds.features(1), &[2.0, 3.0]);
 /// ```
-#[derive(serde::Serialize, serde::Deserialize)]
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq, Default)]
 pub struct Dataset {
     features: Vec<f32>,
     labels: Vec<usize>,
@@ -36,7 +35,11 @@ impl Dataset {
             labels.len() * dim,
             "features length must equal labels × dim"
         );
-        Dataset { features, labels, dim }
+        Dataset {
+            features,
+            labels,
+            dim,
+        }
     }
 
     /// Creates an empty dataset with row width `dim`.

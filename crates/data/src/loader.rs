@@ -68,7 +68,10 @@ impl BatchLoader {
     ///
     /// Panics when `dataset` is empty.
     pub fn next_batch(&mut self, dataset: &Dataset) -> (Tensor, Vec<usize>) {
-        assert!(!dataset.is_empty(), "cannot draw batches from an empty dataset");
+        assert!(
+            !dataset.is_empty(),
+            "cannot draw batches from an empty dataset"
+        );
         if self.order.len() != dataset.len() {
             self.order = (0..dataset.len()).collect();
             self.order.shuffle(&mut self.rng);

@@ -17,8 +17,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 /// Strategy for splitting a dataset across federated clients.
-#[derive(serde::Serialize, serde::Deserialize)]
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
 pub enum Partitioner {
     /// Uniform random split: every client's data is drawn IID.
@@ -123,7 +122,9 @@ fn dirichlet_assignment(
         }
         if total <= 0.0 {
             // Degenerate draw; fall back to uniform.
-            class_props.iter_mut().for_each(|p| *p = 1.0 / clients as f32);
+            class_props
+                .iter_mut()
+                .for_each(|p| *p = 1.0 / clients as f32);
         } else {
             class_props.iter_mut().for_each(|p| *p /= total);
         }
@@ -201,13 +202,19 @@ mod tests {
             .map(|p| p.class_histogram().iter().filter(|&&c| c > 0).count() as f32)
             .sum::<f32>()
             / parts.len() as f32;
-        assert!(avg_classes >= 8.0, "IID split too skewed: avg {avg_classes} classes");
+        assert!(
+            avg_classes >= 8.0,
+            "IID split too skewed: avg {avg_classes} classes"
+        );
     }
 
     #[test]
     fn shard_split_skews_labels() {
         let ds = data();
-        let parts = Partitioner::LabelShards { shards_per_client: 2 }.split(&ds, 10, 1);
+        let parts = Partitioner::LabelShards {
+            shards_per_client: 2,
+        }
+        .split(&ds, 10, 1);
         assert_eq!(total(&parts), ds.len());
         // With 2 shards/client over 10 classes, most clients see ≤ 4 classes.
         let avg_classes: f32 = parts
@@ -215,7 +222,10 @@ mod tests {
             .map(|p| p.class_histogram().iter().filter(|&&c| c > 0).count() as f32)
             .sum::<f32>()
             / parts.len() as f32;
-        assert!(avg_classes <= 4.0, "shard split too uniform: avg {avg_classes} classes");
+        assert!(
+            avg_classes <= 4.0,
+            "shard split too uniform: avg {avg_classes} classes"
+        );
     }
 
     #[test]
@@ -247,8 +257,14 @@ mod tests {
     #[test]
     fn split_is_deterministic_per_seed() {
         let ds = data();
-        let a = Partitioner::LabelShards { shards_per_client: 2 }.split(&ds, 5, 9);
-        let b = Partitioner::LabelShards { shards_per_client: 2 }.split(&ds, 5, 9);
+        let a = Partitioner::LabelShards {
+            shards_per_client: 2,
+        }
+        .split(&ds, 5, 9);
+        let b = Partitioner::LabelShards {
+            shards_per_client: 2,
+        }
+        .split(&ds, 5, 9);
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x, y);
         }

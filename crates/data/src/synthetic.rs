@@ -27,12 +27,20 @@ pub struct Difficulty {
 impl Difficulty {
     /// Easy task: converges quickly (MNIST-like dynamics).
     pub fn easy() -> Self {
-        Difficulty { noise_std: 0.35, max_shift: 1, contrast_jitter: 0.1 }
+        Difficulty {
+            noise_std: 0.35,
+            max_shift: 1,
+            contrast_jitter: 0.1,
+        }
     }
 
     /// Hard task: noisy with larger jitter (CIFAR-like dynamics).
     pub fn hard() -> Self {
-        Difficulty { noise_std: 0.8, max_shift: 2, contrast_jitter: 0.3 }
+        Difficulty {
+            noise_std: 0.8,
+            max_shift: 2,
+            contrast_jitter: 0.3,
+        }
     }
 }
 
@@ -158,17 +166,16 @@ impl SyntheticSpec {
                         let amp: f32 = rng.gen_range(0.4..1.0);
                         for y in 0..self.height {
                             for x in 0..self.width {
-                                let v = (fx * x as f32 + fy * y as f32
-                                    + phase)
-                                    .sin();
+                                let v = (fx * x as f32 + fy * y as f32 + phase).sin();
                                 t[base + y * self.width + x] += amp * v;
                             }
                         }
                     }
                 }
                 // Normalise template energy so classes are comparable.
-                let norm =
-                    (t.iter().map(|v| v * v).sum::<f32>() / t.len() as f32).sqrt().max(1e-6);
+                let norm = (t.iter().map(|v| v * v).sum::<f32>() / t.len() as f32)
+                    .sqrt()
+                    .max(1e-6);
                 for v in &mut t {
                     *v /= norm;
                 }
@@ -180,8 +187,16 @@ impl SyntheticSpec {
     fn render_sample(&self, template: &[f32], rng: &mut StdRng, out: &mut [f32]) {
         let d = &self.difficulty;
         let shift = d.max_shift as isize;
-        let dy = if shift > 0 { rng.gen_range(-shift..=shift) } else { 0 };
-        let dx = if shift > 0 { rng.gen_range(-shift..=shift) } else { 0 };
+        let dy = if shift > 0 {
+            rng.gen_range(-shift..=shift)
+        } else {
+            0
+        };
+        let dx = if shift > 0 {
+            rng.gen_range(-shift..=shift)
+        } else {
+            0
+        };
         let contrast = 1.0 + rng.gen_range(-d.contrast_jitter..=d.contrast_jitter);
         let (h, w) = (self.height as isize, self.width as isize);
         for ch in 0..self.channels {
@@ -231,10 +246,14 @@ mod tests {
     fn same_class_samples_are_more_similar_than_cross_class() {
         let ds = SyntheticSpec::mnist_like(12, 200).generate(3);
         // Average cosine similarity within class 0 vs class 0 against class 5.
-        let class0: Vec<usize> =
-            (0..ds.len()).filter(|&i| ds.label(i) == 0).take(8).collect();
-        let class5: Vec<usize> =
-            (0..ds.len()).filter(|&i| ds.label(i) == 5).take(8).collect();
+        let class0: Vec<usize> = (0..ds.len())
+            .filter(|&i| ds.label(i) == 0)
+            .take(8)
+            .collect();
+        let class5: Vec<usize> = (0..ds.len())
+            .filter(|&i| ds.label(i) == 5)
+            .take(8)
+            .collect();
         let mut within = 0.0f32;
         let mut cross = 0.0f32;
         let mut n = 0;
@@ -261,9 +280,19 @@ mod tests {
         // within-class similarity.
         let easy = SyntheticSpec::mnist_like(8, 40).generate(1);
         let hard = SyntheticSpec::cifar10_like(8, 40).generate(1);
+        // Average over every within-class pair: a single pair is too noisy
+        // to compare difficulties reliably.
         let sim = |ds: &Dataset| {
             let idx: Vec<usize> = (0..ds.len()).filter(|&i| ds.label(i) == 0).collect();
-            cosine_similarity(ds.features(idx[0]), ds.features(idx[1]))
+            let mut total = 0.0f32;
+            let mut pairs = 0;
+            for (k, &a) in idx.iter().enumerate() {
+                for &b in &idx[k + 1..] {
+                    total += cosine_similarity(ds.features(a), ds.features(b));
+                    pairs += 1;
+                }
+            }
+            total / pairs as f32
         };
         assert!(sim(&easy) > sim(&hard));
     }

@@ -34,7 +34,10 @@ fn test_accuracy(model: &mut Model, test_set: &Dataset) -> f32 {
 fn logistic_regression_learns_mnist_like() {
     let data = SyntheticSpec::mnist_like(12, 600).generate(5);
     let (train_set, test_set) = data.split_at(500);
-    let spec = ModelSpec::LogisticRegression { in_features: 144, classes: 10 };
+    let spec = ModelSpec::LogisticRegression {
+        in_features: 144,
+        classes: 10,
+    };
     let mut model = spec.build(0);
     train(&mut model, &train_set, 150, 0.05);
     let acc = test_accuracy(&mut model, &test_set);
@@ -45,7 +48,11 @@ fn logistic_regression_learns_mnist_like() {
 fn cnn_learns_mnist_like() {
     let data = SyntheticSpec::mnist_like(16, 600).generate(6);
     let (train_set, test_set) = data.split_at(500);
-    let spec = ModelSpec::MnistCnn { height: 16, width: 16, classes: 10 };
+    let spec = ModelSpec::MnistCnn {
+        height: 16,
+        width: 16,
+        classes: 10,
+    };
     let mut model = spec.build(0);
     train(&mut model, &train_set, 120, 0.03);
     let acc = test_accuracy(&mut model, &test_set);
@@ -62,8 +69,11 @@ fn hard_task_converges_slower_than_easy_task() {
 
     let run = |data: &Dataset| {
         let (train_set, test_set) = data.split_at(400);
-        let mut model =
-            ModelSpec::LogisticRegression { in_features: 144, classes: 10 }.build(1);
+        let mut model = ModelSpec::LogisticRegression {
+            in_features: 144,
+            classes: 10,
+        }
+        .build(1);
         train(&mut model, &train_set, steps, 0.05);
         test_accuracy(&mut model, &test_set)
     };

@@ -17,6 +17,7 @@ use adafl_compression::dense_wire_size;
 use adafl_data::partition::Partitioner;
 use adafl_data::Dataset;
 use adafl_netsim::{ClientNetwork, EventQueue, LinkProfile, LinkTrace, SimTime};
+use adafl_telemetry::{names, EventRecord, SharedRecorder, SpanRecord};
 
 /// Server-side behaviour of an asynchronous FL strategy.
 pub trait AsyncStrategy: std::fmt::Debug + Send {
@@ -72,6 +73,7 @@ pub struct AsyncEngine {
     ledger: CommunicationLedger,
     update_budget: u64,
     eval_every: u64,
+    recorder: SharedRecorder,
 }
 
 impl AsyncEngine {
@@ -92,7 +94,16 @@ impl AsyncEngine {
         );
         let compute = ComputeModel::uniform(config.clients, 0.1);
         let faults = FaultPlan::reliable(config.clients);
-        AsyncEngine::with_parts(config, shards, test_set, strategy, network, compute, faults, update_budget)
+        AsyncEngine::with_parts(
+            config,
+            shards,
+            test_set,
+            strategy,
+            network,
+            compute,
+            faults,
+            update_budget,
+        )
     }
 
     /// Creates an engine with explicit parts; stale clients in `faults` are
@@ -115,7 +126,11 @@ impl AsyncEngine {
     ) -> Self {
         assert_eq!(shards.len(), config.clients, "shard count mismatch");
         assert_eq!(network.len(), config.clients, "network size mismatch");
-        assert_eq!(compute.clients(), config.clients, "compute model size mismatch");
+        assert_eq!(
+            compute.clients(),
+            config.clients,
+            "compute model size mismatch"
+        );
         assert_eq!(faults.clients(), config.clients, "fault plan size mismatch");
         assert!(update_budget > 0, "update budget must be positive");
         let clients = FlClient::fleet(
@@ -152,7 +167,16 @@ impl AsyncEngine {
             config,
             update_budget,
             eval_every: 5,
+            recorder: adafl_telemetry::noop(),
         }
+    }
+
+    /// Attaches a telemetry recorder, also wiring it into the simulated
+    /// network. Recording is strictly passive: event scheduling and RNG
+    /// state are untouched, so traced and untraced runs are identical.
+    pub fn set_recorder(&mut self, recorder: SharedRecorder) {
+        self.network.set_recorder(recorder.clone());
+        self.recorder = recorder;
     }
 
     /// Sets how many server updates elapse between test-set evaluations
@@ -212,30 +236,54 @@ impl AsyncEngine {
                     let outcome =
                         self.clients[client].train_local(&snapshot, self.config.local_steps, None);
                     self.in_flight[client] = Some(outcome.delta);
-                    let train_time =
-                        self.compute.training_time(client, self.config.local_steps);
+                    let train_time = self.compute.training_time(client, self.config.local_steps);
                     let done = now + train_time;
-                    match self.network.uplink_transfer(client, payload, done).arrival() {
+                    if self.recorder.enabled() {
+                        self.recorder.span(
+                            SpanRecord::new(
+                                names::SPAN_CLIENT_COMPUTE,
+                                now.seconds(),
+                                done.seconds(),
+                            )
+                            .client(client)
+                            .field("steps", self.config.local_steps),
+                        );
+                    }
+                    match self
+                        .network
+                        .uplink_transfer(client, payload, done)
+                        .arrival()
+                    {
                         Some(arrival) => {
                             self.ledger.record_uplink(client, payload);
                             queue.push(
                                 arrival,
-                                Event::UpdateArrival { client, version: client_versions[client] },
+                                Event::UpdateArrival {
+                                    client,
+                                    version: client_versions[client],
+                                },
                             );
                         }
                         None => {
                             // Update lost in transit: resync after a timeout.
                             self.in_flight[client] = None;
-                            queue.push(
-                                done + SimTime::from_seconds(1.0),
-                                Event::Resync { client },
-                            );
+                            queue.push(done + SimTime::from_seconds(1.0), Event::Resync { client });
                         }
                     }
                 }
                 Event::UpdateArrival { client, version } => {
                     arrivals += 1;
                     let staleness = self.version.saturating_sub(version);
+                    if self.recorder.enabled() {
+                        self.recorder
+                            .histogram_record(names::ASYNC_STALENESS, staleness as f64);
+                        self.recorder.event(
+                            EventRecord::new(names::EVENT_STALENESS, now.seconds())
+                                .round(arrivals as usize)
+                                .client(client)
+                                .field("staleness", staleness),
+                        );
+                    }
                     let delta = self.in_flight[client]
                         .take()
                         .expect("arrival without an in-flight update");
@@ -285,7 +333,11 @@ impl AsyncEngine {
         now: SimTime,
     ) {
         self.snapshots[client].copy_from_slice(&self.global);
-        match self.network.downlink_transfer(client, payload, now).arrival() {
+        match self
+            .network
+            .downlink_transfer(client, payload, now)
+            .arrival()
+        {
             Some(arrival) => {
                 self.ledger.record_downlink(client, payload);
                 queue.push(arrival, Event::StartTraining { client });
@@ -315,7 +367,10 @@ mod tests {
             .rounds(10)
             .local_steps(3)
             .batch_size(16)
-            .model(ModelSpec::LogisticRegression { in_features: 64, classes: 10 })
+            .model(ModelSpec::LogisticRegression {
+                in_features: 64,
+                classes: 10,
+            })
             .build()
     }
 
@@ -358,10 +413,31 @@ mod tests {
     fn sim_time_is_monotone_in_history() {
         let mut e = engine(Box::new(FedAsync::new(0.6, 0.5)), 40);
         let history = e.run();
-        let times: Vec<f64> = history.records().iter().map(|r| r.sim_time.seconds()).collect();
+        let times: Vec<f64> = history
+            .records()
+            .iter()
+            .map(|r| r.sim_time.seconds())
+            .collect();
         for w in times.windows(2) {
             assert!(w[0] <= w[1]);
         }
+    }
+
+    #[test]
+    fn telemetry_observes_staleness_without_perturbing_results() {
+        use adafl_telemetry::{names, InMemoryRecorder};
+
+        let plain = engine(Box::new(FedAsync::new(0.6, 0.5)), 30).run();
+        let mut traced = engine(Box::new(FedAsync::new(0.6, 0.5)), 30);
+        let rec = InMemoryRecorder::shared();
+        traced.set_recorder(rec.clone());
+        assert_eq!(plain, traced.run());
+
+        let t = rec.snapshot();
+        assert_eq!(t.histograms[names::ASYNC_STALENESS].count(), 30);
+        assert_eq!(t.events_of(names::EVENT_STALENESS).count(), 30);
+        assert!(t.spans_of(names::SPAN_CLIENT_COMPUTE).count() >= 30);
+        assert!(t.spans_of(names::SPAN_UPLINK).count() >= 30);
     }
 
     #[test]

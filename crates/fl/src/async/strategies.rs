@@ -25,8 +25,14 @@ impl FedAsync {
     /// Panics when parameters are out of range.
     pub fn new(alpha: f32, staleness_exponent: f32) -> Self {
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
-        assert!(staleness_exponent >= 0.0, "staleness exponent must be non-negative");
-        FedAsync { alpha, staleness_exponent }
+        assert!(
+            staleness_exponent >= 0.0,
+            "staleness exponent must be non-negative"
+        );
+        FedAsync {
+            alpha,
+            staleness_exponent,
+        }
     }
 
     /// Effective mixing weight for a given staleness.
@@ -77,7 +83,11 @@ impl FedBuff {
     pub fn new(buffer_size: usize, server_lr: f32) -> Self {
         assert!(buffer_size > 0, "buffer size must be positive");
         assert!(server_lr > 0.0, "server learning rate must be positive");
-        FedBuff { buffer_size, server_lr, buffer: Vec::new() }
+        FedBuff {
+            buffer_size,
+            server_lr,
+            buffer: Vec::new(),
+        }
     }
 
     /// Buffer capacity `K`.
@@ -179,8 +189,8 @@ mod tests {
         let snap = [0.0f32];
         s.on_update(&mut global, &[1.0], &snap, 1.0, 0);
         s.on_update(&mut global, &[5.0], &snap, 1.0, 99); // heavily stale
-        // Weighted mean ≈ 1·1/1 + 5·0.1 over (1 + 0.1) ≈ 1.36, well below
-        // the unweighted mean of 3.
+                                                          // Weighted mean ≈ 1·1/1 + 5·0.1 over (1 + 0.1) ≈ 1.36, well below
+                                                          // the unweighted mean of 3.
         assert!(global[0] < 2.0, "stale entry dominated: {}", global[0]);
         assert!(global[0] > 0.9);
     }

@@ -185,7 +185,10 @@ mod tests {
             Checkpoint::decode(b"not a checkpoint at all"),
             Err(CheckpointError::InvalidFormat)
         ));
-        assert!(matches!(Checkpoint::decode(&[]), Err(CheckpointError::InvalidFormat)));
+        assert!(matches!(
+            Checkpoint::decode(&[]),
+            Err(CheckpointError::InvalidFormat)
+        ));
     }
 
     #[test]

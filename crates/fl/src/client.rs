@@ -75,7 +75,14 @@ impl FlClient {
         let loader = BatchLoader::new(batch_size, seed ^ (id as u64).wrapping_mul(0x517C_C1B7));
         // Validate hyperparameters eagerly.
         let _ = Sgd::new(learning_rate, momentum, 0.0);
-        FlClient { id, model, data, loader, learning_rate, momentum }
+        FlClient {
+            id,
+            model,
+            data,
+            loader,
+            learning_rate,
+            momentum,
+        }
     }
 
     /// Builds a fleet of clients over pre-partitioned shards, all starting
@@ -100,7 +107,15 @@ impl FlClient {
             .into_iter()
             .enumerate()
             .map(|(id, shard)| {
-                FlClient::new(id, spec.build(seed), shard, learning_rate, momentum, batch_size, seed)
+                FlClient::new(
+                    id,
+                    spec.build(seed),
+                    shard,
+                    learning_rate,
+                    momentum,
+                    batch_size,
+                    seed,
+                )
             })
             .collect()
     }
@@ -232,7 +247,10 @@ pub fn evaluate_model(model: &mut Model, data: &Dataset) -> (f32, f32) {
         batches += 1;
         start = end;
     }
-    (correct as f32 / data.len() as f32, loss_sum / batches as f32)
+    (
+        correct as f32 / data.len() as f32,
+        loss_sum / batches as f32,
+    )
 }
 
 #[cfg(test)]
@@ -242,7 +260,10 @@ mod tests {
     use adafl_data::synthetic::SyntheticSpec;
 
     fn spec() -> ModelSpec {
-        ModelSpec::LogisticRegression { in_features: 64, classes: 10 }
+        ModelSpec::LogisticRegression {
+            in_features: 64,
+            classes: 10,
+        }
     }
 
     fn client() -> FlClient {
@@ -266,7 +287,10 @@ mod tests {
         let mut a = client();
         let mut b = client();
         let global = a.model().params_flat();
-        assert_eq!(a.train_local(&global, 3, None), b.train_local(&global, 3, None));
+        assert_eq!(
+            a.train_local(&global, 3, None),
+            b.train_local(&global, 3, None)
+        );
     }
 
     #[test]
@@ -277,7 +301,10 @@ mod tests {
             grad.fill(0.0);
         };
         let out = c.train_local(&global, 3, Some(&mut hook));
-        assert!(out.delta.iter().all(|&d| d == 0.0), "zeroed gradients must freeze params");
+        assert!(
+            out.delta.iter().all(|&d| d == 0.0),
+            "zeroed gradients must freeze params"
+        );
     }
 
     #[test]
@@ -318,7 +345,10 @@ mod tests {
         }
         let _ = global;
         let (after, _) = c.evaluate(&shard);
-        assert!(after > before, "local training did not help: {before} → {after}");
+        assert!(
+            after > before,
+            "local training did not help: {before} → {after}"
+        );
     }
 
     #[test]

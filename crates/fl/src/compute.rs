@@ -54,7 +54,11 @@ impl ComputeModel {
             seconds_per_step.iter().all(|&s| s > 0.0),
             "step times must be positive"
         );
-        ComputeModel { seconds_per_step, jitter_frac: 0.0, rng_seed: 0 }
+        ComputeModel {
+            seconds_per_step,
+            jitter_frac: 0.0,
+            rng_seed: 0,
+        }
     }
 
     /// Adds multiplicative jitter of `±frac` to each query, seeded.
@@ -63,7 +67,10 @@ impl ComputeModel {
     ///
     /// Panics when `frac` is outside `[0, 1)`.
     pub fn with_jitter(mut self, frac: f64, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&frac), "jitter fraction must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&frac),
+            "jitter fraction must be in [0, 1)"
+        );
         self.jitter_frac = frac;
         self.rng_seed = seed;
         self

@@ -21,8 +21,7 @@ use adafl_nn::models::ModelSpec;
 ///     .build();
 /// assert_eq!(cfg.participants_per_round(), 5);
 /// ```
-#[derive(serde::Serialize, serde::Deserialize)]
-#[derive(Debug, Clone, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq)]
 pub struct FlConfig {
     /// Number of federated clients.
     pub clients: usize,
@@ -60,8 +59,7 @@ impl FlConfig {
     /// Number of clients sampled each round: `⌈participation · clients⌉`,
     /// at least 1.
     pub fn participants_per_round(&self) -> usize {
-        ((self.participation * self.clients as f64).round() as usize)
-            .clamp(1, self.clients)
+        ((self.participation * self.clients as f64).round() as usize).clamp(1, self.clients)
     }
 
     /// Deterministic sub-seed for a named component.
@@ -188,7 +186,10 @@ impl FlConfigBuilder {
             self.learning_rate > 0.0 && self.learning_rate.is_finite(),
             "learning rate must be positive"
         );
-        assert!((0.0..1.0).contains(&self.momentum), "momentum must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&self.momentum),
+            "momentum must be in [0, 1)"
+        );
         if let Some(d) = self.round_deadline {
             assert!(d > 0.0 && d.is_finite(), "round deadline must be positive");
         }
@@ -212,7 +213,10 @@ mod tests {
     use super::*;
 
     fn spec() -> ModelSpec {
-        ModelSpec::LogisticRegression { in_features: 4, classes: 2 }
+        ModelSpec::LogisticRegression {
+            in_features: 4,
+            classes: 2,
+        }
     }
 
     #[test]
@@ -225,11 +229,23 @@ mod tests {
 
     #[test]
     fn participants_round_and_clamp() {
-        let cfg = FlConfig::builder().clients(3).participation(0.5).model(spec()).build();
+        let cfg = FlConfig::builder()
+            .clients(3)
+            .participation(0.5)
+            .model(spec())
+            .build();
         assert_eq!(cfg.participants_per_round(), 2);
-        let tiny = FlConfig::builder().clients(10).participation(0.01).model(spec()).build();
+        let tiny = FlConfig::builder()
+            .clients(10)
+            .participation(0.01)
+            .model(spec())
+            .build();
         assert_eq!(tiny.participants_per_round(), 1);
-        let all = FlConfig::builder().clients(7).participation(1.0).model(spec()).build();
+        let all = FlConfig::builder()
+            .clients(7)
+            .participation(1.0)
+            .model(spec())
+            .build();
         assert_eq!(all.participants_per_round(), 7);
     }
 
@@ -258,13 +274,19 @@ mod tests {
     fn round_deadline_is_optional_and_validated() {
         let cfg = FlConfig::builder().model(spec()).build();
         assert_eq!(cfg.round_deadline, None);
-        let with = FlConfig::builder().round_deadline(3.5).model(spec()).build();
+        let with = FlConfig::builder()
+            .round_deadline(3.5)
+            .model(spec())
+            .build();
         assert_eq!(with.round_deadline, Some(3.5));
     }
 
     #[test]
     #[should_panic(expected = "deadline")]
     fn non_positive_deadline_panics() {
-        FlConfig::builder().round_deadline(0.0).model(spec()).build();
+        FlConfig::builder()
+            .round_deadline(0.0)
+            .model(spec())
+            .build();
     }
 }

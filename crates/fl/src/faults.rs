@@ -14,8 +14,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Failure behaviour of one client.
-#[derive(serde::Serialize, serde::Deserialize)]
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
 pub enum FaultKind {
     /// Healthy client.
@@ -79,14 +78,20 @@ impl FaultPlan {
                     assert!(period >= 2, "dropout period must be ≥ 2")
                 }
                 FaultKind::DataLoss { prob } => {
-                    assert!((0.0..=1.0).contains(&prob), "loss probability must be in [0,1]")
+                    assert!(
+                        (0.0..=1.0).contains(&prob),
+                        "loss probability must be in [0,1]"
+                    )
                 }
                 FaultKind::Stale { factor } => {
                     assert!(factor > 1.0, "staleness factor must exceed 1")
                 }
             }
         }
-        FaultPlan { kinds, rng: StdRng::seed_from_u64(seed ^ 0xFA17) }
+        FaultPlan {
+            kinds,
+            rng: StdRng::seed_from_u64(seed ^ 0xFA17),
+        }
     }
 
     /// Marks the **first** `⌊fraction·clients⌋` clients with `kind` — the
@@ -97,10 +102,19 @@ impl FaultPlan {
     /// Panics when `clients` is zero or `fraction` is outside `[0, 1]`.
     pub fn with_fraction(clients: usize, fraction: f64, kind: FaultKind, seed: u64) -> Self {
         assert!(clients > 0, "need at least one client");
-        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
         let affected = (fraction * clients as f64).round() as usize;
         let kinds = (0..clients)
-            .map(|i| if i < affected { kind } else { FaultKind::Reliable })
+            .map(|i| {
+                if i < affected {
+                    kind
+                } else {
+                    FaultKind::Reliable
+                }
+            })
             .collect();
         FaultPlan::new(kinds, seed)
     }
@@ -174,8 +188,7 @@ mod tests {
 
     #[test]
     fn dropout_delivers_every_other_round() {
-        let mut plan =
-            FaultPlan::new(vec![FaultKind::Dropout { period: 2 }], 0);
+        let mut plan = FaultPlan::new(vec![FaultKind::Dropout { period: 2 }], 0);
         let delivered: Vec<bool> = (0..6).map(|r| plan.update_delivered(0, r)).collect();
         assert_eq!(delivered, vec![false, true, false, true, false, true]);
     }

@@ -3,8 +3,7 @@
 use adafl_netsim::SimTime;
 
 /// One evaluation point of a federated run.
-#[derive(serde::Serialize, serde::Deserialize)]
-#[derive(Debug, Clone, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq)]
 pub struct RoundRecord {
     /// Communication round (sync) or aggregation count (async).
     pub round: usize,
@@ -42,8 +41,7 @@ pub struct RoundRecord {
 /// });
 /// assert_eq!(h.final_accuracy(), 0.5);
 /// ```
-#[derive(serde::Serialize, serde::Deserialize)]
-#[derive(Debug, Clone, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq)]
 pub struct RunHistory {
     label: String,
     records: Vec<RoundRecord>,
@@ -52,7 +50,10 @@ pub struct RunHistory {
 impl RunHistory {
     /// Creates an empty history labelled with the strategy name.
     pub fn new(label: impl Into<String>) -> Self {
-        RunHistory { label: label.into(), records: Vec::new() }
+        RunHistory {
+            label: label.into(),
+            records: Vec::new(),
+        }
     }
 
     /// The strategy label.
@@ -102,7 +103,10 @@ impl RunHistory {
 
     /// First simulated time at which accuracy reached `target`, if ever.
     pub fn time_to_accuracy(&self, target: f32) -> Option<SimTime> {
-        self.records.iter().find(|r| r.accuracy >= target).map(|r| r.sim_time)
+        self.records
+            .iter()
+            .find(|r| r.accuracy >= target)
+            .map(|r| r.sim_time)
     }
 
     /// Accuracy at (or at the last evaluation before) simulated time `t`.

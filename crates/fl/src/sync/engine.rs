@@ -1,16 +1,17 @@
 //! The synchronous round engine (FedAvg-style protocol, Eq. 3 of the paper).
 
 use crate::client::{evaluate_model, FlClient};
-use crate::sync::{CompressorState, StaticCompression};
 use crate::compute::ComputeModel;
 use crate::config::FlConfig;
 use crate::faults::FaultPlan;
 use crate::history::{RoundRecord, RunHistory};
 use crate::ledger::CommunicationLedger;
+use crate::sync::{CompressorState, StaticCompression};
 use adafl_compression::dense_wire_size;
 use adafl_data::partition::Partitioner;
 use adafl_data::Dataset;
 use adafl_netsim::{ClientNetwork, LinkProfile, LinkTrace, SimTime};
+use adafl_telemetry::{names, EventRecord, SharedRecorder, SpanRecord};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -41,14 +42,7 @@ pub trait SyncStrategy: std::fmt::Debug + Send + Sync {
     fn init(&mut self, _dim: usize, _clients: usize) {}
 
     /// Client-side gradient correction applied at every local step.
-    fn gradient_hook(
-        &self,
-        _client: usize,
-        _grad: &mut [f32],
-        _params: &[f32],
-        _global: &[f32],
-    ) {
-    }
+    fn gradient_hook(&self, _client: usize, _grad: &mut [f32], _params: &[f32], _global: &[f32]) {}
 
     /// Called after a client finishes local training (before aggregation),
     /// with its delta and the hyperparameters that produced it. `lr` is the
@@ -84,6 +78,7 @@ pub struct SyncEngine {
     parallel: bool,
     compression: StaticCompression,
     compressors: Vec<CompressorState>,
+    recorder: SharedRecorder,
 }
 
 impl SyncEngine {
@@ -129,7 +124,11 @@ impl SyncEngine {
     ) -> Self {
         assert_eq!(shards.len(), config.clients, "shard count mismatch");
         assert_eq!(network.len(), config.clients, "network size mismatch");
-        assert_eq!(compute.clients(), config.clients, "compute model size mismatch");
+        assert_eq!(
+            compute.clients(),
+            config.clients,
+            "compute model size mismatch"
+        );
         assert_eq!(faults.clients(), config.clients, "fault plan size mismatch");
         let clients = FlClient::fleet(
             &config.model,
@@ -166,6 +165,7 @@ impl SyncEngine {
             parallel: true,
             compression: StaticCompression::None,
             compressors,
+            recorder: adafl_telemetry::noop(),
             config,
             clients,
             global,
@@ -205,6 +205,15 @@ impl SyncEngine {
             .collect();
     }
 
+    /// Attaches a telemetry recorder, also wiring it into the simulated
+    /// network so transfers are traced. Recording is strictly passive: it
+    /// never touches the engine's RNGs or the simulated clock, so traced
+    /// and untraced runs produce identical histories.
+    pub fn set_recorder(&mut self, recorder: SharedRecorder) {
+        self.network.set_recorder(recorder.clone());
+        self.recorder = recorder;
+    }
+
     /// The communication ledger (cumulative).
     pub fn ledger(&self) -> &CommunicationLedger {
         &self.ledger
@@ -222,7 +231,11 @@ impl SyncEngine {
     ///
     /// Panics when `params.len()` differs from the model's parameter count.
     pub fn set_global_params(&mut self, params: &[f32]) {
-        assert_eq!(params.len(), self.global.len(), "flat parameter length mismatch");
+        assert_eq!(
+            params.len(),
+            self.global.len(),
+            "flat parameter length mismatch"
+        );
         self.global.copy_from_slice(params);
         self.global_model.set_params_flat(params);
     }
@@ -237,7 +250,8 @@ impl SyncEngine {
         let mut history = RunHistory::new(self.strategy.name());
         for round in 0..self.config.rounds {
             let contributors = self.run_round(round);
-            let (accuracy, loss) = evaluate_global(&mut self.global_model, &self.global, &self.test_set);
+            let (accuracy, loss) =
+                evaluate_global(&mut self.global_model, &self.global, &self.test_set);
             history.push(RoundRecord {
                 round,
                 sim_time: self.clock,
@@ -259,6 +273,9 @@ impl SyncEngine {
         let mut updates: Vec<ClientUpdate> = Vec::new();
         let mut round_time = SimTime::ZERO;
         let mut deadline_hit = false;
+        let tracing = self.recorder.enabled();
+        let round_start = self.clock;
+        let wall_start = self.recorder.wall_micros();
 
         // Phase 1 — broadcast the global model; clients whose broadcast is
         // lost sit the round out.
@@ -280,19 +297,50 @@ impl SyncEngine {
         // deterministic participant order.
         let effective_lr = self.config.learning_rate / (1.0 - self.config.momentum);
         for ((c, downlink_done), outcome) in ready.into_iter().zip(outcomes) {
-            self.strategy.after_local_round(c, &outcome.delta, outcome.steps, effective_lr);
+            self.strategy
+                .after_local_round(c, &outcome.delta, outcome.steps, effective_lr);
 
             // Stale clients' slowdowns were folded into the compute model
             // at construction.
-            let steps_time =
-                self.compute.training_time(c, self.config.local_steps).seconds();
+            let steps_time = self
+                .compute
+                .training_time(c, self.config.local_steps)
+                .seconds();
             let train_done = downlink_done + SimTime::from_seconds(steps_time);
+            if tracing {
+                self.recorder.span(
+                    SpanRecord::new(
+                        names::SPAN_CLIENT_COMPUTE,
+                        downlink_done.seconds(),
+                        train_done.seconds(),
+                    )
+                    .round(round)
+                    .client(c)
+                    .field("steps", outcome.steps),
+                );
+            }
 
             if !self.faults.update_delivered(c, round) {
+                if tracing {
+                    self.recorder.counter_add(names::FL_DROPOUTS, 1);
+                    self.recorder.event(
+                        EventRecord::new(names::EVENT_DROPOUT, train_done.seconds())
+                            .round(round)
+                            .client(c),
+                    );
+                }
                 continue;
             }
             // Static client-side compression (identity by default).
             let (sent_delta, wire) = self.compressors[c].compress(&outcome.delta);
+            if tracing {
+                adafl_compression::record_compression(
+                    &self.recorder,
+                    self.compression.label(),
+                    payload,
+                    wire,
+                );
+            }
             let up = self.network.uplink_transfer(c, wire, train_done);
             match up.arrival() {
                 Some(arrival) => {
@@ -304,6 +352,15 @@ impl SyncEngine {
                         // updates arriving after the deadline.
                         if elapsed.seconds() > deadline {
                             deadline_hit = true;
+                            if tracing {
+                                self.recorder.counter_add(names::FL_DEADLINE_MISSES, 1);
+                                self.recorder.event(
+                                    EventRecord::new(names::EVENT_DEADLINE_MISS, arrival.seconds())
+                                        .round(round)
+                                        .client(c)
+                                        .field("elapsed_seconds", elapsed.seconds()),
+                                );
+                            }
                             continue;
                         }
                     }
@@ -323,7 +380,9 @@ impl SyncEngine {
         // long; a round with no delivered update costs the wait timeout.
         if deadline_hit {
             self.clock += SimTime::from_seconds(
-                self.config.round_deadline.expect("deadline_hit implies a deadline"),
+                self.config
+                    .round_deadline
+                    .expect("deadline_hit implies a deadline"),
             );
         } else if updates.is_empty() {
             self.clock += SimTime::from_seconds(0.5);
@@ -333,6 +392,18 @@ impl SyncEngine {
 
         if !updates.is_empty() {
             self.strategy.aggregate(&mut self.global, &updates);
+        }
+        if tracing {
+            let (start, end) = (round_start.seconds(), self.clock.seconds());
+            self.recorder
+                .histogram_record(names::ROUND_SIM_SECONDS, end - start);
+            self.recorder.span(
+                SpanRecord::new(names::SPAN_ROUND, start, end)
+                    .round(round)
+                    .wall(self.recorder.wall_micros().saturating_sub(wall_start))
+                    .field("participants", participants.len())
+                    .field("delivered", updates.len()),
+            );
         }
         updates.len()
     }
@@ -361,10 +432,9 @@ impl SyncEngine {
                     .drain(..)
                     .map(|(c, client)| {
                         scope.spawn(move || {
-                            let mut hook =
-                                |grad: &mut [f32], params: &[f32], g: &[f32]| {
-                                    strategy.gradient_hook(c, grad, params, g);
-                                };
+                            let mut hook = |grad: &mut [f32], params: &[f32], g: &[f32]| {
+                                strategy.gradient_hook(c, grad, params, g);
+                            };
                             client.train_local(global, steps, Some(&mut hook))
                         })
                     })
@@ -421,14 +491,23 @@ mod tests {
             .participation(1.0)
             .local_steps(3)
             .batch_size(16)
-            .model(ModelSpec::LogisticRegression { in_features: 64, classes: 10 })
+            .model(ModelSpec::LogisticRegression {
+                in_features: 64,
+                classes: 10,
+            })
             .build()
     }
 
     fn engine(rounds: usize) -> SyncEngine {
         let data = SyntheticSpec::mnist_like(8, 400).generate(0);
         let (train, test) = data.split_at(320);
-        SyncEngine::new(small_config(rounds), &train, test, Partitioner::Iid, Box::new(FedAvg::new()))
+        SyncEngine::new(
+            small_config(rounds),
+            &train,
+            test,
+            Partitioner::Iid,
+            Box::new(FedAvg::new()),
+        )
     }
 
     #[test]
@@ -547,6 +626,36 @@ mod tests {
         assert_eq!(e.ledger().uplink_updates(), 16);
         // The clock advances by exactly the deadline each round.
         assert!((e.clock().seconds() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn telemetry_observes_rounds_without_perturbing_results() {
+        use adafl_telemetry::InMemoryRecorder;
+
+        let mut plain = engine(3);
+        let plain_history = plain.run();
+        let mut traced = engine(3);
+        let rec = InMemoryRecorder::shared();
+        traced.set_recorder(rec.clone());
+        let traced_history = traced.run();
+
+        // The determinism invariant: recording never changes the run.
+        assert_eq!(plain_history, traced_history);
+        assert_eq!(plain.global_params(), traced.global_params());
+
+        let t = rec.snapshot();
+        assert_eq!(t.spans_of(names::SPAN_ROUND).count(), 3);
+        // 4 clients, full participation, lossless broadband: every round
+        // has a compute, uplink and downlink span per client.
+        assert_eq!(t.spans_of(names::SPAN_CLIENT_COMPUTE).count(), 12);
+        assert_eq!(t.spans_of(names::SPAN_UPLINK).count(), 12);
+        assert_eq!(t.spans_of(names::SPAN_DOWNLINK).count(), 12);
+        assert_eq!(t.histograms[names::ROUND_SIM_SECONDS].count(), 3);
+        // Identity compression: wire bytes equal raw bytes.
+        assert_eq!(
+            t.counters["compression.bytes_post.none"],
+            t.counters["compression.bytes_pre.none"]
+        );
     }
 
     #[test]

@@ -7,5 +7,5 @@ mod engine;
 mod static_compression;
 
 pub use engine::{ClientUpdate, SyncEngine, SyncStrategy};
-pub use static_compression::StaticCompression;
 pub(crate) use static_compression::CompressorState;
+pub use static_compression::StaticCompression;

@@ -33,6 +33,18 @@ pub enum StaticCompression {
     TernGrad,
 }
 
+impl StaticCompression {
+    /// Short scheme label used to scope telemetry metric names,
+    /// e.g. `compression.bytes_post.topk`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StaticCompression::None => "none",
+            StaticCompression::TopK { .. } => "topk",
+            StaticCompression::Qsgd { .. } => "qsgd",
+            StaticCompression::TernGrad => "terngrad",
+        }
+    }
+}
 
 /// Per-client compressor state for a [`StaticCompression`] scheme.
 #[derive(Debug)]
@@ -49,7 +61,10 @@ impl CompressorState {
             StaticCompression::None => CompressorState::None,
             StaticCompression::TopK { ratio } => {
                 assert!(ratio >= 1.0, "top-k ratio must be ≥ 1");
-                CompressorState::TopK { feedback: ErrorFeedback::new(dim), ratio }
+                CompressorState::TopK {
+                    feedback: ErrorFeedback::new(dim),
+                    ratio,
+                }
             }
             StaticCompression::Qsgd { levels } => {
                 CompressorState::Qsgd(QsgdQuantizer::new(levels, seed))
@@ -124,7 +139,10 @@ mod tests {
 
     #[test]
     fn qsgd_and_terngrad_shrink_wire() {
-        for scheme in [StaticCompression::Qsgd { levels: 8 }, StaticCompression::TernGrad] {
+        for scheme in [
+            StaticCompression::Qsgd { levels: 8 },
+            StaticCompression::TernGrad,
+        ] {
             let mut c = CompressorState::new(scheme, 64, 1);
             let (sent, wire) = c.compress(&delta());
             assert_eq!(sent.len(), 64);

@@ -64,7 +64,9 @@ impl FedAdam {
     ///
     /// Panics when `server_lr` is not positive.
     pub fn with_adaptivity(server_lr: f32, tau: f32) -> Self {
-        FedAdam { adam: Adam::with_betas(server_lr, 0.9, 0.999, tau) }
+        FedAdam {
+            adam: Adam::with_betas(server_lr, 0.9, 0.999, tau),
+        }
     }
 }
 
@@ -143,7 +145,11 @@ impl FedAdagrad {
     pub fn new(server_lr: f32, tau: f32) -> Self {
         assert!(server_lr > 0.0, "server learning rate must be positive");
         assert!(tau > 0.0, "adaptivity constant must be positive");
-        FedAdagrad { lr: server_lr, tau, accumulator: Vec::new() }
+        FedAdagrad {
+            lr: server_lr,
+            tau,
+            accumulator: Vec::new(),
+        }
     }
 }
 
@@ -192,7 +198,14 @@ impl FedYogi {
     pub fn new(server_lr: f32, tau: f32) -> Self {
         assert!(server_lr > 0.0, "server learning rate must be positive");
         assert!(tau > 0.0, "adaptivity constant must be positive");
-        FedYogi { lr: server_lr, beta1: 0.9, beta2: 0.99, tau, m: Vec::new(), v: Vec::new() }
+        FedYogi {
+            lr: server_lr,
+            beta1: 0.9,
+            beta2: 0.99,
+            tau,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 }
 
@@ -212,8 +225,11 @@ impl SyncStrategy for FedYogi {
                 self.m = vec![0.0; global.len()];
                 self.v = vec![self.tau * self.tau; global.len()];
             }
-            for (((p, d), m), v) in
-                global.iter_mut().zip(&mean).zip(&mut self.m).zip(&mut self.v)
+            for (((p, d), m), v) in global
+                .iter_mut()
+                .zip(&mean)
+                .zip(&mut self.m)
+                .zip(&mut self.v)
             {
                 *m = self.beta1 * *m + (1.0 - self.beta1) * d;
                 let d2 = d * d;
@@ -319,7 +335,11 @@ mod tests {
             .iter()
             .zip(weights)
             .enumerate()
-            .map(|(i, (d, &w))| ClientUpdate { client: i, delta: d.to_vec(), weight: w })
+            .map(|(i, (d, &w))| ClientUpdate {
+                client: i,
+                delta: d.to_vec(),
+                weight: w,
+            })
             .collect()
     }
 
@@ -417,7 +437,10 @@ mod tests {
         s.aggregate(&mut global, &updates(&[&[1.0]], &[1.0]));
         let second = global[0] - first;
         assert!(first > 0.0);
-        assert!(second < first, "adagrad step should shrink: {first} then {second}");
+        assert!(
+            second < first,
+            "adagrad step should shrink: {first} then {second}"
+        );
     }
 
     #[test]

@@ -21,7 +21,10 @@ fn config(rounds: usize) -> FlConfig {
         .rounds(rounds)
         .local_steps(3)
         .batch_size(16)
-        .model(ModelSpec::LogisticRegression { in_features: 64, classes: 10 })
+        .model(ModelSpec::LogisticRegression {
+            in_features: 64,
+            classes: 10,
+        })
         .build()
 }
 
@@ -82,7 +85,9 @@ fn file_checkpoint_survives_round_trip_mid_training() {
     let dir = std::env::temp_dir().join("adafl_resume_test");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("server.ckpt");
-    Checkpoint::new(4, engine.global_params().to_vec()).write_file(&path).unwrap();
+    Checkpoint::new(4, engine.global_params().to_vec())
+        .write_file(&path)
+        .unwrap();
     let back = Checkpoint::read_file(&path).unwrap();
     assert_eq!(back.params, engine.global_params());
     std::fs::remove_file(&path).ok();

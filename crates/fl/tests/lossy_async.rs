@@ -20,7 +20,10 @@ fn config() -> FlConfig {
         .rounds(10)
         .local_steps(3)
         .batch_size(16)
-        .model(ModelSpec::LogisticRegression { in_features: 64, classes: 10 })
+        .model(ModelSpec::LogisticRegression {
+            in_features: 64,
+            classes: 10,
+        })
         .build()
 }
 
@@ -58,7 +61,11 @@ fn lossy_links_resync_instead_of_deadlocking() {
 fn time_varying_links_slow_but_do_not_break_the_run() {
     let degraded = LinkTrace::new(
         LinkProfile::Broadband.spec(),
-        TraceKind::Periodic { period: 5.0, duty: 0.5, degraded_scale: 0.01 },
+        TraceKind::Periodic {
+            period: 5.0,
+            duty: 0.5,
+            degraded_scale: 0.01,
+        },
     );
     let steady = ClientNetwork::new(
         vec![LinkTrace::constant(LinkProfile::Broadband.spec()); CLIENTS],

@@ -8,8 +8,7 @@ use crate::SimTime;
 /// in seconds; `drop_prob` is the probability that a whole transfer is lost
 /// (the coarse-grained failure model the FL experiments need — a lost
 /// gradient update, not a lost packet).
-#[derive(serde::Serialize, serde::Deserialize)]
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq)]
 pub struct LinkSpec {
     uplink_bw: f64,
     downlink_bw: f64,
@@ -32,13 +31,25 @@ impl LinkSpec {
         downlink_latency: f64,
         drop_prob: f64,
     ) -> Self {
-        assert!(uplink_bw > 0.0 && downlink_bw > 0.0, "bandwidth must be positive");
+        assert!(
+            uplink_bw > 0.0 && downlink_bw > 0.0,
+            "bandwidth must be positive"
+        );
         assert!(
             uplink_latency >= 0.0 && downlink_latency >= 0.0,
             "latency must be non-negative"
         );
-        assert!((0.0..=1.0).contains(&drop_prob), "drop probability must be in [0, 1]");
-        LinkSpec { uplink_bw, downlink_bw, uplink_latency, downlink_latency, drop_prob }
+        assert!(
+            (0.0..=1.0).contains(&drop_prob),
+            "drop probability must be in [0, 1]"
+        );
+        LinkSpec {
+            uplink_bw,
+            downlink_bw,
+            uplink_latency,
+            downlink_latency,
+            drop_prob,
+        }
     }
 
     /// Uplink bandwidth in bytes/second.
@@ -84,7 +95,11 @@ impl LinkSpec {
     /// Panics when `factor` is not positive.
     pub fn with_bandwidth_scaled(&self, factor: f64) -> LinkSpec {
         assert!(factor > 0.0, "scale factor must be positive");
-        LinkSpec { uplink_bw: self.uplink_bw * factor, downlink_bw: self.downlink_bw * factor, ..*self }
+        LinkSpec {
+            uplink_bw: self.uplink_bw * factor,
+            downlink_bw: self.downlink_bw * factor,
+            ..*self
+        }
     }
 
     /// Returns a copy with the given drop probability.
@@ -93,7 +108,10 @@ impl LinkSpec {
     ///
     /// Panics when `drop_prob` is outside `[0, 1]`.
     pub fn with_drop_prob(&self, drop_prob: f64) -> LinkSpec {
-        assert!((0.0..=1.0).contains(&drop_prob), "drop probability must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&drop_prob),
+            "drop probability must be in [0, 1]"
+        );
         LinkSpec { drop_prob, ..*self }
     }
 }
@@ -103,8 +121,7 @@ impl LinkSpec {
 /// Bandwidth/latency values follow the rough orders of magnitude of the
 /// deployments the paper motivates (home broadband, constrained IoT uplinks,
 /// congested cellular).
-#[derive(serde::Serialize, serde::Deserialize)]
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum LinkProfile {
     /// Residential broadband: 2 MB/s up, 10 MB/s down, 10 ms latency.

@@ -1,6 +1,7 @@
 //! Per-client network state and transfer simulation.
 
 use crate::{LinkSpec, LinkTrace, SimTime};
+use adafl_telemetry::{names, EventRecord, SharedRecorder, SpanRecord};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -48,6 +49,7 @@ impl TransferOutcome {
 pub struct ClientNetwork {
     traces: Vec<LinkTrace>,
     rng: StdRng,
+    recorder: SharedRecorder,
 }
 
 impl ClientNetwork {
@@ -58,7 +60,18 @@ impl ClientNetwork {
     /// Panics when `traces` is empty.
     pub fn new(traces: Vec<LinkTrace>, seed: u64) -> Self {
         assert!(!traces.is_empty(), "network needs at least one client");
-        ClientNetwork { traces, rng: StdRng::seed_from_u64(seed ^ 0x006E_7511) }
+        ClientNetwork {
+            traces,
+            rng: StdRng::seed_from_u64(seed ^ 0x006E_7511),
+            recorder: adafl_telemetry::noop(),
+        }
+    }
+
+    /// Attaches a telemetry recorder. Recording observes transfers only —
+    /// it never touches the loss RNG, so traced and untraced runs take
+    /// identical decisions.
+    pub fn set_recorder(&mut self, recorder: SharedRecorder) {
+        self.recorder = recorder;
     }
 
     /// Number of clients.
@@ -104,9 +117,19 @@ impl ClientNetwork {
     ) -> TransferOutcome {
         let link = self.traces[client].link_at(now);
         if self.rng.gen::<f64>() < link.drop_prob() {
+            self.record_drop(client, bytes, now, "uplink");
             return TransferOutcome::Dropped;
         }
-        TransferOutcome::Delivered { arrival: now + link.uplink_time(bytes) }
+        let arrival = now + link.uplink_time(bytes);
+        self.record_transfer(
+            names::SPAN_UPLINK,
+            names::NET_UPLINK_SECONDS,
+            client,
+            bytes,
+            now,
+            arrival,
+        );
+        TransferOutcome::Delivered { arrival }
     }
 
     /// Simulates sending `bytes` from the server to `client` starting at
@@ -123,9 +146,53 @@ impl ClientNetwork {
     ) -> TransferOutcome {
         let link = self.traces[client].link_at(now);
         if self.rng.gen::<f64>() < link.drop_prob() {
+            self.record_drop(client, bytes, now, "downlink");
             return TransferOutcome::Dropped;
         }
-        TransferOutcome::Delivered { arrival: now + link.downlink_time(bytes) }
+        let arrival = now + link.downlink_time(bytes);
+        self.record_transfer(
+            names::SPAN_DOWNLINK,
+            names::NET_DOWNLINK_SECONDS,
+            client,
+            bytes,
+            now,
+            arrival,
+        );
+        TransferOutcome::Delivered { arrival }
+    }
+
+    fn record_drop(&self, client: usize, bytes: usize, now: SimTime, direction: &str) {
+        if !self.recorder.enabled() {
+            return;
+        }
+        self.recorder.counter_add(names::NET_DROPS, 1);
+        self.recorder.event(
+            EventRecord::new(names::EVENT_TRANSFER_DROP, now.seconds())
+                .client(client)
+                .field("bytes", bytes)
+                .field("direction", direction),
+        );
+    }
+
+    fn record_transfer(
+        &self,
+        span_kind: &str,
+        histogram: &str,
+        client: usize,
+        bytes: usize,
+        start: SimTime,
+        arrival: SimTime,
+    ) {
+        if !self.recorder.enabled() {
+            return;
+        }
+        let (start, end) = (start.seconds(), arrival.seconds());
+        self.recorder.histogram_record(histogram, end - start);
+        self.recorder.span(
+            SpanRecord::new(span_kind, start, end)
+                .client(client)
+                .field("bytes", bytes),
+        );
     }
 }
 
@@ -181,7 +248,10 @@ mod tests {
     #[test]
     fn set_trace_swaps_conditions() {
         let mut net = perfect_network(1);
-        net.set_trace(0, LinkTrace::constant(LinkSpec::new(1.0, 1.0, 0.0, 0.0, 0.0)));
+        net.set_trace(
+            0,
+            LinkTrace::constant(LinkSpec::new(1.0, 1.0, 0.0, 0.0, 0.0)),
+        );
         let out = net.uplink_transfer(0, 100, SimTime::ZERO);
         assert!((out.arrival().unwrap().seconds() - 100.0).abs() < 1e-9);
     }
@@ -203,5 +273,47 @@ mod tests {
     #[should_panic(expected = "at least one client")]
     fn empty_network_panics() {
         ClientNetwork::new(Vec::new(), 0);
+    }
+
+    #[test]
+    fn recorder_observes_transfers_and_drops() {
+        use adafl_telemetry::InMemoryRecorder;
+
+        let rec = InMemoryRecorder::shared();
+        let mut net = perfect_network(1);
+        net.set_recorder(rec.clone());
+        net.uplink_transfer(0, 1000, SimTime::ZERO);
+        net.downlink_transfer(0, 2000, SimTime::ZERO);
+
+        let lossy = LinkProfile::Broadband.spec().with_drop_prob(1.0);
+        let mut net = ClientNetwork::new(vec![LinkTrace::constant(lossy)], 0);
+        net.set_recorder(rec.clone());
+        net.uplink_transfer(0, 10, SimTime::from_seconds(3.0));
+
+        let t = rec.snapshot();
+        assert_eq!(t.spans_of(names::SPAN_UPLINK).count(), 1);
+        assert_eq!(t.spans_of(names::SPAN_DOWNLINK).count(), 1);
+        assert_eq!(t.counters[names::NET_DROPS], 1);
+        let drop = t.events_of(names::EVENT_TRANSFER_DROP).next().unwrap();
+        assert_eq!(drop.client, Some(0));
+        assert!((drop.sim_time - 3.0).abs() < 1e-12);
+        assert_eq!(t.histograms[names::NET_UPLINK_SECONDS].count(), 1);
+    }
+
+    #[test]
+    fn recording_never_perturbs_loss_decisions() {
+        use adafl_telemetry::InMemoryRecorder;
+
+        let spec = LinkProfile::Lossy.spec();
+        let run = |record: bool| {
+            let mut net = ClientNetwork::new(vec![LinkTrace::constant(spec)], 7);
+            if record {
+                net.set_recorder(InMemoryRecorder::shared());
+            }
+            (0..200)
+                .map(|_| net.uplink_transfer(0, 10, SimTime::ZERO).is_delivered())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
     }
 }

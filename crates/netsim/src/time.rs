@@ -15,8 +15,9 @@ use std::ops::{Add, AddAssign, Sub};
 /// let t = SimTime::from_seconds(1.5) + SimTime::from_seconds(0.5);
 /// assert_eq!(t.seconds(), 2.0);
 /// ```
-#[derive(serde::Serialize, serde::Deserialize)]
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+#[derive(
+    serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, PartialOrd, Default,
+)]
 pub struct SimTime(f64);
 
 impl SimTime {
@@ -29,7 +30,10 @@ impl SimTime {
     ///
     /// Panics when `seconds` is negative or not finite.
     pub fn from_seconds(seconds: f64) -> Self {
-        assert!(seconds.is_finite() && seconds >= 0.0, "time must be finite and non-negative");
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "time must be finite and non-negative"
+        );
         SimTime(seconds)
     }
 

@@ -9,8 +9,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// How a client's link evolves over simulated time.
-#[derive(serde::Serialize, serde::Deserialize)]
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
 pub enum TraceKind {
     /// Conditions never change.
@@ -51,8 +50,7 @@ pub enum TraceKind {
 /// let now = SimTime::from_seconds(100.0);
 /// assert_eq!(trace.link_at(now), trace.nominal());
 /// ```
-#[derive(serde::Serialize, serde::Deserialize)]
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq)]
 pub struct LinkTrace {
     nominal: LinkSpec,
     kind: TraceKind,
@@ -68,15 +66,27 @@ impl LinkTrace {
     pub fn new(nominal: LinkSpec, kind: TraceKind) -> Self {
         match kind {
             TraceKind::Constant => {}
-            TraceKind::Periodic { period, duty, degraded_scale } => {
+            TraceKind::Periodic {
+                period,
+                duty,
+                degraded_scale,
+            } => {
                 assert!(period > 0.0, "period must be positive");
-                assert!((0.0..1.0).contains(&duty) && duty > 0.0, "duty must be in (0, 1)");
+                assert!(
+                    (0.0..1.0).contains(&duty) && duty > 0.0,
+                    "duty must be in (0, 1)"
+                );
                 assert!(
                     degraded_scale > 0.0 && degraded_scale <= 1.0,
                     "degraded_scale must be in (0, 1]"
                 );
             }
-            TraceKind::RandomWalk { step, min_scale, max_scale, .. } => {
+            TraceKind::RandomWalk {
+                step,
+                min_scale,
+                max_scale,
+                ..
+            } => {
                 assert!(step > 0.0, "step must be positive");
                 assert!(
                     0.0 < min_scale && min_scale <= max_scale,
@@ -110,7 +120,11 @@ impl LinkTrace {
     pub fn link_at(&self, now: SimTime) -> LinkSpec {
         match self.kind {
             TraceKind::Constant => self.nominal,
-            TraceKind::Periodic { period, duty, degraded_scale } => {
+            TraceKind::Periodic {
+                period,
+                duty,
+                degraded_scale,
+            } => {
                 let phase = (now.seconds() / period).fract();
                 if phase < duty {
                     self.nominal.with_bandwidth_scaled(degraded_scale)
@@ -118,7 +132,12 @@ impl LinkTrace {
                     self.nominal
                 }
             }
-            TraceKind::RandomWalk { step, min_scale, max_scale, seed } => {
+            TraceKind::RandomWalk {
+                step,
+                min_scale,
+                max_scale,
+                seed,
+            } => {
                 let index = (now.seconds() / step) as u64;
                 let mut rng = StdRng::seed_from_u64(seed ^ index.wrapping_mul(0x9E37_79B9));
                 let scale = rng.gen_range(min_scale..=max_scale);
@@ -145,7 +164,11 @@ mod tests {
     fn periodic_trace_degrades_during_duty_window() {
         let trace = LinkTrace::new(
             LinkSpec::new(1000.0, 1000.0, 0.0, 0.0, 0.0),
-            TraceKind::Periodic { period: 10.0, duty: 0.3, degraded_scale: 0.1 },
+            TraceKind::Periodic {
+                period: 10.0,
+                duty: 0.3,
+                degraded_scale: 0.1,
+            },
         );
         // Inside the duty window.
         let degraded = trace.link_at(SimTime::from_seconds(1.0));
@@ -162,7 +185,12 @@ mod tests {
     fn random_walk_is_deterministic_and_bounded() {
         let trace = LinkTrace::new(
             LinkSpec::new(1000.0, 1000.0, 0.0, 0.0, 0.0),
-            TraceKind::RandomWalk { step: 1.0, min_scale: 0.2, max_scale: 0.8, seed: 7 },
+            TraceKind::RandomWalk {
+                step: 1.0,
+                min_scale: 0.2,
+                max_scale: 0.8,
+                seed: 7,
+            },
         );
         for i in 0..50 {
             let t = SimTime::from_seconds(i as f64 * 0.5);
@@ -178,7 +206,12 @@ mod tests {
     fn random_walk_actually_varies() {
         let trace = LinkTrace::new(
             LinkSpec::new(1000.0, 1000.0, 0.0, 0.0, 0.0),
-            TraceKind::RandomWalk { step: 1.0, min_scale: 0.1, max_scale: 1.0, seed: 3 },
+            TraceKind::RandomWalk {
+                step: 1.0,
+                min_scale: 0.1,
+                max_scale: 1.0,
+                seed: 3,
+            },
         );
         let a = trace.link_at(SimTime::from_seconds(0.5));
         let b = trace.link_at(SimTime::from_seconds(1.5));
@@ -191,7 +224,11 @@ mod tests {
     fn invalid_duty_panics() {
         LinkTrace::new(
             LinkProfile::Broadband.spec(),
-            TraceKind::Periodic { period: 1.0, duty: 1.5, degraded_scale: 0.5 },
+            TraceKind::Periodic {
+                period: 1.0,
+                duty: 1.5,
+                degraded_scale: 0.5,
+            },
         );
     }
 }

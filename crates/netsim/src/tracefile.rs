@@ -27,7 +27,10 @@ pub struct ParseTraceError {
 
 impl ParseTraceError {
     fn new(line: usize, message: impl Into<String>) -> Self {
-        ParseTraceError { line, message: message.into() }
+        ParseTraceError {
+            line,
+            message: message.into(),
+        }
     }
 }
 
@@ -41,20 +44,34 @@ impl Error for ParseTraceError {}
 
 /// Renders a fleet's traces to the CSV schema.
 pub fn render_traces(traces: &[LinkTrace]) -> String {
-    let mut out =
-        String::from("client,up_bw,down_bw,up_lat,down_lat,drop_prob,kind,p1,p2,p3,p4\n");
+    let mut out = String::from("client,up_bw,down_bw,up_lat,down_lat,drop_prob,kind,p1,p2,p3,p4\n");
     for (i, trace) in traces.iter().enumerate() {
         let l = trace.nominal();
         let (kind, p1, p2, p3, p4) = match trace.kind() {
-            TraceKind::Constant => ("constant", String::new(), String::new(), String::new(), String::new()),
-            TraceKind::Periodic { period, duty, degraded_scale } => (
+            TraceKind::Constant => (
+                "constant",
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ),
+            TraceKind::Periodic {
+                period,
+                duty,
+                degraded_scale,
+            } => (
                 "periodic",
                 period.to_string(),
                 duty.to_string(),
                 degraded_scale.to_string(),
                 String::new(),
             ),
-            TraceKind::RandomWalk { step, min_scale, max_scale, seed } => (
+            TraceKind::RandomWalk {
+                step,
+                min_scale,
+                max_scale,
+                seed,
+            } => (
                 "randomwalk",
                 step.to_string(),
                 min_scale.to_string(),
@@ -116,7 +133,10 @@ pub fn parse_traces(csv: &str) -> Result<Vec<LinkTrace>, ParseTraceError> {
         if client != traces.len() {
             return Err(ParseTraceError::new(
                 line_no,
-                format!("client ids must be dense: expected {}, got {client}", traces.len()),
+                format!(
+                    "client ids must be dense: expected {}, got {client}",
+                    traces.len()
+                ),
             ));
         }
         let up_bw: f64 = field(&cols, 1, "up_bw", line_no)?;
@@ -125,7 +145,10 @@ pub fn parse_traces(csv: &str) -> Result<Vec<LinkTrace>, ParseTraceError> {
         let down_lat: f64 = field(&cols, 4, "down_lat", line_no)?;
         let drop: f64 = field(&cols, 5, "drop_prob", line_no)?;
         if up_bw <= 0.0 || down_bw <= 0.0 || !(0.0..=1.0).contains(&drop) {
-            return Err(ParseTraceError::new(line_no, "link parameters out of range"));
+            return Err(ParseTraceError::new(
+                line_no,
+                "link parameters out of range",
+            ));
         }
         let spec = LinkSpec::new(up_bw, down_bw, up_lat, down_lat, drop);
         let kind_str = cols
@@ -146,7 +169,10 @@ pub fn parse_traces(csv: &str) -> Result<Vec<LinkTrace>, ParseTraceError> {
                 seed: field(&cols, 10, "seed", line_no)?,
             },
             other => {
-                return Err(ParseTraceError::new(line_no, format!("unknown kind {other:?}")))
+                return Err(ParseTraceError::new(
+                    line_no,
+                    format!("unknown kind {other:?}"),
+                ))
             }
         };
         traces.push(LinkTrace::new(spec, kind));
@@ -164,11 +190,20 @@ mod tests {
             LinkTrace::constant(LinkProfile::Broadband.spec()),
             LinkTrace::new(
                 LinkProfile::Constrained.spec(),
-                TraceKind::Periodic { period: 60.0, duty: 0.25, degraded_scale: 0.1 },
+                TraceKind::Periodic {
+                    period: 60.0,
+                    duty: 0.25,
+                    degraded_scale: 0.1,
+                },
             ),
             LinkTrace::new(
                 LinkProfile::Cellular.spec(),
-                TraceKind::RandomWalk { step: 5.0, min_scale: 0.3, max_scale: 1.0, seed: 7 },
+                TraceKind::RandomWalk {
+                    step: 5.0,
+                    min_scale: 0.3,
+                    max_scale: 1.0,
+                    seed: 7,
+                },
             ),
         ]
     }

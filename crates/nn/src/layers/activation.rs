@@ -71,7 +71,10 @@ mod tests {
         // Subgradient at exactly zero is taken as 0 (x > 0 strict).
         let mut relu = Relu::new();
         relu.forward(&Tensor::from_slice(&[0.0]), true);
-        assert_eq!(relu.backward(&Tensor::from_slice(&[1.0])).as_slice(), &[0.0]);
+        assert_eq!(
+            relu.backward(&Tensor::from_slice(&[1.0])).as_slice(),
+            &[0.0]
+        );
     }
 
     #[test]

@@ -30,7 +30,13 @@ impl AvgPool2d {
             height.is_multiple_of(window) && width.is_multiple_of(window),
             "window {window} must divide input {height}x{width}"
         );
-        AvgPool2d { channels, height, width, window, batch: 0 }
+        AvgPool2d {
+            channels,
+            height,
+            width,
+            window,
+            batch: 0,
+        }
     }
 
     /// Pooled height.
@@ -56,7 +62,11 @@ impl AvgPool2d {
 impl Layer for AvgPool2d {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         let in_vol = self.input_volume();
-        assert_eq!(input.shape().dims().get(1).copied(), Some(in_vol), "avgpool input volume");
+        assert_eq!(
+            input.shape().dims().get(1).copied(),
+            Some(in_vol),
+            "avgpool input volume"
+        );
         let batch = input.shape().dims()[0];
         self.batch = batch;
         let (oh, ow, win) = (self.out_h(), self.out_w(), self.window);
@@ -73,8 +83,7 @@ impl Layer for AvgPool2d {
                         let mut acc = 0.0f32;
                         for wy in 0..win {
                             for wx in 0..win {
-                                acc += row
-                                    [base + (py * win + wy) * self.width + px * win + wx];
+                                acc += row[base + (py * win + wy) * self.width + px * win + wx];
                             }
                         }
                         out_row[o] = acc * norm;

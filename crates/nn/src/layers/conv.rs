@@ -1,7 +1,9 @@
 //! 2-D convolution via `im2col`.
 
 use crate::Layer;
-use adafl_tensor::{col2im, he_normal, im2col, matmul_into, matmul_nt, matmul_tn, Conv2dGeometry, Tensor};
+use adafl_tensor::{
+    col2im, he_normal, im2col, matmul_into, matmul_nt, matmul_tn, Conv2dGeometry, Tensor,
+};
 use rand::Rng;
 
 /// 2-D convolution layer.
@@ -33,11 +35,7 @@ impl Conv2d {
     ///
     /// Panics when the geometry is degenerate (see
     /// [`Conv2dGeometry::new`]).
-    pub fn new<R: Rng + ?Sized>(
-        rng: &mut R,
-        geom: Conv2dGeometry,
-        out_channels: usize,
-    ) -> Self {
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, geom: Conv2dGeometry, out_channels: usize) -> Self {
         let patch_len = geom.patch_len();
         Conv2d {
             geom,
@@ -80,9 +78,13 @@ impl Layer for Conv2d {
         let out_width = self.out_channels * n_patches;
         let mut out = vec![0.0f32; batch * out_width];
         self.cached_cols.clear();
-        for (i, row) in input.as_slice().chunks(self.geom.input_volume()).enumerate() {
-            let img = Tensor::from_vec(row.to_vec(), &[self.geom.input_volume()])
-                .expect("row volume");
+        for (i, row) in input
+            .as_slice()
+            .chunks(self.geom.input_volume())
+            .enumerate()
+        {
+            let img =
+                Tensor::from_vec(row.to_vec(), &[self.geom.input_volume()]).expect("row volume");
             let cols = im2col(&img, &self.geom).expect("geometry validated");
             let sample_out = &mut out[i * out_width..(i + 1) * out_width];
             matmul_into(
@@ -139,8 +141,8 @@ impl Layer for Conv2d {
                 patch_len,
                 n_patches,
             );
-            let dcols_t = Tensor::from_vec(dcols, &[patch_len, n_patches])
-                .expect("constructed volume");
+            let dcols_t =
+                Tensor::from_vec(dcols, &[patch_len, n_patches]).expect("constructed volume");
             let dimg = col2im(&dcols_t, &self.geom).expect("geometry validated");
             grad_in[i * in_volume..(i + 1) * in_volume].copy_from_slice(dimg.as_slice());
         }

@@ -24,8 +24,16 @@ impl Dropout {
     ///
     /// Panics when `p` is outside `[0, 1)`.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
-        Dropout { p, rng: StdRng::seed_from_u64(seed), mask: Vec::new(), shape: Vec::new() }
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability must be in [0, 1)"
+        );
+        Dropout {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            mask: Vec::new(),
+            shape: Vec::new(),
+        }
     }
 }
 
@@ -38,7 +46,13 @@ impl Layer for Dropout {
         }
         let keep = 1.0 - self.p;
         self.mask = (0..input.len())
-            .map(|_| if self.rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+            .map(|_| {
+                if self.rng.gen::<f32>() < keep {
+                    1.0 / keep
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let data = input
             .as_slice()

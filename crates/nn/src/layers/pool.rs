@@ -32,7 +32,14 @@ impl MaxPool2d {
             height.is_multiple_of(window) && width.is_multiple_of(window),
             "window {window} must divide input {height}x{width}"
         );
-        MaxPool2d { channels, height, width, window, cached_argmax: Vec::new(), batch: 0 }
+        MaxPool2d {
+            channels,
+            height,
+            width,
+            window,
+            cached_argmax: Vec::new(),
+            batch: 0,
+        }
     }
 
     /// Pooled height.
@@ -59,7 +66,11 @@ impl Layer for MaxPool2d {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         assert_eq!(input.rank(), 2, "pool input must be [batch, c*h*w]");
         let in_vol = self.input_volume();
-        assert_eq!(input.shape().dims()[1], in_vol, "pool input volume mismatch");
+        assert_eq!(
+            input.shape().dims()[1],
+            in_vol,
+            "pool input volume mismatch"
+        );
         let batch = input.shape().dims()[0];
         let (oh, ow, win) = (self.out_h(), self.out_w(), self.window);
         let out_vol = self.output_volume();
@@ -78,8 +89,7 @@ impl Layer for MaxPool2d {
                         let mut best = row[best_idx];
                         for wy in 0..win {
                             for wx in 0..win {
-                                let idx =
-                                    base + (py * win + wy) * self.width + (px * win + wx);
+                                let idx = base + (py * win + wy) * self.width + (px * win + wx);
                                 if row[idx] > best {
                                     best = row[idx];
                                     best_idx = idx;
@@ -160,8 +170,8 @@ mod tests {
     #[test]
     fn batched_pooling_is_independent_per_row() {
         let mut pool = MaxPool2d::new(1, 2, 2, 2);
-        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 40.0, 30.0, 20.0, 10.0], &[2, 4])
-            .unwrap();
+        let x =
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 40.0, 30.0, 20.0, 10.0], &[2, 4]).unwrap();
         let y = pool.forward(&x, true);
         assert_eq!(y.as_slice(), &[4.0, 40.0]);
         let dx = pool.backward(&Tensor::from_vec(vec![1.0, 2.0], &[2, 1]).unwrap());

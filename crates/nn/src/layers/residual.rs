@@ -21,7 +21,10 @@ impl Residual {
     ///
     /// Panics when `body` is empty.
     pub fn new(body: Vec<Box<dyn Layer>>) -> Self {
-        assert!(!body.is_empty(), "residual body must contain at least one layer");
+        assert!(
+            !body.is_empty(),
+            "residual body must contain at least one layer"
+        );
         Residual { body }
     }
 

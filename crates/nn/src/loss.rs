@@ -34,7 +34,10 @@ impl CrossEntropyLoss {
         let mut total = 0.0f32;
         let g = grad.as_mut_slice();
         for (i, &label) in labels.iter().enumerate() {
-            assert!(label < classes, "label {label} out of range for {classes} classes");
+            assert!(
+                label < classes,
+                "label {label} out of range for {classes} classes"
+            );
             let p = probs.as_slice()[i * classes + label].max(1e-12);
             total -= p.ln();
             g[i * classes + label] -= 1.0;

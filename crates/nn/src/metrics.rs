@@ -63,8 +63,14 @@ impl AccuracyMeter {
     ///
     /// Panics on shape mismatches (see [`accuracy`]).
     pub fn update(&mut self, logits: &Tensor, labels: &[usize]) {
-        let preds = logits.argmax_rows().expect("logits must be [batch, classes]");
-        assert_eq!(preds.len(), labels.len(), "one label per batch row required");
+        let preds = logits
+            .argmax_rows()
+            .expect("logits must be [batch, classes]");
+        assert_eq!(
+            preds.len(),
+            labels.len(),
+            "one label per batch row required"
+        );
         self.correct += preds.iter().zip(labels).filter(|(p, l)| p == l).count() as u64;
         self.total += labels.len() as u64;
     }
@@ -96,8 +102,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_matches() {
-        let logits =
-            Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0], &[3, 2]).unwrap();
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0], &[3, 2]).unwrap();
         assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-6);
     }
 

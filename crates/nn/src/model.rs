@@ -41,7 +41,11 @@ impl Model {
         for layer in &layers {
             width = layer.out_features(width);
         }
-        Model { layers, in_features, out_features: width }
+        Model {
+            layers,
+            in_features,
+            out_features: width,
+        }
     }
 
     /// Input row width.
@@ -119,7 +123,11 @@ impl Model {
     ///
     /// Panics when `flat.len()` differs from [`Model::param_count`].
     pub fn set_params_flat(&mut self, flat: &[f32]) {
-        assert_eq!(flat.len(), self.param_count(), "flat parameter length mismatch");
+        assert_eq!(
+            flat.len(),
+            self.param_count(),
+            "flat parameter length mismatch"
+        );
         let mut offset = 0usize;
         for layer in &mut self.layers {
             layer.visit_params_mut(&mut |p| {
@@ -146,7 +154,11 @@ impl Model {
     ///
     /// Panics when `update.len()` differs from [`Model::param_count`].
     pub fn apply_delta(&mut self, update: &[f32]) {
-        assert_eq!(update.len(), self.param_count(), "flat delta length mismatch");
+        assert_eq!(
+            update.len(),
+            self.param_count(),
+            "flat delta length mismatch"
+        );
         let mut params = self.params_flat();
         for (p, u) in params.iter_mut().zip(update) {
             *p += u;

@@ -35,12 +35,18 @@ pub fn mnist_cnn<R: Rng + ?Sized>(
 ) -> Model {
     let g1 = Conv2dGeometry::new(1, height, width, 5, 1, 0);
     let (h1, w1) = (g1.out_h(), g1.out_w());
-    assert!(h1 % 2 == 0 && w1 % 2 == 0, "first conv output must be pool-divisible");
+    assert!(
+        h1 % 2 == 0 && w1 % 2 == 0,
+        "first conv output must be pool-divisible"
+    );
     let conv1 = Conv2d::new(rng, g1, 20);
     let pool1 = MaxPool2d::new(20, h1, w1, 2);
     let g2 = Conv2dGeometry::new(20, h1 / 2, w1 / 2, 5, 1, 0);
     let (h2, w2) = (g2.out_h(), g2.out_w());
-    assert!(h2 % 2 == 0 && w2 % 2 == 0, "second conv output must be pool-divisible");
+    assert!(
+        h2 % 2 == 0 && w2 % 2 == 0,
+        "second conv output must be pool-divisible"
+    );
     let conv2 = Conv2d::new(rng, g2, 50);
     let pool2 = MaxPool2d::new(50, h2, w2, 2);
     let flat = 50 * (h2 / 2) * (w2 / 2);
@@ -80,7 +86,10 @@ pub fn resnet_lite<R: Rng + ?Sized>(
     blocks: usize,
     classes: usize,
 ) -> Model {
-    assert!(height.is_multiple_of(4) && width.is_multiple_of(4), "input dims must be divisible by 4");
+    assert!(
+        height.is_multiple_of(4) && width.is_multiple_of(4),
+        "input dims must be divisible by 4"
+    );
     let stem_geom = Conv2dGeometry::new(channels, height, width, 3, 1, 1);
     let mut layers: Vec<Box<dyn Layer>> = vec![
         Box::new(Conv2d::new(rng, stem_geom, base_channels)),
@@ -116,7 +125,10 @@ pub fn vgg_lite<R: Rng + ?Sized>(
     base_channels: usize,
     classes: usize,
 ) -> Model {
-    assert!(height.is_multiple_of(4) && width.is_multiple_of(4), "input dims must be divisible by 4");
+    assert!(
+        height.is_multiple_of(4) && width.is_multiple_of(4),
+        "input dims must be divisible by 4"
+    );
     let c1 = base_channels;
     let c2 = base_channels * 2;
     let g1 = Conv2dGeometry::new(channels, height, width, 3, 1, 1);
@@ -174,7 +186,10 @@ pub fn logistic_regression<R: Rng + ?Sized>(
     in_features: usize,
     classes: usize,
 ) -> Model {
-    Model::new(vec![Box::new(Dense::new(rng, in_features, classes))], in_features)
+    Model::new(
+        vec![Box::new(Dense::new(rng, in_features, classes))],
+        in_features,
+    )
 }
 
 /// A by-value recipe for constructing a model deterministically.
@@ -192,8 +207,7 @@ pub fn logistic_regression<R: Rng + ?Sized>(
 /// let b = spec.build(7);
 /// assert_eq!(a.params_flat(), b.params_flat());
 /// ```
-#[derive(serde::Serialize, serde::Deserialize)]
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum ModelSpec {
     /// The paper's MNIST CNN ([`mnist_cnn`]).
@@ -256,21 +270,50 @@ impl ModelSpec {
     pub fn build(&self, seed: u64) -> Model {
         let mut rng = StdRng::seed_from_u64(seed);
         match self {
-            ModelSpec::MnistCnn { height, width, classes } => {
-                mnist_cnn(&mut rng, *height, *width, *classes)
-            }
-            ModelSpec::ResNetLite { channels, height, width, base_channels, blocks, classes } => {
-                resnet_lite(&mut rng, *channels, *height, *width, *base_channels, *blocks, *classes)
-            }
-            ModelSpec::VggLite { channels, height, width, base_channels, classes } => {
-                vgg_lite(&mut rng, *channels, *height, *width, *base_channels, *classes)
-            }
-            ModelSpec::Mlp { in_features, hidden, classes } => {
-                mlp(&mut rng, *in_features, hidden, *classes)
-            }
-            ModelSpec::LogisticRegression { in_features, classes } => {
-                logistic_regression(&mut rng, *in_features, *classes)
-            }
+            ModelSpec::MnistCnn {
+                height,
+                width,
+                classes,
+            } => mnist_cnn(&mut rng, *height, *width, *classes),
+            ModelSpec::ResNetLite {
+                channels,
+                height,
+                width,
+                base_channels,
+                blocks,
+                classes,
+            } => resnet_lite(
+                &mut rng,
+                *channels,
+                *height,
+                *width,
+                *base_channels,
+                *blocks,
+                *classes,
+            ),
+            ModelSpec::VggLite {
+                channels,
+                height,
+                width,
+                base_channels,
+                classes,
+            } => vgg_lite(
+                &mut rng,
+                *channels,
+                *height,
+                *width,
+                *base_channels,
+                *classes,
+            ),
+            ModelSpec::Mlp {
+                in_features,
+                hidden,
+                classes,
+            } => mlp(&mut rng, *in_features, hidden, *classes),
+            ModelSpec::LogisticRegression {
+                in_features,
+                classes,
+            } => logistic_regression(&mut rng, *in_features, *classes),
         }
     }
 
@@ -278,8 +321,18 @@ impl ModelSpec {
     pub fn in_features(&self) -> usize {
         match self {
             ModelSpec::MnistCnn { height, width, .. } => height * width,
-            ModelSpec::ResNetLite { channels, height, width, .. }
-            | ModelSpec::VggLite { channels, height, width, .. } => channels * height * width,
+            ModelSpec::ResNetLite {
+                channels,
+                height,
+                width,
+                ..
+            }
+            | ModelSpec::VggLite {
+                channels,
+                height,
+                width,
+                ..
+            } => channels * height * width,
             ModelSpec::Mlp { in_features, .. }
             | ModelSpec::LogisticRegression { in_features, .. } => *in_features,
         }
@@ -346,7 +399,11 @@ mod tests {
 
     #[test]
     fn spec_builds_identical_models_per_seed() {
-        let spec = ModelSpec::MnistCnn { height: 16, width: 16, classes: 10 };
+        let spec = ModelSpec::MnistCnn {
+            height: 16,
+            width: 16,
+            classes: 10,
+        };
         assert_eq!(spec.build(3).params_flat(), spec.build(3).params_flat());
         assert_ne!(spec.build(3).params_flat(), spec.build(4).params_flat());
         assert_eq!(spec.in_features(), 256);
@@ -355,7 +412,11 @@ mod tests {
 
     #[test]
     fn mlp_hidden_stack() {
-        let spec = ModelSpec::Mlp { in_features: 6, hidden: vec![8, 4], classes: 2 };
+        let spec = ModelSpec::Mlp {
+            in_features: 6,
+            hidden: vec![8, 4],
+            classes: 2,
+        };
         let m = spec.build(0);
         // dense(6→8)+relu+dense(8→4)+relu+dense(4→2)
         assert_eq!(m.len(), 5);
@@ -364,7 +425,10 @@ mod tests {
 
     #[test]
     fn logistic_regression_is_single_layer() {
-        let spec = ModelSpec::LogisticRegression { in_features: 5, classes: 3 };
+        let spec = ModelSpec::LogisticRegression {
+            in_features: 5,
+            classes: 3,
+        };
         let m = spec.build(0);
         assert_eq!(m.len(), 1);
         assert_eq!(m.param_count(), 5 * 3 + 3);

@@ -46,8 +46,16 @@ impl Sgd {
     /// Panics when any argument is negative or `lr` is zero/non-finite.
     pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
         assert!(lr > 0.0 && lr.is_finite(), "learning rate must be positive");
-        assert!(momentum >= 0.0 && weight_decay >= 0.0, "hyperparameters must be non-negative");
-        Sgd { lr, momentum, weight_decay, velocity: Vec::new() }
+        assert!(
+            momentum >= 0.0 && weight_decay >= 0.0,
+            "hyperparameters must be non-negative"
+        );
+        Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -57,7 +65,11 @@ impl Optimizer for Sgd {
         if self.velocity.is_empty() {
             self.velocity = vec![0.0; params.len()];
         }
-        assert_eq!(self.velocity.len(), params.len(), "optimizer reused with a different model");
+        assert_eq!(
+            self.velocity.len(),
+            params.len(),
+            "optimizer reused with a different model"
+        );
         for ((p, &g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
             let g_eff = g + self.weight_decay * *p;
             *v = self.momentum * *v + g_eff;
@@ -104,8 +116,19 @@ impl Adam {
     /// Panics when `lr ≤ 0` or the betas are outside `[0, 1)`.
     pub fn with_betas(lr: f32, beta1: f32, beta2: f32, epsilon: f32) -> Self {
         assert!(lr > 0.0 && lr.is_finite(), "learning rate must be positive");
-        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2), "betas must be in [0, 1)");
-        Adam { lr, beta1, beta2, epsilon, t: 0, m: Vec::new(), v: Vec::new() }
+        assert!(
+            (0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2),
+            "betas must be in [0, 1)"
+        );
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            epsilon,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 }
 
@@ -116,11 +139,20 @@ impl Optimizer for Adam {
             self.m = vec![0.0; params.len()];
             self.v = vec![0.0; params.len()];
         }
-        assert_eq!(self.m.len(), params.len(), "optimizer reused with a different model");
+        assert_eq!(
+            self.m.len(),
+            params.len(),
+            "optimizer reused with a different model"
+        );
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for (((p, &g), m), v) in params.iter_mut().zip(grads).zip(&mut self.m).zip(&mut self.v) {
+        for (((p, &g), m), v) in params
+            .iter_mut()
+            .zip(grads)
+            .zip(&mut self.m)
+            .zip(&mut self.v)
+        {
             *m = self.beta1 * *m + (1.0 - self.beta1) * g;
             *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
             let m_hat = *m / bc1;

@@ -75,7 +75,11 @@ impl LrSchedule {
         assert!(initial > 0.0, "initial rate must be positive");
         assert!(every > 0, "decay interval must be positive");
         assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
-        LrSchedule::Step { initial, every, gamma }
+        LrSchedule::Step {
+            initial,
+            every,
+            gamma,
+        }
     }
 
     /// Cosine-annealing schedule.
@@ -88,7 +92,11 @@ impl LrSchedule {
         assert!(initial > 0.0 && floor > 0.0, "rates must be positive");
         assert!(floor <= initial, "floor must not exceed the initial rate");
         assert!(horizon > 0, "horizon must be positive");
-        LrSchedule::Cosine { initial, floor, horizon }
+        LrSchedule::Cosine {
+            initial,
+            floor,
+            horizon,
+        }
     }
 
     /// Linear warm-up schedule.
@@ -106,16 +114,21 @@ impl LrSchedule {
     pub fn rate_at(&self, round: usize) -> f32 {
         match *self {
             LrSchedule::Constant { rate } => rate,
-            LrSchedule::Step { initial, every, gamma } => {
-                initial * gamma.powi((round / every) as i32)
-            }
-            LrSchedule::Cosine { initial, floor, horizon } => {
+            LrSchedule::Step {
+                initial,
+                every,
+                gamma,
+            } => initial * gamma.powi((round / every) as i32),
+            LrSchedule::Cosine {
+                initial,
+                floor,
+                horizon,
+            } => {
                 if round >= horizon {
                     floor
                 } else {
                     let t = round as f32 / horizon as f32;
-                    floor
-                        + 0.5 * (initial - floor) * (1.0 + (std::f32::consts::PI * t).cos())
+                    floor + 0.5 * (initial - floor) * (1.0 + (std::f32::consts::PI * t).cos())
                 }
             }
             LrSchedule::Warmup { initial, warmup } => {

@@ -68,14 +68,23 @@ fn wavy_input(n: usize, scale: f32) -> Vec<f32> {
 #[test]
 fn logistic_regression_gradients_match() {
     let x = Tensor::from_vec(wavy_input(8, 1.0), &[2, 4]).unwrap();
-    let model = ModelSpec::LogisticRegression { in_features: 4, classes: 3 }.build(99);
+    let model = ModelSpec::LogisticRegression {
+        in_features: 4,
+        classes: 3,
+    }
+    .build(99);
     check_model(model, x, &[0, 2], 0.05);
 }
 
 #[test]
 fn mlp_gradients_match() {
     let x = Tensor::from_vec(wavy_input(12, 1.0), &[2, 6]).unwrap();
-    let model = ModelSpec::Mlp { in_features: 6, hidden: vec![5], classes: 3 }.build(99);
+    let model = ModelSpec::Mlp {
+        in_features: 6,
+        hidden: vec![5],
+        classes: 3,
+    }
+    .build(99);
     check_model(model, x, &[1, 2], 0.05);
 }
 
@@ -143,7 +152,11 @@ fn residual_block_gradients_match() {
 fn training_reduces_loss_on_tiny_problem() {
     use adafl_nn::optim::Sgd;
 
-    let spec = ModelSpec::Mlp { in_features: 2, hidden: vec![8], classes: 2 };
+    let spec = ModelSpec::Mlp {
+        in_features: 2,
+        hidden: vec![8],
+        classes: 2,
+    };
     let mut model = spec.build(5);
     // XOR toy data: only solvable with the hidden layer working correctly.
     let x = Tensor::from_vec(vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0], &[4, 2]).unwrap();

@@ -1,0 +1,114 @@
+//! Summarizes a JSONL trace produced with `--telemetry`.
+//!
+//! ```text
+//! cargo run -p adafl-telemetry --bin telemetry_report -- /tmp/trace.jsonl
+//! ```
+//!
+//! Prints p50/p95/p99 per span kind, bytes moved per compression strategy,
+//! and drop/dropout/staleness tallies.
+
+use adafl_telemetry::{jsonl, names, LogHistogram, Trace};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: telemetry_report <trace.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = match jsonl::parse(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    report(&trace);
+    ExitCode::SUCCESS
+}
+
+fn report(trace: &Trace) {
+    span_latencies(trace);
+    strategy_bytes(trace);
+    resilience_tallies(trace);
+}
+
+/// Simulated-duration quantiles per span kind, from the spans themselves.
+fn span_latencies(trace: &Trace) {
+    println!("== span latencies (simulated seconds) ==");
+    let mut by_kind: BTreeMap<&str, LogHistogram> = BTreeMap::new();
+    for span in &trace.spans {
+        by_kind
+            .entry(&span.kind)
+            .or_default()
+            .record(span.sim_seconds());
+    }
+    if by_kind.is_empty() {
+        println!("  (no spans)");
+    }
+    for (kind, h) in &by_kind {
+        println!(
+            "  {kind:<16} n={:<6} mean={:.4}  p50={:.4}  p95={:.4}  p99={:.4}",
+            h.count(),
+            h.mean(),
+            h.quantile(0.5),
+            h.quantile(0.95),
+            h.quantile(0.99),
+        );
+    }
+    println!();
+}
+
+/// Pre/post byte counters per compression strategy, with achieved ratio.
+fn strategy_bytes(trace: &Trace) {
+    println!("== compression bytes per strategy ==");
+    let pre_prefix = format!("{}.", names::COMPRESSION_BYTES_PRE);
+    let post_prefix = format!("{}.", names::COMPRESSION_BYTES_POST);
+    let mut strategies: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    for (name, &value) in &trace.counters {
+        if let Some(strategy) = name.strip_prefix(&pre_prefix) {
+            strategies.entry(strategy.to_string()).or_default().0 = value;
+        } else if let Some(strategy) = name.strip_prefix(&post_prefix) {
+            strategies.entry(strategy.to_string()).or_default().1 = value;
+        }
+    }
+    if strategies.is_empty() {
+        println!("  (no compression counters)");
+    }
+    for (strategy, (pre, post)) in &strategies {
+        let ratio = if *pre > 0 {
+            *post as f64 / *pre as f64
+        } else {
+            0.0
+        };
+        println!("  {strategy:<12} pre={pre:<12} post={post:<12} wire/raw={ratio:.4}");
+    }
+    println!();
+}
+
+/// Drop, dropout, deadline, halt, and staleness tallies.
+fn resilience_tallies(trace: &Trace) {
+    println!("== resilience ==");
+    let counter = |name: &str| trace.counters.get(name).copied().unwrap_or(0);
+    println!("  transfer drops:   {}", counter(names::NET_DROPS));
+    println!("  client dropouts:  {}", counter(names::FL_DROPOUTS));
+    println!("  deadline misses:  {}", counter(names::FL_DEADLINE_MISSES));
+    println!("  utility halts:    {}", counter(names::ADAFL_HALTS));
+    match trace.histograms.get(names::ASYNC_STALENESS) {
+        Some(h) if h.count() > 0 => println!(
+            "  staleness:        n={} mean={:.2} p95={:.1} max={:.0}",
+            h.count(),
+            h.mean(),
+            h.quantile(0.95),
+            h.max(),
+        ),
+        _ => println!("  staleness:        (none recorded)"),
+    }
+}

@@ -1,0 +1,348 @@
+//! JSONL and CSV exporters for a [`Trace`].
+//!
+//! One JSON object per line; the `type` key dispatches:
+//!
+//! ```text
+//! {"type":"counter","name":"netsim.transfer_drops","value":3}
+//! {"type":"gauge","name":"adafl.selected","value":3.0}
+//! {"type":"histogram","name":"fl.round.sim_seconds","count":4,"sum":9.5,
+//!  "min":0.5,"max":6.0,"buckets":[[64,1],[66,3]]}
+//! {"type":"span","kind":"round","round":0,"sim_start":0.0,"sim_end":2.5,
+//!  "wall_micros":184,"fields":{"participants":4}}
+//! {"type":"event","kind":"dropout","round":1,"client":2,"sim_time":3.1,
+//!  "fields":{}}
+//! ```
+//!
+//! Histogram buckets are `(index, count)` pairs (only non-empty buckets),
+//! lossless under [`crate::jsonl::parse`]. Non-finite histogram `min`/`max`
+//! (the empty-state sentinels) are omitted rather than written, since JSON
+//! has no infinity literal.
+
+use crate::histogram::LogHistogram;
+use crate::record::{EventRecord, FieldValue, SpanRecord};
+use crate::Trace;
+use std::io::{self, Write};
+
+/// Writes the trace as JSONL.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_jsonl<W: Write>(w: &mut W, trace: &Trace) -> io::Result<()> {
+    let mut line = String::new();
+    for (name, &value) in &trace.counters {
+        line.clear();
+        line.push_str("{\"type\":\"counter\",\"name\":");
+        push_str_json(&mut line, name);
+        line.push_str(",\"value\":");
+        line.push_str(&value.to_string());
+        line.push('}');
+        writeln!(w, "{line}")?;
+    }
+    for (name, &value) in &trace.gauges {
+        line.clear();
+        line.push_str("{\"type\":\"gauge\",\"name\":");
+        push_str_json(&mut line, name);
+        line.push_str(",\"value\":");
+        push_f64(&mut line, value);
+        line.push('}');
+        writeln!(w, "{line}")?;
+    }
+    for (name, hist) in &trace.histograms {
+        line.clear();
+        push_histogram(&mut line, name, hist);
+        writeln!(w, "{line}")?;
+    }
+    for span in &trace.spans {
+        line.clear();
+        push_span(&mut line, span);
+        writeln!(w, "{line}")?;
+    }
+    for event in &trace.events {
+        line.clear();
+        push_event(&mut line, event);
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// The trace as a JSONL string.
+pub fn to_jsonl_string(trace: &Trace) -> String {
+    let mut buf = Vec::new();
+    write_jsonl(&mut buf, trace).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("exporter emits UTF-8")
+}
+
+/// Writes the trace as a flat CSV
+/// (`type,name,round,client,sim_start,sim_end,wall_micros,value,fields`).
+/// Spans put their simulated duration in `value`; histograms put their
+/// count there and summary quantiles in `fields`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_csv<W: Write>(w: &mut W, trace: &Trace) -> io::Result<()> {
+    writeln!(
+        w,
+        "type,name,round,client,sim_start,sim_end,wall_micros,value,fields"
+    )?;
+    for (name, &value) in &trace.counters {
+        writeln!(w, "counter,{},,,,,,{},", csv_cell(name), value)?;
+    }
+    for (name, &value) in &trace.gauges {
+        writeln!(w, "gauge,{},,,,,,{},", csv_cell(name), fmt_f64(value))?;
+    }
+    for (name, h) in &trace.histograms {
+        let summary = format!(
+            "mean={};p50={};p95={};p99={}",
+            fmt_f64(h.mean()),
+            fmt_f64(h.quantile(0.5)),
+            fmt_f64(h.quantile(0.95)),
+            fmt_f64(h.quantile(0.99)),
+        );
+        writeln!(
+            w,
+            "histogram,{},,,,,,{},{}",
+            csv_cell(name),
+            h.count(),
+            csv_cell(&summary)
+        )?;
+    }
+    for s in &trace.spans {
+        writeln!(
+            w,
+            "span,{},{},{},{},{},{},{},{}",
+            csv_cell(&s.kind),
+            opt(s.round),
+            opt(s.client),
+            fmt_f64(s.sim_start),
+            fmt_f64(s.sim_end),
+            s.wall_micros,
+            fmt_f64(s.sim_seconds()),
+            csv_cell(&join_fields(&s.fields)),
+        )?;
+    }
+    for e in &trace.events {
+        writeln!(
+            w,
+            "event,{},{},{},{},,,,{}",
+            csv_cell(&e.kind),
+            opt(e.round),
+            opt(e.client),
+            fmt_f64(e.sim_time),
+            csv_cell(&join_fields(&e.fields)),
+        )?;
+    }
+    Ok(())
+}
+
+fn opt(v: Option<u64>) -> String {
+    v.map(|x| x.to_string()).unwrap_or_default()
+}
+
+fn join_fields(fields: &[(String, FieldValue)]) -> String {
+    fields
+        .iter()
+        .map(|(k, v)| {
+            let rendered = match v {
+                FieldValue::U64(x) => x.to_string(),
+                FieldValue::F64(x) => fmt_f64(*x),
+                FieldValue::Bool(b) => b.to_string(),
+                FieldValue::Str(s) => s.clone(),
+            };
+            format!("{k}={rendered}")
+        })
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+fn csv_cell(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn push_histogram(out: &mut String, name: &str, hist: &LogHistogram) {
+    out.push_str("{\"type\":\"histogram\",\"name\":");
+    push_str_json(out, name);
+    out.push_str(",\"count\":");
+    out.push_str(&hist.count().to_string());
+    out.push_str(",\"sum\":");
+    push_f64(out, hist.sum());
+    if hist.min().is_finite() {
+        out.push_str(",\"min\":");
+        push_f64(out, hist.min());
+    }
+    if hist.max().is_finite() {
+        out.push_str(",\"max\":");
+        push_f64(out, hist.max());
+    }
+    out.push_str(",\"buckets\":[");
+    let mut first = true;
+    for (i, &c) in hist.bucket_counts().iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("[{i},{c}]"));
+    }
+    out.push_str("]}");
+}
+
+fn push_span(out: &mut String, span: &SpanRecord) {
+    out.push_str("{\"type\":\"span\",\"kind\":");
+    push_str_json(out, &span.kind);
+    if let Some(r) = span.round {
+        out.push_str(&format!(",\"round\":{r}"));
+    }
+    if let Some(c) = span.client {
+        out.push_str(&format!(",\"client\":{c}"));
+    }
+    out.push_str(",\"sim_start\":");
+    push_f64(out, span.sim_start);
+    out.push_str(",\"sim_end\":");
+    push_f64(out, span.sim_end);
+    out.push_str(&format!(",\"wall_micros\":{}", span.wall_micros));
+    push_fields(out, &span.fields);
+    out.push('}');
+}
+
+fn push_event(out: &mut String, event: &EventRecord) {
+    out.push_str("{\"type\":\"event\",\"kind\":");
+    push_str_json(out, &event.kind);
+    if let Some(r) = event.round {
+        out.push_str(&format!(",\"round\":{r}"));
+    }
+    if let Some(c) = event.client {
+        out.push_str(&format!(",\"client\":{c}"));
+    }
+    out.push_str(",\"sim_time\":");
+    push_f64(out, event.sim_time);
+    push_fields(out, &event.fields);
+    out.push('}');
+}
+
+fn push_fields(out: &mut String, fields: &[(String, FieldValue)]) {
+    out.push_str(",\"fields\":{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_str_json(out, k);
+        out.push(':');
+        match v {
+            FieldValue::U64(x) => out.push_str(&x.to_string()),
+            FieldValue::F64(x) => push_f64(out, *x),
+            FieldValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            FieldValue::Str(s) => push_str_json(out, s),
+        }
+    }
+    out.push('}');
+}
+
+/// Formats an f64 for JSON, keeping a decimal marker so the value parses
+/// back as a float rather than an integer; non-finite values (which only
+/// appear via explicitly recorded gauges/fields) become `null`.
+fn push_f64(out: &mut String, x: f64) {
+    out.push_str(&fmt_f64(x));
+}
+
+fn fmt_f64(x: f64) -> String {
+    if !x.is_finite() {
+        return "null".to_string();
+    }
+    let s = x.to_string();
+    if s.contains(['.', 'e', 'E']) {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn push_str_json(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EventRecord, InMemoryRecorder, Recorder, SpanRecord};
+
+    fn sample_trace() -> Trace {
+        let rec = InMemoryRecorder::new();
+        rec.counter_add("bytes", 1200);
+        rec.gauge_set("selected", 3.0);
+        rec.histogram_record("lat", 0.5);
+        rec.histogram_record("lat", 8.0);
+        rec.span(
+            SpanRecord::new("round", 0.0, 2.5)
+                .round(0)
+                .wall(42)
+                .field("n", 4usize),
+        );
+        rec.event(
+            EventRecord::new("dropout", 1.0)
+                .round(0)
+                .client(2)
+                .field("why", "plan"),
+        );
+        rec.snapshot()
+    }
+
+    #[test]
+    fn jsonl_has_one_object_per_line() {
+        let text = to_jsonl_string(&sample_trace());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines
+            .iter()
+            .all(|l| l.starts_with("{\"type\":\"") && l.ends_with('}')));
+        assert!(text.contains("\"kind\":\"round\""));
+        assert!(text.contains("\"buckets\":[["));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &sample_trace()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines[0],
+            "type,name,round,client,sim_start,sim_end,wall_micros,value,fields"
+        );
+        assert_eq!(lines.len(), 6);
+        assert!(lines.iter().any(|l| l.starts_with("span,round,0,")));
+        assert!(lines.iter().any(|l| l.starts_with("event,dropout,0,2,")));
+    }
+
+    #[test]
+    fn floats_keep_their_marker() {
+        let mut s = String::new();
+        push_f64(&mut s, 3.0);
+        assert_eq!(s, "3.0");
+    }
+
+    #[test]
+    fn csv_cells_escape_commas() {
+        assert_eq!(csv_cell("a,b"), "\"a,b\"");
+        assert_eq!(csv_cell("plain"), "plain");
+    }
+}

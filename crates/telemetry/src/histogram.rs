@@ -1,0 +1,291 @@
+//! Log-bucketed histogram with exact merge semantics.
+//!
+//! Buckets are powers of two, derived from the value's floating-point
+//! exponent, so recording costs a few bit operations and no allocation.
+//! Layout (indices into the fixed bucket array):
+//!
+//! | index | range |
+//! |---|---|
+//! | `0` | non-positive values (and NaN) |
+//! | `1` | `(0, 2^MIN_EXP)` — underflow |
+//! | `2 + k` | `[2^(MIN_EXP+k), 2^(MIN_EXP+k+1))` |
+//! | `BUCKETS-1` | `[2^MAX_EXP, +inf]` — overflow |
+//!
+//! Merging two histograms is element-wise addition, so a merged histogram
+//! is exactly the histogram of the concatenated samples.
+
+/// Smallest exponent with its own bucket; `2^-64 ≈ 5.4e-20` comfortably
+/// covers sub-microsecond simulated durations.
+pub const MIN_EXP: i32 = -64;
+
+/// One past the largest exponent with its own bucket; `2^64 ≈ 1.8e19`
+/// covers byte counts far beyond any run.
+pub const MAX_EXP: i32 = 64;
+
+/// Total bucket count (non-positive + underflow + exponents + overflow).
+pub const BUCKETS: usize = (MAX_EXP - MIN_EXP) as usize + 3;
+
+/// Bucket index for a value. Every `f64` (and therefore every finite
+/// `f32`) maps to exactly one bucket.
+pub fn bucket_index(v: f64) -> usize {
+    if v.is_nan() || v <= 0.0 {
+        return 0;
+    }
+    // Unbiased exponent; subnormals report -1023 and land in underflow.
+    let e = ((v.to_bits() >> 52) & 0x7ff) as i32 - 1023;
+    if e < MIN_EXP {
+        1
+    } else if e >= MAX_EXP {
+        BUCKETS - 1
+    } else {
+        (e - MIN_EXP) as usize + 2
+    }
+}
+
+/// Inclusive lower bound of a bucket, for reporting. Strictly increasing
+/// in the index.
+///
+/// # Panics
+///
+/// Panics when `index >= BUCKETS`.
+pub fn bucket_lower_bound(index: usize) -> f64 {
+    assert!(index < BUCKETS, "bucket index {index} out of range");
+    match index {
+        0 => f64::NEG_INFINITY,
+        1 => 0.0,
+        i if i == BUCKETS - 1 => 2f64.powi(MAX_EXP),
+        i => 2f64.powi(i as i32 - 2 + MIN_EXP),
+    }
+}
+
+/// A fixed-layout log-bucketed histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: f64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        if v.is_finite() {
+            self.sum += v;
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all finite observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest finite observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest finite observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Mean of finite observations, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Per-bucket counts.
+    pub fn bucket_counts(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+
+    /// Folds `other` into `self`. The result equals the histogram of both
+    /// sample streams concatenated.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the midpoint of the bucket
+    /// holding the `⌈q·n⌉`-th observation, clamped to the observed
+    /// `[min, max]`. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let mid = match i {
+                    0 => self.min.min(0.0),
+                    1 => bucket_lower_bound(2) / 2.0,
+                    i if i == BUCKETS - 1 => self.max.max(bucket_lower_bound(BUCKETS - 1)),
+                    i => bucket_lower_bound(i) * 1.5,
+                };
+                return if self.min <= self.max {
+                    mid.clamp(self.min, self.max)
+                } else {
+                    mid
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Rebuilds a histogram from exported state (the JSONL parser's entry
+    /// point). `buckets` holds `(index, count)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when an index is out of range or counts disagree.
+    pub fn from_parts(
+        count: u64,
+        sum: f64,
+        min: f64,
+        max: f64,
+        buckets: &[(usize, u64)],
+    ) -> Result<Self, String> {
+        let mut h = LogHistogram::new();
+        let mut total = 0u64;
+        for &(i, c) in buckets {
+            if i >= BUCKETS {
+                return Err(format!("bucket index {i} out of range"));
+            }
+            h.counts[i] += c;
+            total += c;
+        }
+        if total != count {
+            return Err(format!("bucket counts sum to {total}, header says {count}"));
+        }
+        h.count = count;
+        h.sum = sum;
+        h.min = min;
+        h.max = max;
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_stats() {
+        let mut h = LogHistogram::new();
+        for v in [1.0, 2.0, 4.0, 8.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 15.0).abs() < 1e-12);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 8.0);
+        assert!((h.mean() - 3.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn powers_of_two_land_in_distinct_buckets() {
+        assert_ne!(bucket_index(1.0), bucket_index(2.0));
+        assert_ne!(bucket_index(2.0), bucket_index(4.0));
+        // Within an octave: same bucket.
+        assert_eq!(bucket_index(2.0), bucket_index(3.9));
+    }
+
+    #[test]
+    fn special_values_have_homes() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-3.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(f64::NEG_INFINITY), 0);
+        assert_eq!(bucket_index(f64::INFINITY), BUCKETS - 1);
+        assert_eq!(bucket_index(1e-300), 1);
+        assert_eq!(bucket_index(1e300), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let mut h = LogHistogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!((256.0..=1000.0).contains(&p50), "p50 {p50}");
+        assert!(p99 >= p50, "p99 {p99} < p50 {p50}");
+        assert!(p99 <= 1000.0);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut all = LogHistogram::new();
+        for (i, v) in [0.5, 3.0, 100.0, 0.001, 7.0, 2.0].iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(*v)
+            } else {
+                b.record(*v)
+            }
+            all.record(*v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let mut h = LogHistogram::new();
+        for v in [0.25, 1.5, 1e30, -2.0] {
+            h.record(v);
+        }
+        let buckets: Vec<(usize, u64)> = h
+            .bucket_counts()
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect();
+        let back =
+            LogHistogram::from_parts(h.count(), h.sum(), h.min(), h.max(), &buckets).unwrap();
+        assert_eq!(h, back);
+    }
+}

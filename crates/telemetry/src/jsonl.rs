@@ -1,0 +1,489 @@
+//! Parser for the JSONL trace format emitted by [`crate::export`].
+//!
+//! Self-contained (no serde dependency — telemetry sits below every other
+//! crate in the workspace) and strict: unknown record types, malformed
+//! JSON, or inconsistent histogram headers are errors, not skips.
+
+use crate::histogram::LogHistogram;
+use crate::record::{EventRecord, FieldValue, SpanRecord};
+use crate::Trace;
+
+/// Parses a full JSONL trace back into a [`Trace`].
+///
+/// Blank lines are permitted and skipped. The reconstructed trace compares
+/// `==` with the snapshot that produced it.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line (1-based) on malformed
+/// input.
+pub fn parse(text: &str) -> Result<Trace, String> {
+    let mut trace = Trace::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        parse_line(line, &mut trace).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+    }
+    Ok(trace)
+}
+
+fn parse_line(line: &str, trace: &mut Trace) -> Result<(), String> {
+    let value = Json::parse(line)?;
+    let obj = value.as_object().ok_or("expected a JSON object")?;
+    let kind = get(obj, "type")?
+        .as_str()
+        .ok_or("\"type\" must be a string")?;
+    match kind {
+        "counter" => {
+            let name = get_str(obj, "name")?;
+            let value = get(obj, "value")?
+                .as_u64()
+                .ok_or("counter value must be a u64")?;
+            *trace.counters.entry(name).or_insert(0) += value;
+        }
+        "gauge" => {
+            let name = get_str(obj, "name")?;
+            let value = get(obj, "value")?
+                .as_f64()
+                .ok_or("gauge value must be a number")?;
+            trace.gauges.insert(name, value);
+        }
+        "histogram" => {
+            let name = get_str(obj, "name")?;
+            let count = get(obj, "count")?
+                .as_u64()
+                .ok_or("histogram count must be a u64")?;
+            let sum = get(obj, "sum")?
+                .as_f64()
+                .ok_or("histogram sum must be a number")?;
+            // min/max are omitted for an empty histogram; default to the
+            // empty-state sentinels so the round trip is exact.
+            let min = opt_f64(obj, "min")?.unwrap_or(f64::INFINITY);
+            let max = opt_f64(obj, "max")?.unwrap_or(f64::NEG_INFINITY);
+            let buckets_json = get(obj, "buckets")?
+                .as_array()
+                .ok_or("buckets must be an array")?;
+            let mut buckets = Vec::with_capacity(buckets_json.len());
+            for pair in buckets_json {
+                let pair = pair
+                    .as_array()
+                    .ok_or("each bucket must be [index, count]")?;
+                if pair.len() != 2 {
+                    return Err("each bucket must be [index, count]".into());
+                }
+                let index = pair[0].as_u64().ok_or("bucket index must be a u64")? as usize;
+                let bucket_count = pair[1].as_u64().ok_or("bucket count must be a u64")?;
+                buckets.push((index, bucket_count));
+            }
+            let hist = LogHistogram::from_parts(count, sum, min, max, &buckets)?;
+            trace.histograms.insert(name, hist);
+        }
+        "span" => {
+            let mut span = SpanRecord::new(
+                get_str(obj, "kind")?,
+                get(obj, "sim_start")?
+                    .as_f64()
+                    .ok_or("sim_start must be a number")?,
+                get(obj, "sim_end")?
+                    .as_f64()
+                    .ok_or("sim_end must be a number")?,
+            );
+            span.round = opt_u64(obj, "round")?;
+            span.client = opt_u64(obj, "client")?;
+            span.wall_micros = get(obj, "wall_micros")?
+                .as_u64()
+                .ok_or("wall_micros must be a u64")?;
+            span.fields = parse_fields(obj)?;
+            trace.spans.push(span);
+        }
+        "event" => {
+            let mut event = EventRecord::new(
+                get_str(obj, "kind")?,
+                get(obj, "sim_time")?
+                    .as_f64()
+                    .ok_or("sim_time must be a number")?,
+            );
+            event.round = opt_u64(obj, "round")?;
+            event.client = opt_u64(obj, "client")?;
+            event.fields = parse_fields(obj)?;
+            trace.events.push(event);
+        }
+        other => return Err(format!("unknown record type {other:?}")),
+    }
+    Ok(())
+}
+
+type Obj = Vec<(String, Json)>;
+
+fn get<'a>(obj: &'a Obj, key: &str) -> Result<&'a Json, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing key {key:?}"))
+}
+
+fn get_str(obj: &Obj, key: &str) -> Result<String, String> {
+    Ok(get(obj, key)?
+        .as_str()
+        .ok_or_else(|| format!("{key:?} must be a string"))?
+        .to_string())
+}
+
+fn opt_u64(obj: &Obj, key: &str) -> Result<Option<u64>, String> {
+    match obj.iter().find(|(k, _)| k == key) {
+        None => Ok(None),
+        Some((_, Json::Null)) => Ok(None),
+        Some((_, v)) => Ok(Some(
+            v.as_u64().ok_or_else(|| format!("{key:?} must be a u64"))?,
+        )),
+    }
+}
+
+fn opt_f64(obj: &Obj, key: &str) -> Result<Option<f64>, String> {
+    match obj.iter().find(|(k, _)| k == key) {
+        None => Ok(None),
+        Some((_, Json::Null)) => Ok(None),
+        Some((_, v)) => Ok(Some(
+            v.as_f64()
+                .ok_or_else(|| format!("{key:?} must be a number"))?,
+        )),
+    }
+}
+
+fn parse_fields(obj: &Obj) -> Result<Vec<(String, FieldValue)>, String> {
+    let fields = get(obj, "fields")?
+        .as_object()
+        .ok_or("\"fields\" must be an object")?;
+    let mut out = Vec::with_capacity(fields.len());
+    for (k, v) in fields {
+        let fv = match v {
+            Json::U64(x) => FieldValue::U64(*x),
+            Json::F64(x) => FieldValue::F64(*x),
+            Json::Bool(b) => FieldValue::Bool(*b),
+            Json::Str(s) => FieldValue::Str(s.clone()),
+            other => return Err(format!("field {k:?} has unsupported value {other:?}")),
+        };
+        out.push((k.clone(), fv));
+    }
+    Ok(out)
+}
+
+/// A minimal owned JSON value, just enough for the trace format.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Array(Vec<Json>),
+    Object(Obj),
+}
+
+impl Json {
+    fn as_object(&self) -> Option<&Obj> {
+        match self {
+            Json::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::F64(x) => Some(*x),
+            Json::U64(x) => Some(*x as f64),
+            _ => None,
+        }
+    }
+
+    fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing characters at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("expected {lit:?} at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // consume '{'
+    let mut obj = Obj::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Object(obj));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        obj.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Object(obj));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // consume '['
+    let mut arr = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Array(arr));
+    }
+    loop {
+        arr.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Array(arr));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let code = parse_hex4(bytes, *pos + 1)?;
+                        *pos += 4;
+                        // The exporter never emits surrogate pairs (it only
+                        // \u-escapes control characters), so a lone
+                        // surrogate is simply an error.
+                        out.push(
+                            char::from_u32(u32::from(code))
+                                .ok_or_else(|| format!("invalid \\u escape {code:04x}"))?,
+                        );
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Copy a full UTF-8 sequence.
+                let start = *pos;
+                let len = utf8_len(b);
+                *pos += len;
+                let chunk = bytes
+                    .get(start..start + len)
+                    .ok_or("truncated UTF-8 sequence")?;
+                out.push_str(std::str::from_utf8(chunk).map_err(|_| "invalid UTF-8 in string")?);
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn parse_hex4(bytes: &[u8], start: usize) -> Result<u16, String> {
+    let chunk = bytes.get(start..start + 4).ok_or("truncated \\u escape")?;
+    let text = std::str::from_utf8(chunk).map_err(|_| "bad \\u escape")?;
+    u16::from_str_radix(text, 16).map_err(|_| format!("bad \\u escape {text:?}"))
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| "bad number")?;
+    if text.is_empty() || text == "-" {
+        return Err(format!("expected number at byte {start}"));
+    }
+    if !is_float {
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(Json::U64(u));
+        }
+    }
+    text.parse::<f64>()
+        .map(Json::F64)
+        .map_err(|_| format!("bad number {text:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::to_jsonl_string;
+    use crate::{InMemoryRecorder, Recorder};
+
+    #[test]
+    fn scalar_values_parse() {
+        assert_eq!(Json::parse("3").unwrap(), Json::U64(3));
+        assert_eq!(Json::parse("3.0").unwrap(), Json::F64(3.0));
+        assert_eq!(Json::parse("-2").unwrap(), Json::F64(-2.0));
+        assert_eq!(Json::parse("\"a\\nb\"").unwrap(), Json::Str("a\nb".into()));
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert!(Json::parse("3 x").is_err());
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let rec = InMemoryRecorder::new();
+        rec.counter_add("compression.bytes_pre.topk", 4096);
+        rec.counter_add("netsim.transfer_drops", 2);
+        rec.gauge_set("adafl.selected", 3.0);
+        for v in [0.5, 2.0, 2.5, 1e-30, 1e30] {
+            rec.histogram_record("fl.round.sim_seconds", v);
+        }
+        rec.histogram_record("empty.after.none", -1.0); // non-positive only
+        rec.span(
+            SpanRecord::new("round", 0.0, 2.5)
+                .round(0)
+                .wall(184)
+                .field("participants", 4usize)
+                .field("strategy", "adafl")
+                .field("warm", true)
+                .field("ratio", 0.25f64),
+        );
+        rec.span(SpanRecord::new("uplink", 1.0, 1.5).round(0).client(2));
+        rec.event(
+            EventRecord::new("dropout", 1.25)
+                .round(0)
+                .client(1)
+                .field("planned", true),
+        );
+        let original = rec.snapshot();
+
+        let text = to_jsonl_string(&original);
+        let back = parse(&text).expect("round trip parses");
+        assert_eq!(original, back);
+    }
+
+    #[test]
+    fn empty_histogram_round_trips() {
+        // min/max sentinels (±inf) must survive omission from JSON.
+        let mut trace = Trace::default();
+        trace.histograms.insert("h".into(), LogHistogram::new());
+        let text = to_jsonl_string(&trace);
+        assert!(!text.contains("min"));
+        let back = parse(&text).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let t = parse("\n{\"type\":\"counter\",\"name\":\"c\",\"value\":1}\n\n").unwrap();
+        assert_eq!(t.counters["c"], 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("{\"type\":\"counter\",\"name\":\"c\",\"value\":1}\n{oops}").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn unknown_type_is_an_error() {
+        assert!(parse("{\"type\":\"mystery\"}").is_err());
+    }
+}

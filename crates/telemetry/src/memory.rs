@@ -1,0 +1,168 @@
+//! Thread-safe in-memory recorder and its snapshot type.
+
+use crate::histogram::LogHistogram;
+use crate::record::{EventRecord, SpanRecord};
+use crate::Recorder;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// An owned snapshot of everything a recorder captured.
+///
+/// Also what [`crate::jsonl::parse`] reconstructs from an exported trace,
+/// so a write→parse round trip compares with `==`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    /// Monotone counters, by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges (last write), by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Log-bucketed histograms, by name.
+    pub histograms: BTreeMap<String, LogHistogram>,
+    /// Spans, in recording order.
+    pub spans: Vec<SpanRecord>,
+    /// Events, in recording order.
+    pub events: Vec<EventRecord>,
+}
+
+impl Trace {
+    /// Spans of one kind, in recording order.
+    pub fn spans_of<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a SpanRecord> + 'a {
+        self.spans.iter().filter(move |s| s.kind == kind)
+    }
+
+    /// Events of one kind, in recording order.
+    pub fn events_of<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a EventRecord> + 'a {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+}
+
+/// A [`Recorder`] that accumulates everything in memory behind a mutex.
+///
+/// The metric registry is typed by construction: counters, gauges and
+/// histograms live in separate name spaces, so a name can never silently
+/// change kind mid-run.
+#[derive(Debug)]
+pub struct InMemoryRecorder {
+    start: Instant,
+    inner: Mutex<Trace>,
+}
+
+impl Default for InMemoryRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InMemoryRecorder {
+    /// An empty recorder anchored to the current wall-clock instant.
+    pub fn new() -> Self {
+        InMemoryRecorder {
+            start: Instant::now(),
+            inner: Mutex::new(Trace::default()),
+        }
+    }
+
+    /// Convenience: a fresh recorder behind an `Arc`, ready to share.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// An owned copy of everything recorded so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recording thread panicked while holding the lock.
+    pub fn snapshot(&self) -> Trace {
+        self.inner.lock().expect("telemetry lock poisoned").clone()
+    }
+}
+
+impl Recorder for InMemoryRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn wall_micros(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    fn counter_add(&self, name: &str, delta: u64) {
+        let mut t = self.inner.lock().expect("telemetry lock poisoned");
+        *t.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    fn gauge_set(&self, name: &str, value: f64) {
+        let mut t = self.inner.lock().expect("telemetry lock poisoned");
+        t.gauges.insert(name.to_string(), value);
+    }
+
+    fn histogram_record(&self, name: &str, value: f64) {
+        let mut t = self.inner.lock().expect("telemetry lock poisoned");
+        t.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    fn span(&self, span: SpanRecord) {
+        let mut t = self.inner.lock().expect("telemetry lock poisoned");
+        t.spans.push(span);
+    }
+
+    fn event(&self, event: EventRecord) {
+        let mut t = self.inner.lock().expect("telemetry lock poisoned");
+        t.events.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{EventRecord, SpanRecord};
+
+    #[test]
+    fn records_accumulate() {
+        let rec = InMemoryRecorder::new();
+        rec.counter_add("c", 2);
+        rec.counter_add("c", 3);
+        rec.gauge_set("g", 1.0);
+        rec.gauge_set("g", 4.0);
+        rec.histogram_record("h", 2.0);
+        rec.span(SpanRecord::new("round", 0.0, 1.0).round(0));
+        rec.event(EventRecord::new("dropout", 0.5).client(2));
+        let t = rec.snapshot();
+        assert_eq!(t.counters["c"], 5);
+        assert_eq!(t.gauges["g"], 4.0);
+        assert_eq!(t.histograms["h"].count(), 1);
+        assert_eq!(t.spans_of("round").count(), 1);
+        assert_eq!(t.events_of("dropout").count(), 1);
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let rec = InMemoryRecorder::shared();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let rec = Arc::clone(&rec);
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        rec.counter_add("n", 1);
+                        rec.histogram_record("h", i as f64);
+                    }
+                });
+            }
+        });
+        let t = rec.snapshot();
+        assert_eq!(t.counters["n"], 400);
+        assert_eq!(t.histograms["h"].count(), 400);
+    }
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let rec = InMemoryRecorder::new();
+        let a = rec.wall_micros();
+        let b = rec.wall_micros();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,75 @@
+//! Well-known metric, span and event names.
+//!
+//! Instrumentation sites use these constants so the registry stays typo-free
+//! and `telemetry_report` can group records reliably. Per-strategy
+//! compression metrics append the strategy after a dot, e.g.
+//! `compression.bytes_pre.dgc`.
+
+// --- counters ---
+
+/// Uncompressed bytes entering a compressor (counter, per strategy).
+pub const COMPRESSION_BYTES_PRE: &str = "compression.bytes_pre";
+/// Wire bytes leaving a compressor (counter, per strategy).
+pub const COMPRESSION_BYTES_POST: &str = "compression.bytes_post";
+/// Transfers lost to link loss (counter).
+pub const NET_DROPS: &str = "netsim.transfer_drops";
+/// Updates withheld by the fault plan (counter).
+pub const FL_DROPOUTS: &str = "fl.dropouts";
+/// Updates discarded by the round deadline (counter).
+pub const FL_DEADLINE_MISSES: &str = "fl.deadline_misses";
+/// Clients that halted after the async utility gate (counter).
+pub const ADAFL_HALTS: &str = "adafl.halts";
+
+// --- gauges ---
+
+/// Clients selected in the most recent control-plane round (gauge).
+pub const ADAFL_SELECTED: &str = "adafl.selected";
+
+// --- histograms ---
+
+/// Simulated seconds per synchronous round (histogram).
+pub const ROUND_SIM_SECONDS: &str = "fl.round.sim_seconds";
+/// Simulated seconds per uplink transfer (histogram).
+pub const NET_UPLINK_SECONDS: &str = "netsim.uplink_seconds";
+/// Simulated seconds per downlink transfer (histogram).
+pub const NET_DOWNLINK_SECONDS: &str = "netsim.downlink_seconds";
+/// Achieved compression ratio, pre/post (histogram, per strategy).
+pub const COMPRESSION_RATIO: &str = "compression.ratio";
+/// Utility scores reported by clients (histogram).
+pub const ADAFL_UTILITY: &str = "adafl.utility_score";
+/// Adaptive compression ratios assigned per upload (histogram).
+pub const ADAFL_ASSIGNED_RATIO: &str = "adafl.assigned_ratio";
+/// Staleness (global versions missed) of applied async updates (histogram).
+pub const ASYNC_STALENESS: &str = "fl.async.staleness";
+
+// --- span kinds ---
+
+/// One synchronous protocol round.
+pub const SPAN_ROUND: &str = "round";
+/// One client's local training interval.
+pub const SPAN_CLIENT_COMPUTE: &str = "client_compute";
+/// A delivered client→server transfer.
+pub const SPAN_UPLINK: &str = "uplink";
+/// A delivered server→client transfer.
+pub const SPAN_DOWNLINK: &str = "downlink";
+
+// --- event kinds ---
+
+/// A transfer lost to link loss.
+pub const EVENT_TRANSFER_DROP: &str = "transfer_drop";
+/// An update withheld by the fault plan.
+pub const EVENT_DROPOUT: &str = "dropout";
+/// An update discarded for missing the round deadline.
+pub const EVENT_DEADLINE_MISS: &str = "deadline_miss";
+/// A staleness observation at async update arrival.
+pub const EVENT_STALENESS: &str = "staleness";
+/// The control plane selected a cohort.
+pub const EVENT_SELECTION: &str = "selection";
+/// A client halted below the async utility threshold.
+pub const EVENT_HALT: &str = "halt";
+
+/// Joins a base metric name with a strategy suffix,
+/// e.g. `scoped(COMPRESSION_RATIO, "dgc")` → `compression.ratio.dgc`.
+pub fn scoped(base: &str, strategy: &str) -> String {
+    format!("{base}.{strategy}")
+}

@@ -1,0 +1,196 @@
+//! Span and event record types.
+
+/// A typed field value attached to a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer (byte counts, ids, versions).
+    U64(u64),
+    /// Floating point (ratios, scores, seconds).
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Short string (strategy names, reasons).
+    Str(String),
+}
+
+macro_rules! field_from {
+    ($($t:ty => $variant:ident as $conv:ty),*) => {$(
+        impl From<$t> for FieldValue {
+            fn from(v: $t) -> Self {
+                FieldValue::$variant(v as $conv)
+            }
+        }
+    )*};
+}
+field_from!(u64 => U64 as u64, usize => U64 as u64, u32 => U64 as u64,
+            f64 => F64 as f64, f32 => F64 as f64);
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// A completed interval: a round, one client's local training, a transfer.
+///
+/// Simulated times are in seconds; `wall_micros` is the wall-clock duration
+/// the work took in this process (0 when not measured).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span kind, e.g. `"round"`, `"client_compute"`, `"uplink"`.
+    pub kind: String,
+    /// Protocol round (or async arrival index), when applicable.
+    pub round: Option<u64>,
+    /// Client id, when the span belongs to one client.
+    pub client: Option<u64>,
+    /// Simulated start time, seconds.
+    pub sim_start: f64,
+    /// Simulated end time, seconds.
+    pub sim_end: f64,
+    /// Wall-clock duration in microseconds (0 = not measured).
+    pub wall_micros: u64,
+    /// Additional typed fields, in insertion order.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl SpanRecord {
+    /// Creates a span over `[sim_start, sim_end]` seconds of simulated time.
+    pub fn new(kind: impl Into<String>, sim_start: f64, sim_end: f64) -> Self {
+        SpanRecord {
+            kind: kind.into(),
+            round: None,
+            client: None,
+            sim_start,
+            sim_end,
+            wall_micros: 0,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Simulated duration in seconds.
+    pub fn sim_seconds(&self) -> f64 {
+        self.sim_end - self.sim_start
+    }
+
+    /// Tags the span with a round number.
+    #[must_use]
+    pub fn round(mut self, round: usize) -> Self {
+        self.round = Some(round as u64);
+        self
+    }
+
+    /// Tags the span with a client id.
+    #[must_use]
+    pub fn client(mut self, client: usize) -> Self {
+        self.client = Some(client as u64);
+        self
+    }
+
+    /// Sets the measured wall-clock duration.
+    #[must_use]
+    pub fn wall(mut self, micros: u64) -> Self {
+        self.wall_micros = micros;
+        self
+    }
+
+    /// Appends a typed field.
+    #[must_use]
+    pub fn field(mut self, name: impl Into<String>, value: impl Into<FieldValue>) -> Self {
+        self.fields.push((name.into(), value.into()));
+        self
+    }
+}
+
+/// An instantaneous occurrence: a drop, a dropout, a staleness observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Event kind, e.g. `"transfer_drop"`, `"dropout"`, `"staleness"`.
+    pub kind: String,
+    /// Protocol round (or async arrival index), when applicable.
+    pub round: Option<u64>,
+    /// Client id, when the event belongs to one client.
+    pub client: Option<u64>,
+    /// Simulated time of occurrence, seconds.
+    pub sim_time: f64,
+    /// Additional typed fields, in insertion order.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl EventRecord {
+    /// Creates an event at `sim_time` seconds of simulated time.
+    pub fn new(kind: impl Into<String>, sim_time: f64) -> Self {
+        EventRecord {
+            kind: kind.into(),
+            round: None,
+            client: None,
+            sim_time,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Tags the event with a round number.
+    #[must_use]
+    pub fn round(mut self, round: usize) -> Self {
+        self.round = Some(round as u64);
+        self
+    }
+
+    /// Tags the event with a client id.
+    #[must_use]
+    pub fn client(mut self, client: usize) -> Self {
+        self.client = Some(client as u64);
+        self
+    }
+
+    /// Appends a typed field.
+    #[must_use]
+    pub fn field(mut self, name: impl Into<String>, value: impl Into<FieldValue>) -> Self {
+        self.fields.push((name.into(), value.into()));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let s = SpanRecord::new("uplink", 1.0, 3.5)
+            .round(2)
+            .client(7)
+            .wall(120)
+            .field("bytes", 1024usize)
+            .field("strategy", "adafl");
+        assert_eq!(s.round, Some(2));
+        assert_eq!(s.client, Some(7));
+        assert!((s.sim_seconds() - 2.5).abs() < 1e-12);
+        assert_eq!(s.fields[0], ("bytes".to_string(), FieldValue::U64(1024)));
+        assert_eq!(
+            s.fields[1],
+            ("strategy".to_string(), FieldValue::Str("adafl".into()))
+        );
+    }
+
+    #[test]
+    fn event_builder() {
+        let e = EventRecord::new("staleness", 9.0)
+            .client(1)
+            .field("value", 4u64);
+        assert_eq!(e.kind, "staleness");
+        assert_eq!(e.client, Some(1));
+        assert_eq!(e.fields.len(), 1);
+    }
+}

@@ -1,0 +1,65 @@
+//! Property tests for the log-bucketed histogram.
+
+use adafl_telemetry::histogram::{bucket_index, bucket_lower_bound, BUCKETS};
+use adafl_telemetry::LogHistogram;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn bucket_boundaries_are_monotone(i in 0usize..(BUCKETS - 1)) {
+        prop_assert!(
+            bucket_lower_bound(i) < bucket_lower_bound(i + 1),
+            "bound({}) = {} !< bound({}) = {}",
+            i,
+            bucket_lower_bound(i),
+            i + 1,
+            bucket_lower_bound(i + 1),
+        );
+    }
+
+    #[test]
+    fn every_finite_f32_lands_in_exactly_one_bucket(bits in 0u32..u32::MAX) {
+        let v32 = f32::from_bits(bits);
+        prop_assume!(v32.is_finite());
+        let v = f64::from(v32);
+        let idx = bucket_index(v);
+        prop_assert!(idx < BUCKETS, "index {} out of range for {}", idx, v);
+        if v <= 0.0 {
+            // Non-positive values share the sign bucket.
+            prop_assert_eq!(idx, 0);
+        } else {
+            // Positive values fall in exactly one half-open interval
+            // [bound(j), bound(j+1)) — the one bucket_index reports.
+            let contains = |j: usize| {
+                v >= bucket_lower_bound(j) && (j + 1 == BUCKETS || v < bucket_lower_bound(j + 1))
+            };
+            let homes = (1..BUCKETS).filter(|&j| contains(j)).count();
+            prop_assert!(homes == 1, "{} has {} homes", v, homes);
+            prop_assert!(contains(idx), "{} not in its bucket {}", v, idx);
+        }
+    }
+
+    #[test]
+    fn merge_matches_concatenation(
+        a in vec(0u32..u32::MAX, 0..24),
+        b in vec(0u32..u32::MAX, 0..24),
+    ) {
+        // Dyadic values (8 fractional bits, |v| < 2^24) sum exactly in
+        // f64 regardless of order, so merged state matches bit-for-bit.
+        let val = |bits: &u32| (f64::from(*bits >> 8) - f64::from(1u32 << 23)) / 256.0;
+        let mut ha = LogHistogram::new();
+        let mut hb = LogHistogram::new();
+        let mut concat = LogHistogram::new();
+        for x in a.iter().map(val) {
+            ha.record(x);
+            concat.record(x);
+        }
+        for x in b.iter().map(val) {
+            hb.record(x);
+            concat.record(x);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha, concat);
+    }
+}

@@ -51,12 +51,19 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "data length {actual} does not match shape volume {expected}")
+                write!(
+                    f,
+                    "data length {actual} does not match shape volume {expected}"
+                )
             }
             TensorError::ShapeMismatch { lhs, rhs, op } => {
                 write!(f, "shape mismatch in {op}: lhs {lhs:?} vs rhs {rhs:?}")
             }
-            TensorError::RankMismatch { expected, actual, op } => {
+            TensorError::RankMismatch {
+                expected,
+                actual,
+                op,
+            } => {
                 write!(f, "{op} requires rank {expected}, got rank {actual}")
             }
             TensorError::AxisOutOfBounds { axis, rank } => {
@@ -94,7 +101,13 @@ mod tests {
 
     #[test]
     fn display_length_mismatch() {
-        let err = TensorError::LengthMismatch { expected: 6, actual: 5 };
-        assert_eq!(err.to_string(), "data length 5 does not match shape volume 6");
+        let err = TensorError::LengthMismatch {
+            expected: 6,
+            actual: 5,
+        };
+        assert_eq!(
+            err.to_string(),
+            "data length 5 does not match shape volume 6"
+        );
     }
 }

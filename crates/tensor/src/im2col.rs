@@ -52,7 +52,14 @@ impl Conv2dGeometry {
             height + 2 * padding >= kernel && width + 2 * padding >= kernel,
             "kernel {kernel} larger than padded input {height}x{width} (+{padding})"
         );
-        Conv2dGeometry { channels, height, width, kernel, stride, padding }
+        Conv2dGeometry {
+            channels,
+            height,
+            width,
+            kernel,
+            stride,
+            padding,
+        }
     }
 
     /// Input channel count.
@@ -142,8 +149,7 @@ pub fn im2col(image: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
                     for ox in 0..ow {
                         let ix = (ox * stride + kx) as isize - pad as isize;
                         if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
-                            out_row[patch] =
-                                img[ch * h * w + iy as usize * w + ix as usize];
+                            out_row[patch] = img[ch * h * w + iy as usize * w + ix as usize];
                         }
                         patch += 1;
                     }
@@ -168,7 +174,10 @@ pub fn im2col(image: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
 pub fn col2im(cols: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
     let expected = geom.patch_len() * geom.n_patches();
     if cols.len() != expected {
-        return Err(TensorError::LengthMismatch { expected, actual: cols.len() });
+        return Err(TensorError::LengthMismatch {
+            expected,
+            actual: cols.len(),
+        });
     }
     let (c, h, w) = (geom.channels, geom.height, geom.width);
     let (kh, stride, pad) = (geom.kernel, geom.stride, geom.padding);
@@ -187,8 +196,7 @@ pub fn col2im(cols: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
                     for ox in 0..ow {
                         let ix = (ox * stride + kx) as isize - pad as isize;
                         if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
-                            img[ch * h * w + iy as usize * w + ix as usize] +=
-                                in_row[patch];
+                            img[ch * h * w + iy as usize * w + ix as usize] += in_row[patch];
                         }
                         patch += 1;
                     }
@@ -264,7 +272,9 @@ mod tests {
         // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property,
         // checked with pseudo-random vectors.
         let g = Conv2dGeometry::new(2, 5, 5, 3, 2, 1);
-        let x: Vec<f32> = (0..g.input_volume()).map(|i| ((i * 31 % 17) as f32) - 8.0).collect();
+        let x: Vec<f32> = (0..g.input_volume())
+            .map(|i| ((i * 31 % 17) as f32) - 8.0)
+            .collect();
         let y: Vec<f32> = (0..g.patch_len() * g.n_patches())
             .map(|i| ((i * 29 % 19) as f32) - 9.0)
             .collect();

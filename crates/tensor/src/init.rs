@@ -14,7 +14,10 @@ use rand::Rng;
 ///
 /// Panics when `limit` is negative or not finite.
 pub fn uniform_init<R: Rng + ?Sized>(rng: &mut R, dims: &[usize], limit: f32) -> Tensor {
-    assert!(limit.is_finite() && limit >= 0.0, "limit must be a non-negative finite value");
+    assert!(
+        limit.is_finite() && limit >= 0.0,
+        "limit must be a non-negative finite value"
+    );
     if limit == 0.0 {
         return Tensor::zeros(dims);
     }
@@ -112,8 +115,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let fan_in = 128;
         let t = he_normal(&mut rng, &[20_000], fan_in);
-        let var: f32 =
-            t.as_slice().iter().map(|x| x * x).sum::<f32>() / t.len() as f32;
+        let var: f32 = t.as_slice().iter().map(|x| x * x).sum::<f32>() / t.len() as f32;
         let expected = 2.0 / fan_in as f32;
         assert!(
             (var - expected).abs() < expected * 0.1,

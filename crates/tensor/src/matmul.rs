@@ -13,7 +13,11 @@ const BLOCK: usize = 64;
 
 fn dims2(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
     if t.rank() != 2 {
-        return Err(TensorError::RankMismatch { expected: 2, actual: t.rank(), op });
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: t.rank(),
+            op,
+        });
     }
     Ok((t.shape().dims()[0], t.shape().dims()[1]))
 }

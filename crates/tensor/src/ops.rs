@@ -143,7 +143,8 @@ impl Add for &Tensor {
     /// Panics when shapes differ; use [`Tensor::add_checked`] for a fallible
     /// variant.
     fn add(self, rhs: &Tensor) -> Tensor {
-        self.add_checked(rhs).expect("tensor addition shape mismatch")
+        self.add_checked(rhs)
+            .expect("tensor addition shape mismatch")
     }
 }
 
@@ -155,7 +156,8 @@ impl Sub for &Tensor {
     /// Panics when shapes differ; use [`Tensor::sub_checked`] for a fallible
     /// variant.
     fn sub(self, rhs: &Tensor) -> Tensor {
-        self.sub_checked(rhs).expect("tensor subtraction shape mismatch")
+        self.sub_checked(rhs)
+            .expect("tensor subtraction shape mismatch")
     }
 }
 

@@ -31,7 +31,9 @@ impl Tensor {
         self.as_slice()
             .iter()
             .copied()
-            .fold(None, |acc: Option<f32>, x| Some(acc.map_or(x, |a| a.max(x))))
+            .fold(None, |acc: Option<f32>, x| {
+                Some(acc.map_or(x, |a| a.max(x)))
+            })
             .ok_or(TensorError::Empty { op: "max" })
     }
 

@@ -17,8 +17,7 @@ use std::fmt;
 /// assert_eq!(t.shape().dims(), &[2, 3]);
 /// assert_eq!(t.len(), 6);
 /// ```
-#[derive(serde::Serialize, serde::Deserialize)]
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq, Default)]
 pub struct Tensor {
     data: Vec<f32>,
     shape: Shape,
@@ -28,19 +27,28 @@ impl Tensor {
     /// Creates a tensor filled with zeros.
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
-        Tensor { data: vec![0.0; shape.volume()], shape }
+        Tensor {
+            data: vec![0.0; shape.volume()],
+            shape,
+        }
     }
 
     /// Creates a tensor filled with ones.
     pub fn ones(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
-        Tensor { data: vec![1.0; shape.volume()], shape }
+        Tensor {
+            data: vec![1.0; shape.volume()],
+            shape,
+        }
     }
 
     /// Creates a tensor filled with `value`.
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
-        Tensor { data: vec![value; shape.volume()], shape }
+        Tensor {
+            data: vec![value; shape.volume()],
+            shape,
+        }
     }
 
     /// Creates a square identity matrix of side `n`.
@@ -71,12 +79,18 @@ impl Tensor {
 
     /// Creates a rank-1 tensor from a slice.
     pub fn from_slice(data: &[f32]) -> Self {
-        Tensor { data: data.to_vec(), shape: Shape::new(&[data.len()]) }
+        Tensor {
+            data: data.to_vec(),
+            shape: Shape::new(&[data.len()]),
+        }
     }
 
     /// Creates a scalar (rank-0) tensor.
     pub fn scalar(value: f32) -> Self {
-        Tensor { data: vec![value], shape: Shape::new(&[]) }
+        Tensor {
+            data: vec![value],
+            shape: Shape::new(&[]),
+        }
     }
 
     /// Returns the shape.
@@ -143,7 +157,10 @@ impl Tensor {
         let strides = self.shape.strides();
         let mut flat = 0usize;
         for (i, (&ix, &dim)) in index.iter().zip(self.shape.dims()).enumerate() {
-            assert!(ix < dim, "index {ix} out of bounds for dim {i} (extent {dim})");
+            assert!(
+                ix < dim,
+                "index {ix} out of bounds for dim {i} (extent {dim})"
+            );
             flat += ix * strides[i];
         }
         self.data[flat] = value;
@@ -169,7 +186,10 @@ impl Tensor {
     /// Returns a flattened rank-1 copy of the tensor's view (free: moves data).
     pub fn into_flat(self) -> Tensor {
         let len = self.data.len();
-        Tensor { data: self.data, shape: Shape::new(&[len]) }
+        Tensor {
+            data: self.data,
+            shape: Shape::new(&[len]),
+        }
     }
 
     /// Transposes a rank-2 tensor.
@@ -209,7 +229,12 @@ impl Tensor {
 
 impl fmt::Display for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Tensor{} {:?}", self.shape, &self.data[..self.data.len().min(8)])?;
+        write!(
+            f,
+            "Tensor{} {:?}",
+            self.shape,
+            &self.data[..self.data.len().min(8)]
+        )?;
         if self.data.len() > 8 {
             write!(f, "…")?;
         }
@@ -220,7 +245,10 @@ impl fmt::Display for Tensor {
 impl From<Vec<f32>> for Tensor {
     fn from(data: Vec<f32>) -> Self {
         let len = data.len();
-        Tensor { data, shape: Shape::new(&[len]) }
+        Tensor {
+            data,
+            shape: Shape::new(&[len]),
+        }
     }
 }
 
@@ -244,7 +272,13 @@ mod tests {
     fn from_vec_validates_length() {
         assert!(Tensor::from_vec(vec![1.0; 6], &[2, 3]).is_ok());
         let err = Tensor::from_vec(vec![1.0; 5], &[2, 3]).unwrap_err();
-        assert_eq!(err, TensorError::LengthMismatch { expected: 6, actual: 5 });
+        assert_eq!(
+            err,
+            TensorError::LengthMismatch {
+                expected: 6,
+                actual: 5
+            }
+        );
     }
 
     #[test]

@@ -19,16 +19,21 @@ use adafl_nn::models::ModelSpec;
 fn main() {
     let data = SyntheticSpec::mnist_like(16, 1200).generate(5);
     let (train, test) = data.split_at(1000);
-    let partitioner = Partitioner::LabelShards { shards_per_client: 2 };
+    let partitioner = Partitioner::LabelShards {
+        shards_per_client: 2,
+    };
     let fl = FlConfig::builder()
         .clients(10)
         .rounds(20)
-        .model(ModelSpec::MnistCnn { height: 16, width: 16, classes: 10 })
+        .model(ModelSpec::MnistCnn {
+            height: 16,
+            width: 16,
+            classes: 10,
+        })
         .build();
 
     let run = |ada: AdaFlConfig| {
-        let mut engine =
-            AdaFlSyncEngine::new(fl.clone(), ada, &train, test.clone(), partitioner);
+        let mut engine = AdaFlSyncEngine::new(fl.clone(), ada, &train, test.clone(), partitioner);
         let history = engine.run();
         (history.final_accuracy(), engine.ledger().uplink_bytes())
     };
@@ -42,7 +47,12 @@ fn main() {
             warmup_ratio: ratio,
             ..AdaFlConfig::default()
         });
-        println!("{:<14} {:<10.3} {:<12.2}MB", format!("fixed {ratio}x"), acc, bytes as f64 / 1e6);
+        println!(
+            "{:<14} {:<10.3} {:<12.2}MB",
+            format!("fixed {ratio}x"),
+            acc,
+            bytes as f64 / 1e6
+        );
     }
     let (acc, bytes) = run(AdaFlConfig::default());
     println!(

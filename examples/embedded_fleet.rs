@@ -43,7 +43,9 @@ fn fleet() -> (ClientNetwork, ComputeModel) {
         })
         .collect();
     let network = ClientNetwork::new(traces, 99);
-    let speeds: Vec<f64> = (0..CLIENTS).map(|c| 0.05 * (1.0 + c as f64 * 0.5)).collect();
+    let speeds: Vec<f64> = (0..CLIENTS)
+        .map(|c| 0.05 * (1.0 + c as f64 * 0.5))
+        .collect();
     (network, ComputeModel::heterogeneous(speeds))
 }
 
@@ -54,7 +56,11 @@ fn main() {
     let fl = FlConfig::builder()
         .clients(CLIENTS)
         .rounds(40)
-        .model(ModelSpec::MnistCnn { height: 16, width: 16, classes: 10 })
+        .model(ModelSpec::MnistCnn {
+            height: 16,
+            width: 16,
+            classes: 10,
+        })
         .build();
     let shards = partitioner.split(&train, CLIENTS, fl.seed_for("partition"));
 
@@ -88,9 +94,7 @@ fn main() {
     );
     let ours = adafl.run();
 
-    let wall = |h: &adafl_fl::RunHistory| {
-        h.records().last().map_or(0.0, |r| r.sim_time.seconds())
-    };
+    let wall = |h: &adafl_fl::RunHistory| h.records().last().map_or(0.0, |r| r.sim_time.seconds());
     println!(
         "fedasync: accuracy {:.1}% after {:.0}s simulated, {:.2} MB uplink",
         base.final_accuracy() * 100.0,

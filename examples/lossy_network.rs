@@ -3,7 +3,8 @@
 //!
 //! Sweeps the straggler fraction and prints final accuracy — the compressed
 //! form of Figure 1(a–d), and the empirical license for AdaFL's selective
-//! participation.
+//! participation. Each run carries a telemetry recorder so the fault events
+//! the engine actually saw are tallied next to the accuracy they cost.
 //!
 //! ```text
 //! cargo run --release --example lossy_network
@@ -18,6 +19,7 @@ use adafl_fl::sync::SyncEngine;
 use adafl_fl::FlConfig;
 use adafl_netsim::{ClientNetwork, LinkProfile, LinkTrace};
 use adafl_nn::models::ModelSpec;
+use adafl_telemetry::{names, InMemoryRecorder};
 
 const CLIENTS: usize = 10;
 
@@ -26,7 +28,8 @@ fn main() {
     let (train, test) = data.split_at(1000);
 
     println!("== FedAvg accuracy vs straggler fraction (20 rounds, IID) ==");
-    println!("{:<10} {:<10} {:<10}", "fraction", "dropout", "data-loss");
+    println!("acc/faults per cell; fault count observed via telemetry");
+    println!("{:<10} {:<12} {:<12}", "fraction", "dropout", "data-loss");
     for fraction in [0.0, 0.1, 0.2, 0.4] {
         let mut row = vec![format!("{fraction:<10}")];
         for kind in [
@@ -37,10 +40,13 @@ fn main() {
                 .clients(CLIENTS)
                 .rounds(20)
                 .participation(1.0)
-                .model(ModelSpec::MnistCnn { height: 16, width: 16, classes: 10 })
+                .model(ModelSpec::MnistCnn {
+                    height: 16,
+                    width: 16,
+                    classes: 10,
+                })
                 .build();
-            let shards =
-                Partitioner::Iid.split(&train, CLIENTS, fl.seed_for("partition"));
+            let shards = Partitioner::Iid.split(&train, CLIENTS, fl.seed_for("partition"));
             let network = ClientNetwork::new(
                 vec![LinkTrace::constant(LinkProfile::Broadband.spec()); CLIENTS],
                 1,
@@ -54,8 +60,15 @@ fn main() {
                 ComputeModel::uniform(CLIENTS, 0.1),
                 FaultPlan::with_fraction(CLIENTS, fraction, kind, 5),
             );
+            let recorder = InMemoryRecorder::shared();
+            engine.set_recorder(recorder.clone());
             let history = engine.run();
-            row.push(format!("{:<10.3}", history.final_accuracy()));
+            let trace = recorder.snapshot();
+            let faults = trace.counters.get(names::FL_DROPOUTS).copied().unwrap_or(0);
+            row.push(format!(
+                "{:<12}",
+                format!("{:.3}/{faults}", history.final_accuracy())
+            ));
         }
         println!("{}", row.join(" "));
     }

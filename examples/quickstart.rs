@@ -24,9 +24,15 @@ fn main() {
         .clients(10)
         .rounds(20)
         .participation(0.5)
-        .model(ModelSpec::MnistCnn { height: 16, width: 16, classes: 10 })
+        .model(ModelSpec::MnistCnn {
+            height: 16,
+            width: 16,
+            classes: 10,
+        })
         .build();
-    let partitioner = Partitioner::LabelShards { shards_per_client: 2 };
+    let partitioner = Partitioner::LabelShards {
+        shards_per_client: 2,
+    };
 
     // 3. Baseline: FedAvg at fixed r_p = 0.5.
     let mut fedavg = SyncEngine::new(
@@ -55,7 +61,6 @@ fn main() {
         adafl.ledger().uplink_bytes() as f64 / 1e6,
         adafl.ledger().uplink_updates(),
     );
-    let saved = 1.0
-        - adafl.ledger().uplink_bytes() as f64 / fedavg.ledger().uplink_bytes() as f64;
+    let saved = 1.0 - adafl.ledger().uplink_bytes() as f64 / fedavg.ledger().uplink_bytes() as f64;
     println!("adafl saved {:.1}% of FedAvg's uplink bytes", saved * 100.0);
 }

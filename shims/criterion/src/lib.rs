@@ -1,0 +1,160 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Runs each benchmark a small fixed number of iterations with
+//! `std::time::Instant` and prints a mean per-iteration time — no warmup
+//! calibration, statistics, or HTML reports. Enough to keep
+//! `cargo bench`-style binaries compiling and producing useful numbers.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Re-export so call sites can use `criterion::black_box` too.
+pub use std::hint::black_box;
+
+/// Top-level handle; mirrors `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            iterations: 20,
+        }
+    }
+}
+
+/// A named group of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    iterations: u32,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream tunes the statistical sample count; here it sets the
+    /// iteration count directly.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iterations = n.max(1) as u32;
+        self
+    }
+
+    /// Times `routine` and prints the mean per-iteration duration.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iterations: self.iterations,
+            total_nanos: 0,
+            timed: 0,
+        };
+        routine(&mut bencher);
+        let mean = if bencher.timed == 0 {
+            0
+        } else {
+            bencher.total_nanos / u128::from(bencher.timed)
+        };
+        println!("  {name}: {mean} ns/iter ({} iters)", bencher.timed);
+        self
+    }
+
+    /// Ends the group (upstream emits summary reports here; a no-op in the
+    /// shim, kept so call sites stay identical).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the benchmark closure to time the hot loop.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u32,
+    total_nanos: u128,
+    timed: u64,
+}
+
+impl Bencher {
+    /// Times `routine` for the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            black_box(routine());
+            self.total_nanos += start.elapsed().as_nanos();
+            self.timed += 1;
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total_nanos += start.elapsed().as_nanos();
+            self.timed += 1;
+        }
+    }
+}
+
+/// Batch sizing hint; ignored by the shim (batches are always size 1).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Declares a group function that runs each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each group (benches use `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.bench_function("add", |b| b.iter(|| 1u64 + 1));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+}

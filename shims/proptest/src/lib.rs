@@ -1,0 +1,308 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! Differences from upstream, by design:
+//!
+//! * fixed deterministic case generation (no persisted failure seeds) —
+//!   every run of a test explores the same [`CASES`] inputs, seeded from
+//!   the test's name;
+//! * **no shrinking** — a failing case reports the generated inputs as-is;
+//! * only the strategies this workspace uses: numeric ranges and
+//!   [`collection::vec`].
+
+#![warn(missing_docs)]
+
+/// Cases generated per property (upstream default is 256; kept lower
+/// because there is no shrinking and suites run in CI).
+pub const CASES: usize = 64;
+
+/// How a single generated case ended.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is re-drawn.
+    Reject,
+    /// A `prop_assert!`-style check failed.
+    Fail(String),
+}
+
+/// Outcome of running one case body.
+pub type TestCaseResult = std::result::Result<(), TestCaseError>;
+
+/// SplitMix64 — small, seedable, and good enough for case generation.
+#[derive(Debug, Clone)]
+pub struct ShimRng(u64);
+
+impl ShimRng {
+    /// Seeds the generator from a test name so each property gets a
+    /// distinct but reproducible stream.
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        ShimRng(h)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// A source of random values of type [`Strategy::Value`].
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut ShimRng) -> Self::Value;
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut ShimRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut ShimRng) -> f32 {
+        (self.start as f64 + rng.unit_f64() * (self.end as f64 - self.start as f64)) as f32
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut ShimRng) -> $t {
+                let span = (self.end - self.start) as u64;
+                assert!(span > 0, "empty integer range strategy");
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(usize, u64, u32, u16, u8);
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut ShimRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{ShimRng, Strategy};
+
+    /// Element-count bounds for [`vec`]: `usize` for an exact length,
+    /// `Range<usize>` for a half-open interval.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.end > r.start, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with the given size bounds.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut ShimRng) -> Vec<S::Value> {
+            let span = (self.size.hi_exclusive - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The usual glob-import surface: the [`Strategy`] trait and the macros.
+pub mod prelude {
+    pub use crate::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Declares property tests. Each `#[test] fn name(bindings in strategies)`
+/// item becomes a normal `#[test]` running [`CASES`](crate::CASES)
+/// deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        #[test]
+        fn $name:ident ( $( $arg:pat_param in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let mut rng = $crate::ShimRng::from_name(stringify!($name));
+            let mut accepted = 0usize;
+            let mut attempts = 0usize;
+            while accepted < $crate::CASES {
+                attempts += 1;
+                assert!(
+                    attempts <= $crate::CASES * 50,
+                    "prop_assume! rejected too many inputs in `{}`",
+                    stringify!($name),
+                );
+                $( let $arg = $crate::Strategy::generate(&($strat), &mut rng); )+
+                let outcome: $crate::TestCaseResult = (move || {
+                    $body
+                    Ok(())
+                })();
+                match outcome {
+                    Ok(()) => accepted += 1,
+                    Err($crate::TestCaseError::Reject) => {}
+                    Err($crate::TestCaseError::Fail(msg)) => panic!(
+                        "property `{}` failed on case {} (attempt {}): {}",
+                        stringify!($name), accepted, attempts, msg,
+                    ),
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking) so the harness can report which case broke.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        // Bind first so clippy's neg_cmp_op_on_partial_ord doesn't fire on
+        // `!(a < b)` at call sites.
+        let holds: bool = $cond;
+        if !holds {
+            return Err($crate::TestCaseError::Fail(
+                concat!("assertion failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        let holds: bool = $cond;
+        if !holds {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right,
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case's inputs, drawing a fresh case instead.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = ShimRng::from_name("x");
+        let mut b = ShimRng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = ShimRng::from_name("bounds");
+        for _ in 0..1000 {
+            let x = (1.5f64..2.5).generate(&mut rng);
+            assert!((1.5..2.5).contains(&x));
+            let n = (3usize..10).generate(&mut rng);
+            assert!((3..10).contains(&n));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_sizes() {
+        let mut rng = ShimRng::from_name("sizes");
+        for _ in 0..100 {
+            let v = collection::vec(0.0f32..1.0, 2usize..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            let exact = collection::vec(0u64..9, 4usize).generate(&mut rng);
+            assert_eq!(exact.len(), 4);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_smoke(a in 0.0f64..1.0, n in 1usize..8) {
+            prop_assume!(n != 3);
+            prop_assert!(a < 1.0);
+            prop_assert_eq!(n.wrapping_add(0), n);
+        }
+
+        #[test]
+        fn macro_mut_binding(mut v in collection::vec(0.0f32..1.0, 1usize..6)) {
+            v.push(0.5);
+            prop_assert!(!v.is_empty());
+        }
+    }
+}

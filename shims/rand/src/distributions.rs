@@ -1,0 +1,164 @@
+//! Distributions (subset of `rand::distributions`).
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a type: unit-interval floats, full-range
+/// integers, fair booleans.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        crate::u01_f64(rng.next_u64())
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        crate::u01_f32(rng.next_u64())
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types that can be sampled uniformly from a bounded range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample in `[low, high)` (`high` included when `inclusive`).
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+macro_rules! uniform_float {
+    ($t:ty, $u01:path) => {
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                _inclusive: bool,
+            ) -> Self {
+                // [0, 1) scaling keeps exclusive upper bounds strict; the
+                // inclusive upper bound is hit with vanishing probability,
+                // which matches upstream closely enough for simulation use.
+                low + $u01(rng.next_u64()) * (high - low)
+            }
+        }
+    };
+}
+uniform_float!(f64, crate::u01_f64);
+uniform_float!(f32, crate::u01_f32);
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                let lo = low as i128;
+                let hi = high as i128 + if inclusive { 1 } else { 0 };
+                assert!(lo < hi, "cannot sample from an empty range");
+                let width = (hi - lo) as u128;
+                // Modulo bias is ≤ width / 2^64 — negligible for the range
+                // widths used in this workspace.
+                let r = rng.next_u64() as u128 % width;
+                (lo + r as i128) as $t
+            }
+        }
+    )*};
+}
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges usable with [`crate::Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "cannot sample from an empty range");
+        T::sample_between(rng, start, end, true)
+    }
+}
+
+/// Uniform distribution over a fixed interval (reusable, unlike
+/// `gen_range`).
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<T> {
+    low: T,
+    high: T,
+    inclusive: bool,
+}
+
+impl<T: SampleUniform> Uniform<T> {
+    /// Uniform over `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    pub fn new(low: T, high: T) -> Self {
+        assert!(low < high, "Uniform::new requires low < high");
+        Uniform {
+            low,
+            high,
+            inclusive: false,
+        }
+    }
+
+    /// Uniform over `[low, high]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `low > high`.
+    pub fn new_inclusive(low: T, high: T) -> Self {
+        assert!(low <= high, "Uniform::new_inclusive requires low <= high");
+        Uniform {
+            low,
+            high,
+            inclusive: true,
+        }
+    }
+}
+
+impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_between(rng, self.low, self.high, self.inclusive)
+    }
+}

@@ -1,0 +1,72 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! Instead of upstream's visitor-based zero-copy architecture, this shim
+//! routes everything through an owned JSON-like [`Value`] tree: the
+//! [`Serialize`] trait lowers a type to a [`Value`], [`Deserialize`] lifts
+//! it back. The companion `serde_derive` shim generates impls with the
+//! same externally-tagged representation as real serde, so JSON written by
+//! either implementation parses under the other.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod impls;
+pub mod value;
+
+pub use value::Value;
+
+/// Serialization error (also covers deserialization).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+
+    /// Creates a "missing field" error.
+    pub fn missing_field(name: &str) -> Self {
+        Error(format!("missing field `{name}`"))
+    }
+
+    /// Wraps the error with the field it occurred in.
+    #[must_use]
+    pub fn in_field(self, name: &str) -> Self {
+        Error(format!("{}: {}", name, self.0))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can lower itself to a [`Value`].
+pub trait Serialize {
+    /// Lowers `self` to a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Lifts a value back into `Self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when the value's shape does not match.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Deserialization marker traits (subset of `serde::de`).
+pub mod de {
+    /// Owned deserialization — blanket-implemented for every
+    /// [`Deserialize`](crate::Deserialize) since this shim is always owned.
+    pub trait DeserializeOwned: crate::Deserialize {}
+
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}

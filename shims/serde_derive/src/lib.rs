@@ -1,0 +1,288 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` implemented directly on `proc_macro` token
+//! streams (no `syn`/`quote` available offline).
+//!
+//! Supported shapes — exactly what this workspace uses:
+//!
+//! * structs with named fields, tuple structs (newtype and wider), unit
+//!   structs;
+//! * enums with unit, struct and tuple variants (externally tagged, like
+//!   real serde: `"Variant"` / `{"Variant": {...}}` / `{"Variant": [...]}`);
+//! * `#[serde(default)]` and `#[serde(default = "path")]` on named fields.
+//!
+//! Generics are rejected with a compile error rather than silently
+//! mis-handled.
+
+use proc_macro::TokenStream;
+
+mod parse;
+
+use parse::{Fields, Input, ParsedField};
+
+/// Derives `serde::Serialize` (shim version: lowers to `serde::Value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize` (shim version: lifts from `serde::Value`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    match parse::parse(input) {
+        Ok(parsed) => gen(&parsed)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive shim codegen error: {e}"))),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error literal")
+}
+
+fn field_value_expr(f: &ParsedField, access: &str) -> String {
+    format!(
+        "obj.push(({:?}.to_string(), ::serde::Serialize::to_value({access})));",
+        f.name
+    )
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.fields {
+        Fields::Named(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&field_value_expr(f, &format!("&self.{}", f.name)));
+            }
+            format!(
+                "let mut obj: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}\n\
+                 ::serde::Value::Object(obj)"
+            )
+        }
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Fields::Unit => format!("::serde::Value::Str({:?}.to_string())", name),
+        Fields::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str({v:?}.to_string()),\n",
+                        v = v.name
+                    )),
+                    Fields::Named(fields) => {
+                        let pat: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut pushes = String::new();
+                        for f in fields {
+                            pushes.push_str(&field_value_expr(f, f.name.as_str()));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {pat} }} => {{\n\
+                               let mut obj: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                               {pushes}\n\
+                               ::serde::Value::Object(vec![({v:?}.to_string(), ::serde::Value::Object(obj))])\n\
+                             }}\n",
+                            v = v.name,
+                            pat = pat.join(", "),
+                        ));
+                    }
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{v}(x0) => ::serde::Value::Object(vec![({v:?}.to_string(), ::serde::Serialize::to_value(x0))]),\n",
+                        v = v.name
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => ::serde::Value::Object(vec![({v:?}.to_string(), ::serde::Value::Array(vec![{items}]))]),\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            items = items.join(", "),
+                        ));
+                    }
+                    Fields::Enum(_) => unreachable!("variants cannot nest enums"),
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// Expression deserializing named field `f` out of the in-scope binding
+/// `obj` (an object `&Value`).
+fn named_field_expr(f: &ParsedField) -> String {
+    let missing = match &f.default {
+        Some(Some(path)) => format!("{path}()"),
+        Some(None) => "::std::default::Default::default()".to_string(),
+        // No default: try Null so Option fields become None; anything else
+        // reports the missing field.
+        None => format!(
+            "::serde::Deserialize::from_value(&::serde::Value::Null)\
+             .map_err(|_| ::serde::Error::missing_field({:?}))?",
+            f.name
+        ),
+    };
+    format!(
+        "{field}: match obj.get({field_str:?}) {{\n\
+             Some(v) => ::serde::Deserialize::from_value(v)\
+                 .map_err(|e| e.in_field({field_str:?}))?,\n\
+             None => {missing},\n\
+         }}",
+        field = f.name,
+        field_str = f.name,
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.fields {
+        Fields::Named(fields) => {
+            let field_exprs: Vec<String> = fields.iter().map(named_field_expr).collect();
+            format!(
+                "if v.as_object().is_none() {{\n\
+                     return Err(::serde::Error::msg(format!(\
+                         \"expected object for {name}, got {{}}\", v.kind())));\n\
+                 }}\n\
+                 let obj = v;\n\
+                 Ok({name} {{ {fields} }})",
+                fields = field_exprs.join(",\n"),
+            )
+        }
+        Fields::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| ::serde::Error::msg(\
+                     format!(\"expected array for {name}, got {{}}\", v.kind())))?;\n\
+                 if items.len() != {n} {{\n\
+                     return Err(::serde::Error::msg(format!(\
+                         \"expected {n} elements for {name}, got {{}}\", items.len())));\n\
+                 }}\n\
+                 Ok({name}({items}))",
+                items = items.join(", "),
+            )
+        }
+        Fields::Unit => format!(
+            "match v.as_str() {{\n\
+                 Some({name:?}) => Ok({name}),\n\
+                 _ => Err(::serde::Error::msg(format!(\
+                     \"expected \\\"{name}\\\", got {{}}\", v.kind()))),\n\
+             }}"
+        ),
+        Fields::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!(
+                            "{v:?} => return Ok({name}::{v}),\n",
+                            v = v.name
+                        ));
+                        // Also accept the {"Variant": null} form.
+                        tagged_arms.push_str(&format!(
+                            "{v:?} if inner.is_null() => return Ok({name}::{v}),\n",
+                            v = v.name
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let field_exprs: Vec<String> =
+                            fields.iter().map(named_field_expr).collect();
+                        tagged_arms.push_str(&format!(
+                            "{v:?} => {{\n\
+                                 if inner.as_object().is_none() {{\n\
+                                     return Err(::serde::Error::msg(format!(\
+                                         \"expected object payload for {name}::{v}, got {{}}\", inner.kind())));\n\
+                                 }}\n\
+                                 let obj = inner;\n\
+                                 return Ok({name}::{v} {{ {fields} }});\n\
+                             }}\n",
+                            v = v.name,
+                            fields = field_exprs.join(",\n"),
+                        ));
+                    }
+                    Fields::Tuple(1) => tagged_arms.push_str(&format!(
+                        "{v:?} => return Ok({name}::{v}(::serde::Deserialize::from_value(inner).map_err(|e| e.in_field({v:?}))?)),\n",
+                        v = v.name
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "{v:?} => {{\n\
+                                 let items = inner.as_array().ok_or_else(|| ::serde::Error::msg(\
+                                     format!(\"expected array payload for {name}::{v}\")))?;\n\
+                                 if items.len() != {n} {{\n\
+                                     return Err(::serde::Error::msg(format!(\
+                                         \"expected {n} elements for {name}::{v}, got {{}}\", items.len())));\n\
+                                 }}\n\
+                                 return Ok({name}::{v}({items}));\n\
+                             }}\n",
+                            v = v.name,
+                            items = items.join(", "),
+                        ));
+                    }
+                    Fields::Enum(_) => unreachable!("variants cannot nest enums"),
+                }
+            }
+            format!(
+                "if let Some(s) = v.as_str() {{\n\
+                     match s {{\n\
+                         {unit_arms}\n\
+                         _ => {{}}\n\
+                     }}\n\
+                     return Err(::serde::Error::msg(format!(\
+                         \"unknown {name} variant {{s:?}}\")));\n\
+                 }}\n\
+                 if let Some(pairs) = v.as_object() {{\n\
+                     if pairs.len() == 1 {{\n\
+                         let (tag, inner) = &pairs[0];\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             _ => {{}}\n\
+                         }}\n\
+                         return Err(::serde::Error::msg(format!(\
+                             \"unknown {name} variant {{tag:?}}\")));\n\
+                     }}\n\
+                 }}\n\
+                 Err(::serde::Error::msg(format!(\
+                     \"expected {name} variant string or single-key object, got {{}}\", v.kind())))"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

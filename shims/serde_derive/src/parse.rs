@@ -1,0 +1,252 @@
+//! Hand-rolled parser for the subset of Rust item syntax the derives
+//! accept. Works directly on `proc_macro::TokenTree`s; only names and
+//! `#[serde(...)]` attributes are extracted — field *types* are never
+//! needed because the generated code recovers them via inference
+//! (`::serde::Deserialize::from_value(x)?`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A named field plus its `#[serde(default)]` setting.
+///
+/// `default` is `None` when absent, `Some(None)` for bare
+/// `#[serde(default)]`, `Some(Some(path))` for `#[serde(default = "path")]`.
+pub struct ParsedField {
+    pub name: String,
+    pub default: Option<Option<String>>,
+}
+
+pub enum Fields {
+    Named(Vec<ParsedField>),
+    /// Tuple struct/variant with this arity.
+    Tuple(usize),
+    Unit,
+    /// Only valid at the top level of an `enum`.
+    Enum(Vec<Variant>),
+}
+
+pub struct Variant {
+    pub name: String,
+    pub fields: Fields,
+}
+
+pub struct Input {
+    pub name: String,
+    pub fields: Fields,
+}
+
+type Result<T> = std::result::Result<T, String>;
+
+pub fn parse(input: TokenStream) -> Result<Input> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attrs(&tokens, &mut pos)?;
+    skip_visibility(&tokens, &mut pos);
+
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    pos += 1;
+
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    pos += 1;
+
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive shim: generic type `{name}` is not supported; \
+             write the impls by hand"
+        ));
+    }
+
+    let fields = if kind == "struct" {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                parse_named_fields(g.stream())?
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream())?)
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+            other => return Err(format!("unexpected struct body: {other:?}")),
+        }
+    } else {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("expected enum body, got {other:?}")),
+        }
+    };
+
+    Ok(Input { name, fields })
+}
+
+/// Skips attributes at `pos`, returning any parsed `#[serde(...)]` default
+/// settings encountered.
+fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) -> Result<Option<Option<String>>> {
+    let mut default = None;
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *pos += 1;
+        match tokens.get(*pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                if let Some(d) = parse_serde_attr(g.stream())? {
+                    default = Some(d);
+                }
+                *pos += 1;
+            }
+            other => return Err(format!("expected [...] after #, got {other:?}")),
+        }
+    }
+    Ok(default)
+}
+
+/// Parses the inside of one `#[...]`. Returns the default setting when it
+/// is a `#[serde(default)]` / `#[serde(default = "path")]` attribute,
+/// `None` for any other attribute (doc comments, `derive`, `non_exhaustive`,
+/// ...).
+fn parse_serde_attr(stream: TokenStream) -> Result<Option<Option<String>>> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Ok(None),
+    }
+    let inner = match tokens.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            g.stream().into_iter().collect::<Vec<TokenTree>>()
+        }
+        other => return Err(format!("expected (...) after `serde`, got {other:?}")),
+    };
+    match inner.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "default" => match inner.get(1) {
+            None => Ok(Some(None)),
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => match inner.get(2) {
+                Some(TokenTree::Literal(lit)) => {
+                    let s = lit.to_string();
+                    let path = s
+                        .strip_prefix('"')
+                        .and_then(|s| s.strip_suffix('"'))
+                        .ok_or_else(|| format!("expected string literal, got {s}"))?;
+                    Ok(Some(Some(path.to_string())))
+                }
+                other => Err(format!(
+                    "expected path string after `default =`, got {other:?}"
+                )),
+            },
+            other => Err(format!("unexpected token after `default`: {other:?}")),
+        },
+        other => Err(format!(
+            "serde_derive shim: unsupported serde attribute {other:?} \
+             (only `default` and `default = \"path\"` are handled)"
+        )),
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *pos += 1;
+        // `pub(crate)`, `pub(super)`, ...
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+/// Skips a type (or any expression) up to a top-level `,`, leaving `pos` on
+/// the comma or at end-of-stream. Tracks `<`/`>` depth so commas inside
+/// generics don't terminate early.
+fn skip_to_top_level_comma(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth: i32 = 0;
+    while let Some(tt) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Fields> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let default = skip_attrs(&tokens, &mut pos)?;
+        skip_visibility(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break, // trailing comma
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        skip_to_top_level_comma(&tokens, &mut pos);
+        pos += 1; // consume the comma (or step past end)
+        fields.push(ParsedField { name, default });
+    }
+    Ok(Fields::Named(fields))
+}
+
+/// Counts fields of a tuple struct/variant body `(A, B, ...)`.
+fn count_tuple_fields(stream: TokenStream) -> Result<usize> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut count = 0;
+    while pos < tokens.len() {
+        if skip_attrs(&tokens, &mut pos)?.is_some() {
+            return Err("serde_derive shim: #[serde(default)] on tuple fields unsupported".into());
+        }
+        skip_visibility(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break; // trailing comma
+        }
+        skip_to_top_level_comma(&tokens, &mut pos);
+        pos += 1;
+        count += 1;
+    }
+    Ok(count)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs(&tokens, &mut pos)?;
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break, // trailing comma
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        pos += 1;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                parse_named_fields(g.stream())?
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Fields::Tuple(count_tuple_fields(g.stream())?)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present, then the
+        // separating comma.
+        skip_to_top_level_comma(&tokens, &mut pos);
+        pos += 1;
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}

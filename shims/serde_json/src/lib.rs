@@ -1,0 +1,131 @@
+//! Minimal offline stand-in for `serde_json`: a recursive-descent JSON
+//! parser producing the shim `serde::Value` tree, plus compact and pretty
+//! writers. API surface is just what this workspace calls: [`from_str`],
+//! [`to_string`], [`to_string_pretty`], [`Error`].
+
+#![warn(missing_docs)]
+
+use serde::Serialize;
+
+mod parser;
+mod writer;
+
+/// JSON parse/serialize error with a short human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    pub(crate) fn new(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Parses a JSON document into `T`.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed JSON or a shape mismatch with `T`.
+pub fn from_str<T: serde::de::DeserializeOwned>(s: &str) -> Result<T, Error> {
+    let value = parser::parse(s)?;
+    T::from_value(&value).map_err(Error::from)
+}
+
+/// Serializes `value` to a compact single-line JSON string.
+///
+/// # Errors
+///
+/// Infallible in this shim; the `Result` mirrors the real API.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    writer::write(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` to pretty-printed JSON (two-space indent, like real
+/// `serde_json`).
+///
+/// # Errors
+///
+/// Infallible in this shim; the `Result` mirrors the real API.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    writer::write(&mut out, &value.to_value(), Some("  "), 0);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Value;
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(parser::parse("null").unwrap(), Value::Null);
+        assert_eq!(parser::parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parser::parse("42").unwrap(), Value::U64(42));
+        assert_eq!(parser::parse("-7").unwrap(), Value::I64(-7));
+        assert_eq!(parser::parse("2.5e1").unwrap(), Value::F64(25.0));
+        assert_eq!(
+            parser::parse(r#""hi\nthere""#).unwrap(),
+            Value::Str("hi\nthere".into())
+        );
+    }
+
+    #[test]
+    fn parse_nested() {
+        let v = parser::parse(r#"{"a": [1, {"b": false}], "c": "A"}"#).unwrap();
+        assert_eq!(v.get("c").unwrap(), &Value::Str("A".into()));
+        let a = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(a[0], Value::U64(1));
+        assert_eq!(a[1].get("b").unwrap(), &Value::Bool(false));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parser::parse("1 2").is_err());
+        assert!(parser::parse("{").is_err());
+        assert!(parser::parse("[1,]").is_err());
+    }
+
+    #[test]
+    fn write_roundtrip() {
+        let v = parser::parse(r#"{"x": [1, -2, 3.5], "y": null, "s": "a\"b"}"#).unwrap();
+        let compact = {
+            let mut out = String::new();
+            writer::write(&mut out, &v, None, 0);
+            out
+        };
+        assert_eq!(compact, r#"{"x":[1,-2,3.5],"y":null,"s":"a\"b"}"#);
+        assert_eq!(parser::parse(&compact).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_matches_serde_json_style() {
+        let v = parser::parse(r#"{"a": 1, "b": [true]}"#).unwrap();
+        let mut out = String::new();
+        writer::write(&mut out, &v, Some("  "), 0);
+        assert_eq!(out, "{\n  \"a\": 1,\n  \"b\": [\n    true\n  ]\n}");
+    }
+
+    #[test]
+    fn floats_keep_float_typing() {
+        let mut out = String::new();
+        writer::write(&mut out, &Value::F64(3.0), None, 0);
+        assert_eq!(out, "3.0");
+        assert_eq!(parser::parse("3.0").unwrap(), Value::F64(3.0));
+    }
+}

@@ -1,0 +1,111 @@
+//! Compact and pretty JSON writers over `serde::Value`.
+
+use serde::Value;
+
+/// Writes `v` into `out`. `indent = None` is compact; `Some(unit)` pretty
+/// prints with that indent unit at nesting `depth`.
+pub fn write(out: &mut String, v: &Value, indent: Option<&str>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::I64(i) => out.push_str(&i.to_string()),
+        Value::U64(u) => out.push_str(&u.to_string()),
+        Value::F64(x) => write_f64(out, *x),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => write_seq(
+            out,
+            items.iter(),
+            indent,
+            depth,
+            ('[', ']'),
+            |out, item, indent, depth| {
+                write(out, item, indent, depth);
+            },
+        ),
+        Value::Object(pairs) => {
+            write_seq(
+                out,
+                pairs.iter(),
+                indent,
+                depth,
+                ('{', '}'),
+                |out, (k, v), indent, depth| {
+                    write_string(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    write(out, v, indent, depth);
+                },
+            );
+        }
+    }
+}
+
+fn write_seq<'v, T: 'v>(
+    out: &mut String,
+    items: impl ExactSizeIterator<Item = T>,
+    indent: Option<&str>,
+    depth: usize,
+    brackets: (char, char),
+    mut write_item: impl FnMut(&mut String, T, Option<&str>, usize),
+) {
+    out.push(brackets.0);
+    if items.len() == 0 {
+        out.push(brackets.1);
+        return;
+    }
+    let inner = depth + 1;
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(unit) = indent {
+            out.push('\n');
+            for _ in 0..inner {
+                out.push_str(unit);
+            }
+        }
+        write_item(out, item, indent, inner);
+    }
+    if let Some(unit) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str(unit);
+        }
+    }
+    out.push(brackets.1);
+}
+
+/// Non-finite floats serialize as `null`, matching real `serde_json`.
+fn write_f64(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let s = x.to_string();
+    out.push_str(&s);
+    // Keep float typing on round-trip: `3` would re-parse as an integer.
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

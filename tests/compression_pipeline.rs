@@ -22,14 +22,20 @@ fn config(rounds: usize) -> FlConfig {
         .rounds(rounds)
         .local_steps(3)
         .batch_size(16)
-        .model(ModelSpec::LogisticRegression { in_features: 64, classes: 10 })
+        .model(ModelSpec::LogisticRegression {
+            in_features: 64,
+            classes: 10,
+        })
         .build()
 }
 
 #[test]
 fn client_delta_survives_wire_round_trip() {
     let (train, _) = task();
-    let spec = ModelSpec::LogisticRegression { in_features: 64, classes: 10 };
+    let spec = ModelSpec::LogisticRegression {
+        in_features: 64,
+        classes: 10,
+    };
     let mut client = FlClient::new(0, spec.build(0), train, 0.05, 0.0, 16, 0);
     let global = client.model().params_flat();
     let outcome = client.train_local(&global, 3, None);
@@ -72,7 +78,10 @@ fn lighter_compression_tracks_dense_training_better() {
         bytes_heavy < bytes_light / 4,
         "heavy compression did not cut bytes: {bytes_heavy} vs {bytes_light}"
     );
-    assert!(acc_light > 0.6, "dense-equivalent run failed to learn: {acc_light}");
+    assert!(
+        acc_light > 0.6,
+        "dense-equivalent run failed to learn: {acc_light}"
+    );
     // Heavy compression may lose accuracy but must not destroy learning —
     // DGC's accumulation keeps the information flowing.
     assert!(acc_heavy > 0.4, "heavy DGC destroyed learning: {acc_heavy}");
@@ -93,5 +102,8 @@ fn adafl_reported_ratios_stay_within_configured_bounds() {
     // Mean uplink payload must sit between the heaviest-compressed payload
     // and the dense payload (score reports push it down, warm-up up).
     let mean = engine.ledger().mean_uplink_payload();
-    assert!(mean > 0.0 && mean < dense as f64, "implausible mean payload {mean}");
+    assert!(
+        mean > 0.0 && mean < dense as f64,
+        "implausible mean payload {mean}"
+    );
 }

@@ -23,7 +23,10 @@ fn config(rounds: usize) -> FlConfig {
         .participation(0.5)
         .local_steps(3)
         .batch_size(16)
-        .model(ModelSpec::LogisticRegression { in_features: 64, classes: 10 })
+        .model(ModelSpec::LogisticRegression {
+            in_features: 64,
+            classes: 10,
+        })
         .build()
 }
 
@@ -51,7 +54,9 @@ fn all_sync_baselines_learn_iid() {
 fn fedavg_learns_under_label_shards() {
     let acc = run_strategy(
         Box::new(FedAvg::new()),
-        Partitioner::LabelShards { shards_per_client: 2 },
+        Partitioner::LabelShards {
+            shards_per_client: 2,
+        },
     );
     assert!(acc > 0.4, "non-IID fedavg collapsed to {acc}");
 }
@@ -70,7 +75,10 @@ fn adafl_matches_fedavg_accuracy_with_fewer_bytes() {
 
     let mut adafl = AdaFlSyncEngine::new(
         config(30),
-        AdaFlConfig { max_selected: 3, ..AdaFlConfig::default() },
+        AdaFlConfig {
+            max_selected: 3,
+            ..AdaFlConfig::default()
+        },
         &train,
         test,
         Partitioner::Iid,
@@ -82,8 +90,7 @@ fn adafl_matches_fedavg_accuracy_with_fewer_bytes() {
         "adafl lost too much accuracy: {adafl_acc} vs {fedavg_acc}"
     );
     assert!(
-        (adafl.ledger().uplink_bytes() as f64)
-            < fedavg.ledger().uplink_bytes() as f64 * 0.6,
+        (adafl.ledger().uplink_bytes() as f64) < fedavg.ledger().uplink_bytes() as f64 * 0.6,
         "adafl did not save ≥40% uplink: {} vs {}",
         adafl.ledger().uplink_bytes(),
         fedavg.ledger().uplink_bytes()
@@ -98,7 +105,9 @@ fn whole_pipeline_is_deterministic() {
             config(8),
             &train,
             test,
-            Partitioner::LabelShards { shards_per_client: 2 },
+            Partitioner::LabelShards {
+                shards_per_client: 2,
+            },
             Box::new(FedAvg::new()),
         );
         let h = engine.run();
@@ -120,7 +129,10 @@ fn different_seeds_give_different_runs() {
             .local_steps(3)
             .batch_size(16)
             .seed(seed)
-            .model(ModelSpec::LogisticRegression { in_features: 64, classes: 10 })
+            .model(ModelSpec::LogisticRegression {
+                in_features: 64,
+                classes: 10,
+            })
             .build();
         let mut engine =
             SyncEngine::new(cfg, &train, test, Partitioner::Iid, Box::new(FedAvg::new()));

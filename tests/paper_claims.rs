@@ -32,7 +32,10 @@ fn config(rounds: usize) -> FlConfig {
         .participation(0.5)
         .local_steps(4)
         .batch_size(16)
-        .model(ModelSpec::LogisticRegression { in_features: 64, classes: 10 })
+        .model(ModelSpec::LogisticRegression {
+            in_features: 64,
+            classes: 10,
+        })
         .build()
 }
 
@@ -50,7 +53,10 @@ fn q1_q2_adafl_competitive_accuracy_at_much_lower_cost() {
 
     let mut adafl = AdaFlSyncEngine::new(
         config(35),
-        AdaFlConfig { max_selected: 4, ..AdaFlConfig::default() },
+        AdaFlConfig {
+            max_selected: 4,
+            ..AdaFlConfig::default()
+        },
         &train,
         test,
         Partitioner::Iid,
@@ -78,16 +84,17 @@ fn q1_q2_adafl_competitive_accuracy_at_much_lower_cost() {
     );
     // Q2, second axis: fewer *updates* too (adaptive participation), noting
     // AdaFL's ledger also counts the tiny per-round score reports.
-    let payload_like_updates = adafl
-        .ledger()
-        .uplink_updates();
+    let payload_like_updates = adafl.ledger().uplink_updates();
     assert!(payload_like_updates > 0);
 }
 
 #[test]
 fn q3_utility_score_is_negligible_next_to_training() {
     let (train, _) = task();
-    let spec = ModelSpec::LogisticRegression { in_features: 64, classes: 10 };
+    let spec = ModelSpec::LogisticRegression {
+        in_features: 64,
+        classes: 10,
+    };
     let mut client = FlClient::new(0, spec.build(0), train, 0.05, 0.0, 16, 0);
     let global = client.model().params_flat();
     let g_hat: Vec<f32> = global.iter().map(|x| x * 0.01).collect();
@@ -103,7 +110,12 @@ fn q3_utility_score_is_negligible_next_to_training() {
     let t1 = Instant::now();
     for _ in 0..50 {
         std::hint::black_box(utility_score(
-            &UtilityInputs { local_gradient: &probe, global_gradient: &g_hat, link, expected_payload: 14_000 },
+            &UtilityInputs {
+                local_gradient: &probe,
+                global_gradient: &g_hat,
+                link,
+                expected_payload: 14_000,
+            },
             SimilarityMetric::Cosine,
             0.7,
         ));
@@ -124,10 +136,7 @@ fn insight1_moderate_dropout_barely_hurts() {
         let cfg = config(35);
         let shards = Partitioner::Iid.split(&train, cfg.clients, cfg.seed_for("partition"));
         let network = adafl_netsim::ClientNetwork::new(
-            vec![
-                adafl_netsim::LinkTrace::constant(LinkProfile::Broadband.spec());
-                cfg.clients
-            ],
+            vec![adafl_netsim::LinkTrace::constant(LinkProfile::Broadband.spec()); cfg.clients],
             1,
         );
         let mut engine = SyncEngine::with_parts(
@@ -137,12 +146,7 @@ fn insight1_moderate_dropout_barely_hurts() {
             Box::new(FedAvg::new()),
             network,
             adafl_fl::compute::ComputeModel::uniform(cfg.clients, 0.1),
-            FaultPlan::with_fraction(
-                cfg.clients,
-                fraction,
-                FaultKind::Dropout { period: 2 },
-                3,
-            ),
+            FaultPlan::with_fraction(cfg.clients, fraction, FaultKind::Dropout { period: 2 }, 3),
         );
         engine.run().final_accuracy()
     };

@@ -29,7 +29,10 @@ fn config(rounds: usize) -> FlConfig {
         .participation(1.0)
         .local_steps(3)
         .batch_size(16)
-        .model(ModelSpec::LogisticRegression { in_features: 64, classes: 10 })
+        .model(ModelSpec::LogisticRegression {
+            in_features: 64,
+            classes: 10,
+        })
         .build()
 }
 
@@ -68,12 +71,7 @@ fn dropout_period_halves_faulty_clients_updates() {
     let (train, test) = task();
     let cfg = config(8);
     let shards = Partitioner::Iid.split(&train, CLIENTS, cfg.seed_for("partition"));
-    let faults = FaultPlan::with_fraction(
-        CLIENTS,
-        0.5,
-        FaultKind::Dropout { period: 2 },
-        0,
-    );
+    let faults = FaultPlan::with_fraction(CLIENTS, 0.5, FaultKind::Dropout { period: 2 }, 0);
     let mut engine = SyncEngine::with_parts(
         cfg,
         shards,
@@ -148,7 +146,10 @@ fn constrained_uplinks_slow_the_simulated_clock() {
         vec![LinkTrace::constant(LinkProfile::Constrained.spec()); CLIENTS],
         3,
     ));
-    assert!(slow > fast * 2.0, "bandwidth had no timing effect: {slow} vs {fast}");
+    assert!(
+        slow > fast * 2.0,
+        "bandwidth had no timing effect: {slow} vs {fast}"
+    );
 }
 
 #[test]
@@ -161,7 +162,10 @@ fn staleness_hurts_more_than_dropout_in_async() {
         .rounds(10)
         .local_steps(3)
         .batch_size(16)
-        .model(ModelSpec::LogisticRegression { in_features: 64, classes: 10 })
+        .model(ModelSpec::LogisticRegression {
+            in_features: 64,
+            classes: 10,
+        })
         .build();
     let shards = Partitioner::Iid.split(&train, CLIENTS, cfg.seed_for("partition"));
     let budget = 80u64;
@@ -186,9 +190,7 @@ fn staleness_hurts_more_than_dropout_in_async() {
     // Dropout fleet: 40% of clients on links that lose half the updates.
     let mut traces = vec![LinkTrace::constant(LinkProfile::Broadband.spec()); CLIENTS];
     for t in traces.iter_mut().take(2) {
-        *t = LinkTrace::constant(
-            LinkSpec::new(2e6, 10e6, 0.01, 0.01, 0.5),
-        );
+        *t = LinkTrace::constant(LinkSpec::new(2e6, 10e6, 0.01, 0.01, 0.5));
     }
     let mut lossy_engine = AsyncEngine::with_parts(
         cfg,

@@ -38,11 +38,20 @@ fn link_traces_round_trip() {
         LinkTrace::constant(LinkProfile::Lossy.spec()),
         LinkTrace::new(
             LinkProfile::Cellular.spec(),
-            TraceKind::Periodic { period: 30.0, duty: 0.2, degraded_scale: 0.5 },
+            TraceKind::Periodic {
+                period: 30.0,
+                duty: 0.2,
+                degraded_scale: 0.5,
+            },
         ),
         LinkTrace::new(
             LinkProfile::Broadband.spec(),
-            TraceKind::RandomWalk { step: 5.0, min_scale: 0.2, max_scale: 0.9, seed: 3 },
+            TraceKind::RandomWalk {
+                step: 5.0,
+                min_scale: 0.2,
+                max_scale: 0.9,
+                seed: 3,
+            },
         ),
     ] {
         assert_eq!(round_trip(&trace), trace);
@@ -56,7 +65,11 @@ fn fl_config_round_trips() {
         .rounds(50)
         .participation(0.4)
         .round_deadline(2.5)
-        .model(ModelSpec::MnistCnn { height: 16, width: 16, classes: 10 })
+        .model(ModelSpec::MnistCnn {
+            height: 16,
+            width: 16,
+            classes: 10,
+        })
         .build();
     assert_eq!(round_trip(&cfg), cfg);
 }
