@@ -3,7 +3,7 @@
 //! overhead comparison).
 
 use adafl_bench::fleet;
-use adafl_bench::runner::{run_async, run_sync, Scenario};
+use adafl_bench::runner::{run_async, run_sync, Resilience, Scenario};
 use adafl_bench::tasks::Task;
 use adafl_core::{utility_score, AdaFlConfig, SimilarityMetric, UtilityInputs};
 use adafl_data::partition::Partitioner;
@@ -33,6 +33,7 @@ fn scenario(rounds: usize, budget: u64) -> Scenario {
         },
         partitioner: Partitioner::Iid,
         update_budget: budget,
+        resilience: Resilience::default(),
         fl,
         task,
     }

@@ -15,7 +15,7 @@
 //! ```
 
 use adafl_bench::args::Args;
-use adafl_bench::runner::{run_async, run_sync, RunResult, Scenario};
+use adafl_bench::runner::{run_async, run_sync, Resilience, RunResult, Scenario};
 use adafl_bench::tasks::Task;
 use adafl_bench::{fleet, report};
 use adafl_core::AdaFlConfig;
@@ -79,6 +79,7 @@ fn sync_panels(args: &Args, clients: usize, seed: u64, quick: bool) {
                         ada: AdaFlConfig::default(),
                         partitioner,
                         update_budget: 0,
+                        resilience: Resilience::default(),
                         task: task.clone(),
                         fl,
                     };
@@ -125,6 +126,7 @@ fn async_panels(args: &Args, clients: usize, seed: u64, quick: bool) {
                     ada: AdaFlConfig::default(),
                     partitioner,
                     update_budget: budget,
+                    resilience: Resilience::default(),
                     task: task.clone(),
                     fl,
                     network,

@@ -15,7 +15,7 @@
 
 use adafl_bench::args::Args;
 use adafl_bench::runner::{
-    run_async, run_sync, RunResult, Scenario, ASYNC_STRATEGIES, SYNC_STRATEGIES,
+    run_async, run_sync, Resilience, RunResult, Scenario, ASYNC_STRATEGIES, SYNC_STRATEGIES,
 };
 use adafl_bench::tasks::Task;
 use adafl_bench::{fleet, report};
@@ -39,6 +39,7 @@ fn main() {
         ada: AdaFlConfig::default(),
         partitioner,
         update_budget: budget,
+        resilience: Resilience::default(),
         task: task.clone(),
         fl,
     };

@@ -33,7 +33,7 @@
 
 use adafl_bench::args::Args;
 use adafl_bench::config::ExperimentConfig;
-use adafl_bench::runner::{run_async_with, run_sync_with, RunResult, Scenario};
+use adafl_bench::runner::{run_async_with, run_sync_with, Resilience, RunResult, Scenario};
 use adafl_bench::tasks::Task;
 use adafl_bench::{fleet, report};
 use adafl_fl::faults::FaultPlan;
@@ -79,6 +79,7 @@ fn main() {
         ada: cfg.adafl.unwrap_or_default(),
         partitioner: cfg.partition,
         update_budget: cfg.update_budget,
+        resilience: Resilience::default(),
         task,
         fl,
     };

@@ -11,7 +11,7 @@
 //! ```
 
 use adafl_bench::args::Args;
-use adafl_bench::runner::{run_sync, Scenario};
+use adafl_bench::runner::{run_sync, Resilience, Scenario};
 use adafl_bench::tasks::Task;
 use adafl_bench::{fleet, report};
 use adafl_core::AdaFlConfig;
@@ -67,6 +67,7 @@ fn main() {
                     shards_per_client: 2,
                 },
                 update_budget: 0,
+                resilience: Resilience::default(),
                 task: task.clone(),
                 fl,
                 ada,

@@ -12,7 +12,7 @@
 //! ```
 
 use adafl_bench::args::Args;
-use adafl_bench::runner::{run_sync, Scenario, SYNC_STRATEGIES};
+use adafl_bench::runner::{run_sync, Resilience, Scenario, SYNC_STRATEGIES};
 use adafl_bench::tasks::Task;
 use adafl_bench::{fleet, report};
 use adafl_compression::dense_wire_size;
@@ -78,6 +78,7 @@ fn main() {
                     ada: AdaFlConfig::default(),
                     partitioner,
                     update_budget: 0,
+                    resilience: Resilience::default(),
                     task: task.clone(),
                     fl,
                 };

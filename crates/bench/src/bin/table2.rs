@@ -9,7 +9,7 @@
 //! ```
 
 use adafl_bench::args::Args;
-use adafl_bench::runner::{run_async, Scenario, ASYNC_STRATEGIES};
+use adafl_bench::runner::{run_async, Resilience, Scenario, ASYNC_STRATEGIES};
 use adafl_bench::tasks::Task;
 use adafl_bench::{fleet, report};
 use adafl_compression::dense_wire_size;
@@ -72,6 +72,7 @@ fn main() {
                     ada: AdaFlConfig::default(),
                     partitioner,
                     update_budget: budget,
+                    resilience: Resilience::default(),
                     task: task.clone(),
                     fl,
                 };

@@ -3,7 +3,7 @@
 
 use adafl_fl::compute::ComputeModel;
 use adafl_fl::faults::{FaultKind, FaultPlan};
-use adafl_netsim::{ClientNetwork, LinkProfile, LinkTrace, TraceKind};
+use adafl_netsim::{ClientNetwork, GilbertElliott, LinkProfile, LinkTrace, TraceKind};
 
 /// A homogeneous broadband fleet (the paper's fixed-bandwidth evaluation
 /// setting for Tables I/II).
@@ -57,6 +57,20 @@ pub fn lossy_network(clients: usize, fraction: f64, drop_prob: f64, seed: u64) -
     ClientNetwork::new(traces, seed)
 }
 
+/// A broadband fleet where the first `fraction` of clients sit behind a
+/// Gilbert–Elliott burst-loss channel with a ≈20% long-run loss rate — the
+/// chaos-sweep network condition. Losses cluster (mean burst length 1/0.4 =
+/// 2.5 transfers), which is what defeats fire-and-forget transports.
+pub fn burst_loss_network(clients: usize, fraction: f64, seed: u64) -> ClientNetwork {
+    let n_bursty = (clients as f64 * fraction).round() as usize;
+    let mut net = broadband_network(clients, seed);
+    for c in 0..n_bursty {
+        // Stationary loss rate: 0.4/(0.1+0.4)·0.05 + 0.1/(0.1+0.4)·0.8 = 0.20.
+        net.set_burst_loss(c, GilbertElliott::new(0.1, 0.4, 0.05, 0.8, seed ^ c as u64));
+    }
+    net
+}
+
 /// A uniform compute fleet with mild per-query jitter.
 pub fn uniform_compute(clients: usize, seconds_per_step: f64, seed: u64) -> ComputeModel {
     ComputeModel::uniform(clients, seconds_per_step).with_jitter(0.1, seed)
@@ -72,6 +86,48 @@ pub fn straggler_plan(clients: usize, fraction: f64, kind: &str, seed: u64) -> F
         other => panic!("unknown fault kind {other:?} (expected dropout|dataloss|stale)"),
     };
     FaultPlan::with_fraction(clients, fraction, fault, seed)
+}
+
+/// Fault plan for the chaos sweep: the first `crash_fraction` of clients
+/// crash mid-run (staggered start rounds, two rounds down, checkpoint
+/// recovery), the next `corruption_fraction` emit corrupted updates with
+/// probability 0.5 per round. Fractions must not overlap past 1.0.
+///
+/// # Panics
+///
+/// Panics when the two fractions sum past 1.0 or either is outside [0, 1].
+pub fn chaos_plan(
+    clients: usize,
+    crash_fraction: f64,
+    corruption_fraction: f64,
+    seed: u64,
+) -> FaultPlan {
+    assert!(
+        (0.0..=1.0).contains(&crash_fraction) && (0.0..=1.0).contains(&corruption_fraction),
+        "fractions must be in [0, 1]"
+    );
+    assert!(
+        crash_fraction + corruption_fraction <= 1.0,
+        "crash and corruption fractions must not overlap"
+    );
+    let n_crash = (clients as f64 * crash_fraction).round() as usize;
+    let n_corrupt = (clients as f64 * corruption_fraction).round() as usize;
+    let kinds: Vec<FaultKind> = (0..clients)
+        .map(|c| {
+            if c < n_crash {
+                // Stagger outages so the cohort never loses everyone at once.
+                FaultKind::Crash {
+                    at_round: 2 + (c % 3) * 2,
+                    down_for: 2,
+                }
+            } else if c < n_crash + n_corrupt {
+                FaultKind::Corruption { prob: 0.5 }
+            } else {
+                FaultKind::Reliable
+            }
+        })
+        .collect();
+    FaultPlan::new(kinds, seed)
 }
 
 #[cfg(test)]

@@ -5,14 +5,38 @@ use crate::tasks::Task;
 use adafl_core::{AdaFlAsyncEngine, AdaFlConfig, AdaFlSyncEngine};
 use adafl_data::partition::Partitioner;
 use adafl_fl::compute::ComputeModel;
+use adafl_fl::defense::DefenseConfig;
 use adafl_fl::faults::FaultPlan;
 use adafl_fl::r#async::strategies::{FedAsync, FedBuff};
 use adafl_fl::r#async::{AsyncEngine, AsyncStrategy};
 use adafl_fl::sync::strategies::{FedAdam, FedAvg, FedProx, Scaffold};
 use adafl_fl::sync::{SyncEngine, SyncStrategy};
 use adafl_fl::{FlConfig, RunHistory};
-use adafl_netsim::ClientNetwork;
+use adafl_netsim::{ClientNetwork, ReliablePolicy};
 use adafl_telemetry::SharedRecorder;
+
+/// Optional reliability layer for a scenario: retry transport over the
+/// lossy links and/or the defensive aggregation gate at the server. The
+/// default (both `None`) reproduces the legacy fire-and-forget behaviour
+/// byte for byte.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Resilience {
+    /// Reliable-transport policy; `None` = fire-and-forget.
+    pub retry: Option<ReliablePolicy>,
+    /// Defensive aggregation gate; `None` = accept every update.
+    pub defense: Option<DefenseConfig>,
+}
+
+impl Resilience {
+    /// Retry transport plus the default defensive gate — the hardened
+    /// configuration the resiliency sweep compares against `default()`.
+    pub fn hardened() -> Self {
+        Resilience {
+            retry: Some(ReliablePolicy::default()),
+            defense: Some(DefenseConfig::default()),
+        }
+    }
+}
 
 /// Everything needed to execute one run.
 #[derive(Debug, Clone)]
@@ -33,6 +57,8 @@ pub struct Scenario {
     pub faults: FaultPlan,
     /// Async protocols: total server-received updates before stopping.
     pub update_budget: u64,
+    /// Optional reliable transport and defensive aggregation.
+    pub resilience: Resilience,
 }
 
 /// Outcome of one run: the evaluation history plus communication totals.
@@ -48,6 +74,10 @@ pub struct RunResult {
     pub uplink_updates: u64,
     /// Mean uplink payload in bytes.
     pub mean_uplink_payload: f64,
+    /// Bytes burned on retransmitted attempts (reliable transport only).
+    pub retransmission_bytes: u64,
+    /// ACK/NACK control-plane bytes.
+    pub control_bytes: u64,
 }
 
 /// The synchronous strategy names [`run_sync`] accepts.
@@ -106,6 +136,12 @@ pub fn run_sync_with(scenario: &Scenario, strategy: &str, recorder: SharedRecord
             scenario.compute.clone(),
             scenario.faults.clone(),
         );
+        if let Some(policy) = scenario.resilience.retry {
+            engine.set_retry_policy(policy);
+        }
+        if let Some(cfg) = scenario.resilience.defense {
+            engine.set_defense(cfg);
+        }
         engine.set_recorder(recorder);
         let history = engine.run();
         result(history, engine.ledger())
@@ -119,6 +155,12 @@ pub fn run_sync_with(scenario: &Scenario, strategy: &str, recorder: SharedRecord
             scenario.compute.clone(),
             scenario.faults.clone(),
         );
+        if let Some(policy) = scenario.resilience.retry {
+            engine.set_retry_policy(policy);
+        }
+        if let Some(cfg) = scenario.resilience.defense {
+            engine.set_defense(cfg);
+        }
         engine.set_recorder(recorder);
         let history = engine.run();
         result(history, engine.ledger())
@@ -158,6 +200,12 @@ pub fn run_async_with(scenario: &Scenario, strategy: &str, recorder: SharedRecor
             scenario.faults.clone(),
             scenario.update_budget,
         );
+        if let Some(policy) = scenario.resilience.retry {
+            engine.set_retry_policy(policy);
+        }
+        if let Some(cfg) = scenario.resilience.defense {
+            engine.set_defense(cfg);
+        }
         engine.set_recorder(recorder);
         let history = engine.run();
         result(history, engine.ledger())
@@ -172,6 +220,12 @@ pub fn run_async_with(scenario: &Scenario, strategy: &str, recorder: SharedRecor
             scenario.faults.clone(),
             scenario.update_budget,
         );
+        if let Some(policy) = scenario.resilience.retry {
+            engine.set_retry_policy(policy);
+        }
+        if let Some(cfg) = scenario.resilience.defense {
+            engine.set_defense(cfg);
+        }
         engine.set_recorder(recorder);
         let history = engine.run();
         result(history, engine.ledger())
@@ -184,6 +238,8 @@ fn result(history: RunHistory, ledger: &adafl_fl::CommunicationLedger) -> RunRes
         downlink_bytes: ledger.downlink_bytes(),
         uplink_updates: ledger.uplink_updates(),
         mean_uplink_payload: ledger.mean_uplink_payload(),
+        retransmission_bytes: ledger.retransmission_bytes(),
+        control_bytes: ledger.control_bytes(),
         history,
     }
 }
@@ -213,6 +269,7 @@ mod tests {
             },
             partitioner: Partitioner::Iid,
             update_budget: 25,
+            resilience: Resilience::default(),
             fl,
             task,
         }

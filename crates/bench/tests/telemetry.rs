@@ -4,7 +4,7 @@
 
 use adafl_bench::fleet;
 use adafl_bench::report;
-use adafl_bench::runner::{run_async_with, run_sync_with, Scenario};
+use adafl_bench::runner::{run_async_with, run_sync_with, Resilience, Scenario};
 use adafl_bench::tasks::Task;
 use adafl_core::AdaFlConfig;
 use adafl_data::partition::Partitioner;
@@ -32,6 +32,7 @@ fn scenario() -> Scenario {
         },
         partitioner: Partitioner::Iid,
         update_budget: 20,
+        resilience: Resilience::default(),
         fl,
         task,
     }

@@ -99,6 +99,13 @@ impl SparseUpdate {
         &self.values
     }
 
+    /// Mutable access to the surviving values — lets fault injectors and
+    /// defensive scrubbers rewrite a payload in place without re-checking
+    /// the (unchanged) index invariants.
+    pub fn values_mut(&mut self) -> &mut [f32] {
+        &mut self.values
+    }
+
     /// Achieved compression ratio `dense_len / nnz` (`∞` → `f64::INFINITY`
     /// for an empty update).
     pub fn compression_ratio(&self) -> f64 {

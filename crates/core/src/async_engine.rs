@@ -21,9 +21,12 @@ use adafl_data::partition::Partitioner;
 use adafl_data::Dataset;
 use adafl_fl::client::evaluate_model;
 use adafl_fl::compute::ComputeModel;
-use adafl_fl::faults::FaultPlan;
+use adafl_fl::defense::{DefenseConfig, DefenseGate};
+use adafl_fl::faults::{corrupt_update, FaultPlan};
 use adafl_fl::{CommunicationLedger, FlClient, FlConfig, RoundRecord, RunHistory};
-use adafl_netsim::{ClientNetwork, EventQueue, LinkProfile, LinkTrace, SimTime};
+use adafl_netsim::{
+    ClientNetwork, EventQueue, LinkProfile, LinkTrace, ReliablePolicy, ReliableTransfer, SimTime,
+};
 use adafl_telemetry::{names, EventRecord, SharedRecorder, SpanRecord};
 use adafl_tensor::vecops;
 
@@ -55,6 +58,9 @@ pub struct AdaFlAsyncEngine {
     test_set: Dataset,
     network: ClientNetwork,
     compute: ComputeModel,
+    faults: FaultPlan,
+    transport: Option<ReliableTransfer>,
+    defense: Option<DefenseGate>,
     ledger: CommunicationLedger,
     update_budget: u64,
     eval_every: u64,
@@ -151,6 +157,9 @@ impl AdaFlAsyncEngine {
             test_set,
             network,
             compute,
+            faults,
+            transport: None,
+            defense: None,
             fl,
             ada,
             update_budget,
@@ -164,7 +173,24 @@ impl AdaFlAsyncEngine {
     /// scheduling and RNG state are untouched.
     pub fn set_recorder(&mut self, recorder: SharedRecorder) {
         self.network.set_recorder(recorder.clone());
+        if let Some(t) = &mut self.transport {
+            t.set_recorder(recorder.clone());
+        }
         self.recorder = recorder;
+    }
+
+    /// Enables reliable transport for every model exchange; a transfer that
+    /// exhausts its retry budget is treated like a lost packet (the client
+    /// resyncs once the sender learns of the loss).
+    pub fn set_retry_policy(&mut self, policy: ReliablePolicy) {
+        let mut t = ReliableTransfer::new(policy, self.fl.seed_for("transport"));
+        t.set_recorder(self.recorder.clone());
+        self.transport = Some(t);
+    }
+
+    /// Enables the defensive aggregation gate over arriving updates.
+    pub fn set_defense(&mut self, cfg: DefenseConfig) {
+        self.defense = Some(DefenseGate::new(cfg));
     }
 
     /// Sets the evaluation interval in server updates (default 5).
@@ -266,7 +292,7 @@ impl AdaFlAsyncEngine {
                     }
 
                     let ratio = self.controller.ratio_for_score(in_warmup, score);
-                    let sparse = self.compressors[client].compress(&outcome.delta, ratio);
+                    let mut sparse = self.compressors[client].compress(&outcome.delta, ratio);
                     let payload = sparse.wire_size();
                     if self.recorder.enabled() {
                         self.recorder
@@ -278,19 +304,54 @@ impl AdaFlAsyncEngine {
                             payload,
                         );
                     }
+                    // Corruption faults hit the serialized update in
+                    // transit; it still arrives and the defensive gate must
+                    // catch it.
+                    if let Some(seed) = self.faults.corrupts_update(client) {
+                        corrupt_update(sparse.values_mut(), seed);
+                        if self.recorder.enabled() {
+                            self.recorder.counter_add(names::FL_CORRUPTIONS, 1);
+                            self.recorder.event(
+                                EventRecord::new(names::EVENT_CORRUPTION, done.seconds())
+                                    .client(client),
+                            );
+                        }
+                    }
                     self.in_flight[client] = Some(sparse);
-                    match self
-                        .network
-                        .uplink_transfer(client, payload, done)
-                        .arrival()
-                    {
+                    let (arrival, retry_at) = match &mut self.transport {
+                        Some(t) => {
+                            let report = t.uplink(&mut self.network, client, payload, done);
+                            if report.delivered() {
+                                self.ledger.record_uplink(client, payload);
+                                if report.wasted_bytes > 0 {
+                                    self.ledger.record_retransmission(
+                                        client,
+                                        report.wasted_bytes as usize,
+                                    );
+                                }
+                                self.ledger
+                                    .record_control(client, report.control_bytes as usize);
+                            } else {
+                                self.ledger
+                                    .record_retransmission(client, report.payload_bytes as usize);
+                            }
+                            (report.arrival, report.sender_done)
+                        }
+                        None => {
+                            let up = self.network.uplink_transfer(client, payload, done);
+                            if up.arrival().is_some() {
+                                self.ledger.record_uplink(client, payload);
+                            }
+                            (up.arrival(), done + SimTime::from_seconds(1.0))
+                        }
+                    };
+                    match arrival {
                         Some(arrival) => {
-                            self.ledger.record_uplink(client, payload);
                             queue.push(arrival, Event::UpdateArrival { client, version });
                         }
                         None => {
                             self.in_flight[client] = None;
-                            queue.push(done + SimTime::from_seconds(1.0), Event::Resync { client });
+                            queue.push(retry_at, Event::Resync { client });
                         }
                     }
                 }
@@ -307,16 +368,46 @@ impl AdaFlAsyncEngine {
                                 .field("staleness", staleness),
                         );
                     }
-                    let sparse = self.in_flight[client]
+                    let mut sparse = self.in_flight[client]
                         .take()
                         .expect("arrival without an in-flight update");
-                    let alpha = self.ada.async_alpha
-                        * (1.0 + staleness as f32).powf(-self.ada.async_staleness_exponent);
-                    let mut dense = vec![0.0f32; self.global.len()];
-                    sparse.add_into(&mut dense, alpha);
-                    vecops::axpy(&mut self.global, 1.0, &dense);
-                    self.global_gradient = dense;
-                    self.version += 1;
+                    // Defensive gate: scrub and norm-screen the arriving
+                    // update; a rejected update never touches the global
+                    // model (the arrival still counts toward the budget, so
+                    // a poisoned fleet cannot livelock the run).
+                    let mut rejection: Option<&'static str> = None;
+                    if let Some(gate) = self.defense.as_mut() {
+                        match gate.sanitize(sparse.values_mut()) {
+                            Ok(s) => {
+                                if s.scrubbed > 0 && self.recorder.enabled() {
+                                    self.recorder
+                                        .counter_add(names::FL_DEFENSE_SCRUBBED, s.scrubbed as u64);
+                                }
+                                if !gate.admit(s.norm) {
+                                    rejection = Some("norm_outlier");
+                                }
+                            }
+                            Err(reason) => rejection = Some(reason.label()),
+                        }
+                    }
+                    if let Some(reason) = rejection {
+                        if self.recorder.enabled() {
+                            self.recorder.counter_add(names::FL_DEFENSE_REJECTIONS, 1);
+                            self.recorder.event(
+                                EventRecord::new(names::EVENT_DEFENSE_REJECT, now.seconds())
+                                    .client(client)
+                                    .field("reason", reason),
+                            );
+                        }
+                    } else {
+                        let alpha = self.ada.async_alpha
+                            * (1.0 + staleness as f32).powf(-self.ada.async_staleness_exponent);
+                        let mut dense = vec![0.0f32; self.global.len()];
+                        sparse.add_into(&mut dense, alpha);
+                        vecops::axpy(&mut self.global, 1.0, &dense);
+                        self.global_gradient = dense;
+                        self.version += 1;
+                    }
 
                     if arrivals.is_multiple_of(self.eval_every) || arrivals == self.update_budget {
                         self.global_model.set_params_flat(&self.global);
@@ -351,18 +442,34 @@ impl AdaFlAsyncEngine {
         let digest = top_k(&self.global_gradient, digest_k);
         let payload = dense_wire_size(self.global.len()) + digest.wire_size();
         self.snapshots[client].copy_from_slice(&self.global);
-        match self
-            .network
-            .downlink_transfer(client, payload, now)
-            .arrival()
-        {
-            Some(arrival) => {
-                self.ledger.record_downlink(client, payload);
-                queue.push(arrival, Event::StartTraining { client });
+        let (arrival, retry_at) = match &mut self.transport {
+            Some(t) => {
+                let report = t.downlink(&mut self.network, client, payload, now);
+                if report.delivered() {
+                    self.ledger.record_downlink(client, payload);
+                    if report.wasted_bytes > 0 {
+                        self.ledger
+                            .record_retransmission(client, report.wasted_bytes as usize);
+                    }
+                    self.ledger
+                        .record_control(client, report.control_bytes as usize);
+                } else {
+                    self.ledger
+                        .record_retransmission(client, report.payload_bytes as usize);
+                }
+                (report.arrival, report.sender_done)
             }
             None => {
-                queue.push(now + SimTime::from_seconds(1.0), Event::Resync { client });
+                let down = self.network.downlink_transfer(client, payload, now);
+                if down.arrival().is_some() {
+                    self.ledger.record_downlink(client, payload);
+                }
+                (down.arrival(), now + SimTime::from_seconds(1.0))
             }
+        };
+        match arrival {
+            Some(arrival) => queue.push(arrival, Event::StartTraining { client }),
+            None => queue.push(retry_at, Event::Resync { client }),
         }
     }
 }

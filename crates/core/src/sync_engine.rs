@@ -22,11 +22,15 @@ use crate::utility::{utility_score, UtilityInputs};
 use adafl_compression::{dense_wire_size, top_k, DgcCompressor};
 use adafl_data::partition::Partitioner;
 use adafl_data::Dataset;
+use adafl_fl::checkpoint::Checkpoint;
 use adafl_fl::client::evaluate_model;
 use adafl_fl::compute::ComputeModel;
-use adafl_fl::faults::FaultPlan;
+use adafl_fl::defense::{DefenseConfig, DefenseGate};
+use adafl_fl::faults::{corrupt_update, FaultKind, FaultPlan};
 use adafl_fl::{CommunicationLedger, FlClient, FlConfig, RoundRecord, RunHistory};
-use adafl_netsim::{ClientNetwork, LinkProfile, LinkTrace, SimTime};
+use adafl_netsim::{
+    ClientNetwork, LinkProfile, LinkTrace, ReliablePolicy, ReliableTransfer, SimTime,
+};
 use adafl_telemetry::{names, EventRecord, SharedRecorder, SpanRecord};
 use adafl_tensor::vecops;
 
@@ -56,6 +60,9 @@ pub struct AdaFlSyncEngine {
     ledger: CommunicationLedger,
     clock: SimTime,
     recorder: SharedRecorder,
+    transport: Option<ReliableTransfer>,
+    defense: Option<DefenseGate>,
+    crash_checkpoints: Vec<Option<Checkpoint>>,
 }
 
 impl AdaFlSyncEngine {
@@ -130,10 +137,13 @@ impl AdaFlSyncEngine {
             network,
             compute,
             faults,
+            crash_checkpoints: vec![None; fl.clients],
             fl,
             ada,
             clock: SimTime::ZERO,
             recorder: adafl_telemetry::noop(),
+            transport: None,
+            defense: None,
         }
     }
 
@@ -142,7 +152,27 @@ impl AdaFlSyncEngine {
     /// clock behaviour are identical with or without it.
     pub fn set_recorder(&mut self, recorder: SharedRecorder) {
         self.network.set_recorder(recorder.clone());
+        if let Some(t) = &mut self.transport {
+            t.set_recorder(recorder.clone());
+        }
         self.recorder = recorder;
+    }
+
+    /// Enables reliable transport for model downloads and sparse-update
+    /// uploads; the ledger additionally charges retransmitted payload bytes
+    /// and ACK control frames. Off by default.
+    pub fn set_retry_policy(&mut self, policy: ReliablePolicy) {
+        let mut t = ReliableTransfer::new(policy, self.fl.seed_for("transport"));
+        t.set_recorder(self.recorder.clone());
+        self.transport = Some(t);
+    }
+
+    /// Enables the defensive aggregation gate over the sparse updates:
+    /// transmitted values are scrubbed and norm-screened, and rounds below
+    /// the configured quorum are skipped with state carried forward. Off by
+    /// default.
+    pub fn set_defense(&mut self, cfg: DefenseConfig) {
+        self.defense = Some(DefenseGate::new(cfg));
     }
 
     /// The communication ledger (cumulative).
@@ -182,12 +212,16 @@ impl AdaFlSyncEngine {
 
     /// Runs one round; returns how many updates reached the server.
     pub fn run_round(&mut self, round: usize) -> usize {
-        let selected = if self.controller.in_warmup(round) {
+        self.handle_crashes(round);
+        let selected: Vec<usize> = if self.controller.in_warmup(round) {
             // Warm-up: equal participation from all clients.
             (0..self.fl.clients).collect::<Vec<_>>()
         } else {
             self.select(round)
-        };
+        }
+        .into_iter()
+        .filter(|&c| !self.faults.crashed(c, round))
+        .collect();
 
         let dense_payload = dense_wire_size(self.global.len());
         let mut updates: Vec<(usize, adafl_compression::SparseUpdate, f32)> = Vec::new();
@@ -199,9 +233,29 @@ impl AdaFlSyncEngine {
         // Phase 1 — full model download for selected clients only.
         let mut ready: Vec<(usize, usize, SimTime)> = Vec::with_capacity(selected.len());
         for (rank, &c) in selected.iter().enumerate() {
-            let down = self.network.downlink_transfer(c, dense_payload, self.clock);
-            self.ledger.record_downlink(c, dense_payload);
-            if let Some(t) = down.arrival() {
+            let arrival = match &mut self.transport {
+                Some(t) => {
+                    let report = t.downlink(&mut self.network, c, dense_payload, self.clock);
+                    if report.delivered() {
+                        self.ledger.record_downlink(c, dense_payload);
+                        if report.wasted_bytes > 0 {
+                            self.ledger
+                                .record_retransmission(c, report.wasted_bytes as usize);
+                        }
+                        self.ledger.record_control(c, report.control_bytes as usize);
+                    } else {
+                        self.ledger
+                            .record_retransmission(c, report.payload_bytes as usize);
+                    }
+                    report.arrival
+                }
+                None => {
+                    let down = self.network.downlink_transfer(c, dense_payload, self.clock);
+                    self.ledger.record_downlink(c, dense_payload);
+                    down.arrival()
+                }
+            };
+            if let Some(t) = arrival {
                 ready.push((rank, c, t));
             }
         }
@@ -253,7 +307,7 @@ impl AdaFlSyncEngine {
                 rank,
                 selected.len(),
             );
-            let sparse = self.compressors[c].compress(&outcome.delta, ratio);
+            let mut sparse = self.compressors[c].compress(&outcome.delta, ratio);
             let payload = sparse.wire_size();
             if tracing {
                 self.recorder
@@ -277,13 +331,46 @@ impl AdaFlSyncEngine {
                 }
                 continue;
             }
-            match self
-                .network
-                .uplink_transfer(c, payload, train_done)
-                .arrival()
-            {
+            // Corruption faults hit the serialized sparse payload in
+            // transit; it still arrives and the defensive gate must catch
+            // it.
+            if let Some(seed) = self.faults.corrupts_update(c) {
+                corrupt_update(sparse.values_mut(), seed);
+                if tracing {
+                    self.recorder.counter_add(names::FL_CORRUPTIONS, 1);
+                    self.recorder.event(
+                        EventRecord::new(names::EVENT_CORRUPTION, train_done.seconds())
+                            .round(round)
+                            .client(c),
+                    );
+                }
+            }
+            let uplink_arrival = match &mut self.transport {
+                Some(t) => {
+                    let report = t.uplink(&mut self.network, c, payload, train_done);
+                    if report.delivered() {
+                        self.ledger.record_uplink(c, payload);
+                        if report.wasted_bytes > 0 {
+                            self.ledger
+                                .record_retransmission(c, report.wasted_bytes as usize);
+                        }
+                        self.ledger.record_control(c, report.control_bytes as usize);
+                    } else {
+                        self.ledger
+                            .record_retransmission(c, report.payload_bytes as usize);
+                    }
+                    report.arrival
+                }
+                None => {
+                    let up = self.network.uplink_transfer(c, payload, train_done);
+                    if up.arrival().is_some() {
+                        self.ledger.record_uplink(c, payload);
+                    }
+                    up.arrival()
+                }
+            };
+            match uplink_arrival {
                 Some(arrival) => {
-                    self.ledger.record_uplink(c, payload);
                     round_time = round_time.max(arrival - self.clock);
                     updates.push((c, sparse, outcome.num_samples as f32));
                 }
@@ -298,6 +385,7 @@ impl AdaFlSyncEngine {
             self.clock += round_time;
         }
 
+        let updates = self.screen_updates(round, updates, selected.len());
         if !updates.is_empty() {
             let total_weight: f32 = updates.iter().map(|(_, _, w)| w).sum();
             let mut mean = vec![0.0f32; self.global.len()];
@@ -321,6 +409,118 @@ impl AdaFlSyncEngine {
             );
         }
         updates.len()
+    }
+
+    /// Crash-fault bookkeeping at the top of a round: snapshot a client's
+    /// state into a [`Checkpoint`] the round its outage begins, restore it
+    /// from the decoded checkpoint the round it comes back.
+    fn handle_crashes(&mut self, round: usize) {
+        let tracing = self.recorder.enabled();
+        for c in 0..self.fl.clients {
+            let FaultKind::Crash { at_round, .. } = self.faults.kind(c) else {
+                continue;
+            };
+            if round == at_round {
+                let snapshot = Checkpoint::new(round as u64, self.clients[c].model().params_flat());
+                self.crash_checkpoints[c] = Some(snapshot);
+                if tracing {
+                    self.recorder.counter_add(names::FL_CRASHES, 1);
+                    self.recorder.event(
+                        EventRecord::new(names::EVENT_CRASH, self.clock.seconds())
+                            .round(round)
+                            .client(c),
+                    );
+                }
+            } else if self.faults.recovers_at(c, round) {
+                if let Some(ckpt) = self.crash_checkpoints[c].take() {
+                    let restored =
+                        Checkpoint::decode(&ckpt.encode()).expect("checkpoint round-trips");
+                    self.clients[c].sync_to_global(&restored.params);
+                    if tracing {
+                        self.recorder.counter_add(names::FL_RECOVERIES, 1);
+                        self.recorder.event(
+                            EventRecord::new(names::EVENT_RECOVERY, self.clock.seconds())
+                                .round(round)
+                                .client(c)
+                                .field("checkpoint_round", restored.round as usize),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Defensive aggregation gate over the round's sparse updates: scrubs
+    /// non-finite transmitted values, norm-screens against the running
+    /// median, and enforces the quorum. Identity when no defense is set.
+    fn screen_updates(
+        &mut self,
+        round: usize,
+        mut updates: Vec<(usize, adafl_compression::SparseUpdate, f32)>,
+        expected: usize,
+    ) -> Vec<(usize, adafl_compression::SparseUpdate, f32)> {
+        let Some(gate) = self.defense.as_mut() else {
+            return updates;
+        };
+        let tracing = self.recorder.enabled();
+        let now = self.clock.seconds();
+        let mut kept: Vec<(usize, adafl_compression::SparseUpdate, f32)> =
+            Vec::with_capacity(updates.len());
+        let mut norms: Vec<f64> = Vec::with_capacity(updates.len());
+        for (c, mut sparse, w) in updates.drain(..) {
+            // The screens run over the transmitted values; the L2 norm of a
+            // sparse update equals the norm of its dense form.
+            match gate.sanitize(sparse.values_mut()) {
+                Ok(s) => {
+                    if tracing && s.scrubbed > 0 {
+                        self.recorder
+                            .counter_add(names::FL_DEFENSE_SCRUBBED, s.scrubbed as u64);
+                    }
+                    norms.push(s.norm);
+                    kept.push((c, sparse, w));
+                }
+                Err(reason) => {
+                    if tracing {
+                        self.recorder.counter_add(names::FL_DEFENSE_REJECTIONS, 1);
+                        self.recorder.event(
+                            EventRecord::new(names::EVENT_DEFENSE_REJECT, now)
+                                .round(round)
+                                .client(c)
+                                .field("reason", reason.label()),
+                        );
+                    }
+                }
+            }
+        }
+        let verdicts = gate.admit_batch(&norms);
+        let mut out: Vec<(usize, adafl_compression::SparseUpdate, f32)> =
+            Vec::with_capacity(kept.len());
+        for ((c, sparse, w), ok) in kept.into_iter().zip(verdicts) {
+            if ok {
+                out.push((c, sparse, w));
+            } else if tracing {
+                self.recorder.counter_add(names::FL_DEFENSE_REJECTIONS, 1);
+                self.recorder.event(
+                    EventRecord::new(names::EVENT_DEFENSE_REJECT, now)
+                        .round(round)
+                        .client(c)
+                        .field("reason", "norm_outlier"),
+                );
+            }
+        }
+        if !gate.quorum_met(out.len(), expected) {
+            if tracing {
+                self.recorder.counter_add(names::FL_QUORUM_SKIPS, 1);
+                self.recorder.event(
+                    EventRecord::new(names::EVENT_QUORUM_SKIP, now)
+                        .round(round)
+                        .field("accepted", out.len())
+                        .field("expected", expected),
+                );
+            }
+            return Vec::new();
+        }
+        out
     }
 
     /// Runs the control plane (digest broadcast + score reports) and

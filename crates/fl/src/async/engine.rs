@@ -10,13 +10,16 @@
 use crate::client::{evaluate_model, FlClient};
 use crate::compute::ComputeModel;
 use crate::config::FlConfig;
-use crate::faults::FaultPlan;
+use crate::defense::{DefenseConfig, DefenseGate};
+use crate::faults::{corrupt_update, FaultPlan};
 use crate::history::{RoundRecord, RunHistory};
 use crate::ledger::CommunicationLedger;
 use adafl_compression::dense_wire_size;
 use adafl_data::partition::Partitioner;
 use adafl_data::Dataset;
-use adafl_netsim::{ClientNetwork, EventQueue, LinkProfile, LinkTrace, SimTime};
+use adafl_netsim::{
+    ClientNetwork, EventQueue, LinkProfile, LinkTrace, ReliablePolicy, ReliableTransfer, SimTime,
+};
 use adafl_telemetry::{names, EventRecord, SharedRecorder, SpanRecord};
 
 /// Server-side behaviour of an asynchronous FL strategy.
@@ -70,10 +73,13 @@ pub struct AsyncEngine {
     strategy: Box<dyn AsyncStrategy>,
     network: ClientNetwork,
     compute: ComputeModel,
+    faults: FaultPlan,
     ledger: CommunicationLedger,
     update_budget: u64,
     eval_every: u64,
     recorder: SharedRecorder,
+    transport: Option<ReliableTransfer>,
+    defense: Option<DefenseGate>,
 }
 
 impl AsyncEngine {
@@ -164,10 +170,13 @@ impl AsyncEngine {
             strategy,
             network,
             compute,
+            faults,
             config,
             update_budget,
             eval_every: 5,
             recorder: adafl_telemetry::noop(),
+            transport: None,
+            defense: None,
         }
     }
 
@@ -176,7 +185,27 @@ impl AsyncEngine {
     /// state are untouched, so traced and untraced runs are identical.
     pub fn set_recorder(&mut self, recorder: SharedRecorder) {
         self.network.set_recorder(recorder.clone());
+        if let Some(t) = &mut self.transport {
+            t.set_recorder(recorder.clone());
+        }
         self.recorder = recorder;
+    }
+
+    /// Enables reliable transport for every model exchange; a transfer that
+    /// still fails after all attempts falls back to the resync path. Off by
+    /// default.
+    pub fn set_retry_policy(&mut self, policy: ReliablePolicy) {
+        let mut t = ReliableTransfer::new(policy, self.config.seed_for("transport"));
+        t.set_recorder(self.recorder.clone());
+        self.transport = Some(t);
+    }
+
+    /// Enables the defensive aggregation gate: each arriving update is
+    /// scrubbed and norm-screened before it reaches the strategy; rejected
+    /// updates are discarded (the client is resynced as usual). Off by
+    /// default.
+    pub fn set_defense(&mut self, cfg: DefenseConfig) {
+        self.defense = Some(DefenseGate::new(cfg));
     }
 
     /// Sets how many server updates elapse between test-set evaluations
@@ -233,9 +262,8 @@ impl AsyncEngine {
                 Event::StartTraining { client } => {
                     client_versions[client] = self.version;
                     let snapshot = self.snapshots[client].clone();
-                    let outcome =
+                    let mut outcome =
                         self.clients[client].train_local(&snapshot, self.config.local_steps, None);
-                    self.in_flight[client] = Some(outcome.delta);
                     let train_time = self.compute.training_time(client, self.config.local_steps);
                     let done = now + train_time;
                     if self.recorder.enabled() {
@@ -249,13 +277,49 @@ impl AsyncEngine {
                             .field("steps", self.config.local_steps),
                         );
                     }
-                    match self
-                        .network
-                        .uplink_transfer(client, payload, done)
-                        .arrival()
-                    {
+                    // Corruption faults hit the serialized update in
+                    // transit; it still arrives and the defensive gate must
+                    // catch it.
+                    if let Some(seed) = self.faults.corrupts_update(client) {
+                        corrupt_update(&mut outcome.delta, seed);
+                        if self.recorder.enabled() {
+                            self.recorder.counter_add(names::FL_CORRUPTIONS, 1);
+                            self.recorder.event(
+                                EventRecord::new(names::EVENT_CORRUPTION, done.seconds())
+                                    .client(client),
+                            );
+                        }
+                    }
+                    self.in_flight[client] = Some(outcome.delta);
+                    let (arrival, retry_at) = match &mut self.transport {
+                        Some(t) => {
+                            let report = t.uplink(&mut self.network, client, payload, done);
+                            if report.delivered() {
+                                self.ledger.record_uplink(client, payload);
+                                if report.wasted_bytes > 0 {
+                                    self.ledger.record_retransmission(
+                                        client,
+                                        report.wasted_bytes as usize,
+                                    );
+                                }
+                                self.ledger
+                                    .record_control(client, report.control_bytes as usize);
+                            } else {
+                                self.ledger
+                                    .record_retransmission(client, report.payload_bytes as usize);
+                            }
+                            (report.arrival, report.sender_done)
+                        }
+                        None => {
+                            let up = self.network.uplink_transfer(client, payload, done);
+                            if up.arrival().is_some() {
+                                self.ledger.record_uplink(client, payload);
+                            }
+                            (up.arrival(), done + SimTime::from_seconds(1.0))
+                        }
+                    };
+                    match arrival {
                         Some(arrival) => {
-                            self.ledger.record_uplink(client, payload);
                             queue.push(
                                 arrival,
                                 Event::UpdateArrival {
@@ -265,9 +329,10 @@ impl AsyncEngine {
                             );
                         }
                         None => {
-                            // Update lost in transit: resync after a timeout.
+                            // Update lost in transit: resync once the sender
+                            // learns of the loss.
                             self.in_flight[client] = None;
-                            queue.push(done + SimTime::from_seconds(1.0), Event::Resync { client });
+                            queue.push(retry_at, Event::Resync { client });
                         }
                     }
                 }
@@ -284,21 +349,51 @@ impl AsyncEngine {
                                 .field("staleness", staleness),
                         );
                     }
-                    let delta = self.in_flight[client]
+                    let mut delta = self.in_flight[client]
                         .take()
                         .expect("arrival without an in-flight update");
-                    let weight = self.clients[client].num_samples() as f32;
-                    let snapshot = std::mem::take(&mut self.snapshots[client]);
-                    let changed = self.strategy.on_update(
-                        &mut self.global,
-                        &delta,
-                        &snapshot,
-                        weight,
-                        staleness,
-                    );
-                    self.snapshots[client] = snapshot;
-                    if changed {
-                        self.version += 1;
+                    // Defensive gate: scrub and norm-screen the arriving
+                    // update; a rejected update never reaches the strategy
+                    // (the arrival still counts toward the budget, so a
+                    // poisoned fleet cannot livelock the run).
+                    let mut rejection: Option<&'static str> = None;
+                    if let Some(gate) = self.defense.as_mut() {
+                        match gate.sanitize(&mut delta) {
+                            Ok(s) => {
+                                if s.scrubbed > 0 && self.recorder.enabled() {
+                                    self.recorder
+                                        .counter_add(names::FL_DEFENSE_SCRUBBED, s.scrubbed as u64);
+                                }
+                                if !gate.admit(s.norm) {
+                                    rejection = Some("norm_outlier");
+                                }
+                            }
+                            Err(reason) => rejection = Some(reason.label()),
+                        }
+                    }
+                    if let Some(reason) = rejection {
+                        if self.recorder.enabled() {
+                            self.recorder.counter_add(names::FL_DEFENSE_REJECTIONS, 1);
+                            self.recorder.event(
+                                EventRecord::new(names::EVENT_DEFENSE_REJECT, now.seconds())
+                                    .client(client)
+                                    .field("reason", reason),
+                            );
+                        }
+                    } else {
+                        let weight = self.clients[client].num_samples() as f32;
+                        let snapshot = std::mem::take(&mut self.snapshots[client]);
+                        let changed = self.strategy.on_update(
+                            &mut self.global,
+                            &delta,
+                            &snapshot,
+                            weight,
+                            staleness,
+                        );
+                        self.snapshots[client] = snapshot;
+                        if changed {
+                            self.version += 1;
+                        }
                     }
                     if arrivals.is_multiple_of(self.eval_every) || arrivals == self.update_budget {
                         let (accuracy, loss) = self.evaluate();
@@ -333,18 +428,34 @@ impl AsyncEngine {
         now: SimTime,
     ) {
         self.snapshots[client].copy_from_slice(&self.global);
-        match self
-            .network
-            .downlink_transfer(client, payload, now)
-            .arrival()
-        {
-            Some(arrival) => {
-                self.ledger.record_downlink(client, payload);
-                queue.push(arrival, Event::StartTraining { client });
+        let (arrival, retry_at) = match &mut self.transport {
+            Some(t) => {
+                let report = t.downlink(&mut self.network, client, payload, now);
+                if report.delivered() {
+                    self.ledger.record_downlink(client, payload);
+                    if report.wasted_bytes > 0 {
+                        self.ledger
+                            .record_retransmission(client, report.wasted_bytes as usize);
+                    }
+                    self.ledger
+                        .record_control(client, report.control_bytes as usize);
+                } else {
+                    self.ledger
+                        .record_retransmission(client, report.payload_bytes as usize);
+                }
+                (report.arrival, report.sender_done)
             }
             None => {
-                queue.push(now + SimTime::from_seconds(1.0), Event::Resync { client });
+                let down = self.network.downlink_transfer(client, payload, now);
+                if down.arrival().is_some() {
+                    self.ledger.record_downlink(client, payload);
+                }
+                (down.arrival(), now + SimTime::from_seconds(1.0))
             }
+        };
+        match arrival {
+            Some(arrival) => queue.push(arrival, Event::StartTraining { client }),
+            None => queue.push(retry_at, Event::Resync { client }),
         }
     }
 

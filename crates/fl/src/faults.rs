@@ -9,6 +9,14 @@
 //!   some probability.
 //! * **Stale** — an asynchronous client training `factor×` slower, so its
 //!   contributions are based on outdated global models.
+//!
+//! Two further kinds extend the study to compounded chaos sweeps:
+//!
+//! * **Crash** — the client disappears for a window of rounds and later
+//!   recovers its state from a [`Checkpoint`](crate::Checkpoint).
+//! * **Corruption** — the serialized update is corrupted in transit
+//!   (seeded NaN/Inf injection and magnitude blow-ups), the adversary the
+//!   server's defensive aggregation gate must survive.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -36,6 +44,44 @@ pub enum FaultKind {
         /// Slowdown factor (> 1).
         factor: f64,
     },
+    /// Client crashes at `at_round`, is unreachable for `down_for` rounds,
+    /// then recovers its state from a checkpoint and resumes.
+    Crash {
+        /// Round at which the outage begins.
+        at_round: usize,
+        /// Outage length in rounds (≥ 1).
+        down_for: usize,
+    },
+    /// Each update is corrupted in transit with probability `prob`
+    /// (non-finite values and magnitude blow-ups injected into the
+    /// serialized payload). The update still *arrives* — surviving it is
+    /// the defensive aggregation gate's job.
+    Corruption {
+        /// Corruption probability in `[0, 1]`.
+        prob: f64,
+    },
+}
+
+/// Corrupts `delta` in place using a seeded pattern: roughly 1% of
+/// coordinates (at least 3, when the vector is non-empty) are overwritten
+/// with NaN, ±Inf, or ±1e30 blow-ups — the payloads a bit-flipped or
+/// truncated wire transfer produces in practice.
+pub fn corrupt_update(delta: &mut [f32], seed: u64) {
+    if delta.is_empty() {
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0_44);
+    let hits = (delta.len() / 100).max(3).min(delta.len());
+    for _ in 0..hits {
+        let idx = rng.gen_range(0..delta.len());
+        delta[idx] = match rng.gen_range(0..5usize) {
+            0 => f32::NAN,
+            1 => f32::INFINITY,
+            2 => f32::NEG_INFINITY,
+            3 => 1e30,
+            _ => -1e30,
+        };
+    }
 }
 
 /// A per-client fault assignment with seeded stochastic evaluation.
@@ -85,6 +131,15 @@ impl FaultPlan {
                 }
                 FaultKind::Stale { factor } => {
                     assert!(factor > 1.0, "staleness factor must exceed 1")
+                }
+                FaultKind::Crash { down_for, .. } => {
+                    assert!(down_for >= 1, "crash outage must last at least 1 round")
+                }
+                FaultKind::Corruption { prob } => {
+                    assert!(
+                        (0.0..=1.0).contains(&prob),
+                        "corruption probability must be in [0,1]"
+                    )
                 }
             }
         }
@@ -152,9 +207,59 @@ impl FaultPlan {
     /// Panics when `client` is out of bounds.
     pub fn update_delivered(&mut self, client: usize, round: usize) -> bool {
         match self.kinds[client] {
-            FaultKind::Reliable | FaultKind::Stale { .. } => true,
+            FaultKind::Reliable | FaultKind::Stale { .. } | FaultKind::Corruption { .. } => true,
             FaultKind::Dropout { period } => round % period == period - 1,
             FaultKind::DataLoss { prob } => self.rng.gen::<f64>() >= prob,
+            FaultKind::Crash { .. } => !self.crashed(client, round),
+        }
+    }
+
+    /// Whether `client` is inside its crash outage window during `round`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `client` is out of bounds.
+    pub fn crashed(&self, client: usize, round: usize) -> bool {
+        match self.kinds[client] {
+            FaultKind::Crash { at_round, down_for } => {
+                round >= at_round && round < at_round + down_for
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether `round` is the exact round in which `client` comes back
+    /// from its crash outage (the engine restores it from a checkpoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `client` is out of bounds.
+    pub fn recovers_at(&self, client: usize, round: usize) -> bool {
+        match self.kinds[client] {
+            FaultKind::Crash { at_round, down_for } => round == at_round + down_for,
+            _ => false,
+        }
+    }
+
+    /// For a [`FaultKind::Corruption`] client, decides whether this round's
+    /// update is corrupted; returns a fresh seed for
+    /// [`corrupt_update`] when it is. Draws from the plan RNG **only** for
+    /// corruption clients, so adding one to a fleet never perturbs the
+    /// loss sequences of other fault kinds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `client` is out of bounds.
+    pub fn corrupts_update(&mut self, client: usize) -> Option<u64> {
+        match self.kinds[client] {
+            FaultKind::Corruption { prob } => {
+                if self.rng.gen::<f64>() < prob {
+                    Some(self.rng.gen::<u64>())
+                } else {
+                    None
+                }
+            }
+            _ => None,
         }
     }
 
@@ -216,6 +321,117 @@ mod tests {
         assert_eq!(plan.kind(4), FaultKind::Reliable);
         let none = FaultPlan::with_fraction(10, 0.0, FaultKind::Dropout { period: 2 }, 0);
         assert!(none.affected_clients().is_empty());
+    }
+
+    #[test]
+    fn fraction_boundaries_are_accepted() {
+        // Satellite: both inclusive boundaries of [0, 1] must be valid.
+        let none = FaultPlan::with_fraction(5, 0.0, FaultKind::DataLoss { prob: 0.5 }, 0);
+        assert!(none.affected_clients().is_empty());
+        let all = FaultPlan::with_fraction(5, 1.0, FaultKind::DataLoss { prob: 0.5 }, 0);
+        assert_eq!(all.affected_clients().len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in [0, 1]")]
+    fn fraction_above_one_panics() {
+        FaultPlan::with_fraction(5, 1.0001, FaultKind::Dropout { period: 2 }, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in [0, 1]")]
+    fn negative_fraction_panics() {
+        FaultPlan::with_fraction(5, -0.0001, FaultKind::Dropout { period: 2 }, 0);
+    }
+
+    #[test]
+    fn crash_window_blocks_delivery_then_recovers() {
+        let kind = FaultKind::Crash {
+            at_round: 3,
+            down_for: 2,
+        };
+        let mut plan = FaultPlan::new(vec![kind, FaultKind::Reliable], 0);
+        let delivered: Vec<bool> = (0..8).map(|r| plan.update_delivered(0, r)).collect();
+        assert_eq!(
+            delivered,
+            vec![true, true, true, false, false, true, true, true]
+        );
+        assert!(plan.crashed(0, 3) && plan.crashed(0, 4));
+        assert!(!plan.crashed(0, 2) && !plan.crashed(0, 5));
+        assert!(plan.recovers_at(0, 5));
+        assert!(!plan.recovers_at(0, 4) && !plan.recovers_at(0, 6));
+        assert!(!plan.crashed(1, 3) && !plan.recovers_at(1, 5));
+    }
+
+    #[test]
+    fn corruption_rate_matches_probability_and_delivers() {
+        let mut plan = FaultPlan::new(vec![FaultKind::Corruption { prob: 0.3 }], 5);
+        assert!((0..10).all(|r| plan.update_delivered(0, r)));
+        let corrupted = (0..4000)
+            .filter(|_| plan.corrupts_update(0).is_some())
+            .count();
+        let rate = corrupted as f64 / 4000.0;
+        assert!((rate - 0.3).abs() < 0.03, "corruption rate {rate}");
+    }
+
+    #[test]
+    fn corruption_clients_do_not_perturb_other_rng_streams() {
+        // A DataLoss client's delivery sequence must be identical whether or
+        // not a Corruption client shares the plan and gets queried.
+        let run = |with_corruption: bool| {
+            let kinds = if with_corruption {
+                vec![
+                    FaultKind::DataLoss { prob: 0.4 },
+                    FaultKind::Corruption { prob: 0.5 },
+                ]
+            } else {
+                vec![FaultKind::DataLoss { prob: 0.4 }, FaultKind::Reliable]
+            };
+            let mut plan = FaultPlan::new(kinds, 13);
+            (0..200)
+                .map(|r| plan.update_delivered(0, r))
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn corrupt_update_injects_nonfinite_or_blowup() {
+        let mut delta = vec![0.01f32; 500];
+        corrupt_update(&mut delta, 7);
+        let bad = delta
+            .iter()
+            .filter(|v| !v.is_finite() || v.abs() > 1e20)
+            .count();
+        assert!(bad >= 3, "only {bad} corrupted coordinates");
+        // Deterministic per seed.
+        let mut again = vec![0.01f32; 500];
+        corrupt_update(&mut again, 7);
+        let same = delta
+            .iter()
+            .zip(&again)
+            .all(|(a, b)| (a.is_nan() && b.is_nan()) || a == b);
+        assert!(same, "corruption not deterministic");
+        // Empty vectors are a no-op.
+        corrupt_update(&mut [], 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "outage must last")]
+    fn zero_length_crash_panics() {
+        FaultPlan::new(
+            vec![FaultKind::Crash {
+                at_round: 0,
+                down_for: 0,
+            }],
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "corruption probability")]
+    fn invalid_corruption_prob_panics() {
+        FaultPlan::new(vec![FaultKind::Corruption { prob: 1.5 }], 0);
     }
 
     #[test]

@@ -24,6 +24,8 @@ pub struct CommunicationLedger {
     down_updates: Vec<u64>,
     control_bytes: Vec<u64>,
     control_messages: Vec<u64>,
+    retrans_bytes: Vec<u64>,
+    retransmissions: Vec<u64>,
 }
 
 impl CommunicationLedger {
@@ -36,6 +38,8 @@ impl CommunicationLedger {
             down_updates: vec![0; clients],
             control_bytes: vec![0; clients],
             control_messages: vec![0; clients],
+            retrans_bytes: vec![0; clients],
+            retransmissions: vec![0; clients],
         }
     }
 
@@ -77,6 +81,30 @@ impl CommunicationLedger {
         self.control_messages[client] += 1;
     }
 
+    /// Records payload bytes wasted on lost attempts by the reliable
+    /// transport (retransmissions, or every attempt of a failed transfer).
+    /// These count toward byte totals but never toward update counts — the
+    /// payload either already has its `record_uplink`/`record_downlink`
+    /// entry or never arrived.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `client` is out of bounds.
+    pub fn record_retransmission(&mut self, client: usize, bytes: usize) {
+        self.retrans_bytes[client] += bytes as u64;
+        self.retransmissions[client] += 1;
+    }
+
+    /// Total payload bytes wasted on lost attempts across clients.
+    pub fn retransmission_bytes(&self) -> u64 {
+        self.retrans_bytes.iter().sum()
+    }
+
+    /// Total retransmission entries across clients.
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions.iter().sum()
+    }
+
     /// Total control-plane bytes across clients.
     pub fn control_bytes(&self) -> u64 {
         self.control_bytes.iter().sum()
@@ -92,10 +120,10 @@ impl CommunicationLedger {
         self.up_bytes.iter().sum()
     }
 
-    /// Total bytes in both directions plus control traffic — the full
-    /// communication bill.
+    /// Total bytes in both directions plus control traffic and
+    /// retransmission waste — the full communication bill.
     pub fn total_bytes_with_control(&self) -> u64 {
-        self.total_bytes() + self.control_bytes()
+        self.total_bytes() + self.control_bytes() + self.retransmission_bytes()
     }
 
     /// Total downlink bytes across clients.
@@ -181,6 +209,19 @@ mod tests {
     #[should_panic]
     fn out_of_bounds_client_panics() {
         CommunicationLedger::new(1).record_uplink(1, 10);
+    }
+
+    #[test]
+    fn retransmissions_count_bytes_but_not_updates() {
+        let mut l = CommunicationLedger::new(2);
+        l.record_uplink(0, 1000);
+        l.record_retransmission(0, 2000); // two lost attempts' worth
+        l.record_control(0, 16); // the ACK
+        assert_eq!(l.uplink_updates(), 1);
+        assert_eq!(l.retransmissions(), 1);
+        assert_eq!(l.retransmission_bytes(), 2000);
+        assert_eq!(l.total_bytes(), 1000);
+        assert_eq!(l.total_bytes_with_control(), 3016);
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod checkpoint;
 pub mod client;
 pub mod compute;
 pub mod config;
+pub mod defense;
 pub mod faults;
 pub mod history;
 pub mod ledger;

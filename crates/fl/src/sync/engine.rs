@@ -1,16 +1,20 @@
 //! The synchronous round engine (FedAvg-style protocol, Eq. 3 of the paper).
 
+use crate::checkpoint::Checkpoint;
 use crate::client::{evaluate_model, FlClient};
 use crate::compute::ComputeModel;
 use crate::config::FlConfig;
-use crate::faults::FaultPlan;
+use crate::defense::{DefenseConfig, DefenseGate};
+use crate::faults::{corrupt_update, FaultKind, FaultPlan};
 use crate::history::{RoundRecord, RunHistory};
 use crate::ledger::CommunicationLedger;
 use crate::sync::{CompressorState, StaticCompression};
 use adafl_compression::dense_wire_size;
 use adafl_data::partition::Partitioner;
 use adafl_data::Dataset;
-use adafl_netsim::{ClientNetwork, LinkProfile, LinkTrace, SimTime};
+use adafl_netsim::{
+    ClientNetwork, LinkProfile, LinkTrace, ReliablePolicy, ReliableTransfer, SimTime,
+};
 use adafl_telemetry::{names, EventRecord, SharedRecorder, SpanRecord};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -79,6 +83,9 @@ pub struct SyncEngine {
     compression: StaticCompression,
     compressors: Vec<CompressorState>,
     recorder: SharedRecorder,
+    transport: Option<ReliableTransfer>,
+    defense: Option<DefenseGate>,
+    crash_checkpoints: Vec<Option<Checkpoint>>,
 }
 
 impl SyncEngine {
@@ -166,6 +173,9 @@ impl SyncEngine {
             compression: StaticCompression::None,
             compressors,
             recorder: adafl_telemetry::noop(),
+            transport: None,
+            defense: None,
+            crash_checkpoints: vec![None; config.clients],
             config,
             clients,
             global,
@@ -211,7 +221,28 @@ impl SyncEngine {
     /// and untraced runs produce identical histories.
     pub fn set_recorder(&mut self, recorder: SharedRecorder) {
         self.network.set_recorder(recorder.clone());
+        if let Some(t) = &mut self.transport {
+            t.set_recorder(recorder.clone());
+        }
         self.recorder = recorder;
+    }
+
+    /// Enables reliable transport: every broadcast and upload runs through
+    /// a [`ReliableTransfer`] with the given retry policy, and the ledger
+    /// additionally charges retransmitted payload bytes and ACK control
+    /// frames. Off by default (transfers are fire-and-forget datagrams).
+    pub fn set_retry_policy(&mut self, policy: ReliablePolicy) {
+        let mut t = ReliableTransfer::new(policy, self.config.seed_for("transport"));
+        t.set_recorder(self.recorder.clone());
+        self.transport = Some(t);
+    }
+
+    /// Enables the defensive aggregation gate: updates are scrubbed and
+    /// screened before [`SyncStrategy::aggregate`], and rounds below the
+    /// configured quorum are skipped with state carried forward. Off by
+    /// default.
+    pub fn set_defense(&mut self, cfg: DefenseConfig) {
+        self.defense = Some(DefenseGate::new(cfg));
     }
 
     /// The communication ledger (cumulative).
@@ -268,7 +299,14 @@ impl SyncEngine {
     /// Runs one round; returns the number of updates that reached the
     /// server.
     pub fn run_round(&mut self, round: usize) -> usize {
-        let participants = self.sample_participants();
+        self.handle_crashes(round);
+        // The selection RNG is consumed identically with or without crash
+        // faults; crashed clients are filtered after sampling.
+        let participants: Vec<usize> = self
+            .sample_participants()
+            .into_iter()
+            .filter(|&c| !self.faults.crashed(c, round))
+            .collect();
         let payload = dense_wire_size(self.global.len());
         let mut updates: Vec<ClientUpdate> = Vec::new();
         let mut round_time = SimTime::ZERO;
@@ -278,12 +316,32 @@ impl SyncEngine {
         let wall_start = self.recorder.wall_micros();
 
         // Phase 1 — broadcast the global model; clients whose broadcast is
-        // lost sit the round out.
+        // lost sit the round out (unless reliable transport saves it).
         let mut ready: Vec<(usize, SimTime)> = Vec::with_capacity(participants.len());
         for &c in &participants {
-            let down = self.network.downlink_transfer(c, payload, self.clock);
-            self.ledger.record_downlink(c, payload);
-            if let Some(t) = down.arrival() {
+            let arrival = match &mut self.transport {
+                Some(t) => {
+                    let report = t.downlink(&mut self.network, c, payload, self.clock);
+                    if report.delivered() {
+                        self.ledger.record_downlink(c, payload);
+                        if report.wasted_bytes > 0 {
+                            self.ledger
+                                .record_retransmission(c, report.wasted_bytes as usize);
+                        }
+                        self.ledger.record_control(c, report.control_bytes as usize);
+                    } else {
+                        self.ledger
+                            .record_retransmission(c, report.payload_bytes as usize);
+                    }
+                    report.arrival
+                }
+                None => {
+                    let down = self.network.downlink_transfer(c, payload, self.clock);
+                    self.ledger.record_downlink(c, payload);
+                    down.arrival()
+                }
+            };
+            if let Some(t) = arrival {
                 ready.push((c, t));
             }
         }
@@ -332,7 +390,7 @@ impl SyncEngine {
                 continue;
             }
             // Static client-side compression (identity by default).
-            let (sent_delta, wire) = self.compressors[c].compress(&outcome.delta);
+            let (mut sent_delta, wire) = self.compressors[c].compress(&outcome.delta);
             if tracing {
                 adafl_compression::record_compression(
                     &self.recorder,
@@ -341,11 +399,45 @@ impl SyncEngine {
                     wire,
                 );
             }
-            let up = self.network.uplink_transfer(c, wire, train_done);
-            match up.arrival() {
+            // Corruption faults hit the serialized update in transit; the
+            // payload still arrives and the defensive gate must catch it.
+            if let Some(seed) = self.faults.corrupts_update(c) {
+                corrupt_update(&mut sent_delta, seed);
+                if tracing {
+                    self.recorder.counter_add(names::FL_CORRUPTIONS, 1);
+                    self.recorder.event(
+                        EventRecord::new(names::EVENT_CORRUPTION, train_done.seconds())
+                            .round(round)
+                            .client(c),
+                    );
+                }
+            }
+            let uplink_arrival = match &mut self.transport {
+                Some(t) => {
+                    let report = t.uplink(&mut self.network, c, wire, train_done);
+                    if report.delivered() {
+                        self.ledger.record_uplink(c, wire);
+                        if report.wasted_bytes > 0 {
+                            self.ledger
+                                .record_retransmission(c, report.wasted_bytes as usize);
+                        }
+                        self.ledger.record_control(c, report.control_bytes as usize);
+                    } else {
+                        self.ledger
+                            .record_retransmission(c, report.payload_bytes as usize);
+                    }
+                    report.arrival
+                }
+                None => {
+                    let up = self.network.uplink_transfer(c, wire, train_done);
+                    if up.arrival().is_some() {
+                        self.ledger.record_uplink(c, wire);
+                    }
+                    up.arrival()
+                }
+            };
+            match uplink_arrival {
                 Some(arrival) => {
-                    // Bytes are on the wire regardless of the deadline.
-                    self.ledger.record_uplink(c, wire);
                     let elapsed = arrival - self.clock;
                     if let Some(deadline) = self.config.round_deadline {
                         // §III max-wait-time policy: the server drops
@@ -390,6 +482,7 @@ impl SyncEngine {
             self.clock += round_time;
         }
 
+        let updates = self.screen_updates(round, updates, participants.len());
         if !updates.is_empty() {
             self.strategy.aggregate(&mut self.global, &updates);
         }
@@ -406,6 +499,117 @@ impl SyncEngine {
             );
         }
         updates.len()
+    }
+
+    /// Crash-fault bookkeeping at the top of a round: snapshot a client's
+    /// state into a [`Checkpoint`] the round its outage begins, restore it
+    /// from the decoded checkpoint the round it comes back.
+    fn handle_crashes(&mut self, round: usize) {
+        let tracing = self.recorder.enabled();
+        for c in 0..self.config.clients {
+            let FaultKind::Crash { at_round, .. } = self.faults.kind(c) else {
+                continue;
+            };
+            if round == at_round {
+                let snapshot = Checkpoint::new(round as u64, self.clients[c].model().params_flat());
+                self.crash_checkpoints[c] = Some(snapshot);
+                if tracing {
+                    self.recorder.counter_add(names::FL_CRASHES, 1);
+                    self.recorder.event(
+                        EventRecord::new(names::EVENT_CRASH, self.clock.seconds())
+                            .round(round)
+                            .client(c),
+                    );
+                }
+            } else if self.faults.recovers_at(c, round) {
+                if let Some(ckpt) = self.crash_checkpoints[c].take() {
+                    // Recovery goes through the wire format: the client
+                    // restores from the decoded bytes, exactly as it would
+                    // from flash after a reboot.
+                    let restored =
+                        Checkpoint::decode(&ckpt.encode()).expect("checkpoint round-trips");
+                    self.clients[c].sync_to_global(&restored.params);
+                    if tracing {
+                        self.recorder.counter_add(names::FL_RECOVERIES, 1);
+                        self.recorder.event(
+                            EventRecord::new(names::EVENT_RECOVERY, self.clock.seconds())
+                                .round(round)
+                                .client(c)
+                                .field("checkpoint_round", restored.round as usize),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Defensive aggregation gate: scrubs, norm-screens and quorum-checks
+    /// the round's delivered updates. Identity when no defense is set; an
+    /// empty result means the round is skipped.
+    fn screen_updates(
+        &mut self,
+        round: usize,
+        mut updates: Vec<ClientUpdate>,
+        expected: usize,
+    ) -> Vec<ClientUpdate> {
+        let Some(gate) = self.defense.as_mut() else {
+            return updates;
+        };
+        let tracing = self.recorder.enabled();
+        let now = self.clock.seconds();
+        let mut kept: Vec<ClientUpdate> = Vec::with_capacity(updates.len());
+        let mut norms: Vec<f64> = Vec::with_capacity(updates.len());
+        for mut u in updates.drain(..) {
+            match gate.sanitize(&mut u.delta) {
+                Ok(s) => {
+                    if tracing && s.scrubbed > 0 {
+                        self.recorder
+                            .counter_add(names::FL_DEFENSE_SCRUBBED, s.scrubbed as u64);
+                    }
+                    norms.push(s.norm);
+                    kept.push(u);
+                }
+                Err(reason) => {
+                    if tracing {
+                        self.recorder.counter_add(names::FL_DEFENSE_REJECTIONS, 1);
+                        self.recorder.event(
+                            EventRecord::new(names::EVENT_DEFENSE_REJECT, now)
+                                .round(round)
+                                .client(u.client)
+                                .field("reason", reason.label()),
+                        );
+                    }
+                }
+            }
+        }
+        let verdicts = gate.admit_batch(&norms);
+        let mut out: Vec<ClientUpdate> = Vec::with_capacity(kept.len());
+        for (u, ok) in kept.into_iter().zip(verdicts) {
+            if ok {
+                out.push(u);
+            } else if tracing {
+                self.recorder.counter_add(names::FL_DEFENSE_REJECTIONS, 1);
+                self.recorder.event(
+                    EventRecord::new(names::EVENT_DEFENSE_REJECT, now)
+                        .round(round)
+                        .client(u.client)
+                        .field("reason", "norm_outlier"),
+                );
+            }
+        }
+        if !gate.quorum_met(out.len(), expected) {
+            if tracing {
+                self.recorder.counter_add(names::FL_QUORUM_SKIPS, 1);
+                self.recorder.event(
+                    EventRecord::new(names::EVENT_QUORUM_SKIP, now)
+                        .round(round)
+                        .field("accepted", out.len())
+                        .field("expected", expected),
+                );
+            }
+            return Vec::new();
+        }
+        out
     }
 
     /// Trains the broadcast-ready clients, returning outcomes in the same

@@ -1,0 +1,49 @@
+//! Property-based robustness tests for the checkpoint codec: any truncated
+//! or single-byte-corrupted buffer must produce a `CheckpointError`, never
+//! a panic and never a silently wrong decode.
+
+use adafl_fl::checkpoint::Checkpoint;
+use proptest::prelude::*;
+
+fn params() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-100.0f32..100.0, 0..64)
+}
+
+proptest! {
+    #[test]
+    fn any_strict_prefix_is_an_error(
+        round in 0u64..1_000_000,
+        params in params(),
+        cut in 0.0f64..1.0,
+    ) {
+        let bytes = Checkpoint::new(round, params).encode();
+        let len = (cut * bytes.len() as f64) as usize; // always < full length
+        prop_assert!(Checkpoint::decode(&bytes[..len]).is_err());
+    }
+
+    #[test]
+    fn any_single_byte_flip_is_an_error(
+        round in 0u64..1_000_000,
+        params in params(),
+        pos in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut bytes = Checkpoint::new(round, params).encode().to_vec();
+        let idx = ((pos * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        bytes[idx] ^= 1 << bit;
+        // The checksum covers the whole buffer, so a flip anywhere —
+        // header, payload, or the checksum itself — must be rejected.
+        prop_assert!(Checkpoint::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(data in proptest::collection::vec(0u8..255, 0..128)) {
+        let _ = Checkpoint::decode(&data);
+    }
+
+    #[test]
+    fn round_trip_is_lossless(round in 0u64..1_000_000, params in params()) {
+        let ckpt = Checkpoint::new(round, params);
+        prop_assert_eq!(Checkpoint::decode(&ckpt.encode()).unwrap(), ckpt);
+    }
+}

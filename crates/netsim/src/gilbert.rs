@@ -175,6 +175,28 @@ mod tests {
     }
 
     #[test]
+    fn empirical_loss_matches_closed_form_over_100k_transfers() {
+        // Satellite: 100k seeded transfers against the analytic rate, for
+        // several parameterisations including the 20%-loss chaos channel.
+        let cases = [
+            (0.1, 0.4, 0.05, 0.8, 11u64),  // chaos sweep channel, rate 0.20
+            (0.05, 0.2, 0.01, 0.6, 42u64), // long bursts
+            (0.3, 0.3, 0.1, 0.9, 7u64),    // fast-switching
+        ];
+        for (gb, bg, lg, lb, seed) in cases {
+            let mut ch = GilbertElliott::new(gb, bg, lg, lb, seed);
+            let expected = ch.expected_loss_rate();
+            let n = 100_000;
+            let losses = (0..n).filter(|_| ch.transfer_lost()).count();
+            let observed = losses as f64 / n as f64;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "seed {seed}: observed {observed} vs closed form {expected}"
+            );
+        }
+    }
+
+    #[test]
     fn stationary_math() {
         let ch = GilbertElliott::new(0.1, 0.3, 0.0, 1.0, 0);
         assert!((ch.stationary_bad() - 0.25).abs() < 1e-12);

@@ -29,6 +29,7 @@ mod event;
 mod gilbert;
 mod link;
 mod network;
+mod reliable;
 mod time;
 mod trace;
 pub mod tracefile;
@@ -37,5 +38,6 @@ pub use event::EventQueue;
 pub use gilbert::{ChannelState, GilbertElliott};
 pub use link::{LinkProfile, LinkSpec};
 pub use network::{ClientNetwork, TransferOutcome};
+pub use reliable::{ReliablePolicy, ReliableTransfer, TransferReport};
 pub use time::SimTime;
 pub use trace::{LinkTrace, TraceKind};

@@ -1,6 +1,6 @@
 //! Per-client network state and transfer simulation.
 
-use crate::{LinkSpec, LinkTrace, SimTime};
+use crate::{GilbertElliott, LinkSpec, LinkTrace, SimTime};
 use adafl_telemetry::{names, EventRecord, SharedRecorder, SpanRecord};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -48,6 +48,9 @@ impl TransferOutcome {
 #[derive(Debug, Clone)]
 pub struct ClientNetwork {
     traces: Vec<LinkTrace>,
+    /// Optional per-client Gilbert-Elliott burst-loss channel; when present
+    /// it replaces the Bernoulli `drop_prob` decision for that client.
+    burst: Vec<Option<GilbertElliott>>,
     rng: StdRng,
     recorder: SharedRecorder,
 }
@@ -61,9 +64,31 @@ impl ClientNetwork {
     pub fn new(traces: Vec<LinkTrace>, seed: u64) -> Self {
         assert!(!traces.is_empty(), "network needs at least one client");
         ClientNetwork {
+            burst: vec![None; traces.len()],
             traces,
             rng: StdRng::seed_from_u64(seed ^ 0x006E_7511),
             recorder: adafl_telemetry::noop(),
+        }
+    }
+
+    /// Attaches a Gilbert-Elliott burst-loss channel to `client`. While
+    /// attached, the channel's Markov state decides every loss for that
+    /// client (both directions) instead of the link's Bernoulli
+    /// `drop_prob`; the shared loss RNG is left untouched, so other
+    /// clients' loss sequences are unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `client` is out of bounds.
+    pub fn set_burst_loss(&mut self, client: usize, channel: GilbertElliott) {
+        self.burst[client] = Some(channel);
+    }
+
+    /// Loss decision for one transfer of `client` over `link`.
+    fn transfer_lost(&mut self, client: usize, link: &LinkSpec) -> bool {
+        match &mut self.burst[client] {
+            Some(channel) => channel.transfer_lost(),
+            None => self.rng.gen::<f64>() < link.drop_prob(),
         }
     }
 
@@ -116,7 +141,7 @@ impl ClientNetwork {
         now: SimTime,
     ) -> TransferOutcome {
         let link = self.traces[client].link_at(now);
-        if self.rng.gen::<f64>() < link.drop_prob() {
+        if self.transfer_lost(client, &link) {
             self.record_drop(client, bytes, now, "uplink");
             return TransferOutcome::Dropped;
         }
@@ -145,7 +170,7 @@ impl ClientNetwork {
         now: SimTime,
     ) -> TransferOutcome {
         let link = self.traces[client].link_at(now);
-        if self.rng.gen::<f64>() < link.drop_prob() {
+        if self.transfer_lost(client, &link) {
             self.record_drop(client, bytes, now, "downlink");
             return TransferOutcome::Dropped;
         }
@@ -273,6 +298,42 @@ mod tests {
     #[should_panic(expected = "at least one client")]
     fn empty_network_panics() {
         ClientNetwork::new(Vec::new(), 0);
+    }
+
+    #[test]
+    fn burst_channel_overrides_bernoulli_loss() {
+        use crate::GilbertElliott;
+
+        // Lossless link, but an always-Bad certain-loss channel attached.
+        let mut net = perfect_network(2);
+        net.set_burst_loss(0, GilbertElliott::new(1.0, 0.0, 0.0, 1.0, 0));
+        for _ in 0..20 {
+            assert!(!net.uplink_transfer(0, 10, SimTime::ZERO).is_delivered());
+            // The other client is untouched by client 0's channel.
+            assert!(net.uplink_transfer(1, 10, SimTime::ZERO).is_delivered());
+        }
+    }
+
+    #[test]
+    fn burst_channel_leaves_other_clients_rng_untouched() {
+        // Attaching a burst channel to client 0 must not shift the shared
+        // Bernoulli RNG stream observed by client 1.
+        let spec = LinkProfile::Lossy.spec();
+        let run = |with_burst: bool| {
+            let mut net = ClientNetwork::new(vec![LinkTrace::constant(spec); 2], 9);
+            if with_burst {
+                net.set_burst_loss(0, crate::GilbertElliott::new(0.5, 0.5, 0.3, 0.9, 4));
+            }
+            (0..100)
+                .map(|_| {
+                    if with_burst {
+                        net.uplink_transfer(0, 10, SimTime::ZERO);
+                    }
+                    net.uplink_transfer(1, 10, SimTime::ZERO).is_delivered()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -35,6 +35,20 @@ impl Trace {
     pub fn events_of<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a EventRecord> + 'a {
         self.events.iter().filter(move |e| e.kind == kind)
     }
+
+    /// A copy with every span's measured wall-clock duration zeroed.
+    ///
+    /// Wall time is the *only* intentionally nondeterministic field a
+    /// recorder captures; everything else is driven by the seeded
+    /// simulation. Normalizing it lets two same-seed runs be compared byte
+    /// for byte after export.
+    pub fn without_wall_times(&self) -> Trace {
+        let mut out = self.clone();
+        for span in &mut out.spans {
+            span.wall_micros = 0;
+        }
+        out
+    }
 }
 
 /// A [`Recorder`] that accumulates everything in memory behind a mutex.

@@ -13,8 +13,24 @@ pub const COMPRESSION_BYTES_PRE: &str = "compression.bytes_pre";
 pub const COMPRESSION_BYTES_POST: &str = "compression.bytes_post";
 /// Transfers lost to link loss (counter).
 pub const NET_DROPS: &str = "netsim.transfer_drops";
+/// Retransmissions attempted by the reliable transport (counter).
+pub const NET_RETRIES: &str = "netsim.retries";
+/// Reliable transfers abandoned after exhausting all attempts (counter).
+pub const NET_RELIABLE_FAILURES: &str = "netsim.reliable_failures";
 /// Updates withheld by the fault plan (counter).
 pub const FL_DROPOUTS: &str = "fl.dropouts";
+/// Updates rejected by the server's defensive aggregation gate (counter).
+pub const FL_DEFENSE_REJECTIONS: &str = "fl.defense.rejections";
+/// Non-finite coordinates scrubbed by the defensive gate (counter).
+pub const FL_DEFENSE_SCRUBBED: &str = "fl.defense.scrubbed_values";
+/// Synchronous rounds skipped for lack of quorum (counter).
+pub const FL_QUORUM_SKIPS: &str = "fl.quorum_skips";
+/// Clients entering a crash fault (counter).
+pub const FL_CRASHES: &str = "fl.crashes";
+/// Clients recovering from a crash via checkpoint restore (counter).
+pub const FL_RECOVERIES: &str = "fl.recoveries";
+/// Updates corrupted in transit by the fault plan (counter).
+pub const FL_CORRUPTIONS: &str = "fl.corruptions";
 /// Updates discarded by the round deadline (counter).
 pub const FL_DEADLINE_MISSES: &str = "fl.deadline_misses";
 /// Clients that halted after the async utility gate (counter).
@@ -57,6 +73,20 @@ pub const SPAN_DOWNLINK: &str = "downlink";
 
 /// A transfer lost to link loss.
 pub const EVENT_TRANSFER_DROP: &str = "transfer_drop";
+/// The reliable transport retransmitted a payload.
+pub const EVENT_RETRY: &str = "retry";
+/// The reliable transport gave up after its final attempt.
+pub const EVENT_TRANSFER_FAILED: &str = "transfer_failed";
+/// The defensive aggregation gate rejected an update.
+pub const EVENT_DEFENSE_REJECT: &str = "defense_reject";
+/// A synchronous round proceeded without quorum and was skipped.
+pub const EVENT_QUORUM_SKIP: &str = "quorum_skip";
+/// A client crashed (enters its outage window).
+pub const EVENT_CRASH: &str = "crash";
+/// A crashed client recovered its state from a checkpoint.
+pub const EVENT_RECOVERY: &str = "recovery";
+/// A fault corrupted an update in transit.
+pub const EVENT_CORRUPTION: &str = "corruption";
 /// An update withheld by the fault plan.
 pub const EVENT_DROPOUT: &str = "dropout";
 /// An update discarded for missing the round deadline.
