@@ -27,6 +27,7 @@ use adafl_fl::client::evaluate_model;
 use adafl_fl::compute::ComputeModel;
 use adafl_fl::defense::{DefenseConfig, DefenseGate};
 use adafl_fl::faults::{corrupt_update, FaultKind, FaultPlan};
+use adafl_fl::pool::WorkerPool;
 use adafl_fl::{CommunicationLedger, FlClient, FlConfig, RoundRecord, RunHistory};
 use adafl_netsim::{
     ClientNetwork, LinkProfile, LinkTrace, ReliablePolicy, ReliableTransfer, SimTime,
@@ -63,6 +64,7 @@ pub struct AdaFlSyncEngine {
     transport: Option<ReliableTransfer>,
     defense: Option<DefenseGate>,
     crash_checkpoints: Vec<Option<Checkpoint>>,
+    pool: WorkerPool,
 }
 
 impl AdaFlSyncEngine {
@@ -138,6 +140,7 @@ impl AdaFlSyncEngine {
             compute,
             faults,
             crash_checkpoints: vec![None; fl.clients],
+            pool: WorkerPool::with_default_size(),
             fl,
             ada,
             clock: SimTime::ZERO,
@@ -266,24 +269,30 @@ impl AdaFlSyncEngine {
         let outcomes: Vec<adafl_fl::LocalOutcome> = {
             let global = &self.global;
             let steps = self.fl.local_steps;
-            let ready_ids: Vec<usize> = ready.iter().map(|&(_, c, _)| c).collect();
-            let client_refs: Vec<&mut FlClient> = self
+            // Boolean mask over client ids (O(N), not an O(N²) contains
+            // scan), then per-id slots so each ready client's &mut is taken
+            // exactly once — in cohort-rank order.
+            let mut is_ready = vec![false; self.clients.len()];
+            for &(_, c, _) in &ready {
+                is_ready[c] = true;
+            }
+            let mut slots: Vec<Option<&mut FlClient>> = self
                 .clients
                 .iter_mut()
                 .enumerate()
-                .filter(|(c, _)| ready_ids.contains(c))
-                .map(|(_, client)| client)
+                .map(|(c, client)| is_ready[c].then_some(client))
                 .collect();
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = client_refs
-                    .into_iter()
-                    .map(|client| scope.spawn(move || client.train_local(global, steps, None)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("client training thread panicked"))
-                    .collect()
-            })
+            let jobs: Vec<Box<dyn FnOnce() -> adafl_fl::LocalOutcome + Send + '_>> = ready
+                .iter()
+                .map(|&(_, c, _)| {
+                    let client = slots[c].take().expect("ready client listed once");
+                    Box::new(move || client.train_local(global, steps, None)) as Box<_>
+                })
+                .collect();
+            // Persistent pool instead of per-round thread spawning; results
+            // come back in submission (cohort-rank) order, keeping the
+            // phase-3 zip deterministic.
+            self.pool.scope_run(jobs)
         };
 
         // Phase 3 — adaptive compression and uplink, in cohort-rank order.

@@ -126,15 +126,27 @@ impl Dataset {
     ///
     /// Panics when any index is out of bounds.
     pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
-        let mut flat = Vec::with_capacity(indices.len() * self.dim);
+        let mut x = Tensor::default();
         let mut labels = Vec::with_capacity(indices.len());
-        for &i in indices {
-            flat.extend_from_slice(self.features(i));
+        self.batch_into(indices, &mut x, &mut labels);
+        (x, labels)
+    }
+
+    /// Allocation-free [`Dataset::batch`]: writes the `[batch, dim]` tensor
+    /// and labels into caller-provided buffers, resized in place so their
+    /// allocations are reused across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any index is out of bounds.
+    pub fn batch_into(&self, indices: &[usize], x: &mut Tensor, labels: &mut Vec<usize>) {
+        x.resize_reuse(&[indices.len(), self.dim]);
+        labels.clear();
+        let flat = x.as_mut_slice();
+        for (ri, &i) in indices.iter().enumerate() {
+            flat[ri * self.dim..(ri + 1) * self.dim].copy_from_slice(self.features(i));
             labels.push(self.labels[i]);
         }
-        let t = Tensor::from_vec(flat, &[indices.len(), self.dim])
-            .expect("batch volume matches by construction");
-        (t, labels)
     }
 
     /// Materialises the whole dataset as one `[len, dim]` tensor plus labels.

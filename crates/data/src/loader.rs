@@ -68,6 +68,20 @@ impl BatchLoader {
     ///
     /// Panics when `dataset` is empty.
     pub fn next_batch(&mut self, dataset: &Dataset) -> (Tensor, Vec<usize>) {
+        let mut x = Tensor::default();
+        let mut labels = Vec::new();
+        self.next_batch_into(dataset, &mut x, &mut labels);
+        (x, labels)
+    }
+
+    /// Allocation-free [`BatchLoader::next_batch`]: fills caller-provided
+    /// buffers (resized in place) instead of returning fresh ones, so the
+    /// training hot loop reuses one batch tensor across steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dataset` is empty.
+    pub fn next_batch_into(&mut self, dataset: &Dataset, x: &mut Tensor, labels: &mut Vec<usize>) {
         assert!(
             !dataset.is_empty(),
             "cannot draw batches from an empty dataset"
@@ -84,9 +98,8 @@ impl BatchLoader {
         }
         let end = (self.cursor + self.batch_size).min(self.order.len());
         let indices = &self.order[self.cursor..end];
-        let batch = dataset.batch(indices);
+        dataset.batch_into(indices, x, labels);
         self.cursor = end;
-        batch
     }
 }
 

@@ -5,7 +5,8 @@ use adafl_data::Dataset;
 use adafl_nn::loss::CrossEntropyLoss;
 use adafl_nn::models::ModelSpec;
 use adafl_nn::optim::{Optimizer, Sgd};
-use adafl_nn::Model;
+use adafl_nn::{Model, ModelWorkspace};
+use adafl_tensor::Tensor;
 
 /// Adjusts a client's local gradient during training.
 ///
@@ -53,6 +54,22 @@ pub struct FlClient {
     loader: BatchLoader,
     learning_rate: f32,
     momentum: f32,
+    /// Persistent local optimizer; reset to zero velocity at the start of
+    /// each `train_local` so its semantics match a freshly built one while
+    /// its buffer allocation is reused across rounds.
+    optimizer: Sgd,
+    /// Scratch arena reused by every forward/backward/step — after the
+    /// first local step, training performs no heap allocation.
+    ws: ModelWorkspace,
+    batch_x: Tensor,
+    batch_labels: Vec<usize>,
+    logits: Tensor,
+    dlogits: Tensor,
+    dinput: Tensor,
+    /// Flat gradient scratch for the gradient-hook path.
+    hook_grads: Vec<f32>,
+    /// Flat parameter scratch for the gradient-hook path.
+    hook_params: Vec<f32>,
 }
 
 impl FlClient {
@@ -73,8 +90,8 @@ impl FlClient {
     ) -> Self {
         assert!(!data.is_empty(), "client dataset must not be empty");
         let loader = BatchLoader::new(batch_size, seed ^ (id as u64).wrapping_mul(0x517C_C1B7));
-        // Validate hyperparameters eagerly.
-        let _ = Sgd::new(learning_rate, momentum, 0.0);
+        // Validates hyperparameters eagerly.
+        let optimizer = Sgd::new(learning_rate, momentum, 0.0);
         FlClient {
             id,
             model,
@@ -82,6 +99,15 @@ impl FlClient {
             loader,
             learning_rate,
             momentum,
+            optimizer,
+            ws: ModelWorkspace::new(),
+            batch_x: Tensor::default(),
+            batch_labels: Vec::new(),
+            logits: Tensor::default(),
+            dlogits: Tensor::default(),
+            dinput: Tensor::default(),
+            hook_grads: Vec::new(),
+            hook_params: Vec::new(),
         }
     }
 
@@ -140,6 +166,11 @@ impl FlClient {
         self.learning_rate
     }
 
+    /// The client's local SGD momentum.
+    pub fn momentum(&self) -> f32 {
+        self.momentum
+    }
+
     /// Installs global parameters, synchronising the replica.
     ///
     /// # Panics
@@ -167,25 +198,34 @@ impl FlClient {
     ) -> LocalOutcome {
         assert!(steps > 0, "local steps must be positive");
         self.model.set_params_flat(global);
-        let mut sgd = Sgd::new(self.learning_rate, self.momentum, 0.0);
+        // Zero velocity: same semantics as the fresh optimizer the seed
+        // built per call, minus the allocation.
+        self.optimizer.reset();
         let mut total_loss = 0.0f32;
         for _ in 0..steps {
-            let (x, labels) = self.loader.next_batch(&self.data);
+            self.loader
+                .next_batch_into(&self.data, &mut self.batch_x, &mut self.batch_labels);
             self.model.zero_grads();
-            let logits = self.model.forward(&x, true);
-            let (loss, dlogits) = CrossEntropyLoss.loss_and_grad(&logits, &labels);
+            self.model
+                .forward_into(&self.batch_x, &mut self.logits, true, &mut self.ws);
+            let loss = CrossEntropyLoss.loss_and_grad_into(
+                &self.logits,
+                &self.batch_labels,
+                &mut self.dlogits,
+            );
             total_loss += loss;
-            self.model.backward(&dlogits);
+            self.model
+                .backward_into(&self.dlogits, &mut self.dinput, &mut self.ws);
             if let Some(h) = hook.as_mut() {
-                let mut grads = self.model.grads_flat();
-                let params = self.model.params_flat();
-                h(&mut grads, &params, global);
-                let mut new_params = params;
-                sgd.step(&mut new_params, &grads);
-                self.model.set_params_flat(&new_params);
+                self.model.grads_flat_into(&mut self.hook_grads);
+                self.model.params_flat_into(&mut self.hook_params);
+                h(&mut self.hook_grads, &self.hook_params, global);
+                self.optimizer.step(&mut self.hook_params, &self.hook_grads);
+                self.model.set_params_flat(&self.hook_params);
                 self.model.zero_grads();
             } else {
-                self.model.apply_gradient_step(&mut sgd);
+                self.model
+                    .apply_gradient_step_ws(&mut self.optimizer, &mut self.ws);
             }
         }
         let local = self.model.params_flat();
@@ -211,11 +251,18 @@ impl FlClient {
     /// client interrupts training, measures its local gradient direction,
     /// and reports a similarity score — no model transfer involved.
     pub fn probe_gradient(&mut self) -> Vec<f32> {
-        let (x, labels) = self.loader.next_batch(&self.data);
+        self.loader
+            .next_batch_into(&self.data, &mut self.batch_x, &mut self.batch_labels);
         self.model.zero_grads();
-        let logits = self.model.forward(&x, true);
-        let (_, dlogits) = CrossEntropyLoss.loss_and_grad(&logits, &labels);
-        self.model.backward(&dlogits);
+        self.model
+            .forward_into(&self.batch_x, &mut self.logits, true, &mut self.ws);
+        let _ = CrossEntropyLoss.loss_and_grad_into(
+            &self.logits,
+            &self.batch_labels,
+            &mut self.dlogits,
+        );
+        self.model
+            .backward_into(&self.dlogits, &mut self.dinput, &mut self.ws);
         let grad = self.model.grads_flat();
         self.model.zero_grads();
         grad

@@ -43,6 +43,7 @@ pub mod defense;
 pub mod faults;
 pub mod history;
 pub mod ledger;
+pub mod pool;
 pub mod sync;
 
 pub use client::{FlClient, LocalOutcome};

@@ -8,6 +8,7 @@ use crate::defense::{DefenseConfig, DefenseGate};
 use crate::faults::{corrupt_update, FaultKind, FaultPlan};
 use crate::history::{RoundRecord, RunHistory};
 use crate::ledger::CommunicationLedger;
+use crate::pool::WorkerPool;
 use crate::sync::{CompressorState, StaticCompression};
 use adafl_compression::dense_wire_size;
 use adafl_data::partition::Partitioner;
@@ -86,6 +87,7 @@ pub struct SyncEngine {
     transport: Option<ReliableTransfer>,
     defense: Option<DefenseGate>,
     crash_checkpoints: Vec<Option<Checkpoint>>,
+    pool: WorkerPool,
 }
 
 impl SyncEngine {
@@ -176,6 +178,7 @@ impl SyncEngine {
             transport: None,
             defense: None,
             crash_checkpoints: vec![None; config.clients],
+            pool: WorkerPool::with_default_size(),
             config,
             clients,
             global,
@@ -620,44 +623,39 @@ impl SyncEngine {
         let steps = self.config.local_steps;
         let strategy = &self.strategy;
         let global = &self.global;
-        // Pull disjoint &mut references for the ready clients (ascending
-        // participant order is preserved by iter_mut).
-        let ready_ids: Vec<usize> = ready.iter().map(|&(c, _)| c).collect();
-        let mut client_refs: Vec<(usize, &mut FlClient)> = self
+        // Boolean mask over client ids (O(N), not an O(N²) contains scan),
+        // then per-id slots so each ready client's &mut is taken exactly
+        // once — in `ready` (participant) order, whatever that order is.
+        let mut is_ready = vec![false; self.clients.len()];
+        for &(c, _) in ready {
+            is_ready[c] = true;
+        }
+        let mut slots: Vec<Option<&mut FlClient>> = self
             .clients
             .iter_mut()
             .enumerate()
-            .filter(|(c, _)| ready_ids.contains(c))
+            .map(|(c, client)| is_ready[c].then_some(client))
             .collect();
-
-        if self.parallel && client_refs.len() > 1 {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = client_refs
-                    .drain(..)
-                    .map(|(c, client)| {
-                        scope.spawn(move || {
-                            let mut hook = |grad: &mut [f32], params: &[f32], g: &[f32]| {
-                                strategy.gradient_hook(c, grad, params, g);
-                            };
-                            client.train_local(global, steps, Some(&mut hook))
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("client training thread panicked"))
-                    .collect()
-            })
-        } else {
-            client_refs
-                .drain(..)
-                .map(|(c, client)| {
+        let jobs: Vec<Box<dyn FnOnce() -> crate::client::LocalOutcome + Send + '_>> = ready
+            .iter()
+            .map(|&(c, _)| {
+                let client = slots[c].take().expect("ready client listed once");
+                Box::new(move || {
                     let mut hook = |grad: &mut [f32], params: &[f32], g: &[f32]| {
                         strategy.gradient_hook(c, grad, params, g);
                     };
                     client.train_local(global, steps, Some(&mut hook))
-                })
-                .collect()
+                }) as Box<_>
+            })
+            .collect();
+
+        if self.parallel {
+            // Persistent pool instead of per-round thread spawning; results
+            // come back in submission (participant) order, so parallel and
+            // sequential runs stay byte-identical.
+            self.pool.scope_run(jobs)
+        } else {
+            jobs.into_iter().map(|job| job()).collect()
         }
     }
 

@@ -1,0 +1,89 @@
+//! Allocation-regression guard for the training hot path.
+//!
+//! A counting global allocator measures how many heap allocations a
+//! `train_local` call performs after warm-up. Each call has a fixed
+//! allocation overhead (the returned delta vector, flat parameter
+//! snapshots), but the *per-step* cost must be zero: a call running 11
+//! steps must allocate exactly as much as a call running 1 step. This
+//! pins the whole workspace architecture — batch loading, im2col, layer
+//! forward/backward, loss, and the optimizer step all reuse buffers.
+//!
+//! Kept as a single `#[test]` so no concurrent test thread perturbs the
+//! counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use adafl_data::partition::Partitioner;
+use adafl_data::synthetic::SyntheticSpec;
+use adafl_fl::FlClient;
+use adafl_nn::models::ModelSpec;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn allocations_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let result = f();
+    (ALLOCATIONS.load(Ordering::Relaxed) - before, result)
+}
+
+#[test]
+fn steady_state_training_steps_allocate_nothing() {
+    // The paper's CNN: conv → pool → conv → pool → dense → dense, so the
+    // check covers im2col scratch, activation caches and argmax buffers,
+    // not just the dense path. Shard size is a multiple of the batch size
+    // so every batch has identical shape.
+    let spec = ModelSpec::MnistCnn {
+        height: 16,
+        width: 16,
+        classes: 10,
+    };
+    let data = SyntheticSpec::mnist_like(16, 64).generate(5);
+    let shards = Partitioner::Iid.split(&data, 1, 7);
+    let mut clients = FlClient::fleet(&spec, shards, 0.05, 0.9, 16, 13);
+    let client = &mut clients[0];
+    let global = spec.build(13).params_flat();
+
+    // Warm-up: grows every workspace/cache to steady-state capacity and
+    // crosses an epoch boundary (4 batches per epoch).
+    client.train_local(&global, 12, None);
+
+    let (allocs_one_step, _) = allocations_during(|| client.train_local(&global, 1, None));
+    let (allocs_eleven_steps, _) = allocations_during(|| client.train_local(&global, 11, None));
+
+    // Identical totals mean the 10 extra steps performed zero heap
+    // allocations; the fixed per-call overhead (delta vector, parameter
+    // snapshots) cancels out.
+    assert_eq!(
+        allocs_eleven_steps, allocs_one_step,
+        "per-step allocations crept back into the training hot path: \
+         1-step call made {allocs_one_step} allocations, \
+         11-step call made {allocs_eleven_steps}"
+    );
+    // Sanity: the counter is actually live.
+    assert!(
+        allocs_one_step > 0,
+        "fixed per-call overhead should register"
+    );
+}

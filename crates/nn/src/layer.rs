@@ -1,3 +1,4 @@
+use crate::workspace::LayerWorkspace;
 use adafl_tensor::Tensor;
 
 /// A neural-network layer with explicit forward and backward passes.
@@ -30,6 +31,30 @@ pub trait Layer: Send + std::fmt::Debug {
     /// Implementations may panic when called before [`Layer::forward`] or
     /// with a gradient whose shape differs from the last forward output.
     fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Allocation-free forward pass: writes the output into `out`, resizing
+    /// it in place (which reuses its allocation at steady state).
+    ///
+    /// The default delegates to [`Layer::forward`], so external layers keep
+    /// working unchanged; the built-in layers override this with in-place
+    /// implementations and express `forward` as an allocating wrapper.
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        out: &mut Tensor,
+        train: bool,
+        ws: &mut LayerWorkspace,
+    ) {
+        let _ = ws;
+        *out = self.forward(input, train);
+    }
+
+    /// Allocation-free backward pass: writes ∂loss/∂input into `grad_in`,
+    /// resizing it in place. Mirrors [`Layer::forward_into`].
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: &mut Tensor, ws: &mut LayerWorkspace) {
+        let _ = ws;
+        *grad_in = self.backward(grad_out);
+    }
 
     /// Total number of trainable scalars in this layer.
     fn param_count(&self) -> usize {

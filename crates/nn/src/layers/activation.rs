@@ -1,6 +1,6 @@
 //! Activation layers.
 
-use crate::Layer;
+use crate::{Layer, LayerWorkspace};
 use adafl_tensor::Tensor;
 
 /// Rectified linear unit: `max(0, x)` elementwise.
@@ -21,25 +21,52 @@ impl Relu {
 }
 
 impl Layer for Relu {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        self.mask = input.as_slice().iter().map(|&x| x > 0.0).collect();
-        self.shape = input.shape().dims().to_vec();
-        input.map(|x| x.max(0.0))
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut out = Tensor::default();
+        let mut ws = LayerWorkspace::default();
+        self.forward_into(input, &mut out, train, &mut ws);
+        out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut grad_in = Tensor::default();
+        let mut ws = LayerWorkspace::default();
+        self.backward_into(grad_out, &mut grad_in, &mut ws);
+        grad_in
+    }
+
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        out: &mut Tensor,
+        _train: bool,
+        _ws: &mut LayerWorkspace,
+    ) {
+        self.mask.clear();
+        self.mask.extend(input.as_slice().iter().map(|&x| x > 0.0));
+        self.shape.clear();
+        self.shape.extend_from_slice(input.shape().dims());
+        out.resize_reuse(&self.shape);
+        for (o, &x) in out.as_mut_slice().iter_mut().zip(input.as_slice()) {
+            *o = x.max(0.0);
+        }
+    }
+
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: &mut Tensor, _ws: &mut LayerWorkspace) {
         assert_eq!(
             grad_out.shape().dims(),
             self.shape.as_slice(),
             "relu gradient shape mismatch"
         );
-        let data = grad_out
-            .as_slice()
-            .iter()
+        grad_in.resize_reuse(&self.shape);
+        for ((o, &g), &m) in grad_in
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grad_out.as_slice())
             .zip(&self.mask)
-            .map(|(&g, &m)| if m { g } else { 0.0 })
-            .collect();
-        Tensor::from_vec(data, &self.shape).expect("same volume")
+        {
+            *o = if m { g } else { 0.0 };
+        }
     }
 
     fn name(&self) -> &'static str {

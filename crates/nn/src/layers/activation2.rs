@@ -1,6 +1,6 @@
 //! Additional pointwise activations: tanh and sigmoid.
 
-use crate::Layer;
+use crate::{Layer, LayerWorkspace};
 use adafl_tensor::Tensor;
 
 /// Hyperbolic-tangent activation.
@@ -21,26 +21,52 @@ impl Tanh {
 }
 
 impl Layer for Tanh {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        let out = input.map(f32::tanh);
-        self.output = out.as_slice().to_vec();
-        self.shape = input.shape().dims().to_vec();
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut out = Tensor::default();
+        let mut ws = LayerWorkspace::default();
+        self.forward_into(input, &mut out, train, &mut ws);
         out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut grad_in = Tensor::default();
+        let mut ws = LayerWorkspace::default();
+        self.backward_into(grad_out, &mut grad_in, &mut ws);
+        grad_in
+    }
+
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        out: &mut Tensor,
+        _train: bool,
+        _ws: &mut LayerWorkspace,
+    ) {
+        self.shape.clear();
+        self.shape.extend_from_slice(input.shape().dims());
+        out.resize_reuse(&self.shape);
+        self.output.clear();
+        for (o, &x) in out.as_mut_slice().iter_mut().zip(input.as_slice()) {
+            *o = x.tanh();
+            self.output.push(*o);
+        }
+    }
+
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: &mut Tensor, _ws: &mut LayerWorkspace) {
         assert_eq!(
             grad_out.shape().dims(),
             self.shape.as_slice(),
             "tanh gradient shape mismatch"
         );
-        let data = grad_out
-            .as_slice()
-            .iter()
+        grad_in.resize_reuse(&self.shape);
+        for ((o, &g), &y) in grad_in
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grad_out.as_slice())
             .zip(&self.output)
-            .map(|(&g, &y)| g * (1.0 - y * y))
-            .collect();
-        Tensor::from_vec(data, &self.shape).expect("same volume")
+        {
+            *o = g * (1.0 - y * y);
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -66,26 +92,52 @@ impl Sigmoid {
 }
 
 impl Layer for Sigmoid {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        let out = input.map(|x| 1.0 / (1.0 + (-x).exp()));
-        self.output = out.as_slice().to_vec();
-        self.shape = input.shape().dims().to_vec();
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut out = Tensor::default();
+        let mut ws = LayerWorkspace::default();
+        self.forward_into(input, &mut out, train, &mut ws);
         out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut grad_in = Tensor::default();
+        let mut ws = LayerWorkspace::default();
+        self.backward_into(grad_out, &mut grad_in, &mut ws);
+        grad_in
+    }
+
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        out: &mut Tensor,
+        _train: bool,
+        _ws: &mut LayerWorkspace,
+    ) {
+        self.shape.clear();
+        self.shape.extend_from_slice(input.shape().dims());
+        out.resize_reuse(&self.shape);
+        self.output.clear();
+        for (o, &x) in out.as_mut_slice().iter_mut().zip(input.as_slice()) {
+            *o = 1.0 / (1.0 + (-x).exp());
+            self.output.push(*o);
+        }
+    }
+
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: &mut Tensor, _ws: &mut LayerWorkspace) {
         assert_eq!(
             grad_out.shape().dims(),
             self.shape.as_slice(),
             "sigmoid gradient shape mismatch"
         );
-        let data = grad_out
-            .as_slice()
-            .iter()
+        grad_in.resize_reuse(&self.shape);
+        for ((o, &g), &y) in grad_in
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grad_out.as_slice())
             .zip(&self.output)
-            .map(|(&g, &y)| g * y * (1.0 - y))
-            .collect();
-        Tensor::from_vec(data, &self.shape).expect("same volume")
+        {
+            *o = g * y * (1.0 - y);
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -1,6 +1,6 @@
 //! 2-D average pooling.
 
-use crate::Layer;
+use crate::{Layer, LayerWorkspace};
 use adafl_tensor::Tensor;
 
 /// Non-overlapping 2-D average pooling.
@@ -60,7 +60,27 @@ impl AvgPool2d {
 }
 
 impl Layer for AvgPool2d {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut out = Tensor::default();
+        let mut ws = LayerWorkspace::default();
+        self.forward_into(input, &mut out, train, &mut ws);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut grad_in = Tensor::default();
+        let mut ws = LayerWorkspace::default();
+        self.backward_into(grad_out, &mut grad_in, &mut ws);
+        grad_in
+    }
+
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        out: &mut Tensor,
+        _train: bool,
+        _ws: &mut LayerWorkspace,
+    ) {
         let in_vol = self.input_volume();
         assert_eq!(
             input.shape().dims().get(1).copied(),
@@ -72,9 +92,9 @@ impl Layer for AvgPool2d {
         let (oh, ow, win) = (self.out_h(), self.out_w(), self.window);
         let norm = 1.0 / (win * win) as f32;
         let out_vol = self.output_volume();
-        let mut out = vec![0.0f32; batch * out_vol];
+        out.resize_reuse(&[batch, out_vol]);
         for (bi, row) in input.as_slice().chunks(in_vol).enumerate() {
-            let out_row = &mut out[bi * out_vol..(bi + 1) * out_vol];
+            let out_row = &mut out.as_mut_slice()[bi * out_vol..(bi + 1) * out_vol];
             let mut o = 0usize;
             for c in 0..self.channels {
                 let base = c * self.height * self.width;
@@ -92,19 +112,19 @@ impl Layer for AvgPool2d {
                 }
             }
         }
-        Tensor::from_vec(out, &[batch, out_vol]).expect("constructed volume")
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: &mut Tensor, _ws: &mut LayerWorkspace) {
         assert!(self.batch > 0, "backward called before forward");
         let out_vol = self.output_volume();
         assert_eq!(grad_out.shape().dims(), [self.batch, out_vol]);
         let in_vol = self.input_volume();
         let (oh, ow, win) = (self.out_h(), self.out_w(), self.window);
         let norm = 1.0 / (win * win) as f32;
-        let mut grad_in = vec![0.0f32; self.batch * in_vol];
+        grad_in.resize_reuse(&[self.batch, in_vol]);
+        grad_in.as_mut_slice().fill(0.0);
         for (bi, dy) in grad_out.as_slice().chunks(out_vol).enumerate() {
-            let gi = &mut grad_in[bi * in_vol..(bi + 1) * in_vol];
+            let gi = &mut grad_in.as_mut_slice()[bi * in_vol..(bi + 1) * in_vol];
             let mut o = 0usize;
             for c in 0..self.channels {
                 let base = c * self.height * self.width;
@@ -121,7 +141,6 @@ impl Layer for AvgPool2d {
                 }
             }
         }
-        Tensor::from_vec(grad_in, &[self.batch, in_vol]).expect("constructed volume")
     }
 
     fn name(&self) -> &'static str {

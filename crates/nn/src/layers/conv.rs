@@ -1,8 +1,8 @@
 //! 2-D convolution via `im2col`.
 
-use crate::Layer;
+use crate::{Layer, LayerWorkspace};
 use adafl_tensor::{
-    col2im, he_normal, im2col, matmul_into, matmul_nt, matmul_tn, Conv2dGeometry, Tensor,
+    col2im_into, he_normal, im2col_into, matmul_into, matmul_nt, matmul_tn, Conv2dGeometry, Tensor,
 };
 use rand::Rng;
 
@@ -24,8 +24,12 @@ pub struct Conv2d {
     bias: Tensor,
     grad_weight: Tensor,
     grad_bias: Tensor,
-    /// Cached per-sample patch matrices from the last forward.
-    cached_cols: Vec<Tensor>,
+    /// Cached patch matrices from the last forward, flat: one
+    /// `[patch_len, n_patches]` block per sample. Reused across steps so the
+    /// allocation is made once.
+    cached_cols: Vec<f32>,
+    /// Batch size of the last forward (`cached_cols` holds this many blocks).
+    cached_batch: usize,
 }
 
 impl Conv2d {
@@ -45,6 +49,7 @@ impl Conv2d {
             grad_weight: Tensor::zeros(&[out_channels, patch_len]),
             grad_bias: Tensor::zeros(&[out_channels]),
             cached_cols: Vec::new(),
+            cached_batch: 0,
         }
     }
 
@@ -65,31 +70,51 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut out = Tensor::default();
+        let mut ws = LayerWorkspace::default();
+        self.forward_into(input, &mut out, train, &mut ws);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut grad_in = Tensor::default();
+        let mut ws = LayerWorkspace::default();
+        self.backward_into(grad_out, &mut grad_in, &mut ws);
+        grad_in
+    }
+
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        out: &mut Tensor,
+        _train: bool,
+        _ws: &mut LayerWorkspace,
+    ) {
         assert_eq!(input.rank(), 2, "conv input must be [batch, c*h*w]");
         let batch = input.shape().dims()[0];
+        let in_volume = self.geom.input_volume();
         assert_eq!(
             input.shape().dims()[1],
-            self.geom.input_volume(),
+            in_volume,
             "conv input volume mismatch"
         );
         let n_patches = self.geom.n_patches();
         let patch_len = self.geom.patch_len();
         let out_width = self.out_channels * n_patches;
-        let mut out = vec![0.0f32; batch * out_width];
-        self.cached_cols.clear();
-        for (i, row) in input
-            .as_slice()
-            .chunks(self.geom.input_volume())
-            .enumerate()
-        {
-            let img =
-                Tensor::from_vec(row.to_vec(), &[self.geom.input_volume()]).expect("row volume");
-            let cols = im2col(&img, &self.geom).expect("geometry validated");
-            let sample_out = &mut out[i * out_width..(i + 1) * out_width];
+        let cols_len = patch_len * n_patches;
+        out.resize_reuse(&[batch, out_width]);
+        out.as_mut_slice().fill(0.0);
+        self.cached_cols.resize(batch * cols_len, 0.0);
+        self.cached_batch = batch;
+        for i in 0..batch {
+            let row = &input.as_slice()[i * in_volume..(i + 1) * in_volume];
+            let cols = &mut self.cached_cols[i * cols_len..(i + 1) * cols_len];
+            im2col_into(row, &self.geom, cols);
+            let sample_out = &mut out.as_mut_slice()[i * out_width..(i + 1) * out_width];
             matmul_into(
                 self.weight.as_slice(),
-                cols.as_slice(),
+                cols,
                 sample_out,
                 self.out_channels,
                 patch_len,
@@ -101,27 +126,27 @@ impl Layer for Conv2d {
                     *v += b;
                 }
             }
-            self.cached_cols.push(cols);
         }
-        Tensor::from_vec(out, &[batch, out_width]).expect("constructed volume")
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let batch = self.cached_cols.len();
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: &mut Tensor, ws: &mut LayerWorkspace) {
+        let batch = self.cached_batch;
         assert!(batch > 0, "backward called before forward");
         let n_patches = self.geom.n_patches();
         let patch_len = self.geom.patch_len();
         let out_width = self.out_channels * n_patches;
+        let cols_len = patch_len * n_patches;
         assert_eq!(grad_out.shape().dims(), [batch, out_width]);
 
         let in_volume = self.geom.input_volume();
-        let mut grad_in = vec![0.0f32; batch * in_volume];
+        grad_in.resize_reuse(&[batch, in_volume]);
+        ws.scratch.resize(cols_len, 0.0);
         for (i, dy) in grad_out.as_slice().chunks(out_width).enumerate() {
-            let cols = &self.cached_cols[i];
+            let cols = &self.cached_cols[i * cols_len..(i + 1) * cols_len];
             // dW += dY · colsᵀ  (dY: [out_ch, n_patches], cols: [patch_len, n_patches])
             matmul_nt(
                 dy,
-                cols.as_slice(),
+                cols,
                 self.grad_weight.as_mut_slice(),
                 self.out_channels,
                 n_patches,
@@ -132,21 +157,18 @@ impl Layer for Conv2d {
                 self.grad_bias.as_mut_slice()[ch] += chunk.iter().sum::<f32>();
             }
             // dCols = Wᵀ · dY  (W: [out_ch, patch_len])
-            let mut dcols = vec![0.0f32; patch_len * n_patches];
+            ws.scratch.fill(0.0);
             matmul_tn(
                 self.weight.as_slice(),
                 dy,
-                &mut dcols,
+                &mut ws.scratch,
                 self.out_channels,
                 patch_len,
                 n_patches,
             );
-            let dcols_t =
-                Tensor::from_vec(dcols, &[patch_len, n_patches]).expect("constructed volume");
-            let dimg = col2im(&dcols_t, &self.geom).expect("geometry validated");
-            grad_in[i * in_volume..(i + 1) * in_volume].copy_from_slice(dimg.as_slice());
+            let dimg = &mut grad_in.as_mut_slice()[i * in_volume..(i + 1) * in_volume];
+            col2im_into(&ws.scratch, &self.geom, dimg);
         }
-        Tensor::from_vec(grad_in, &[batch, in_volume]).expect("constructed volume")
     }
 
     fn param_count(&self) -> usize {

@@ -1,7 +1,7 @@
 //! Fully-connected (linear) layer.
 
-use crate::Layer;
-use adafl_tensor::{matmul_nt, matmul_tn, xavier_uniform, Tensor};
+use crate::{Layer, LayerWorkspace};
+use adafl_tensor::{matmul_into, matmul_nt, matmul_tn, xavier_uniform, Tensor};
 use rand::Rng;
 
 /// Fully-connected layer computing `y = x·W + b`.
@@ -60,19 +60,51 @@ impl Dense {
 }
 
 impl Layer for Dense {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut out = Tensor::default();
+        let mut ws = LayerWorkspace::default();
+        self.forward_into(input, &mut out, train, &mut ws);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut grad_in = Tensor::default();
+        let mut ws = LayerWorkspace::default();
+        self.backward_into(grad_out, &mut grad_in, &mut ws);
+        grad_in
+    }
+
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        out: &mut Tensor,
+        _train: bool,
+        _ws: &mut LayerWorkspace,
+    ) {
         assert_eq!(
             input.shape().dims().get(1).copied(),
             Some(self.in_features),
             "dense input width mismatch"
         );
-        let mut out = input.matmul(&self.weight).expect("dense matmul");
+        let batch = input.shape().dims()[0];
+        out.resize_reuse(&[batch, self.out_features]);
+        out.as_mut_slice().fill(0.0);
+        matmul_into(
+            input.as_slice(),
+            self.weight.as_slice(),
+            out.as_mut_slice(),
+            batch,
+            self.in_features,
+            self.out_features,
+        );
         out.add_row_broadcast(&self.bias).expect("bias broadcast");
-        self.cached_input = Some(input.clone());
-        out
+        match &mut self.cached_input {
+            Some(cache) => cache.copy_from(input),
+            None => self.cached_input = Some(input.clone()),
+        }
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: &mut Tensor, _ws: &mut LayerWorkspace) {
         let input = self
             .cached_input
             .as_ref()
@@ -89,12 +121,18 @@ impl Layer for Dense {
             self.in_features,
             self.out_features,
         );
-        // db += column sums of dY
-        let db = grad_out.sum_rows().expect("grad_out is a matrix");
-        self.grad_bias.axpy(1.0, &db).expect("bias grad shape");
+        // db += column sums of dY, accumulated row by row (same summation
+        // order as the former sum_rows + axpy, without the temporary).
+        let gb = self.grad_bias.as_mut_slice();
+        for row in grad_out.as_slice().chunks(self.out_features) {
+            for (b, &g) in gb.iter_mut().zip(row) {
+                *b += g;
+            }
+        }
 
         // dX = dY · Wᵀ
-        let mut grad_in = Tensor::zeros(&[batch, self.in_features]);
+        grad_in.resize_reuse(&[batch, self.in_features]);
+        grad_in.as_mut_slice().fill(0.0);
         matmul_nt(
             grad_out.as_slice(),
             self.weight.as_slice(),
@@ -103,7 +141,6 @@ impl Layer for Dense {
             self.out_features,
             self.in_features,
         );
-        grad_in
     }
 
     fn param_count(&self) -> usize {

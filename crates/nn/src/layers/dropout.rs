@@ -1,6 +1,6 @@
 //! Inverted dropout.
 
-use crate::Layer;
+use crate::{Layer, LayerWorkspace};
 use adafl_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -39,43 +39,69 @@ impl Dropout {
 
 impl Layer for Dropout {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        self.shape = input.shape().dims().to_vec();
-        if !train || self.p == 0.0 {
-            self.mask = vec![1.0; input.len()];
-            return input.clone();
-        }
-        let keep = 1.0 - self.p;
-        self.mask = (0..input.len())
-            .map(|_| {
-                if self.rng.gen::<f32>() < keep {
-                    1.0 / keep
-                } else {
-                    0.0
-                }
-            })
-            .collect();
-        let data = input
-            .as_slice()
-            .iter()
-            .zip(&self.mask)
-            .map(|(x, m)| x * m)
-            .collect();
-        Tensor::from_vec(data, &self.shape).expect("same volume")
+        let mut out = Tensor::default();
+        let mut ws = LayerWorkspace::default();
+        self.forward_into(input, &mut out, train, &mut ws);
+        out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut grad_in = Tensor::default();
+        let mut ws = LayerWorkspace::default();
+        self.backward_into(grad_out, &mut grad_in, &mut ws);
+        grad_in
+    }
+
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        out: &mut Tensor,
+        train: bool,
+        _ws: &mut LayerWorkspace,
+    ) {
+        self.shape.clear();
+        self.shape.extend_from_slice(input.shape().dims());
+        if !train || self.p == 0.0 {
+            self.mask.clear();
+            self.mask.resize(input.len(), 1.0);
+            out.copy_from(input);
+            return;
+        }
+        let keep = 1.0 - self.p;
+        self.mask.clear();
+        for _ in 0..input.len() {
+            self.mask.push(if self.rng.gen::<f32>() < keep {
+                1.0 / keep
+            } else {
+                0.0
+            });
+        }
+        out.resize_reuse(&self.shape);
+        for ((o, &x), &m) in out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(input.as_slice())
+            .zip(&self.mask)
+        {
+            *o = x * m;
+        }
+    }
+
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: &mut Tensor, _ws: &mut LayerWorkspace) {
         assert_eq!(
             grad_out.shape().dims(),
             self.shape.as_slice(),
             "dropout gradient shape mismatch"
         );
-        let data = grad_out
-            .as_slice()
-            .iter()
+        grad_in.resize_reuse(&self.shape);
+        for ((o, &g), &m) in grad_in
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grad_out.as_slice())
             .zip(&self.mask)
-            .map(|(g, m)| g * m)
-            .collect();
-        Tensor::from_vec(data, &self.shape).expect("same volume")
+        {
+            *o = g * m;
+        }
     }
 
     fn name(&self) -> &'static str {

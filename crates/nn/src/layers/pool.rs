@@ -1,6 +1,6 @@
 //! 2-D max pooling.
 
-use crate::Layer;
+use crate::{Layer, LayerWorkspace};
 use adafl_tensor::Tensor;
 
 /// Non-overlapping 2-D max pooling.
@@ -15,8 +15,9 @@ pub struct MaxPool2d {
     height: usize,
     width: usize,
     window: usize,
-    /// Flat source index of each pooled maximum, per batch row.
-    cached_argmax: Vec<Vec<usize>>,
+    /// Flat source index of each pooled maximum, `batch · output_volume`
+    /// entries in batch-row order. Reused across steps.
+    cached_argmax: Vec<usize>,
     batch: usize,
 }
 
@@ -63,7 +64,27 @@ impl MaxPool2d {
 }
 
 impl Layer for MaxPool2d {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut out = Tensor::default();
+        let mut ws = LayerWorkspace::default();
+        self.forward_into(input, &mut out, train, &mut ws);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut grad_in = Tensor::default();
+        let mut ws = LayerWorkspace::default();
+        self.backward_into(grad_out, &mut grad_in, &mut ws);
+        grad_in
+    }
+
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        out: &mut Tensor,
+        _train: bool,
+        _ws: &mut LayerWorkspace,
+    ) {
         assert_eq!(input.rank(), 2, "pool input must be [batch, c*h*w]");
         let in_vol = self.input_volume();
         assert_eq!(
@@ -74,12 +95,11 @@ impl Layer for MaxPool2d {
         let batch = input.shape().dims()[0];
         let (oh, ow, win) = (self.out_h(), self.out_w(), self.window);
         let out_vol = self.output_volume();
-        let mut out = vec![0.0f32; batch * out_vol];
+        out.resize_reuse(&[batch, out_vol]);
         self.cached_argmax.clear();
         self.batch = batch;
         for (bi, row) in input.as_slice().chunks(in_vol).enumerate() {
-            let mut argmax = Vec::with_capacity(out_vol);
-            let out_row = &mut out[bi * out_vol..(bi + 1) * out_vol];
+            let out_row = &mut out.as_mut_slice()[bi * out_vol..(bi + 1) * out_vol];
             let mut o = 0usize;
             for c in 0..self.channels {
                 let base = c * self.height * self.width;
@@ -97,30 +117,28 @@ impl Layer for MaxPool2d {
                             }
                         }
                         out_row[o] = best;
-                        argmax.push(best_idx);
+                        self.cached_argmax.push(best_idx);
                         o += 1;
                     }
                 }
             }
-            self.cached_argmax.push(argmax);
         }
-        Tensor::from_vec(out, &[batch, out_vol]).expect("constructed volume")
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: &mut Tensor, _ws: &mut LayerWorkspace) {
         assert!(self.batch > 0, "backward called before forward");
         let out_vol = self.output_volume();
         assert_eq!(grad_out.shape().dims(), [self.batch, out_vol]);
         let in_vol = self.input_volume();
-        let mut grad_in = vec![0.0f32; self.batch * in_vol];
+        grad_in.resize_reuse(&[self.batch, in_vol]);
+        grad_in.as_mut_slice().fill(0.0);
         for (bi, dy) in grad_out.as_slice().chunks(out_vol).enumerate() {
-            let argmax = &self.cached_argmax[bi];
-            let gi = &mut grad_in[bi * in_vol..(bi + 1) * in_vol];
+            let argmax = &self.cached_argmax[bi * out_vol..(bi + 1) * out_vol];
+            let gi = &mut grad_in.as_mut_slice()[bi * in_vol..(bi + 1) * in_vol];
             for (&src, &g) in argmax.iter().zip(dy) {
                 gi[src] += g;
             }
         }
-        Tensor::from_vec(grad_in, &[self.batch, in_vol]).expect("constructed volume")
     }
 
     fn name(&self) -> &'static str {

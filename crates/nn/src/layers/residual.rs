@@ -1,6 +1,6 @@
 //! Residual (skip-connection) blocks.
 
-use crate::Layer;
+use crate::{Layer, LayerWorkspace};
 use adafl_tensor::Tensor;
 
 /// Residual block computing `y = body(x) + x`.
@@ -36,25 +36,70 @@ impl Residual {
 
 impl Layer for Residual {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let mut x = input.clone();
-        for layer in &mut self.body {
-            x = layer.forward(&x, train);
-        }
-        assert_eq!(
-            x.shape().dims(),
-            input.shape().dims(),
-            "residual body must preserve shape for the identity shortcut"
-        );
-        &x + input
+        let mut out = Tensor::default();
+        let mut ws = LayerWorkspace::default();
+        self.forward_into(input, &mut out, train, &mut ws);
+        out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let mut g = grad_out.clone();
-        for layer in self.body.iter_mut().rev() {
-            g = layer.backward(&g);
+        let mut grad_in = Tensor::default();
+        let mut ws = LayerWorkspace::default();
+        self.backward_into(grad_out, &mut grad_in, &mut ws);
+        grad_in
+    }
+
+    fn forward_into(
+        &mut self,
+        input: &Tensor,
+        out: &mut Tensor,
+        train: bool,
+        ws: &mut LayerWorkspace,
+    ) {
+        ws.ensure_children(self.body.len());
+        self.body[0].forward_into(input, &mut ws.ping, train, &mut ws.children[0]);
+        let mut src: &mut Tensor = &mut ws.ping;
+        let mut dst: &mut Tensor = &mut ws.pong;
+        for i in 1..self.body.len() {
+            self.body[i].forward_into(src, dst, train, &mut ws.children[i]);
+            std::mem::swap(&mut src, &mut dst);
+        }
+        assert_eq!(
+            src.shape().dims(),
+            input.shape().dims(),
+            "residual body must preserve shape for the identity shortcut"
+        );
+        out.resize_reuse(input.shape().dims());
+        for ((o, &a), &b) in out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(src.as_slice())
+            .zip(input.as_slice())
+        {
+            *o = a + b;
+        }
+    }
+
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: &mut Tensor, ws: &mut LayerWorkspace) {
+        ws.ensure_children(self.body.len());
+        let n = self.body.len();
+        self.body[n - 1].backward_into(grad_out, &mut ws.ping, &mut ws.children[n - 1]);
+        let mut src: &mut Tensor = &mut ws.ping;
+        let mut dst: &mut Tensor = &mut ws.pong;
+        for i in (0..n - 1).rev() {
+            self.body[i].backward_into(src, dst, &mut ws.children[i]);
+            std::mem::swap(&mut src, &mut dst);
         }
         // Shortcut adds the output gradient directly to the input gradient.
-        &g + grad_out
+        grad_in.resize_reuse(grad_out.shape().dims());
+        for ((o, &a), &b) in grad_in
+            .as_mut_slice()
+            .iter_mut()
+            .zip(src.as_slice())
+            .zip(grad_out.as_slice())
+        {
+            *o = a + b;
+        }
     }
 
     fn param_count(&self) -> usize {

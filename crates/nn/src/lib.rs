@@ -44,6 +44,8 @@ mod model;
 pub mod models;
 pub mod optim;
 pub mod schedule;
+mod workspace;
 
 pub use layer::Layer;
 pub use model::Model;
+pub use workspace::{LayerWorkspace, ModelWorkspace};

@@ -24,30 +24,56 @@ impl CrossEntropyLoss {
     /// Panics when `labels.len()` differs from the batch size or a label is
     /// out of range.
     pub fn loss_and_grad(&self, logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+        let mut grad = Tensor::default();
+        let loss = self.loss_and_grad_into(logits, labels, &mut grad);
+        (loss, grad)
+    }
+
+    /// Allocation-free [`CrossEntropyLoss::loss_and_grad`]: writes the
+    /// gradient into `grad` (resized in place, reusing its allocation) and
+    /// returns the mean loss. Softmax is computed directly into the gradient
+    /// buffer, so no probability tensor is materialised.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`CrossEntropyLoss::loss_and_grad`].
+    pub fn loss_and_grad_into(&self, logits: &Tensor, labels: &[usize], grad: &mut Tensor) -> f32 {
         assert_eq!(logits.rank(), 2, "logits must be [batch, classes]");
         let batch = logits.shape().dims()[0];
         let classes = logits.shape().dims()[1];
         assert_eq!(labels.len(), batch, "one label per batch row required");
 
-        let probs = logits.softmax_rows().expect("logits are rank 2");
-        let mut grad = probs.clone();
-        let mut total = 0.0f32;
+        grad.resize_reuse(&[batch, classes]);
         let g = grad.as_mut_slice();
+        let mut total = 0.0f32;
         for (i, &label) in labels.iter().enumerate() {
             assert!(
                 label < classes,
                 "label {label} out of range for {classes} classes"
             );
-            let p = probs.as_slice()[i * classes + label].max(1e-12);
+            let row = &logits.as_slice()[i * classes..(i + 1) * classes];
+            let g_row = &mut g[i * classes..(i + 1) * classes];
+            // Numerically-stable softmax written straight into the gradient
+            // row (same max-shift + divide as Tensor::softmax_rows).
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut z = 0.0f32;
+            for (o, &x) in g_row.iter_mut().zip(row) {
+                *o = (x - m).exp();
+                z += *o;
+            }
+            for o in g_row.iter_mut() {
+                *o /= z;
+            }
+            let p = g_row[label].max(1e-12);
             total -= p.ln();
-            g[i * classes + label] -= 1.0;
+            g_row[label] -= 1.0;
         }
         // Mean over the batch; scale the gradient accordingly.
         let scale = 1.0 / batch as f32;
         for v in g.iter_mut() {
             *v *= scale;
         }
-        (total * scale, grad)
+        total * scale
     }
 }
 

@@ -1,4 +1,5 @@
 use crate::optim::Optimizer;
+use crate::workspace::ModelWorkspace;
 use crate::Layer;
 use adafl_tensor::Tensor;
 
@@ -91,6 +92,70 @@ impl Model {
         g
     }
 
+    /// Allocation-free forward pass: chains [`Layer::forward_into`] through
+    /// the workspace's ping-pong buffers, writing the final activations into
+    /// `out`.
+    ///
+    /// After the first call every buffer has steady-state capacity, so
+    /// repeated calls with same-shaped inputs perform no heap allocation.
+    pub fn forward_into(
+        &mut self,
+        input: &Tensor,
+        out: &mut Tensor,
+        train: bool,
+        ws: &mut ModelWorkspace,
+    ) {
+        if ws.layers.len() < self.layers.len() {
+            ws.layers.resize_with(self.layers.len(), Default::default);
+        }
+        let n = self.layers.len();
+        if n == 1 {
+            self.layers[0].forward_into(input, out, train, &mut ws.layers[0]);
+            return;
+        }
+        self.layers[0].forward_into(input, &mut ws.ping, train, &mut ws.layers[0]);
+        let mut src: &mut Tensor = &mut ws.ping;
+        let mut dst: &mut Tensor = &mut ws.pong;
+        for i in 1..n {
+            if i == n - 1 {
+                self.layers[i].forward_into(src, out, train, &mut ws.layers[i]);
+            } else {
+                self.layers[i].forward_into(src, dst, train, &mut ws.layers[i]);
+                std::mem::swap(&mut src, &mut dst);
+            }
+        }
+    }
+
+    /// Allocation-free backward pass mirroring [`Model::forward_into`]:
+    /// propagates `grad_out` through the stack in reverse, writing
+    /// ∂loss/∂input into `grad_in` and accumulating parameter gradients.
+    pub fn backward_into(
+        &mut self,
+        grad_out: &Tensor,
+        grad_in: &mut Tensor,
+        ws: &mut ModelWorkspace,
+    ) {
+        if ws.layers.len() < self.layers.len() {
+            ws.layers.resize_with(self.layers.len(), Default::default);
+        }
+        let n = self.layers.len();
+        if n == 1 {
+            self.layers[0].backward_into(grad_out, grad_in, &mut ws.layers[0]);
+            return;
+        }
+        self.layers[n - 1].backward_into(grad_out, &mut ws.ping, &mut ws.layers[n - 1]);
+        let mut src: &mut Tensor = &mut ws.ping;
+        let mut dst: &mut Tensor = &mut ws.pong;
+        for i in (0..n - 1).rev() {
+            if i == 0 {
+                self.layers[0].backward_into(src, grad_in, &mut ws.layers[0]);
+            } else {
+                self.layers[i].backward_into(src, dst, &mut ws.layers[i]);
+                std::mem::swap(&mut src, &mut dst);
+            }
+        }
+    }
+
     /// Resets all accumulated gradients to zero.
     pub fn zero_grads(&mut self) {
         for layer in &mut self.layers {
@@ -137,6 +202,28 @@ impl Model {
         }
     }
 
+    /// Flattens all parameters into a reusable vector (stable layer order).
+    ///
+    /// Equivalent to [`Model::params_flat`] but writes into `out`, which is
+    /// cleared first; once `out` has reached capacity no allocation occurs.
+    pub fn params_flat_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.param_count());
+        for layer in &self.layers {
+            layer.visit_params(&mut |p| out.extend_from_slice(p));
+        }
+    }
+
+    /// Flattens all accumulated gradients into a reusable vector (same order
+    /// as [`Model::params_flat`]).
+    pub fn grads_flat_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.param_count());
+        for layer in &self.layers {
+            layer.visit_grads(&mut |g| out.extend_from_slice(g));
+        }
+    }
+
     /// Applies one optimizer step using the currently accumulated gradients,
     /// then clears them.
     pub fn apply_gradient_step(&mut self, optimizer: &mut dyn Optimizer) {
@@ -144,6 +231,21 @@ impl Model {
         let grads = self.grads_flat();
         optimizer.step(&mut params, &grads);
         self.set_params_flat(&params);
+        self.zero_grads();
+    }
+
+    /// Allocation-free [`Model::apply_gradient_step`]: identical numerics,
+    /// but the flat parameter/gradient vectors live in the workspace and are
+    /// reused across steps.
+    pub fn apply_gradient_step_ws(
+        &mut self,
+        optimizer: &mut dyn Optimizer,
+        ws: &mut ModelWorkspace,
+    ) {
+        self.params_flat_into(&mut ws.params);
+        self.grads_flat_into(&mut ws.grads);
+        optimizer.step(&mut ws.params, &ws.grads);
+        self.set_params_flat(&ws.params);
         self.zero_grads();
     }
 

@@ -57,6 +57,16 @@ impl Sgd {
             velocity: Vec::new(),
         }
     }
+
+    /// Zeroes the momentum buffer, keeping its allocation.
+    ///
+    /// After `reset` the optimizer behaves exactly like a freshly
+    /// constructed one, which lets federated clients keep a persistent
+    /// optimizer across rounds (each local phase starts with zero velocity)
+    /// without reallocating the buffer.
+    pub fn reset(&mut self) {
+        self.velocity.fill(0.0);
+    }
 }
 
 impl Optimizer for Sgd {

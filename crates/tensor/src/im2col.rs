@@ -132,11 +132,30 @@ pub fn im2col(image: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
             actual: image.len(),
         });
     }
+    let mut out = vec![0.0f32; geom.patch_len() * geom.n_patches()];
+    im2col_into(image.as_slice(), geom, &mut out);
+    Tensor::from_vec(out, &[geom.patch_len(), geom.n_patches()])
+}
+
+/// Slice-based [`im2col`] that writes into a caller-provided buffer of
+/// `patch_len() · n_patches()` elements, allocating nothing.
+///
+/// Every position is written (padding positions as zero), so the buffer may
+/// hold stale data from a previous call.
+///
+/// # Panics
+///
+/// Panics when `img` or `out` has the wrong length for the geometry.
+pub fn im2col_into(img: &[f32], geom: &Conv2dGeometry, out: &mut [f32]) {
+    assert_eq!(img.len(), geom.input_volume(), "im2col_into: image length");
+    assert_eq!(
+        out.len(),
+        geom.patch_len() * geom.n_patches(),
+        "im2col_into: output length"
+    );
     let (c, h, w) = (geom.channels, geom.height, geom.width);
     let (kh, stride, pad) = (geom.kernel, geom.stride, geom.padding);
     let (oh, ow) = (geom.out_h(), geom.out_w());
-    let img = image.as_slice();
-    let mut out = vec![0.0f32; geom.patch_len() * geom.n_patches()];
     let n_patches = oh * ow;
     let mut row = 0usize;
     for ch in 0..c {
@@ -148,9 +167,12 @@ pub fn im2col(image: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
                     let iy = (oy * stride + ky) as isize - pad as isize;
                     for ox in 0..ow {
                         let ix = (ox * stride + kx) as isize - pad as isize;
-                        if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
-                            out_row[patch] = img[ch * h * w + iy as usize * w + ix as usize];
-                        }
+                        out_row[patch] = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize
+                        {
+                            img[ch * h * w + iy as usize * w + ix as usize]
+                        } else {
+                            0.0
+                        };
                         patch += 1;
                     }
                 }
@@ -158,7 +180,6 @@ pub fn im2col(image: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
             }
         }
     }
-    Tensor::from_vec(out, &[geom.patch_len(), geom.n_patches()])
 }
 
 /// Folds a `[patch_len, n_patches]` gradient matrix back into
@@ -179,17 +200,36 @@ pub fn col2im(cols: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
             actual: cols.len(),
         });
     }
+    let mut img = vec![0.0f32; geom.input_volume()];
+    col2im_into(cols.as_slice(), geom, &mut img);
+    Tensor::from_vec(img, &[geom.channels, geom.height, geom.width])
+}
+
+/// Slice-based [`col2im`] that overwrites a caller-provided buffer of
+/// `input_volume()` elements, allocating nothing.
+///
+/// The buffer is zeroed first, then overlapping patches are summed into it.
+///
+/// # Panics
+///
+/// Panics when `cols` or `img` has the wrong length for the geometry.
+pub fn col2im_into(cols: &[f32], geom: &Conv2dGeometry, img: &mut [f32]) {
+    assert_eq!(
+        cols.len(),
+        geom.patch_len() * geom.n_patches(),
+        "col2im_into: cols length"
+    );
+    assert_eq!(img.len(), geom.input_volume(), "col2im_into: image length");
+    img.fill(0.0);
     let (c, h, w) = (geom.channels, geom.height, geom.width);
     let (kh, stride, pad) = (geom.kernel, geom.stride, geom.padding);
     let (oh, ow) = (geom.out_h(), geom.out_w());
-    let src = cols.as_slice();
     let n_patches = oh * ow;
-    let mut img = vec![0.0f32; geom.input_volume()];
     let mut row = 0usize;
     for ch in 0..c {
         for ky in 0..kh {
             for kx in 0..kh {
-                let in_row = &src[row * n_patches..(row + 1) * n_patches];
+                let in_row = &cols[row * n_patches..(row + 1) * n_patches];
                 let mut patch = 0usize;
                 for oy in 0..oh {
                     let iy = (oy * stride + ky) as isize - pad as isize;
@@ -205,7 +245,6 @@ pub fn col2im(cols: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
             }
         }
     }
-    Tensor::from_vec(img, &[c, h, w])
 }
 
 #[cfg(test)]

@@ -35,9 +35,9 @@ mod tensor;
 pub mod vecops;
 
 pub use error::TensorError;
-pub use im2col::{col2im, im2col, Conv2dGeometry};
+pub use im2col::{col2im, col2im_into, im2col, im2col_into, Conv2dGeometry};
 pub use init::{he_normal, uniform_init, xavier_uniform};
-pub use matmul::{matmul_into, matmul_nt, matmul_tn};
+pub use matmul::{matmul_into, matmul_nt, matmul_tn, oracle};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

@@ -1,4 +1,4 @@
-//! Cache-blocked matrix multiplication kernels.
+//! Register-blocked matrix multiplication kernels.
 //!
 //! Three variants cover the needs of forward and backward passes without
 //! materialising transposes:
@@ -6,10 +6,34 @@
 //! * [`Tensor::matmul`] / [`matmul_into`] — `C = A · B`
 //! * [`matmul_tn`] — `C = Aᵀ · B` (weight gradients)
 //! * [`matmul_nt`] — `C = A · Bᵀ` (input gradients)
+//!
+//! All three run a register-blocked micro-kernel: an `MR`-row × `NR`-column
+//! tile of `C` is accumulated in local arrays across a k-block, so each
+//! loaded panel of `B` feeds `MR` rows of output and `C` is touched once per
+//! k-block instead of once per `(i, kk)` pair. The accumulators are plain
+//! fixed-size `f32` arrays with independent lanes, which LLVM autovectorises
+//! without any unordered reductions — results stay bit-deterministic for a
+//! given shape. The kernels are dense on purpose: sparsity-aware paths live
+//! in `crates/compression`, not here.
+//!
+//! The [`oracle`] module keeps the naive triple-loop kernels as a reference
+//! for unit and property tests.
 
 use crate::{Result, Tensor, TensorError};
 
-const BLOCK: usize = 64;
+/// k-blocking factor: bounds the `B` panel touched by one micro-kernel pass
+/// to `KC × NR × 4` bytes (16 KiB), which stays L1-resident.
+const KC: usize = 256;
+/// Rows of `C` accumulated per micro-kernel invocation.
+const MR: usize = 4;
+/// Columns of `C` accumulated per micro-kernel invocation. Sized so the
+/// `MR × NR` accumulator block (eight 256-bit vectors) fits the AVX2
+/// register file without spilling, leaving registers for the `B` panel.
+const NR: usize = 16;
+/// Lane width for the dot-product (`NT`) kernel accumulators: two 256-bit
+/// vectors per dot product, giving eight independent FMA chains across a
+/// 4-wide column tile to cover FMA latency.
+const LANES: usize = 16;
 
 fn dims2(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
     if t.rank() != 2 {
@@ -55,11 +79,67 @@ impl Tensor {
     }
 }
 
+/// Micro-kernel for `matmul_into`: accumulates `R` rows of `C` starting at
+/// row `i`, over the k-range `kb..ke`, for every column tile.
+#[allow(clippy::too_many_arguments)]
+fn nn_panel<const R: usize>(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    i: usize,
+    kb: usize,
+    ke: usize,
+    k: usize,
+    n: usize,
+) {
+    let kc = ke - kb;
+    let a_rows: [&[f32]; R] = core::array::from_fn(|r| &a[(i + r) * k + kb..][..kc]);
+    let mut j = 0;
+    while j + NR <= n {
+        let mut acc = [[0.0f32; NR]; R];
+        for kk in 0..kc {
+            let bp = &b[(kb + kk) * n + j..][..NR];
+            for r in 0..R {
+                let av = a_rows[r][kk];
+                for (x, &bv) in acc[r].iter_mut().zip(bp) {
+                    *x += av * bv;
+                }
+            }
+        }
+        for (r, lane) in acc.iter().enumerate() {
+            let c_row = &mut c[(i + r) * n + j..][..NR];
+            for (cv, &x) in c_row.iter_mut().zip(lane) {
+                *cv += x;
+            }
+        }
+        j += NR;
+    }
+    if j < n {
+        let w = n - j;
+        let mut acc = [[0.0f32; NR]; R];
+        for kk in 0..kc {
+            let bp = &b[(kb + kk) * n + j..][..w];
+            for r in 0..R {
+                let av = a_rows[r][kk];
+                for (x, &bv) in acc[r][..w].iter_mut().zip(bp) {
+                    *x += av * bv;
+                }
+            }
+        }
+        for (r, lane) in acc.iter().enumerate() {
+            let c_row = &mut c[(i + r) * n + j..][..w];
+            for (cv, &x) in c_row.iter_mut().zip(&lane[..w]) {
+                *cv += x;
+            }
+        }
+    }
+}
+
 /// Computes `c += a · b` where `a` is `m×k`, `b` is `k×n`, `c` is `m×n`,
 /// all row-major flat slices.
 ///
-/// Uses i-k-j loop order with k-blocking, which vectorises well and avoids
-/// striding through `b` column-wise.
+/// Register-blocked: 4×16 tiles of `c` accumulate in locals across each
+/// k-block, so one loaded `b` panel feeds four output rows.
 ///
 /// # Panics
 ///
@@ -68,19 +148,73 @@ pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
     assert_eq!(a.len(), m * k, "lhs length");
     assert_eq!(b.len(), k * n, "rhs length");
     assert_eq!(c.len(), m * n, "out length");
-    for kb in (0..k).step_by(BLOCK) {
-        let k_end = (kb + BLOCK).min(k);
-        for i in 0..m {
-            let c_row = &mut c[i * n..(i + 1) * n];
-            for kk in kb..k_end {
-                let aik = a[i * k + kk];
-                if aik == 0.0 {
-                    continue;
+    for kb in (0..k).step_by(KC) {
+        let ke = (kb + KC).min(k);
+        let mut i = 0;
+        while i + MR <= m {
+            nn_panel::<MR>(a, b, c, i, kb, ke, k, n);
+            i += MR;
+        }
+        match m - i {
+            3 => nn_panel::<3>(a, b, c, i, kb, ke, k, n),
+            2 => nn_panel::<2>(a, b, c, i, kb, ke, k, n),
+            1 => nn_panel::<1>(a, b, c, i, kb, ke, k, n),
+            _ => {}
+        }
+    }
+}
+
+/// Micro-kernel for `matmul_tn`: same tile shape as [`nn_panel`], but `a` is
+/// `k×m`, so the `R` row values for a given `kk` are contiguous.
+#[allow(clippy::too_many_arguments)]
+fn tn_panel<const R: usize>(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    i: usize,
+    kb: usize,
+    ke: usize,
+    m: usize,
+    n: usize,
+) {
+    let mut j = 0;
+    while j + NR <= n {
+        let mut acc = [[0.0f32; NR]; R];
+        for kk in kb..ke {
+            let avs = &a[kk * m + i..][..R];
+            let bp = &b[kk * n + j..][..NR];
+            for r in 0..R {
+                let av = avs[r];
+                for (x, &bv) in acc[r].iter_mut().zip(bp) {
+                    *x += av * bv;
                 }
-                let b_row = &b[kk * n..(kk + 1) * n];
-                for (cv, bv) in c_row.iter_mut().zip(b_row) {
-                    *cv += aik * bv;
+            }
+        }
+        for (r, lane) in acc.iter().enumerate() {
+            let c_row = &mut c[(i + r) * n + j..][..NR];
+            for (cv, &x) in c_row.iter_mut().zip(lane) {
+                *cv += x;
+            }
+        }
+        j += NR;
+    }
+    if j < n {
+        let w = n - j;
+        let mut acc = [[0.0f32; NR]; R];
+        for kk in kb..ke {
+            let avs = &a[kk * m + i..][..R];
+            let bp = &b[kk * n + j..][..w];
+            for r in 0..R {
+                let av = avs[r];
+                for (x, &bv) in acc[r][..w].iter_mut().zip(bp) {
+                    *x += av * bv;
                 }
+            }
+        }
+        for (r, lane) in acc.iter().enumerate() {
+            let c_row = &mut c[(i + r) * n + j..][..w];
+            for (cv, &x) in c_row.iter_mut().zip(&lane[..w]) {
+                *cv += x;
             }
         }
     }
@@ -89,7 +223,8 @@ pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: u
 /// Computes `c += aᵀ · b` where `a` is `k×m`, `b` is `k×n`, `c` is `m×n`.
 ///
 /// This is the weight-gradient kernel: `dW = Xᵀ · dY` without materialising
-/// `Xᵀ`.
+/// `Xᵀ`. Same 4×16 register blocking as [`matmul_into`]; the transposed
+/// layout makes the four per-row `a` values one contiguous load.
 ///
 /// # Panics
 ///
@@ -98,25 +233,58 @@ pub fn matmul_tn(a: &[f32], b: &[f32], c: &mut [f32], k: usize, m: usize, n: usi
     assert_eq!(a.len(), k * m, "lhs length");
     assert_eq!(b.len(), k * n, "rhs length");
     assert_eq!(c.len(), m * n, "out length");
-    for kk in 0..k {
-        let a_row = &a[kk * m..(kk + 1) * m];
-        let b_row = &b[kk * n..(kk + 1) * n];
-        for (i, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let c_row = &mut c[i * n..(i + 1) * n];
-            for (cv, bv) in c_row.iter_mut().zip(b_row) {
-                *cv += av * bv;
+    for kb in (0..k).step_by(KC) {
+        let ke = (kb + KC).min(k);
+        let mut i = 0;
+        while i + MR <= m {
+            tn_panel::<MR>(a, b, c, i, kb, ke, m, n);
+            i += MR;
+        }
+        match m - i {
+            3 => tn_panel::<3>(a, b, c, i, kb, ke, m, n),
+            2 => tn_panel::<2>(a, b, c, i, kb, ke, m, n),
+            1 => tn_panel::<1>(a, b, c, i, kb, ke, m, n),
+            _ => {}
+        }
+    }
+}
+
+/// `Q` simultaneous dot products of `a` against rows of `b` starting at row
+/// `j`, each accumulated in [`LANES`] independent lanes and horizontally
+/// summed in a fixed order (left to right), so results are deterministic.
+fn nt_dots<const Q: usize>(a: &[f32], b: &[f32], j: usize, k: usize) -> [f32; Q] {
+    let b_rows: [&[f32]; Q] = core::array::from_fn(|q| &b[(j + q) * k..][..k]);
+    let mut acc = [[0.0f32; LANES]; Q];
+    let chunks = k / LANES;
+    for t in 0..chunks {
+        let al = &a[t * LANES..][..LANES];
+        for (q, lane) in acc.iter_mut().enumerate() {
+            let bl = &b_rows[q][t * LANES..][..LANES];
+            for ((x, &av), &bv) in lane.iter_mut().zip(al).zip(bl) {
+                *x += av * bv;
             }
         }
     }
+    let mut out = [0.0f32; Q];
+    for (q, lane) in acc.iter().enumerate() {
+        let mut sum = 0.0f32;
+        for &x in lane {
+            sum += x;
+        }
+        for kk in chunks * LANES..k {
+            sum += a[kk] * b_rows[q][kk];
+        }
+        out[q] = sum;
+    }
+    out
 }
 
 /// Computes `c += a · bᵀ` where `a` is `m×k`, `b` is `n×k`, `c` is `m×n`.
 ///
 /// This is the input-gradient kernel: `dX = dY · Wᵀ` without materialising
-/// `Wᵀ`.
+/// `Wᵀ`. Both operands are contiguous along `k`, so the kernel runs four
+/// lane-accumulated dot products at a time, reusing each loaded `a` chunk
+/// across four `b` rows.
 ///
 /// # Panics
 ///
@@ -126,24 +294,32 @@ pub fn matmul_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usi
     assert_eq!(b.len(), n * k, "rhs length");
     assert_eq!(c.len(), m * n, "out length");
     for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for (j, cv) in c_row.iter_mut().enumerate() {
-            let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (av, bv) in a_row.iter().zip(b_row) {
-                acc += av * bv;
+        let a_row = &a[i * k..][..k];
+        let c_row = &mut c[i * n..][..n];
+        let mut j = 0;
+        while j + 4 <= n {
+            let d = nt_dots::<4>(a_row, b, j, k);
+            for (cv, &x) in c_row[j..j + 4].iter_mut().zip(&d) {
+                *cv += x;
             }
-            *cv += acc;
+            j += 4;
+        }
+        while j < n {
+            let d = nt_dots::<1>(a_row, b, j, k);
+            c_row[j] += d[0];
+            j += 1;
         }
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+/// Naive triple-loop reference kernels.
+///
+/// These are the correctness oracle for the blocked kernels above — used by
+/// unit tests here and the property tests in `tests/kernel_equivalence.rs`.
+/// Never call them from production code.
+pub mod oracle {
+    /// `C = A · B` by the textbook i-j-k triple loop.
+    pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
         let mut c = vec![0.0; m * n];
         for i in 0..m {
             for j in 0..n {
@@ -154,6 +330,37 @@ mod tests {
         }
         c
     }
+
+    /// `C = Aᵀ · B` with `a` stored `k×m`.
+    pub fn matmul_tn(a: &[f32], b: &[f32], k: usize, m: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for kk in 0..k {
+                    c[i * n + j] += a[kk * m + i] * b[kk * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    /// `C = A · Bᵀ` with `b` stored `n×k`.
+    pub fn matmul_nt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for kk in 0..k {
+                    c[i * n + j] += a[i * k + kk] * b[j * k + kk];
+                }
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
 
     #[test]
     fn matmul_matches_known_product() {
@@ -181,13 +388,20 @@ mod tests {
 
     #[test]
     fn blocked_matches_naive_on_odd_sizes() {
-        // Sizes chosen to straddle the blocking factor.
-        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (65, 66, 67), (2, 130, 3)] {
+        // Sizes chosen to straddle both the row/column tiles and the k-block.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (65, 66, 67),
+            (2, 130, 3),
+            (4, 257, 16),
+            (5, 300, 17),
+        ] {
             let a: Vec<f32> = (0..m * k).map(|i| ((i * 37 % 11) as f32) - 5.0).collect();
             let b: Vec<f32> = (0..k * n).map(|i| ((i * 53 % 13) as f32) - 6.0).collect();
             let mut c = vec![0.0; m * n];
             matmul_into(&a, &b, &mut c, m, k, n);
-            let expected = naive(&a, &b, m, k, n);
+            let expected = oracle::matmul(&a, &b, m, k, n);
             for (x, y) in c.iter().zip(&expected) {
                 assert!((x - y).abs() < 1e-3, "mismatch {x} vs {y}");
             }
@@ -206,7 +420,7 @@ mod tests {
                 at[i * k + kk] = a[kk * m + i];
             }
         }
-        let expected = naive(&at, &b, m, k, n);
+        let expected = oracle::matmul(&at, &b, m, k, n);
         let mut c = vec![0.0; m * n];
         matmul_tn(&a, &b, &mut c, k, m, n);
         for (x, y) in c.iter().zip(&expected) {
@@ -225,11 +439,21 @@ mod tests {
                 bt[kk * n + j] = b[j * k + kk];
             }
         }
-        let expected = naive(&a, &bt, m, k, n);
+        let expected = oracle::matmul(&a, &bt, m, k, n);
         let mut c = vec![0.0; m * n];
         matmul_nt(&a, &b, &mut c, m, k, n);
         for (x, y) in c.iter().zip(&expected) {
             assert!((x - y).abs() < 1e-4);
         }
+    }
+
+    #[test]
+    fn accumulates_into_existing_output() {
+        // All three kernels are `c +=`, not `c =`.
+        let a = [1.0f32, 2.0, 3.0, 4.0];
+        let b = [5.0f32, 6.0, 7.0, 8.0];
+        let mut c = [100.0f32; 4];
+        matmul_into(&a, &b, &mut c, 2, 2, 2);
+        assert_eq!(c, [119.0, 122.0, 143.0, 150.0]);
     }
 }

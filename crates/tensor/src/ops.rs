@@ -125,9 +125,9 @@ impl Tensor {
                 op: "add_row_broadcast",
             });
         }
-        let b = bias.as_slice().to_vec();
+        let b = bias.as_slice();
         for row in self.as_mut_slice().chunks_mut(cols) {
-            for (x, bb) in row.iter_mut().zip(&b) {
+            for (x, bb) in row.iter_mut().zip(b) {
                 *x += bb;
             }
         }

@@ -24,6 +24,13 @@ impl Shape {
         Shape(dims.to_vec())
     }
 
+    /// Replaces the extents in place, reusing the existing allocation when
+    /// capacity allows (the common case: rank is stable across reuse).
+    pub fn set_dims(&mut self, dims: &[usize]) {
+        self.0.clear();
+        self.0.extend_from_slice(dims);
+    }
+
     /// Returns the number of dimensions (rank).
     pub fn rank(&self) -> usize {
         self.0.len()

@@ -123,6 +123,28 @@ impl Tensor {
         &mut self.data
     }
 
+    /// Reshapes in place to `dims`, reusing the existing allocation.
+    ///
+    /// Elements added when the volume grows are zero; existing elements are
+    /// kept (callers that need a clean buffer overwrite it anyway). When the
+    /// dims already match, this is a no-op — in particular no `Shape` is
+    /// rebuilt, so steady-state reuse of a scratch tensor never allocates.
+    pub fn resize_reuse(&mut self, dims: &[usize]) {
+        if self.shape.dims() != dims {
+            self.shape.set_dims(dims);
+        }
+        let volume = self.shape.volume();
+        if self.data.len() != volume {
+            self.data.resize(volume, 0.0);
+        }
+    }
+
+    /// Copies `src`'s shape and contents into `self`, reusing the allocation.
+    pub fn copy_from(&mut self, src: &Tensor) {
+        self.resize_reuse(src.shape.dims());
+        self.data.copy_from_slice(&src.data);
+    }
+
     /// Consumes the tensor, returning its backing vector.
     pub fn into_vec(self) -> Vec<f32> {
         self.data

@@ -1,0 +1,103 @@
+//! Property tests: the register-blocked matmul kernels must agree with the
+//! naive triple-loop oracle on ragged shapes.
+//!
+//! Shapes are drawn from {1..17} ∪ {63, 64, 65} per dimension, straddling
+//! every kernel boundary: partial MR row tiles, partial NR column tiles,
+//! and the KC k-block edge. Accumulation order differs between the blocked
+//! kernels and the oracle, so equality is up to a small relative tolerance.
+
+use adafl_tensor::{matmul_into, matmul_nt, matmul_tn, oracle};
+use proptest::prelude::*;
+
+/// Maps a raw draw in `0..20` onto {1..17} ∪ {63, 64, 65}.
+fn dim(raw: usize) -> usize {
+    match raw {
+        0..=16 => raw + 1,
+        17 => 63,
+        18 => 64,
+        _ => 65,
+    }
+}
+
+/// Deterministic data fill: small signed values, varied per seed.
+fn fill(len: usize, seed: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let x = (i as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(seed)
+                .rotate_left(17);
+            ((x % 31) as f32 - 15.0) * 0.25
+        })
+        .collect()
+}
+
+fn close(x: f32, y: f32) -> bool {
+    (x - y).abs() <= 1e-3 * (1.0 + y.abs())
+}
+
+proptest! {
+    #[test]
+    fn blocked_matmul_matches_oracle(
+        rm in 0usize..20, rk in 0usize..20, rn in 0usize..20, seed in 0u64..1_000_000
+    ) {
+        let (m, k, n) = (dim(rm), dim(rk), dim(rn));
+        let a = fill(m * k, seed);
+        let b = fill(k * n, seed ^ 0xA5A5);
+        let mut c = vec![0.0f32; m * n];
+        matmul_into(&a, &b, &mut c, m, k, n);
+        let expected = oracle::matmul(&a, &b, m, k, n);
+        for (i, (&x, &y)) in c.iter().zip(&expected).enumerate() {
+            prop_assert!(close(x, y), "C[{i}] = {x} vs oracle {y} (m={m} k={k} n={n})");
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_tn_matches_oracle(
+        rm in 0usize..20, rk in 0usize..20, rn in 0usize..20, seed in 0u64..1_000_000
+    ) {
+        let (m, k, n) = (dim(rm), dim(rk), dim(rn));
+        // A stored k×m (transposed operand).
+        let a = fill(k * m, seed);
+        let b = fill(k * n, seed ^ 0x5A5A);
+        let mut c = vec![0.0f32; m * n];
+        matmul_tn(&a, &b, &mut c, k, m, n);
+        let expected = oracle::matmul_tn(&a, &b, k, m, n);
+        for (i, (&x, &y)) in c.iter().zip(&expected).enumerate() {
+            prop_assert!(close(x, y), "C[{i}] = {x} vs oracle {y} (m={m} k={k} n={n})");
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_nt_matches_oracle(
+        rm in 0usize..20, rk in 0usize..20, rn in 0usize..20, seed in 0u64..1_000_000
+    ) {
+        let (m, k, n) = (dim(rm), dim(rk), dim(rn));
+        let a = fill(m * k, seed);
+        // B stored n×k (transposed operand).
+        let b = fill(n * k, seed ^ 0x3C3C);
+        let mut c = vec![0.0f32; m * n];
+        matmul_nt(&a, &b, &mut c, m, k, n);
+        let expected = oracle::matmul_nt(&a, &b, m, k, n);
+        for (i, (&x, &y)) in c.iter().zip(&expected).enumerate() {
+            prop_assert!(close(x, y), "C[{i}] = {x} vs oracle {y} (m={m} k={k} n={n})");
+        }
+    }
+
+    #[test]
+    fn blocked_kernels_accumulate_into_c(
+        rm in 0usize..20, rn in 0usize..20, seed in 0u64..1_000_000
+    ) {
+        // The kernels accumulate (C += A·B); engines rely on this for
+        // per-sample gradient accumulation.
+        let (m, k, n) = (dim(rm), 8, dim(rn));
+        let a = fill(m * k, seed);
+        let b = fill(k * n, seed ^ 0x77);
+        let mut c = vec![1.0f32; m * n];
+        matmul_into(&a, &b, &mut c, m, k, n);
+        let expected = oracle::matmul(&a, &b, m, k, n);
+        for (i, (&x, &y)) in c.iter().zip(&expected).enumerate() {
+            prop_assert!(close(x, y + 1.0), "C[{i}] = {x} vs oracle+1 {} ", y + 1.0);
+        }
+    }
+}
