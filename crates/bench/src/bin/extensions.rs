@@ -1,7 +1,7 @@
 //! Beyond-the-paper extensions table: the related-work *static* techniques
-//! (fixed top-k [10][14], QSGD [11], TernGrad [13]) and the other adaptive
-//! server optimizers from Reddi et al. [34] (FedAdagrad, FedYogi), all
-//! against AdaFL on the non-IID MNIST-like CNN task.
+//! (fixed top-k \[10]\[14], QSGD \[11], TernGrad \[13]) and the other
+//! adaptive server optimizers from Reddi et al. \[34] (FedAdagrad,
+//! FedYogi), all against AdaFL on the non-IID MNIST-like CNN task.
 //!
 //! This is the quantitative version of the paper's related-work argument:
 //! static compression trades accuracy for a *fixed* byte budget, while
@@ -15,11 +15,11 @@
 use adafl_bench::args::Args;
 use adafl_bench::tasks::Task;
 use adafl_bench::{fleet, report};
-use adafl_core::{AdaFlConfig, AdaFlSyncEngine};
+use adafl_core::{AdaFlBuild, AdaFlConfig};
 use adafl_data::partition::Partitioner;
-use adafl_fl::faults::FaultPlan;
+use adafl_fl::runtime::RuntimeBuilder;
 use adafl_fl::sync::strategies::{FedAdagrad, FedAvg, FedYogi};
-use adafl_fl::sync::{StaticCompression, SyncEngine, SyncStrategy};
+use adafl_fl::sync::{StaticCompression, SyncStrategy};
 use adafl_fl::FlConfig;
 
 fn main() {
@@ -45,7 +45,12 @@ fn main() {
             .seed(seed)
             .build()
     };
-    let shards = || partitioner.split(&task.train, clients, fl().seed_for("partition"));
+    let builder = || {
+        RuntimeBuilder::new(fl(), task.test.clone())
+            .partitioned(&task.train, partitioner)
+            .network(fleet::mixed_network(clients, 0.3, seed))
+            .compute(fleet::uniform_compute(clients, 0.1, seed))
+    };
 
     let mut table = report::TextTable::new([
         "variant",
@@ -90,15 +95,7 @@ fn main() {
         ),
     ];
     for (name, strategy, scheme) in runs {
-        let mut engine = SyncEngine::with_parts(
-            fl(),
-            shards(),
-            task.test.clone(),
-            strategy,
-            fleet::mixed_network(clients, 0.3, seed),
-            fleet::uniform_compute(clients, 0.1, seed),
-            FaultPlan::reliable(clients),
-        );
+        let mut engine = builder().build_sync(strategy);
         engine.set_compression(scheme);
         let history = engine.run();
         eprintln!("extensions {name}: acc {:.3}", history.final_accuracy());
@@ -112,15 +109,7 @@ fn main() {
     }
 
     // AdaFL reference.
-    let mut adafl = AdaFlSyncEngine::with_parts(
-        fl(),
-        AdaFlConfig::default(),
-        shards(),
-        task.test.clone(),
-        fleet::mixed_network(clients, 0.3, seed),
-        fleet::uniform_compute(clients, 0.1, seed),
-        FaultPlan::reliable(clients),
-    );
+    let mut adafl = builder().build_adafl_sync(&AdaFlConfig::default());
     let history = adafl.run();
     eprintln!("extensions adafl: acc {:.3}", history.final_accuracy());
     table.row([

@@ -6,9 +6,9 @@
 use adafl_bench::args::Args;
 use adafl_bench::fleet;
 use adafl_bench::tasks::Task;
-use adafl_core::{AdaFlConfig, AdaFlSyncEngine};
+use adafl_core::{AdaFlBuild, AdaFlConfig};
 use adafl_data::partition::Partitioner;
-use adafl_fl::faults::FaultPlan;
+use adafl_fl::runtime::RuntimeBuilder;
 use adafl_fl::FlConfig;
 
 fn main() {
@@ -52,19 +52,16 @@ fn main() {
             .batch_size(32)
             .model(task.model.clone())
             .build();
-        let shards = Partitioner::LabelShards {
-            shards_per_client: 2,
-        }
-        .split(&task.train, clients, fl.seed_for("partition"));
-        let mut engine = AdaFlSyncEngine::with_parts(
-            fl,
-            ada,
-            shards,
-            task.test.clone(),
-            fleet::mixed_network(clients, 0.3, 42),
-            fleet::uniform_compute(clients, 0.1, 42),
-            FaultPlan::reliable(clients),
-        );
+        let mut engine = RuntimeBuilder::new(fl, task.test.clone())
+            .partitioned(
+                &task.train,
+                Partitioner::LabelShards {
+                    shards_per_client: 2,
+                },
+            )
+            .network(fleet::mixed_network(clients, 0.3, 42))
+            .compute(fleet::uniform_compute(clients, 0.1, 42))
+            .build_adafl_sync(&ada);
         let history = engine.run();
         let per_client: Vec<u64> = (0..clients)
             .map(|c| engine.ledger().client_uplink_updates(c))

@@ -5,8 +5,8 @@
 use adafl_bench::args::Args;
 use adafl_bench::fleet;
 use adafl_bench::tasks::Task;
-use adafl_core::{AdaFlAsyncEngine, AdaFlConfig};
-use adafl_fl::faults::FaultPlan;
+use adafl_core::{AdaFlBuild, AdaFlConfig};
+use adafl_fl::runtime::RuntimeBuilder;
 use adafl_fl::FlConfig;
 
 fn main() {
@@ -29,22 +29,17 @@ fn main() {
                 .batch_size(32)
                 .model(task.model.clone())
                 .build();
-            let shards = partitioner.split(&task.train, clients, fl.seed_for("partition"));
             let ada = AdaFlConfig {
                 async_alpha: alpha,
                 async_staleness_exponent: exponent,
                 ..AdaFlConfig::default()
             };
-            let mut engine = AdaFlAsyncEngine::with_parts(
-                fl,
-                ada,
-                shards,
-                task.test.clone(),
-                fleet::mixed_network(clients, 0.3, 42),
-                fleet::uniform_compute(clients, 0.1, 42),
-                FaultPlan::reliable(clients),
-                budget,
-            );
+            let mut engine = RuntimeBuilder::new(fl, task.test.clone())
+                .partitioned(&task.train, partitioner)
+                .network(fleet::mixed_network(clients, 0.3, 42))
+                .compute(fleet::uniform_compute(clients, 0.1, 42))
+                .update_budget(budget)
+                .build_adafl_async(&ada);
             let history = engine.run();
             println!(
                 "alpha={alpha} exp={exponent} {dist_name}: final {:.3} best {:.3}",

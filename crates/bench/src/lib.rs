@@ -17,6 +17,7 @@
 pub mod args;
 pub mod config;
 pub mod fleet;
+pub mod golden;
 pub mod plot;
 pub mod report;
 pub mod runner;

@@ -1,16 +1,21 @@
 //! Scenario runners: one entry point per (protocol, strategy) pair so every
 //! experiment binary drives runs the same way.
+//!
+//! All four engine flavours are assembled through the one
+//! [`RuntimeBuilder`] entry point; a [`Scenario`] is just the builder's
+//! inputs plus the strategy name.
 
 use crate::tasks::Task;
-use adafl_core::{AdaFlAsyncEngine, AdaFlConfig, AdaFlSyncEngine};
+use adafl_core::{AdaFlBuild, AdaFlConfig};
 use adafl_data::partition::Partitioner;
 use adafl_fl::compute::ComputeModel;
 use adafl_fl::defense::DefenseConfig;
 use adafl_fl::faults::FaultPlan;
 use adafl_fl::r#async::strategies::{FedAsync, FedBuff};
-use adafl_fl::r#async::{AsyncEngine, AsyncStrategy};
+use adafl_fl::r#async::AsyncStrategy;
+use adafl_fl::runtime::RuntimeBuilder;
 use adafl_fl::sync::strategies::{FedAdam, FedAvg, FedProx, Scaffold};
-use adafl_fl::sync::{SyncEngine, SyncStrategy};
+use adafl_fl::sync::SyncStrategy;
 use adafl_fl::{FlConfig, RunHistory};
 use adafl_netsim::{ClientNetwork, ReliablePolicy};
 use adafl_telemetry::SharedRecorder;
@@ -59,6 +64,21 @@ pub struct Scenario {
     pub update_budget: u64,
     /// Optional reliable transport and defensive aggregation.
     pub resilience: Resilience,
+}
+
+impl Scenario {
+    /// A [`RuntimeBuilder`] loaded with this scenario's parts, resilience
+    /// options and recorder — the single assembly path for every flavour.
+    fn builder(&self, recorder: SharedRecorder) -> RuntimeBuilder {
+        RuntimeBuilder::new(self.fl.clone(), self.task.test.clone())
+            .partitioned(&self.task.train, self.partitioner)
+            .network(self.network.clone())
+            .compute(self.compute.clone())
+            .faults(self.faults.clone())
+            .retry_policy(self.resilience.retry)
+            .defense(self.resilience.defense)
+            .recorder(recorder)
+    }
 }
 
 /// Outcome of one run: the evaluation history plus communication totals.
@@ -121,47 +141,13 @@ pub fn run_sync(scenario: &Scenario, strategy: &str) -> RunResult {
 ///
 /// Panics on an unknown strategy name.
 pub fn run_sync_with(scenario: &Scenario, strategy: &str, recorder: SharedRecorder) -> RunResult {
-    let shards = scenario.partitioner.split(
-        &scenario.task.train,
-        scenario.fl.clients,
-        scenario.fl.seed_for("partition"),
-    );
+    let builder = scenario.builder(recorder);
     if strategy == "adafl" {
-        let mut engine = AdaFlSyncEngine::with_parts(
-            scenario.fl.clone(),
-            scenario.ada.clone(),
-            shards,
-            scenario.task.test.clone(),
-            scenario.network.clone(),
-            scenario.compute.clone(),
-            scenario.faults.clone(),
-        );
-        if let Some(policy) = scenario.resilience.retry {
-            engine.set_retry_policy(policy);
-        }
-        if let Some(cfg) = scenario.resilience.defense {
-            engine.set_defense(cfg);
-        }
-        engine.set_recorder(recorder);
+        let mut engine = builder.build_adafl_sync(&scenario.ada);
         let history = engine.run();
         result(history, engine.ledger())
     } else {
-        let mut engine = SyncEngine::with_parts(
-            scenario.fl.clone(),
-            shards,
-            scenario.task.test.clone(),
-            sync_baseline(strategy),
-            scenario.network.clone(),
-            scenario.compute.clone(),
-            scenario.faults.clone(),
-        );
-        if let Some(policy) = scenario.resilience.retry {
-            engine.set_retry_policy(policy);
-        }
-        if let Some(cfg) = scenario.resilience.defense {
-            engine.set_defense(cfg);
-        }
-        engine.set_recorder(recorder);
+        let mut engine = builder.build_sync(sync_baseline(strategy));
         let history = engine.run();
         result(history, engine.ledger())
     }
@@ -184,49 +170,15 @@ pub fn run_async(scenario: &Scenario, strategy: &str) -> RunResult {
 ///
 /// Panics on an unknown strategy name.
 pub fn run_async_with(scenario: &Scenario, strategy: &str, recorder: SharedRecorder) -> RunResult {
-    let shards = scenario.partitioner.split(
-        &scenario.task.train,
-        scenario.fl.clients,
-        scenario.fl.seed_for("partition"),
-    );
+    let builder = scenario
+        .builder(recorder)
+        .update_budget(scenario.update_budget);
     if strategy == "adafl" {
-        let mut engine = AdaFlAsyncEngine::with_parts(
-            scenario.fl.clone(),
-            scenario.ada.clone(),
-            shards,
-            scenario.task.test.clone(),
-            scenario.network.clone(),
-            scenario.compute.clone(),
-            scenario.faults.clone(),
-            scenario.update_budget,
-        );
-        if let Some(policy) = scenario.resilience.retry {
-            engine.set_retry_policy(policy);
-        }
-        if let Some(cfg) = scenario.resilience.defense {
-            engine.set_defense(cfg);
-        }
-        engine.set_recorder(recorder);
+        let mut engine = builder.build_adafl_async(&scenario.ada);
         let history = engine.run();
         result(history, engine.ledger())
     } else {
-        let mut engine = AsyncEngine::with_parts(
-            scenario.fl.clone(),
-            shards,
-            scenario.task.test.clone(),
-            async_baseline(strategy),
-            scenario.network.clone(),
-            scenario.compute.clone(),
-            scenario.faults.clone(),
-            scenario.update_budget,
-        );
-        if let Some(policy) = scenario.resilience.retry {
-            engine.set_retry_policy(policy);
-        }
-        if let Some(cfg) = scenario.resilience.defense {
-            engine.set_defense(cfg);
-        }
-        engine.set_recorder(recorder);
+        let mut engine = builder.build_async(async_baseline(strategy));
         let history = engine.run();
         result(history, engine.ledger())
     }

@@ -1,0 +1,61 @@
+//! Pins every engine entry point to the pre-refactor golden traces.
+//!
+//! Each case replays a small scenario through `bench::runner` (which
+//! constructs the engines exactly as the experiment binaries do) and
+//! compares the rendered history JSON and telemetry CSV **as exact
+//! strings** against `tests/golden/`. A mismatch means run behaviour —
+//! selection order, RNG consumption, ledger charging or telemetry emission
+//! — drifted from the pinned baseline.
+//!
+//! To intentionally re-pin after a behaviour-changing feature:
+//! `cargo run --release -p adafl-bench --bin golden_traces`.
+
+use adafl_bench::golden;
+use std::fs;
+
+fn diff_hint(kind: &str, expected: &str, actual: &str) -> String {
+    for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+        if e != a {
+            return format!(
+                "{kind} first differs at line {}:\n  golden: {e}\n  actual: {a}",
+                i + 1
+            );
+        }
+    }
+    format!(
+        "{kind} lengths differ: golden {} lines, actual {} lines",
+        expected.lines().count(),
+        actual.lines().count()
+    )
+}
+
+#[test]
+fn all_entry_points_match_golden_traces() {
+    let dir = golden::golden_dir();
+    assert!(
+        dir.is_dir(),
+        "missing {}; run `cargo run --release -p adafl-bench --bin golden_traces`",
+        dir.display()
+    );
+    for case in golden::cases() {
+        let artifacts = golden::capture(&case);
+        let history = fs::read_to_string(dir.join(format!("{}.history.json", case.name)))
+            .unwrap_or_else(|e| panic!("{}: missing golden history ({e})", case.name));
+        let telemetry = fs::read_to_string(dir.join(format!("{}.telemetry.csv", case.name)))
+            .unwrap_or_else(|e| panic!("{}: missing golden telemetry ({e})", case.name));
+        assert_eq!(
+            artifacts.history_json,
+            history,
+            "{}: history drifted — {}",
+            case.name,
+            diff_hint("history", &history, &artifacts.history_json)
+        );
+        assert_eq!(
+            artifacts.telemetry_csv,
+            telemetry,
+            "{}: telemetry drifted — {}",
+            case.name,
+            diff_hint("telemetry", &telemetry, &artifacts.telemetry_csv)
+        );
+    }
+}

@@ -5,14 +5,14 @@
 //! * [`SparseUpdate`] — the wire format of a sparsified gradient, with
 //!   byte-exact size accounting and a binary codec.
 //! * [`top_k`] — magnitude-based sparsification.
-//! * [`DgcCompressor`] — Deep Gradient Compression (Lin et al. [10]): top-k
+//! * [`DgcCompressor`] — Deep Gradient Compression (Lin et al. \[10]): top-k
 //!   sparsification with **local gradient accumulation**, **momentum
 //!   correction** and **local gradient clipping**, the three components the
 //!   paper integrates.
-//! * [`QsgdQuantizer`] — QSGD-style stochastic quantization [11] and
-//!   [`TernGrad`] ternary quantization [13], the model-level baselines
+//! * [`QsgdQuantizer`] — QSGD-style stochastic quantization \[11] and
+//!   [`TernGrad`] ternary quantization \[13], the model-level baselines
 //!   from related work.
-//! * [`ErrorFeedback`] — the EF-SGD / DoubleSqueeze [15] residual wrapper
+//! * [`ErrorFeedback`] — the EF-SGD / DoubleSqueeze \[15] residual wrapper
 //!   that makes any lossy compressor unbiased in the long run.
 //!
 //! The compression *ratio* vocabulary follows the paper's Tables I/II: a
@@ -42,7 +42,7 @@ mod topk;
 pub use dgc::DgcCompressor;
 pub use error_feedback::ErrorFeedback;
 pub use quantize::{QsgdQuantizer, QuantizedUpdate};
-pub use sparse::SparseUpdate;
+pub use sparse::{DecodeError, SparseUpdate};
 pub use telemetry::record_compression;
 pub use terngrad::{TernGrad, TernaryUpdate};
 pub use topk::top_k;

@@ -12,62 +12,27 @@
 //! * score `≥ τ` → the delta is DGC-compressed at a score-dependent ratio
 //!   and uploaded; the server mixes it in with a staleness-discounted
 //!   weight.
+//!
+//! Since the runtime refactor this type is a thin facade: the event loop
+//! lives in [`adafl_fl::runtime::AsyncRuntime`], and the behaviour above
+//! is [`crate::policies::AdaFlAsyncPolicy`].
 
-use crate::compression_control::CompressionController;
+use crate::build::AdaFlBuild;
 use crate::config::AdaFlConfig;
-use crate::utility::{utility_score, UtilityInputs};
-use adafl_compression::{dense_wire_size, top_k, DgcCompressor};
 use adafl_data::partition::Partitioner;
 use adafl_data::Dataset;
-use adafl_fl::client::evaluate_model;
 use adafl_fl::compute::ComputeModel;
-use adafl_fl::defense::{DefenseConfig, DefenseGate};
-use adafl_fl::faults::{corrupt_update, FaultPlan};
-use adafl_fl::{CommunicationLedger, FlClient, FlConfig, RoundRecord, RunHistory};
-use adafl_netsim::{
-    ClientNetwork, EventQueue, LinkProfile, LinkTrace, ReliablePolicy, ReliableTransfer, SimTime,
-};
-use adafl_telemetry::{names, EventRecord, SharedRecorder, SpanRecord};
-use adafl_tensor::vecops;
-
-/// Fraction of coordinates kept in the `ĝ` digest shipped with each global
-/// model download.
-const DIGEST_FRACTION: usize = 100;
-
-#[derive(Debug)]
-enum Event {
-    StartTraining { client: usize },
-    UpdateArrival { client: usize, version: u64 },
-    Resync { client: usize },
-}
+use adafl_fl::defense::DefenseConfig;
+use adafl_fl::faults::FaultPlan;
+use adafl_fl::runtime::{AsyncRuntime, RuntimeBuilder};
+use adafl_fl::{CommunicationLedger, FlConfig, RunHistory};
+use adafl_netsim::{ClientNetwork, ReliablePolicy};
+use adafl_telemetry::SharedRecorder;
 
 /// Fully-asynchronous AdaFL engine.
 #[derive(Debug)]
 pub struct AdaFlAsyncEngine {
-    fl: FlConfig,
-    ada: AdaFlConfig,
-    clients: Vec<FlClient>,
-    compressors: Vec<DgcCompressor>,
-    controller: CompressionController,
-    snapshots: Vec<Vec<f32>>,
-    in_flight: Vec<Option<adafl_compression::SparseUpdate>>,
-    global: Vec<f32>,
-    global_model: adafl_nn::Model,
-    global_gradient: Vec<f32>,
-    version: u64,
-    test_set: Dataset,
-    network: ClientNetwork,
-    compute: ComputeModel,
-    faults: FaultPlan,
-    transport: Option<ReliableTransfer>,
-    defense: Option<DefenseGate>,
-    ledger: CommunicationLedger,
-    update_budget: u64,
-    eval_every: u64,
-    /// How many server updates count as warm-up (full participation, light
-    /// compression): `warmup_rounds × clients`.
-    warmup_updates: u64,
-    recorder: SharedRecorder,
+    rt: AsyncRuntime,
 }
 
 impl AdaFlAsyncEngine {
@@ -81,23 +46,10 @@ impl AdaFlAsyncEngine {
         partitioner: Partitioner,
         update_budget: u64,
     ) -> Self {
-        let shards = partitioner.split(train_set, fl.clients, fl.seed_for("partition"));
-        let network = ClientNetwork::new(
-            vec![LinkTrace::constant(LinkProfile::Broadband.spec()); fl.clients],
-            fl.seed_for("network"),
-        );
-        let compute = ComputeModel::uniform(fl.clients, 0.1);
-        let faults = FaultPlan::reliable(fl.clients);
-        AdaFlAsyncEngine::with_parts(
-            fl,
-            ada,
-            shards,
-            test_set,
-            network,
-            compute,
-            faults,
-            update_budget,
-        )
+        RuntimeBuilder::new(fl, test_set)
+            .partitioned(train_set, partitioner)
+            .update_budget(update_budget)
+            .build_adafl_async(&ada)
     }
 
     /// Creates an engine with explicit parts.
@@ -107,6 +59,9 @@ impl AdaFlAsyncEngine {
     /// Panics when part sizes disagree with `fl.clients`, any shard is
     /// empty, `update_budget` is zero, or the AdaFL configuration is
     /// invalid.
+    #[deprecated(
+        note = "assemble through `adafl_fl::runtime::RuntimeBuilder` + `AdaFlBuild` instead"
+    )]
     #[allow(clippy::too_many_arguments)]
     pub fn with_parts(
         fl: FlConfig,
@@ -114,83 +69,41 @@ impl AdaFlAsyncEngine {
         shards: Vec<Dataset>,
         test_set: Dataset,
         network: ClientNetwork,
-        mut compute: ComputeModel,
+        compute: ComputeModel,
         faults: FaultPlan,
         update_budget: u64,
     ) -> Self {
-        ada.validate();
-        assert_eq!(shards.len(), fl.clients, "shard count mismatch");
-        assert_eq!(network.len(), fl.clients, "network size mismatch");
-        assert_eq!(compute.clients(), fl.clients, "compute model size mismatch");
-        assert_eq!(faults.clients(), fl.clients, "fault plan size mismatch");
-        assert!(update_budget > 0, "update budget must be positive");
-        let clients = FlClient::fleet(
-            &fl.model,
-            shards,
-            fl.learning_rate,
-            fl.momentum,
-            fl.batch_size,
-            fl.seed_for("model"),
-        );
-        let mut global_model = fl.model.build(fl.seed_for("model"));
-        let global = global_model.params_flat();
-        global_model.set_params_flat(&global);
-        let dim = global.len();
-        for c in 0..fl.clients {
-            let slow = faults.slowdown(c);
-            if slow > 1.0 {
-                compute.scale_client(c, slow);
-            }
-        }
-        AdaFlAsyncEngine {
-            controller: CompressionController::new(&ada),
-            compressors: vec![DgcCompressor::new(dim, ada.dgc_momentum, ada.clip_norm); fl.clients],
-            snapshots: vec![global.clone(); fl.clients],
-            in_flight: vec![None; fl.clients],
-            ledger: CommunicationLedger::new(fl.clients),
-            global_gradient: vec![0.0; dim],
-            warmup_updates: (ada.warmup_rounds * fl.clients) as u64,
-            clients,
-            global,
-            global_model,
-            version: 0,
-            test_set,
-            network,
-            compute,
-            faults,
-            transport: None,
-            defense: None,
-            fl,
-            ada,
-            update_budget,
-            eval_every: 5,
-            recorder: adafl_telemetry::noop(),
-        }
+        RuntimeBuilder::new(fl, test_set)
+            .shards(shards)
+            .network(network)
+            .compute(compute)
+            .faults(faults)
+            .update_budget(update_budget)
+            .build_adafl_async(&ada)
+    }
+
+    /// Wraps a fully-assembled runtime (the builder's exit point).
+    pub(crate) fn from_runtime(rt: AsyncRuntime) -> Self {
+        AdaFlAsyncEngine { rt }
     }
 
     /// Attaches a telemetry recorder, also wiring it into the simulated
     /// network. Recording is strictly passive — the utility gate, event
     /// scheduling and RNG state are untouched.
     pub fn set_recorder(&mut self, recorder: SharedRecorder) {
-        self.network.set_recorder(recorder.clone());
-        if let Some(t) = &mut self.transport {
-            t.set_recorder(recorder.clone());
-        }
-        self.recorder = recorder;
+        self.rt.set_recorder(recorder);
     }
 
     /// Enables reliable transport for every model exchange; a transfer that
     /// exhausts its retry budget is treated like a lost packet (the client
     /// resyncs once the sender learns of the loss).
     pub fn set_retry_policy(&mut self, policy: ReliablePolicy) {
-        let mut t = ReliableTransfer::new(policy, self.fl.seed_for("transport"));
-        t.set_recorder(self.recorder.clone());
-        self.transport = Some(t);
+        self.rt.set_retry_policy(policy);
     }
 
     /// Enables the defensive aggregation gate over arriving updates.
     pub fn set_defense(&mut self, cfg: DefenseConfig) {
-        self.defense = Some(DefenseGate::new(cfg));
+        self.rt.set_defense(cfg);
     }
 
     /// Sets the evaluation interval in server updates (default 5).
@@ -199,284 +112,34 @@ impl AdaFlAsyncEngine {
     ///
     /// Panics when `n` is zero.
     pub fn set_eval_every(&mut self, n: u64) {
-        assert!(n > 0, "evaluation interval must be positive");
-        self.eval_every = n;
+        self.rt.set_eval_every(n);
     }
 
     /// The communication ledger (cumulative).
     pub fn ledger(&self) -> &CommunicationLedger {
-        &self.ledger
+        self.rt.ledger()
     }
 
     /// Number of global model changes so far.
     pub fn version(&self) -> u64 {
-        self.version
+        self.rt.version()
+    }
+
+    /// Current global parameters.
+    pub fn global_params(&self) -> &[f32] {
+        self.rt.global_params()
     }
 
     /// Runs until `update_budget` updates have been applied.
     pub fn run(&mut self) -> RunHistory {
-        let mut history = RunHistory::new("adafl");
-        let mut queue: EventQueue<Event> = EventQueue::new();
-        let dense_payload = dense_wire_size(self.global.len());
-
-        for c in 0..self.fl.clients {
-            self.schedule_downlink(&mut queue, c, SimTime::ZERO);
-        }
-
-        let mut arrivals: u64 = 0;
-        // Liveness guard: a pathological configuration (e.g. an unreachable
-        // utility threshold) can leave every client in a halt→resync loop
-        // that never produces an arrival; bound the total event count so
-        // `run` always terminates.
-        let max_events = self
-            .update_budget
-            .saturating_mul(self.fl.clients as u64)
-            .saturating_mul(50)
-            .max(10_000);
-        let mut events: u64 = 0;
-        while let Some((now, event)) = queue.pop() {
-            events += 1;
-            if events > max_events {
-                break;
-            }
-            match event {
-                Event::StartTraining { client } => {
-                    let version = self.version;
-                    let snapshot = self.snapshots[client].clone();
-                    let outcome =
-                        self.clients[client].train_local(&snapshot, self.fl.local_steps, None);
-                    let done = now + self.compute.training_time(client, self.fl.local_steps);
-                    if self.recorder.enabled() {
-                        self.recorder.span(
-                            SpanRecord::new(
-                                names::SPAN_CLIENT_COMPUTE,
-                                now.seconds(),
-                                done.seconds(),
-                            )
-                            .client(client)
-                            .field("steps", self.fl.local_steps),
-                        );
-                    }
-
-                    // Utility gate: compare the fresh local delta with ĝ.
-                    let in_warmup = arrivals < self.warmup_updates;
-                    let link = self.network.link_at(client, done);
-                    let expected_payload = dense_wire_size(self.global.len()) / 16;
-                    let score = utility_score(
-                        &UtilityInputs {
-                            local_gradient: &outcome.delta,
-                            global_gradient: &self.global_gradient,
-                            link,
-                            expected_payload,
-                        },
-                        self.ada.metric,
-                        self.ada.similarity_weight,
-                    );
-                    if self.recorder.enabled() {
-                        self.recorder
-                            .histogram_record(names::ADAFL_UTILITY, f64::from(score));
-                    }
-                    if !in_warmup && score < self.ada.utility_threshold {
-                        // Halt: skip the upload, wait for a fresher global
-                        // model before contributing again.
-                        if self.recorder.enabled() {
-                            self.recorder.counter_add(names::ADAFL_HALTS, 1);
-                            self.recorder.event(
-                                EventRecord::new(names::EVENT_HALT, done.seconds())
-                                    .client(client)
-                                    .field("score", score),
-                            );
-                        }
-                        queue.push(done + SimTime::from_seconds(1.0), Event::Resync { client });
-                        continue;
-                    }
-
-                    let ratio = self.controller.ratio_for_score(in_warmup, score);
-                    let mut sparse = self.compressors[client].compress(&outcome.delta, ratio);
-                    let payload = sparse.wire_size();
-                    if self.recorder.enabled() {
-                        self.recorder
-                            .histogram_record(names::ADAFL_ASSIGNED_RATIO, f64::from(ratio));
-                        adafl_compression::record_compression(
-                            &self.recorder,
-                            "dgc",
-                            dense_payload,
-                            payload,
-                        );
-                    }
-                    // Corruption faults hit the serialized update in
-                    // transit; it still arrives and the defensive gate must
-                    // catch it.
-                    if let Some(seed) = self.faults.corrupts_update(client) {
-                        corrupt_update(sparse.values_mut(), seed);
-                        if self.recorder.enabled() {
-                            self.recorder.counter_add(names::FL_CORRUPTIONS, 1);
-                            self.recorder.event(
-                                EventRecord::new(names::EVENT_CORRUPTION, done.seconds())
-                                    .client(client),
-                            );
-                        }
-                    }
-                    self.in_flight[client] = Some(sparse);
-                    let (arrival, retry_at) = match &mut self.transport {
-                        Some(t) => {
-                            let report = t.uplink(&mut self.network, client, payload, done);
-                            if report.delivered() {
-                                self.ledger.record_uplink(client, payload);
-                                if report.wasted_bytes > 0 {
-                                    self.ledger.record_retransmission(
-                                        client,
-                                        report.wasted_bytes as usize,
-                                    );
-                                }
-                                self.ledger
-                                    .record_control(client, report.control_bytes as usize);
-                            } else {
-                                self.ledger
-                                    .record_retransmission(client, report.payload_bytes as usize);
-                            }
-                            (report.arrival, report.sender_done)
-                        }
-                        None => {
-                            let up = self.network.uplink_transfer(client, payload, done);
-                            if up.arrival().is_some() {
-                                self.ledger.record_uplink(client, payload);
-                            }
-                            (up.arrival(), done + SimTime::from_seconds(1.0))
-                        }
-                    };
-                    match arrival {
-                        Some(arrival) => {
-                            queue.push(arrival, Event::UpdateArrival { client, version });
-                        }
-                        None => {
-                            self.in_flight[client] = None;
-                            queue.push(retry_at, Event::Resync { client });
-                        }
-                    }
-                }
-                Event::UpdateArrival { client, version } => {
-                    arrivals += 1;
-                    let staleness = self.version.saturating_sub(version);
-                    if self.recorder.enabled() {
-                        self.recorder
-                            .histogram_record(names::ASYNC_STALENESS, staleness as f64);
-                        self.recorder.event(
-                            EventRecord::new(names::EVENT_STALENESS, now.seconds())
-                                .round(arrivals as usize)
-                                .client(client)
-                                .field("staleness", staleness),
-                        );
-                    }
-                    let mut sparse = self.in_flight[client]
-                        .take()
-                        .expect("arrival without an in-flight update");
-                    // Defensive gate: scrub and norm-screen the arriving
-                    // update; a rejected update never touches the global
-                    // model (the arrival still counts toward the budget, so
-                    // a poisoned fleet cannot livelock the run).
-                    let mut rejection: Option<&'static str> = None;
-                    if let Some(gate) = self.defense.as_mut() {
-                        match gate.sanitize(sparse.values_mut()) {
-                            Ok(s) => {
-                                if s.scrubbed > 0 && self.recorder.enabled() {
-                                    self.recorder
-                                        .counter_add(names::FL_DEFENSE_SCRUBBED, s.scrubbed as u64);
-                                }
-                                if !gate.admit(s.norm) {
-                                    rejection = Some("norm_outlier");
-                                }
-                            }
-                            Err(reason) => rejection = Some(reason.label()),
-                        }
-                    }
-                    if let Some(reason) = rejection {
-                        if self.recorder.enabled() {
-                            self.recorder.counter_add(names::FL_DEFENSE_REJECTIONS, 1);
-                            self.recorder.event(
-                                EventRecord::new(names::EVENT_DEFENSE_REJECT, now.seconds())
-                                    .client(client)
-                                    .field("reason", reason),
-                            );
-                        }
-                    } else {
-                        let alpha = self.ada.async_alpha
-                            * (1.0 + staleness as f32).powf(-self.ada.async_staleness_exponent);
-                        let mut dense = vec![0.0f32; self.global.len()];
-                        sparse.add_into(&mut dense, alpha);
-                        vecops::axpy(&mut self.global, 1.0, &dense);
-                        self.global_gradient = dense;
-                        self.version += 1;
-                    }
-
-                    if arrivals.is_multiple_of(self.eval_every) || arrivals == self.update_budget {
-                        self.global_model.set_params_flat(&self.global);
-                        let (accuracy, loss) =
-                            evaluate_model(&mut self.global_model, &self.test_set);
-                        history.push(RoundRecord {
-                            round: arrivals as usize,
-                            sim_time: now,
-                            accuracy,
-                            loss,
-                            uplink_bytes: self.ledger.uplink_bytes(),
-                            uplink_updates: self.ledger.uplink_updates(),
-                            contributors: 1,
-                        });
-                    }
-                    if arrivals >= self.update_budget {
-                        break;
-                    }
-                    self.schedule_downlink(&mut queue, client, now);
-                }
-                Event::Resync { client } => {
-                    self.schedule_downlink(&mut queue, client, now);
-                }
-            }
-        }
-        history
-    }
-
-    fn schedule_downlink(&mut self, queue: &mut EventQueue<Event>, client: usize, now: SimTime) {
-        // The download carries the full model plus the ĝ digest.
-        let digest_k = (self.global.len() / DIGEST_FRACTION).max(1);
-        let digest = top_k(&self.global_gradient, digest_k);
-        let payload = dense_wire_size(self.global.len()) + digest.wire_size();
-        self.snapshots[client].copy_from_slice(&self.global);
-        let (arrival, retry_at) = match &mut self.transport {
-            Some(t) => {
-                let report = t.downlink(&mut self.network, client, payload, now);
-                if report.delivered() {
-                    self.ledger.record_downlink(client, payload);
-                    if report.wasted_bytes > 0 {
-                        self.ledger
-                            .record_retransmission(client, report.wasted_bytes as usize);
-                    }
-                    self.ledger
-                        .record_control(client, report.control_bytes as usize);
-                } else {
-                    self.ledger
-                        .record_retransmission(client, report.payload_bytes as usize);
-                }
-                (report.arrival, report.sender_done)
-            }
-            None => {
-                let down = self.network.downlink_transfer(client, payload, now);
-                if down.arrival().is_some() {
-                    self.ledger.record_downlink(client, payload);
-                }
-                (down.arrival(), now + SimTime::from_seconds(1.0))
-            }
-        };
-        match arrival {
-            Some(arrival) => queue.push(arrival, Event::StartTraining { client }),
-            None => queue.push(retry_at, Event::Resync { client }),
-        }
+        self.rt.run()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adafl_compression::dense_wire_size;
     use adafl_data::synthetic::SyntheticSpec;
     use adafl_nn::models::ModelSpec;
 
@@ -525,7 +188,7 @@ mod tests {
     fn uplink_payloads_are_compressed() {
         let mut e = engine(40);
         e.run();
-        let dense = dense_wire_size(e.global.len()) as f64;
+        let dense = dense_wire_size(e.global_params().len()) as f64;
         assert!(
             e.ledger().mean_uplink_payload() < dense,
             "no compression: {} vs {}",

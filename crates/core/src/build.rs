@@ -1,0 +1,79 @@
+//! AdaFL flavours on the shared [`RuntimeBuilder`].
+//!
+//! `adafl-fl`'s builder knows how to assemble the baseline flavours; this
+//! extension trait teaches it the two AdaFL ones, so every engine in the
+//! workspace is constructed through the same entry point:
+//!
+//! ```no_run
+//! use adafl_core::{AdaFlBuild, AdaFlConfig};
+//! use adafl_data::{partition::Partitioner, synthetic::SyntheticSpec};
+//! use adafl_fl::{runtime::RuntimeBuilder, FlConfig};
+//! use adafl_nn::models::ModelSpec;
+//!
+//! let data = SyntheticSpec::mnist_like(16, 1000).generate(0);
+//! let (train, test) = data.split_at(800);
+//! let fl = FlConfig::builder()
+//!     .clients(10)
+//!     .rounds(30)
+//!     .model(ModelSpec::LogisticRegression { in_features: 256, classes: 10 })
+//!     .build();
+//! let mut engine = RuntimeBuilder::new(fl, test)
+//!     .partitioned(&train, Partitioner::Iid)
+//!     .build_adafl_sync(&AdaFlConfig::default());
+//! let history = engine.run();
+//! ```
+
+use crate::async_engine::AdaFlAsyncEngine;
+use crate::config::AdaFlConfig;
+use crate::policies::{AdaFlAggregation, AdaFlAsyncPolicy, AdaptiveDgc, UtilitySelection};
+use crate::sync_engine::AdaFlSyncEngine;
+use adafl_fl::runtime::{RuntimeBuilder, SyncPolicies};
+
+/// Builds the AdaFL policy bundle for a synchronous runtime: utility
+/// selection seeded with `selection_seed`, rank-adaptive DGC, the
+/// sample-weighted sparse mean, and no deadline enforcement (the AdaFL
+/// server waits for its whole cohort).
+pub fn adafl_sync_policies(ada: &AdaFlConfig, selection_seed: u64) -> SyncPolicies {
+    SyncPolicies {
+        selection: Box::new(UtilitySelection::new(ada, selection_seed)),
+        compression: Box::new(AdaptiveDgc::new(ada)),
+        aggregation: Box::new(AdaFlAggregation),
+        enforce_deadline: false,
+    }
+}
+
+/// Extension methods building the AdaFL flavours from a
+/// [`RuntimeBuilder`].
+pub trait AdaFlBuild {
+    /// Builds the synchronous AdaFL engine (Algorithm 1 selection +
+    /// adaptive DGC + weighted sparse mean).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ada` is invalid or the builder's parts disagree with
+    /// the configuration.
+    fn build_adafl_sync(self, ada: &AdaFlConfig) -> AdaFlSyncEngine;
+
+    /// Builds the fully-asynchronous AdaFL engine (utility halt gate +
+    /// score-adaptive DGC + staleness-discounted mixing).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ada` is invalid, the builder's parts disagree with the
+    /// configuration, or no update budget was set.
+    fn build_adafl_async(self, ada: &AdaFlConfig) -> AdaFlAsyncEngine;
+}
+
+impl AdaFlBuild for RuntimeBuilder {
+    fn build_adafl_sync(self, ada: &AdaFlConfig) -> AdaFlSyncEngine {
+        ada.validate();
+        let policies = adafl_sync_policies(ada, self.fl().seed_for("selection"));
+        AdaFlSyncEngine::from_runtime(self.build_sync_runtime(policies))
+    }
+
+    fn build_adafl_async(self, ada: &AdaFlConfig) -> AdaFlAsyncEngine {
+        ada.validate();
+        let policy = AdaFlAsyncPolicy::new(ada, self.fl().clients);
+        AdaFlAsyncEngine::from_runtime(self.build_async_runtime(Box::new(policy)))
+    }
+}

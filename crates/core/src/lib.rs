@@ -53,13 +53,17 @@
 #![warn(missing_debug_implementations)]
 
 mod async_engine;
+mod build;
 pub mod compression_control;
 mod config;
+pub mod policies;
 pub mod selection;
 mod sync_engine;
 pub mod utility;
+pub mod wire;
 
 pub use async_engine::AdaFlAsyncEngine;
+pub use build::{adafl_sync_policies, AdaFlBuild};
 pub use compression_control::CompressionController;
 pub use config::AdaFlConfig;
 pub use selection::select_clients;

@@ -14,57 +14,33 @@
 //!
 //! Unselected clients neither download the full model nor upload — that is
 //! where the 60–78 % bandwidth saving comes from.
+//!
+//! Since the runtime refactor this type is a thin facade: the round
+//! skeleton lives in [`adafl_fl::runtime::SyncRuntime`], and the AdaFL
+//! behaviour is the [`crate::policies`] bundle ([`UtilitySelection`] +
+//! [`AdaptiveDgc`] + [`AdaFlAggregation`], no deadline enforcement — the
+//! AdaFL server waits for its whole cohort).
+//!
+//! [`UtilitySelection`]: crate::policies::UtilitySelection
+//! [`AdaptiveDgc`]: crate::policies::AdaptiveDgc
+//! [`AdaFlAggregation`]: crate::policies::AdaFlAggregation
 
-use crate::compression_control::CompressionController;
+use crate::build::AdaFlBuild;
 use crate::config::AdaFlConfig;
-use crate::selection::Selector;
-use crate::utility::{utility_score, UtilityInputs};
-use adafl_compression::{dense_wire_size, top_k, DgcCompressor};
 use adafl_data::partition::Partitioner;
 use adafl_data::Dataset;
-use adafl_fl::checkpoint::Checkpoint;
-use adafl_fl::client::evaluate_model;
 use adafl_fl::compute::ComputeModel;
-use adafl_fl::defense::{DefenseConfig, DefenseGate};
-use adafl_fl::faults::{corrupt_update, FaultKind, FaultPlan};
-use adafl_fl::pool::WorkerPool;
-use adafl_fl::{CommunicationLedger, FlClient, FlConfig, RoundRecord, RunHistory};
-use adafl_netsim::{
-    ClientNetwork, LinkProfile, LinkTrace, ReliablePolicy, ReliableTransfer, SimTime,
-};
-use adafl_telemetry::{names, EventRecord, SharedRecorder, SpanRecord};
-use adafl_tensor::vecops;
-
-/// Wire size of a utility-score report (client id + score + tag).
-const SCORE_REPORT_BYTES: usize = 16;
-
-/// Fraction of coordinates kept in the broadcast `ĝ` digest.
-const DIGEST_FRACTION: usize = 100; // top 1/100
+use adafl_fl::defense::DefenseConfig;
+use adafl_fl::faults::FaultPlan;
+use adafl_fl::runtime::{RuntimeBuilder, SyncRuntime};
+use adafl_fl::{CommunicationLedger, FlConfig, RunHistory};
+use adafl_netsim::{ClientNetwork, ReliablePolicy, SimTime};
+use adafl_telemetry::SharedRecorder;
 
 /// Synchronous AdaFL engine.
 #[derive(Debug)]
 pub struct AdaFlSyncEngine {
-    fl: FlConfig,
-    ada: AdaFlConfig,
-    clients: Vec<FlClient>,
-    compressors: Vec<DgcCompressor>,
-    controller: CompressionController,
-    selector: Selector,
-    global: Vec<f32>,
-    global_model: adafl_nn::Model,
-    /// Previous round's aggregated global delta (ĝ).
-    global_gradient: Vec<f32>,
-    test_set: Dataset,
-    network: ClientNetwork,
-    compute: ComputeModel,
-    faults: FaultPlan,
-    ledger: CommunicationLedger,
-    clock: SimTime,
-    recorder: SharedRecorder,
-    transport: Option<ReliableTransfer>,
-    defense: Option<DefenseGate>,
-    crash_checkpoints: Vec<Option<Checkpoint>>,
-    pool: WorkerPool,
+    rt: SyncRuntime,
 }
 
 impl AdaFlSyncEngine {
@@ -77,14 +53,9 @@ impl AdaFlSyncEngine {
         test_set: Dataset,
         partitioner: Partitioner,
     ) -> Self {
-        let shards = partitioner.split(train_set, fl.clients, fl.seed_for("partition"));
-        let network = ClientNetwork::new(
-            vec![LinkTrace::constant(LinkProfile::Broadband.spec()); fl.clients],
-            fl.seed_for("network"),
-        );
-        let compute = ComputeModel::uniform(fl.clients, 0.1);
-        let faults = FaultPlan::reliable(fl.clients);
-        AdaFlSyncEngine::with_parts(fl, ada, shards, test_set, network, compute, faults)
+        RuntimeBuilder::new(fl, test_set)
+            .partitioned(train_set, partitioner)
+            .build_adafl_sync(&ada)
     }
 
     /// Creates an engine with explicit shards, network, compute model and
@@ -94,80 +65,43 @@ impl AdaFlSyncEngine {
     ///
     /// Panics when part sizes disagree with `fl.clients`, any shard is
     /// empty, or the AdaFL configuration is invalid.
+    #[deprecated(
+        note = "assemble through `adafl_fl::runtime::RuntimeBuilder` + `AdaFlBuild` instead"
+    )]
     pub fn with_parts(
         fl: FlConfig,
         ada: AdaFlConfig,
         shards: Vec<Dataset>,
         test_set: Dataset,
         network: ClientNetwork,
-        mut compute: ComputeModel,
+        compute: ComputeModel,
         faults: FaultPlan,
     ) -> Self {
-        ada.validate();
-        assert_eq!(shards.len(), fl.clients, "shard count mismatch");
-        assert_eq!(network.len(), fl.clients, "network size mismatch");
-        assert_eq!(compute.clients(), fl.clients, "compute model size mismatch");
-        assert_eq!(faults.clients(), fl.clients, "fault plan size mismatch");
-        let clients = FlClient::fleet(
-            &fl.model,
-            shards,
-            fl.learning_rate,
-            fl.momentum,
-            fl.batch_size,
-            fl.seed_for("model"),
-        );
-        let mut global_model = fl.model.build(fl.seed_for("model"));
-        let global = global_model.params_flat();
-        global_model.set_params_flat(&global);
-        let dim = global.len();
-        for c in 0..fl.clients {
-            let slow = faults.slowdown(c);
-            if slow > 1.0 {
-                compute.scale_client(c, slow);
-            }
-        }
-        AdaFlSyncEngine {
-            selector: Selector::new(ada.selection, fl.seed_for("selection")),
-            controller: CompressionController::new(&ada),
-            compressors: vec![DgcCompressor::new(dim, ada.dgc_momentum, ada.clip_norm); fl.clients],
-            ledger: CommunicationLedger::new(fl.clients),
-            global_gradient: vec![0.0; dim],
-            clients,
-            global,
-            global_model,
-            test_set,
-            network,
-            compute,
-            faults,
-            crash_checkpoints: vec![None; fl.clients],
-            pool: WorkerPool::with_default_size(),
-            fl,
-            ada,
-            clock: SimTime::ZERO,
-            recorder: adafl_telemetry::noop(),
-            transport: None,
-            defense: None,
-        }
+        RuntimeBuilder::new(fl, test_set)
+            .shards(shards)
+            .network(network)
+            .compute(compute)
+            .faults(faults)
+            .build_adafl_sync(&ada)
+    }
+
+    /// Wraps a fully-assembled runtime (the builder's exit point).
+    pub(crate) fn from_runtime(rt: SyncRuntime) -> Self {
+        AdaFlSyncEngine { rt }
     }
 
     /// Attaches a telemetry recorder, also wiring it into the simulated
     /// network. Recording is strictly passive — selection, compression and
     /// clock behaviour are identical with or without it.
     pub fn set_recorder(&mut self, recorder: SharedRecorder) {
-        self.network.set_recorder(recorder.clone());
-        if let Some(t) = &mut self.transport {
-            t.set_recorder(recorder.clone());
-        }
-        self.recorder = recorder;
+        self.rt.set_recorder(recorder);
     }
 
     /// Enables reliable transport for model downloads and sparse-update
     /// uploads; the ledger additionally charges retransmitted payload bytes
     /// and ACK control frames. Off by default.
     pub fn set_retry_policy(&mut self, policy: ReliablePolicy) {
-        let mut t = ReliableTransfer::new(policy, self.fl.seed_for("transport"));
-        t.set_recorder(self.recorder.clone());
-        self.transport = Some(t);
+        self.rt.set_retry_policy(policy);
     }
 
     /// Enables the defensive aggregation gate over the sparse updates:
@@ -175,418 +109,44 @@ impl AdaFlSyncEngine {
     /// the configured quorum are skipped with state carried forward. Off by
     /// default.
     pub fn set_defense(&mut self, cfg: DefenseConfig) {
-        self.defense = Some(DefenseGate::new(cfg));
+        self.rt.set_defense(cfg);
     }
 
     /// The communication ledger (cumulative).
     pub fn ledger(&self) -> &CommunicationLedger {
-        &self.ledger
+        self.rt.ledger()
     }
 
     /// Current simulated time.
     pub fn clock(&self) -> SimTime {
-        self.clock
+        self.rt.clock()
     }
 
     /// Current global parameters.
     pub fn global_params(&self) -> &[f32] {
-        &self.global
+        self.rt.global_params()
+    }
+
+    /// Previous round's aggregated global delta (`ĝ`).
+    pub fn global_gradient(&self) -> &[f32] {
+        self.rt.global_gradient()
     }
 
     /// Runs all configured rounds.
     pub fn run(&mut self) -> RunHistory {
-        let mut history = RunHistory::new("adafl");
-        for round in 0..self.fl.rounds {
-            let contributors = self.run_round(round);
-            self.global_model.set_params_flat(&self.global);
-            let (accuracy, loss) = evaluate_model(&mut self.global_model, &self.test_set);
-            history.push(RoundRecord {
-                round,
-                sim_time: self.clock,
-                accuracy,
-                loss,
-                uplink_bytes: self.ledger.uplink_bytes(),
-                uplink_updates: self.ledger.uplink_updates(),
-                contributors,
-            });
-        }
-        history
+        self.rt.run()
     }
 
     /// Runs one round; returns how many updates reached the server.
     pub fn run_round(&mut self, round: usize) -> usize {
-        self.handle_crashes(round);
-        let selected: Vec<usize> = if self.controller.in_warmup(round) {
-            // Warm-up: equal participation from all clients.
-            (0..self.fl.clients).collect::<Vec<_>>()
-        } else {
-            self.select(round)
-        }
-        .into_iter()
-        .filter(|&c| !self.faults.crashed(c, round))
-        .collect();
-
-        let dense_payload = dense_wire_size(self.global.len());
-        let mut updates: Vec<(usize, adafl_compression::SparseUpdate, f32)> = Vec::new();
-        let mut round_time = SimTime::ZERO;
-        let tracing = self.recorder.enabled();
-        let round_start = self.clock;
-        let wall_start = self.recorder.wall_micros();
-
-        // Phase 1 — full model download for selected clients only.
-        let mut ready: Vec<(usize, usize, SimTime)> = Vec::with_capacity(selected.len());
-        for (rank, &c) in selected.iter().enumerate() {
-            let arrival = match &mut self.transport {
-                Some(t) => {
-                    let report = t.downlink(&mut self.network, c, dense_payload, self.clock);
-                    if report.delivered() {
-                        self.ledger.record_downlink(c, dense_payload);
-                        if report.wasted_bytes > 0 {
-                            self.ledger
-                                .record_retransmission(c, report.wasted_bytes as usize);
-                        }
-                        self.ledger.record_control(c, report.control_bytes as usize);
-                    } else {
-                        self.ledger
-                            .record_retransmission(c, report.payload_bytes as usize);
-                    }
-                    report.arrival
-                }
-                None => {
-                    let down = self.network.downlink_transfer(c, dense_payload, self.clock);
-                    self.ledger.record_downlink(c, dense_payload);
-                    down.arrival()
-                }
-            };
-            if let Some(t) = arrival {
-                ready.push((rank, c, t));
-            }
-        }
-
-        // Phase 2 — local training, in parallel threads (clients are
-        // independent; phase 3 keeps cohort-rank order, so results stay
-        // deterministic).
-        let outcomes: Vec<adafl_fl::LocalOutcome> = {
-            let global = &self.global;
-            let steps = self.fl.local_steps;
-            // Boolean mask over client ids (O(N), not an O(N²) contains
-            // scan), then per-id slots so each ready client's &mut is taken
-            // exactly once — in cohort-rank order.
-            let mut is_ready = vec![false; self.clients.len()];
-            for &(_, c, _) in &ready {
-                is_ready[c] = true;
-            }
-            let mut slots: Vec<Option<&mut FlClient>> = self
-                .clients
-                .iter_mut()
-                .enumerate()
-                .map(|(c, client)| is_ready[c].then_some(client))
-                .collect();
-            let jobs: Vec<Box<dyn FnOnce() -> adafl_fl::LocalOutcome + Send + '_>> = ready
-                .iter()
-                .map(|&(_, c, _)| {
-                    let client = slots[c].take().expect("ready client listed once");
-                    Box::new(move || client.train_local(global, steps, None)) as Box<_>
-                })
-                .collect();
-            // Persistent pool instead of per-round thread spawning; results
-            // come back in submission (cohort-rank) order, keeping the
-            // phase-3 zip deterministic.
-            self.pool.scope_run(jobs)
-        };
-
-        // Phase 3 — adaptive compression and uplink, in cohort-rank order.
-        for (&(rank, c, downlink_done), outcome) in ready.iter().zip(outcomes) {
-            let train_done = downlink_done + self.compute.training_time(c, self.fl.local_steps);
-            if tracing {
-                self.recorder.span(
-                    SpanRecord::new(
-                        names::SPAN_CLIENT_COMPUTE,
-                        downlink_done.seconds(),
-                        train_done.seconds(),
-                    )
-                    .round(round)
-                    .client(c)
-                    .field("steps", self.fl.local_steps),
-                );
-            }
-
-            let ratio = self.controller.ratio_for_rank(
-                self.controller.in_warmup(round),
-                rank,
-                selected.len(),
-            );
-            let mut sparse = self.compressors[c].compress(&outcome.delta, ratio);
-            let payload = sparse.wire_size();
-            if tracing {
-                self.recorder
-                    .histogram_record(names::ADAFL_ASSIGNED_RATIO, f64::from(ratio));
-                adafl_compression::record_compression(
-                    &self.recorder,
-                    "dgc",
-                    dense_payload,
-                    payload,
-                );
-            }
-
-            if !self.faults.update_delivered(c, round) {
-                if tracing {
-                    self.recorder.counter_add(names::FL_DROPOUTS, 1);
-                    self.recorder.event(
-                        EventRecord::new(names::EVENT_DROPOUT, train_done.seconds())
-                            .round(round)
-                            .client(c),
-                    );
-                }
-                continue;
-            }
-            // Corruption faults hit the serialized sparse payload in
-            // transit; it still arrives and the defensive gate must catch
-            // it.
-            if let Some(seed) = self.faults.corrupts_update(c) {
-                corrupt_update(sparse.values_mut(), seed);
-                if tracing {
-                    self.recorder.counter_add(names::FL_CORRUPTIONS, 1);
-                    self.recorder.event(
-                        EventRecord::new(names::EVENT_CORRUPTION, train_done.seconds())
-                            .round(round)
-                            .client(c),
-                    );
-                }
-            }
-            let uplink_arrival = match &mut self.transport {
-                Some(t) => {
-                    let report = t.uplink(&mut self.network, c, payload, train_done);
-                    if report.delivered() {
-                        self.ledger.record_uplink(c, payload);
-                        if report.wasted_bytes > 0 {
-                            self.ledger
-                                .record_retransmission(c, report.wasted_bytes as usize);
-                        }
-                        self.ledger.record_control(c, report.control_bytes as usize);
-                    } else {
-                        self.ledger
-                            .record_retransmission(c, report.payload_bytes as usize);
-                    }
-                    report.arrival
-                }
-                None => {
-                    let up = self.network.uplink_transfer(c, payload, train_done);
-                    if up.arrival().is_some() {
-                        self.ledger.record_uplink(c, payload);
-                    }
-                    up.arrival()
-                }
-            };
-            match uplink_arrival {
-                Some(arrival) => {
-                    round_time = round_time.max(arrival - self.clock);
-                    updates.push((c, sparse, outcome.num_samples as f32));
-                }
-                None => continue,
-            }
-        }
-
-        // A round with no delivered update costs the server's wait timeout.
-        if updates.is_empty() {
-            self.clock += SimTime::from_seconds(0.5);
-        } else {
-            self.clock += round_time;
-        }
-
-        let updates = self.screen_updates(round, updates, selected.len());
-        if !updates.is_empty() {
-            let total_weight: f32 = updates.iter().map(|(_, _, w)| w).sum();
-            let mut mean = vec![0.0f32; self.global.len()];
-            for (_, sparse, w) in &updates {
-                sparse.add_into(&mut mean, w / total_weight);
-            }
-            vecops::axpy(&mut self.global, 1.0, &mean);
-            self.global_gradient = mean;
-        }
-        if tracing {
-            let (start, end) = (round_start.seconds(), self.clock.seconds());
-            self.recorder
-                .histogram_record(names::ROUND_SIM_SECONDS, end - start);
-            self.recorder.span(
-                SpanRecord::new(names::SPAN_ROUND, start, end)
-                    .round(round)
-                    .wall(self.recorder.wall_micros().saturating_sub(wall_start))
-                    .field("participants", selected.len())
-                    .field("delivered", updates.len())
-                    .field("warmup", self.controller.in_warmup(round)),
-            );
-        }
-        updates.len()
-    }
-
-    /// Crash-fault bookkeeping at the top of a round: snapshot a client's
-    /// state into a [`Checkpoint`] the round its outage begins, restore it
-    /// from the decoded checkpoint the round it comes back.
-    fn handle_crashes(&mut self, round: usize) {
-        let tracing = self.recorder.enabled();
-        for c in 0..self.fl.clients {
-            let FaultKind::Crash { at_round, .. } = self.faults.kind(c) else {
-                continue;
-            };
-            if round == at_round {
-                let snapshot = Checkpoint::new(round as u64, self.clients[c].model().params_flat());
-                self.crash_checkpoints[c] = Some(snapshot);
-                if tracing {
-                    self.recorder.counter_add(names::FL_CRASHES, 1);
-                    self.recorder.event(
-                        EventRecord::new(names::EVENT_CRASH, self.clock.seconds())
-                            .round(round)
-                            .client(c),
-                    );
-                }
-            } else if self.faults.recovers_at(c, round) {
-                if let Some(ckpt) = self.crash_checkpoints[c].take() {
-                    let restored =
-                        Checkpoint::decode(&ckpt.encode()).expect("checkpoint round-trips");
-                    self.clients[c].sync_to_global(&restored.params);
-                    if tracing {
-                        self.recorder.counter_add(names::FL_RECOVERIES, 1);
-                        self.recorder.event(
-                            EventRecord::new(names::EVENT_RECOVERY, self.clock.seconds())
-                                .round(round)
-                                .client(c)
-                                .field("checkpoint_round", restored.round as usize),
-                        );
-                    }
-                }
-            }
-        }
-    }
-
-    /// Defensive aggregation gate over the round's sparse updates: scrubs
-    /// non-finite transmitted values, norm-screens against the running
-    /// median, and enforces the quorum. Identity when no defense is set.
-    fn screen_updates(
-        &mut self,
-        round: usize,
-        mut updates: Vec<(usize, adafl_compression::SparseUpdate, f32)>,
-        expected: usize,
-    ) -> Vec<(usize, adafl_compression::SparseUpdate, f32)> {
-        let Some(gate) = self.defense.as_mut() else {
-            return updates;
-        };
-        let tracing = self.recorder.enabled();
-        let now = self.clock.seconds();
-        let mut kept: Vec<(usize, adafl_compression::SparseUpdate, f32)> =
-            Vec::with_capacity(updates.len());
-        let mut norms: Vec<f64> = Vec::with_capacity(updates.len());
-        for (c, mut sparse, w) in updates.drain(..) {
-            // The screens run over the transmitted values; the L2 norm of a
-            // sparse update equals the norm of its dense form.
-            match gate.sanitize(sparse.values_mut()) {
-                Ok(s) => {
-                    if tracing && s.scrubbed > 0 {
-                        self.recorder
-                            .counter_add(names::FL_DEFENSE_SCRUBBED, s.scrubbed as u64);
-                    }
-                    norms.push(s.norm);
-                    kept.push((c, sparse, w));
-                }
-                Err(reason) => {
-                    if tracing {
-                        self.recorder.counter_add(names::FL_DEFENSE_REJECTIONS, 1);
-                        self.recorder.event(
-                            EventRecord::new(names::EVENT_DEFENSE_REJECT, now)
-                                .round(round)
-                                .client(c)
-                                .field("reason", reason.label()),
-                        );
-                    }
-                }
-            }
-        }
-        let verdicts = gate.admit_batch(&norms);
-        let mut out: Vec<(usize, adafl_compression::SparseUpdate, f32)> =
-            Vec::with_capacity(kept.len());
-        for ((c, sparse, w), ok) in kept.into_iter().zip(verdicts) {
-            if ok {
-                out.push((c, sparse, w));
-            } else if tracing {
-                self.recorder.counter_add(names::FL_DEFENSE_REJECTIONS, 1);
-                self.recorder.event(
-                    EventRecord::new(names::EVENT_DEFENSE_REJECT, now)
-                        .round(round)
-                        .client(c)
-                        .field("reason", "norm_outlier"),
-                );
-            }
-        }
-        if !gate.quorum_met(out.len(), expected) {
-            if tracing {
-                self.recorder.counter_add(names::FL_QUORUM_SKIPS, 1);
-                self.recorder.event(
-                    EventRecord::new(names::EVENT_QUORUM_SKIP, now)
-                        .round(round)
-                        .field("accepted", out.len())
-                        .field("expected", expected),
-                );
-            }
-            return Vec::new();
-        }
-        out
-    }
-
-    /// Runs the control plane (digest broadcast + score reports) and
-    /// Algorithm 1.
-    fn select(&mut self, round: usize) -> Vec<usize> {
-        // Digest of ĝ: top 1% coordinates, broadcast to every client.
-        let digest_k = (self.global.len() / DIGEST_FRACTION).max(1);
-        let digest = top_k(&self.global_gradient, digest_k);
-        let digest_bytes = digest.wire_size();
-        let digest_dense = digest.to_dense();
-
-        let mut scores = vec![0.0f32; self.fl.clients];
-        #[allow(clippy::needless_range_loop)] // c indexes four parallel per-client structures
-        for c in 0..self.fl.clients {
-            self.ledger.record_control(c, digest_bytes);
-            // Probe gradient at the client's current (possibly stale) state.
-            let probe = self.clients[c].probe_gradient();
-            let link = self.network.link_at(c, self.clock);
-            // Sufficiency is judged against a typical adaptively-compressed
-            // payload, not the dense model.
-            let expected_payload = dense_wire_size(self.global.len()) / 16;
-            scores[c] = utility_score(
-                &UtilityInputs {
-                    local_gradient: &probe,
-                    global_gradient: &digest_dense,
-                    link,
-                    expected_payload,
-                },
-                self.ada.metric,
-                self.ada.similarity_weight,
-            );
-            self.ledger.record_control(c, SCORE_REPORT_BYTES);
-        }
-        let selected =
-            self.selector
-                .select(&scores, self.ada.max_selected, self.ada.utility_threshold);
-        if self.recorder.enabled() {
-            for &s in &scores {
-                self.recorder
-                    .histogram_record(names::ADAFL_UTILITY, f64::from(s));
-            }
-            self.recorder
-                .gauge_set(names::ADAFL_SELECTED, selected.len() as f64);
-            self.recorder.event(
-                EventRecord::new(names::EVENT_SELECTION, self.clock.seconds())
-                    .round(round)
-                    .field("scored", scores.len())
-                    .field("selected", selected.len()),
-            );
-        }
-        selected
+        self.rt.run_round(round)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adafl_compression::dense_wire_size;
     use adafl_data::synthetic::SyntheticSpec;
     use adafl_nn::models::ModelSpec;
 
@@ -691,6 +251,6 @@ mod tests {
     fn global_gradient_updates_after_rounds() {
         let mut e = engine(3);
         e.run();
-        assert!(e.global_gradient.iter().any(|&g| g != 0.0));
+        assert!(e.global_gradient().iter().any(|&g| g != 0.0));
     }
 }

@@ -16,7 +16,7 @@ const BW_SUFFICIENCY_WINDOW_S: f64 = 1.0;
 /// Gradient-similarity metric for the utility score.
 ///
 /// The paper uses cosine similarity and notes L2-norm ratio and Euclidean
-/// distance as alternatives [33]; all three are provided for the ablation
+/// distance as alternatives \[33]; all three are provided for the ablation
 /// bench.
 #[derive(
     serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq, Eq, Hash, Default,
@@ -77,7 +77,7 @@ pub struct UtilityInputs<'a> {
 }
 
 /// Bandwidth **sufficiency** in `[0, 1]`: 1 when the slower link direction
-/// can move `expected_payload` within [`BW_SUFFICIENCY_WINDOW_S`],
+/// can move `expected_payload` within `BW_SUFFICIENCY_WINDOW_S`,
 /// degrading proportionally below that.
 ///
 /// The paper selects "clients with meaningful updates and *sufficient*

@@ -1,0 +1,61 @@
+//! Control-plane wire sizing shared by the synchronous and asynchronous
+//! AdaFL flavours.
+//!
+//! Both engines ship the same artefacts over the control plane — the
+//! top-1% `ĝ` digest and the 16-byte utility-score report — and judge
+//! bandwidth sufficiency against the same "typical adaptively-compressed
+//! payload" yardstick. These constants used to be duplicated per engine;
+//! they are pinned here so the two protocols cannot silently drift apart.
+
+use adafl_compression::dense_wire_size;
+
+/// Wire size of a utility-score report (client id + score + tag).
+pub const SCORE_REPORT_BYTES: usize = 16;
+
+/// Fraction of coordinates kept in the broadcast `ĝ` digest (top 1/100).
+pub const DIGEST_FRACTION: usize = 100;
+
+/// Number of coordinates in the `ĝ` digest for a `dim`-parameter model —
+/// top 1%, but never empty.
+pub fn digest_len(dim: usize) -> usize {
+    (dim / DIGEST_FRACTION).max(1)
+}
+
+/// The payload size a client's bandwidth is judged against in the utility
+/// score: a typical adaptively-compressed update (dense wire size / 16),
+/// not the full dense model.
+pub fn expected_compressed_payload(dim: usize) -> usize {
+    dense_wire_size(dim) / 16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_keeps_one_percent() {
+        assert_eq!(digest_len(650), 6);
+        assert_eq!(digest_len(100), 1);
+        assert_eq!(digest_len(10_000), 100);
+    }
+
+    #[test]
+    fn digest_is_never_empty() {
+        assert_eq!(digest_len(0), 1);
+        assert_eq!(digest_len(1), 1);
+        assert_eq!(digest_len(99), 1);
+    }
+
+    #[test]
+    fn expected_payload_is_a_sixteenth_of_dense() {
+        let dim = 650;
+        assert_eq!(expected_compressed_payload(dim), dense_wire_size(dim) / 16);
+        assert!(expected_compressed_payload(dim) < dense_wire_size(dim));
+    }
+
+    #[test]
+    fn score_report_is_tiny() {
+        // A score report must be negligible next to any model payload.
+        assert!(SCORE_REPORT_BYTES < expected_compressed_payload(650));
+    }
+}

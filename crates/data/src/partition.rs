@@ -4,7 +4,7 @@
 //!
 //! * [`Partitioner::Iid`] — uniform random split (the paper's IID setting).
 //! * [`Partitioner::LabelShards`] — sort-by-label shard assignment from
-//!   McMahan et al. [19], the paper's non-IID setting: each client receives
+//!   McMahan et al. \[19], the paper's non-IID setting: each client receives
 //!   `shards_per_client` contiguous label shards, so most clients see only a
 //!   few classes.
 //! * [`Partitioner::Dirichlet`] — label-distribution skew with concentration

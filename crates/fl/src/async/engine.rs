@@ -4,23 +4,25 @@
 //! upload. The server reacts to each arriving update according to its
 //! [`AsyncStrategy`] (FedAsync updates immediately; FedBuff buffers), then
 //! pushes the fresh global model back to the sender. All timing runs on the
-//! simulated clock via an [`EventQueue`], so staleness emerges naturally
-//! from slow compute or slow links rather than being injected.
+//! simulated clock, so staleness emerges naturally from slow compute or
+//! slow links rather than being injected.
+//!
+//! Since the runtime refactor this type is a thin facade: the event loop
+//! lives in [`crate::runtime::AsyncRuntime`], and `AsyncEngine` is the
+//! baseline policy bundle — dense model exchanges and an [`AsyncStrategy`]
+//! application adapter.
 
-use crate::client::{evaluate_model, FlClient};
 use crate::compute::ComputeModel;
 use crate::config::FlConfig;
-use crate::defense::{DefenseConfig, DefenseGate};
-use crate::faults::{corrupt_update, FaultPlan};
-use crate::history::{RoundRecord, RunHistory};
+use crate::defense::DefenseConfig;
+use crate::faults::FaultPlan;
+use crate::history::RunHistory;
 use crate::ledger::CommunicationLedger;
-use adafl_compression::dense_wire_size;
+use crate::runtime::{AsyncRuntime, RuntimeBuilder};
 use adafl_data::partition::Partitioner;
 use adafl_data::Dataset;
-use adafl_netsim::{
-    ClientNetwork, EventQueue, LinkProfile, LinkTrace, ReliablePolicy, ReliableTransfer, SimTime,
-};
-use adafl_telemetry::{names, EventRecord, SharedRecorder, SpanRecord};
+use adafl_netsim::{ClientNetwork, ReliablePolicy};
+use adafl_telemetry::SharedRecorder;
 
 /// Server-side behaviour of an asynchronous FL strategy.
 pub trait AsyncStrategy: std::fmt::Debug + Send {
@@ -47,39 +49,10 @@ pub trait AsyncStrategy: std::fmt::Debug + Send {
     ) -> bool;
 }
 
-#[derive(Debug)]
-enum Event {
-    /// A client finished downloading the global model and starts training.
-    StartTraining { client: usize },
-    /// A client's update reached the server.
-    UpdateArrival { client: usize, version: u64 },
-    /// A transfer was lost; the client re-requests the global model.
-    Resync { client: usize },
-}
-
 /// Asynchronous federated-learning engine.
 #[derive(Debug)]
 pub struct AsyncEngine {
-    config: FlConfig,
-    clients: Vec<FlClient>,
-    /// Per-client snapshot of the global model they are training from.
-    snapshots: Vec<Vec<f32>>,
-    /// Per-client pending delta awaiting arrival (at most one in flight).
-    in_flight: Vec<Option<Vec<f32>>>,
-    global: Vec<f32>,
-    global_model: adafl_nn::Model,
-    version: u64,
-    test_set: Dataset,
-    strategy: Box<dyn AsyncStrategy>,
-    network: ClientNetwork,
-    compute: ComputeModel,
-    faults: FaultPlan,
-    ledger: CommunicationLedger,
-    update_budget: u64,
-    eval_every: u64,
-    recorder: SharedRecorder,
-    transport: Option<ReliableTransfer>,
-    defense: Option<DefenseGate>,
+    rt: AsyncRuntime,
 }
 
 impl AsyncEngine {
@@ -93,23 +66,10 @@ impl AsyncEngine {
         strategy: Box<dyn AsyncStrategy>,
         update_budget: u64,
     ) -> Self {
-        let shards = partitioner.split(train_set, config.clients, config.seed_for("partition"));
-        let network = ClientNetwork::new(
-            vec![LinkTrace::constant(LinkProfile::Broadband.spec()); config.clients],
-            config.seed_for("network"),
-        );
-        let compute = ComputeModel::uniform(config.clients, 0.1);
-        let faults = FaultPlan::reliable(config.clients);
-        AsyncEngine::with_parts(
-            config,
-            shards,
-            test_set,
-            strategy,
-            network,
-            compute,
-            faults,
-            update_budget,
-        )
+        RuntimeBuilder::new(config, test_set)
+            .partitioned(train_set, partitioner)
+            .update_budget(update_budget)
+            .build_async(strategy)
     }
 
     /// Creates an engine with explicit parts; stale clients in `faults` are
@@ -119,85 +79,44 @@ impl AsyncEngine {
     ///
     /// Panics when part sizes disagree with `config.clients` or any shard is
     /// empty.
+    #[deprecated(note = "assemble through `runtime::RuntimeBuilder` instead")]
     #[allow(clippy::too_many_arguments)]
     pub fn with_parts(
         config: FlConfig,
         shards: Vec<Dataset>,
         test_set: Dataset,
-        mut strategy: Box<dyn AsyncStrategy>,
+        strategy: Box<dyn AsyncStrategy>,
         network: ClientNetwork,
-        mut compute: ComputeModel,
+        compute: ComputeModel,
         faults: FaultPlan,
         update_budget: u64,
     ) -> Self {
-        assert_eq!(shards.len(), config.clients, "shard count mismatch");
-        assert_eq!(network.len(), config.clients, "network size mismatch");
-        assert_eq!(
-            compute.clients(),
-            config.clients,
-            "compute model size mismatch"
-        );
-        assert_eq!(faults.clients(), config.clients, "fault plan size mismatch");
-        assert!(update_budget > 0, "update budget must be positive");
-        let clients = FlClient::fleet(
-            &config.model,
-            shards,
-            config.learning_rate,
-            config.momentum,
-            config.batch_size,
-            config.seed_for("model"),
-        );
-        let mut global_model = config.model.build(config.seed_for("model"));
-        let global = global_model.params_flat();
-        global_model.set_params_flat(&global);
-        strategy.init(global.len());
-        for c in 0..config.clients {
-            let slow = faults.slowdown(c);
-            if slow > 1.0 {
-                compute.scale_client(c, slow);
-            }
-        }
-        let snapshots = vec![global.clone(); config.clients];
-        AsyncEngine {
-            ledger: CommunicationLedger::new(config.clients),
-            in_flight: vec![None; config.clients],
-            snapshots,
-            clients,
-            global,
-            global_model,
-            version: 0,
-            test_set,
-            strategy,
-            network,
-            compute,
-            faults,
-            config,
-            update_budget,
-            eval_every: 5,
-            recorder: adafl_telemetry::noop(),
-            transport: None,
-            defense: None,
-        }
+        RuntimeBuilder::new(config, test_set)
+            .shards(shards)
+            .network(network)
+            .compute(compute)
+            .faults(faults)
+            .update_budget(update_budget)
+            .build_async(strategy)
+    }
+
+    /// Wraps a fully-assembled runtime (the builder's exit point).
+    pub(crate) fn from_runtime(rt: AsyncRuntime) -> Self {
+        AsyncEngine { rt }
     }
 
     /// Attaches a telemetry recorder, also wiring it into the simulated
     /// network. Recording is strictly passive: event scheduling and RNG
     /// state are untouched, so traced and untraced runs are identical.
     pub fn set_recorder(&mut self, recorder: SharedRecorder) {
-        self.network.set_recorder(recorder.clone());
-        if let Some(t) = &mut self.transport {
-            t.set_recorder(recorder.clone());
-        }
-        self.recorder = recorder;
+        self.rt.set_recorder(recorder);
     }
 
     /// Enables reliable transport for every model exchange; a transfer that
     /// still fails after all attempts falls back to the resync path. Off by
     /// default.
     pub fn set_retry_policy(&mut self, policy: ReliablePolicy) {
-        let mut t = ReliableTransfer::new(policy, self.config.seed_for("transport"));
-        t.set_recorder(self.recorder.clone());
-        self.transport = Some(t);
+        self.rt.set_retry_policy(policy);
     }
 
     /// Enables the defensive aggregation gate: each arriving update is
@@ -205,7 +124,7 @@ impl AsyncEngine {
     /// updates are discarded (the client is resynced as usual). Off by
     /// default.
     pub fn set_defense(&mut self, cfg: DefenseConfig) {
-        self.defense = Some(DefenseGate::new(cfg));
+        self.rt.set_defense(cfg);
     }
 
     /// Sets how many server updates elapse between test-set evaluations
@@ -215,261 +134,34 @@ impl AsyncEngine {
     ///
     /// Panics when `n` is zero.
     pub fn set_eval_every(&mut self, n: u64) {
-        assert!(n > 0, "evaluation interval must be positive");
-        self.eval_every = n;
+        self.rt.set_eval_every(n);
     }
 
     /// The communication ledger (cumulative).
     pub fn ledger(&self) -> &CommunicationLedger {
-        &self.ledger
+        self.rt.ledger()
     }
 
     /// Current global version (number of global model changes).
     pub fn version(&self) -> u64 {
-        self.version
+        self.rt.version()
     }
 
     /// Runs until `update_budget` client updates have reached the server,
     /// returning the evaluation history against simulated time.
     pub fn run(&mut self) -> RunHistory {
-        let mut history = RunHistory::new(self.strategy.name());
-        let mut queue: EventQueue<Event> = EventQueue::new();
-        let payload = dense_wire_size(self.global.len());
-
-        // Bootstrap: broadcast the initial model to everyone.
-        for c in 0..self.config.clients {
-            self.schedule_downlink(&mut queue, c, payload, SimTime::ZERO);
-        }
-
-        let mut arrivals: u64 = 0;
-        // Per-client version tags of the snapshot they are training from.
-        let mut client_versions = vec![0u64; self.config.clients];
-
-        // Liveness guard: fully-lossy networks can resync forever without an
-        // arrival; bound total events so `run` always terminates.
-        let max_events = self
-            .update_budget
-            .saturating_mul(self.config.clients as u64)
-            .saturating_mul(50)
-            .max(10_000);
-        let mut events: u64 = 0;
-        while let Some((now, event)) = queue.pop() {
-            events += 1;
-            if events > max_events {
-                break;
-            }
-            match event {
-                Event::StartTraining { client } => {
-                    client_versions[client] = self.version;
-                    let snapshot = self.snapshots[client].clone();
-                    let mut outcome =
-                        self.clients[client].train_local(&snapshot, self.config.local_steps, None);
-                    let train_time = self.compute.training_time(client, self.config.local_steps);
-                    let done = now + train_time;
-                    if self.recorder.enabled() {
-                        self.recorder.span(
-                            SpanRecord::new(
-                                names::SPAN_CLIENT_COMPUTE,
-                                now.seconds(),
-                                done.seconds(),
-                            )
-                            .client(client)
-                            .field("steps", self.config.local_steps),
-                        );
-                    }
-                    // Corruption faults hit the serialized update in
-                    // transit; it still arrives and the defensive gate must
-                    // catch it.
-                    if let Some(seed) = self.faults.corrupts_update(client) {
-                        corrupt_update(&mut outcome.delta, seed);
-                        if self.recorder.enabled() {
-                            self.recorder.counter_add(names::FL_CORRUPTIONS, 1);
-                            self.recorder.event(
-                                EventRecord::new(names::EVENT_CORRUPTION, done.seconds())
-                                    .client(client),
-                            );
-                        }
-                    }
-                    self.in_flight[client] = Some(outcome.delta);
-                    let (arrival, retry_at) = match &mut self.transport {
-                        Some(t) => {
-                            let report = t.uplink(&mut self.network, client, payload, done);
-                            if report.delivered() {
-                                self.ledger.record_uplink(client, payload);
-                                if report.wasted_bytes > 0 {
-                                    self.ledger.record_retransmission(
-                                        client,
-                                        report.wasted_bytes as usize,
-                                    );
-                                }
-                                self.ledger
-                                    .record_control(client, report.control_bytes as usize);
-                            } else {
-                                self.ledger
-                                    .record_retransmission(client, report.payload_bytes as usize);
-                            }
-                            (report.arrival, report.sender_done)
-                        }
-                        None => {
-                            let up = self.network.uplink_transfer(client, payload, done);
-                            if up.arrival().is_some() {
-                                self.ledger.record_uplink(client, payload);
-                            }
-                            (up.arrival(), done + SimTime::from_seconds(1.0))
-                        }
-                    };
-                    match arrival {
-                        Some(arrival) => {
-                            queue.push(
-                                arrival,
-                                Event::UpdateArrival {
-                                    client,
-                                    version: client_versions[client],
-                                },
-                            );
-                        }
-                        None => {
-                            // Update lost in transit: resync once the sender
-                            // learns of the loss.
-                            self.in_flight[client] = None;
-                            queue.push(retry_at, Event::Resync { client });
-                        }
-                    }
-                }
-                Event::UpdateArrival { client, version } => {
-                    arrivals += 1;
-                    let staleness = self.version.saturating_sub(version);
-                    if self.recorder.enabled() {
-                        self.recorder
-                            .histogram_record(names::ASYNC_STALENESS, staleness as f64);
-                        self.recorder.event(
-                            EventRecord::new(names::EVENT_STALENESS, now.seconds())
-                                .round(arrivals as usize)
-                                .client(client)
-                                .field("staleness", staleness),
-                        );
-                    }
-                    let mut delta = self.in_flight[client]
-                        .take()
-                        .expect("arrival without an in-flight update");
-                    // Defensive gate: scrub and norm-screen the arriving
-                    // update; a rejected update never reaches the strategy
-                    // (the arrival still counts toward the budget, so a
-                    // poisoned fleet cannot livelock the run).
-                    let mut rejection: Option<&'static str> = None;
-                    if let Some(gate) = self.defense.as_mut() {
-                        match gate.sanitize(&mut delta) {
-                            Ok(s) => {
-                                if s.scrubbed > 0 && self.recorder.enabled() {
-                                    self.recorder
-                                        .counter_add(names::FL_DEFENSE_SCRUBBED, s.scrubbed as u64);
-                                }
-                                if !gate.admit(s.norm) {
-                                    rejection = Some("norm_outlier");
-                                }
-                            }
-                            Err(reason) => rejection = Some(reason.label()),
-                        }
-                    }
-                    if let Some(reason) = rejection {
-                        if self.recorder.enabled() {
-                            self.recorder.counter_add(names::FL_DEFENSE_REJECTIONS, 1);
-                            self.recorder.event(
-                                EventRecord::new(names::EVENT_DEFENSE_REJECT, now.seconds())
-                                    .client(client)
-                                    .field("reason", reason),
-                            );
-                        }
-                    } else {
-                        let weight = self.clients[client].num_samples() as f32;
-                        let snapshot = std::mem::take(&mut self.snapshots[client]);
-                        let changed = self.strategy.on_update(
-                            &mut self.global,
-                            &delta,
-                            &snapshot,
-                            weight,
-                            staleness,
-                        );
-                        self.snapshots[client] = snapshot;
-                        if changed {
-                            self.version += 1;
-                        }
-                    }
-                    if arrivals.is_multiple_of(self.eval_every) || arrivals == self.update_budget {
-                        let (accuracy, loss) = self.evaluate();
-                        history.push(RoundRecord {
-                            round: arrivals as usize,
-                            sim_time: now,
-                            accuracy,
-                            loss,
-                            uplink_bytes: self.ledger.uplink_bytes(),
-                            uplink_updates: self.ledger.uplink_updates(),
-                            contributors: 1,
-                        });
-                    }
-                    if arrivals >= self.update_budget {
-                        break;
-                    }
-                    self.schedule_downlink(&mut queue, client, payload, now);
-                }
-                Event::Resync { client } => {
-                    self.schedule_downlink(&mut queue, client, payload, now);
-                }
-            }
-        }
-        history
-    }
-
-    fn schedule_downlink(
-        &mut self,
-        queue: &mut EventQueue<Event>,
-        client: usize,
-        payload: usize,
-        now: SimTime,
-    ) {
-        self.snapshots[client].copy_from_slice(&self.global);
-        let (arrival, retry_at) = match &mut self.transport {
-            Some(t) => {
-                let report = t.downlink(&mut self.network, client, payload, now);
-                if report.delivered() {
-                    self.ledger.record_downlink(client, payload);
-                    if report.wasted_bytes > 0 {
-                        self.ledger
-                            .record_retransmission(client, report.wasted_bytes as usize);
-                    }
-                    self.ledger
-                        .record_control(client, report.control_bytes as usize);
-                } else {
-                    self.ledger
-                        .record_retransmission(client, report.payload_bytes as usize);
-                }
-                (report.arrival, report.sender_done)
-            }
-            None => {
-                let down = self.network.downlink_transfer(client, payload, now);
-                if down.arrival().is_some() {
-                    self.ledger.record_downlink(client, payload);
-                }
-                (down.arrival(), now + SimTime::from_seconds(1.0))
-            }
-        };
-        match arrival {
-            Some(arrival) => queue.push(arrival, Event::StartTraining { client }),
-            None => queue.push(retry_at, Event::Resync { client }),
-        }
-    }
-
-    fn evaluate(&mut self) -> (f32, f32) {
-        self.global_model.set_params_flat(&self.global);
-        evaluate_model(&mut self.global_model, &self.test_set)
+        self.rt.run()
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::*;
     use crate::r#async::strategies::{FedAsync, FedBuff};
     use adafl_data::synthetic::SyntheticSpec;
+    use adafl_netsim::{LinkProfile, LinkTrace};
     use adafl_nn::models::ModelSpec;
 
     fn config() -> FlConfig {

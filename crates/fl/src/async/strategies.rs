@@ -1,10 +1,10 @@
-//! Asynchronous baseline strategies: FedAsync [22] and FedBuff [35] — the
+//! Asynchronous baseline strategies: FedAsync \[22] and FedBuff \[35] — the
 //! comparison set of Table II.
 
 use super::engine::AsyncStrategy;
 use adafl_tensor::vecops;
 
-/// FedAsync (Xie et al. [22]): every arriving client **model** is mixed
+/// FedAsync (Xie et al. \[22]): every arriving client **model** is mixed
 /// into the global model immediately, `x_g ← (1 − α_τ)·x_g + α_τ·x_client`,
 /// with the staleness-decayed weight `α_τ = α · (1 + τ)^(−a)`. The mixing
 /// form (rather than adding the raw delta) implicitly pulls the global
@@ -63,7 +63,7 @@ impl AsyncStrategy for FedAsync {
     }
 }
 
-/// FedBuff (Nguyen et al. [35]): updates accumulate in a size-`K` buffer;
+/// FedBuff (Nguyen et al. \[35]): updates accumulate in a size-`K` buffer;
 /// when full, their staleness-discounted mean is applied at once, reducing
 /// the variance of purely asynchronous aggregation.
 #[derive(Debug, Clone)]

@@ -13,7 +13,7 @@
 //! Two further kinds extend the study to compounded chaos sweeps:
 //!
 //! * **Crash** — the client disappears for a window of rounds and later
-//!   recovers its state from a [`Checkpoint`](crate::Checkpoint).
+//!   recovers its state from a [`Checkpoint`](crate::checkpoint::Checkpoint).
 //! * **Corruption** — the serialized update is corrupted in transit
 //!   (seeded NaN/Inf injection and magnitude blow-ups), the adversary the
 //!   server's defensive aggregation gate must survive.

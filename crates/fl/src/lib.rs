@@ -4,7 +4,7 @@
 //! local models ([`FlClient`]), a synchronous round engine
 //! ([`sync::SyncEngine`]) with the FedAvg / FedAdam / FedProx / SCAFFOLD
 //! baselines, an asynchronous event-driven engine
-//! ([`r#async::AsyncEngine`]) with FedAsync / FedBuff, network integration
+//! (`async::AsyncEngine`) with FedAsync / FedBuff, network integration
 //! via `adafl-netsim`, fault injection ([`faults`]) for the paper's
 //! resiliency study (Figure 1), and communication accounting ([`ledger`])
 //! for Tables I/II.
@@ -44,6 +44,7 @@ pub mod faults;
 pub mod history;
 pub mod ledger;
 pub mod pool;
+pub mod runtime;
 pub mod sync;
 
 pub use client::{FlClient, LocalOutcome};

@@ -1,0 +1,237 @@
+//! One builder for every protocol flavour.
+//!
+//! [`RuntimeBuilder`] replaces the four engine-specific `with_parts`
+//! constructors: it gathers the scenario parts (shards, network, compute,
+//! faults, resilience options, recorder) once, then specialises into a
+//! [`SyncRuntime`] or [`AsyncRuntime`] with a policy bundle — or directly
+//! into the [`SyncEngine`](crate::sync::SyncEngine) /
+//! [`AsyncEngine`](crate::r#async::AsyncEngine) baseline wrappers.
+//!
+//! Defaults match the legacy `Engine::new` constructors: a homogeneous
+//! broadband network seeded from the config, uniform 0.1 s/step compute,
+//! and a fault-free fleet.
+
+use super::baseline::{
+    RandomSelection, StaticCompressionPolicy, StrategyAggregation, StrategyAsyncPolicy,
+};
+use super::event::AsyncRuntime;
+use super::policy::AsyncPolicy;
+use super::sync::{SyncPolicies, SyncRuntime};
+use crate::compute::ComputeModel;
+use crate::config::FlConfig;
+use crate::defense::DefenseConfig;
+use crate::faults::FaultPlan;
+use crate::r#async::{AsyncEngine, AsyncStrategy};
+use crate::sync::{StaticCompression, SyncEngine, SyncStrategy};
+use adafl_data::partition::Partitioner;
+use adafl_data::Dataset;
+use adafl_netsim::{ClientNetwork, LinkProfile, LinkTrace, ReliablePolicy};
+use adafl_telemetry::SharedRecorder;
+
+/// Gathers scenario parts once, then builds any protocol flavour.
+#[derive(Debug)]
+pub struct RuntimeBuilder {
+    fl: FlConfig,
+    test_set: Dataset,
+    shards: Option<Vec<Dataset>>,
+    network: Option<ClientNetwork>,
+    compute: Option<ComputeModel>,
+    faults: Option<FaultPlan>,
+    retry: Option<ReliablePolicy>,
+    defense: Option<DefenseConfig>,
+    recorder: Option<SharedRecorder>,
+    update_budget: u64,
+    eval_every: Option<u64>,
+}
+
+impl RuntimeBuilder {
+    /// Starts a builder from the protocol configuration and test set.
+    pub fn new(fl: FlConfig, test_set: Dataset) -> Self {
+        RuntimeBuilder {
+            fl,
+            test_set,
+            shards: None,
+            network: None,
+            compute: None,
+            faults: None,
+            retry: None,
+            defense: None,
+            recorder: None,
+            update_budget: 0,
+            eval_every: None,
+        }
+    }
+
+    /// The protocol configuration this builder was started with.
+    pub fn fl(&self) -> &FlConfig {
+        &self.fl
+    }
+
+    /// Uses pre-split client shards.
+    pub fn shards(mut self, shards: Vec<Dataset>) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
+    /// Splits `train_set` across the fleet with `partitioner`, seeded from
+    /// the config (`seed_for("partition")`).
+    pub fn partitioned(self, train_set: &Dataset, partitioner: Partitioner) -> Self {
+        let shards = partitioner.split(train_set, self.fl.clients, self.fl.seed_for("partition"));
+        self.shards(shards)
+    }
+
+    /// Uses an explicit network (default: homogeneous broadband seeded
+    /// `seed_for("network")`).
+    pub fn network(mut self, network: ClientNetwork) -> Self {
+        self.network = Some(network);
+        self
+    }
+
+    /// Uses an explicit compute model (default: uniform 0.1 s/step).
+    pub fn compute(mut self, compute: ComputeModel) -> Self {
+        self.compute = Some(compute);
+        self
+    }
+
+    /// Uses an explicit fault plan (default: fault-free).
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Enables reliable transport (`None` keeps fire-and-forget).
+    pub fn retry_policy(mut self, policy: Option<ReliablePolicy>) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Enables the defensive aggregation gate (`None` keeps it off).
+    pub fn defense(mut self, cfg: Option<DefenseConfig>) -> Self {
+        self.defense = cfg;
+        self
+    }
+
+    /// Attaches a telemetry recorder.
+    pub fn recorder(mut self, recorder: SharedRecorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Total server-update budget for asynchronous runs (required before
+    /// building an async flavour).
+    pub fn update_budget(mut self, budget: u64) -> Self {
+        self.update_budget = budget;
+        self
+    }
+
+    /// Evaluation cadence for asynchronous runs (default 5 arrivals).
+    pub fn eval_every(mut self, n: u64) -> Self {
+        self.eval_every = Some(n);
+        self
+    }
+
+    fn take_parts(&mut self) -> (Vec<Dataset>, ClientNetwork, ComputeModel, FaultPlan) {
+        let shards = self
+            .shards
+            .take()
+            .expect("provide shards via .shards(..) or .partitioned(..)");
+        let network = self.network.take().unwrap_or_else(|| {
+            ClientNetwork::new(
+                vec![LinkTrace::constant(LinkProfile::Broadband.spec()); self.fl.clients],
+                self.fl.seed_for("network"),
+            )
+        });
+        let compute = self
+            .compute
+            .take()
+            .unwrap_or_else(|| ComputeModel::uniform(self.fl.clients, 0.1));
+        let faults = self
+            .faults
+            .take()
+            .unwrap_or_else(|| FaultPlan::reliable(self.fl.clients));
+        (shards, network, compute, faults)
+    }
+
+    /// Builds a [`SyncRuntime`] specialised by `policies`, applying the
+    /// resilience options in the canonical order (retry → defense →
+    /// recorder) the benchmark runner has always used.
+    pub fn build_sync_runtime(mut self, policies: SyncPolicies) -> SyncRuntime {
+        let (shards, network, compute, faults) = self.take_parts();
+        let mut rt = SyncRuntime::new(
+            self.fl,
+            shards,
+            self.test_set,
+            network,
+            compute,
+            faults,
+            policies,
+        );
+        if let Some(policy) = self.retry {
+            rt.set_retry_policy(policy);
+        }
+        if let Some(cfg) = self.defense {
+            rt.set_defense(cfg);
+        }
+        if let Some(recorder) = self.recorder {
+            rt.set_recorder(recorder);
+        }
+        rt
+    }
+
+    /// Builds an [`AsyncRuntime`] specialised by `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`RuntimeBuilder::update_budget`] was not set.
+    pub fn build_async_runtime(mut self, policy: Box<dyn AsyncPolicy>) -> AsyncRuntime {
+        let (shards, network, compute, faults) = self.take_parts();
+        let mut rt = AsyncRuntime::new(
+            self.fl,
+            shards,
+            self.test_set,
+            network,
+            compute,
+            faults,
+            self.update_budget,
+            policy,
+        );
+        if let Some(n) = self.eval_every {
+            rt.set_eval_every(n);
+        }
+        if let Some(policy) = self.retry {
+            rt.set_retry_policy(policy);
+        }
+        if let Some(cfg) = self.defense {
+            rt.set_defense(cfg);
+        }
+        if let Some(recorder) = self.recorder {
+            rt.set_recorder(recorder);
+        }
+        rt
+    }
+
+    /// Builds the baseline synchronous flavour: uniform random selection,
+    /// identity static compression and the given [`SyncStrategy`], wrapped
+    /// in the legacy [`SyncEngine`] facade.
+    pub fn build_sync(self, strategy: Box<dyn SyncStrategy>) -> SyncEngine {
+        let policies = SyncPolicies {
+            selection: Box::new(RandomSelection::new(self.fl.seed_for("selection"))),
+            compression: Box::new(StaticCompressionPolicy::new(
+                StaticCompression::None,
+                self.fl.seed_for("compression"),
+            )),
+            aggregation: Box::new(StrategyAggregation::new(strategy)),
+            enforce_deadline: true,
+        };
+        SyncEngine::from_runtime(self.build_sync_runtime(policies))
+    }
+
+    /// Builds the baseline asynchronous flavour (dense exchanges, no
+    /// utility gate) around the given [`AsyncStrategy`], wrapped in the
+    /// legacy [`AsyncEngine`] facade.
+    pub fn build_async(self, strategy: Box<dyn AsyncStrategy>) -> AsyncEngine {
+        AsyncEngine::from_runtime(
+            self.build_async_runtime(Box::new(StrategyAsyncPolicy::new(strategy))),
+        )
+    }
+}

@@ -1,0 +1,389 @@
+//! The shared asynchronous (event-driven) round runtime.
+//!
+//! Clients loop independently: receive the global model → train locally →
+//! upload; the server reacts to each arrival. The runtime owns the event
+//! queue, transport, fault injection, the defensive gate, ledger charging,
+//! telemetry and history recording; an [`AsyncPolicy`] decides what each
+//! downlink carries, whether/how a trained delta is uploaded, and how an
+//! arrival folds into the global model.
+
+use super::io::RoundIo;
+use super::policy::{AsyncApplyCtx, AsyncDownlinkCtx, AsyncPolicy, AsyncUploadCtx};
+use crate::client::{evaluate_model, FlClient};
+use crate::compute::ComputeModel;
+use crate::config::FlConfig;
+use crate::defense::{DefenseConfig, DefenseGate};
+use crate::faults::{corrupt_update, FaultPlan};
+use crate::history::{RoundRecord, RunHistory};
+use crate::ledger::CommunicationLedger;
+use crate::runtime::payload::UpdatePayload;
+use adafl_data::Dataset;
+use adafl_netsim::{ClientNetwork, EventQueue, ReliablePolicy, SimTime};
+use adafl_telemetry::{names, EventRecord, SharedRecorder, SpanRecord};
+
+#[derive(Debug)]
+enum Event {
+    /// A client finished downloading the global model and starts training.
+    StartTraining { client: usize },
+    /// A client's update reached the server.
+    UpdateArrival { client: usize, version: u64 },
+    /// A transfer was lost (or the client halted); the client re-requests
+    /// the global model.
+    Resync { client: usize },
+}
+
+/// Policy-driven asynchronous FL runtime. Staleness emerges naturally from
+/// slow compute or slow links on the simulated clock rather than being
+/// injected.
+#[derive(Debug)]
+pub struct AsyncRuntime {
+    config: FlConfig,
+    clients: Vec<FlClient>,
+    /// Per-client snapshot of the global model they are training from.
+    snapshots: Vec<Vec<f32>>,
+    /// Per-client pending update awaiting arrival (at most one in flight).
+    in_flight: Vec<Option<UpdatePayload>>,
+    global: Vec<f32>,
+    global_model: adafl_nn::Model,
+    /// Latest applied global delta (`ĝ`); stays zero unless the policy
+    /// maintains it.
+    global_gradient: Vec<f32>,
+    version: u64,
+    test_set: Dataset,
+    policy: Box<dyn AsyncPolicy>,
+    io: RoundIo,
+    compute: ComputeModel,
+    faults: FaultPlan,
+    update_budget: u64,
+    eval_every: u64,
+    recorder: SharedRecorder,
+    defense: Option<DefenseGate>,
+}
+
+impl AsyncRuntime {
+    /// Assembles a runtime from explicit parts and an async policy; stale
+    /// clients in `faults` are folded into the compute model as slowdowns.
+    ///
+    /// # Panics
+    ///
+    /// Panics when part sizes disagree with `config.clients`, any shard is
+    /// empty, or `update_budget` is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        config: FlConfig,
+        shards: Vec<Dataset>,
+        test_set: Dataset,
+        network: ClientNetwork,
+        mut compute: ComputeModel,
+        faults: FaultPlan,
+        update_budget: u64,
+        mut policy: Box<dyn AsyncPolicy>,
+    ) -> Self {
+        assert_eq!(shards.len(), config.clients, "shard count mismatch");
+        assert_eq!(network.len(), config.clients, "network size mismatch");
+        assert_eq!(
+            compute.clients(),
+            config.clients,
+            "compute model size mismatch"
+        );
+        assert_eq!(faults.clients(), config.clients, "fault plan size mismatch");
+        assert!(update_budget > 0, "update budget must be positive");
+        let clients = FlClient::fleet(
+            &config.model,
+            shards,
+            config.learning_rate,
+            config.momentum,
+            config.batch_size,
+            config.seed_for("model"),
+        );
+        let mut global_model = config.model.build(config.seed_for("model"));
+        let global = global_model.params_flat();
+        global_model.set_params_flat(&global);
+        policy.init(global.len());
+        for c in 0..config.clients {
+            let slow = faults.slowdown(c);
+            if slow > 1.0 {
+                compute.scale_client(c, slow);
+            }
+        }
+        let snapshots = vec![global.clone(); config.clients];
+        AsyncRuntime {
+            io: RoundIo::new(network, config.clients),
+            in_flight: vec![None; config.clients],
+            global_gradient: vec![0.0; global.len()],
+            snapshots,
+            clients,
+            global,
+            global_model,
+            version: 0,
+            test_set,
+            policy,
+            compute,
+            faults,
+            config,
+            update_budget,
+            eval_every: 5,
+            recorder: adafl_telemetry::noop(),
+            defense: None,
+        }
+    }
+
+    /// The experiment configuration.
+    pub fn config(&self) -> &FlConfig {
+        &self.config
+    }
+
+    /// Attaches a telemetry recorder, also wiring it into the simulated
+    /// network. Recording is strictly passive: event scheduling and RNG
+    /// state are untouched, so traced and untraced runs are identical.
+    pub fn set_recorder(&mut self, recorder: SharedRecorder) {
+        self.io.set_recorder(recorder.clone());
+        self.recorder = recorder;
+    }
+
+    /// Enables reliable transport for every model exchange; a transfer
+    /// that still fails after all attempts falls back to the resync path.
+    /// Off by default.
+    pub fn set_retry_policy(&mut self, policy: ReliablePolicy) {
+        self.io.set_retry_policy(
+            policy,
+            self.config.seed_for("transport"),
+            self.recorder.clone(),
+        );
+    }
+
+    /// Enables the defensive aggregation gate: each arriving update is
+    /// scrubbed and norm-screened before it reaches the policy; rejected
+    /// updates are discarded (the client is resynced as usual). Off by
+    /// default.
+    pub fn set_defense(&mut self, cfg: DefenseConfig) {
+        self.defense = Some(DefenseGate::new(cfg));
+    }
+
+    /// Sets how many server updates elapse between test-set evaluations
+    /// (default 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero.
+    pub fn set_eval_every(&mut self, n: u64) {
+        assert!(n > 0, "evaluation interval must be positive");
+        self.eval_every = n;
+    }
+
+    /// The communication ledger (cumulative).
+    pub fn ledger(&self) -> &CommunicationLedger {
+        self.io.ledger()
+    }
+
+    /// Current global version (number of global model changes).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Current global parameters.
+    pub fn global_params(&self) -> &[f32] {
+        &self.global
+    }
+
+    /// Runs until `update_budget` client updates have reached the server,
+    /// returning the evaluation history against simulated time.
+    pub fn run(&mut self) -> RunHistory {
+        let mut history = RunHistory::new(self.policy.label());
+        let mut queue: EventQueue<Event> = EventQueue::new();
+
+        // Bootstrap: broadcast the initial model to everyone.
+        for c in 0..self.config.clients {
+            self.schedule_downlink(&mut queue, c, SimTime::ZERO);
+        }
+
+        let mut arrivals: u64 = 0;
+        // Per-client version tags of the snapshot they are training from.
+        let mut client_versions = vec![0u64; self.config.clients];
+
+        // Liveness guard: fully-lossy networks can resync forever without
+        // an arrival; bound total events so `run` always terminates.
+        let max_events = self
+            .update_budget
+            .saturating_mul(self.config.clients as u64)
+            .saturating_mul(50)
+            .max(10_000);
+        let mut events: u64 = 0;
+        while let Some((now, event)) = queue.pop() {
+            events += 1;
+            if events > max_events {
+                break;
+            }
+            match event {
+                Event::StartTraining { client } => {
+                    client_versions[client] = self.version;
+                    let snapshot = self.snapshots[client].clone();
+                    let outcome =
+                        self.clients[client].train_local(&snapshot, self.config.local_steps, None);
+                    let train_time = self.compute.training_time(client, self.config.local_steps);
+                    let done = now + train_time;
+                    if self.recorder.enabled() {
+                        self.recorder.span(
+                            SpanRecord::new(
+                                names::SPAN_CLIENT_COMPUTE,
+                                now.seconds(),
+                                done.seconds(),
+                            )
+                            .client(client)
+                            .field("steps", self.config.local_steps),
+                        );
+                    }
+                    let prepared = {
+                        let mut ctx = AsyncUploadCtx {
+                            client,
+                            done,
+                            arrivals,
+                            dense_len: self.global.len(),
+                            global_gradient: &self.global_gradient,
+                            network: self.io.network(),
+                            recorder: &self.recorder,
+                        };
+                        self.policy.prepare_upload(&mut ctx, outcome)
+                    };
+                    let Some(mut prepared) = prepared else {
+                        // The policy halted the upload (AdaFL's utility
+                        // gate); the client idles and resyncs shortly.
+                        queue.push(done + SimTime::from_seconds(1.0), Event::Resync { client });
+                        continue;
+                    };
+                    // Corruption faults hit the serialized update in
+                    // transit; it still arrives and the defensive gate must
+                    // catch it.
+                    if let Some(seed) = self.faults.corrupts_update(client) {
+                        corrupt_update(prepared.payload.values_mut(), seed);
+                        if self.recorder.enabled() {
+                            self.recorder.counter_add(names::FL_CORRUPTIONS, 1);
+                            self.recorder.event(
+                                EventRecord::new(names::EVENT_CORRUPTION, done.seconds())
+                                    .client(client),
+                            );
+                        }
+                    }
+                    self.in_flight[client] = Some(prepared.payload);
+                    let delivery = self.io.uplink(client, prepared.wire_bytes, done);
+                    match delivery.arrival {
+                        Some(arrival) => {
+                            queue.push(
+                                arrival,
+                                Event::UpdateArrival {
+                                    client,
+                                    version: client_versions[client],
+                                },
+                            );
+                        }
+                        None => {
+                            // Update lost in transit: resync once the
+                            // sender learns of the loss.
+                            self.in_flight[client] = None;
+                            queue.push(delivery.sender_done, Event::Resync { client });
+                        }
+                    }
+                }
+                Event::UpdateArrival { client, version } => {
+                    arrivals += 1;
+                    let staleness = self.version.saturating_sub(version);
+                    if self.recorder.enabled() {
+                        self.recorder
+                            .histogram_record(names::ASYNC_STALENESS, staleness as f64);
+                        self.recorder.event(
+                            EventRecord::new(names::EVENT_STALENESS, now.seconds())
+                                .round(arrivals as usize)
+                                .client(client)
+                                .field("staleness", staleness),
+                        );
+                    }
+                    let mut payload = self.in_flight[client]
+                        .take()
+                        .expect("arrival without an in-flight update");
+                    // Defensive gate: scrub and norm-screen the arriving
+                    // update; a rejected update never reaches the policy
+                    // (the arrival still counts toward the budget, so a
+                    // poisoned fleet cannot livelock the run).
+                    let mut rejection: Option<&'static str> = None;
+                    if let Some(gate) = self.defense.as_mut() {
+                        match gate.sanitize(payload.values_mut()) {
+                            Ok(s) => {
+                                if s.scrubbed > 0 && self.recorder.enabled() {
+                                    self.recorder
+                                        .counter_add(names::FL_DEFENSE_SCRUBBED, s.scrubbed as u64);
+                                }
+                                if !gate.admit(s.norm) {
+                                    rejection = Some("norm_outlier");
+                                }
+                            }
+                            Err(reason) => rejection = Some(reason.label()),
+                        }
+                    }
+                    if let Some(reason) = rejection {
+                        if self.recorder.enabled() {
+                            self.recorder.counter_add(names::FL_DEFENSE_REJECTIONS, 1);
+                            self.recorder.event(
+                                EventRecord::new(names::EVENT_DEFENSE_REJECT, now.seconds())
+                                    .client(client)
+                                    .field("reason", reason),
+                            );
+                        }
+                    } else {
+                        let weight = self.clients[client].num_samples() as f32;
+                        let snapshot = std::mem::take(&mut self.snapshots[client]);
+                        let changed = {
+                            let mut ctx = AsyncApplyCtx {
+                                global: &mut self.global,
+                                global_gradient: &mut self.global_gradient,
+                            };
+                            self.policy
+                                .apply(&mut ctx, payload, &snapshot, weight, staleness)
+                        };
+                        self.snapshots[client] = snapshot;
+                        if changed {
+                            self.version += 1;
+                        }
+                    }
+                    if arrivals.is_multiple_of(self.eval_every) || arrivals == self.update_budget {
+                        let (accuracy, loss) = self.evaluate();
+                        history.push(RoundRecord {
+                            round: arrivals as usize,
+                            sim_time: now,
+                            accuracy,
+                            loss,
+                            uplink_bytes: self.io.ledger().uplink_bytes(),
+                            uplink_updates: self.io.ledger().uplink_updates(),
+                            contributors: 1,
+                        });
+                    }
+                    if arrivals >= self.update_budget {
+                        break;
+                    }
+                    self.schedule_downlink(&mut queue, client, now);
+                }
+                Event::Resync { client } => {
+                    self.schedule_downlink(&mut queue, client, now);
+                }
+            }
+        }
+        history
+    }
+
+    fn schedule_downlink(&mut self, queue: &mut EventQueue<Event>, client: usize, now: SimTime) {
+        let bytes = self.policy.downlink_bytes(&AsyncDownlinkCtx {
+            dense_len: self.global.len(),
+            global_gradient: &self.global_gradient,
+        });
+        self.snapshots[client].copy_from_slice(&self.global);
+        let delivery = self.io.downlink(client, bytes, now, false);
+        match delivery.arrival {
+            Some(arrival) => queue.push(arrival, Event::StartTraining { client }),
+            None => queue.push(delivery.sender_done, Event::Resync { client }),
+        }
+    }
+
+    fn evaluate(&mut self) -> (f32, f32) {
+        self.global_model.set_params_flat(&self.global);
+        evaluate_model(&mut self.global_model, &self.test_set)
+    }
+}

@@ -1,0 +1,255 @@
+//! Transport + ledger accounting for the round runtime.
+//!
+//! [`RoundIo`] owns the simulated network, the optional reliable-transport
+//! layer and the communication ledger, and centralises the charging rules
+//! every engine previously duplicated:
+//!
+//! * **Reliable transport** (both directions): a delivered transfer is
+//!   charged its payload on the direction counter, wasted (retransmitted)
+//!   bytes on the retransmission counter and ACK/NACK frames on the
+//!   control counter; a transfer that exhausts its retries charges the
+//!   whole payload as retransmission waste and nothing else.
+//! * **Fire-and-forget uplink**: charged only when the datagram arrives.
+//! * **Fire-and-forget downlink**: the *synchronous* protocol charges the
+//!   broadcast unconditionally (the server transmits whether or not the
+//!   client hears it), while the *asynchronous* protocol charges only on
+//!   delivery — callers pick via `charge_lost_send`. This asymmetry is
+//!   pinned by the golden traces and documented by the ledger-audit tests.
+
+use crate::ledger::CommunicationLedger;
+use adafl_netsim::{ClientNetwork, ReliablePolicy, ReliableTransfer, SimTime};
+use adafl_telemetry::SharedRecorder;
+
+/// Outcome of driving one transfer through [`RoundIo`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Delivery {
+    /// When the payload reached the receiver; `None` when it was lost.
+    pub arrival: Option<SimTime>,
+    /// When the sender learned the transfer's fate — the resync point for
+    /// lost transfers (send time + 1 s for fire-and-forget datagrams).
+    pub sender_done: SimTime,
+}
+
+/// The runtime's communication plane: network, optional retry transport
+/// and the byte ledger, with one charging implementation shared by every
+/// protocol flavour.
+#[derive(Debug)]
+pub struct RoundIo {
+    network: ClientNetwork,
+    ledger: CommunicationLedger,
+    transport: Option<ReliableTransfer>,
+}
+
+impl RoundIo {
+    /// Wraps a network and a fresh ledger; fire-and-forget until
+    /// [`RoundIo::set_retry_policy`] installs reliable transport.
+    pub fn new(network: ClientNetwork, clients: usize) -> Self {
+        RoundIo {
+            network,
+            ledger: CommunicationLedger::new(clients),
+            transport: None,
+        }
+    }
+
+    /// The cumulative ledger.
+    pub fn ledger(&self) -> &CommunicationLedger {
+        &self.ledger
+    }
+
+    /// Mutable ledger access, for control-plane charges (digests, score
+    /// reports) owned by selection policies.
+    pub fn ledger_mut(&mut self) -> &mut CommunicationLedger {
+        &mut self.ledger
+    }
+
+    /// The simulated network (e.g. for [`ClientNetwork::link_at`] probes).
+    pub fn network(&self) -> &ClientNetwork {
+        &self.network
+    }
+
+    /// Wires a recorder into the network and any installed transport.
+    pub fn set_recorder(&mut self, recorder: SharedRecorder) {
+        self.network.set_recorder(recorder.clone());
+        if let Some(t) = &mut self.transport {
+            t.set_recorder(recorder);
+        }
+    }
+
+    /// Installs reliable transport with the given policy, seed and
+    /// recorder; every subsequent transfer runs through it.
+    pub fn set_retry_policy(
+        &mut self,
+        policy: ReliablePolicy,
+        seed: u64,
+        recorder: SharedRecorder,
+    ) {
+        let mut t = ReliableTransfer::new(policy, seed);
+        t.set_recorder(recorder);
+        self.transport = Some(t);
+    }
+
+    /// Server→client transfer. `charge_lost_send` selects the sync
+    /// broadcast rule (charge the payload even when the datagram is lost)
+    /// over the async rule (charge only on delivery); reliable transport
+    /// ignores the flag and always applies its own accounting.
+    pub fn downlink(
+        &mut self,
+        client: usize,
+        bytes: usize,
+        now: SimTime,
+        charge_lost_send: bool,
+    ) -> Delivery {
+        match &mut self.transport {
+            Some(t) => {
+                let report = t.downlink(&mut self.network, client, bytes, now);
+                if report.delivered() {
+                    self.ledger.record_downlink(client, bytes);
+                    if report.wasted_bytes > 0 {
+                        self.ledger
+                            .record_retransmission(client, report.wasted_bytes as usize);
+                    }
+                    self.ledger
+                        .record_control(client, report.control_bytes as usize);
+                } else {
+                    self.ledger
+                        .record_retransmission(client, report.payload_bytes as usize);
+                }
+                Delivery {
+                    arrival: report.arrival,
+                    sender_done: report.sender_done,
+                }
+            }
+            None => {
+                let down = self.network.downlink_transfer(client, bytes, now);
+                if charge_lost_send || down.arrival().is_some() {
+                    self.ledger.record_downlink(client, bytes);
+                }
+                Delivery {
+                    arrival: down.arrival(),
+                    sender_done: now + SimTime::from_seconds(1.0),
+                }
+            }
+        }
+    }
+
+    /// Client→server transfer; fire-and-forget charges only on delivery.
+    pub fn uplink(&mut self, client: usize, bytes: usize, now: SimTime) -> Delivery {
+        match &mut self.transport {
+            Some(t) => {
+                let report = t.uplink(&mut self.network, client, bytes, now);
+                if report.delivered() {
+                    self.ledger.record_uplink(client, bytes);
+                    if report.wasted_bytes > 0 {
+                        self.ledger
+                            .record_retransmission(client, report.wasted_bytes as usize);
+                    }
+                    self.ledger
+                        .record_control(client, report.control_bytes as usize);
+                } else {
+                    self.ledger
+                        .record_retransmission(client, report.payload_bytes as usize);
+                }
+                Delivery {
+                    arrival: report.arrival,
+                    sender_done: report.sender_done,
+                }
+            }
+            None => {
+                let up = self.network.uplink_transfer(client, bytes, now);
+                if up.arrival().is_some() {
+                    self.ledger.record_uplink(client, bytes);
+                }
+                Delivery {
+                    arrival: up.arrival(),
+                    sender_done: now + SimTime::from_seconds(1.0),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adafl_netsim::{LinkProfile, LinkSpec, LinkTrace};
+
+    fn lossless_io(clients: usize) -> RoundIo {
+        let network = ClientNetwork::new(
+            vec![LinkTrace::constant(LinkProfile::Broadband.spec()); clients],
+            7,
+        );
+        RoundIo::new(network, clients)
+    }
+
+    fn lossy_io(clients: usize) -> RoundIo {
+        let b = LinkProfile::Broadband.spec();
+        let spec = LinkSpec::new(
+            b.uplink_bandwidth(),
+            b.downlink_bandwidth(),
+            b.uplink_latency(),
+            b.downlink_latency(),
+            1.0,
+        );
+        let network = ClientNetwork::new(vec![LinkTrace::constant(spec); clients], 7);
+        RoundIo::new(network, clients)
+    }
+
+    #[test]
+    fn delivered_datagrams_charge_both_directions() {
+        let mut io = lossless_io(2);
+        let d = io.downlink(0, 100, SimTime::ZERO, false);
+        assert!(d.arrival.is_some());
+        let u = io.uplink(1, 50, SimTime::ZERO);
+        assert!(u.arrival.is_some());
+        assert_eq!(io.ledger().downlink_bytes(), 100);
+        assert_eq!(io.ledger().uplink_bytes(), 50);
+    }
+
+    #[test]
+    fn lost_sync_broadcast_is_still_charged_but_async_is_not() {
+        let mut io = lossy_io(1);
+        let d = io.downlink(0, 100, SimTime::ZERO, true);
+        assert!(d.arrival.is_none());
+        assert_eq!(io.ledger().downlink_bytes(), 100, "sync rule: server paid");
+
+        let mut io = lossy_io(1);
+        let d = io.downlink(0, 100, SimTime::ZERO, false);
+        assert!(d.arrival.is_none());
+        assert_eq!(
+            io.ledger().downlink_bytes(),
+            0,
+            "async rule: nothing charged"
+        );
+    }
+
+    #[test]
+    fn lost_uplink_is_never_charged() {
+        let mut io = lossy_io(1);
+        let u = io.uplink(0, 80, SimTime::ZERO);
+        assert!(u.arrival.is_none());
+        assert_eq!(io.ledger().uplink_bytes(), 0);
+        // Fire-and-forget loss discovery point: send time + 1 s.
+        assert!((u.sender_done.seconds() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reliable_transport_charges_control_and_retransmissions() {
+        let mut io = lossless_io(1);
+        io.set_retry_policy(ReliablePolicy::default(), 3, adafl_telemetry::noop());
+        let u = io.uplink(0, 200, SimTime::ZERO);
+        assert!(u.arrival.is_some());
+        assert_eq!(io.ledger().uplink_bytes(), 200);
+        assert!(io.ledger().control_bytes() > 0, "ACK frames are charged");
+
+        let mut io = lossy_io(1);
+        io.set_retry_policy(ReliablePolicy::default(), 3, adafl_telemetry::noop());
+        let u = io.uplink(0, 200, SimTime::ZERO);
+        assert!(u.arrival.is_none());
+        assert_eq!(io.ledger().uplink_bytes(), 0);
+        // Every attempt of a failed transfer is charged as waste (the
+        // default policy retries the full payload each time).
+        let wasted = io.ledger().retransmission_bytes();
+        assert!(wasted >= 200, "waste covers at least one attempt: {wasted}");
+        assert_eq!(wasted % 200, 0, "waste is whole payloads: {wasted}");
+    }
+}

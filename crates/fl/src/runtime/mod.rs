@@ -1,0 +1,57 @@
+//! The policy-driven round runtime shared by every protocol flavour.
+//!
+//! Before this module existed the repository carried four parallel engine
+//! implementations — baseline sync, baseline async, AdaFL sync, AdaFL
+//! async — each duplicating the round skeleton: client scheduling,
+//! transport and ledger charging, fault injection, checkpoint recovery,
+//! the defensive gate, telemetry spans and history recording. The runtime
+//! owns that skeleton once and specialises it along three policy axes:
+//!
+//! ```text
+//!                 ┌─────────────────────────────────────────────┐
+//!                 │            fl::runtime                      │
+//!                 │                                             │
+//!   SyncEngine ──▶│  SyncRuntime          AsyncRuntime          │◀── AsyncEngine
+//!   (baselines)   │  ┌───────────────┐    ┌──────────────────┐  │    (baselines)
+//!                 │  │ select        │    │ event loop       │  │
+//! AdaFlSyncEngine │  │ broadcast     │    │ download/train   │  │ AdaFlAsyncEngine
+//!        │        │  │ train (pool)  │    │ upload/apply     │  │        │
+//!        ▼        │  │ upload        │    └──────┬───────────┘  │        ▼
+//!   core policies │  │ screen        │           │              │   core policies
+//!                 │  │ aggregate     │           │              │
+//!                 │  └──────┬────────┘           │              │
+//!                 │         ▼                    ▼              │
+//!                 │  RoundIo (network + transport + ledger)     │
+//!                 │  FaultPlan · DefenseGate · telemetry        │
+//!                 └─────────────────────────────────────────────┘
+//!
+//!   policy axes:  SelectionPolicy   CompressionPolicy   AggregationPolicy
+//!                 (random | utility) (static | DGC)     (SyncStrategy | AdaFL)
+//!                                AsyncPolicy (dense | utility-gated DGC)
+//! ```
+//!
+//! The four public engines survive as thin facades: each is a policy
+//! bundle plus the runtime. Their behaviour is pinned byte-for-byte by
+//! the golden traces in `tests/golden/` — identical `RunHistory`, ledger
+//! totals and telemetry streams before and after the refactor.
+
+mod baseline;
+mod builder;
+mod event;
+mod io;
+mod payload;
+mod policy;
+mod sync;
+
+pub use baseline::{
+    RandomSelection, StaticCompressionPolicy, StrategyAggregation, StrategyAsyncPolicy,
+};
+pub use builder::RuntimeBuilder;
+pub use event::AsyncRuntime;
+pub use io::{Delivery, RoundIo};
+pub use payload::{PreparedUpdate, RoundUpdate, UpdatePayload};
+pub use policy::{
+    AggregationPolicy, AsyncApplyCtx, AsyncDownlinkCtx, AsyncPolicy, AsyncUploadCtx,
+    CompressionPolicy, SelectionCtx, SelectionPolicy, SyncUploadCtx,
+};
+pub use sync::{SyncPolicies, SyncRuntime};

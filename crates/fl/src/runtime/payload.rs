@@ -1,0 +1,94 @@
+//! Update payloads flowing through the round runtime.
+//!
+//! A [`CompressionPolicy`](super::CompressionPolicy) decides the wire form
+//! of each client update — dense for the static baseline schemes, sparse
+//! for AdaFL's DGC — and the runtime handles both forms uniformly for
+//! corruption faults, the defensive gate and aggregation.
+
+use adafl_compression::SparseUpdate;
+
+/// One client update in its transmitted form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdatePayload {
+    /// A dense parameter delta (identity or quantized static compression).
+    Dense(Vec<f32>),
+    /// A sparse top-k delta (DGC).
+    Sparse(SparseUpdate),
+}
+
+impl UpdatePayload {
+    /// Mutable view of the transmitted values — the surface corruption
+    /// faults and the defensive gate's scrubbing operate on. The L2 norm
+    /// of a sparse update's values equals the norm of its dense form, so
+    /// norm screening is form-independent.
+    pub fn values_mut(&mut self) -> &mut [f32] {
+        match self {
+            UpdatePayload::Dense(v) => v,
+            UpdatePayload::Sparse(s) => s.values_mut(),
+        }
+    }
+
+    /// Accumulates `scale · self` into `dest`.
+    pub fn add_scaled_into(&self, dest: &mut [f32], scale: f32) {
+        match self {
+            UpdatePayload::Dense(v) => {
+                for (d, x) in dest.iter_mut().zip(v) {
+                    *d += scale * x;
+                }
+            }
+            UpdatePayload::Sparse(s) => s.add_into(dest, scale),
+        }
+    }
+
+    /// The payload as a dense vector (moves the dense form out without a
+    /// copy; expands the sparse form).
+    pub fn into_dense(self) -> Vec<f32> {
+        match self {
+            UpdatePayload::Dense(v) => v,
+            UpdatePayload::Sparse(s) => s.to_dense(),
+        }
+    }
+}
+
+/// A payload plus the number of bytes it occupies on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreparedUpdate {
+    /// The transmitted update.
+    pub payload: UpdatePayload,
+    /// Wire size charged to the ledger and driven through the network.
+    pub wire_bytes: usize,
+}
+
+/// One delivered update awaiting aggregation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundUpdate {
+    /// Sender.
+    pub client: usize,
+    /// The (possibly compressed, possibly corrupted) update.
+    pub payload: UpdatePayload,
+    /// Aggregation weight (the client's `n_i`).
+    pub weight: f32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adafl_compression::top_k;
+
+    #[test]
+    fn dense_add_scaled_matches_sparse_for_sparse_vectors() {
+        let v = vec![0.0, 2.0, 0.0, -4.0];
+        let sparse = top_k(&v, 2);
+        let mut a = vec![1.0f32; 4];
+        let mut b = vec![1.0f32; 4];
+        UpdatePayload::Dense(v.clone()).add_scaled_into(&mut a, 0.5);
+        UpdatePayload::Sparse(sparse).add_scaled_into(&mut b, 0.5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn into_dense_is_identity_for_dense() {
+        let v = vec![1.0, -2.0, 3.0];
+        assert_eq!(UpdatePayload::Dense(v.clone()).into_dense(), v);
+    }
+}

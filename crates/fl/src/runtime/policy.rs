@@ -1,0 +1,213 @@
+//! The three policy axes that specialise the shared round runtime.
+//!
+//! A protocol flavour is a bundle of:
+//!
+//! * a [`SelectionPolicy`] — who participates in a synchronous round
+//!   (random fraction for the baselines, Algorithm 1 utility/top-K for
+//!   AdaFL, including any control-plane traffic the decision costs);
+//! * a [`CompressionPolicy`] — the wire form of each synchronous uplink
+//!   (static schemes vs utility-adaptive DGC);
+//! * an [`AggregationPolicy`] (sync) or [`AsyncPolicy`] (async) — how
+//!   updates fold into the global model, adapting the existing
+//!   [`SyncStrategy`](crate::sync::SyncStrategy) /
+//!   [`AsyncStrategy`](crate::r#async::AsyncStrategy) traits.
+//!
+//! Policies receive narrow context structs borrowing exactly the runtime
+//! state they may touch. Everything cross-cutting — scheduling, transport,
+//! fault injection, checkpoints, the defensive gate, the ledger, telemetry
+//! spans and history recording — stays in the runtime and runs identically
+//! for every flavour.
+
+use super::io::RoundIo;
+use super::payload::{PreparedUpdate, RoundUpdate, UpdatePayload};
+use crate::client::{FlClient, LocalOutcome};
+use crate::config::FlConfig;
+use adafl_netsim::{ClientNetwork, SimTime};
+use adafl_telemetry::{SharedRecorder, SpanRecord};
+use std::fmt;
+
+/// Context handed to [`SelectionPolicy::select`] at the top of each
+/// synchronous round.
+#[derive(Debug)]
+pub struct SelectionCtx<'a> {
+    /// Round index.
+    pub round: usize,
+    /// Simulated time at the start of the round.
+    pub clock: SimTime,
+    /// Protocol configuration.
+    pub config: &'a FlConfig,
+    /// The fleet — mutable so utility policies can run probe gradients.
+    pub clients: &'a mut [FlClient],
+    /// Communication plane, for control-plane charges and link probes.
+    pub io: &'a mut RoundIo,
+    /// Current global parameters.
+    pub global: &'a [f32],
+    /// Previous round's aggregated global delta (`ĝ`); all zeros until an
+    /// aggregation policy writes it.
+    pub global_gradient: &'a [f32],
+    /// Telemetry sink (strictly passive).
+    pub recorder: &'a SharedRecorder,
+}
+
+/// Chooses the participants of a synchronous round.
+pub trait SelectionPolicy: fmt::Debug + Send {
+    /// Returns the selected client ids, charging any control-plane
+    /// traffic the decision costs. Crash filtering happens afterwards in
+    /// the runtime, so selection RNG state is consumed identically with
+    /// or without crash faults.
+    fn select(&mut self, ctx: &mut SelectionCtx<'_>) -> Vec<usize>;
+
+    /// Lets the policy append fields to the round span (AdaFL tags the
+    /// warm-up flag). Identity by default.
+    fn annotate_round_span(&self, _round: usize, span: SpanRecord) -> SpanRecord {
+        span
+    }
+}
+
+/// Context handed to [`CompressionPolicy::prepare`] for one trained
+/// client, in cohort order.
+#[derive(Debug)]
+pub struct SyncUploadCtx<'a> {
+    /// Round index.
+    pub round: usize,
+    /// Sender.
+    pub client: usize,
+    /// The client's rank in this round's cohort (selection order).
+    pub rank: usize,
+    /// Cohort size.
+    pub cohort: usize,
+    /// Wire size of the dense model, for compression-ratio telemetry.
+    pub dense_bytes: usize,
+    /// Whether the fault plan delivers this client's update this round.
+    /// The policy chooses whether compressor state advances for dropped
+    /// updates (DGC's momentum does; the static schemes skip).
+    pub delivered: bool,
+    /// Whether a recorder is attached.
+    pub tracing: bool,
+    /// Telemetry sink (strictly passive).
+    pub recorder: &'a SharedRecorder,
+}
+
+/// Produces the wire form of one synchronous uplink.
+pub trait CompressionPolicy: fmt::Debug + Send {
+    /// Called once with the model dimension before the first round (and
+    /// again if the policy is swapped in later); per-client compressor
+    /// state is sized here.
+    fn init(&mut self, _dim: usize, _clients: usize) {}
+
+    /// Compresses `delta` for transmission, or returns `None` when the
+    /// update is dropped (`ctx.delivered == false`); the runtime then
+    /// emits the dropout telemetry. Policies emit their own compression
+    /// telemetry so its ordering relative to the drop decision is theirs.
+    fn prepare(&mut self, ctx: &SyncUploadCtx<'_>, delta: &[f32]) -> Option<PreparedUpdate>;
+}
+
+/// Folds delivered synchronous updates into the global model, adapting
+/// [`SyncStrategy`](crate::sync::SyncStrategy) or implementing a custom
+/// rule (AdaFL's sample-weighted sparse mean).
+pub trait AggregationPolicy: fmt::Debug + Send + Sync {
+    /// Run label for the history.
+    fn label(&self) -> &str;
+
+    /// Called once before the first round.
+    fn init(&mut self, _dim: usize, _clients: usize) {}
+
+    /// Whether local training installs the per-step gradient hook. The
+    /// hooked and hook-free training paths are numerically distinct, so
+    /// this is part of a flavour's pinned behaviour.
+    fn uses_gradient_hook(&self) -> bool {
+        false
+    }
+
+    /// Per-step gradient correction (only called when
+    /// [`AggregationPolicy::uses_gradient_hook`] is true).
+    fn gradient_hook(&self, _client: usize, _grad: &mut [f32], _params: &[f32], _global: &[f32]) {}
+
+    /// Post-training callback with the client's delta and effective
+    /// per-step learning rate.
+    fn after_local_round(&mut self, _client: usize, _delta: &[f32], _steps: usize, _lr: f32) {}
+
+    /// Folds the screened updates into `global`; policies that maintain
+    /// the global-gradient digest (`ĝ`) write it through `global_gradient`.
+    fn aggregate(
+        &mut self,
+        global: &mut [f32],
+        global_gradient: &mut Vec<f32>,
+        updates: Vec<RoundUpdate>,
+    );
+}
+
+/// Context handed to [`AsyncPolicy::downlink_bytes`].
+#[derive(Debug)]
+pub struct AsyncDownlinkCtx<'a> {
+    /// Model dimension.
+    pub dense_len: usize,
+    /// Current `ĝ` (drives AdaFL's digest sizing).
+    pub global_gradient: &'a [f32],
+}
+
+/// Context handed to [`AsyncPolicy::prepare_upload`] after a client
+/// finishes local training.
+#[derive(Debug)]
+pub struct AsyncUploadCtx<'a> {
+    /// Sender.
+    pub client: usize,
+    /// When training finished (the upload's send time).
+    pub done: SimTime,
+    /// Server-side arrivals so far (drives AdaFL's warm-up window).
+    pub arrivals: u64,
+    /// Model dimension.
+    pub dense_len: usize,
+    /// Current `ĝ`.
+    pub global_gradient: &'a [f32],
+    /// The network, for link probes at `done`.
+    pub network: &'a ClientNetwork,
+    /// Telemetry sink (strictly passive).
+    pub recorder: &'a SharedRecorder,
+}
+
+/// Context handed to [`AsyncPolicy::apply`] when an update arrives.
+#[derive(Debug)]
+pub struct AsyncApplyCtx<'a> {
+    /// Global parameters.
+    pub global: &'a mut [f32],
+    /// `ĝ`, written by policies that maintain it.
+    pub global_gradient: &'a mut Vec<f32>,
+}
+
+/// The asynchronous protocol's policy axis: what each downlink carries,
+/// whether/how a trained delta is uploaded, and how an arrival folds into
+/// the global model.
+pub trait AsyncPolicy: fmt::Debug + Send {
+    /// Run label for the history.
+    fn label(&self) -> &str;
+
+    /// Called once with the model dimension before the run.
+    fn init(&mut self, _dim: usize) {}
+
+    /// Wire size of one global-model download (dense, plus AdaFL's `ĝ`
+    /// digest).
+    fn downlink_bytes(&mut self, ctx: &AsyncDownlinkCtx<'_>) -> usize;
+
+    /// Turns a training outcome into an upload, or `None` when the client
+    /// halts (AdaFL's utility gate) — the runtime then schedules a resync
+    /// at `done + 1 s`. Policies emit their own utility/compression
+    /// telemetry.
+    fn prepare_upload(
+        &mut self,
+        ctx: &mut AsyncUploadCtx<'_>,
+        outcome: LocalOutcome,
+    ) -> Option<PreparedUpdate>;
+
+    /// Folds one arrived (possibly corrupted, defense-screened) update
+    /// into the global model; returns `true` when the global parameters
+    /// changed (versions advance only then).
+    fn apply(
+        &mut self,
+        ctx: &mut AsyncApplyCtx<'_>,
+        payload: UpdatePayload,
+        snapshot: &[f32],
+        weight: f32,
+        staleness: u64,
+    ) -> bool;
+}

@@ -1,0 +1,586 @@
+//! The shared synchronous round runtime.
+//!
+//! Owns everything cross-cutting in a synchronous round — crash
+//! checkpoints, pool-dispatched local training with the ready-mask,
+//! transport (plain or reliable), fault injection, the defensive gate,
+//! ledger charging, telemetry spans and history recording — and delegates
+//! the three flavour-specific decisions to a [`SyncPolicies`] bundle.
+
+use super::io::RoundIo;
+use super::payload::RoundUpdate;
+use super::policy::{
+    AggregationPolicy, CompressionPolicy, SelectionCtx, SelectionPolicy, SyncUploadCtx,
+};
+use crate::checkpoint::Checkpoint;
+use crate::client::{evaluate_model, FlClient, LocalOutcome};
+use crate::compute::ComputeModel;
+use crate::config::FlConfig;
+use crate::defense::{DefenseConfig, DefenseGate};
+use crate::faults::{corrupt_update, FaultKind, FaultPlan};
+use crate::history::{RoundRecord, RunHistory};
+use crate::ledger::CommunicationLedger;
+use crate::pool::WorkerPool;
+use adafl_compression::dense_wire_size;
+use adafl_data::Dataset;
+use adafl_netsim::{ClientNetwork, ReliablePolicy, SimTime};
+use adafl_telemetry::{names, EventRecord, SharedRecorder, SpanRecord};
+
+/// The policy bundle specialising a [`SyncRuntime`] into one protocol
+/// flavour.
+#[derive(Debug)]
+pub struct SyncPolicies {
+    /// Who participates each round.
+    pub selection: Box<dyn SelectionPolicy>,
+    /// Wire form of each uplink.
+    pub compression: Box<dyn CompressionPolicy>,
+    /// How delivered updates fold into the global model.
+    pub aggregation: Box<dyn AggregationPolicy>,
+    /// Whether the server enforces `FlConfig::round_deadline` (§III
+    /// max-wait policy); the AdaFL flavour waits for its whole cohort.
+    pub enforce_deadline: bool,
+}
+
+/// Policy-driven synchronous round runtime. One round: select → broadcast
+/// → local training → compress/uplink under faults → screen → aggregate;
+/// Eq. 3 round time (the slowest delivered participant gates the round).
+#[derive(Debug)]
+pub struct SyncRuntime {
+    config: FlConfig,
+    clients: Vec<FlClient>,
+    global: Vec<f32>,
+    global_model: adafl_nn::Model,
+    /// Previous round's aggregated global delta (`ĝ`); stays zero unless
+    /// the aggregation policy maintains it.
+    global_gradient: Vec<f32>,
+    test_set: Dataset,
+    selection: Box<dyn SelectionPolicy>,
+    compression: Box<dyn CompressionPolicy>,
+    aggregation: Box<dyn AggregationPolicy>,
+    enforce_deadline: bool,
+    io: RoundIo,
+    compute: ComputeModel,
+    faults: FaultPlan,
+    clock: SimTime,
+    parallel: bool,
+    recorder: SharedRecorder,
+    defense: Option<DefenseGate>,
+    crash_checkpoints: Vec<Option<Checkpoint>>,
+    pool: WorkerPool,
+}
+
+impl SyncRuntime {
+    /// Assembles a runtime from explicit parts and a policy bundle.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shard/network/compute/fault sizes disagree with
+    /// `config.clients` or any shard is empty.
+    pub fn new(
+        config: FlConfig,
+        shards: Vec<Dataset>,
+        test_set: Dataset,
+        network: ClientNetwork,
+        mut compute: ComputeModel,
+        faults: FaultPlan,
+        mut policies: SyncPolicies,
+    ) -> Self {
+        assert_eq!(shards.len(), config.clients, "shard count mismatch");
+        assert_eq!(network.len(), config.clients, "network size mismatch");
+        assert_eq!(
+            compute.clients(),
+            config.clients,
+            "compute model size mismatch"
+        );
+        assert_eq!(faults.clients(), config.clients, "fault plan size mismatch");
+        let clients = FlClient::fleet(
+            &config.model,
+            shards,
+            config.learning_rate,
+            config.momentum,
+            config.batch_size,
+            config.seed_for("model"),
+        );
+        let mut global_model = config.model.build(config.seed_for("model"));
+        let global = global_model.params_flat();
+        // Re-evaluate to ensure consistency between server copy and fleet.
+        global_model.set_params_flat(&global);
+        policies.aggregation.init(global.len(), config.clients);
+        policies.compression.init(global.len(), config.clients);
+        // Stale clients run slower.
+        for c in 0..config.clients {
+            let slow = faults.slowdown(c);
+            if slow > 1.0 {
+                compute.scale_client(c, slow);
+            }
+        }
+        SyncRuntime {
+            io: RoundIo::new(network, config.clients),
+            global_gradient: vec![0.0; global.len()],
+            parallel: true,
+            recorder: adafl_telemetry::noop(),
+            defense: None,
+            crash_checkpoints: vec![None; config.clients],
+            pool: WorkerPool::with_default_size(),
+            selection: policies.selection,
+            compression: policies.compression,
+            aggregation: policies.aggregation,
+            enforce_deadline: policies.enforce_deadline,
+            config,
+            clients,
+            global,
+            global_model,
+            test_set,
+            compute,
+            faults,
+            clock: SimTime::ZERO,
+        }
+    }
+
+    /// The experiment configuration.
+    pub fn config(&self) -> &FlConfig {
+        &self.config
+    }
+
+    /// Enables or disables multi-threaded local training (on by default).
+    /// Results are identical either way; this only affects wall-clock time.
+    pub fn set_parallel(&mut self, parallel: bool) {
+        self.parallel = parallel;
+    }
+
+    /// Replaces the compression policy (used by
+    /// [`SyncEngine::set_compression`](crate::sync::SyncEngine::set_compression)).
+    pub fn set_compression_policy(&mut self, mut policy: Box<dyn CompressionPolicy>) {
+        policy.init(self.global.len(), self.config.clients);
+        self.compression = policy;
+    }
+
+    /// Attaches a telemetry recorder, also wiring it into the simulated
+    /// network so transfers are traced. Recording is strictly passive: it
+    /// never touches the runtime's RNGs or the simulated clock, so traced
+    /// and untraced runs produce identical histories.
+    pub fn set_recorder(&mut self, recorder: SharedRecorder) {
+        self.io.set_recorder(recorder.clone());
+        self.recorder = recorder;
+    }
+
+    /// Enables reliable transport: every broadcast and upload runs through
+    /// a retry layer, and the ledger additionally charges retransmitted
+    /// payload bytes and ACK control frames. Off by default.
+    pub fn set_retry_policy(&mut self, policy: ReliablePolicy) {
+        self.io.set_retry_policy(
+            policy,
+            self.config.seed_for("transport"),
+            self.recorder.clone(),
+        );
+    }
+
+    /// Enables the defensive aggregation gate: updates are scrubbed and
+    /// screened before aggregation, and rounds below the configured
+    /// quorum are skipped with state carried forward. Off by default.
+    pub fn set_defense(&mut self, cfg: DefenseConfig) {
+        self.defense = Some(DefenseGate::new(cfg));
+    }
+
+    /// The communication ledger (cumulative).
+    pub fn ledger(&self) -> &CommunicationLedger {
+        self.io.ledger()
+    }
+
+    /// Current global parameters.
+    pub fn global_params(&self) -> &[f32] {
+        &self.global
+    }
+
+    /// Current global-gradient digest (`ĝ`); all zeros for flavours that
+    /// do not maintain it.
+    pub fn global_gradient(&self) -> &[f32] {
+        &self.global_gradient
+    }
+
+    /// Installs global parameters (e.g. restored from a [`Checkpoint`])
+    /// before running.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `params.len()` differs from the model's parameter count.
+    pub fn set_global_params(&mut self, params: &[f32]) {
+        assert_eq!(
+            params.len(),
+            self.global.len(),
+            "flat parameter length mismatch"
+        );
+        self.global.copy_from_slice(params);
+        self.global_model.set_params_flat(params);
+    }
+
+    /// Current simulated time.
+    pub fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Runs all configured rounds, returning the evaluation history.
+    pub fn run(&mut self) -> RunHistory {
+        let mut history = RunHistory::new(self.aggregation.label());
+        for round in 0..self.config.rounds {
+            let contributors = self.run_round(round);
+            self.global_model.set_params_flat(&self.global);
+            let (accuracy, loss) = evaluate_model(&mut self.global_model, &self.test_set);
+            history.push(RoundRecord {
+                round,
+                sim_time: self.clock,
+                accuracy,
+                loss,
+                uplink_bytes: self.io.ledger().uplink_bytes(),
+                uplink_updates: self.io.ledger().uplink_updates(),
+                contributors,
+            });
+        }
+        history
+    }
+
+    /// Runs one round; returns the number of updates that reached the
+    /// server (post-screening).
+    pub fn run_round(&mut self, round: usize) -> usize {
+        self.handle_crashes(round);
+        // The selection RNG is consumed identically with or without crash
+        // faults; crashed clients are filtered after sampling.
+        let participants: Vec<usize> = {
+            let mut ctx = SelectionCtx {
+                round,
+                clock: self.clock,
+                config: &self.config,
+                clients: &mut self.clients,
+                io: &mut self.io,
+                global: &self.global,
+                global_gradient: &self.global_gradient,
+                recorder: &self.recorder,
+            };
+            self.selection.select(&mut ctx)
+        }
+        .into_iter()
+        .filter(|&c| !self.faults.crashed(c, round))
+        .collect();
+
+        let dense_bytes = dense_wire_size(self.global.len());
+        let mut updates: Vec<RoundUpdate> = Vec::new();
+        let mut round_time = SimTime::ZERO;
+        let mut deadline_hit = false;
+        let tracing = self.recorder.enabled();
+        let round_start = self.clock;
+        let wall_start = self.recorder.wall_micros();
+
+        // Phase 1 — broadcast the global model; clients whose broadcast is
+        // lost sit the round out (unless reliable transport saves it). The
+        // server pays for the broadcast whether or not it lands.
+        let mut ready: Vec<(usize, usize, SimTime)> = Vec::with_capacity(participants.len());
+        for (rank, &c) in participants.iter().enumerate() {
+            let delivery = self.io.downlink(c, dense_bytes, self.clock, true);
+            if let Some(t) = delivery.arrival {
+                ready.push((rank, c, t));
+            }
+        }
+
+        // Phase 2 — local training, in parallel when enabled. Clients are
+        // independent, so parallel execution is bit-identical to
+        // sequential: outcomes come back in cohort order.
+        let outcomes = self.train_ready(&ready);
+
+        // Phase 3 — compression, fault gating, uplink and deadline policy,
+        // in deterministic cohort order.
+        let effective_lr = self.config.learning_rate / (1.0 - self.config.momentum);
+        for (&(rank, c, downlink_done), outcome) in ready.iter().zip(outcomes) {
+            self.aggregation
+                .after_local_round(c, &outcome.delta, outcome.steps, effective_lr);
+
+            // Stale clients' slowdowns were folded into the compute model
+            // at construction.
+            let train_done = downlink_done + self.compute.training_time(c, self.config.local_steps);
+            if tracing {
+                self.recorder.span(
+                    SpanRecord::new(
+                        names::SPAN_CLIENT_COMPUTE,
+                        downlink_done.seconds(),
+                        train_done.seconds(),
+                    )
+                    .round(round)
+                    .client(c)
+                    .field("steps", outcome.steps),
+                );
+            }
+
+            let delivered = self.faults.update_delivered(c, round);
+            let prepared = {
+                let ctx = SyncUploadCtx {
+                    round,
+                    client: c,
+                    rank,
+                    cohort: participants.len(),
+                    dense_bytes,
+                    delivered,
+                    tracing,
+                    recorder: &self.recorder,
+                };
+                self.compression.prepare(&ctx, &outcome.delta)
+            };
+            let Some(mut prepared) = prepared else {
+                debug_assert!(!delivered, "policies only drop undelivered updates");
+                if tracing {
+                    self.recorder.counter_add(names::FL_DROPOUTS, 1);
+                    self.recorder.event(
+                        EventRecord::new(names::EVENT_DROPOUT, train_done.seconds())
+                            .round(round)
+                            .client(c),
+                    );
+                }
+                continue;
+            };
+            // Corruption faults hit the serialized update in transit; the
+            // payload still arrives and the defensive gate must catch it.
+            if let Some(seed) = self.faults.corrupts_update(c) {
+                corrupt_update(prepared.payload.values_mut(), seed);
+                if tracing {
+                    self.recorder.counter_add(names::FL_CORRUPTIONS, 1);
+                    self.recorder.event(
+                        EventRecord::new(names::EVENT_CORRUPTION, train_done.seconds())
+                            .round(round)
+                            .client(c),
+                    );
+                }
+            }
+            let delivery = self.io.uplink(c, prepared.wire_bytes, train_done);
+            match delivery.arrival {
+                Some(arrival) => {
+                    let elapsed = arrival - self.clock;
+                    if self.enforce_deadline {
+                        if let Some(deadline) = self.config.round_deadline {
+                            // §III max-wait-time policy: the server drops
+                            // updates arriving after the deadline.
+                            if elapsed.seconds() > deadline {
+                                deadline_hit = true;
+                                if tracing {
+                                    self.recorder.counter_add(names::FL_DEADLINE_MISSES, 1);
+                                    self.recorder.event(
+                                        EventRecord::new(
+                                            names::EVENT_DEADLINE_MISS,
+                                            arrival.seconds(),
+                                        )
+                                        .round(round)
+                                        .client(c)
+                                        .field("elapsed_seconds", elapsed.seconds()),
+                                    );
+                                }
+                                continue;
+                            }
+                        }
+                    }
+                    round_time = round_time.max(elapsed);
+                    updates.push(RoundUpdate {
+                        client: c,
+                        payload: prepared.payload,
+                        weight: outcome.num_samples as f32,
+                    });
+                }
+                None => continue,
+            }
+        }
+
+        // Eq. 3: the round completes when the slowest delivered participant
+        // finishes; when the deadline fired, the server waited exactly that
+        // long; a round with no delivered update costs the wait timeout.
+        if deadline_hit {
+            self.clock += SimTime::from_seconds(
+                self.config
+                    .round_deadline
+                    .expect("deadline_hit implies a deadline"),
+            );
+        } else if updates.is_empty() {
+            self.clock += SimTime::from_seconds(0.5);
+        } else {
+            self.clock += round_time;
+        }
+
+        let updates = self.screen_updates(round, updates, participants.len());
+        let delivered = updates.len();
+        if !updates.is_empty() {
+            self.aggregation
+                .aggregate(&mut self.global, &mut self.global_gradient, updates);
+        }
+        if tracing {
+            let (start, end) = (round_start.seconds(), self.clock.seconds());
+            self.recorder
+                .histogram_record(names::ROUND_SIM_SECONDS, end - start);
+            let span = SpanRecord::new(names::SPAN_ROUND, start, end)
+                .round(round)
+                .wall(self.recorder.wall_micros().saturating_sub(wall_start))
+                .field("participants", participants.len())
+                .field("delivered", delivered);
+            self.recorder
+                .span(self.selection.annotate_round_span(round, span));
+        }
+        delivered
+    }
+
+    /// Crash-fault bookkeeping at the top of a round: snapshot a client's
+    /// state into a [`Checkpoint`] the round its outage begins, restore it
+    /// from the decoded checkpoint the round it comes back.
+    fn handle_crashes(&mut self, round: usize) {
+        let tracing = self.recorder.enabled();
+        for c in 0..self.config.clients {
+            let FaultKind::Crash { at_round, .. } = self.faults.kind(c) else {
+                continue;
+            };
+            if round == at_round {
+                let snapshot = Checkpoint::new(round as u64, self.clients[c].model().params_flat());
+                self.crash_checkpoints[c] = Some(snapshot);
+                if tracing {
+                    self.recorder.counter_add(names::FL_CRASHES, 1);
+                    self.recorder.event(
+                        EventRecord::new(names::EVENT_CRASH, self.clock.seconds())
+                            .round(round)
+                            .client(c),
+                    );
+                }
+            } else if self.faults.recovers_at(c, round) {
+                if let Some(ckpt) = self.crash_checkpoints[c].take() {
+                    // Recovery goes through the wire format: the client
+                    // restores from the decoded bytes, exactly as it would
+                    // from flash after a reboot.
+                    let restored =
+                        Checkpoint::decode(&ckpt.encode()).expect("checkpoint round-trips");
+                    self.clients[c].sync_to_global(&restored.params);
+                    if tracing {
+                        self.recorder.counter_add(names::FL_RECOVERIES, 1);
+                        self.recorder.event(
+                            EventRecord::new(names::EVENT_RECOVERY, self.clock.seconds())
+                                .round(round)
+                                .client(c)
+                                .field("checkpoint_round", restored.round as usize),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Defensive aggregation gate: scrubs, norm-screens and quorum-checks
+    /// the round's delivered updates. Identity when no defense is set; an
+    /// empty result means the round is skipped.
+    fn screen_updates(
+        &mut self,
+        round: usize,
+        mut updates: Vec<RoundUpdate>,
+        expected: usize,
+    ) -> Vec<RoundUpdate> {
+        let Some(gate) = self.defense.as_mut() else {
+            return updates;
+        };
+        let tracing = self.recorder.enabled();
+        let now = self.clock.seconds();
+        let mut kept: Vec<RoundUpdate> = Vec::with_capacity(updates.len());
+        let mut norms: Vec<f64> = Vec::with_capacity(updates.len());
+        for mut u in updates.drain(..) {
+            // The screens run over the transmitted values; the L2 norm of a
+            // sparse update equals the norm of its dense form.
+            match gate.sanitize(u.payload.values_mut()) {
+                Ok(s) => {
+                    if tracing && s.scrubbed > 0 {
+                        self.recorder
+                            .counter_add(names::FL_DEFENSE_SCRUBBED, s.scrubbed as u64);
+                    }
+                    norms.push(s.norm);
+                    kept.push(u);
+                }
+                Err(reason) => {
+                    if tracing {
+                        self.recorder.counter_add(names::FL_DEFENSE_REJECTIONS, 1);
+                        self.recorder.event(
+                            EventRecord::new(names::EVENT_DEFENSE_REJECT, now)
+                                .round(round)
+                                .client(u.client)
+                                .field("reason", reason.label()),
+                        );
+                    }
+                }
+            }
+        }
+        let verdicts = gate.admit_batch(&norms);
+        let mut out: Vec<RoundUpdate> = Vec::with_capacity(kept.len());
+        for (u, ok) in kept.into_iter().zip(verdicts) {
+            if ok {
+                out.push(u);
+            } else if tracing {
+                self.recorder.counter_add(names::FL_DEFENSE_REJECTIONS, 1);
+                self.recorder.event(
+                    EventRecord::new(names::EVENT_DEFENSE_REJECT, now)
+                        .round(round)
+                        .client(u.client)
+                        .field("reason", "norm_outlier"),
+                );
+            }
+        }
+        if !gate.quorum_met(out.len(), expected) {
+            if tracing {
+                self.recorder.counter_add(names::FL_QUORUM_SKIPS, 1);
+                self.recorder.event(
+                    EventRecord::new(names::EVENT_QUORUM_SKIP, now)
+                        .round(round)
+                        .field("accepted", out.len())
+                        .field("expected", expected),
+                );
+            }
+            return Vec::new();
+        }
+        out
+    }
+
+    /// Trains the broadcast-ready clients, returning outcomes in the same
+    /// (cohort) order. Parallel across the pool when enabled — clients are
+    /// mutually independent during local training, so results do not
+    /// depend on scheduling.
+    fn train_ready(&mut self, ready: &[(usize, usize, SimTime)]) -> Vec<LocalOutcome> {
+        let steps = self.config.local_steps;
+        let aggregation = &self.aggregation;
+        let use_hook = aggregation.uses_gradient_hook();
+        let global = &self.global;
+        // Boolean mask over client ids (O(N), not an O(N²) contains scan),
+        // then per-id slots so each ready client's &mut is taken exactly
+        // once — in cohort order, whatever that order is.
+        let mut is_ready = vec![false; self.clients.len()];
+        for &(_, c, _) in ready {
+            is_ready[c] = true;
+        }
+        let mut slots: Vec<Option<&mut FlClient>> = self
+            .clients
+            .iter_mut()
+            .enumerate()
+            .map(|(c, client)| is_ready[c].then_some(client))
+            .collect();
+        let jobs: Vec<Box<dyn FnOnce() -> LocalOutcome + Send + '_>> = ready
+            .iter()
+            .map(|&(_, c, _)| {
+                let client = slots[c].take().expect("ready client listed once");
+                Box::new(move || {
+                    // The hooked and hook-free training paths are distinct
+                    // float paths; the aggregation policy pins the choice.
+                    if use_hook {
+                        let mut hook = |grad: &mut [f32], params: &[f32], g: &[f32]| {
+                            aggregation.gradient_hook(c, grad, params, g);
+                        };
+                        client.train_local(global, steps, Some(&mut hook))
+                    } else {
+                        client.train_local(global, steps, None)
+                    }
+                }) as Box<_>
+            })
+            .collect();
+
+        if self.parallel {
+            // Persistent pool instead of per-round thread spawning; results
+            // come back in submission (cohort) order, so parallel and
+            // sequential runs stay byte-identical.
+            self.pool.scope_run(jobs)
+        } else {
+            jobs.into_iter().map(|job| job()).collect()
+        }
+    }
+}

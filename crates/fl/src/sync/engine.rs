@@ -1,25 +1,23 @@
 //! The synchronous round engine (FedAvg-style protocol, Eq. 3 of the paper).
+//!
+//! Since the runtime refactor this type is a thin facade: the round
+//! skeleton lives in [`crate::runtime::SyncRuntime`], and `SyncEngine` is
+//! the baseline policy bundle — uniform random selection, static
+//! client-side compression and a [`SyncStrategy`] aggregation adapter,
+//! with the §III round deadline enforced.
 
-use crate::checkpoint::Checkpoint;
-use crate::client::{evaluate_model, FlClient};
 use crate::compute::ComputeModel;
 use crate::config::FlConfig;
-use crate::defense::{DefenseConfig, DefenseGate};
-use crate::faults::{corrupt_update, FaultKind, FaultPlan};
-use crate::history::{RoundRecord, RunHistory};
+use crate::defense::DefenseConfig;
+use crate::faults::FaultPlan;
+use crate::history::RunHistory;
 use crate::ledger::CommunicationLedger;
-use crate::pool::WorkerPool;
-use crate::sync::{CompressorState, StaticCompression};
-use adafl_compression::dense_wire_size;
+use crate::runtime::{RuntimeBuilder, StaticCompressionPolicy, SyncRuntime};
+use crate::sync::StaticCompression;
 use adafl_data::partition::Partitioner;
 use adafl_data::Dataset;
-use adafl_netsim::{
-    ClientNetwork, LinkProfile, LinkTrace, ReliablePolicy, ReliableTransfer, SimTime,
-};
-use adafl_telemetry::{names, EventRecord, SharedRecorder, SpanRecord};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use adafl_netsim::{ClientNetwork, ReliablePolicy, SimTime};
+use adafl_telemetry::SharedRecorder;
 
 /// One client's contribution to a synchronous aggregation.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,26 +66,7 @@ pub trait SyncStrategy: std::fmt::Debug + Send + Sync {
 /// Eq. 3: the slowest participant gates the round.
 #[derive(Debug)]
 pub struct SyncEngine {
-    config: FlConfig,
-    clients: Vec<FlClient>,
-    global: Vec<f32>,
-    global_model: adafl_nn::Model,
-    test_set: Dataset,
-    strategy: Box<dyn SyncStrategy>,
-    network: ClientNetwork,
-    compute: ComputeModel,
-    faults: FaultPlan,
-    ledger: CommunicationLedger,
-    rng: StdRng,
-    clock: SimTime,
-    parallel: bool,
-    compression: StaticCompression,
-    compressors: Vec<CompressorState>,
-    recorder: SharedRecorder,
-    transport: Option<ReliableTransfer>,
-    defense: Option<DefenseGate>,
-    crash_checkpoints: Vec<Option<Checkpoint>>,
-    pool: WorkerPool,
+    rt: SyncRuntime,
 }
 
 impl SyncEngine {
@@ -105,117 +84,60 @@ impl SyncEngine {
         partitioner: Partitioner,
         strategy: Box<dyn SyncStrategy>,
     ) -> Self {
-        let shards = partitioner.split(train_set, config.clients, config.seed_for("partition"));
-        let network = ClientNetwork::new(
-            vec![LinkTrace::constant(LinkProfile::Broadband.spec()); config.clients],
-            config.seed_for("network"),
-        );
-        let compute = ComputeModel::uniform(config.clients, 0.1);
-        let faults = FaultPlan::reliable(config.clients);
-        SyncEngine::with_parts(config, shards, test_set, strategy, network, compute, faults)
+        RuntimeBuilder::new(config, test_set)
+            .partitioned(train_set, partitioner)
+            .build_sync(strategy)
     }
 
     /// Creates an engine with explicit shards, network, compute model and
-    /// fault plan — the constructor the experiment harness uses.
+    /// fault plan.
     ///
     /// # Panics
     ///
     /// Panics when shard/network/compute/fault sizes disagree with
     /// `config.clients` or any shard is empty.
+    #[deprecated(note = "assemble through `runtime::RuntimeBuilder` instead")]
     pub fn with_parts(
         config: FlConfig,
         shards: Vec<Dataset>,
         test_set: Dataset,
-        mut strategy: Box<dyn SyncStrategy>,
+        strategy: Box<dyn SyncStrategy>,
         network: ClientNetwork,
-        mut compute: ComputeModel,
+        compute: ComputeModel,
         faults: FaultPlan,
     ) -> Self {
-        assert_eq!(shards.len(), config.clients, "shard count mismatch");
-        assert_eq!(network.len(), config.clients, "network size mismatch");
-        assert_eq!(
-            compute.clients(),
-            config.clients,
-            "compute model size mismatch"
-        );
-        assert_eq!(faults.clients(), config.clients, "fault plan size mismatch");
-        let clients = FlClient::fleet(
-            &config.model,
-            shards,
-            config.learning_rate,
-            config.momentum,
-            config.batch_size,
-            config.seed_for("model"),
-        );
-        let mut global_model = config.model.build(config.seed_for("model"));
-        let global = global_model.params_flat();
-        // Re-evaluate to ensure consistency between server copy and fleet.
-        global_model.set_params_flat(&global);
-        strategy.init(global.len(), config.clients);
-        // Stale clients run slower.
-        for c in 0..config.clients {
-            let slow = faults.slowdown(c);
-            if slow > 1.0 {
-                compute.scale_client(c, slow);
-            }
-        }
-        let rng = StdRng::seed_from_u64(config.seed_for("selection"));
-        let compressors = (0..config.clients)
-            .map(|c| {
-                CompressorState::new(
-                    StaticCompression::None,
-                    global.len(),
-                    config.seed_for("compression") ^ c as u64,
-                )
-            })
-            .collect();
-        SyncEngine {
-            ledger: CommunicationLedger::new(config.clients),
-            parallel: true,
-            compression: StaticCompression::None,
-            compressors,
-            recorder: adafl_telemetry::noop(),
-            transport: None,
-            defense: None,
-            crash_checkpoints: vec![None; config.clients],
-            pool: WorkerPool::with_default_size(),
-            config,
-            clients,
-            global,
-            global_model,
-            test_set,
-            strategy,
-            network,
-            compute,
-            faults,
-            rng,
-            clock: SimTime::ZERO,
-        }
+        RuntimeBuilder::new(config, test_set)
+            .shards(shards)
+            .network(network)
+            .compute(compute)
+            .faults(faults)
+            .build_sync(strategy)
+    }
+
+    /// Wraps a fully-assembled runtime (the builder's exit point).
+    pub(crate) fn from_runtime(rt: SyncRuntime) -> Self {
+        SyncEngine { rt }
     }
 
     /// The experiment configuration.
     pub fn config(&self) -> &FlConfig {
-        &self.config
+        self.rt.config()
     }
 
     /// Enables or disables multi-threaded local training (on by default).
     /// Results are identical either way; this only affects wall-clock time.
     pub fn set_parallel(&mut self, parallel: bool) {
-        self.parallel = parallel;
+        self.rt.set_parallel(parallel);
     }
 
     /// Applies a *static* client-side compression scheme to every uplink —
     /// the fixed model-level techniques from the paper's related work
-    /// (QSGD [11], TernGrad [13], fixed top-k [10][14]). Call before
+    /// (QSGD \[11], TernGrad \[13], fixed top-k \[10]\[14]). Call before
     /// [`SyncEngine::run`]; resets all per-client compressor state.
     pub fn set_compression(&mut self, scheme: StaticCompression) {
-        self.compression = scheme;
-        let dim = self.global.len();
-        self.compressors = (0..self.config.clients)
-            .map(|c| {
-                CompressorState::new(scheme, dim, self.config.seed_for("compression") ^ c as u64)
-            })
-            .collect();
+        let seed = self.rt.config().seed_for("compression");
+        self.rt
+            .set_compression_policy(Box::new(StaticCompressionPolicy::new(scheme, seed)));
     }
 
     /// Attaches a telemetry recorder, also wiring it into the simulated
@@ -223,21 +145,15 @@ impl SyncEngine {
     /// never touches the engine's RNGs or the simulated clock, so traced
     /// and untraced runs produce identical histories.
     pub fn set_recorder(&mut self, recorder: SharedRecorder) {
-        self.network.set_recorder(recorder.clone());
-        if let Some(t) = &mut self.transport {
-            t.set_recorder(recorder.clone());
-        }
-        self.recorder = recorder;
+        self.rt.set_recorder(recorder);
     }
 
     /// Enables reliable transport: every broadcast and upload runs through
-    /// a [`ReliableTransfer`] with the given retry policy, and the ledger
-    /// additionally charges retransmitted payload bytes and ACK control
-    /// frames. Off by default (transfers are fire-and-forget datagrams).
+    /// a retry layer with the given policy, and the ledger additionally
+    /// charges retransmitted payload bytes and ACK control frames. Off by
+    /// default (transfers are fire-and-forget datagrams).
     pub fn set_retry_policy(&mut self, policy: ReliablePolicy) {
-        let mut t = ReliableTransfer::new(policy, self.config.seed_for("transport"));
-        t.set_recorder(self.recorder.clone());
-        self.transport = Some(t);
+        self.rt.set_retry_policy(policy);
     }
 
     /// Enables the defensive aggregation gate: updates are scrubbed and
@@ -245,17 +161,17 @@ impl SyncEngine {
     /// configured quorum are skipped with state carried forward. Off by
     /// default.
     pub fn set_defense(&mut self, cfg: DefenseConfig) {
-        self.defense = Some(DefenseGate::new(cfg));
+        self.rt.set_defense(cfg);
     }
 
     /// The communication ledger (cumulative).
     pub fn ledger(&self) -> &CommunicationLedger {
-        &self.ledger
+        self.rt.ledger()
     }
 
     /// Current global parameters.
     pub fn global_params(&self) -> &[f32] {
-        &self.global
+        self.rt.global_params()
     }
 
     /// Installs global parameters (e.g. restored from a
@@ -265,426 +181,36 @@ impl SyncEngine {
     ///
     /// Panics when `params.len()` differs from the model's parameter count.
     pub fn set_global_params(&mut self, params: &[f32]) {
-        assert_eq!(
-            params.len(),
-            self.global.len(),
-            "flat parameter length mismatch"
-        );
-        self.global.copy_from_slice(params);
-        self.global_model.set_params_flat(params);
+        self.rt.set_global_params(params);
     }
 
     /// Current simulated time.
     pub fn clock(&self) -> SimTime {
-        self.clock
+        self.rt.clock()
     }
 
     /// Runs all configured rounds, returning the evaluation history.
     pub fn run(&mut self) -> RunHistory {
-        let mut history = RunHistory::new(self.strategy.name());
-        for round in 0..self.config.rounds {
-            let contributors = self.run_round(round);
-            let (accuracy, loss) =
-                evaluate_global(&mut self.global_model, &self.global, &self.test_set);
-            history.push(RoundRecord {
-                round,
-                sim_time: self.clock,
-                accuracy,
-                loss,
-                uplink_bytes: self.ledger.uplink_bytes(),
-                uplink_updates: self.ledger.uplink_updates(),
-                contributors,
-            });
-        }
-        history
+        self.rt.run()
     }
 
     /// Runs one round; returns the number of updates that reached the
     /// server.
     pub fn run_round(&mut self, round: usize) -> usize {
-        self.handle_crashes(round);
-        // The selection RNG is consumed identically with or without crash
-        // faults; crashed clients are filtered after sampling.
-        let participants: Vec<usize> = self
-            .sample_participants()
-            .into_iter()
-            .filter(|&c| !self.faults.crashed(c, round))
-            .collect();
-        let payload = dense_wire_size(self.global.len());
-        let mut updates: Vec<ClientUpdate> = Vec::new();
-        let mut round_time = SimTime::ZERO;
-        let mut deadline_hit = false;
-        let tracing = self.recorder.enabled();
-        let round_start = self.clock;
-        let wall_start = self.recorder.wall_micros();
-
-        // Phase 1 — broadcast the global model; clients whose broadcast is
-        // lost sit the round out (unless reliable transport saves it).
-        let mut ready: Vec<(usize, SimTime)> = Vec::with_capacity(participants.len());
-        for &c in &participants {
-            let arrival = match &mut self.transport {
-                Some(t) => {
-                    let report = t.downlink(&mut self.network, c, payload, self.clock);
-                    if report.delivered() {
-                        self.ledger.record_downlink(c, payload);
-                        if report.wasted_bytes > 0 {
-                            self.ledger
-                                .record_retransmission(c, report.wasted_bytes as usize);
-                        }
-                        self.ledger.record_control(c, report.control_bytes as usize);
-                    } else {
-                        self.ledger
-                            .record_retransmission(c, report.payload_bytes as usize);
-                    }
-                    report.arrival
-                }
-                None => {
-                    let down = self.network.downlink_transfer(c, payload, self.clock);
-                    self.ledger.record_downlink(c, payload);
-                    down.arrival()
-                }
-            };
-            if let Some(t) = arrival {
-                ready.push((c, t));
-            }
-        }
-
-        // Phase 2 — local training, in parallel when enabled. Clients are
-        // independent, so parallel wall-clock execution is bit-identical to
-        // sequential: outcomes are collected in participant order.
-        let outcomes = self.train_ready(&ready);
-
-        // Phase 3 — uplink, fault gating and deadline policy, in
-        // deterministic participant order.
-        let effective_lr = self.config.learning_rate / (1.0 - self.config.momentum);
-        for ((c, downlink_done), outcome) in ready.into_iter().zip(outcomes) {
-            self.strategy
-                .after_local_round(c, &outcome.delta, outcome.steps, effective_lr);
-
-            // Stale clients' slowdowns were folded into the compute model
-            // at construction.
-            let steps_time = self
-                .compute
-                .training_time(c, self.config.local_steps)
-                .seconds();
-            let train_done = downlink_done + SimTime::from_seconds(steps_time);
-            if tracing {
-                self.recorder.span(
-                    SpanRecord::new(
-                        names::SPAN_CLIENT_COMPUTE,
-                        downlink_done.seconds(),
-                        train_done.seconds(),
-                    )
-                    .round(round)
-                    .client(c)
-                    .field("steps", outcome.steps),
-                );
-            }
-
-            if !self.faults.update_delivered(c, round) {
-                if tracing {
-                    self.recorder.counter_add(names::FL_DROPOUTS, 1);
-                    self.recorder.event(
-                        EventRecord::new(names::EVENT_DROPOUT, train_done.seconds())
-                            .round(round)
-                            .client(c),
-                    );
-                }
-                continue;
-            }
-            // Static client-side compression (identity by default).
-            let (mut sent_delta, wire) = self.compressors[c].compress(&outcome.delta);
-            if tracing {
-                adafl_compression::record_compression(
-                    &self.recorder,
-                    self.compression.label(),
-                    payload,
-                    wire,
-                );
-            }
-            // Corruption faults hit the serialized update in transit; the
-            // payload still arrives and the defensive gate must catch it.
-            if let Some(seed) = self.faults.corrupts_update(c) {
-                corrupt_update(&mut sent_delta, seed);
-                if tracing {
-                    self.recorder.counter_add(names::FL_CORRUPTIONS, 1);
-                    self.recorder.event(
-                        EventRecord::new(names::EVENT_CORRUPTION, train_done.seconds())
-                            .round(round)
-                            .client(c),
-                    );
-                }
-            }
-            let uplink_arrival = match &mut self.transport {
-                Some(t) => {
-                    let report = t.uplink(&mut self.network, c, wire, train_done);
-                    if report.delivered() {
-                        self.ledger.record_uplink(c, wire);
-                        if report.wasted_bytes > 0 {
-                            self.ledger
-                                .record_retransmission(c, report.wasted_bytes as usize);
-                        }
-                        self.ledger.record_control(c, report.control_bytes as usize);
-                    } else {
-                        self.ledger
-                            .record_retransmission(c, report.payload_bytes as usize);
-                    }
-                    report.arrival
-                }
-                None => {
-                    let up = self.network.uplink_transfer(c, wire, train_done);
-                    if up.arrival().is_some() {
-                        self.ledger.record_uplink(c, wire);
-                    }
-                    up.arrival()
-                }
-            };
-            match uplink_arrival {
-                Some(arrival) => {
-                    let elapsed = arrival - self.clock;
-                    if let Some(deadline) = self.config.round_deadline {
-                        // §III max-wait-time policy: the server drops
-                        // updates arriving after the deadline.
-                        if elapsed.seconds() > deadline {
-                            deadline_hit = true;
-                            if tracing {
-                                self.recorder.counter_add(names::FL_DEADLINE_MISSES, 1);
-                                self.recorder.event(
-                                    EventRecord::new(names::EVENT_DEADLINE_MISS, arrival.seconds())
-                                        .round(round)
-                                        .client(c)
-                                        .field("elapsed_seconds", elapsed.seconds()),
-                                );
-                            }
-                            continue;
-                        }
-                    }
-                    round_time = round_time.max(elapsed);
-                    updates.push(ClientUpdate {
-                        client: c,
-                        delta: sent_delta,
-                        weight: outcome.num_samples as f32,
-                    });
-                }
-                None => continue,
-            }
-        }
-
-        // Eq. 3: the round completes when the slowest delivered participant
-        // finishes; when the deadline fired, the server waited exactly that
-        // long; a round with no delivered update costs the wait timeout.
-        if deadline_hit {
-            self.clock += SimTime::from_seconds(
-                self.config
-                    .round_deadline
-                    .expect("deadline_hit implies a deadline"),
-            );
-        } else if updates.is_empty() {
-            self.clock += SimTime::from_seconds(0.5);
-        } else {
-            self.clock += round_time;
-        }
-
-        let updates = self.screen_updates(round, updates, participants.len());
-        if !updates.is_empty() {
-            self.strategy.aggregate(&mut self.global, &updates);
-        }
-        if tracing {
-            let (start, end) = (round_start.seconds(), self.clock.seconds());
-            self.recorder
-                .histogram_record(names::ROUND_SIM_SECONDS, end - start);
-            self.recorder.span(
-                SpanRecord::new(names::SPAN_ROUND, start, end)
-                    .round(round)
-                    .wall(self.recorder.wall_micros().saturating_sub(wall_start))
-                    .field("participants", participants.len())
-                    .field("delivered", updates.len()),
-            );
-        }
-        updates.len()
+        self.rt.run_round(round)
     }
-
-    /// Crash-fault bookkeeping at the top of a round: snapshot a client's
-    /// state into a [`Checkpoint`] the round its outage begins, restore it
-    /// from the decoded checkpoint the round it comes back.
-    fn handle_crashes(&mut self, round: usize) {
-        let tracing = self.recorder.enabled();
-        for c in 0..self.config.clients {
-            let FaultKind::Crash { at_round, .. } = self.faults.kind(c) else {
-                continue;
-            };
-            if round == at_round {
-                let snapshot = Checkpoint::new(round as u64, self.clients[c].model().params_flat());
-                self.crash_checkpoints[c] = Some(snapshot);
-                if tracing {
-                    self.recorder.counter_add(names::FL_CRASHES, 1);
-                    self.recorder.event(
-                        EventRecord::new(names::EVENT_CRASH, self.clock.seconds())
-                            .round(round)
-                            .client(c),
-                    );
-                }
-            } else if self.faults.recovers_at(c, round) {
-                if let Some(ckpt) = self.crash_checkpoints[c].take() {
-                    // Recovery goes through the wire format: the client
-                    // restores from the decoded bytes, exactly as it would
-                    // from flash after a reboot.
-                    let restored =
-                        Checkpoint::decode(&ckpt.encode()).expect("checkpoint round-trips");
-                    self.clients[c].sync_to_global(&restored.params);
-                    if tracing {
-                        self.recorder.counter_add(names::FL_RECOVERIES, 1);
-                        self.recorder.event(
-                            EventRecord::new(names::EVENT_RECOVERY, self.clock.seconds())
-                                .round(round)
-                                .client(c)
-                                .field("checkpoint_round", restored.round as usize),
-                        );
-                    }
-                }
-            }
-        }
-    }
-
-    /// Defensive aggregation gate: scrubs, norm-screens and quorum-checks
-    /// the round's delivered updates. Identity when no defense is set; an
-    /// empty result means the round is skipped.
-    fn screen_updates(
-        &mut self,
-        round: usize,
-        mut updates: Vec<ClientUpdate>,
-        expected: usize,
-    ) -> Vec<ClientUpdate> {
-        let Some(gate) = self.defense.as_mut() else {
-            return updates;
-        };
-        let tracing = self.recorder.enabled();
-        let now = self.clock.seconds();
-        let mut kept: Vec<ClientUpdate> = Vec::with_capacity(updates.len());
-        let mut norms: Vec<f64> = Vec::with_capacity(updates.len());
-        for mut u in updates.drain(..) {
-            match gate.sanitize(&mut u.delta) {
-                Ok(s) => {
-                    if tracing && s.scrubbed > 0 {
-                        self.recorder
-                            .counter_add(names::FL_DEFENSE_SCRUBBED, s.scrubbed as u64);
-                    }
-                    norms.push(s.norm);
-                    kept.push(u);
-                }
-                Err(reason) => {
-                    if tracing {
-                        self.recorder.counter_add(names::FL_DEFENSE_REJECTIONS, 1);
-                        self.recorder.event(
-                            EventRecord::new(names::EVENT_DEFENSE_REJECT, now)
-                                .round(round)
-                                .client(u.client)
-                                .field("reason", reason.label()),
-                        );
-                    }
-                }
-            }
-        }
-        let verdicts = gate.admit_batch(&norms);
-        let mut out: Vec<ClientUpdate> = Vec::with_capacity(kept.len());
-        for (u, ok) in kept.into_iter().zip(verdicts) {
-            if ok {
-                out.push(u);
-            } else if tracing {
-                self.recorder.counter_add(names::FL_DEFENSE_REJECTIONS, 1);
-                self.recorder.event(
-                    EventRecord::new(names::EVENT_DEFENSE_REJECT, now)
-                        .round(round)
-                        .client(u.client)
-                        .field("reason", "norm_outlier"),
-                );
-            }
-        }
-        if !gate.quorum_met(out.len(), expected) {
-            if tracing {
-                self.recorder.counter_add(names::FL_QUORUM_SKIPS, 1);
-                self.recorder.event(
-                    EventRecord::new(names::EVENT_QUORUM_SKIP, now)
-                        .round(round)
-                        .field("accepted", out.len())
-                        .field("expected", expected),
-                );
-            }
-            return Vec::new();
-        }
-        out
-    }
-
-    /// Trains the broadcast-ready clients, returning outcomes in the same
-    /// order. Parallel across threads when enabled — clients are mutually
-    /// independent during local training, so results do not depend on
-    /// scheduling.
-    fn train_ready(&mut self, ready: &[(usize, SimTime)]) -> Vec<crate::client::LocalOutcome> {
-        let steps = self.config.local_steps;
-        let strategy = &self.strategy;
-        let global = &self.global;
-        // Boolean mask over client ids (O(N), not an O(N²) contains scan),
-        // then per-id slots so each ready client's &mut is taken exactly
-        // once — in `ready` (participant) order, whatever that order is.
-        let mut is_ready = vec![false; self.clients.len()];
-        for &(c, _) in ready {
-            is_ready[c] = true;
-        }
-        let mut slots: Vec<Option<&mut FlClient>> = self
-            .clients
-            .iter_mut()
-            .enumerate()
-            .map(|(c, client)| is_ready[c].then_some(client))
-            .collect();
-        let jobs: Vec<Box<dyn FnOnce() -> crate::client::LocalOutcome + Send + '_>> = ready
-            .iter()
-            .map(|&(c, _)| {
-                let client = slots[c].take().expect("ready client listed once");
-                Box::new(move || {
-                    let mut hook = |grad: &mut [f32], params: &[f32], g: &[f32]| {
-                        strategy.gradient_hook(c, grad, params, g);
-                    };
-                    client.train_local(global, steps, Some(&mut hook))
-                }) as Box<_>
-            })
-            .collect();
-
-        if self.parallel {
-            // Persistent pool instead of per-round thread spawning; results
-            // come back in submission (participant) order, so parallel and
-            // sequential runs stay byte-identical.
-            self.pool.scope_run(jobs)
-        } else {
-            jobs.into_iter().map(|job| job()).collect()
-        }
-    }
-
-    fn sample_participants(&mut self) -> Vec<usize> {
-        let k = self.config.participants_per_round();
-        let mut ids: Vec<usize> = (0..self.config.clients).collect();
-        ids.shuffle(&mut self.rng);
-        ids.truncate(k);
-        ids.sort_unstable();
-        ids
-    }
-}
-
-/// Evaluates `params` installed into `model` against `test_set`.
-pub(crate) fn evaluate_global(
-    model: &mut adafl_nn::Model,
-    params: &[f32],
-    test_set: &Dataset,
-) -> (f32, f32) {
-    model.set_params_flat(params);
-    evaluate_model(model, test_set)
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::*;
     use crate::sync::strategies::FedAvg;
     use adafl_data::synthetic::SyntheticSpec;
+    use adafl_netsim::{LinkProfile, LinkTrace};
     use adafl_nn::models::ModelSpec;
+    use adafl_telemetry::names;
 
     fn small_config(rounds: usize) -> FlConfig {
         FlConfig::builder()

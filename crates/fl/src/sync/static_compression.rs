@@ -24,12 +24,12 @@ pub enum StaticCompression {
         /// Compression ratio ≥ 1 (`32.0` transmits 1 in 32 coordinates).
         ratio: f32,
     },
-    /// QSGD stochastic quantization [11] at a fixed level count.
+    /// QSGD stochastic quantization \[11] at a fixed level count.
     Qsgd {
         /// Quantization levels (1–127).
         levels: u8,
     },
-    /// TernGrad ternary quantization [13].
+    /// TernGrad ternary quantization \[13].
     TernGrad,
 }
 

@@ -1,5 +1,5 @@
-//! Synchronous baseline strategies: FedAvg [19], FedAdam [34], FedProx [20]
-//! and SCAFFOLD [21] — the comparison set of Table I.
+//! Synchronous baseline strategies: FedAvg \[19], FedAdam \[34], FedProx \[20]
+//! and SCAFFOLD \[21] — the comparison set of Table I.
 
 use super::engine::{ClientUpdate, SyncStrategy};
 use adafl_nn::optim::{Adam, Optimizer};
@@ -11,7 +11,7 @@ fn weighted_mean_delta(updates: &[ClientUpdate]) -> Option<Vec<f32>> {
     vecops::weighted_average(&vectors, &weights)
 }
 
-/// Federated averaging (McMahan et al. [19]): the global model moves by the
+/// Federated averaging (McMahan et al. \[19]): the global model moves by the
 /// sample-weighted mean of client deltas.
 #[derive(Debug, Clone, Default)]
 pub struct FedAvg {
@@ -37,7 +37,7 @@ impl SyncStrategy for FedAvg {
     }
 }
 
-/// FedAdam (Reddi et al. [34]): the server treats the negated mean delta as
+/// FedAdam (Reddi et al. \[34]): the server treats the negated mean delta as
 /// a pseudo-gradient for a server-side Adam optimizer.
 #[derive(Debug, Clone)]
 pub struct FedAdam {
@@ -83,7 +83,7 @@ impl SyncStrategy for FedAdam {
     }
 }
 
-/// FedProx (Li et al. [20]): FedAvg aggregation plus a client-side proximal
+/// FedProx (Li et al. \[20]): FedAvg aggregation plus a client-side proximal
 /// term `μ·(w − w_global)` added to every local gradient, limiting client
 /// drift under heterogeneity.
 #[derive(Debug, Clone)]
@@ -126,7 +126,7 @@ impl SyncStrategy for FedProx {
     }
 }
 
-/// FedAdagrad (Reddi et al. [34]): server-side Adagrad over the mean client
+/// FedAdagrad (Reddi et al. \[34]): server-side Adagrad over the mean client
 /// delta — the `β₂ → 1`-free sibling of FedAdam from the same paper.
 #[derive(Debug, Clone)]
 pub struct FedAdagrad {
@@ -175,7 +175,7 @@ impl SyncStrategy for FedAdagrad {
     }
 }
 
-/// FedYogi (Reddi et al. [34]): the Yogi variant of server-side adaptive
+/// FedYogi (Reddi et al. \[34]): the Yogi variant of server-side adaptive
 /// optimization, whose sign-controlled second-moment update avoids the
 /// variance blow-up Adam can exhibit under heterogeneous client deltas.
 #[derive(Debug, Clone)]
@@ -241,7 +241,7 @@ impl SyncStrategy for FedYogi {
     }
 }
 
-/// SCAFFOLD (Karimireddy et al. [21]): stochastic controlled averaging with
+/// SCAFFOLD (Karimireddy et al. \[21]): stochastic controlled averaging with
 /// server (`c`) and per-client (`cᵢ`) control variates correcting client
 /// drift: each local gradient becomes `g − cᵢ + c`.
 #[derive(Debug, Clone)]

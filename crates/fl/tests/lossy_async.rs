@@ -2,6 +2,8 @@
 //! must trigger resynchronisation rather than deadlock, and the run must
 //! still complete its update budget.
 
+#![allow(deprecated)] // constructor shims retained for one release
+
 use adafl_data::partition::Partitioner;
 use adafl_data::synthetic::SyntheticSpec;
 use adafl_fl::compute::ComputeModel;

@@ -4,6 +4,8 @@
 //! defensive gate must keep a corrupting client from poisoning the global
 //! model.
 
+#![allow(deprecated)] // constructor shims retained for one release
+
 use adafl_data::partition::Partitioner;
 use adafl_data::synthetic::SyntheticSpec;
 use adafl_data::Dataset;

@@ -1,6 +1,6 @@
 //! The model zoo used by the paper's experiments.
 //!
-//! * [`mnist_cnn`] — the **exact** CNN from the paper (and [27]): two 5×5
+//! * [`mnist_cnn`] — the **exact** CNN from the paper (and \[27]): two 5×5
 //!   convolutions with 20 and 50 output channels, each followed by 2×2 max
 //!   pooling, then a 500-unit fully-connected layer and the classifier head.
 //! * [`resnet_lite`] — a scaled-down residual network standing in for

@@ -96,7 +96,7 @@ impl Optimizer for Sgd {
     }
 }
 
-/// Adam optimizer (Kingma & Ba), used server-side by FedAdam [34].
+/// Adam optimizer (Kingma & Ba), used server-side by FedAdam \[34].
 #[derive(Debug, Clone)]
 pub struct Adam {
     lr: f32,

@@ -2,7 +2,7 @@
 //!
 //! Federated runs often decay the client learning rate over communication
 //! rounds; a [`LrSchedule`] maps a round index to a rate, and
-//! [`LrSchedule::apply`] installs it on any [`Optimizer`](crate::optim::Optimizer).
+//! [`LrSchedule::apply`] installs it on any [`crate::optim::Optimizer`].
 
 use crate::optim::Optimizer;
 

@@ -8,13 +8,13 @@
 //! cargo run --release --example embedded_fleet
 //! ```
 
-use adafl_core::{AdaFlAsyncEngine, AdaFlConfig};
+use adafl_core::{AdaFlBuild, AdaFlConfig};
 use adafl_data::partition::Partitioner;
 use adafl_data::synthetic::SyntheticSpec;
 use adafl_fl::compute::ComputeModel;
 use adafl_fl::faults::FaultPlan;
 use adafl_fl::r#async::strategies::FedAsync;
-use adafl_fl::r#async::AsyncEngine;
+use adafl_fl::runtime::RuntimeBuilder;
 use adafl_fl::FlConfig;
 use adafl_netsim::{ClientNetwork, LinkProfile, LinkTrace, TraceKind};
 use adafl_nn::models::ModelSpec;
@@ -62,36 +62,28 @@ fn main() {
             classes: 10,
         })
         .build();
-    let shards = partitioner.split(&train, CLIENTS, fl.seed_for("partition"));
-
     println!("== embedded fleet: {CLIENTS} devices, Dirichlet(0.5) data, {BUDGET} updates ==");
 
     // FedAsync baseline.
     let (network, compute) = fleet();
-    let mut fedasync = AsyncEngine::with_parts(
-        fl.clone(),
-        shards.clone(),
-        test.clone(),
-        Box::new(FedAsync::new(0.6, 0.5)),
-        network,
-        compute,
-        FaultPlan::reliable(CLIENTS),
-        BUDGET,
-    );
+    let mut fedasync = RuntimeBuilder::new(fl.clone(), test.clone())
+        .partitioned(&train, partitioner)
+        .network(network)
+        .compute(compute)
+        .faults(FaultPlan::reliable(CLIENTS))
+        .update_budget(BUDGET)
+        .build_async(Box::new(FedAsync::new(0.6, 0.5)));
     let base = fedasync.run();
 
     // Fully-asynchronous AdaFL.
     let (network, compute) = fleet();
-    let mut adafl = AdaFlAsyncEngine::with_parts(
-        fl,
-        AdaFlConfig::default(),
-        shards,
-        test,
-        network,
-        compute,
-        FaultPlan::reliable(CLIENTS),
-        BUDGET,
-    );
+    let mut adafl = RuntimeBuilder::new(fl, test)
+        .partitioned(&train, partitioner)
+        .network(network)
+        .compute(compute)
+        .faults(FaultPlan::reliable(CLIENTS))
+        .update_budget(BUDGET)
+        .build_adafl_async(&AdaFlConfig::default());
     let ours = adafl.run();
 
     let wall = |h: &adafl_fl::RunHistory| h.records().last().map_or(0.0, |r| r.sim_time.seconds());

@@ -22,8 +22,8 @@ use adafl_data::Dataset;
 use adafl_fl::compute::ComputeModel;
 use adafl_fl::defense::DefenseConfig;
 use adafl_fl::faults::{FaultKind, FaultPlan};
+use adafl_fl::runtime::RuntimeBuilder;
 use adafl_fl::sync::strategies::FedAvg;
-use adafl_fl::sync::SyncEngine;
 use adafl_fl::FlConfig;
 use adafl_netsim::{ClientNetwork, GilbertElliott, LinkProfile, LinkTrace, ReliablePolicy};
 use adafl_nn::models::ModelSpec;
@@ -54,22 +54,18 @@ fn main() {
                     classes: 10,
                 })
                 .build();
-            let shards = Partitioner::Iid.split(&train, CLIENTS, fl.seed_for("partition"));
             let network = ClientNetwork::new(
                 vec![LinkTrace::constant(LinkProfile::Broadband.spec()); CLIENTS],
                 1,
             );
-            let mut engine = SyncEngine::with_parts(
-                fl,
-                shards,
-                test.clone(),
-                Box::new(FedAvg::new()),
-                network,
-                ComputeModel::uniform(CLIENTS, 0.1),
-                FaultPlan::with_fraction(CLIENTS, fraction, kind, 5),
-            );
             let recorder = InMemoryRecorder::shared();
-            engine.set_recorder(recorder.clone());
+            let mut engine = RuntimeBuilder::new(fl, test.clone())
+                .partitioned(&train, Partitioner::Iid)
+                .network(network)
+                .compute(ComputeModel::uniform(CLIENTS, 0.1))
+                .faults(FaultPlan::with_fraction(CLIENTS, fraction, kind, 5))
+                .recorder(recorder.clone())
+                .build_sync(Box::new(FedAvg::new()));
             let history = engine.run();
             let trace = recorder.snapshot();
             let faults = trace.counters.get(names::FL_DROPOUTS).copied().unwrap_or(0);
@@ -107,7 +103,6 @@ fn chaos_comparison(train: &Dataset, test: &Dataset) {
                 classes: 10,
             })
             .build();
-        let shards = Partitioner::Iid.split(train, CLIENTS, fl.seed_for("partition"));
         let mut network = ClientNetwork::new(
             vec![LinkTrace::constant(LinkProfile::Broadband.spec()); CLIENTS],
             1,
@@ -122,21 +117,16 @@ fn chaos_comparison(train: &Dataset, test: &Dataset) {
             down_for: 2,
         };
         kinds[1] = FaultKind::Corruption { prob: 0.5 };
-        let mut engine = SyncEngine::with_parts(
-            fl,
-            shards,
-            test.clone(),
-            Box::new(FedAvg::new()),
-            network,
-            ComputeModel::uniform(CLIENTS, 0.1),
-            FaultPlan::new(kinds, 5),
-        );
-        if hardened {
-            engine.set_retry_policy(ReliablePolicy::default());
-            engine.set_defense(DefenseConfig::default());
-        }
         let recorder = InMemoryRecorder::shared();
-        engine.set_recorder(recorder.clone());
+        let mut engine = RuntimeBuilder::new(fl, test.clone())
+            .partitioned(train, Partitioner::Iid)
+            .network(network)
+            .compute(ComputeModel::uniform(CLIENTS, 0.1))
+            .faults(FaultPlan::new(kinds, 5))
+            .retry_policy(hardened.then(ReliablePolicy::default))
+            .defense(hardened.then(DefenseConfig::default))
+            .recorder(recorder.clone())
+            .build_sync(Box::new(FedAvg::new()));
         let history = engine.run();
         let trace = recorder.snapshot();
         let count = |name: &str| trace.counters.get(name).copied().unwrap_or(0);

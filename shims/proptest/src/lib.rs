@@ -111,7 +111,7 @@ impl<S: Strategy + ?Sized> Strategy for &S {
 pub mod collection {
     use super::{ShimRng, Strategy};
 
-    /// Element-count bounds for [`vec`]: `usize` for an exact length,
+    /// Element-count bounds for [`vec()`](fn@vec): `usize` for an exact length,
     /// `Range<usize>` for a half-open interval.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {

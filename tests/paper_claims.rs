@@ -8,6 +8,8 @@
 //! * Q3 — the utility-score computation is negligible next to training.
 //! * Insight 1 — moderate dropout barely hurts synchronous FL.
 
+#![allow(deprecated)] // constructor shims retained for one release
+
 use adafl_core::{utility_score, AdaFlConfig, AdaFlSyncEngine, SimilarityMetric, UtilityInputs};
 use adafl_data::partition::Partitioner;
 use adafl_data::synthetic::SyntheticSpec;

@@ -1,6 +1,8 @@
 //! Cross-crate protocol invariants: communication accounting, fault
 //! arithmetic and timing properties that must hold for any strategy.
 
+#![allow(deprecated)] // constructor shims retained for one release
+
 use adafl_compression::dense_wire_size;
 use adafl_data::partition::Partitioner;
 use adafl_data::synthetic::SyntheticSpec;

@@ -3,6 +3,8 @@
 //! recover through checkpoints, and reliable transport must compose with
 //! adaptive selection without breaking determinism.
 
+#![allow(deprecated)] // constructor shims retained for one release
+
 use adafl_core::{AdaFlAsyncEngine, AdaFlConfig, AdaFlSyncEngine};
 use adafl_data::partition::Partitioner;
 use adafl_data::synthetic::SyntheticSpec;
