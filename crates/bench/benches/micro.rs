@@ -1,7 +1,7 @@
 //! Criterion micro-benchmarks of the primitives behind every table/figure:
 //! tensor kernels, compression, the utility score and Algorithm 1.
 
-use adafl_compression::{top_k, DgcCompressor, QsgdQuantizer, SparseUpdate};
+use adafl_compression::{top_k, DgcCompressor, QsgdQuantizer, SparseUpdate, WireCodec};
 use adafl_core::{select_clients, utility_score, SimilarityMetric, UtilityInputs};
 use adafl_netsim::{LinkProfile, LinkTrace, SimTime, TraceKind};
 use adafl_tensor::{im2col, Conv2dGeometry, Tensor};

@@ -1,0 +1,313 @@
+//! The wire-codec layer: one vocabulary for turning updates into bytes.
+//!
+//! Every payload that crosses the simulated network — dense deltas, DGC
+//! sparse updates, QSGD quantized updates, TernGrad ternary updates — is a
+//! [`WireCodec`]: it knows its exact encoded size up front
+//! ([`WireCodec::encoded_len`]), serialises itself into a byte buffer
+//! ([`WireCodec::encode_into`]), and parses back defensively
+//! ([`WireCodec::decode`]). The invariant
+//! `encoded_len() == encode().len()` is property-tested for every form, so
+//! ledger accounting can charge `encoded_len()` instead of hand-maintained
+//! size formulas and is guaranteed to match the real byte stream.
+//!
+//! This module is the single serialization authority: the layout constants
+//! ([`DENSE_HEADER_BYTES`] …) and primitive writers/readers
+//! ([`write_f32s`], [`read_f32s_exact`], [`fletcher64`]) defined here are
+//! the only place that knows how multi-byte fields are laid out. The
+//! per-form `WireCodec` impls live next to their types (they need field
+//! access) but are built exclusively from these primitives; the checkpoint
+//! codec in the `fl` crate reuses the same helpers.
+//!
+//! # Byte layouts (all integers little-endian)
+//!
+//! | form | layout | size |
+//! |---|---|---|
+//! | dense | `u64` len · `f32`×len | `8 + 4·len` |
+//! | sparse | `u64` dense_len · `u64` nnz · (`u32` idx, `f32` val)×nnz | `16 + 8·nnz` |
+//! | quantized | `u64` levels≪56 \| len · `f32` norm · `u8` code×len | `12 + len` |
+//! | ternary | `u64` len · `f32` scale · `u8`×⌈len/4⌉ (2-bit codes) | `12 + ⌈len/4⌉` |
+//!
+//! # Decoder hardening
+//!
+//! All `decode` impls share the same defensive posture (mirrored from the
+//! checkpoint codec): length arithmetic uses checked math so a lying
+//! header cannot overflow, allocations are bounded by the actual buffer
+//! length, and the buffer must be consumed exactly — trailing bytes are a
+//! [`DecodeError::TrailingBytes`], not silently ignored. No input can make
+//! a decoder panic or allocate unboundedly.
+
+use bytes::{Buf, BufMut};
+
+/// Header bytes of the dense wire form (`u64` element count).
+pub const DENSE_HEADER_BYTES: usize = 8;
+
+/// Header bytes of the sparse wire form (`u64` dense_len + `u64` nnz).
+pub const SPARSE_HEADER_BYTES: usize = 16;
+
+/// Bytes per transmitted sparse element (`u32` index + `f32` value).
+pub const SPARSE_PAIR_BYTES: usize = 8;
+
+/// Header bytes of the quantized wire form (`u64` packed levels/len +
+/// `f32` norm).
+pub const QUANTIZED_HEADER_BYTES: usize = 12;
+
+/// Header bytes of the ternary wire form (`u64` len + `f32` scale).
+pub const TERNARY_HEADER_BYTES: usize = 12;
+
+/// Low 56 bits of the quantized header hold the coordinate count; the top
+/// byte holds the level count.
+pub const QUANTIZED_LEN_MASK: u64 = (1 << 56) - 1;
+
+/// Error from a [`WireCodec::decode`] implementation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// The buffer ended before the declared payload.
+    Truncated,
+    /// Indices were not strictly increasing or exceeded the dense length.
+    InvalidIndices,
+    /// The buffer continues past the declared payload.
+    TrailingBytes,
+    /// A header field holds a value the encoder can never produce.
+    InvalidHeader,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "buffer shorter than declared payload"),
+            DecodeError::InvalidIndices => write!(f, "indices not strictly increasing in range"),
+            DecodeError::TrailingBytes => write!(f, "buffer longer than declared payload"),
+            DecodeError::InvalidHeader => write!(f, "header field out of encodable range"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A payload with a binary wire format of statically known size.
+///
+/// Implementors guarantee `encoded_len() == encode().len()` — the property
+/// the communication ledger relies on to charge bytes without actually
+/// serialising — and that `decode` rejects any malformed input with a
+/// [`DecodeError`] rather than panicking or over-allocating.
+pub trait WireCodec: Sized {
+    /// Exact number of bytes [`WireCodec::encode_into`] will append.
+    fn encoded_len(&self) -> usize;
+
+    /// Appends the wire encoding to `out`.
+    fn encode_into(&self, out: &mut Vec<u8>);
+
+    /// Parses a buffer produced by [`WireCodec::encode_into`]. The whole
+    /// buffer must be consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] for truncated, oversized, or otherwise
+    /// malformed input; never panics and never allocates more than the
+    /// buffer length justifies.
+    fn decode(buf: &[u8]) -> Result<Self, DecodeError>;
+
+    /// Convenience wrapper: encodes into a fresh, exactly-sized vector.
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        debug_assert_eq!(out.len(), self.encoded_len());
+        out
+    }
+}
+
+/// A dense `f32` delta in its wire form: the identity "compression".
+///
+/// Wraps the raw vector the dense baselines (FedAvg, FedAsync, …) ship, so
+/// dense traffic is accounted and corrupted through the same codec
+/// pipeline as every compressed form.
+///
+/// # Examples
+///
+/// ```
+/// use adafl_compression::{DenseUpdate, WireCodec};
+///
+/// let u = DenseUpdate::new(vec![1.0, -2.5]);
+/// let bytes = u.encode();
+/// assert_eq!(bytes.len(), u.encoded_len());
+/// assert_eq!(DenseUpdate::decode(&bytes).unwrap(), u);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DenseUpdate {
+    values: Vec<f32>,
+}
+
+impl DenseUpdate {
+    /// Wraps a dense vector.
+    pub fn new(values: Vec<f32>) -> Self {
+        DenseUpdate { values }
+    }
+
+    /// Number of coordinates.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` for an empty update.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The coordinates.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Mutable access for in-place scrubbing.
+    pub fn values_mut(&mut self) -> &mut [f32] {
+        &mut self.values
+    }
+
+    /// Unwraps into the dense vector.
+    pub fn into_values(self) -> Vec<f32> {
+        self.values
+    }
+}
+
+impl WireCodec for DenseUpdate {
+    fn encoded_len(&self) -> usize {
+        DENSE_HEADER_BYTES + 4 * self.values.len()
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.encoded_len());
+        out.put_u64_le(self.values.len() as u64);
+        write_f32s(out, &self.values);
+    }
+
+    fn decode(mut buf: &[u8]) -> Result<Self, DecodeError> {
+        if buf.len() < DENSE_HEADER_BYTES {
+            return Err(DecodeError::Truncated);
+        }
+        let len = usize::try_from(buf.get_u64_le()).map_err(|_| DecodeError::Truncated)?;
+        let values = read_f32s_exact(buf, len)?;
+        Ok(DenseUpdate { values })
+    }
+}
+
+/// Appends `values` as consecutive little-endian `f32`s.
+pub fn write_f32s<B: BufMut>(buf: &mut B, values: &[f32]) {
+    for &v in values {
+        buf.put_f32_le(v);
+    }
+}
+
+/// Reads exactly `count` little-endian `f32`s, which must consume the
+/// whole buffer.
+///
+/// Size arithmetic is checked and the allocation is sized from the actual
+/// buffer, so a lying `count` can neither overflow nor force an oversized
+/// allocation.
+///
+/// # Errors
+///
+/// [`DecodeError::Truncated`] when the buffer is too short (or `count`
+/// overflows the byte count), [`DecodeError::TrailingBytes`] when bytes
+/// remain after the last value.
+pub fn read_f32s_exact(mut buf: &[u8], count: usize) -> Result<Vec<f32>, DecodeError> {
+    let need = count.checked_mul(4).ok_or(DecodeError::Truncated)?;
+    if buf.len() < need {
+        return Err(DecodeError::Truncated);
+    }
+    if buf.len() > need {
+        return Err(DecodeError::TrailingBytes);
+    }
+    let mut values = Vec::with_capacity(count);
+    for _ in 0..count {
+        values.push(buf.get_f32_le());
+    }
+    Ok(values)
+}
+
+/// Fletcher-style rolling checksum over `payload` (the checkpoint codec's
+/// integrity check, shared here so every byte-layout primitive lives in
+/// one module).
+///
+/// Two running sums mod `2^32 - 5` (the largest 32-bit prime), combined
+/// into a `u64`. Detects truncation, byte flips and reordering.
+pub fn fletcher64(payload: &[u8]) -> u64 {
+    const MOD: u64 = 0xFFFF_FFFB;
+    let mut a: u64 = 0xAD_F1;
+    let mut b: u64 = 0;
+    for &byte in payload {
+        a = (a + u64::from(byte)) % MOD;
+        b = (b + a) % MOD;
+    }
+    (b << 32) | a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_round_trips_and_sizes() {
+        let u = DenseUpdate::new(vec![0.5, -1.5, f32::MIN_POSITIVE]);
+        let bytes = u.encode();
+        assert_eq!(bytes.len(), u.encoded_len());
+        assert_eq!(bytes.len(), crate::dense_wire_size(3));
+        assert_eq!(DenseUpdate::decode(&bytes).unwrap(), u);
+    }
+
+    #[test]
+    fn dense_decode_rejects_truncation_and_trailing() {
+        let bytes = DenseUpdate::new(vec![1.0, 2.0]).encode();
+        assert_eq!(
+            DenseUpdate::decode(&bytes[..bytes.len() - 1]).unwrap_err(),
+            DecodeError::Truncated
+        );
+        let mut long = bytes.clone();
+        long.push(0);
+        assert_eq!(
+            DenseUpdate::decode(&long).unwrap_err(),
+            DecodeError::TrailingBytes
+        );
+    }
+
+    #[test]
+    fn dense_decode_survives_lying_length_header() {
+        // Header claims u64::MAX elements: the checked size math must
+        // reject it without overflow or allocation.
+        let mut buf = Vec::new();
+        buf.put_u64_le(u64::MAX);
+        buf.put_f32_le(1.0);
+        assert_eq!(
+            DenseUpdate::decode(&buf).unwrap_err(),
+            DecodeError::Truncated
+        );
+    }
+
+    #[test]
+    fn fletcher64_detects_flips_and_order() {
+        let base = fletcher64(b"adafl");
+        assert_ne!(base, fletcher64(b"adafk"));
+        assert_ne!(base, fletcher64(b"fldaa"));
+        assert_ne!(base, fletcher64(b"adaf"));
+        assert_eq!(base, fletcher64(b"adafl"));
+    }
+
+    #[test]
+    fn read_f32s_exact_is_strict() {
+        let mut buf = Vec::new();
+        write_f32s(&mut buf, &[1.0, 2.0]);
+        assert_eq!(read_f32s_exact(&buf, 2).unwrap(), vec![1.0, 2.0]);
+        assert_eq!(
+            read_f32s_exact(&buf, 3).unwrap_err(),
+            DecodeError::Truncated
+        );
+        assert_eq!(
+            read_f32s_exact(&buf, 1).unwrap_err(),
+            DecodeError::TrailingBytes
+        );
+        assert_eq!(
+            read_f32s_exact(&buf, usize::MAX).unwrap_err(),
+            DecodeError::Truncated
+        );
+    }
+}

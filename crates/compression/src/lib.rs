@@ -2,6 +2,11 @@
 //!
 //! Implements the compression stack AdaFL builds on:
 //!
+//! * [`WireCodec`] (the [`codec`] module) — the single serialization
+//!   authority: every payload form ([`DenseUpdate`], [`SparseUpdate`],
+//!   [`QuantizedUpdate`], [`TernaryUpdate`]) encodes/decodes through one
+//!   trait whose `encoded_len()` is byte-exact, so ledger accounting and
+//!   the real byte stream can never drift apart.
 //! * [`SparseUpdate`] — the wire format of a sparsified gradient, with
 //!   byte-exact size accounting and a binary codec.
 //! * [`top_k`] — magnitude-based sparsification.
@@ -31,6 +36,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod codec;
 mod dgc;
 mod error_feedback;
 mod quantize;
@@ -39,10 +45,11 @@ mod telemetry;
 mod terngrad;
 mod topk;
 
+pub use codec::{DecodeError, DenseUpdate, WireCodec};
 pub use dgc::DgcCompressor;
 pub use error_feedback::ErrorFeedback;
 pub use quantize::{QsgdQuantizer, QuantizedUpdate};
-pub use sparse::{DecodeError, SparseUpdate};
+pub use sparse::SparseUpdate;
 pub use telemetry::record_compression;
 pub use terngrad::{TernGrad, TernaryUpdate};
 pub use topk::top_k;
@@ -50,7 +57,22 @@ pub use topk::top_k;
 /// Wire size in bytes of a dense `f32` gradient of `len` elements.
 ///
 /// Four bytes per element plus an 8-byte length header — the format all
-/// dense baselines (FedAvg etc.) are accounted at.
+/// dense baselines (FedAvg etc.) are accounted at; equal by definition to
+/// [`DenseUpdate`]'s `encoded_len()`, which a unit test pins.
 pub fn dense_wire_size(len: usize) -> usize {
-    8 + 4 * len
+    codec::DENSE_HEADER_BYTES + 4 * len
+}
+
+#[cfg(test)]
+mod size_tests {
+    use super::*;
+
+    #[test]
+    fn dense_wire_size_matches_the_codec() {
+        for len in [0usize, 1, 7, 300] {
+            let u = DenseUpdate::new(vec![0.25; len]);
+            assert_eq!(dense_wire_size(len), u.encoded_len());
+            assert_eq!(dense_wire_size(len), u.encode().len());
+        }
+    }
 }

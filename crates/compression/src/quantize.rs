@@ -6,6 +6,8 @@
 //! cost is ~`log2(levels)+1` bits per coordinate (accounted at byte
 //! granularity here).
 
+use crate::codec::{DecodeError, WireCodec, QUANTIZED_HEADER_BYTES, QUANTIZED_LEN_MASK};
+use bytes::{Buf, BufMut};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -42,9 +44,63 @@ impl QuantizedUpdate {
         self.codes.is_empty()
     }
 
+    /// The level count `s` the codes were rounded against.
+    pub fn levels(&self) -> u8 {
+        self.levels
+    }
+}
+
+impl WireCodec for QuantizedUpdate {
     /// Wire size in bytes: 8-byte header + norm + one byte per coordinate.
-    pub fn wire_size(&self) -> usize {
-        8 + 4 + self.codes.len()
+    fn encoded_len(&self) -> usize {
+        QUANTIZED_HEADER_BYTES + self.codes.len()
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        // Coordinate count lives in the low 56 bits of the first word; the
+        // level count rides in the top byte, keeping the header at the
+        // same 12 bytes the size formula always charged.
+        assert!(
+            (self.codes.len() as u64) <= QUANTIZED_LEN_MASK,
+            "update too long for the quantized wire header"
+        );
+        out.reserve(self.encoded_len());
+        out.put_u64_le((u64::from(self.levels) << 56) | self.codes.len() as u64);
+        out.put_f32_le(self.norm);
+        out.put_slice(&self.codes);
+    }
+
+    /// Parses the wire format produced by [`WireCodec::encode_into`].
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`] / [`DecodeError::TrailingBytes`] when the
+    /// buffer disagrees with the declared coordinate count, and
+    /// [`DecodeError::InvalidHeader`] for a level count the quantizer can
+    /// never emit (0 or > 127).
+    fn decode(mut buf: &[u8]) -> Result<Self, DecodeError> {
+        if buf.len() < QUANTIZED_HEADER_BYTES {
+            return Err(DecodeError::Truncated);
+        }
+        let header = buf.get_u64_le();
+        let levels = (header >> 56) as u8;
+        if !(1..=127).contains(&levels) {
+            return Err(DecodeError::InvalidHeader);
+        }
+        let len =
+            usize::try_from(header & QUANTIZED_LEN_MASK).map_err(|_| DecodeError::Truncated)?;
+        let norm = buf.get_f32_le();
+        if buf.len() < len {
+            return Err(DecodeError::Truncated);
+        }
+        if buf.len() > len {
+            return Err(DecodeError::TrailingBytes);
+        }
+        Ok(QuantizedUpdate {
+            norm,
+            levels,
+            codes: buf.to_vec(),
+        })
     }
 }
 
@@ -176,8 +232,39 @@ mod tests {
     fn wire_size_is_one_byte_per_coordinate() {
         let mut q = QsgdQuantizer::new(4, 4);
         let u = q.quantize(&[1.0; 100]);
-        assert_eq!(u.wire_size(), 8 + 4 + 100);
-        assert!(u.wire_size() < crate::dense_wire_size(100));
+        assert_eq!(u.encoded_len(), 8 + 4 + 100);
+        assert!(u.encoded_len() < crate::dense_wire_size(100));
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        let mut q = QsgdQuantizer::new(8, 6);
+        let u = q.quantize(&[1.0, -0.5, 0.25, 0.0]);
+        let bytes = u.encode();
+        assert_eq!(bytes.len(), u.encoded_len());
+        assert_eq!(QuantizedUpdate::decode(&bytes).unwrap(), u);
+        assert_eq!(
+            QuantizedUpdate::decode(&bytes[..bytes.len() - 1]).unwrap_err(),
+            DecodeError::Truncated
+        );
+    }
+
+    #[test]
+    fn decode_rejects_bad_levels() {
+        let bytes = QsgdQuantizer::new(8, 7).quantize(&[1.0; 4]).encode();
+        // Zero out the levels byte (top byte of the LE u64 header).
+        let mut zeroed = bytes.clone();
+        zeroed[7] = 0;
+        assert_eq!(
+            QuantizedUpdate::decode(&zeroed).unwrap_err(),
+            DecodeError::InvalidHeader
+        );
+        let mut sign_bit = bytes;
+        sign_bit[7] = 0x80 | 3;
+        assert_eq!(
+            QuantizedUpdate::decode(&sign_bit).unwrap_err(),
+            DecodeError::InvalidHeader
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Sparse gradient updates and their wire codec.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crate::codec::{DecodeError, WireCodec, SPARSE_HEADER_BYTES, SPARSE_PAIR_BYTES};
+use bytes::{Buf, BufMut};
 
 /// A sparsified gradient: the surviving `(index, value)` pairs of a dense
 /// vector of length `dense_len`.
@@ -10,11 +11,12 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 /// # Examples
 ///
 /// ```
-/// use adafl_compression::SparseUpdate;
+/// use adafl_compression::{SparseUpdate, WireCodec};
 ///
 /// let u = SparseUpdate::new(vec![1, 3], vec![0.5, -0.5], 4);
 /// assert_eq!(u.to_dense(), vec![0.0, 0.5, 0.0, -0.5]);
 /// let bytes = u.encode();
+/// assert_eq!(bytes.len(), u.encoded_len());
 /// assert_eq!(SparseUpdate::decode(&bytes).unwrap(), u);
 /// ```
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -23,27 +25,6 @@ pub struct SparseUpdate {
     values: Vec<f32>,
     dense_len: usize,
 }
-
-/// Error from [`SparseUpdate::decode`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[non_exhaustive]
-pub enum DecodeError {
-    /// The buffer ended before the declared payload.
-    Truncated,
-    /// Indices were not strictly increasing or exceeded the dense length.
-    InvalidIndices,
-}
-
-impl std::fmt::Display for DecodeError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            DecodeError::Truncated => write!(f, "buffer shorter than declared payload"),
-            DecodeError::InvalidIndices => write!(f, "indices not strictly increasing in range"),
-        }
-    }
-}
-
-impl std::error::Error for DecodeError {}
 
 impl SparseUpdate {
     /// Creates a sparse update.
@@ -116,11 +97,6 @@ impl SparseUpdate {
         }
     }
 
-    /// Wire size in bytes: 16-byte header + 8 bytes per element.
-    pub fn wire_size(&self) -> usize {
-        16 + 8 * self.indices.len()
-    }
-
     /// Materialises the dense vector.
     pub fn to_dense(&self) -> Vec<f32> {
         let mut out = vec![0.0f32; self.dense_len];
@@ -141,33 +117,48 @@ impl SparseUpdate {
             dense[i as usize] += scale * v;
         }
     }
+}
 
-    /// Serialises to the wire format.
-    pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(self.wire_size());
-        buf.put_u64_le(self.dense_len as u64);
-        buf.put_u64_le(self.indices.len() as u64);
-        for (&i, &v) in self.indices.iter().zip(&self.values) {
-            buf.put_u32_le(i);
-            buf.put_f32_le(v);
-        }
-        buf.freeze()
+impl WireCodec for SparseUpdate {
+    /// Wire size in bytes: 16-byte header + 8 bytes per element.
+    fn encoded_len(&self) -> usize {
+        SPARSE_HEADER_BYTES + SPARSE_PAIR_BYTES * self.indices.len()
     }
 
-    /// Parses the wire format produced by [`SparseUpdate::encode`].
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.encoded_len());
+        out.put_u64_le(self.dense_len as u64);
+        out.put_u64_le(self.indices.len() as u64);
+        for (&i, &v) in self.indices.iter().zip(&self.values) {
+            out.put_u32_le(i);
+            out.put_f32_le(v);
+        }
+    }
+
+    /// Parses the wire format produced by [`WireCodec::encode_into`].
     ///
     /// # Errors
     ///
-    /// Returns [`DecodeError::Truncated`] for short buffers and
-    /// [`DecodeError::InvalidIndices`] for malformed index streams.
-    pub fn decode(mut buf: &[u8]) -> Result<Self, DecodeError> {
-        if buf.len() < 16 {
+    /// Returns [`DecodeError::Truncated`] for short buffers,
+    /// [`DecodeError::TrailingBytes`] for long ones, and
+    /// [`DecodeError::InvalidIndices`] for malformed index streams. The
+    /// element count from the header is validated against the actual
+    /// buffer length (checked arithmetic) before any allocation, so a
+    /// lying header cannot panic or over-allocate.
+    fn decode(mut buf: &[u8]) -> Result<Self, DecodeError> {
+        if buf.len() < SPARSE_HEADER_BYTES {
             return Err(DecodeError::Truncated);
         }
-        let dense_len = buf.get_u64_le() as usize;
-        let nnz = buf.get_u64_le() as usize;
-        if buf.len() < nnz * 8 {
+        let dense_len = usize::try_from(buf.get_u64_le()).map_err(|_| DecodeError::Truncated)?;
+        let nnz = usize::try_from(buf.get_u64_le()).map_err(|_| DecodeError::Truncated)?;
+        let need = nnz
+            .checked_mul(SPARSE_PAIR_BYTES)
+            .ok_or(DecodeError::Truncated)?;
+        if buf.len() < need {
             return Err(DecodeError::Truncated);
+        }
+        if buf.len() > need {
+            return Err(DecodeError::TrailingBytes);
         }
         let mut indices = Vec::with_capacity(nnz);
         let mut values = Vec::with_capacity(nnz);
@@ -214,7 +205,7 @@ mod tests {
     fn codec_round_trips() {
         let u = SparseUpdate::new(vec![3, 7, 100], vec![0.25, -1.5, 3.75], 128);
         let bytes = u.encode();
-        assert_eq!(bytes.len(), u.wire_size());
+        assert_eq!(bytes.len(), u.encoded_len());
         assert_eq!(SparseUpdate::decode(&bytes).unwrap(), u);
     }
 
@@ -259,7 +250,7 @@ mod tests {
     fn sparse_beats_dense_on_wire_when_sparse_enough() {
         let dense_bytes = crate::dense_wire_size(1000);
         let u = SparseUpdate::new(vec![1, 2, 3], vec![0.0; 3], 1000);
-        assert!(u.wire_size() < dense_bytes);
+        assert!(u.encoded_len() < dense_bytes);
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! communication-reduction technique; implemented here as a comparison
 //! baseline for the compression benches.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crate::codec::{DecodeError, WireCodec, TERNARY_HEADER_BYTES};
+use bytes::{Buf, BufMut};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -49,38 +50,49 @@ impl TernaryUpdate {
     pub fn scale(&self) -> f32 {
         self.scale
     }
+}
 
+impl WireCodec for TernaryUpdate {
     /// Wire size in bytes: 12-byte header + 2 bits per coordinate.
-    pub fn wire_size(&self) -> usize {
-        12 + self.packed.len()
+    fn encoded_len(&self) -> usize {
+        TERNARY_HEADER_BYTES + self.packed.len()
     }
 
-    /// Serialises to the wire format.
-    pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(self.wire_size());
-        buf.put_u64_le(self.len as u64);
-        buf.put_f32_le(self.scale);
-        buf.put_slice(&self.packed);
-        buf.freeze()
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.encoded_len());
+        out.put_u64_le(self.len as u64);
+        out.put_f32_le(self.scale);
+        out.put_slice(&self.packed);
     }
 
-    /// Parses the wire format produced by [`TernaryUpdate::encode`].
+    /// Parses the wire format produced by [`WireCodec::encode_into`].
     ///
-    /// Returns `None` when the buffer is truncated.
-    pub fn decode(mut buf: &[u8]) -> Option<Self> {
-        if buf.len() < 12 {
-            return None;
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`] / [`DecodeError::TrailingBytes`] when the
+    /// packed body disagrees with the declared coordinate count; the count
+    /// is validated with checked arithmetic against the real buffer, so a
+    /// lying header cannot overflow or over-allocate.
+    fn decode(mut buf: &[u8]) -> Result<Self, DecodeError> {
+        if buf.len() < TERNARY_HEADER_BYTES {
+            return Err(DecodeError::Truncated);
         }
-        let len = buf.get_u64_le() as usize;
+        let len = usize::try_from(buf.get_u64_le()).map_err(|_| DecodeError::Truncated)?;
         let scale = buf.get_f32_le();
-        let packed_len = len.div_ceil(4);
+        let packed_len = len
+            .checked_add(3)
+            .map(|n| n / 4)
+            .ok_or(DecodeError::Truncated)?;
         if buf.len() < packed_len {
-            return None;
+            return Err(DecodeError::Truncated);
         }
-        Some(TernaryUpdate {
+        if buf.len() > packed_len {
+            return Err(DecodeError::TrailingBytes);
+        }
+        Ok(TernaryUpdate {
             scale,
             len,
-            packed: buf[..packed_len].to_vec(),
+            packed: buf.to_vec(),
         })
     }
 }
@@ -190,16 +202,21 @@ mod tests {
     fn codec_round_trips() {
         let mut t = TernGrad::new(4);
         let u = t.ternarize(&[1.0, -0.5, 0.25, 0.0, 0.9]);
-        let decoded = TernaryUpdate::decode(&u.encode()).unwrap();
+        let bytes = u.encode();
+        assert_eq!(bytes.len(), u.encoded_len());
+        let decoded = TernaryUpdate::decode(&bytes).unwrap();
         assert_eq!(decoded, u);
-        assert!(TernaryUpdate::decode(&u.encode()[..5]).is_none());
+        assert_eq!(
+            TernaryUpdate::decode(&bytes[..5]).unwrap_err(),
+            DecodeError::Truncated
+        );
     }
 
     #[test]
     fn wire_size_is_quarter_byte_per_coordinate() {
         let mut t = TernGrad::new(5);
         let u = t.ternarize(&vec![1.0f32; 1000]);
-        assert_eq!(u.wire_size(), 12 + 250);
-        assert!(u.wire_size() < crate::dense_wire_size(1000) / 10);
+        assert_eq!(u.encoded_len(), 12 + 250);
+        assert!(u.encoded_len() < crate::dense_wire_size(1000) / 10);
     }
 }

@@ -1,0 +1,149 @@
+//! Decoder-robustness properties for every [`WireCodec`] implementation,
+//! mirroring the checkpoint codec's suite: any strict prefix and any
+//! lying length header must produce a [`DecodeError`]; no input — flipped,
+//! truncated, or arbitrary — may panic or force an oversized allocation.
+//!
+//! CI's `codec-robustness` job reruns this binary with
+//! `PROPTEST_CASES=2048` in release mode.
+
+use adafl_compression::{
+    top_k, DenseUpdate, QsgdQuantizer, QuantizedUpdate, SparseUpdate, TernGrad, TernaryUpdate,
+    WireCodec,
+};
+use proptest::prelude::*;
+
+fn gradient() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-50.0f32..50.0, 0..64)
+}
+
+/// Encodes each of the four wire forms built from the same gradient, so
+/// every property exercises every codec on every case.
+fn all_frames(g: &[f32], k: usize, levels: u8, seed: u64) -> Vec<Vec<u8>> {
+    vec![
+        DenseUpdate::new(g.to_vec()).encode(),
+        top_k(g, k.min(g.len())).encode(),
+        QsgdQuantizer::new(levels, seed).quantize(g).encode(),
+        TernGrad::new(seed).ternarize(g).encode(),
+    ]
+}
+
+/// Decodes `buf` with the codec that produced frame `form` (the order of
+/// [`all_frames`]), discarding the value: the property under test is
+/// "returns, never panics".
+fn decode_form(form: usize, buf: &[u8]) -> Result<(), adafl_compression::DecodeError> {
+    match form {
+        0 => DenseUpdate::decode(buf).map(|_| ()),
+        1 => SparseUpdate::decode(buf).map(|_| ()),
+        2 => QuantizedUpdate::decode(buf).map(|_| ()),
+        _ => TernaryUpdate::decode(buf).map(|_| ()),
+    }
+}
+
+proptest! {
+    #[test]
+    fn round_trips_are_lossless(g in gradient(), k in 1usize..64, levels in 2u8..16, seed in 0u64..1000) {
+        let dense = DenseUpdate::new(g.clone());
+        prop_assert_eq!(DenseUpdate::decode(&dense.encode()).unwrap(), dense);
+
+        let sparse = top_k(&g, k.min(g.len()));
+        prop_assert_eq!(SparseUpdate::decode(&sparse.encode()).unwrap(), sparse);
+
+        let quantized = QsgdQuantizer::new(levels, seed).quantize(&g);
+        prop_assert_eq!(QuantizedUpdate::decode(&quantized.encode()).unwrap(), quantized);
+
+        let ternary = TernGrad::new(seed).ternarize(&g);
+        prop_assert_eq!(TernaryUpdate::decode(&ternary.encode()).unwrap(), ternary);
+    }
+
+    #[test]
+    fn encoded_len_matches_actual_bytes(g in gradient(), k in 1usize..64, levels in 2u8..16, seed in 0u64..1000) {
+        let dense = DenseUpdate::new(g.clone());
+        prop_assert_eq!(dense.encode().len(), dense.encoded_len());
+        let sparse = top_k(&g, k.min(g.len()));
+        prop_assert_eq!(sparse.encode().len(), sparse.encoded_len());
+        let quantized = QsgdQuantizer::new(levels, seed).quantize(&g);
+        prop_assert_eq!(quantized.encode().len(), quantized.encoded_len());
+        let ternary = TernGrad::new(seed).ternarize(&g);
+        prop_assert_eq!(ternary.encode().len(), ternary.encoded_len());
+    }
+
+    #[test]
+    fn any_strict_prefix_is_an_error(
+        g in gradient(),
+        k in 1usize..64,
+        levels in 2u8..16,
+        seed in 0u64..1000,
+        cut in 0.0f64..1.0,
+    ) {
+        for (form, bytes) in all_frames(&g, k, levels, seed).into_iter().enumerate() {
+            let len = (cut * bytes.len() as f64) as usize; // always < full length
+            prop_assert!(
+                decode_form(form, &bytes[..len]).is_err(),
+                "form {form}: decoding a {len}-byte prefix of a {}-byte frame succeeded",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn single_byte_flips_never_panic(
+        g in gradient(),
+        k in 1usize..64,
+        levels in 2u8..16,
+        seed in 0u64..1000,
+        pos in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        // A flipped value byte may still decode (floats are opaque); the
+        // property is that the decoder always returns instead of panicking
+        // or over-allocating.
+        for (form, mut bytes) in all_frames(&g, k, levels, seed).into_iter().enumerate() {
+            let idx = ((pos * bytes.len() as f64) as usize).min(bytes.len() - 1);
+            bytes[idx] ^= 1 << bit;
+            let _ = decode_form(form, &bytes);
+        }
+    }
+
+    #[test]
+    fn lying_length_header_is_an_error(
+        g in gradient(),
+        k in 1usize..64,
+        levels in 2u8..16,
+        seed in 0u64..1000,
+        lie in 1u64..1_000_000,
+    ) {
+        // Every form leads with a u64 element count (sparse's nnz is the
+        // second u64; the first — dense_len — only bounds indices). Adding
+        // a nonzero lie desynchronises the declared and actual payload
+        // sizes, which exact-consumption decoding must reject without
+        // trusting the header for its allocation.
+        for (form, mut bytes) in all_frames(&g, k, levels, seed).into_iter().enumerate() {
+            let at = if form == 1 { 8 } else { 0 };
+            let mut field = [0u8; 8];
+            field.copy_from_slice(&bytes[at..at + 8]);
+            let truth = u64::from_le_bytes(field);
+            let lied = match form {
+                // Keep the quantized level byte (top 8 bits) intact so the
+                // lie targets the length field, not the level field.
+                2 => (truth & !((1u64 << 56) - 1)) | ((truth + lie) & ((1u64 << 56) - 1)),
+                // Ternary packs four coordinates per byte: scale the lie so
+                // the declared packed length always actually moves.
+                3 => truth + lie * 4,
+                _ => truth + lie,
+            };
+            prop_assume!(lied != truth);
+            bytes[at..at + 8].copy_from_slice(&lied.to_le_bytes());
+            prop_assert!(
+                decode_form(form, &bytes).is_err(),
+                "form {form}: lying count {lied} (truth {truth}) decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(data in proptest::collection::vec(0u8..255, 0..160)) {
+        for form in 0..4 {
+            let _ = decode_form(form, &data);
+        }
+    }
+}

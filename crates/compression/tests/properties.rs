@@ -1,6 +1,6 @@
 //! Property-based tests for the compression stack.
 
-use adafl_compression::{top_k, DgcCompressor, QsgdQuantizer, SparseUpdate};
+use adafl_compression::{top_k, DgcCompressor, QsgdQuantizer, SparseUpdate, WireCodec};
 use proptest::prelude::*;
 
 fn vec_f32(len: usize) -> impl Strategy<Value = Vec<f32>> {

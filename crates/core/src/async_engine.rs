@@ -21,12 +21,10 @@ use crate::build::AdaFlBuild;
 use crate::config::AdaFlConfig;
 use adafl_data::partition::Partitioner;
 use adafl_data::Dataset;
-use adafl_fl::compute::ComputeModel;
 use adafl_fl::defense::DefenseConfig;
-use adafl_fl::faults::FaultPlan;
 use adafl_fl::runtime::{AsyncRuntime, RuntimeBuilder};
 use adafl_fl::{CommunicationLedger, FlConfig, RunHistory};
-use adafl_netsim::{ClientNetwork, ReliablePolicy};
+use adafl_netsim::ReliablePolicy;
 use adafl_telemetry::SharedRecorder;
 
 /// Fully-asynchronous AdaFL engine.
@@ -48,36 +46,6 @@ impl AdaFlAsyncEngine {
     ) -> Self {
         RuntimeBuilder::new(fl, test_set)
             .partitioned(train_set, partitioner)
-            .update_budget(update_budget)
-            .build_adafl_async(&ada)
-    }
-
-    /// Creates an engine with explicit parts.
-    ///
-    /// # Panics
-    ///
-    /// Panics when part sizes disagree with `fl.clients`, any shard is
-    /// empty, `update_budget` is zero, or the AdaFL configuration is
-    /// invalid.
-    #[deprecated(
-        note = "assemble through `adafl_fl::runtime::RuntimeBuilder` + `AdaFlBuild` instead"
-    )]
-    #[allow(clippy::too_many_arguments)]
-    pub fn with_parts(
-        fl: FlConfig,
-        ada: AdaFlConfig,
-        shards: Vec<Dataset>,
-        test_set: Dataset,
-        network: ClientNetwork,
-        compute: ComputeModel,
-        faults: FaultPlan,
-        update_budget: u64,
-    ) -> Self {
-        RuntimeBuilder::new(fl, test_set)
-            .shards(shards)
-            .network(network)
-            .compute(compute)
-            .faults(faults)
             .update_budget(update_budget)
             .build_adafl_async(&ada)
     }

@@ -24,11 +24,10 @@ use crate::config::AdaFlConfig;
 use crate::selection::Selector;
 use crate::utility::{utility_score, UtilityInputs};
 use crate::wire;
-use adafl_compression::{dense_wire_size, top_k, DgcCompressor};
+use adafl_compression::{dense_wire_size, top_k, DgcCompressor, WireCodec};
 use adafl_fl::runtime::{
     AggregationPolicy, AsyncApplyCtx, AsyncDownlinkCtx, AsyncPolicy, AsyncUploadCtx,
-    CompressionPolicy, PreparedUpdate, RoundUpdate, SelectionCtx, SelectionPolicy, SyncUploadCtx,
-    UpdatePayload,
+    CompressionPolicy, RoundUpdate, SelectionCtx, SelectionPolicy, SyncUploadCtx, UpdatePayload,
 };
 use adafl_fl::LocalOutcome;
 use adafl_telemetry::{names, EventRecord, SpanRecord};
@@ -65,7 +64,7 @@ impl SelectionPolicy for UtilitySelection {
         // Digest of ĝ: top 1% coordinates, broadcast to every client.
         let digest_k = wire::digest_len(ctx.global.len());
         let digest = top_k(ctx.global_gradient, digest_k);
-        let digest_bytes = digest.wire_size();
+        let digest_bytes = digest.encoded_len();
         let digest_dense = digest.to_dense();
 
         let mut scores = vec![0.0f32; ctx.config.clients];
@@ -150,28 +149,29 @@ impl CompressionPolicy for AdaptiveDgc {
             vec![DgcCompressor::new(dim, self.dgc_momentum, self.clip_norm); clients];
     }
 
-    fn prepare(&mut self, ctx: &SyncUploadCtx<'_>, delta: &[f32]) -> Option<PreparedUpdate> {
+    fn prepare(&mut self, ctx: &SyncUploadCtx<'_>, delta: &[f32]) -> Option<UpdatePayload> {
         let ratio = self.controller.ratio_for_rank(
             self.controller.in_warmup(ctx.round),
             ctx.rank,
             ctx.cohort,
         );
         let sparse = self.compressors[ctx.client].compress(delta, ratio);
-        let wire_bytes = sparse.wire_size();
         if ctx.tracing {
             ctx.recorder
                 .histogram_record(names::ADAFL_ASSIGNED_RATIO, f64::from(ratio));
-            adafl_compression::record_compression(ctx.recorder, "dgc", ctx.dense_bytes, wire_bytes);
+            adafl_compression::record_compression(
+                ctx.recorder,
+                "dgc",
+                ctx.dense_bytes,
+                sparse.encoded_len(),
+            );
         }
         // The drop check comes after compression: DGC state has already
         // accumulated this round's delta when the transmission is lost.
         if !ctx.delivered {
             return None;
         }
-        Some(PreparedUpdate {
-            payload: UpdatePayload::Sparse(sparse),
-            wire_bytes,
-        })
+        Some(UpdatePayload::Sparse(sparse))
     }
 }
 
@@ -248,14 +248,14 @@ impl AsyncPolicy for AdaFlAsyncPolicy {
         // The download carries the full model plus the ĝ digest.
         let digest_k = wire::digest_len(ctx.dense_len);
         let digest = top_k(ctx.global_gradient, digest_k);
-        dense_wire_size(ctx.dense_len) + digest.wire_size()
+        dense_wire_size(ctx.dense_len) + digest.encoded_len()
     }
 
     fn prepare_upload(
         &mut self,
         ctx: &mut AsyncUploadCtx<'_>,
         outcome: LocalOutcome,
-    ) -> Option<PreparedUpdate> {
+    ) -> Option<UpdatePayload> {
         // Utility gate: compare the fresh local delta with ĝ.
         let in_warmup = ctx.arrivals < self.warmup_updates;
         let link = ctx.network.link_at(ctx.client, ctx.done);
@@ -290,7 +290,6 @@ impl AsyncPolicy for AdaFlAsyncPolicy {
 
         let ratio = self.controller.ratio_for_score(in_warmup, score);
         let sparse = self.compressors[ctx.client].compress(&outcome.delta, ratio);
-        let wire_bytes = sparse.wire_size();
         if ctx.recorder.enabled() {
             ctx.recorder
                 .histogram_record(names::ADAFL_ASSIGNED_RATIO, f64::from(ratio));
@@ -298,13 +297,10 @@ impl AsyncPolicy for AdaFlAsyncPolicy {
                 ctx.recorder,
                 "dgc",
                 dense_wire_size(ctx.dense_len),
-                wire_bytes,
+                sparse.encoded_len(),
             );
         }
-        Some(PreparedUpdate {
-            payload: UpdatePayload::Sparse(sparse),
-            wire_bytes,
-        })
+        Some(UpdatePayload::Sparse(sparse))
     }
 
     fn apply(

@@ -29,12 +29,10 @@ use crate::build::AdaFlBuild;
 use crate::config::AdaFlConfig;
 use adafl_data::partition::Partitioner;
 use adafl_data::Dataset;
-use adafl_fl::compute::ComputeModel;
 use adafl_fl::defense::DefenseConfig;
-use adafl_fl::faults::FaultPlan;
 use adafl_fl::runtime::{RuntimeBuilder, SyncRuntime};
 use adafl_fl::{CommunicationLedger, FlConfig, RunHistory};
-use adafl_netsim::{ClientNetwork, ReliablePolicy, SimTime};
+use adafl_netsim::{ReliablePolicy, SimTime};
 use adafl_telemetry::SharedRecorder;
 
 /// Synchronous AdaFL engine.
@@ -55,33 +53,6 @@ impl AdaFlSyncEngine {
     ) -> Self {
         RuntimeBuilder::new(fl, test_set)
             .partitioned(train_set, partitioner)
-            .build_adafl_sync(&ada)
-    }
-
-    /// Creates an engine with explicit shards, network, compute model and
-    /// fault plan.
-    ///
-    /// # Panics
-    ///
-    /// Panics when part sizes disagree with `fl.clients`, any shard is
-    /// empty, or the AdaFL configuration is invalid.
-    #[deprecated(
-        note = "assemble through `adafl_fl::runtime::RuntimeBuilder` + `AdaFlBuild` instead"
-    )]
-    pub fn with_parts(
-        fl: FlConfig,
-        ada: AdaFlConfig,
-        shards: Vec<Dataset>,
-        test_set: Dataset,
-        network: ClientNetwork,
-        compute: ComputeModel,
-        faults: FaultPlan,
-    ) -> Self {
-        RuntimeBuilder::new(fl, test_set)
-            .shards(shards)
-            .network(network)
-            .compute(compute)
-            .faults(faults)
             .build_adafl_sync(&ada)
     }
 

@@ -21,11 +21,28 @@ pub fn digest_len(dim: usize) -> usize {
     (dim / DIGEST_FRACTION).max(1)
 }
 
+/// The compression factor of a *typical* adaptively-compressed uplink
+/// payload relative to the dense wire size.
+///
+/// AdaFL assigns each selected client a DGC keep-ratio from the adaptive
+/// band (1/64 for the top-ranked client up to 1/16 for the last; see
+/// [`crate::compression_control`]). The paper's measured uplink volumes
+/// (Tables I and II: 60–78 % total bandwidth saving, with the uplink
+/// dominated by the compressed deltas) correspond to a mid-band keep-ratio
+/// of roughly 1/32 — and in the sparse wire format each kept coordinate
+/// costs an (index, value) pair, i.e. twice a dense coordinate. A
+/// 1/32-keep sparse update therefore lands at ~1/16 of the dense frame,
+/// which is the yardstick the utility score judges link bandwidth
+/// against. `codec_ties_ratio_to_sparse_wire_format` below pins this
+/// arithmetic to the actual [`WireCodec`](adafl_compression::WireCodec)
+/// encoding so the constant cannot drift from the codec.
+pub const TYPICAL_ADAPTIVE_RATIO: usize = 16;
+
 /// The payload size a client's bandwidth is judged against in the utility
-/// score: a typical adaptively-compressed update (dense wire size / 16),
-/// not the full dense model.
+/// score: a typical adaptively-compressed update (dense wire size /
+/// [`TYPICAL_ADAPTIVE_RATIO`]), not the full dense model.
 pub fn expected_compressed_payload(dim: usize) -> usize {
-    dense_wire_size(dim) / 16
+    dense_wire_size(dim) / TYPICAL_ADAPTIVE_RATIO
 }
 
 #[cfg(test)]
@@ -49,8 +66,32 @@ mod tests {
     #[test]
     fn expected_payload_is_a_sixteenth_of_dense() {
         let dim = 650;
-        assert_eq!(expected_compressed_payload(dim), dense_wire_size(dim) / 16);
+        assert_eq!(
+            expected_compressed_payload(dim),
+            dense_wire_size(dim) / TYPICAL_ADAPTIVE_RATIO
+        );
         assert!(expected_compressed_payload(dim) < dense_wire_size(dim));
+    }
+
+    #[test]
+    fn codec_ties_ratio_to_sparse_wire_format() {
+        // The yardstick is "a 1/32-keep sparse update": each kept
+        // coordinate ships as an (index, value) pair — twice a dense
+        // coordinate — so the encoded frame sits at ~dense/16. Pin that
+        // against the real codec, not pencil arithmetic.
+        use adafl_compression::{top_k, WireCodec};
+        for dim in [1024usize, 4096, 65_536] {
+            let dense: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.13).sin()).collect();
+            let sparse = top_k(&dense, dim / 32);
+            let yardstick = expected_compressed_payload(dim);
+            let actual = sparse.encoded_len();
+            let gap = actual.abs_diff(yardstick);
+            assert!(
+                gap <= 16,
+                "dim {dim}: 1/32-keep sparse frame is {actual} B, \
+                 yardstick dense/{TYPICAL_ADAPTIVE_RATIO} is {yardstick} B"
+            );
+        }
     }
 
     #[test]

@@ -12,16 +12,14 @@
 //! baseline policy bundle — dense model exchanges and an [`AsyncStrategy`]
 //! application adapter.
 
-use crate::compute::ComputeModel;
 use crate::config::FlConfig;
 use crate::defense::DefenseConfig;
-use crate::faults::FaultPlan;
 use crate::history::RunHistory;
 use crate::ledger::CommunicationLedger;
 use crate::runtime::{AsyncRuntime, RuntimeBuilder};
 use adafl_data::partition::Partitioner;
 use adafl_data::Dataset;
-use adafl_netsim::{ClientNetwork, ReliablePolicy};
+use adafl_netsim::ReliablePolicy;
 use adafl_telemetry::SharedRecorder;
 
 /// Server-side behaviour of an asynchronous FL strategy.
@@ -68,34 +66,6 @@ impl AsyncEngine {
     ) -> Self {
         RuntimeBuilder::new(config, test_set)
             .partitioned(train_set, partitioner)
-            .update_budget(update_budget)
-            .build_async(strategy)
-    }
-
-    /// Creates an engine with explicit parts; stale clients in `faults` are
-    /// folded into the compute model as slowdowns.
-    ///
-    /// # Panics
-    ///
-    /// Panics when part sizes disagree with `config.clients` or any shard is
-    /// empty.
-    #[deprecated(note = "assemble through `runtime::RuntimeBuilder` instead")]
-    #[allow(clippy::too_many_arguments)]
-    pub fn with_parts(
-        config: FlConfig,
-        shards: Vec<Dataset>,
-        test_set: Dataset,
-        strategy: Box<dyn AsyncStrategy>,
-        network: ClientNetwork,
-        compute: ComputeModel,
-        faults: FaultPlan,
-        update_budget: u64,
-    ) -> Self {
-        RuntimeBuilder::new(config, test_set)
-            .shards(shards)
-            .network(network)
-            .compute(compute)
-            .faults(faults)
             .update_budget(update_budget)
             .build_async(strategy)
     }
@@ -156,12 +126,11 @@ impl AsyncEngine {
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)]
-
     use super::*;
+    use crate::compute::ComputeModel;
     use crate::r#async::strategies::{FedAsync, FedBuff};
     use adafl_data::synthetic::SyntheticSpec;
-    use adafl_netsim::{LinkProfile, LinkTrace};
+    use adafl_netsim::{ClientNetwork, LinkProfile, LinkTrace};
     use adafl_nn::models::ModelSpec;
 
     fn config() -> FlConfig {
@@ -256,17 +225,12 @@ mod tests {
             0,
         );
         let compute = ComputeModel::heterogeneous(vec![3.0, 0.1, 0.1, 0.1]);
-        let faults = FaultPlan::reliable(cfg.clients);
-        let mut e = AsyncEngine::with_parts(
-            cfg,
-            shards,
-            test,
-            Box::new(FedAsync::new(0.6, 0.5)),
-            network,
-            compute,
-            faults,
-            40,
-        );
+        let mut e = RuntimeBuilder::new(cfg, test)
+            .shards(shards)
+            .network(network)
+            .compute(compute)
+            .update_budget(40)
+            .build_async(Box::new(FedAsync::new(0.6, 0.5)));
         let history = e.run();
         // Sends are ledgered at transmit time, so in-flight updates beyond
         // the arrival budget are included.

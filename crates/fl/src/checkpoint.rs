@@ -7,7 +7,13 @@
 //! parameter count (u64) + raw little-endian `f32`s + a Fletcher-64-style
 //! checksum over everything before it (magic and version included, so a
 //! bit flip anywhere in the buffer is detected).
+//!
+//! The primitive writers/readers and the checksum are the shared ones from
+//! [`adafl_compression::codec`] — the checkpoint is just another consumer
+//! of the one serialization authority, and its byte format is unchanged by
+//! the rebase (`fletcher64` is the exact checksum this module always used).
 
+use adafl_compression::codec::{fletcher64, read_f32s_exact, write_f32s};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::error::Error;
 use std::fmt;
@@ -69,17 +75,6 @@ impl From<io::Error> for CheckpointError {
     }
 }
 
-fn checksum(payload: &[u8]) -> u64 {
-    // Fletcher-style running sums; cheap and order-sensitive.
-    let mut a: u64 = 0xAD_F1;
-    let mut b: u64 = 0;
-    for &byte in payload {
-        a = (a + byte as u64) % 0xFFFF_FFFB;
-        b = (b + a) % 0xFFFF_FFFB;
-    }
-    (b << 32) | a
-}
-
 impl Checkpoint {
     /// Creates a checkpoint of `params` at `round`.
     pub fn new(round: u64, params: Vec<f32>) -> Self {
@@ -93,10 +88,8 @@ impl Checkpoint {
         out.put_u16_le(VERSION);
         out.put_u64_le(self.round);
         out.put_u64_le(self.params.len() as u64);
-        for &p in &self.params {
-            out.put_f32_le(p);
-        }
-        let sum = checksum(&out);
+        write_f32s(&mut out, &self.params);
+        let sum = fletcher64(&out);
         out.put_u64_le(sum);
         out.freeze()
     }
@@ -120,19 +113,13 @@ impl Checkpoint {
         // corruption in the buffer is caught (version is checked first to
         // give newer formats a distinct error).
         let stored_sum = (&buf[buf.len() - 8..]).get_u64_le();
-        if checksum(&buf[..buf.len() - 8]) != stored_sum {
+        if fletcher64(&buf[..buf.len() - 8]) != stored_sum {
             return Err(CheckpointError::ChecksumMismatch);
         }
         let mut p = &buf[6..buf.len() - 8];
         let round = p.get_u64_le();
-        let count = p.get_u64_le() as usize;
-        if p.len() != count * 4 {
-            return Err(CheckpointError::InvalidFormat);
-        }
-        let mut params = Vec::with_capacity(count);
-        for _ in 0..count {
-            params.push(p.get_f32_le());
-        }
+        let count = usize::try_from(p.get_u64_le()).map_err(|_| CheckpointError::InvalidFormat)?;
+        let params = read_f32s_exact(p, count).map_err(|_| CheckpointError::InvalidFormat)?;
         Ok(Checkpoint { round, params })
     }
 
@@ -178,6 +165,21 @@ mod tests {
     fn empty_params_round_trip() {
         let c = Checkpoint::new(0, Vec::new());
         assert_eq!(Checkpoint::decode(&c.encode()).unwrap(), c);
+    }
+
+    #[test]
+    fn format_is_pinned_byte_for_byte() {
+        // The rebase onto the shared codec primitives must not move a
+        // single byte: this is the whole frame for round 1, params [1.0].
+        let bytes = Checkpoint::new(1, vec![1.0]).encode();
+        let mut expected = Vec::new();
+        expected.extend_from_slice(b"ADFL");
+        expected.extend_from_slice(&1u16.to_le_bytes());
+        expected.extend_from_slice(&1u64.to_le_bytes());
+        expected.extend_from_slice(&1u64.to_le_bytes());
+        expected.extend_from_slice(&1.0f32.to_le_bytes());
+        expected.extend_from_slice(&fletcher64(&expected).to_le_bytes());
+        assert_eq!(&bytes[..], &expected[..]);
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!   (seeded NaN/Inf injection and magnitude blow-ups), the adversary the
 //!   server's defensive aggregation gate must survive.
 
+use crate::runtime::UpdatePayload;
+use adafl_compression::codec::{DENSE_HEADER_BYTES, SPARSE_HEADER_BYTES, SPARSE_PAIR_BYTES};
+use adafl_compression::DecodeError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -74,14 +77,78 @@ pub fn corrupt_update(delta: &mut [f32], seed: u64) {
     let hits = (delta.len() / 100).max(3).min(delta.len());
     for _ in 0..hits {
         let idx = rng.gen_range(0..delta.len());
-        delta[idx] = match rng.gen_range(0..5usize) {
-            0 => f32::NAN,
-            1 => f32::INFINITY,
-            2 => f32::NEG_INFINITY,
-            3 => 1e30,
-            _ => -1e30,
-        };
+        delta[idx] = corruption_pattern(&mut rng);
     }
+}
+
+/// One corrupted coordinate value: NaN, ±Inf, or a ±1e30 blow-up.
+fn corruption_pattern(rng: &mut StdRng) -> f32 {
+    match rng.gen_range(0..5usize) {
+        0 => f32::NAN,
+        1 => f32::INFINITY,
+        2 => f32::NEG_INFINITY,
+        3 => 1e30,
+        _ => -1e30,
+    }
+}
+
+/// Corrupts a payload's **encoded bytes** in place and re-decodes them —
+/// the byte-real form of [`corrupt_update`].
+///
+/// Dense and sparse frames take the same seeded pattern, written into
+/// value slots of the encoded buffer, so the decoded result is bit-exact
+/// with the legacy in-memory corruption (the golden traces pin this) and
+/// the frame always re-parses — surviving those values is the defensive
+/// gate's job. Quantized and ternary frames take raw byte overwrites
+/// anywhere in the frame; a hit that lands in the header makes the
+/// decoder reject the whole update.
+///
+/// Every overwrite preserves the frame length, so the ledger charge
+/// (`encoded_len()`) is unaffected either way.
+///
+/// # Errors
+///
+/// Returns the decoder's verdict when the corrupted bytes no longer
+/// parse; the payload is left untouched (the runtime drops it on arrival
+/// — the bytes still travelled and were charged).
+pub fn corrupt_payload(payload: &mut UpdatePayload, seed: u64) -> Result<(), DecodeError> {
+    let mut bytes = payload.encode();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0_44);
+    match payload {
+        UpdatePayload::Dense(d) => {
+            let slots = d.len();
+            if slots == 0 {
+                return Ok(());
+            }
+            let hits = (slots / 100).max(3).min(slots);
+            for _ in 0..hits {
+                let at = DENSE_HEADER_BYTES + 4 * rng.gen_range(0..slots);
+                bytes[at..at + 4].copy_from_slice(&corruption_pattern(&mut rng).to_le_bytes());
+            }
+        }
+        UpdatePayload::Sparse(s) => {
+            let slots = s.nnz();
+            if slots == 0 {
+                return Ok(());
+            }
+            let hits = (slots / 100).max(3).min(slots);
+            for _ in 0..hits {
+                let at = SPARSE_HEADER_BYTES + SPARSE_PAIR_BYTES * rng.gen_range(0..slots) + 4;
+                bytes[at..at + 4].copy_from_slice(&corruption_pattern(&mut rng).to_le_bytes());
+            }
+        }
+        UpdatePayload::Quantized { .. } | UpdatePayload::Ternary { .. } => {
+            let slots = bytes.len();
+            let hits = (slots / 100).max(3).min(slots);
+            for _ in 0..hits {
+                let at = rng.gen_range(0..slots);
+                bytes[at] = rng.gen::<u8>();
+            }
+        }
+    }
+    let form = payload.form();
+    *payload = UpdatePayload::decode(form, &bytes)?;
+    Ok(())
 }
 
 /// A per-client fault assignment with seeded stochastic evaluation.
@@ -414,6 +481,63 @@ mod tests {
         assert!(same, "corruption not deterministic");
         // Empty vectors are a no-op.
         corrupt_update(&mut [], 7);
+    }
+
+    #[test]
+    fn corrupt_payload_matches_legacy_corruption_for_dense_and_sparse() {
+        use adafl_compression::top_k;
+        let eq = |a: &[f32], b: &[f32]| {
+            a.iter()
+                .zip(b)
+                .all(|(x, y)| (x.is_nan() && y.is_nan()) || x == y)
+        };
+        let base: Vec<f32> = (0..500).map(|i| ((i as f32) * 0.013).sin()).collect();
+
+        let mut payload = UpdatePayload::dense(base.clone());
+        corrupt_payload(&mut payload, 7).expect("dense frames always re-parse");
+        let mut legacy = base.clone();
+        corrupt_update(&mut legacy, 7);
+        assert!(eq(&payload.into_dense(), &legacy), "dense drifted");
+
+        let sparse = top_k(&base, 50);
+        let mut payload = UpdatePayload::Sparse(sparse.clone());
+        corrupt_payload(&mut payload, 9).expect("sparse frames always re-parse");
+        let mut legacy = sparse;
+        corrupt_update(legacy.values_mut(), 9);
+        let UpdatePayload::Sparse(got) = payload else {
+            unreachable!("form preserved")
+        };
+        assert_eq!(got.indices(), legacy.indices());
+        assert!(eq(got.values(), legacy.values()), "sparse drifted");
+    }
+
+    #[test]
+    fn corrupt_payload_on_packed_forms_decodes_or_rejects() {
+        use adafl_compression::{QsgdQuantizer, TernGrad};
+        let g: Vec<f32> = (0..256).map(|i| ((i as f32) * 0.1).cos()).collect();
+        let mut rejects = 0usize;
+        let mut survivals = 0usize;
+        for seed in 0..200u64 {
+            for mut p in [
+                UpdatePayload::quantized(QsgdQuantizer::new(8, 1).quantize(&g)),
+                UpdatePayload::ternary(TernGrad::new(1).ternarize(&g)),
+            ] {
+                let form = p.form();
+                let charged = p.encoded_len();
+                match corrupt_payload(&mut p, seed) {
+                    Ok(()) => {
+                        survivals += 1;
+                        // Byte overwrites preserve the frame length, so the
+                        // ledger charge is stable across corruption.
+                        assert_eq!(p.encoded_len(), charged);
+                        assert_eq!(p.form(), form);
+                    }
+                    Err(_) => rejects += 1,
+                }
+            }
+        }
+        assert!(rejects > 0, "no header hit rejected in 400 trials");
+        assert!(survivals > 0, "no body-only corruption survived");
     }
 
     #[test]

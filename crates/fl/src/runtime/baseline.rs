@@ -4,7 +4,7 @@
 //! [`SyncStrategy`]/[`AsyncStrategy`] traits into the runtime's
 //! aggregation axis.
 
-use super::payload::{PreparedUpdate, RoundUpdate, UpdatePayload};
+use super::payload::{RoundUpdate, UpdatePayload};
 use super::policy::{
     AggregationPolicy, AsyncApplyCtx, AsyncDownlinkCtx, AsyncPolicy, AsyncUploadCtx,
     CompressionPolicy, SelectionCtx, SelectionPolicy, SyncUploadCtx,
@@ -73,25 +73,22 @@ impl CompressionPolicy for StaticCompressionPolicy {
             .collect();
     }
 
-    fn prepare(&mut self, ctx: &SyncUploadCtx<'_>, delta: &[f32]) -> Option<PreparedUpdate> {
+    fn prepare(&mut self, ctx: &SyncUploadCtx<'_>, delta: &[f32]) -> Option<UpdatePayload> {
         if !ctx.delivered {
             // Static schemes never touch compressor state for a dropped
             // update (error feedback accumulates only on real sends).
             return None;
         }
-        let (sent, wire_bytes) = self.states[ctx.client].compress(delta);
+        let payload = self.states[ctx.client].compress(delta);
         if ctx.tracing {
             adafl_compression::record_compression(
                 ctx.recorder,
                 self.scheme.label(),
                 ctx.dense_bytes,
-                wire_bytes,
+                payload.encoded_len(),
             );
         }
-        Some(PreparedUpdate {
-            payload: UpdatePayload::Dense(sent),
-            wire_bytes,
-        })
+        Some(payload)
     }
 }
 
@@ -178,13 +175,10 @@ impl AsyncPolicy for StrategyAsyncPolicy {
 
     fn prepare_upload(
         &mut self,
-        ctx: &mut AsyncUploadCtx<'_>,
+        _ctx: &mut AsyncUploadCtx<'_>,
         outcome: LocalOutcome,
-    ) -> Option<PreparedUpdate> {
-        Some(PreparedUpdate {
-            payload: UpdatePayload::Dense(outcome.delta),
-            wire_bytes: dense_wire_size(ctx.dense_len),
-        })
+    ) -> Option<UpdatePayload> {
+        Some(UpdatePayload::dense(outcome.delta))
     }
 
     fn apply(
@@ -199,6 +193,6 @@ impl AsyncPolicy for StrategyAsyncPolicy {
             unreachable!("baseline async strategies upload dense deltas");
         };
         self.strategy
-            .on_update(ctx.global, &delta, snapshot, weight, staleness)
+            .on_update(ctx.global, delta.values(), snapshot, weight, staleness)
     }
 }

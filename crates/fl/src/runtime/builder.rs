@@ -1,7 +1,7 @@
 //! One builder for every protocol flavour.
 //!
-//! [`RuntimeBuilder`] replaces the four engine-specific `with_parts`
-//! constructors: it gathers the scenario parts (shards, network, compute,
+//! [`RuntimeBuilder`] is the single assembly point for every engine: it
+//! gathers the scenario parts (shards, network, compute,
 //! faults, resilience options, recorder) once, then specialises into a
 //! [`SyncRuntime`] or [`AsyncRuntime`] with a policy bundle — or directly
 //! into the [`SyncEngine`](crate::sync::SyncEngine) /

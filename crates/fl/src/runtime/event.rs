@@ -13,10 +13,11 @@ use crate::client::{evaluate_model, FlClient};
 use crate::compute::ComputeModel;
 use crate::config::FlConfig;
 use crate::defense::{DefenseConfig, DefenseGate};
-use crate::faults::{corrupt_update, FaultPlan};
+use crate::faults::{corrupt_payload, FaultPlan};
 use crate::history::{RoundRecord, RunHistory};
 use crate::ledger::CommunicationLedger;
 use crate::runtime::payload::UpdatePayload;
+use adafl_compression::DecodeError;
 use adafl_data::Dataset;
 use adafl_netsim::{ClientNetwork, EventQueue, ReliablePolicy, SimTime};
 use adafl_telemetry::{names, EventRecord, SharedRecorder, SpanRecord};
@@ -41,8 +42,10 @@ pub struct AsyncRuntime {
     clients: Vec<FlClient>,
     /// Per-client snapshot of the global model they are training from.
     snapshots: Vec<Vec<f32>>,
-    /// Per-client pending update awaiting arrival (at most one in flight).
-    in_flight: Vec<Option<UpdatePayload>>,
+    /// Per-client pending update awaiting arrival (at most one in
+    /// flight); `Err` when corruption left the frame undecodable — the
+    /// bytes still travel and the server rejects them on arrival.
+    in_flight: Vec<Option<Result<UpdatePayload, DecodeError>>>,
     global: Vec<f32>,
     global_model: adafl_nn::Model,
     /// Latest applied global delta (`ĝ`); stays zero unless the policy
@@ -245,17 +248,19 @@ impl AsyncRuntime {
                         };
                         self.policy.prepare_upload(&mut ctx, outcome)
                     };
-                    let Some(mut prepared) = prepared else {
+                    let Some(mut payload) = prepared else {
                         // The policy halted the upload (AdaFL's utility
                         // gate); the client idles and resyncs shortly.
                         queue.push(done + SimTime::from_seconds(1.0), Event::Resync { client });
                         continue;
                     };
-                    // Corruption faults hit the serialized update in
-                    // transit; it still arrives and the defensive gate must
-                    // catch it.
+                    // Corruption faults flip the update's *encoded bytes*
+                    // in transit; frames that re-parse carry poisoned
+                    // values for the defensive gate, frames that do not
+                    // are rejected by the decoder on arrival.
+                    let mut decode_error: Option<DecodeError> = None;
                     if let Some(seed) = self.faults.corrupts_update(client) {
-                        corrupt_update(prepared.payload.values_mut(), seed);
+                        decode_error = corrupt_payload(&mut payload, seed).err();
                         if self.recorder.enabled() {
                             self.recorder.counter_add(names::FL_CORRUPTIONS, 1);
                             self.recorder.event(
@@ -264,8 +269,13 @@ impl AsyncRuntime {
                             );
                         }
                     }
-                    self.in_flight[client] = Some(prepared.payload);
-                    let delivery = self.io.uplink(client, prepared.wire_bytes, done);
+                    // Byte flips preserve the frame length, so the charge
+                    // is the same whether or not the frame still parses.
+                    let delivery = self.io.uplink_update(client, &payload, done);
+                    self.in_flight[client] = Some(match decode_error {
+                        Some(err) => Err(err),
+                        None => Ok(payload),
+                    });
                     match delivery.arrival {
                         Some(arrival) => {
                             queue.push(
@@ -297,51 +307,75 @@ impl AsyncRuntime {
                                 .field("staleness", staleness),
                         );
                     }
-                    let mut payload = self.in_flight[client]
+                    match self.in_flight[client]
                         .take()
-                        .expect("arrival without an in-flight update");
-                    // Defensive gate: scrub and norm-screen the arriving
-                    // update; a rejected update never reaches the policy
-                    // (the arrival still counts toward the budget, so a
-                    // poisoned fleet cannot livelock the run).
-                    let mut rejection: Option<&'static str> = None;
-                    if let Some(gate) = self.defense.as_mut() {
-                        match gate.sanitize(payload.values_mut()) {
-                            Ok(s) => {
-                                if s.scrubbed > 0 && self.recorder.enabled() {
-                                    self.recorder
-                                        .counter_add(names::FL_DEFENSE_SCRUBBED, s.scrubbed as u64);
-                                }
-                                if !gate.admit(s.norm) {
-                                    rejection = Some("norm_outlier");
+                        .expect("arrival without an in-flight update")
+                    {
+                        Err(err) => {
+                            // The bytes arrived (and count toward the
+                            // budget) but no longer parse: the decoder
+                            // rejects the update before the defense gate
+                            // ever sees values.
+                            if self.recorder.enabled() {
+                                self.recorder.counter_add(names::FL_DECODE_REJECTIONS, 1);
+                                self.recorder.event(
+                                    EventRecord::new(names::EVENT_DECODE_REJECT, now.seconds())
+                                        .client(client)
+                                        .field("error", err.to_string()),
+                                );
+                            }
+                        }
+                        Ok(mut payload) => {
+                            // Defensive gate: scrub and norm-screen the
+                            // arriving update; a rejected update never
+                            // reaches the policy (the arrival still counts
+                            // toward the budget, so a poisoned fleet cannot
+                            // livelock the run).
+                            let mut rejection: Option<&'static str> = None;
+                            if let Some(gate) = self.defense.as_mut() {
+                                match gate.sanitize(payload.values_mut()) {
+                                    Ok(s) => {
+                                        if s.scrubbed > 0 && self.recorder.enabled() {
+                                            self.recorder.counter_add(
+                                                names::FL_DEFENSE_SCRUBBED,
+                                                s.scrubbed as u64,
+                                            );
+                                        }
+                                        if !gate.admit(s.norm) {
+                                            rejection = Some("norm_outlier");
+                                        }
+                                    }
+                                    Err(reason) => rejection = Some(reason.label()),
                                 }
                             }
-                            Err(reason) => rejection = Some(reason.label()),
-                        }
-                    }
-                    if let Some(reason) = rejection {
-                        if self.recorder.enabled() {
-                            self.recorder.counter_add(names::FL_DEFENSE_REJECTIONS, 1);
-                            self.recorder.event(
-                                EventRecord::new(names::EVENT_DEFENSE_REJECT, now.seconds())
-                                    .client(client)
-                                    .field("reason", reason),
-                            );
-                        }
-                    } else {
-                        let weight = self.clients[client].num_samples() as f32;
-                        let snapshot = std::mem::take(&mut self.snapshots[client]);
-                        let changed = {
-                            let mut ctx = AsyncApplyCtx {
-                                global: &mut self.global,
-                                global_gradient: &mut self.global_gradient,
-                            };
-                            self.policy
-                                .apply(&mut ctx, payload, &snapshot, weight, staleness)
-                        };
-                        self.snapshots[client] = snapshot;
-                        if changed {
-                            self.version += 1;
+                            if let Some(reason) = rejection {
+                                if self.recorder.enabled() {
+                                    self.recorder.counter_add(names::FL_DEFENSE_REJECTIONS, 1);
+                                    self.recorder.event(
+                                        EventRecord::new(
+                                            names::EVENT_DEFENSE_REJECT,
+                                            now.seconds(),
+                                        )
+                                        .client(client)
+                                        .field("reason", reason),
+                                    );
+                                }
+                            } else {
+                                let weight = self.clients[client].num_samples() as f32;
+                                let snapshot = std::mem::take(&mut self.snapshots[client]);
+                                let changed = {
+                                    let mut ctx = AsyncApplyCtx {
+                                        global: &mut self.global,
+                                        global_gradient: &mut self.global_gradient,
+                                    };
+                                    self.policy
+                                        .apply(&mut ctx, payload, &snapshot, weight, staleness)
+                                };
+                                self.snapshots[client] = snapshot;
+                                if changed {
+                                    self.version += 1;
+                                }
+                            }
                         }
                     }
                     if arrivals.is_multiple_of(self.eval_every) || arrivals == self.update_budget {

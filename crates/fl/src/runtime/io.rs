@@ -16,6 +16,7 @@
 //!   delivery — callers pick via `charge_lost_send`. This asymmetry is
 //!   pinned by the golden traces and documented by the ledger-audit tests.
 
+use super::payload::UpdatePayload;
 use crate::ledger::CommunicationLedger;
 use adafl_netsim::{ClientNetwork, ReliablePolicy, ReliableTransfer, SimTime};
 use adafl_telemetry::SharedRecorder;
@@ -132,6 +133,18 @@ impl RoundIo {
         }
     }
 
+    /// Client→server transfer of one update payload. The ledger charge is
+    /// the payload's `encoded_len()` — the codec, not a size formula, is
+    /// the accounting authority.
+    pub fn uplink_update(
+        &mut self,
+        client: usize,
+        payload: &UpdatePayload,
+        now: SimTime,
+    ) -> Delivery {
+        self.uplink(client, payload.encoded_len(), now)
+    }
+
     /// Client→server transfer; fire-and-forget charges only on delivery.
     pub fn uplink(&mut self, client: usize, bytes: usize, now: SimTime) -> Delivery {
         match &mut self.transport {
@@ -230,6 +243,15 @@ mod tests {
         assert_eq!(io.ledger().uplink_bytes(), 0);
         // Fire-and-forget loss discovery point: send time + 1 s.
         assert!((u.sender_done.seconds() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uplink_update_charges_exactly_the_encoded_bytes() {
+        let mut io = lossless_io(1);
+        let payload = UpdatePayload::dense(vec![0.5; 10]);
+        let u = io.uplink_update(0, &payload, SimTime::ZERO);
+        assert!(u.arrival.is_some());
+        assert_eq!(io.ledger().uplink_bytes() as usize, payload.encode().len());
     }
 
     #[test]

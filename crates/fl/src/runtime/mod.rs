@@ -49,7 +49,7 @@ pub use baseline::{
 pub use builder::RuntimeBuilder;
 pub use event::AsyncRuntime;
 pub use io::{Delivery, RoundIo};
-pub use payload::{PreparedUpdate, RoundUpdate, UpdatePayload};
+pub use payload::{RoundUpdate, UpdatePayload, WireForm};
 pub use policy::{
     AggregationPolicy, AsyncApplyCtx, AsyncDownlinkCtx, AsyncPolicy, AsyncUploadCtx,
     CompressionPolicy, SelectionCtx, SelectionPolicy, SyncUploadCtx,

@@ -1,62 +1,167 @@
 //! Update payloads flowing through the round runtime.
 //!
 //! A [`CompressionPolicy`](super::CompressionPolicy) decides the wire form
-//! of each client update — dense for the static baseline schemes, sparse
-//! for AdaFL's DGC — and the runtime handles both forms uniformly for
-//! corruption faults, the defensive gate and aggregation.
+//! of each client update — dense for the identity baseline, sparse for
+//! top-k/DGC, quantized for QSGD, ternary for TernGrad — and the runtime
+//! handles every form uniformly for corruption faults, the defensive gate
+//! and aggregation. Each variant carries the real [`WireCodec`] value, so
+//! `encoded_len()` (what the ledger charges) and the bytes produced by
+//! `encode()` (what corruption faults flip) can never disagree.
 
-use adafl_compression::SparseUpdate;
+use adafl_compression::{
+    DecodeError, DenseUpdate, QuantizedUpdate, SparseUpdate, TernaryUpdate, WireCodec,
+};
+
+/// Which of the four wire forms a buffer holds. The simulated network
+/// moves opaque byte counts, so the form travels out of band (a real
+/// transport would tag frames); [`UpdatePayload::decode`] dispatches on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireForm {
+    /// Dense `f32` delta.
+    Dense,
+    /// Sparse top-k/DGC delta.
+    Sparse,
+    /// QSGD quantized delta.
+    Quantized,
+    /// TernGrad ternary delta.
+    Ternary,
+}
 
 /// One client update in its transmitted form.
+///
+/// The quantized and ternary forms also carry their decoded dense view:
+/// aggregation and the defensive gate work on values, and scrubbing may
+/// rewrite the view in place — the wire form stays what was transmitted.
 #[derive(Debug, Clone, PartialEq)]
 pub enum UpdatePayload {
-    /// A dense parameter delta (identity or quantized static compression).
-    Dense(Vec<f32>),
+    /// A dense parameter delta (identity compression).
+    Dense(DenseUpdate),
     /// A sparse top-k delta (DGC).
     Sparse(SparseUpdate),
+    /// A QSGD-quantized delta plus its decoded view.
+    Quantized {
+        /// The transmitted form.
+        wire: QuantizedUpdate,
+        /// `wire.to_dense()`, the surface defense and aggregation touch.
+        values: Vec<f32>,
+    },
+    /// A TernGrad ternary delta plus its decoded view.
+    Ternary {
+        /// The transmitted form.
+        wire: TernaryUpdate,
+        /// `wire.to_dense()`, the surface defense and aggregation touch.
+        values: Vec<f32>,
+    },
 }
 
 impl UpdatePayload {
+    /// Wraps a raw dense delta.
+    pub fn dense(values: Vec<f32>) -> Self {
+        UpdatePayload::Dense(DenseUpdate::new(values))
+    }
+
+    /// Wraps a quantized update, materialising its decoded view.
+    pub fn quantized(wire: QuantizedUpdate) -> Self {
+        let values = wire.to_dense();
+        UpdatePayload::Quantized { wire, values }
+    }
+
+    /// Wraps a ternary update, materialising its decoded view.
+    pub fn ternary(wire: TernaryUpdate) -> Self {
+        let values = wire.to_dense();
+        UpdatePayload::Ternary { wire, values }
+    }
+
+    /// The wire form this payload travels as.
+    pub fn form(&self) -> WireForm {
+        match self {
+            UpdatePayload::Dense(_) => WireForm::Dense,
+            UpdatePayload::Sparse(_) => WireForm::Sparse,
+            UpdatePayload::Quantized { .. } => WireForm::Quantized,
+            UpdatePayload::Ternary { .. } => WireForm::Ternary,
+        }
+    }
+
+    /// Exact wire size in bytes, straight from the codec. This is the
+    /// number [`RoundIo`](super::RoundIo) charges the ledger with — no
+    /// hand-maintained size formula sits between accounting and encoding.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            UpdatePayload::Dense(d) => d.encoded_len(),
+            UpdatePayload::Sparse(s) => s.encoded_len(),
+            UpdatePayload::Quantized { wire, .. } => wire.encoded_len(),
+            UpdatePayload::Ternary { wire, .. } => wire.encoded_len(),
+        }
+    }
+
+    /// Serialises the transmitted form.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            UpdatePayload::Dense(d) => d.encode(),
+            UpdatePayload::Sparse(s) => s.encode(),
+            UpdatePayload::Quantized { wire, .. } => wire.encode(),
+            UpdatePayload::Ternary { wire, .. } => wire.encode(),
+        }
+    }
+
+    /// Parses `buf` as the given wire form (the inverse of
+    /// [`UpdatePayload::encode`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the form's [`DecodeError`]; corrupted buffers are
+    /// rejected here, before the payload reaches the defense gate.
+    pub fn decode(form: WireForm, buf: &[u8]) -> Result<Self, DecodeError> {
+        Ok(match form {
+            WireForm::Dense => UpdatePayload::Dense(DenseUpdate::decode(buf)?),
+            WireForm::Sparse => UpdatePayload::Sparse(SparseUpdate::decode(buf)?),
+            WireForm::Quantized => UpdatePayload::quantized(QuantizedUpdate::decode(buf)?),
+            WireForm::Ternary => UpdatePayload::ternary(TernaryUpdate::decode(buf)?),
+        })
+    }
+
     /// Mutable view of the transmitted values — the surface corruption
     /// faults and the defensive gate's scrubbing operate on. The L2 norm
     /// of a sparse update's values equals the norm of its dense form, so
-    /// norm screening is form-independent.
+    /// norm screening is form-independent. For the quantized and ternary
+    /// forms this is the decoded view; scrubbing rewrites the view without
+    /// touching the transmitted bytes.
     pub fn values_mut(&mut self) -> &mut [f32] {
         match self {
-            UpdatePayload::Dense(v) => v,
+            UpdatePayload::Dense(d) => d.values_mut(),
             UpdatePayload::Sparse(s) => s.values_mut(),
+            UpdatePayload::Quantized { values, .. } => values,
+            UpdatePayload::Ternary { values, .. } => values,
         }
     }
 
     /// Accumulates `scale · self` into `dest`.
     pub fn add_scaled_into(&self, dest: &mut [f32], scale: f32) {
         match self {
-            UpdatePayload::Dense(v) => {
-                for (d, x) in dest.iter_mut().zip(v) {
-                    *d += scale * x;
+            UpdatePayload::Dense(d) => {
+                for (out, x) in dest.iter_mut().zip(d.values()) {
+                    *out += scale * x;
                 }
             }
             UpdatePayload::Sparse(s) => s.add_into(dest, scale),
+            UpdatePayload::Quantized { values, .. } | UpdatePayload::Ternary { values, .. } => {
+                for (out, x) in dest.iter_mut().zip(values) {
+                    *out += scale * x;
+                }
+            }
         }
     }
 
-    /// The payload as a dense vector (moves the dense form out without a
-    /// copy; expands the sparse form).
+    /// The payload as a dense vector (moves the dense/decoded form out
+    /// without a copy; expands the sparse form).
     pub fn into_dense(self) -> Vec<f32> {
         match self {
-            UpdatePayload::Dense(v) => v,
+            UpdatePayload::Dense(d) => d.into_values(),
             UpdatePayload::Sparse(s) => s.to_dense(),
+            UpdatePayload::Quantized { values, .. } => values,
+            UpdatePayload::Ternary { values, .. } => values,
         }
     }
-}
-
-/// A payload plus the number of bytes it occupies on the wire.
-#[derive(Debug, Clone, PartialEq)]
-pub struct PreparedUpdate {
-    /// The transmitted update.
-    pub payload: UpdatePayload,
-    /// Wire size charged to the ledger and driven through the network.
-    pub wire_bytes: usize,
 }
 
 /// One delivered update awaiting aggregation.
@@ -73,7 +178,7 @@ pub struct RoundUpdate {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adafl_compression::top_k;
+    use adafl_compression::{top_k, QsgdQuantizer, TernGrad};
 
     #[test]
     fn dense_add_scaled_matches_sparse_for_sparse_vectors() {
@@ -81,7 +186,7 @@ mod tests {
         let sparse = top_k(&v, 2);
         let mut a = vec![1.0f32; 4];
         let mut b = vec![1.0f32; 4];
-        UpdatePayload::Dense(v.clone()).add_scaled_into(&mut a, 0.5);
+        UpdatePayload::dense(v.clone()).add_scaled_into(&mut a, 0.5);
         UpdatePayload::Sparse(sparse).add_scaled_into(&mut b, 0.5);
         assert_eq!(a, b);
     }
@@ -89,6 +194,38 @@ mod tests {
     #[test]
     fn into_dense_is_identity_for_dense() {
         let v = vec![1.0, -2.0, 3.0];
-        assert_eq!(UpdatePayload::Dense(v.clone()).into_dense(), v);
+        assert_eq!(UpdatePayload::dense(v.clone()).into_dense(), v);
+    }
+
+    #[test]
+    fn quantized_and_ternary_views_match_their_wire_form() {
+        let g = [1.0f32, -0.5, 0.25, 0.0];
+        let q = UpdatePayload::quantized(QsgdQuantizer::new(8, 1).quantize(&g));
+        let UpdatePayload::Quantized { wire, values } = &q else {
+            unreachable!()
+        };
+        assert_eq!(values, &wire.to_dense());
+
+        let t = UpdatePayload::ternary(TernGrad::new(1).ternarize(&g));
+        let UpdatePayload::Ternary { wire, values } = &t else {
+            unreachable!()
+        };
+        assert_eq!(values, &wire.to_dense());
+    }
+
+    #[test]
+    fn every_form_round_trips_through_its_encoding() {
+        let g = [0.5f32, -2.0, 0.0, 3.5];
+        let payloads = [
+            UpdatePayload::dense(g.to_vec()),
+            UpdatePayload::Sparse(top_k(&g, 2)),
+            UpdatePayload::quantized(QsgdQuantizer::new(4, 2).quantize(&g)),
+            UpdatePayload::ternary(TernGrad::new(2).ternarize(&g)),
+        ];
+        for p in payloads {
+            let bytes = p.encode();
+            assert_eq!(bytes.len(), p.encoded_len(), "{:?}", p.form());
+            assert_eq!(UpdatePayload::decode(p.form(), &bytes).unwrap(), p);
+        }
     }
 }

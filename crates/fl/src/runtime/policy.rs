@@ -19,7 +19,7 @@
 //! for every flavour.
 
 use super::io::RoundIo;
-use super::payload::{PreparedUpdate, RoundUpdate, UpdatePayload};
+use super::payload::{RoundUpdate, UpdatePayload};
 use crate::client::{FlClient, LocalOutcome};
 use crate::config::FlConfig;
 use adafl_netsim::{ClientNetwork, SimTime};
@@ -95,11 +95,12 @@ pub trait CompressionPolicy: fmt::Debug + Send {
     /// state is sized here.
     fn init(&mut self, _dim: usize, _clients: usize) {}
 
-    /// Compresses `delta` for transmission, or returns `None` when the
+    /// Compresses `delta` into its wire form, or returns `None` when the
     /// update is dropped (`ctx.delivered == false`); the runtime then
     /// emits the dropout telemetry. Policies emit their own compression
     /// telemetry so its ordering relative to the drop decision is theirs.
-    fn prepare(&mut self, ctx: &SyncUploadCtx<'_>, delta: &[f32]) -> Option<PreparedUpdate>;
+    /// The runtime charges the ledger with the payload's `encoded_len()`.
+    fn prepare(&mut self, ctx: &SyncUploadCtx<'_>, delta: &[f32]) -> Option<UpdatePayload>;
 }
 
 /// Folds delivered synchronous updates into the global model, adapting
@@ -192,12 +193,13 @@ pub trait AsyncPolicy: fmt::Debug + Send {
     /// Turns a training outcome into an upload, or `None` when the client
     /// halts (AdaFL's utility gate) — the runtime then schedules a resync
     /// at `done + 1 s`. Policies emit their own utility/compression
-    /// telemetry.
+    /// telemetry. The runtime charges the ledger with the payload's
+    /// `encoded_len()`.
     fn prepare_upload(
         &mut self,
         ctx: &mut AsyncUploadCtx<'_>,
         outcome: LocalOutcome,
-    ) -> Option<PreparedUpdate>;
+    ) -> Option<UpdatePayload>;
 
     /// Folds one arrived (possibly corrupted, defense-screened) update
     /// into the global model; returns `true` when the global parameters

@@ -16,7 +16,7 @@ use crate::client::{evaluate_model, FlClient, LocalOutcome};
 use crate::compute::ComputeModel;
 use crate::config::FlConfig;
 use crate::defense::{DefenseConfig, DefenseGate};
-use crate::faults::{corrupt_update, FaultKind, FaultPlan};
+use crate::faults::{corrupt_payload, FaultKind, FaultPlan};
 use crate::history::{RoundRecord, RunHistory};
 use crate::ledger::CommunicationLedger;
 use crate::pool::WorkerPool;
@@ -309,7 +309,7 @@ impl SyncRuntime {
             }
 
             let delivered = self.faults.update_delivered(c, round);
-            let prepared = {
+            let payload = {
                 let ctx = SyncUploadCtx {
                     round,
                     client: c,
@@ -322,7 +322,7 @@ impl SyncRuntime {
                 };
                 self.compression.prepare(&ctx, &outcome.delta)
             };
-            let Some(mut prepared) = prepared else {
+            let Some(mut payload) = payload else {
                 debug_assert!(!delivered, "policies only drop undelivered updates");
                 if tracing {
                     self.recorder.counter_add(names::FL_DROPOUTS, 1);
@@ -334,10 +334,14 @@ impl SyncRuntime {
                 }
                 continue;
             };
-            // Corruption faults hit the serialized update in transit; the
-            // payload still arrives and the defensive gate must catch it.
+            // Corruption faults flip the update's *encoded bytes* in
+            // transit. Dense and sparse frames re-parse with poisoned
+            // values the defensive gate must catch; packed frames may stop
+            // parsing entirely, which the server counts as a decode
+            // rejection when the bytes arrive.
+            let mut decode_error: Option<adafl_compression::DecodeError> = None;
             if let Some(seed) = self.faults.corrupts_update(c) {
-                corrupt_update(prepared.payload.values_mut(), seed);
+                decode_error = corrupt_payload(&mut payload, seed).err();
                 if tracing {
                     self.recorder.counter_add(names::FL_CORRUPTIONS, 1);
                     self.recorder.event(
@@ -347,7 +351,7 @@ impl SyncRuntime {
                     );
                 }
             }
-            let delivery = self.io.uplink(c, prepared.wire_bytes, train_done);
+            let delivery = self.io.uplink_update(c, &payload, train_done);
             match delivery.arrival {
                 Some(arrival) => {
                     let elapsed = arrival - self.clock;
@@ -374,9 +378,25 @@ impl SyncRuntime {
                         }
                     }
                     round_time = round_time.max(elapsed);
+                    if let Some(err) = decode_error {
+                        // The bytes travelled, were charged and gated the
+                        // round clock, but the server cannot parse them:
+                        // the update is dropped before the defense gate
+                        // ever sees values.
+                        if tracing {
+                            self.recorder.counter_add(names::FL_DECODE_REJECTIONS, 1);
+                            self.recorder.event(
+                                EventRecord::new(names::EVENT_DECODE_REJECT, arrival.seconds())
+                                    .round(round)
+                                    .client(c)
+                                    .field("error", err.to_string()),
+                            );
+                        }
+                        continue;
+                    }
                     updates.push(RoundUpdate {
                         client: c,
-                        payload: prepared.payload,
+                        payload,
                         weight: outcome.num_samples as f32,
                     });
                 }

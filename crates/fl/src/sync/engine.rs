@@ -6,17 +6,15 @@
 //! client-side compression and a [`SyncStrategy`] aggregation adapter,
 //! with the §III round deadline enforced.
 
-use crate::compute::ComputeModel;
 use crate::config::FlConfig;
 use crate::defense::DefenseConfig;
-use crate::faults::FaultPlan;
 use crate::history::RunHistory;
 use crate::ledger::CommunicationLedger;
 use crate::runtime::{RuntimeBuilder, StaticCompressionPolicy, SyncRuntime};
 use crate::sync::StaticCompression;
 use adafl_data::partition::Partitioner;
 use adafl_data::Dataset;
-use adafl_netsim::{ClientNetwork, ReliablePolicy, SimTime};
+use adafl_netsim::{ReliablePolicy, SimTime};
 use adafl_telemetry::SharedRecorder;
 
 /// One client's contribution to a synchronous aggregation.
@@ -86,31 +84,6 @@ impl SyncEngine {
     ) -> Self {
         RuntimeBuilder::new(config, test_set)
             .partitioned(train_set, partitioner)
-            .build_sync(strategy)
-    }
-
-    /// Creates an engine with explicit shards, network, compute model and
-    /// fault plan.
-    ///
-    /// # Panics
-    ///
-    /// Panics when shard/network/compute/fault sizes disagree with
-    /// `config.clients` or any shard is empty.
-    #[deprecated(note = "assemble through `runtime::RuntimeBuilder` instead")]
-    pub fn with_parts(
-        config: FlConfig,
-        shards: Vec<Dataset>,
-        test_set: Dataset,
-        strategy: Box<dyn SyncStrategy>,
-        network: ClientNetwork,
-        compute: ComputeModel,
-        faults: FaultPlan,
-    ) -> Self {
-        RuntimeBuilder::new(config, test_set)
-            .shards(shards)
-            .network(network)
-            .compute(compute)
-            .faults(faults)
             .build_sync(strategy)
     }
 
@@ -203,12 +176,12 @@ impl SyncEngine {
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)]
-
     use super::*;
+    use crate::compute::ComputeModel;
+    use crate::faults::FaultPlan;
     use crate::sync::strategies::FedAvg;
     use adafl_data::synthetic::SyntheticSpec;
-    use adafl_netsim::{LinkProfile, LinkTrace};
+    use adafl_netsim::{ClientNetwork, LinkProfile, LinkTrace};
     use adafl_nn::models::ModelSpec;
     use adafl_telemetry::names;
 
@@ -339,15 +312,11 @@ mod tests {
         );
         // Client 0 takes ~3 s to train — past the 1 s deadline.
         let compute = ComputeModel::heterogeneous(vec![1.0, 0.01, 0.01, 0.01]);
-        let mut e = SyncEngine::with_parts(
-            cfg,
-            shards,
-            test,
-            Box::new(FedAvg::new()),
-            network,
-            compute,
-            FaultPlan::reliable(4),
-        );
+        let mut e = RuntimeBuilder::new(cfg, test)
+            .shards(shards)
+            .network(network)
+            .compute(compute)
+            .build_sync(Box::new(FedAvg::new()));
         let history = e.run();
         // Every round: 4 uplinks transmitted, 3 accepted.
         assert!(history.records().iter().all(|r| r.contributors == 3));
@@ -403,15 +372,12 @@ mod tests {
             crate::faults::FaultKind::Dropout { period: 2 },
             0,
         );
-        let mut e = SyncEngine::with_parts(
-            cfg,
-            shards,
-            test,
-            Box::new(FedAvg::new()),
-            network,
-            compute,
-            faults,
-        );
+        let mut e = RuntimeBuilder::new(cfg, test)
+            .shards(shards)
+            .network(network)
+            .compute(compute)
+            .faults(faults)
+            .build_sync(Box::new(FedAvg::new()));
         e.run();
         // 4 clients × 4 rounds = 16 ideal; 2 dropout clients deliver in only
         // 2 of 4 rounds → 12 expected.

@@ -8,7 +8,8 @@
 //! schemes as engine-level options, so experiments can contrast
 //! static-compressed baselines against AdaFL's utility-adaptive rates.
 
-use adafl_compression::{dense_wire_size, top_k, ErrorFeedback, QsgdQuantizer, TernGrad};
+use crate::runtime::UpdatePayload;
+use adafl_compression::{top_k, ErrorFeedback, QsgdQuantizer, SparseUpdate, TernGrad};
 
 /// A fixed compression scheme applied to every uplink of every client.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,31 +74,27 @@ impl CompressorState {
         }
     }
 
-    /// Compresses `delta`, returning the dense decoding the server will
-    /// apply plus the wire size in bytes.
-    pub(crate) fn compress(&mut self, delta: &[f32]) -> (Vec<f32>, usize) {
+    /// Compresses `delta` into its typed wire form; the payload's
+    /// `encoded_len()` is what the ledger gets charged and its decoded
+    /// view is what the server will apply.
+    pub(crate) fn compress(&mut self, delta: &[f32]) -> UpdatePayload {
         match self {
-            CompressorState::None => (delta.to_vec(), dense_wire_size(delta.len())),
+            CompressorState::None => UpdatePayload::dense(delta.to_vec()),
             CompressorState::TopK { feedback, ratio } => {
                 let k = ((delta.len() as f32 / *ratio).round() as usize).max(1);
-                let mut wire = 0usize;
-                let sent = feedback.compress(delta, |g| {
+                // The error-feedback wrapper wants the dense decoding of
+                // what was sent; the sparse form itself is the payload.
+                let mut sent: Option<SparseUpdate> = None;
+                feedback.compress(delta, |g| {
                     let sparse = top_k(g, k);
-                    wire = sparse.wire_size();
-                    sparse.to_dense()
+                    let dense = sparse.to_dense();
+                    sent = Some(sparse);
+                    dense
                 });
-                (sent, wire)
+                UpdatePayload::Sparse(sent.expect("compressor closure always runs"))
             }
-            CompressorState::Qsgd(q) => {
-                let update = q.quantize(delta);
-                let wire = update.wire_size();
-                (update.to_dense(), wire)
-            }
-            CompressorState::Tern(t) => {
-                let update = t.ternarize(delta);
-                let wire = update.wire_size();
-                (update.to_dense(), wire)
-            }
+            CompressorState::Qsgd(q) => UpdatePayload::quantized(q.quantize(delta)),
+            CompressorState::Tern(t) => UpdatePayload::ternary(t.ternarize(delta)),
         }
     }
 }
@@ -105,6 +102,8 @@ impl CompressorState {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runtime::WireForm;
+    use adafl_compression::dense_wire_size;
 
     fn delta() -> Vec<f32> {
         (0..64).map(|i| ((i as f32) * 0.37).sin()).collect()
@@ -113,21 +112,23 @@ mod tests {
     #[test]
     fn none_is_identity_at_dense_cost() {
         let mut c = CompressorState::new(StaticCompression::None, 64, 0);
-        let (sent, wire) = c.compress(&delta());
-        assert_eq!(sent, delta());
-        assert_eq!(wire, dense_wire_size(64));
+        let payload = c.compress(&delta());
+        assert_eq!(payload.encoded_len(), dense_wire_size(64));
+        assert_eq!(payload.into_dense(), delta());
     }
 
     #[test]
     fn top_k_cuts_wire_size_and_keeps_mass_via_feedback() {
         let mut c = CompressorState::new(StaticCompression::TopK { ratio: 8.0 }, 64, 0);
-        let (sent1, wire) = c.compress(&delta());
-        assert!(wire < dense_wire_size(64) / 2);
+        let payload = c.compress(&delta());
+        assert_eq!(payload.form(), WireForm::Sparse);
+        assert!(payload.encoded_len() < dense_wire_size(64) / 2);
+        let sent1 = payload.into_dense();
         assert_eq!(sent1.iter().filter(|&&v| v != 0.0).count(), 8);
         // Feeding zeros drains the residual: eventually everything arrives.
         let mut total = sent1;
         for _ in 0..32 {
-            let (sent, _) = c.compress(&vec![0.0; 64]);
+            let sent = c.compress(&vec![0.0; 64]).into_dense();
             for (t, s) in total.iter_mut().zip(&sent) {
                 *t += s;
             }
@@ -139,14 +140,18 @@ mod tests {
 
     #[test]
     fn qsgd_and_terngrad_shrink_wire() {
-        for scheme in [
-            StaticCompression::Qsgd { levels: 8 },
-            StaticCompression::TernGrad,
+        for (scheme, form) in [
+            (StaticCompression::Qsgd { levels: 8 }, WireForm::Quantized),
+            (StaticCompression::TernGrad, WireForm::Ternary),
         ] {
             let mut c = CompressorState::new(scheme, 64, 1);
-            let (sent, wire) = c.compress(&delta());
-            assert_eq!(sent.len(), 64);
-            assert!(wire < dense_wire_size(64), "{scheme:?} did not compress");
+            let payload = c.compress(&delta());
+            assert_eq!(payload.form(), form);
+            assert!(
+                payload.encoded_len() < dense_wire_size(64),
+                "{scheme:?} did not compress"
+            );
+            assert_eq!(payload.into_dense().len(), 64);
         }
     }
 

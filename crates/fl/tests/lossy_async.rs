@@ -2,14 +2,12 @@
 //! must trigger resynchronisation rather than deadlock, and the run must
 //! still complete its update budget.
 
-#![allow(deprecated)] // constructor shims retained for one release
-
 use adafl_data::partition::Partitioner;
 use adafl_data::synthetic::SyntheticSpec;
 use adafl_fl::compute::ComputeModel;
-use adafl_fl::faults::FaultPlan;
 use adafl_fl::r#async::strategies::{FedAsync, FedBuff};
 use adafl_fl::r#async::AsyncEngine;
+use adafl_fl::runtime::RuntimeBuilder;
 use adafl_fl::FlConfig;
 use adafl_netsim::{ClientNetwork, LinkProfile, LinkSpec, LinkTrace, TraceKind};
 use adafl_nn::models::ModelSpec;
@@ -34,16 +32,12 @@ fn engine_with_network(network: ClientNetwork, budget: u64) -> AsyncEngine {
     let (train, test) = data.split_at(400);
     let cfg = config();
     let shards = Partitioner::Iid.split(&train, CLIENTS, cfg.seed_for("partition"));
-    AsyncEngine::with_parts(
-        cfg,
-        shards,
-        test,
-        Box::new(FedAsync::new(0.6, 0.5)),
-        network,
-        ComputeModel::uniform(CLIENTS, 0.05),
-        FaultPlan::reliable(CLIENTS),
-        budget,
-    )
+    RuntimeBuilder::new(cfg, test)
+        .shards(shards)
+        .network(network)
+        .compute(ComputeModel::uniform(CLIENTS, 0.05))
+        .update_budget(budget)
+        .build_async(Box::new(FedAsync::new(0.6, 0.5)))
 }
 
 #[test]
@@ -102,16 +96,12 @@ fn fedbuff_partial_buffer_never_updates_global() {
         vec![LinkTrace::constant(LinkProfile::Broadband.spec()); CLIENTS],
         1,
     );
-    let mut e = AsyncEngine::with_parts(
-        cfg,
-        shards,
-        test,
-        Box::new(FedBuff::new(10, 1.0)),
-        network,
-        ComputeModel::uniform(CLIENTS, 0.05),
-        FaultPlan::reliable(CLIENTS),
-        6, // fewer arrivals than the buffer needs
-    );
+    let mut e = RuntimeBuilder::new(cfg, test)
+        .shards(shards)
+        .network(network)
+        .compute(ComputeModel::uniform(CLIENTS, 0.05))
+        .update_budget(6) // fewer arrivals than the buffer needs
+        .build_async(Box::new(FedBuff::new(10, 1.0)));
     e.run();
     assert_eq!(e.version(), 0, "buffer flushed early");
 }

@@ -4,14 +4,13 @@
 //! defensive gate must keep a corrupting client from poisoning the global
 //! model.
 
-#![allow(deprecated)] // constructor shims retained for one release
-
 use adafl_data::partition::Partitioner;
 use adafl_data::synthetic::SyntheticSpec;
 use adafl_data::Dataset;
 use adafl_fl::compute::ComputeModel;
 use adafl_fl::defense::DefenseConfig;
 use adafl_fl::faults::{FaultKind, FaultPlan};
+use adafl_fl::runtime::RuntimeBuilder;
 use adafl_fl::sync::strategies::FedAvg;
 use adafl_fl::sync::SyncEngine;
 use adafl_fl::FlConfig;
@@ -57,15 +56,12 @@ fn engine(network: ClientNetwork, faults: FaultPlan) -> SyncEngine {
     let (train, test) = split();
     let cfg = config();
     let shards = Partitioner::Iid.split(&train, CLIENTS, cfg.seed_for("partition"));
-    SyncEngine::with_parts(
-        cfg,
-        shards,
-        test,
-        Box::new(FedAvg::new()),
-        network,
-        ComputeModel::uniform(CLIENTS, 0.05),
-        faults,
-    )
+    RuntimeBuilder::new(cfg, test)
+        .shards(shards)
+        .network(network)
+        .compute(ComputeModel::uniform(CLIENTS, 0.05))
+        .faults(faults)
+        .build_sync(Box::new(FedAvg::new()))
 }
 
 #[test]

@@ -31,6 +31,8 @@ pub const FL_CRASHES: &str = "fl.crashes";
 pub const FL_RECOVERIES: &str = "fl.recoveries";
 /// Updates corrupted in transit by the fault plan (counter).
 pub const FL_CORRUPTIONS: &str = "fl.corruptions";
+/// Arrived updates whose wire bytes failed to decode (counter).
+pub const FL_DECODE_REJECTIONS: &str = "fl.decode_rejections";
 /// Updates discarded by the round deadline (counter).
 pub const FL_DEADLINE_MISSES: &str = "fl.deadline_misses";
 /// Clients that halted after the async utility gate (counter).
@@ -87,6 +89,8 @@ pub const EVENT_CRASH: &str = "crash";
 pub const EVENT_RECOVERY: &str = "recovery";
 /// A fault corrupted an update in transit.
 pub const EVENT_CORRUPTION: &str = "corruption";
+/// An arrived update's wire bytes were rejected by the decoder.
+pub const EVENT_DECODE_REJECT: &str = "decode_reject";
 /// An update withheld by the fault plan.
 pub const EVENT_DROPOUT: &str = "dropout";
 /// An update discarded for missing the round deadline.

@@ -11,9 +11,24 @@
 
 #![warn(missing_docs)]
 
-/// Cases generated per property (upstream default is 256; kept lower
-/// because there is no shrinking and suites run in CI).
+/// Default cases generated per property (upstream default is 256; kept
+/// lower because there is no shrinking and suites run in CI).
 pub const CASES: usize = 64;
+
+/// Cases generated per property: the `PROPTEST_CASES` environment
+/// variable when set to a positive integer (CI's codec-robustness job
+/// cranks this up), otherwise [`CASES`]. Read once and cached, so every
+/// property in a test binary runs the same number of cases.
+pub fn cases() -> usize {
+    static FROM_ENV: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *FROM_ENV.get_or_init(|| {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(CASES)
+    })
+}
 
 /// How a single generated case ended.
 #[derive(Debug)]
@@ -169,8 +184,9 @@ pub mod prelude {
 }
 
 /// Declares property tests. Each `#[test] fn name(bindings in strategies)`
-/// item becomes a normal `#[test]` running [`CASES`](crate::CASES)
-/// deterministic cases.
+/// item becomes a normal `#[test]` running [`cases()`](crate::cases)
+/// deterministic cases ([`CASES`](crate::CASES) unless `PROPTEST_CASES`
+/// overrides it).
 #[macro_export]
 macro_rules! proptest {
     ($(
@@ -180,12 +196,13 @@ macro_rules! proptest {
         #[test]
         fn $name() {
             let mut rng = $crate::ShimRng::from_name(stringify!($name));
+            let cases = $crate::cases();
             let mut accepted = 0usize;
             let mut attempts = 0usize;
-            while accepted < $crate::CASES {
+            while accepted < cases {
                 attempts += 1;
                 assert!(
-                    attempts <= $crate::CASES * 50,
+                    attempts <= cases * 50,
                     "prop_assume! rejected too many inputs in `{}`",
                     stringify!($name),
                 );

@@ -2,7 +2,7 @@
 //! formats must round-trip through the protocol, and DGC-compressed
 //! training must approach dense training as compression lightens.
 
-use adafl_compression::{dense_wire_size, DgcCompressor, SparseUpdate};
+use adafl_compression::{dense_wire_size, DgcCompressor, SparseUpdate, WireCodec};
 use adafl_core::{AdaFlConfig, AdaFlSyncEngine};
 use adafl_data::partition::Partitioner;
 use adafl_data::synthetic::SyntheticSpec;

@@ -8,13 +8,12 @@
 //! * Q3 — the utility-score computation is negligible next to training.
 //! * Insight 1 — moderate dropout barely hurts synchronous FL.
 
-#![allow(deprecated)] // constructor shims retained for one release
-
 use adafl_core::{utility_score, AdaFlConfig, AdaFlSyncEngine, SimilarityMetric, UtilityInputs};
 use adafl_data::partition::Partitioner;
 use adafl_data::synthetic::SyntheticSpec;
 use adafl_data::Dataset;
 use adafl_fl::faults::{FaultKind, FaultPlan};
+use adafl_fl::runtime::RuntimeBuilder;
 use adafl_fl::sync::strategies::FedAvg;
 use adafl_fl::sync::SyncEngine;
 use adafl_fl::{FlClient, FlConfig};
@@ -141,15 +140,17 @@ fn insight1_moderate_dropout_barely_hurts() {
             vec![adafl_netsim::LinkTrace::constant(LinkProfile::Broadband.spec()); cfg.clients],
             1,
         );
-        let mut engine = SyncEngine::with_parts(
-            cfg.clone(),
-            shards,
-            test.clone(),
-            Box::new(FedAvg::new()),
-            network,
-            adafl_fl::compute::ComputeModel::uniform(cfg.clients, 0.1),
-            FaultPlan::with_fraction(cfg.clients, fraction, FaultKind::Dropout { period: 2 }, 3),
-        );
+        let mut engine = RuntimeBuilder::new(cfg.clone(), test.clone())
+            .shards(shards)
+            .network(network)
+            .compute(adafl_fl::compute::ComputeModel::uniform(cfg.clients, 0.1))
+            .faults(FaultPlan::with_fraction(
+                cfg.clients,
+                fraction,
+                FaultKind::Dropout { period: 2 },
+                3,
+            ))
+            .build_sync(Box::new(FedAvg::new()));
         engine.run().final_accuracy()
     };
     let clean = run(0.0);

@@ -1,8 +1,6 @@
 //! Cross-crate protocol invariants: communication accounting, fault
 //! arithmetic and timing properties that must hold for any strategy.
 
-#![allow(deprecated)] // constructor shims retained for one release
-
 use adafl_compression::dense_wire_size;
 use adafl_data::partition::Partitioner;
 use adafl_data::synthetic::SyntheticSpec;
@@ -10,9 +8,8 @@ use adafl_data::Dataset;
 use adafl_fl::compute::ComputeModel;
 use adafl_fl::faults::{FaultKind, FaultPlan};
 use adafl_fl::r#async::strategies::FedAsync;
-use adafl_fl::r#async::AsyncEngine;
+use adafl_fl::runtime::RuntimeBuilder;
 use adafl_fl::sync::strategies::FedAvg;
-use adafl_fl::sync::SyncEngine;
 use adafl_fl::FlConfig;
 use adafl_netsim::{ClientNetwork, LinkProfile, LinkSpec, LinkTrace};
 use adafl_nn::models::ModelSpec;
@@ -50,15 +47,11 @@ fn sync_bytes_equal_updates_times_dense_payload() {
     let (train, test) = task();
     let cfg = config(4);
     let shards = Partitioner::Iid.split(&train, CLIENTS, cfg.seed_for("partition"));
-    let mut engine = SyncEngine::with_parts(
-        cfg.clone(),
-        shards,
-        test,
-        Box::new(FedAvg::new()),
-        broadband(),
-        ComputeModel::uniform(CLIENTS, 0.1),
-        FaultPlan::reliable(CLIENTS),
-    );
+    let mut engine = RuntimeBuilder::new(cfg.clone(), test)
+        .shards(shards)
+        .network(broadband())
+        .compute(ComputeModel::uniform(CLIENTS, 0.1))
+        .build_sync(Box::new(FedAvg::new()));
     engine.run();
     let dense = dense_wire_size(engine.global_params().len()) as u64;
     let ledger = engine.ledger();
@@ -74,15 +67,12 @@ fn dropout_period_halves_faulty_clients_updates() {
     let cfg = config(8);
     let shards = Partitioner::Iid.split(&train, CLIENTS, cfg.seed_for("partition"));
     let faults = FaultPlan::with_fraction(CLIENTS, 0.5, FaultKind::Dropout { period: 2 }, 0);
-    let mut engine = SyncEngine::with_parts(
-        cfg,
-        shards,
-        test,
-        Box::new(FedAvg::new()),
-        broadband(),
-        ComputeModel::uniform(CLIENTS, 0.1),
-        faults,
-    );
+    let mut engine = RuntimeBuilder::new(cfg, test)
+        .shards(shards)
+        .network(broadband())
+        .compute(ComputeModel::uniform(CLIENTS, 0.1))
+        .faults(faults)
+        .build_sync(Box::new(FedAvg::new()));
     engine.run();
     let ledger = engine.ledger();
     // 3 reliable clients send 8×, 3 dropout clients send 4×.
@@ -103,15 +93,11 @@ fn sync_round_time_is_gated_by_slowest_participant() {
     let cfg = config(2);
     let shards = Partitioner::Iid.split(&train, CLIENTS, cfg.seed_for("partition"));
     let run_with_compute = |compute: ComputeModel| {
-        let mut engine = SyncEngine::with_parts(
-            cfg.clone(),
-            shards.clone(),
-            test.clone(),
-            Box::new(FedAvg::new()),
-            broadband(),
-            compute,
-            FaultPlan::reliable(CLIENTS),
-        );
+        let mut engine = RuntimeBuilder::new(cfg.clone(), test.clone())
+            .shards(shards.clone())
+            .network(broadband())
+            .compute(compute)
+            .build_sync(Box::new(FedAvg::new()));
         engine.run();
         engine.clock().seconds()
     };
@@ -131,15 +117,11 @@ fn constrained_uplinks_slow_the_simulated_clock() {
     let cfg = config(3);
     let shards = Partitioner::Iid.split(&train, CLIENTS, cfg.seed_for("partition"));
     let run_with_network = |network: ClientNetwork| {
-        let mut engine = SyncEngine::with_parts(
-            cfg.clone(),
-            shards.clone(),
-            test.clone(),
-            Box::new(FedAvg::new()),
-            network,
-            ComputeModel::uniform(CLIENTS, 0.01),
-            FaultPlan::reliable(CLIENTS),
-        );
+        let mut engine = RuntimeBuilder::new(cfg.clone(), test.clone())
+            .shards(shards.clone())
+            .network(network)
+            .compute(ComputeModel::uniform(CLIENTS, 0.01))
+            .build_sync(Box::new(FedAvg::new()));
         engine.run();
         engine.clock().seconds()
     };
@@ -177,16 +159,12 @@ fn staleness_hurts_more_than_dropout_in_async() {
     for c in 0..2 {
         stale_compute.scale_client(c, 6.0);
     }
-    let mut stale_engine = AsyncEngine::with_parts(
-        cfg.clone(),
-        shards.clone(),
-        test.clone(),
-        Box::new(FedAsync::new(0.6, 0.5)),
-        broadband(),
-        stale_compute,
-        FaultPlan::reliable(CLIENTS),
-        budget,
-    );
+    let mut stale_engine = RuntimeBuilder::new(cfg.clone(), test.clone())
+        .shards(shards.clone())
+        .network(broadband())
+        .compute(stale_compute)
+        .update_budget(budget)
+        .build_async(Box::new(FedAsync::new(0.6, 0.5)));
     let stale = stale_engine.run();
 
     // Dropout fleet: 40% of clients on links that lose half the updates.
@@ -194,16 +172,12 @@ fn staleness_hurts_more_than_dropout_in_async() {
     for t in traces.iter_mut().take(2) {
         *t = LinkTrace::constant(LinkSpec::new(2e6, 10e6, 0.01, 0.01, 0.5));
     }
-    let mut lossy_engine = AsyncEngine::with_parts(
-        cfg,
-        shards,
-        test,
-        Box::new(FedAsync::new(0.6, 0.5)),
-        ClientNetwork::new(traces, 3),
-        ComputeModel::uniform(CLIENTS, 0.1),
-        FaultPlan::reliable(CLIENTS),
-        budget,
-    );
+    let mut lossy_engine = RuntimeBuilder::new(cfg, test)
+        .shards(shards)
+        .network(ClientNetwork::new(traces, 3))
+        .compute(ComputeModel::uniform(CLIENTS, 0.1))
+        .update_budget(budget)
+        .build_async(Box::new(FedAsync::new(0.6, 0.5)));
     let lossy = lossy_engine.run();
 
     // Compare accuracy at the earlier of the two horizons.

@@ -3,15 +3,14 @@
 //! recover through checkpoints, and reliable transport must compose with
 //! adaptive selection without breaking determinism.
 
-#![allow(deprecated)] // constructor shims retained for one release
-
-use adafl_core::{AdaFlAsyncEngine, AdaFlConfig, AdaFlSyncEngine};
+use adafl_core::{AdaFlBuild, AdaFlConfig, AdaFlSyncEngine};
 use adafl_data::partition::Partitioner;
 use adafl_data::synthetic::SyntheticSpec;
 use adafl_data::Dataset;
 use adafl_fl::compute::ComputeModel;
 use adafl_fl::defense::DefenseConfig;
 use adafl_fl::faults::{FaultKind, FaultPlan};
+use adafl_fl::runtime::RuntimeBuilder;
 use adafl_fl::FlConfig;
 use adafl_netsim::{ClientNetwork, GilbertElliott, LinkProfile, LinkTrace, ReliablePolicy};
 use adafl_nn::models::ModelSpec;
@@ -57,15 +56,12 @@ fn sync_engine(network: ClientNetwork, faults: FaultPlan) -> AdaFlSyncEngine {
     let (train, test) = task();
     let cfg = fl_config();
     let shards = Partitioner::Iid.split(&train, CLIENTS, cfg.seed_for("partition"));
-    AdaFlSyncEngine::with_parts(
-        cfg,
-        ada_config(),
-        shards,
-        test,
-        network,
-        ComputeModel::uniform(CLIENTS, 0.05),
-        faults,
-    )
+    RuntimeBuilder::new(cfg, test)
+        .shards(shards)
+        .network(network)
+        .compute(ComputeModel::uniform(CLIENTS, 0.05))
+        .faults(faults)
+        .build_adafl_sync(&ada_config())
 }
 
 fn corrupt_plan() -> FaultPlan {
@@ -154,16 +150,13 @@ fn adafl_async_defense_gate_keeps_model_finite() {
     let (train, test) = task();
     let cfg = fl_config();
     let shards = Partitioner::Iid.split(&train, CLIENTS, cfg.seed_for("partition"));
-    let mut e = AdaFlAsyncEngine::with_parts(
-        cfg,
-        ada_config(),
-        shards,
-        test,
-        clean_network(1),
-        ComputeModel::uniform(CLIENTS, 0.05),
-        corrupt_plan(),
-        60,
-    );
+    let mut e = RuntimeBuilder::new(cfg, test)
+        .shards(shards)
+        .network(clean_network(1))
+        .compute(ComputeModel::uniform(CLIENTS, 0.05))
+        .faults(corrupt_plan())
+        .update_budget(60)
+        .build_adafl_async(&ada_config());
     e.set_defense(DefenseConfig::default());
     let rec = InMemoryRecorder::shared();
     e.set_recorder(rec.clone());
