@@ -72,8 +72,17 @@ fn main() {
     }
     let fl = builder.build();
 
+    let profile: adafl_netsim::LinkProfile = cfg
+        .constrained_profile
+        .parse()
+        .unwrap_or_else(|e| panic!("invalid config {path}: {e}"));
     let scenario = Scenario {
-        network: fleet::mixed_network(cfg.clients, cfg.constrained_fraction, cfg.seed),
+        network: fleet::mixed_network_with(
+            cfg.clients,
+            cfg.constrained_fraction,
+            profile,
+            cfg.seed,
+        ),
         compute: fleet::uniform_compute(cfg.clients, 0.1, cfg.seed),
         faults: FaultPlan::reliable(cfg.clients),
         ada: cfg.adafl.unwrap_or_default(),

@@ -48,6 +48,11 @@ pub struct ExperimentConfig {
     /// Fraction of the fleet on constrained (LPWAN-class) links.
     #[serde(default = "default_constrained")]
     pub constrained_fraction: f64,
+    /// Link profile of the constrained slice, by name (`broadband`,
+    /// `constrained`, `cellular`, `lossy`); parsed via
+    /// [`LinkProfile::from_str`](adafl_netsim::LinkProfile).
+    #[serde(default = "default_constrained_profile")]
+    pub constrained_profile: String,
     /// Async protocols: total server-received updates before stopping.
     #[serde(default = "default_budget")]
     pub update_budget: u64,
@@ -82,6 +87,9 @@ fn default_batch() -> usize {
 }
 fn default_constrained() -> f64 {
     0.3
+}
+fn default_constrained_profile() -> String {
+    adafl_netsim::LinkProfile::Constrained.as_str().to_string()
 }
 fn default_budget() -> u64 {
     400

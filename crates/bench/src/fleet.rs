@@ -3,7 +3,13 @@
 
 use adafl_fl::compute::ComputeModel;
 use adafl_fl::faults::{FaultKind, FaultPlan};
-use adafl_netsim::{ClientNetwork, GilbertElliott, LinkProfile, LinkTrace, TraceKind};
+use adafl_netsim::{
+    ClientNetwork, GilbertElliott, LinkProfile, LinkSpec, LinkTrace, MeshLayout, NodeRole, SimTime,
+    Topology, TraceKind,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
 
 /// A homogeneous broadband fleet (the paper's fixed-bandwidth evaluation
 /// setting for Tables I/II).
@@ -18,12 +24,29 @@ pub fn broadband_network(clients: usize, seed: u64) -> ClientNetwork {
 /// on constrained, time-varying links (random-walk congestion), the rest on
 /// broadband — the heterogeneity AdaFL's bandwidth term keys on.
 pub fn mixed_network(clients: usize, constrained_fraction: f64, seed: u64) -> ClientNetwork {
+    mixed_network_with(
+        clients,
+        constrained_fraction,
+        LinkProfile::Constrained,
+        seed,
+    )
+}
+
+/// [`mixed_network`] with an explicit device class for the constrained
+/// slice, so config files can name any [`LinkProfile`] (parsed with its
+/// `FromStr`) instead of hard-coding LPWAN.
+pub fn mixed_network_with(
+    clients: usize,
+    constrained_fraction: f64,
+    profile: LinkProfile,
+    seed: u64,
+) -> ClientNetwork {
     let n_constrained = (clients as f64 * constrained_fraction).round() as usize;
     let traces: Vec<LinkTrace> = (0..clients)
         .map(|c| {
             if c < n_constrained {
                 LinkTrace::new(
-                    LinkProfile::Constrained.spec(),
+                    profile.spec(),
                     TraceKind::RandomWalk {
                         step: 5.0,
                         min_scale: 0.3,
@@ -130,6 +153,313 @@ pub fn chaos_plan(
     FaultPlan::new(kinds, seed)
 }
 
+/// The per-hop link used by the mesh generators: a symmetric
+/// constrained-class radio hop with *no* random loss, so mesh benchmarks
+/// isolate routing and failure effects from stochastic drops.
+pub fn mesh_hop_spec() -> LinkSpec {
+    LinkSpec::new(2.0e6, 2.0e6, 0.02, 0.02, 0.0)
+}
+
+/// A line mesh: the server at one end, `clients` client nodes chained
+/// behind it. Client `i` relays for every client past it, so the farthest
+/// node crosses `i + 1` hops — the simplest multi-hop stress.
+///
+/// # Panics
+///
+/// Panics when `clients` is zero.
+pub fn line_mesh(clients: usize, hop: LinkSpec) -> MeshLayout {
+    assert!(clients > 0, "line mesh needs at least one client");
+    let mut topo = Topology::new();
+    let server = topo.add_node(NodeRole::Server);
+    let mut ids = Vec::with_capacity(clients);
+    let mut prev = server;
+    for _ in 0..clients {
+        let c = topo.add_node(NodeRole::Client);
+        topo.add_duplex_link(prev, c, hop);
+        ids.push(c);
+        prev = c;
+    }
+    MeshLayout {
+        topology: topo,
+        clients: ids,
+        server,
+    }
+}
+
+/// A ring mesh: the server plus `clients` clients around a cycle, with a
+/// relay between each adjacent pair. Every client has two disjoint paths
+/// to the server (clockwise and counter-clockwise), so a single relay
+/// outage is always routable around — the textbook rerouting fixture.
+///
+/// # Panics
+///
+/// Panics when `clients` is zero.
+pub fn ring_mesh(clients: usize, hop: LinkSpec) -> MeshLayout {
+    assert!(clients > 0, "ring mesh needs at least one client");
+    let mut topo = Topology::new();
+    let server = topo.add_node(NodeRole::Server);
+    let mut ids = Vec::with_capacity(clients);
+    let mut prev = server;
+    for _ in 0..clients {
+        let relay = topo.add_node(NodeRole::Relay);
+        let client = topo.add_node(NodeRole::Client);
+        topo.add_duplex_link(prev, relay, hop);
+        topo.add_duplex_link(relay, client, hop);
+        ids.push(client);
+        prev = client;
+    }
+    // Close the cycle back into the server through one last relay.
+    let relay = topo.add_node(NodeRole::Relay);
+    topo.add_duplex_link(prev, relay, hop);
+    topo.add_duplex_link(relay, server, hop);
+    MeshLayout {
+        topology: topo,
+        clients: ids,
+        server,
+    }
+}
+
+/// A `width × height` grid mesh with 4-neighbour duplex links: the server
+/// in the corner at `(0, 0)`, relays on the interior cells, clients on the
+/// remaining border cells. Interior relays carry the short diagonal-ish
+/// routes; when they fail, traffic must detour along the client border.
+///
+/// # Panics
+///
+/// Panics when either dimension is below 3 (no interior would exist).
+pub fn grid_mesh(width: usize, height: usize, hop: LinkSpec) -> MeshLayout {
+    assert!(
+        width >= 3 && height >= 3,
+        "grid mesh needs at least a 3x3 footprint"
+    );
+    let mut topo = Topology::new();
+    let mut ids = Vec::new();
+    let mut server = 0;
+    for y in 0..height {
+        for x in 0..width {
+            let interior = x > 0 && x < width - 1 && y > 0 && y < height - 1;
+            let role = if (x, y) == (0, 0) {
+                NodeRole::Server
+            } else if interior {
+                NodeRole::Relay
+            } else {
+                NodeRole::Client
+            };
+            let id = topo.add_node(role);
+            match role {
+                NodeRole::Server => server = id,
+                NodeRole::Client => ids.push(id),
+                NodeRole::Relay => {}
+            }
+            // Link each cell to its already-created west and north
+            // neighbours; every adjacency is created exactly once.
+            if x > 0 {
+                topo.add_duplex_link(id - 1, id, hop);
+            }
+            if y > 0 {
+                topo.add_duplex_link(id - width, id, hop);
+            }
+        }
+    }
+    MeshLayout {
+        topology: topo,
+        clients: ids,
+        server,
+    }
+}
+
+/// A random geometric mesh: the server at the centre of the unit square,
+/// `relays` relays and `clients` clients placed uniformly at random, and a
+/// duplex link between every pair within `radius`. Per-hop latency scales
+/// with Euclidean distance, so the cost-aware planner has real gradients
+/// to optimise. Nodes with no neighbour in range are linked to their
+/// nearest earlier node, which guarantees a connected graph at any radius.
+/// Fully determined by `seed`.
+///
+/// # Panics
+///
+/// Panics when `clients` is zero or `radius` is not positive.
+pub fn random_geometric_mesh(
+    clients: usize,
+    relays: usize,
+    radius: f64,
+    hop: LinkSpec,
+    seed: u64,
+) -> MeshLayout {
+    assert!(
+        clients > 0,
+        "random geometric mesh needs at least one client"
+    );
+    assert!(radius > 0.0, "connection radius must be positive");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4745_4F4D); // "GEOM"
+    let mut topo = Topology::new();
+    let server = topo.add_node(NodeRole::Server);
+    let mut positions: Vec<(f64, f64)> = vec![(0.5, 0.5)];
+    let mut ids = Vec::with_capacity(clients);
+    for i in 0..relays + clients {
+        let role = if i < relays {
+            NodeRole::Relay
+        } else {
+            NodeRole::Client
+        };
+        let id = topo.add_node(role);
+        if role == NodeRole::Client {
+            ids.push(id);
+        }
+        let pos = (rng.gen::<f64>(), rng.gen::<f64>());
+        let mut linked = false;
+        let mut nearest = (0usize, f64::INFINITY);
+        for (other, &opos) in positions.iter().enumerate() {
+            let dist = ((pos.0 - opos.0).powi(2) + (pos.1 - opos.1).powi(2)).sqrt();
+            if dist < nearest.1 {
+                nearest = (other, dist);
+            }
+            if dist <= radius {
+                topo.add_duplex_link(other, id, scaled_hop(hop, dist, radius));
+                linked = true;
+            }
+        }
+        if !linked {
+            topo.add_duplex_link(nearest.0, id, scaled_hop(hop, nearest.1, radius));
+        }
+        positions.push(pos);
+    }
+    MeshLayout {
+        topology: topo,
+        clients: ids,
+        server,
+    }
+}
+
+/// A dual-homed access mesh: every client reaches the server through a
+/// fast *primary* relay and a slow *backup* relay, with clients spread
+/// round-robin across `relays` of each kind. Primary relays are node ids
+/// `1..=relays`, backups `relays+1..=2*relays`.
+///
+/// Both routes are two hops, so the naive hop-count planner settles the
+/// tie by link insertion order — the primary, inserted first — and keeps
+/// it forever; the cost-aware planner picks the primary for its lower
+/// cost and re-plans onto the backup when the primary fails. That makes
+/// this the canonical fixture for naive-vs-dynamic failure sweeps: every
+/// primary outage is survivable, but only re-routing survives it.
+///
+/// # Panics
+///
+/// Panics when `clients` or `relays` is zero.
+pub fn dual_homed_mesh(
+    clients: usize,
+    relays: usize,
+    primary_hop: LinkSpec,
+    backup_hop: LinkSpec,
+) -> MeshLayout {
+    assert!(clients > 0, "dual-homed mesh needs at least one client");
+    assert!(relays > 0, "dual-homed mesh needs at least one relay pair");
+    let mut topo = Topology::new();
+    let server = topo.add_node(NodeRole::Server);
+    let primaries: Vec<usize> = (0..relays)
+        .map(|_| topo.add_node(NodeRole::Relay))
+        .collect();
+    let backups: Vec<usize> = (0..relays)
+        .map(|_| topo.add_node(NodeRole::Relay))
+        .collect();
+    for &r in &primaries {
+        topo.add_duplex_link(r, server, primary_hop);
+    }
+    for &r in &backups {
+        topo.add_duplex_link(r, server, backup_hop);
+    }
+    let mut ids = Vec::with_capacity(clients);
+    for i in 0..clients {
+        let c = topo.add_node(NodeRole::Client);
+        // Primary first: the naive planner's tie-break depends on it.
+        topo.add_duplex_link(c, primaries[i % relays], primary_hop);
+        topo.add_duplex_link(c, backups[i % relays], backup_hop);
+        ids.push(c);
+    }
+    MeshLayout {
+        topology: topo,
+        clients: ids,
+        server,
+    }
+}
+
+/// Scales a hop's latencies by how much of the connection radius the link
+/// spans (floored at a quarter of the base latency for near-zero spans).
+fn scaled_hop(hop: LinkSpec, dist: f64, radius: f64) -> LinkSpec {
+    let scale = (dist / radius).max(0.25);
+    LinkSpec::new(
+        hop.uplink_bandwidth(),
+        hop.downlink_bandwidth(),
+        hop.uplink_latency() * scale,
+        hop.downlink_latency() * scale,
+        hop.drop_prob(),
+    )
+}
+
+/// Schedules an outage for a seeded random sample of the layout's relays:
+/// `intensity` is the fraction of relays that go down at `down_at`
+/// seconds; each recovers at `up_at` seconds when given, or stays down for
+/// the rest of the run. Returns the failed relay node ids (in failure
+/// order) so benchmarks can report them.
+///
+/// # Panics
+///
+/// Panics when `intensity` is outside `[0, 1]` or a recovery time does not
+/// come after the outage.
+pub fn schedule_relay_outages(
+    layout: &mut MeshLayout,
+    intensity: f64,
+    down_at: f64,
+    up_at: Option<f64>,
+    seed: u64,
+) -> Vec<usize> {
+    let relays: Vec<usize> = (0..layout.topology.nodes())
+        .filter(|&n| layout.topology.role(n) == NodeRole::Relay)
+        .collect();
+    schedule_outages_among(layout, &relays, intensity, down_at, up_at, seed)
+}
+
+/// [`schedule_relay_outages`] over an explicit candidate set, for sweeps
+/// that target a subset of the fleet (e.g. only the primary relays of a
+/// [`dual_homed_mesh`]).
+///
+/// # Panics
+///
+/// Panics when `intensity` is outside `[0, 1]` or a recovery time does not
+/// come after the outage.
+pub fn schedule_outages_among(
+    layout: &mut MeshLayout,
+    candidates: &[usize],
+    intensity: f64,
+    down_at: f64,
+    up_at: Option<f64>,
+    seed: u64,
+) -> Vec<usize> {
+    assert!(
+        (0.0..=1.0).contains(&intensity),
+        "outage intensity must be in [0, 1]"
+    );
+    if let Some(up) = up_at {
+        assert!(up > down_at, "recovery must come after the outage");
+    }
+    let mut chosen = candidates.to_vec();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4F55_5441); // "OUTA"
+    chosen.shuffle(&mut rng);
+    let n_down = (chosen.len() as f64 * intensity).round() as usize;
+    chosen.truncate(n_down);
+    for &node in &chosen {
+        layout
+            .topology
+            .schedule_node_down(SimTime::from_seconds(down_at), node);
+        if let Some(up) = up_at {
+            layout
+                .topology
+                .schedule_node_up(SimTime::from_seconds(up), node);
+        }
+    }
+    chosen
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,5 +505,111 @@ mod tests {
         let cm = uniform_compute(4, 0.1, 1);
         let t = cm.training_time(0, 10).seconds();
         assert!((0.9..=1.1).contains(&t));
+    }
+
+    fn every_client_routable(layout: &MeshLayout) {
+        use adafl_netsim::{RoutePlanner, StaticShortestPath, TransferDirection};
+        for &c in &layout.clients {
+            let route = StaticShortestPath.plan(
+                &layout.topology,
+                c,
+                layout.server,
+                TransferDirection::Uplink,
+            );
+            assert!(route.is_some(), "client {c} cannot reach the server");
+        }
+    }
+
+    #[test]
+    fn generated_meshes_are_connected() {
+        every_client_routable(&line_mesh(5, mesh_hop_spec()));
+        every_client_routable(&ring_mesh(6, mesh_hop_spec()));
+        every_client_routable(&grid_mesh(5, 4, mesh_hop_spec()));
+        every_client_routable(&random_geometric_mesh(8, 4, 0.12, mesh_hop_spec(), 7));
+    }
+
+    #[test]
+    fn dual_homed_planners_split_on_the_primary() {
+        use adafl_netsim::{
+            CostAwareDijkstra, RoutePlanner, StaticShortestPath, TransferDirection,
+        };
+        let fast = LinkSpec::new(4.0e6, 4.0e6, 0.01, 0.01, 0.0);
+        let slow = LinkSpec::new(0.5e6, 0.5e6, 0.08, 0.08, 0.0);
+        let layout = dual_homed_mesh(6, 3, fast, slow);
+        every_client_routable(&layout);
+        let client = layout.clients[0];
+        let via = |route: Vec<usize>| layout.topology.link(route[0]).dst();
+        let bfs = StaticShortestPath
+            .plan(
+                &layout.topology,
+                client,
+                layout.server,
+                TransferDirection::Uplink,
+            )
+            .unwrap();
+        let dijkstra = CostAwareDijkstra::default()
+            .plan(
+                &layout.topology,
+                client,
+                layout.server,
+                TransferDirection::Uplink,
+            )
+            .unwrap();
+        // Both settle on the primary relay (node 1 serves client 0) while
+        // it is up; failure sweeps rely on that shared starting point.
+        assert_eq!(via(bfs), 1);
+        assert_eq!(via(dijkstra), 1);
+    }
+
+    #[test]
+    fn grid_mesh_splits_roles_by_position() {
+        let layout = grid_mesh(5, 4, mesh_hop_spec());
+        let topo = &layout.topology;
+        assert_eq!(topo.nodes(), 20);
+        let relays = (0..topo.nodes())
+            .filter(|&n| topo.role(n) == NodeRole::Relay)
+            .count();
+        assert_eq!(relays, 6); // 3x2 interior
+        assert_eq!(layout.clients.len(), 13); // border minus the server
+        assert_eq!(topo.role(layout.server), NodeRole::Server);
+    }
+
+    #[test]
+    fn random_geometric_mesh_is_seed_deterministic() {
+        let a = random_geometric_mesh(8, 4, 0.3, mesh_hop_spec(), 9);
+        let b = random_geometric_mesh(8, 4, 0.3, mesh_hop_spec(), 9);
+        assert_eq!(a.topology.links(), b.topology.links());
+        for l in 0..a.topology.links() {
+            assert_eq!(a.topology.link(l).spec(), b.topology.link(l).spec());
+        }
+        let c = random_geometric_mesh(8, 4, 0.3, mesh_hop_spec(), 10);
+        let specs = |layout: &MeshLayout| {
+            (0..layout.topology.links())
+                .map(|l| layout.topology.link(l).spec().uplink_latency())
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(specs(&a), specs(&c), "different seeds, identical layout");
+    }
+
+    #[test]
+    fn relay_outages_honor_the_intensity_fraction() {
+        let mut layout = grid_mesh(5, 4, mesh_hop_spec());
+        let failed = schedule_relay_outages(&mut layout, 0.5, 10.0, Some(20.0), 3);
+        assert_eq!(failed.len(), 3); // half of the six relays
+        layout.topology.advance_to(SimTime::from_seconds(10.0));
+        for &n in &failed {
+            assert!(!layout.topology.node_up(n));
+        }
+        layout.topology.advance_to(SimTime::from_seconds(20.0));
+        for &n in &failed {
+            assert!(layout.topology.node_up(n));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "recovery must come after the outage")]
+    fn outage_recovery_before_failure_panics() {
+        let mut layout = grid_mesh(3, 3, mesh_hop_spec());
+        schedule_relay_outages(&mut layout, 1.0, 10.0, Some(5.0), 0);
     }
 }

@@ -27,6 +27,12 @@ fn every_checked_in_config_deserializes() {
             cfg.protocol
         );
         assert!(!cfg.strategy.is_empty());
+        let profile: adafl_netsim::LinkProfile = cfg
+            .constrained_profile
+            .parse()
+            .unwrap_or_else(|e| panic!("{path:?} names an unknown link profile: {e}"));
+        // The name round-trips, so re-serialized configs stay stable.
+        assert_eq!(profile.as_str(), cfg.constrained_profile);
         seen += 1;
     }
     assert!(
@@ -49,6 +55,11 @@ fn schema_defaults_fill_missing_fields() {
     assert_eq!(cfg.seed, 42);
     assert!(cfg.adafl.is_none());
     assert!(cfg.learning_rate.is_none());
+    assert_eq!(cfg.constrained_profile, "constrained");
+    assert_eq!(
+        cfg.constrained_profile.parse::<adafl_netsim::LinkProfile>(),
+        Ok(adafl_netsim::LinkProfile::Constrained)
+    );
 }
 
 #[test]

@@ -26,6 +26,8 @@ pub struct CommunicationLedger {
     control_messages: Vec<u64>,
     retrans_bytes: Vec<u64>,
     retransmissions: Vec<u64>,
+    relay_bytes: Vec<u64>,
+    relay_messages: Vec<u64>,
 }
 
 impl CommunicationLedger {
@@ -40,6 +42,8 @@ impl CommunicationLedger {
             control_messages: vec![0; clients],
             retrans_bytes: vec![0; clients],
             retransmissions: vec![0; clients],
+            relay_bytes: vec![0; clients],
+            relay_messages: vec![0; clients],
         }
     }
 
@@ -95,6 +99,31 @@ impl CommunicationLedger {
         self.retransmissions[client] += 1;
     }
 
+    /// Records payload bytes forwarded by mesh relays on `client`'s
+    /// behalf: every hop beyond the client's (or server's) own first hop
+    /// re-transmits the payload, and those bytes are real radio traffic.
+    /// Relay traffic counts toward byte totals but never toward update
+    /// counts — the payload's own `record_uplink`/`record_downlink` entry
+    /// covers the update. Always zero on star topologies.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `client` is out of bounds.
+    pub fn record_relay(&mut self, client: usize, bytes: usize) {
+        self.relay_bytes[client] += bytes as u64;
+        self.relay_messages[client] += 1;
+    }
+
+    /// Total bytes forwarded by mesh relays across clients.
+    pub fn relay_bytes(&self) -> u64 {
+        self.relay_bytes.iter().sum()
+    }
+
+    /// Total relay-charge entries across clients.
+    pub fn relay_messages(&self) -> u64 {
+        self.relay_messages.iter().sum()
+    }
+
     /// Total payload bytes wasted on lost attempts across clients.
     pub fn retransmission_bytes(&self) -> u64 {
         self.retrans_bytes.iter().sum()
@@ -120,10 +149,11 @@ impl CommunicationLedger {
         self.up_bytes.iter().sum()
     }
 
-    /// Total bytes in both directions plus control traffic and
-    /// retransmission waste — the full communication bill.
+    /// Total bytes in both directions plus control traffic,
+    /// retransmission waste and relay forwarding — the full
+    /// communication bill.
     pub fn total_bytes_with_control(&self) -> u64 {
-        self.total_bytes() + self.control_bytes() + self.retransmission_bytes()
+        self.total_bytes() + self.control_bytes() + self.retransmission_bytes() + self.relay_bytes()
     }
 
     /// Total downlink bytes across clients.
@@ -222,6 +252,18 @@ mod tests {
         assert_eq!(l.retransmission_bytes(), 2000);
         assert_eq!(l.total_bytes(), 1000);
         assert_eq!(l.total_bytes_with_control(), 3016);
+    }
+
+    #[test]
+    fn relay_traffic_counts_bytes_but_not_updates() {
+        let mut l = CommunicationLedger::new(2);
+        l.record_uplink(0, 1000);
+        l.record_relay(0, 2000); // two relay hops' worth
+        assert_eq!(l.uplink_updates(), 1);
+        assert_eq!(l.relay_messages(), 1);
+        assert_eq!(l.relay_bytes(), 2000);
+        assert_eq!(l.total_bytes(), 1000);
+        assert_eq!(l.total_bytes_with_control(), 3000);
     }
 
     #[test]

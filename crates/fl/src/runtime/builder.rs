@@ -25,7 +25,7 @@ use crate::r#async::{AsyncEngine, AsyncStrategy};
 use crate::sync::{StaticCompression, SyncEngine, SyncStrategy};
 use adafl_data::partition::Partitioner;
 use adafl_data::Dataset;
-use adafl_netsim::{ClientNetwork, LinkProfile, LinkTrace, ReliablePolicy};
+use adafl_netsim::{ClientNetwork, FleetNetwork, LinkProfile, LinkTrace, ReliablePolicy};
 use adafl_telemetry::SharedRecorder;
 
 /// Gathers scenario parts once, then builds any protocol flavour.
@@ -34,7 +34,7 @@ pub struct RuntimeBuilder {
     fl: FlConfig,
     test_set: Dataset,
     shards: Option<Vec<Dataset>>,
-    network: Option<ClientNetwork>,
+    network: Option<FleetNetwork>,
     compute: Option<ComputeModel>,
     faults: Option<FaultPlan>,
     retry: Option<ReliablePolicy>,
@@ -80,10 +80,11 @@ impl RuntimeBuilder {
         self.shards(shards)
     }
 
-    /// Uses an explicit network (default: homogeneous broadband seeded
-    /// `seed_for("network")`).
-    pub fn network(mut self, network: ClientNetwork) -> Self {
-        self.network = Some(network);
+    /// Uses an explicit network — a star [`ClientNetwork`] or a mesh
+    /// [`adafl_netsim::MeshNetwork`] (default: homogeneous broadband star
+    /// seeded `seed_for("network")`).
+    pub fn network(mut self, network: impl Into<FleetNetwork>) -> Self {
+        self.network = Some(network.into());
         self
     }
 
@@ -130,7 +131,7 @@ impl RuntimeBuilder {
         self
     }
 
-    fn take_parts(&mut self) -> (Vec<Dataset>, ClientNetwork, ComputeModel, FaultPlan) {
+    fn take_parts(&mut self) -> (Vec<Dataset>, FleetNetwork, ComputeModel, FaultPlan) {
         let shards = self
             .shards
             .take()
@@ -140,6 +141,7 @@ impl RuntimeBuilder {
                 vec![LinkTrace::constant(LinkProfile::Broadband.spec()); self.fl.clients],
                 self.fl.seed_for("network"),
             )
+            .into()
         });
         let compute = self
             .compute

@@ -19,7 +19,7 @@ use crate::ledger::CommunicationLedger;
 use crate::runtime::payload::UpdatePayload;
 use adafl_compression::DecodeError;
 use adafl_data::Dataset;
-use adafl_netsim::{ClientNetwork, EventQueue, ReliablePolicy, SimTime};
+use adafl_netsim::{EventQueue, FleetNetwork, ReliablePolicy, SimTime};
 use adafl_telemetry::{names, EventRecord, SharedRecorder, SpanRecord};
 
 #[derive(Debug)]
@@ -76,13 +76,14 @@ impl AsyncRuntime {
         config: FlConfig,
         shards: Vec<Dataset>,
         test_set: Dataset,
-        network: ClientNetwork,
+        network: impl Into<FleetNetwork>,
         mut compute: ComputeModel,
         faults: FaultPlan,
         update_budget: u64,
         mut policy: Box<dyn AsyncPolicy>,
     ) -> Self {
         assert_eq!(shards.len(), config.clients, "shard count mismatch");
+        let network = network.into();
         assert_eq!(network.len(), config.clients, "network size mismatch");
         assert_eq!(
             compute.clients(),

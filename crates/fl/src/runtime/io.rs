@@ -15,10 +15,15 @@
 //!   client hears it), while the *asynchronous* protocol charges only on
 //!   delivery — callers pick via `charge_lost_send`. This asymmetry is
 //!   pinned by the golden traces and documented by the ledger-audit tests.
+//! * **Mesh relays**: after every transfer, relay bytes the mesh
+//!   accumulated (hops beyond the sender's own first hop, across all
+//!   retransmission attempts) are charged via
+//!   [`CommunicationLedger::record_relay`]. Stars accumulate none, so
+//!   star ledgers are unchanged byte for byte.
 
 use super::payload::UpdatePayload;
 use crate::ledger::CommunicationLedger;
-use adafl_netsim::{ClientNetwork, ReliablePolicy, ReliableTransfer, SimTime};
+use adafl_netsim::{FleetNetwork, ReliablePolicy, ReliableTransfer, SimTime};
 use adafl_telemetry::SharedRecorder;
 
 /// Outcome of driving one transfer through [`RoundIo`].
@@ -36,17 +41,17 @@ pub struct Delivery {
 /// protocol flavour.
 #[derive(Debug)]
 pub struct RoundIo {
-    network: ClientNetwork,
+    network: FleetNetwork,
     ledger: CommunicationLedger,
     transport: Option<ReliableTransfer>,
 }
 
 impl RoundIo {
-    /// Wraps a network and a fresh ledger; fire-and-forget until
-    /// [`RoundIo::set_retry_policy`] installs reliable transport.
-    pub fn new(network: ClientNetwork, clients: usize) -> Self {
+    /// Wraps a network (star or mesh) and a fresh ledger; fire-and-forget
+    /// until [`RoundIo::set_retry_policy`] installs reliable transport.
+    pub fn new(network: impl Into<FleetNetwork>, clients: usize) -> Self {
         RoundIo {
-            network,
+            network: network.into(),
             ledger: CommunicationLedger::new(clients),
             transport: None,
         }
@@ -63,9 +68,21 @@ impl RoundIo {
         &mut self.ledger
     }
 
-    /// The simulated network (e.g. for [`ClientNetwork::link_at`] probes).
-    pub fn network(&self) -> &ClientNetwork {
+    /// The simulated network (e.g. for [`FleetNetwork::link_at`] probes).
+    pub fn network(&self) -> &FleetNetwork {
         &self.network
+    }
+
+    /// Drains relay bytes the mesh accumulated for the transfer that just
+    /// ran — including every retransmission attempt the reliable
+    /// transport made — and charges them to `client`. A star never
+    /// accumulates any, so this is a no-op there and the ledger stays
+    /// byte-identical to the pre-mesh accounting.
+    fn charge_relays(&mut self, client: usize) {
+        let relayed = self.network.take_relay_bytes();
+        if relayed > 0 {
+            self.ledger.record_relay(client, relayed as usize);
+        }
     }
 
     /// Wires a recorder into the network and any installed transport.
@@ -100,7 +117,7 @@ impl RoundIo {
         now: SimTime,
         charge_lost_send: bool,
     ) -> Delivery {
-        match &mut self.transport {
+        let delivery = match &mut self.transport {
             Some(t) => {
                 let report = t.downlink(&mut self.network, client, bytes, now);
                 if report.delivered() {
@@ -130,7 +147,9 @@ impl RoundIo {
                     sender_done: now + SimTime::from_seconds(1.0),
                 }
             }
-        }
+        };
+        self.charge_relays(client);
+        delivery
     }
 
     /// Client→server transfer of one update payload. The ledger charge is
@@ -147,7 +166,7 @@ impl RoundIo {
 
     /// Client→server transfer; fire-and-forget charges only on delivery.
     pub fn uplink(&mut self, client: usize, bytes: usize, now: SimTime) -> Delivery {
-        match &mut self.transport {
+        let delivery = match &mut self.transport {
             Some(t) => {
                 let report = t.uplink(&mut self.network, client, bytes, now);
                 if report.delivered() {
@@ -177,14 +196,19 @@ impl RoundIo {
                     sender_done: now + SimTime::from_seconds(1.0),
                 }
             }
-        }
+        };
+        self.charge_relays(client);
+        delivery
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adafl_netsim::{LinkProfile, LinkSpec, LinkTrace};
+    use adafl_netsim::graph::{NodeRole, Topology};
+    use adafl_netsim::{
+        ClientNetwork, CostAwareDijkstra, LinkProfile, LinkSpec, LinkTrace, MeshLayout,
+    };
 
     fn lossless_io(clients: usize) -> RoundIo {
         let network = ClientNetwork::new(
@@ -252,6 +276,72 @@ mod tests {
         let u = io.uplink_update(0, &payload, SimTime::ZERO);
         assert!(u.arrival.is_some());
         assert_eq!(io.ledger().uplink_bytes() as usize, payload.encode().len());
+    }
+
+    /// client — relay — server chain behind a [`RoundIo`].
+    fn mesh_io(drop_prob: f64) -> RoundIo {
+        let mut topo = Topology::new();
+        let server = topo.add_node(NodeRole::Server);
+        let relay = topo.add_node(NodeRole::Relay);
+        let client = topo.add_node(NodeRole::Client);
+        let spec = LinkSpec::new(1000.0, 1000.0, 0.1, 0.1, drop_prob);
+        topo.add_duplex_link(client, relay, spec);
+        topo.add_duplex_link(relay, server, spec);
+        let layout = MeshLayout {
+            topology: topo,
+            clients: vec![client],
+            server,
+        };
+        RoundIo::new(
+            layout.into_network(Box::new(CostAwareDijkstra::default()), 7),
+            1,
+        )
+    }
+
+    #[test]
+    fn mesh_transfers_charge_relay_hops() {
+        let mut io = mesh_io(0.0);
+        let u = io.uplink(0, 1000, SimTime::ZERO);
+        assert!(u.arrival.is_some());
+        let d = io.downlink(0, 500, SimTime::ZERO, false);
+        assert!(d.arrival.is_some());
+        // Two hops each way: one relay hop per transfer.
+        assert_eq!(io.ledger().uplink_bytes(), 1000);
+        assert_eq!(io.ledger().downlink_bytes(), 500);
+        assert_eq!(io.ledger().relay_bytes(), 1500);
+        assert_eq!(io.ledger().relay_messages(), 2);
+        assert_eq!(io.ledger().total_bytes_with_control(), 3000);
+    }
+
+    #[test]
+    fn mesh_relay_charges_cover_reliable_retries() {
+        // Lossy mesh + retry transport: every attempt that cleared the
+        // first hop also cost the relay a transmission, and the ledger
+        // must see all of them, not just the final successful attempt's.
+        let mut io = mesh_io(0.3);
+        io.set_retry_policy(ReliablePolicy::default(), 3, adafl_telemetry::noop());
+        let mut attempts_with_relay = 0;
+        for i in 0..50 {
+            let before = io.ledger().relay_bytes();
+            io.uplink(0, 100, SimTime::from_seconds(i as f64 * 100.0));
+            attempts_with_relay += ((io.ledger().relay_bytes() - before) / 100) as usize;
+        }
+        let delivered = io.ledger().uplink_updates() as usize;
+        assert!(
+            attempts_with_relay >= delivered,
+            "relay hops ({attempts_with_relay}) must cover at least every \
+             delivered transfer ({delivered})"
+        );
+        assert!(io.ledger().relay_bytes() > 0);
+    }
+
+    #[test]
+    fn star_ledgers_never_record_relay_traffic() {
+        let mut io = lossless_io(1);
+        io.uplink(0, 1000, SimTime::ZERO);
+        io.downlink(0, 1000, SimTime::ZERO, true);
+        assert_eq!(io.ledger().relay_bytes(), 0);
+        assert_eq!(io.ledger().relay_messages(), 0);
     }
 
     #[test]

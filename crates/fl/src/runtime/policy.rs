@@ -22,7 +22,7 @@ use super::io::RoundIo;
 use super::payload::{RoundUpdate, UpdatePayload};
 use crate::client::{FlClient, LocalOutcome};
 use crate::config::FlConfig;
-use adafl_netsim::{ClientNetwork, SimTime};
+use adafl_netsim::{FleetNetwork, SimTime};
 use adafl_telemetry::{SharedRecorder, SpanRecord};
 use std::fmt;
 
@@ -161,8 +161,8 @@ pub struct AsyncUploadCtx<'a> {
     pub dense_len: usize,
     /// Current `ĝ`.
     pub global_gradient: &'a [f32],
-    /// The network, for link probes at `done`.
-    pub network: &'a ClientNetwork,
+    /// The network (star or mesh), for link probes at `done`.
+    pub network: &'a FleetNetwork,
     /// Telemetry sink (strictly passive).
     pub recorder: &'a SharedRecorder,
 }

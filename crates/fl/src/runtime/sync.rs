@@ -22,7 +22,7 @@ use crate::ledger::CommunicationLedger;
 use crate::pool::WorkerPool;
 use adafl_compression::dense_wire_size;
 use adafl_data::Dataset;
-use adafl_netsim::{ClientNetwork, ReliablePolicy, SimTime};
+use adafl_netsim::{FleetNetwork, ReliablePolicy, SimTime};
 use adafl_telemetry::{names, EventRecord, SharedRecorder, SpanRecord};
 
 /// The policy bundle specialising a [`SyncRuntime`] into one protocol
@@ -79,12 +79,13 @@ impl SyncRuntime {
         config: FlConfig,
         shards: Vec<Dataset>,
         test_set: Dataset,
-        network: ClientNetwork,
+        network: impl Into<FleetNetwork>,
         mut compute: ComputeModel,
         faults: FaultPlan,
         mut policies: SyncPolicies,
     ) -> Self {
         assert_eq!(shards.len(), config.clients, "shard count mismatch");
+        let network = network.into();
         assert_eq!(network.len(), config.clients, "network size mismatch");
         assert_eq!(
             compute.clients(),

@@ -210,4 +210,53 @@ mod tests {
     fn invalid_probability_panics() {
         GilbertElliott::new(1.5, 0.1, 0.0, 1.0, 0);
     }
+
+    #[test]
+    fn degenerate_chain_p_zero_stays_good() {
+        // p = 0: the chain can never leave Good; the Bad loss rate is
+        // irrelevant and the closed forms must not divide by zero.
+        let mut ch = GilbertElliott::new(0.0, 0.3, 0.1, 0.9, 5);
+        assert!(ch.stationary_bad().is_finite());
+        assert_eq!(ch.stationary_bad(), 0.0);
+        assert!((ch.expected_loss_rate() - 0.1).abs() < 1e-12);
+        for _ in 0..1000 {
+            ch.transfer_lost();
+            assert_eq!(ch.state(), ChannelState::Good);
+        }
+    }
+
+    #[test]
+    fn degenerate_chain_r_zero_absorbs_into_bad() {
+        // r = 0: Bad is absorbing; once entered the chain never leaves,
+        // and the stationary distribution is all-Bad.
+        let mut ch = GilbertElliott::new(0.5, 0.0, 0.0, 1.0, 5);
+        assert!((ch.stationary_bad() - 1.0).abs() < 1e-12);
+        assert!((ch.expected_loss_rate() - 1.0).abs() < 1e-12);
+        let mut seen_bad = false;
+        for _ in 0..1000 {
+            ch.transfer_lost();
+            if seen_bad {
+                assert_eq!(ch.state(), ChannelState::Bad, "Bad must absorb");
+            }
+            seen_bad |= ch.state() == ChannelState::Bad;
+        }
+        assert!(seen_bad, "a 50% entry chance misses 1000 times?");
+    }
+
+    #[test]
+    fn degenerate_chain_p_plus_r_zero_is_frozen() {
+        // p + r = 0: no transitions at all. The stationary denominator is
+        // zero, which must yield 0 (all-Good) rather than NaN, and 1000
+        // transitions must neither hang nor leave Good.
+        let mut ch = GilbertElliott::new(0.0, 0.0, 0.25, 1.0, 5);
+        assert!(!ch.stationary_bad().is_nan());
+        assert_eq!(ch.stationary_bad(), 0.0);
+        assert!(!ch.expected_loss_rate().is_nan());
+        assert!((ch.expected_loss_rate() - 0.25).abs() < 1e-12);
+        let losses = (0..1000).filter(|_| ch.transfer_lost()).count();
+        assert_eq!(ch.state(), ChannelState::Good);
+        // Loss still samples the Good-state rate.
+        let rate = losses as f64 / 1000.0;
+        assert!((rate - 0.25).abs() < 0.06, "frozen chain loss rate {rate}");
+    }
 }

@@ -1,0 +1,211 @@
+//! Graph-topology network simulation: multi-hop meshes with pluggable,
+//! cost-aware dynamic rerouting.
+//!
+//! The star-shaped [`ClientNetwork`] models each client as one direct
+//! link to the server. Real embedded fleets are ad-hoc meshes: traffic
+//! crosses relays, nodes and links fail and recover mid-round, batteries
+//! die, and the *path* a payload takes is itself a decision. This module
+//! adds that layer:
+//!
+//! * [`Topology`] — nodes ([`NodeRole`]), directed links (a [`LinkSpec`]
+//!   each, optionally a Gilbert–Elliott burst channel), seeded
+//!   failure/recovery schedules, and optional [`EnergyBudget`]s that
+//!   drain with transmitted bytes.
+//! * [`RoutePlanner`] — the routing strategy. [`StaticShortestPath`] is
+//!   the naive baseline (hop-count BFS, planned once, fails hard);
+//!   [`CostAwareDijkstra`] re-plans on the live graph with
+//!   latency + bandwidth + loss edge costs.
+//! * [`MeshNetwork`] — presents the same uplink/downlink transfer
+//!   surface as [`ClientNetwork`] over a routed topology, so the FL
+//!   engines run either flavor unchanged.
+//! * [`FleetNetwork`] — the enum the engines actually hold. Its `Star`
+//!   arm delegates to the untouched [`ClientNetwork`] code path, which
+//!   is what keeps star-topology runs byte-for-byte identical.
+//! * [`TransferMedium`] — the shared transfer surface, implemented by
+//!   all three, over which the reliable transport is generic.
+//!
+//! [`ClientNetwork`]: crate::ClientNetwork
+
+mod mesh;
+mod route;
+mod topology;
+
+pub use mesh::{MeshLayout, MeshNetwork};
+pub use route::{CostAwareDijkstra, RoutePlanner, StaticShortestPath, TransferDirection};
+pub use topology::{EnergyBudget, MeshLink, NodeRole, Topology};
+
+use crate::{ClientNetwork, LinkSpec, SimTime, TransferOutcome};
+use adafl_telemetry::SharedRecorder;
+
+/// The transfer surface shared by the star and mesh networks: simulate a
+/// payload moving between a client and the server, and describe the
+/// effective end-to-end link for probes and ACK timing.
+///
+/// The reliable transport ([`ReliableTransfer`]) is generic over this
+/// trait, so retry/backoff semantics are written once and hold over any
+/// medium.
+///
+/// [`ReliableTransfer`]: crate::ReliableTransfer
+pub trait TransferMedium {
+    /// Simulates sending `bytes` from `client` to the server at `now`.
+    fn uplink_transfer(&mut self, client: usize, bytes: usize, now: SimTime) -> TransferOutcome;
+
+    /// Simulates sending `bytes` from the server to `client` at `now`.
+    fn downlink_transfer(&mut self, client: usize, bytes: usize, now: SimTime) -> TransferOutcome;
+
+    /// Effective end-to-end link conditions of `client` at `now`.
+    fn link_at(&self, client: usize, now: SimTime) -> LinkSpec;
+}
+
+impl TransferMedium for ClientNetwork {
+    fn uplink_transfer(&mut self, client: usize, bytes: usize, now: SimTime) -> TransferOutcome {
+        ClientNetwork::uplink_transfer(self, client, bytes, now)
+    }
+
+    fn downlink_transfer(&mut self, client: usize, bytes: usize, now: SimTime) -> TransferOutcome {
+        ClientNetwork::downlink_transfer(self, client, bytes, now)
+    }
+
+    fn link_at(&self, client: usize, now: SimTime) -> LinkSpec {
+        ClientNetwork::link_at(self, client, now)
+    }
+}
+
+impl TransferMedium for MeshNetwork {
+    fn uplink_transfer(&mut self, client: usize, bytes: usize, now: SimTime) -> TransferOutcome {
+        MeshNetwork::uplink_transfer(self, client, bytes, now)
+    }
+
+    fn downlink_transfer(&mut self, client: usize, bytes: usize, now: SimTime) -> TransferOutcome {
+        MeshNetwork::downlink_transfer(self, client, bytes, now)
+    }
+
+    fn link_at(&self, client: usize, now: SimTime) -> LinkSpec {
+        MeshNetwork::link_at(self, client, now)
+    }
+}
+
+/// Either network flavor behind one type, so the round runtime holds a
+/// concrete value and the star arm stays the exact pre-mesh code path.
+///
+/// Engine constructors take `impl Into<FleetNetwork>`, and both flavors
+/// convert with [`From`] — existing call sites passing a
+/// [`ClientNetwork`] compile unchanged.
+#[derive(Debug, Clone)]
+pub enum FleetNetwork {
+    /// Star of direct per-client links (the original model).
+    Star(ClientNetwork),
+    /// Routed multi-hop mesh.
+    Mesh(MeshNetwork),
+}
+
+impl From<ClientNetwork> for FleetNetwork {
+    fn from(net: ClientNetwork) -> Self {
+        FleetNetwork::Star(net)
+    }
+}
+
+impl From<MeshNetwork> for FleetNetwork {
+    fn from(net: MeshNetwork) -> Self {
+        FleetNetwork::Mesh(net)
+    }
+}
+
+impl FleetNetwork {
+    /// Number of clients.
+    pub fn len(&self) -> usize {
+        match self {
+            FleetNetwork::Star(net) => net.len(),
+            FleetNetwork::Mesh(net) => net.len(),
+        }
+    }
+
+    /// Returns `true` when the network has no clients (never true
+    /// post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Attaches a telemetry recorder to the underlying network.
+    pub fn set_recorder(&mut self, recorder: SharedRecorder) {
+        match self {
+            FleetNetwork::Star(net) => net.set_recorder(recorder),
+            FleetNetwork::Mesh(net) => net.set_recorder(recorder),
+        }
+    }
+
+    /// Relay bytes accumulated by the mesh since the last call; always
+    /// zero for a star (a star has no relays — nothing is recorded and
+    /// no state is touched).
+    pub fn take_relay_bytes(&mut self) -> u64 {
+        match self {
+            FleetNetwork::Star(_) => 0,
+            FleetNetwork::Mesh(net) => net.take_relay_bytes(),
+        }
+    }
+
+    /// The star network, when this is one (used by star-only tooling).
+    pub fn as_star(&self) -> Option<&ClientNetwork> {
+        match self {
+            FleetNetwork::Star(net) => Some(net),
+            FleetNetwork::Mesh(_) => None,
+        }
+    }
+
+    /// The mesh network, when this is one.
+    pub fn as_mesh(&self) -> Option<&MeshNetwork> {
+        match self {
+            FleetNetwork::Star(_) => None,
+            FleetNetwork::Mesh(net) => Some(net),
+        }
+    }
+
+    /// Simulates sending `bytes` from `client` to the server at `now`.
+    pub fn uplink_transfer(
+        &mut self,
+        client: usize,
+        bytes: usize,
+        now: SimTime,
+    ) -> TransferOutcome {
+        match self {
+            FleetNetwork::Star(net) => net.uplink_transfer(client, bytes, now),
+            FleetNetwork::Mesh(net) => net.uplink_transfer(client, bytes, now),
+        }
+    }
+
+    /// Simulates sending `bytes` from the server to `client` at `now`.
+    pub fn downlink_transfer(
+        &mut self,
+        client: usize,
+        bytes: usize,
+        now: SimTime,
+    ) -> TransferOutcome {
+        match self {
+            FleetNetwork::Star(net) => net.downlink_transfer(client, bytes, now),
+            FleetNetwork::Mesh(net) => net.downlink_transfer(client, bytes, now),
+        }
+    }
+
+    /// Effective end-to-end link conditions of `client` at `now` — the
+    /// direct link for a star, the routed path's combined spec for a mesh.
+    pub fn link_at(&self, client: usize, now: SimTime) -> LinkSpec {
+        match self {
+            FleetNetwork::Star(net) => net.link_at(client, now),
+            FleetNetwork::Mesh(net) => net.link_at(client, now),
+        }
+    }
+}
+
+impl TransferMedium for FleetNetwork {
+    fn uplink_transfer(&mut self, client: usize, bytes: usize, now: SimTime) -> TransferOutcome {
+        FleetNetwork::uplink_transfer(self, client, bytes, now)
+    }
+
+    fn downlink_transfer(&mut self, client: usize, bytes: usize, now: SimTime) -> TransferOutcome {
+        FleetNetwork::downlink_transfer(self, client, bytes, now)
+    }
+
+    fn link_at(&self, client: usize, now: SimTime) -> LinkSpec {
+        FleetNetwork::link_at(self, client, now)
+    }
+}

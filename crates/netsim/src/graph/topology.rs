@@ -1,0 +1,490 @@
+//! The mesh graph itself: nodes, directed links, failure/recovery
+//! schedules and per-node energy budgets.
+//!
+//! A [`Topology`] is the *live* state of an ad-hoc edge network. Links and
+//! nodes can be scheduled to go down (and come back up) at simulated
+//! times; embedded nodes can carry an [`EnergyBudget`] that drains with
+//! every transmitted byte and takes the node down for good when it hits
+//! zero. Every state change bumps an epoch counter, which is how the
+//! dynamic route planner knows its cached paths are stale.
+
+use crate::{GilbertElliott, LinkSpec, SimTime};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// What a node does in the federated deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeRole {
+    /// Trains locally and originates updates.
+    Client,
+    /// Forwards traffic only (a mesh hop with no local data).
+    Relay,
+    /// The aggregation server; the sink of every uplink path.
+    Server,
+}
+
+/// A battery: a byte allowance that drains with transmission.
+///
+/// Transfer-time simulation already accounts for radio duty cycles via
+/// link bandwidth, so the budget is modelled directly in transmitted
+/// bytes — `capacity_joules / joules_per_byte` collapses to one number.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq)]
+pub struct EnergyBudget {
+    remaining_bytes: f64,
+}
+
+impl EnergyBudget {
+    /// A budget that allows transmitting `bytes` before the node dies.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bytes` is not positive and finite.
+    pub fn from_bytes(bytes: f64) -> Self {
+        assert!(
+            bytes.is_finite() && bytes > 0.0,
+            "energy budget must be positive and finite"
+        );
+        EnergyBudget {
+            remaining_bytes: bytes,
+        }
+    }
+
+    /// Bytes this node can still transmit.
+    pub fn remaining_bytes(&self) -> f64 {
+        self.remaining_bytes
+    }
+
+    /// Returns `true` when the budget is exhausted.
+    pub fn depleted(&self) -> bool {
+        self.remaining_bytes <= 0.0
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    role: NodeRole,
+    up: bool,
+    energy: Option<EnergyBudget>,
+}
+
+/// A directed link between two nodes.
+///
+/// The [`LinkSpec`]'s uplink fields describe traversal toward the server
+/// (client→server transfers), the downlink fields traversal away from it;
+/// [`Topology::add_duplex_link`] installs the same spec in both
+/// directions, which is the common radio-mesh case.
+#[derive(Debug, Clone)]
+pub struct MeshLink {
+    src: usize,
+    dst: usize,
+    spec: LinkSpec,
+    up: bool,
+    burst: Option<GilbertElliott>,
+}
+
+impl MeshLink {
+    /// Transmitting endpoint.
+    pub fn src(&self) -> usize {
+        self.src
+    }
+
+    /// Receiving endpoint.
+    pub fn dst(&self) -> usize {
+        self.dst
+    }
+
+    /// Link conditions.
+    pub fn spec(&self) -> &LinkSpec {
+        &self.spec
+    }
+
+    /// Whether the link is currently up.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+}
+
+/// One scheduled failure or recovery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ScheduleEntry {
+    NodeDown(usize),
+    NodeUp(usize),
+    LinkDown(usize),
+    LinkUp(usize),
+}
+
+/// A multi-hop mesh: nodes, directed links, and a seeded failure/recovery
+/// schedule applied as simulated time advances.
+///
+/// # Examples
+///
+/// ```
+/// use adafl_netsim::graph::{NodeRole, Topology};
+/// use adafl_netsim::{LinkProfile, SimTime};
+///
+/// let mut topo = Topology::new();
+/// let server = topo.add_node(NodeRole::Server);
+/// let relay = topo.add_node(NodeRole::Relay);
+/// let client = topo.add_node(NodeRole::Client);
+/// topo.add_duplex_link(client, relay, LinkProfile::Broadband.spec());
+/// topo.add_duplex_link(relay, server, LinkProfile::Broadband.spec());
+/// assert_eq!(topo.nodes(), 3);
+/// assert_eq!(topo.links(), 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    nodes: Vec<Node>,
+    links: Vec<MeshLink>,
+    /// Outgoing link ids per node, in insertion order (deterministic
+    /// neighbour iteration for the planners).
+    outgoing: Vec<Vec<usize>>,
+    schedule: Vec<(SimTime, ScheduleEntry)>,
+    schedule_sorted: bool,
+    cursor: usize,
+    epoch: u64,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Self {
+        Topology {
+            schedule_sorted: true,
+            ..Topology::default()
+        }
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node(&mut self, role: NodeRole) -> usize {
+        self.nodes.push(Node {
+            role,
+            up: true,
+            energy: None,
+        });
+        self.outgoing.push(Vec::new());
+        self.nodes.len() - 1
+    }
+
+    /// Adds a node with an energy budget that drains with transmitted
+    /// bytes; the node goes down permanently when the budget hits zero.
+    pub fn add_node_with_energy(&mut self, role: NodeRole, energy: EnergyBudget) -> usize {
+        let id = self.add_node(role);
+        self.nodes[id].energy = Some(energy);
+        id
+    }
+
+    /// Adds one directed link, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an endpoint is out of bounds or `src == dst`.
+    pub fn add_link(&mut self, src: usize, dst: usize, spec: LinkSpec) -> usize {
+        assert!(
+            src < self.nodes.len() && dst < self.nodes.len(),
+            "link endpoint out of bounds"
+        );
+        assert_ne!(src, dst, "self-links are not allowed");
+        self.links.push(MeshLink {
+            src,
+            dst,
+            spec,
+            up: true,
+            burst: None,
+        });
+        let id = self.links.len() - 1;
+        self.outgoing[src].push(id);
+        id
+    }
+
+    /// Adds a link in each direction with the same spec, returning both
+    /// ids (`a→b`, `b→a`).
+    pub fn add_duplex_link(&mut self, a: usize, b: usize, spec: LinkSpec) -> (usize, usize) {
+        (self.add_link(a, b, spec), self.add_link(b, a, spec))
+    }
+
+    /// Attaches a Gilbert–Elliott burst-loss channel to a link; while
+    /// attached, the channel decides that link's per-hop losses instead of
+    /// the spec's Bernoulli `drop_prob`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `link` is out of bounds.
+    pub fn set_link_burst(&mut self, link: usize, channel: GilbertElliott) {
+        self.links[link].burst = Some(channel);
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of directed links.
+    pub fn links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The link with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `link` is out of bounds.
+    pub fn link(&self, link: usize) -> &MeshLink {
+        &self.links[link]
+    }
+
+    /// A node's role.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is out of bounds.
+    pub fn role(&self, node: usize) -> NodeRole {
+        self.nodes[node].role
+    }
+
+    /// Whether a node is currently up (not failed, not energy-depleted).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is out of bounds.
+    pub fn node_up(&self, node: usize) -> bool {
+        self.nodes[node].up
+    }
+
+    /// A node's remaining energy budget, when it has one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is out of bounds.
+    pub fn energy(&self, node: usize) -> Option<EnergyBudget> {
+        self.nodes[node].energy
+    }
+
+    /// Outgoing link ids of a node, in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is out of bounds.
+    pub fn outgoing(&self, node: usize) -> &[usize] {
+        &self.outgoing[node]
+    }
+
+    /// Whether a link can carry a transfer right now: the link itself and
+    /// both endpoints are up.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `link` is out of bounds.
+    pub fn usable(&self, link: usize) -> bool {
+        let l = &self.links[link];
+        l.up && self.nodes[l.src].up && self.nodes[l.dst].up
+    }
+
+    /// Monotonic counter bumped on every up/down state change; route
+    /// planners compare epochs to detect staleness.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Schedules a node failure at `at`.
+    pub fn schedule_node_down(&mut self, at: SimTime, node: usize) {
+        self.push_schedule(at, ScheduleEntry::NodeDown(node));
+    }
+
+    /// Schedules a node recovery at `at`.
+    pub fn schedule_node_up(&mut self, at: SimTime, node: usize) {
+        self.push_schedule(at, ScheduleEntry::NodeUp(node));
+    }
+
+    /// Schedules a link failure at `at`.
+    pub fn schedule_link_down(&mut self, at: SimTime, link: usize) {
+        self.push_schedule(at, ScheduleEntry::LinkDown(link));
+    }
+
+    /// Schedules a link recovery at `at`.
+    pub fn schedule_link_up(&mut self, at: SimTime, link: usize) {
+        self.push_schedule(at, ScheduleEntry::LinkUp(link));
+    }
+
+    fn push_schedule(&mut self, at: SimTime, entry: ScheduleEntry) {
+        assert!(
+            self.cursor == 0,
+            "schedule entries must be added before time advances"
+        );
+        self.schedule.push((at, entry));
+        self.schedule_sorted = false;
+    }
+
+    /// Applies every scheduled failure/recovery at or before `now`;
+    /// returns `true` when any node or link changed state. Idempotent and
+    /// safe to call with non-monotonic times (earlier times are no-ops
+    /// once passed).
+    pub fn advance_to(&mut self, now: SimTime) -> bool {
+        if !self.schedule_sorted {
+            // Stable sort keeps same-time entries in insertion order, so
+            // schedules are deterministic however they were built.
+            self.schedule.sort_by(|a, b| {
+                a.0.seconds()
+                    .partial_cmp(&b.0.seconds())
+                    .expect("schedule times are finite")
+            });
+            self.schedule_sorted = true;
+        }
+        let mut changed = false;
+        while self.cursor < self.schedule.len() && self.schedule[self.cursor].0 <= now {
+            let (_, entry) = self.schedule[self.cursor];
+            self.cursor += 1;
+            changed |= self.apply(entry);
+        }
+        changed
+    }
+
+    fn apply(&mut self, entry: ScheduleEntry) -> bool {
+        let flipped = match entry {
+            ScheduleEntry::NodeDown(n) => std::mem::replace(&mut self.nodes[n].up, false),
+            ScheduleEntry::NodeUp(n) => {
+                // An energy-depleted node stays down; recovery cannot
+                // recharge a battery.
+                if self.nodes[n].energy.is_some_and(|e| e.depleted()) {
+                    return false;
+                }
+                !std::mem::replace(&mut self.nodes[n].up, true)
+            }
+            ScheduleEntry::LinkDown(l) => std::mem::replace(&mut self.links[l].up, false),
+            ScheduleEntry::LinkUp(l) => !std::mem::replace(&mut self.links[l].up, true),
+        };
+        if flipped {
+            self.epoch += 1;
+        }
+        flipped
+    }
+
+    /// Drains `bytes` from `node`'s energy budget (no-op for unmetered
+    /// nodes). Returns `true` when this drain depleted the budget — the
+    /// node goes down permanently and the epoch bumps.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is out of bounds.
+    pub fn drain_energy(&mut self, node: usize, bytes: usize) -> bool {
+        let Some(energy) = self.nodes[node].energy.as_mut() else {
+            return false;
+        };
+        if energy.depleted() {
+            return false;
+        }
+        energy.remaining_bytes -= bytes as f64;
+        if energy.depleted() {
+            self.nodes[node].up = false;
+            self.epoch += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Long-run loss estimate of a link, for route costing: the burst
+    /// channel's stationary rate when one is attached, else the spec's
+    /// Bernoulli `drop_prob`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `link` is out of bounds.
+    pub fn link_loss_estimate(&self, link: usize) -> f64 {
+        match &self.links[link].burst {
+            Some(channel) => channel.expected_loss_rate(),
+            None => self.links[link].spec.drop_prob(),
+        }
+    }
+
+    /// Per-hop loss decision for `link`: the attached burst channel when
+    /// present, otherwise a Bernoulli draw from `rng` against the spec's
+    /// `drop_prob`. Mirrors [`ClientNetwork`]: a burst channel never
+    /// touches the shared RNG, so attaching one to a link leaves every
+    /// other link's loss sequence untouched.
+    ///
+    /// [`ClientNetwork`]: crate::ClientNetwork
+    ///
+    /// # Panics
+    ///
+    /// Panics when `link` is out of bounds.
+    pub(crate) fn hop_lost(&mut self, link: usize, rng: &mut StdRng) -> bool {
+        match &mut self.links[link].burst {
+            Some(channel) => channel.transfer_lost(),
+            None => rng.gen::<f64>() < self.links[link].spec.drop_prob(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinkProfile;
+
+    fn chain() -> Topology {
+        let mut t = Topology::new();
+        let s = t.add_node(NodeRole::Server);
+        let r = t.add_node(NodeRole::Relay);
+        let c = t.add_node(NodeRole::Client);
+        t.add_duplex_link(c, r, LinkProfile::Broadband.spec());
+        t.add_duplex_link(r, s, LinkProfile::Broadband.spec());
+        t
+    }
+
+    #[test]
+    fn schedule_applies_in_time_order() {
+        let mut t = chain();
+        t.schedule_link_up(SimTime::from_seconds(5.0), 0);
+        t.schedule_link_down(SimTime::from_seconds(2.0), 0);
+        assert!(t.usable(0));
+        assert!(!t.advance_to(SimTime::from_seconds(1.0)));
+        assert!(t.advance_to(SimTime::from_seconds(2.0)));
+        assert!(!t.usable(0));
+        assert!(t.advance_to(SimTime::from_seconds(10.0)));
+        assert!(t.usable(0));
+        assert_eq!(t.epoch(), 2);
+    }
+
+    #[test]
+    fn node_failure_takes_links_down() {
+        let mut t = chain();
+        t.schedule_node_down(SimTime::from_seconds(1.0), 1);
+        t.advance_to(SimTime::from_seconds(1.0));
+        assert!(!t.node_up(1));
+        // Both links touching the relay become unusable.
+        for l in 0..t.links() {
+            assert!(!t.usable(l), "link {l} still usable with relay down");
+        }
+    }
+
+    #[test]
+    fn energy_depletion_is_permanent() {
+        let mut t = Topology::new();
+        let n = t.add_node_with_energy(NodeRole::Client, EnergyBudget::from_bytes(100.0));
+        assert!(!t.drain_energy(n, 60));
+        assert!(t.drain_energy(n, 60), "second drain crosses zero");
+        assert!(!t.node_up(n));
+        assert!(t.energy(n).unwrap().depleted());
+        // A scheduled recovery cannot resurrect a dead battery.
+        t.schedule_node_up(SimTime::from_seconds(1.0), n);
+        t.advance_to(SimTime::from_seconds(1.0));
+        assert!(!t.node_up(n));
+        // Further drains are no-ops.
+        assert!(!t.drain_energy(n, 60));
+    }
+
+    #[test]
+    fn duplicate_state_changes_do_not_bump_epoch() {
+        let mut t = chain();
+        t.schedule_link_down(SimTime::from_seconds(1.0), 0);
+        t.schedule_link_down(SimTime::from_seconds(2.0), 0);
+        t.advance_to(SimTime::from_seconds(5.0));
+        assert_eq!(t.epoch(), 1, "re-downing a down link is not a change");
+    }
+
+    #[test]
+    #[should_panic(expected = "self-links")]
+    fn self_link_panics() {
+        let mut t = Topology::new();
+        let n = t.add_node(NodeRole::Relay);
+        t.add_link(n, n, LinkProfile::Broadband.spec());
+    }
+}

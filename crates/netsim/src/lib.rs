@@ -12,6 +12,12 @@
 //! * [`EventQueue`] — a deterministic discrete-event scheduler driving the
 //!   asynchronous FL engine and all simulated-time measurements.
 //!
+//! On top of these, the [`graph`] module models multi-hop meshes: a
+//! [`Topology`] of clients, relays and the server with failure/recovery
+//! schedules and energy budgets, routed by a pluggable [`RoutePlanner`]
+//! and exposed to the engines through [`MeshNetwork`] / [`FleetNetwork`],
+//! which share the star network's transfer surface.
+//!
 //! # Examples
 //!
 //! ```
@@ -27,6 +33,7 @@
 
 mod event;
 mod gilbert;
+pub mod graph;
 mod link;
 mod network;
 mod reliable;
@@ -36,6 +43,10 @@ pub mod tracefile;
 
 pub use event::EventQueue;
 pub use gilbert::{ChannelState, GilbertElliott};
+pub use graph::{
+    CostAwareDijkstra, EnergyBudget, FleetNetwork, MeshLayout, MeshNetwork, NodeRole, RoutePlanner,
+    StaticShortestPath, Topology, TransferDirection, TransferMedium,
+};
 pub use link::{LinkProfile, LinkSpec};
 pub use network::{ClientNetwork, TransferOutcome};
 pub use reliable::{ReliablePolicy, ReliableTransfer, TransferReport};

@@ -39,16 +39,12 @@ impl LinkSpec {
             uplink_latency >= 0.0 && downlink_latency >= 0.0,
             "latency must be non-negative"
         );
-        assert!(
-            (0.0..=1.0).contains(&drop_prob),
-            "drop probability must be in [0, 1]"
-        );
         LinkSpec {
             uplink_bw,
             downlink_bw,
             uplink_latency,
             downlink_latency,
-            drop_prob,
+            drop_prob: checked_drop_prob(drop_prob),
         }
     }
 
@@ -108,12 +104,25 @@ impl LinkSpec {
     ///
     /// Panics when `drop_prob` is outside `[0, 1]`.
     pub fn with_drop_prob(&self, drop_prob: f64) -> LinkSpec {
-        assert!(
-            (0.0..=1.0).contains(&drop_prob),
-            "drop probability must be in [0, 1]"
-        );
-        LinkSpec { drop_prob, ..*self }
+        LinkSpec {
+            drop_prob: checked_drop_prob(drop_prob),
+            ..*self
+        }
     }
+}
+
+/// The one place a drop probability is range-checked, so every
+/// constructor panics with the same message.
+///
+/// # Panics
+///
+/// Panics when `drop_prob` is outside `[0, 1]`.
+fn checked_drop_prob(drop_prob: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&drop_prob),
+        "drop probability must be in [0, 1]"
+    );
+    drop_prob
 }
 
 /// Device-class presets for embedded federated deployments.
@@ -143,6 +152,42 @@ impl LinkProfile {
             LinkProfile::Cellular => LinkSpec::new(100e3, 500e3, 0.1, 0.1, 0.05),
             LinkProfile::Lossy => LinkSpec::new(20e3, 50e3, 0.2, 0.2, 0.15),
         }
+    }
+
+    /// The profile's canonical lowercase name, round-tripping through
+    /// [`FromStr`](std::str::FromStr) — the spelling JSON experiment
+    /// configs use.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            LinkProfile::Broadband => "broadband",
+            LinkProfile::Constrained => "constrained",
+            LinkProfile::Cellular => "cellular",
+            LinkProfile::Lossy => "lossy",
+        }
+    }
+}
+
+impl std::str::FromStr for LinkProfile {
+    type Err = String;
+
+    /// Parses a canonical profile name (case-insensitive).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "broadband" => Ok(LinkProfile::Broadband),
+            "constrained" => Ok(LinkProfile::Constrained),
+            "cellular" => Ok(LinkProfile::Cellular),
+            "lossy" => Ok(LinkProfile::Lossy),
+            other => Err(format!(
+                "unknown link profile {other:?}; expected one of \
+                 broadband, constrained, cellular, lossy"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for LinkProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 
@@ -190,6 +235,29 @@ mod tests {
     #[should_panic(expected = "drop probability")]
     fn invalid_drop_prob_panics() {
         LinkSpec::new(1.0, 1.0, 0.0, 0.0, 1.5);
+    }
+
+    #[test]
+    fn profile_names_round_trip() {
+        for profile in [
+            LinkProfile::Broadband,
+            LinkProfile::Constrained,
+            LinkProfile::Cellular,
+            LinkProfile::Lossy,
+        ] {
+            let name = profile.as_str();
+            assert_eq!(name.parse::<LinkProfile>(), Ok(profile));
+            assert_eq!(profile.to_string(), name);
+        }
+        // Case-insensitive on the way in, canonical on the way out.
+        assert_eq!("Cellular".parse::<LinkProfile>(), Ok(LinkProfile::Cellular));
+        assert!("dial-up".parse::<LinkProfile>().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability must be in [0, 1]")]
+    fn with_drop_prob_shares_the_constructor_check() {
+        let _ = LinkProfile::Broadband.spec().with_drop_prob(-0.1);
     }
 
     #[test]

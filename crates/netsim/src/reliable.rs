@@ -16,8 +16,9 @@
 //! link serialisation time. A lost data frame therefore surfaces to the
 //! sender as an ACK timeout.
 //!
-//! [`uplink_transfer`]: ClientNetwork::uplink_transfer
-//! [`downlink_transfer`]: ClientNetwork::downlink_transfer
+//! [`ClientNetwork`]: crate::ClientNetwork
+//! [`uplink_transfer`]: crate::ClientNetwork::uplink_transfer
+//! [`downlink_transfer`]: crate::ClientNetwork::downlink_transfer
 //!
 //! # Examples
 //!
@@ -34,7 +35,8 @@
 //! assert_eq!(report.payload_bytes, 100_000 * report.attempts as u64);
 //! ```
 
-use crate::{ClientNetwork, SimTime};
+use crate::graph::TransferMedium;
+use crate::SimTime;
 use adafl_telemetry::{names, EventRecord, SharedRecorder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -173,14 +175,15 @@ impl ReliableTransfer {
         self.recorder = recorder;
     }
 
-    /// Reliably sends `bytes` from `client` to the server starting at `now`.
+    /// Reliably sends `bytes` from `client` to the server starting at
+    /// `now`, over any [`TransferMedium`] (star or mesh).
     ///
     /// # Panics
     ///
     /// Panics when `client` is out of bounds for `net`.
-    pub fn uplink(
+    pub fn uplink<N: TransferMedium>(
         &mut self,
-        net: &mut ClientNetwork,
+        net: &mut N,
         client: usize,
         bytes: usize,
         now: SimTime,
@@ -188,14 +191,15 @@ impl ReliableTransfer {
         self.transfer(net, client, bytes, now, Direction::Up)
     }
 
-    /// Reliably sends `bytes` from the server to `client` starting at `now`.
+    /// Reliably sends `bytes` from the server to `client` starting at
+    /// `now`, over any [`TransferMedium`] (star or mesh).
     ///
     /// # Panics
     ///
     /// Panics when `client` is out of bounds for `net`.
-    pub fn downlink(
+    pub fn downlink<N: TransferMedium>(
         &mut self,
-        net: &mut ClientNetwork,
+        net: &mut N,
         client: usize,
         bytes: usize,
         now: SimTime,
@@ -203,9 +207,9 @@ impl ReliableTransfer {
         self.transfer(net, client, bytes, now, Direction::Down)
     }
 
-    fn transfer(
+    fn transfer<N: TransferMedium>(
         &mut self,
-        net: &mut ClientNetwork,
+        net: &mut N,
         client: usize,
         bytes: usize,
         now: SimTime,
@@ -285,7 +289,7 @@ impl ReliableTransfer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{GilbertElliott, LinkProfile, LinkSpec, LinkTrace};
+    use crate::{ClientNetwork, GilbertElliott, LinkProfile, LinkSpec, LinkTrace};
 
     fn lossless_net() -> ClientNetwork {
         let spec = LinkSpec::new(1000.0, 2000.0, 0.1, 0.2, 0.0);

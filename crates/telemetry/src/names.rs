@@ -17,6 +17,14 @@ pub const NET_DROPS: &str = "netsim.transfer_drops";
 pub const NET_RETRIES: &str = "netsim.retries";
 /// Reliable transfers abandoned after exhausting all attempts (counter).
 pub const NET_RELIABLE_FAILURES: &str = "netsim.reliable_failures";
+/// Mesh transfers that switched to a different path after a topology
+/// change (counter).
+pub const MESH_REROUTES: &str = "netsim.mesh.reroutes";
+/// Mesh transfers abandoned with no usable route to the destination
+/// (counter).
+pub const MESH_PARTITIONS: &str = "netsim.mesh.partitions";
+/// Mesh nodes that exhausted their energy budget and went down (counter).
+pub const MESH_ENERGY_DEPLETED: &str = "netsim.mesh.energy_depleted";
 /// Updates withheld by the fault plan (counter).
 pub const FL_DROPOUTS: &str = "fl.dropouts";
 /// Updates rejected by the server's defensive aggregation gate (counter).
@@ -59,6 +67,8 @@ pub const ADAFL_UTILITY: &str = "adafl.utility_score";
 pub const ADAFL_ASSIGNED_RATIO: &str = "adafl.assigned_ratio";
 /// Staleness (global versions missed) of applied async updates (histogram).
 pub const ASYNC_STALENESS: &str = "fl.async.staleness";
+/// Hops traversed by delivered mesh transfers (histogram).
+pub const MESH_PATH_HOPS: &str = "netsim.mesh.path_hops";
 
 // --- span kinds ---
 
@@ -101,6 +111,12 @@ pub const EVENT_STALENESS: &str = "staleness";
 pub const EVENT_SELECTION: &str = "selection";
 /// A client halted below the async utility threshold.
 pub const EVENT_HALT: &str = "halt";
+/// A mesh transfer switched paths after a topology change.
+pub const EVENT_MESH_REROUTE: &str = "mesh_reroute";
+/// A mesh transfer found no usable route to its destination.
+pub const EVENT_MESH_PARTITION: &str = "mesh_partition";
+/// A mesh node exhausted its energy budget and went down.
+pub const EVENT_ENERGY_DEPLETED: &str = "energy_depleted";
 
 /// Joins a base metric name with a strategy suffix,
 /// e.g. `scoped(COMPRESSION_RATIO, "dgc")` → `compression.ratio.dgc`.

@@ -1,0 +1,196 @@
+//! Mesh-topology runtime invariants.
+//!
+//! The graph-routed network has to honor the same determinism contract as
+//! the star network: one seed, one topology and one failure schedule pin
+//! the whole run — the evaluation history, the communication bill and
+//! even the order in which the planner re-routes around failures.
+
+use adafl_data::partition::Partitioner;
+use adafl_fl::runtime::RuntimeBuilder;
+use adafl_fl::sync::strategies::FedAvg;
+use adafl_fl::{FlConfig, RunHistory};
+use adafl_netsim::{
+    CostAwareDijkstra, EnergyBudget, LinkSpec, MeshLayout, NodeRole, RoutePlanner, SimTime,
+    StaticShortestPath, Topology,
+};
+use adafl_nn::models::ModelSpec;
+use adafl_telemetry::{names, EventRecord, InMemoryRecorder, Trace};
+
+const CLIENTS: usize = 4;
+
+fn hop(bw: f64, latency: f64) -> LinkSpec {
+    LinkSpec::new(bw, bw, latency, latency, 0.0)
+}
+
+/// A dual-homed mesh with a mid-run outage of the primary relay: every
+/// client crosses relay 1 (fast) until it dies at t=0.6s, forcing the
+/// dynamic planner onto relay 2 (slow); the relay recovers at t=1.4s
+/// (the 8-round run spans roughly two simulated seconds).
+fn failing_mesh() -> MeshLayout {
+    let mut topo = Topology::new();
+    let server = topo.add_node(NodeRole::Server);
+    let primary = topo.add_node(NodeRole::Relay);
+    let backup = topo.add_node(NodeRole::Relay);
+    topo.add_duplex_link(primary, server, hop(4.0e6, 0.01));
+    topo.add_duplex_link(backup, server, hop(0.5e6, 0.08));
+    let mut clients = Vec::new();
+    for _ in 0..CLIENTS {
+        let c = topo.add_node(NodeRole::Client);
+        topo.add_duplex_link(c, primary, hop(4.0e6, 0.01));
+        topo.add_duplex_link(c, backup, hop(0.5e6, 0.08));
+        clients.push(c);
+    }
+    topo.schedule_node_down(SimTime::from_seconds(0.6), primary);
+    topo.schedule_node_up(SimTime::from_seconds(1.4), primary);
+    MeshLayout {
+        topology: topo,
+        clients,
+        server,
+    }
+}
+
+fn config(seed: u64) -> FlConfig {
+    FlConfig::builder()
+        .clients(CLIENTS)
+        .rounds(8)
+        .participation(1.0)
+        .local_steps(2)
+        .batch_size(16)
+        .model(ModelSpec::LogisticRegression {
+            in_features: 64,
+            classes: 10,
+        })
+        .seed(seed)
+        .build()
+}
+
+fn dataset(seed: u64) -> adafl_data::Dataset {
+    adafl_data::synthetic::SyntheticSpec::mnist_like(8, 160).generate(seed)
+}
+
+/// One full mesh run; returns the history, ledger totals and trace.
+fn run(seed: u64, planner: Box<dyn RoutePlanner>) -> (RunHistory, (u64, u64, u64), Trace) {
+    let train = dataset(seed);
+    let test = dataset(seed ^ 1);
+    let network = failing_mesh().into_network(planner, seed);
+    let recorder = InMemoryRecorder::shared();
+    let mut engine = RuntimeBuilder::new(config(seed), test)
+        .partitioned(&train, Partitioner::Iid)
+        .network(network)
+        .recorder(recorder.clone())
+        .build_sync(Box::new(FedAvg::new()));
+    let history = engine.run();
+    let ledger = engine.ledger();
+    let totals = (
+        ledger.total_bytes_with_control(),
+        ledger.relay_bytes(),
+        ledger.uplink_updates(),
+    );
+    (history, totals, recorder.snapshot())
+}
+
+fn reroute_events(trace: &Trace) -> Vec<&EventRecord> {
+    trace
+        .events
+        .iter()
+        .filter(|e| e.kind == names::EVENT_MESH_REROUTE)
+        .collect()
+}
+
+#[test]
+fn mesh_runs_are_seed_deterministic() {
+    let (h1, totals1, trace1) = run(11, Box::new(CostAwareDijkstra::default()));
+    let (h2, totals2, trace2) = run(11, Box::new(CostAwareDijkstra::default()));
+
+    assert_eq!(h1, h2, "histories diverged under one seed");
+    assert_eq!(totals1, totals2, "ledger totals diverged under one seed");
+
+    let r1 = reroute_events(&trace1);
+    let r2 = reroute_events(&trace2);
+    assert!(
+        !r1.is_empty(),
+        "the outage schedule should force at least one reroute"
+    );
+    assert_eq!(r1.len(), r2.len(), "reroute counts diverged");
+    for (a, b) in r1.iter().zip(&r2) {
+        assert_eq!(a.fields, b.fields, "reroute event sequence diverged");
+    }
+    assert_eq!(
+        trace1.counters.get(names::MESH_REROUTES),
+        trace2.counters.get(names::MESH_REROUTES)
+    );
+}
+
+#[test]
+fn dynamic_routing_outdelivers_the_static_planner_through_an_outage() {
+    let (naive, _, naive_trace) = run(11, Box::new(StaticShortestPath));
+    let (dynamic, _, dynamic_trace) = run(11, Box::new(CostAwareDijkstra::default()));
+
+    let delivered = |h: &RunHistory| {
+        h.records()
+            .last()
+            .map(|r| r.uplink_updates)
+            .unwrap_or_default()
+    };
+    assert!(
+        delivered(&dynamic) > delivered(&naive),
+        "rerouting should deliver more updates through the outage: {} vs {}",
+        delivered(&dynamic),
+        delivered(&naive)
+    );
+    // The naive planner holds its broken route (partitions, no reroutes);
+    // the dynamic planner re-plans instead of partitioning.
+    let counter = |t: &Trace, n: &str| t.counters.get(n).copied().unwrap_or(0);
+    assert!(counter(&naive_trace, names::MESH_PARTITIONS) > 0);
+    assert_eq!(counter(&naive_trace, names::MESH_REROUTES), 0);
+    assert!(counter(&dynamic_trace, names::MESH_REROUTES) > 0);
+    assert_eq!(counter(&dynamic_trace, names::MESH_PARTITIONS), 0);
+}
+
+#[test]
+fn energy_depletion_is_deterministic_and_permanent() {
+    let run_with_budget = || {
+        let mut topo = Topology::new();
+        let server = topo.add_node(NodeRole::Server);
+        // The relay's battery covers only a few transfers; draining it
+        // must behave identically on every run and survive a scheduled
+        // "recovery" (a dead battery cannot be rebooted).
+        let relay = topo.add_node_with_energy(NodeRole::Relay, EnergyBudget::from_bytes(40_000.0));
+        let backup = topo.add_node(NodeRole::Relay);
+        topo.add_duplex_link(relay, server, hop(4.0e6, 0.01));
+        topo.add_duplex_link(backup, server, hop(0.5e6, 0.08));
+        let mut clients = Vec::new();
+        for _ in 0..CLIENTS {
+            let c = topo.add_node(NodeRole::Client);
+            topo.add_duplex_link(c, relay, hop(4.0e6, 0.01));
+            topo.add_duplex_link(c, backup, hop(0.5e6, 0.08));
+            clients.push(c);
+        }
+        // A scheduled reboot mid-run must NOT resurrect the dead battery.
+        topo.schedule_node_up(SimTime::from_seconds(1.0), relay);
+        let layout = MeshLayout {
+            topology: topo,
+            clients,
+            server,
+        };
+        let train = dataset(3);
+        let recorder = InMemoryRecorder::shared();
+        let mut engine = RuntimeBuilder::new(config(3), dataset(4))
+            .partitioned(&train, Partitioner::Iid)
+            .network(layout.into_network(Box::new(CostAwareDijkstra::default()), 3))
+            .recorder(recorder.clone())
+            .build_sync(Box::new(FedAvg::new()));
+        let history = engine.run();
+        (history, recorder.snapshot())
+    };
+
+    let (h1, t1) = run_with_budget();
+    let (h2, t2) = run_with_budget();
+    assert_eq!(h1, h2);
+    let depleted = |t: &Trace| t.counters.get(names::MESH_ENERGY_DEPLETED).copied();
+    assert_eq!(depleted(&t1), Some(1), "the relay battery should die once");
+    assert_eq!(depleted(&t1), depleted(&t2));
+    // Depletion forced traffic onto the backup relay for the rest of the
+    // run, visible as reroutes with no recovery back.
+    assert!(t1.counters.get(names::MESH_REROUTES).copied().unwrap_or(0) >= 1);
+}
