@@ -78,6 +78,7 @@ fn main() {
         "xfer_fail",
         "rejects",
         "scrubbed",
+        "decode_rej",
         "crashes",
         "recoveries",
         "quorum_skips",
@@ -139,6 +140,7 @@ fn main() {
                     counter(&trace, names::NET_RELIABLE_FAILURES),
                     counter(&trace, names::FL_DEFENSE_REJECTIONS),
                     counter(&trace, names::FL_DEFENSE_SCRUBBED),
+                    counter(&trace, names::FL_DECODE_REJECTIONS),
                     counter(&trace, names::FL_CRASHES),
                     counter(&trace, names::FL_RECOVERIES),
                     counter(&trace, names::FL_QUORUM_SKIPS),

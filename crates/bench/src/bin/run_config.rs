@@ -36,7 +36,8 @@ use adafl_bench::config::ExperimentConfig;
 use adafl_bench::runner::{run_async_with, run_sync_with, Resilience, RunResult, Scenario};
 use adafl_bench::tasks::Task;
 use adafl_bench::{fleet, report};
-use adafl_fl::faults::FaultPlan;
+use adafl_fl::faults::{FaultKind, FaultPlan};
+use adafl_fl::robust::RobustMethod;
 use adafl_fl::FlConfig;
 use adafl_telemetry::{export, InMemoryRecorder, SharedRecorder};
 
@@ -76,6 +77,19 @@ fn main() {
         .constrained_profile
         .parse()
         .unwrap_or_else(|e| panic!("invalid config {path}: {e}"));
+    let faults = match &cfg.attack {
+        Some(name) => {
+            let kind: FaultKind = name
+                .parse()
+                .unwrap_or_else(|e| panic!("invalid config {path}: {e}"));
+            fleet::byzantine_plan(cfg.clients, cfg.attack_fraction, kind, cfg.seed)
+        }
+        None => FaultPlan::reliable(cfg.clients),
+    };
+    let robust: Option<RobustMethod> = cfg.robust.as_deref().map(|name| {
+        name.parse()
+            .unwrap_or_else(|e| panic!("invalid config {path}: {e}"))
+    });
     let scenario = Scenario {
         network: fleet::mixed_network_with(
             cfg.clients,
@@ -84,11 +98,14 @@ fn main() {
             cfg.seed,
         ),
         compute: fleet::uniform_compute(cfg.clients, 0.1, cfg.seed),
-        faults: FaultPlan::reliable(cfg.clients),
         ada: cfg.adafl.unwrap_or_default(),
         partitioner: cfg.partition,
         update_budget: cfg.update_budget,
-        resilience: Resilience::default(),
+        resilience: Resilience {
+            robust,
+            ..Resilience::default()
+        },
+        faults,
         task,
         fl,
     };

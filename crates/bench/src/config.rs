@@ -53,6 +53,22 @@ pub struct ExperimentConfig {
     /// [`LinkProfile::from_str`](adafl_netsim::LinkProfile).
     #[serde(default = "default_constrained_profile")]
     pub constrained_profile: String,
+    /// Byzantine attack mounted by a seeded prefix of the fleet, by name
+    /// (`sign-flip`, `boost`, `little-is-enough`); parsed via
+    /// [`FaultKind::from_str`](adafl_fl::faults::FaultKind). `null` keeps
+    /// every client honest.
+    #[serde(default)]
+    pub attack: Option<String>,
+    /// Fraction of the fleet mounting [`attack`](Self::attack).
+    #[serde(default = "default_attack_fraction")]
+    pub attack_fraction: f64,
+    /// Byzantine-robust pre-aggregator at the server, by name
+    /// (`trimmed-mean`, `median`, `krum`, `multi-krum`,
+    /// `geometric-median`); parsed via
+    /// [`RobustMethod::from_str`](adafl_fl::robust::RobustMethod).
+    /// `null` keeps plain aggregation. Sync protocols only.
+    #[serde(default)]
+    pub robust: Option<String>,
     /// Async protocols: total server-received updates before stopping.
     #[serde(default = "default_budget")]
     pub update_budget: u64,
@@ -90,6 +106,9 @@ fn default_constrained() -> f64 {
 }
 fn default_constrained_profile() -> String {
     adafl_netsim::LinkProfile::Constrained.as_str().to_string()
+}
+fn default_attack_fraction() -> f64 {
+    0.3
 }
 fn default_budget() -> u64 {
     400

@@ -153,6 +153,24 @@ pub fn chaos_plan(
     FaultPlan::new(kinds, seed)
 }
 
+/// Fault plan for the Byzantine sweep: the first `fraction` of clients
+/// mount `kind` (a [`FaultKind`] attack variant — sign-flip, boost or
+/// little-is-enough) every round; the rest stay honest. Colluding
+/// attackers share the plan's per-round collusion stream, so a fixed seed
+/// reproduces the attack byte for byte.
+///
+/// # Panics
+///
+/// Panics when `kind` is not an attack variant ([`FaultKind::is_attack`])
+/// or `fraction` is outside [0, 1].
+pub fn byzantine_plan(clients: usize, fraction: f64, kind: FaultKind, seed: u64) -> FaultPlan {
+    assert!(
+        kind.is_attack(),
+        "byzantine_plan needs an attack kind, got {kind:?}"
+    );
+    FaultPlan::with_fraction(clients, fraction, kind, seed)
+}
+
 /// The per-hop link used by the mesh generators: a symmetric
 /// constrained-class radio hop with *no* random loss, so mesh benchmarks
 /// isolate routing and failure effects from stochastic drops.
@@ -498,6 +516,20 @@ mod tests {
     #[should_panic(expected = "unknown fault kind")]
     fn bad_fault_kind_panics() {
         straggler_plan(10, 0.2, "gremlins", 0);
+    }
+
+    #[test]
+    fn byzantine_plan_arms_a_prefix_of_attackers() {
+        let plan = byzantine_plan(10, 0.4, FaultKind::SignFlip, 7);
+        assert_eq!(plan.affected_clients(), vec![0, 1, 2, 3]);
+        assert_eq!(plan.attacks_update(0), Some(FaultKind::SignFlip));
+        assert_eq!(plan.attacks_update(9), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs an attack kind")]
+    fn byzantine_plan_rejects_benign_faults() {
+        byzantine_plan(10, 0.4, FaultKind::Dropout { period: 2 }, 7);
     }
 
     #[test]

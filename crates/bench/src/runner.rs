@@ -13,6 +13,7 @@ use adafl_fl::defense::DefenseConfig;
 use adafl_fl::faults::FaultPlan;
 use adafl_fl::r#async::strategies::{FedAsync, FedBuff};
 use adafl_fl::r#async::AsyncStrategy;
+use adafl_fl::robust::RobustMethod;
 use adafl_fl::runtime::RuntimeBuilder;
 use adafl_fl::sync::strategies::{FedAdam, FedAvg, FedProx, Scaffold};
 use adafl_fl::sync::SyncStrategy;
@@ -30,6 +31,9 @@ pub struct Resilience {
     pub retry: Option<ReliablePolicy>,
     /// Defensive aggregation gate; `None` = accept every update.
     pub defense: Option<DefenseConfig>,
+    /// Byzantine-robust pre-aggregation (sync flavours only); `None` =
+    /// plain aggregation over the screened cohort.
+    pub robust: Option<RobustMethod>,
 }
 
 impl Resilience {
@@ -39,6 +43,7 @@ impl Resilience {
         Resilience {
             retry: Some(ReliablePolicy::default()),
             defense: Some(DefenseConfig::default()),
+            robust: None,
         }
     }
 }
@@ -77,6 +82,7 @@ impl Scenario {
             .faults(self.faults.clone())
             .retry_policy(self.resilience.retry)
             .defense(self.resilience.defense)
+            .robust(self.resilience.robust)
             .recorder(recorder)
     }
 }

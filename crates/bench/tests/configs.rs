@@ -33,6 +33,30 @@ fn every_checked_in_config_deserializes() {
             .unwrap_or_else(|e| panic!("{path:?} names an unknown link profile: {e}"));
         // The name round-trips, so re-serialized configs stay stable.
         assert_eq!(profile.as_str(), cfg.constrained_profile);
+        if let Some(attack) = &cfg.attack {
+            let kind: adafl_fl::faults::FaultKind = attack
+                .parse()
+                .unwrap_or_else(|e| panic!("{path:?} names an unknown attack: {e}"));
+            assert!(
+                kind.is_attack(),
+                "{path:?} names a non-attack fault {kind:?}"
+            );
+            assert_eq!(
+                kind.as_str(),
+                attack,
+                "{path:?} attack name is not canonical"
+            );
+        }
+        if let Some(robust) = &cfg.robust {
+            let method: adafl_fl::robust::RobustMethod = robust
+                .parse()
+                .unwrap_or_else(|e| panic!("{path:?} names an unknown robust method: {e}"));
+            assert_eq!(
+                method.as_str(),
+                robust,
+                "{path:?} robust name is not canonical"
+            );
+        }
         seen += 1;
     }
     assert!(
@@ -60,6 +84,34 @@ fn schema_defaults_fill_missing_fields() {
         cfg.constrained_profile.parse::<adafl_netsim::LinkProfile>(),
         Ok(adafl_netsim::LinkProfile::Constrained)
     );
+    assert!(cfg.attack.is_none());
+    assert!(cfg.robust.is_none());
+    assert_eq!(cfg.attack_fraction, 0.3);
+}
+
+#[test]
+fn attack_and_robust_names_round_trip_through_the_schema() {
+    use adafl_fl::faults::FaultKind;
+    use adafl_fl::robust::RobustMethod;
+    let cfg: ExperimentConfig = serde_json::from_str(
+        r#"{
+            "protocol": "sync",
+            "strategy": "fedavg",
+            "task": "mnist-logreg",
+            "partition": "Iid",
+            "attack": "little-is-enough",
+            "attack_fraction": 0.4,
+            "robust": "multi-krum"
+        }"#,
+    )
+    .unwrap();
+    let kind: FaultKind = cfg.attack.as_deref().unwrap().parse().unwrap();
+    assert_eq!(kind, FaultKind::LittleIsEnough { epsilon: 0.3 });
+    assert_eq!(kind.as_str(), cfg.attack.as_deref().unwrap());
+    let method: RobustMethod = cfg.robust.as_deref().unwrap().parse().unwrap();
+    assert_eq!(method, RobustMethod::MultiKrum { f: 1, m: 3 });
+    assert_eq!(method.as_str(), cfg.robust.as_deref().unwrap());
+    assert_eq!(cfg.attack_fraction, 0.4);
 }
 
 #[test]

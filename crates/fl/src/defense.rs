@@ -222,8 +222,11 @@ impl DefenseGate {
     }
 }
 
-/// Median of a scratch slice (sorts it; even length averages the middle
-/// pair).
+/// Median of a scratch slice (sorts it). **Tie-break:** an even count
+/// takes the arithmetic mean of the two middle values, `(v[n/2−1] +
+/// v[n/2]) / 2` — symmetric, so the reference never biases toward the
+/// lower or upper half of the window and reversing the input changes
+/// nothing. Pinned by `even_count_median_averages_the_middle_pair`.
 fn median(values: &mut [f64]) -> f64 {
     values.sort_by(|a, b| a.partial_cmp(b).expect("norms are finite"));
     let n = values.len();
@@ -242,6 +245,32 @@ mod tests {
 
     fn gate() -> DefenseGate {
         DefenseGate::new(DefenseConfig::default())
+    }
+
+    #[test]
+    fn even_count_median_averages_the_middle_pair() {
+        // Satellite: pin the running-median tie-break. An even window
+        // interpolates the two middle values symmetrically — the reference
+        // for [1, 2, 3, 10] is 2.5, not 2 (lower) or 3 (upper) — and is
+        // invariant under reversing the input.
+        let mut w = [1.0, 2.0, 3.0, 10.0];
+        assert_eq!(median(&mut w), 2.5);
+        let mut r = [10.0, 3.0, 2.0, 1.0];
+        assert_eq!(median(&mut r), 2.5);
+        let mut odd = [5.0, 1.0, 3.0];
+        assert_eq!(median(&mut odd), 3.0);
+        assert_eq!(median(&mut []), 0.0);
+        // The batch screen inherits the symmetric reference: with history
+        // [1, 2, 3] and batch [10], the decision median is 2.5, so a
+        // norm_multiple of 3 admits anything ≤ 7.5 and rejects the 10.
+        let cfg = DefenseConfig {
+            norm_multiple: 3.0,
+            ..DefenseConfig::default()
+        };
+        let mut gate = DefenseGate::new(cfg);
+        assert_eq!(gate.admit_batch(&[1.0, 2.0, 3.0]), vec![true; 3]);
+        assert_eq!(gate.admit_batch(&[10.0]), vec![false]);
+        assert_eq!(gate.admit_batch(&[7.0]), vec![true]);
     }
 
     #[test]

@@ -17,6 +17,22 @@
 //! * **Corruption** — the serialized update is corrupted in transit
 //!   (seeded NaN/Inf injection and magnitude blow-ups), the adversary the
 //!   server's defensive aggregation gate must survive.
+//!
+//! Three further kinds model *Byzantine* clients — compromised devices
+//! sending well-formed but adversarial updates, the threat the
+//! [`robust`](crate::robust) pre-aggregators defend against. Attacks act
+//! on the **encoded bytes** via [`attack_payload`], like corruption:
+//!
+//! * **SignFlip** — every transmitted value is negated, pushing the
+//!   aggregate *away* from the honest descent direction while preserving
+//!   the update's norm (invisible to the norm screen).
+//! * **Boost** — every transmitted value is scaled by a factor, the
+//!   model-replacement/scaled-poisoning attack.
+//! * **LittleIsEnough** — colluders replace their update with a shared
+//!   small adversarial direction scaled to `ε · ‖own update‖`, staying
+//!   inside the norm envelope. The direction is drawn from an RNG stream
+//!   derived from the plan seed and the round, so all colluders move the
+//!   aggregate the same way without any runtime coordination.
 
 use crate::runtime::UpdatePayload;
 use adafl_compression::codec::{DENSE_HEADER_BYTES, SPARSE_HEADER_BYTES, SPARSE_PAIR_BYTES};
@@ -63,6 +79,92 @@ pub enum FaultKind {
         /// Corruption probability in `[0, 1]`.
         prob: f64,
     },
+    /// Byzantine: every transmitted value is negated. Norm-preserving, so
+    /// only robust aggregation catches it.
+    SignFlip,
+    /// Byzantine: every transmitted value is scaled by `factor` (the
+    /// scaled-poisoning / model-replacement attack).
+    Boost {
+        /// Multiplier applied to each value (finite, ≠ 1).
+        factor: f64,
+    },
+    /// Byzantine: "a little is enough" collusion — the update is replaced
+    /// by a shared adversarial direction scaled to `epsilon` times the
+    /// honest update's norm, staying inside the defense gate's norm
+    /// envelope. All colluders in a round derive the direction from the
+    /// same [`FaultPlan::collusion_seed`].
+    LittleIsEnough {
+        /// Relative magnitude of the poisoned update (> 0).
+        epsilon: f64,
+    },
+}
+
+impl FaultKind {
+    /// The kind's canonical lowercase name, round-tripping through
+    /// [`FromStr`](std::str::FromStr) — the spelling JSON experiment
+    /// configs and telemetry fields use.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FaultKind::Reliable => "reliable",
+            FaultKind::Dropout { .. } => "dropout",
+            FaultKind::DataLoss { .. } => "dataloss",
+            FaultKind::Stale { .. } => "stale",
+            FaultKind::Crash { .. } => "crash",
+            FaultKind::Corruption { .. } => "corruption",
+            FaultKind::SignFlip => "sign-flip",
+            FaultKind::Boost { .. } => "boost",
+            FaultKind::LittleIsEnough { .. } => "little-is-enough",
+        }
+    }
+
+    /// Whether this kind is a Byzantine attack applied through
+    /// [`attack_payload`] (as opposed to a delivery/timing/corruption
+    /// fault).
+    pub fn is_attack(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::SignFlip | FaultKind::Boost { .. } | FaultKind::LittleIsEnough { .. }
+        )
+    }
+}
+
+impl std::str::FromStr for FaultKind {
+    type Err = String;
+
+    /// Parses a canonical kind name (case-insensitive) with the default
+    /// parameters the chaos sweeps use: `dropout` → period 2, `dataloss`
+    /// → prob 0.5, `stale` → factor 3, `crash` → round 2 for 2,
+    /// `corruption` → prob 0.5, `boost` → factor 10, `little-is-enough`
+    /// (alias `lie`) → epsilon 0.3.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "reliable" => Ok(FaultKind::Reliable),
+            "dropout" => Ok(FaultKind::Dropout { period: 2 }),
+            "dataloss" | "data-loss" => Ok(FaultKind::DataLoss { prob: 0.5 }),
+            "stale" => Ok(FaultKind::Stale { factor: 3.0 }),
+            "crash" => Ok(FaultKind::Crash {
+                at_round: 2,
+                down_for: 2,
+            }),
+            "corruption" => Ok(FaultKind::Corruption { prob: 0.5 }),
+            "sign-flip" | "sign_flip" | "signflip" => Ok(FaultKind::SignFlip),
+            "boost" => Ok(FaultKind::Boost { factor: 10.0 }),
+            "little-is-enough" | "little_is_enough" | "lie" => {
+                Ok(FaultKind::LittleIsEnough { epsilon: 0.3 })
+            }
+            other => Err(format!(
+                "unknown fault kind {other:?}; expected one of reliable, \
+                 dropout, dataloss, stale, crash, corruption, sign-flip, \
+                 boost, little-is-enough"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 /// Corrupts `delta` in place using a seeded pattern: roughly 1% of
@@ -151,6 +253,105 @@ pub fn corrupt_payload(payload: &mut UpdatePayload, seed: u64) -> Result<(), Dec
     Ok(())
 }
 
+/// Applies a Byzantine attack to a payload's **encoded bytes** in place —
+/// the adversarial sibling of [`corrupt_payload`].
+///
+/// Dense and sparse frames have every `f32` value slot rewritten with the
+/// attacked value (sign-flip negates, boost scales, little-is-enough
+/// substitutes the shared collusion direction scaled to `ε·‖values‖`).
+/// Quantized and ternary frames carry one `f32` scale that every decoded
+/// value is linear in, so the attack rewrites just that field: sign-flip
+/// negates it, boost multiplies it, and little-is-enough shrinks it to
+/// `−ε·scale` — the packed-form approximation of the dense attack. No
+/// header or length byte changes, so the frame always re-parses and the
+/// ledger charge (`encoded_len()`) is unchanged: Byzantine updates are
+/// *well-formed*, which is exactly why the decoder and the defense gate
+/// cannot stop them.
+///
+/// `collusion_seed` only matters for [`FaultKind::LittleIsEnough`]; pass
+/// [`FaultPlan::collusion_seed`] for the current round so colluders agree
+/// on the direction.
+///
+/// # Panics
+///
+/// Panics when `kind` is not a Byzantine attack
+/// ([`FaultKind::is_attack`]).
+pub fn attack_payload(payload: &mut UpdatePayload, kind: FaultKind, collusion_seed: u64) {
+    assert!(kind.is_attack(), "{kind} is not a Byzantine attack kind");
+    let mut bytes = payload.encode();
+    match payload {
+        UpdatePayload::Dense(d) => {
+            let poisoned = attacked_values(kind, d.values(), collusion_seed);
+            for (i, v) in poisoned.iter().enumerate() {
+                let at = DENSE_HEADER_BYTES + 4 * i;
+                bytes[at..at + 4].copy_from_slice(&v.to_le_bytes());
+            }
+        }
+        UpdatePayload::Sparse(s) => {
+            let poisoned = attacked_values(kind, s.values(), collusion_seed);
+            for (i, v) in poisoned.iter().enumerate() {
+                let at = SPARSE_HEADER_BYTES + SPARSE_PAIR_BYTES * i + 4;
+                bytes[at..at + 4].copy_from_slice(&v.to_le_bytes());
+            }
+        }
+        UpdatePayload::Quantized { .. } | UpdatePayload::Ternary { .. } => {
+            // Both packed headers end with the f32 scale at bytes 8..12
+            // (QUANTIZED_HEADER_BYTES == TERNARY_HEADER_BYTES == 12), and
+            // both decoders are linear in it.
+            let at = PACKED_SCALE_OFFSET;
+            let scale = f32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 scale bytes"));
+            let poisoned = match kind {
+                FaultKind::SignFlip => -scale,
+                FaultKind::Boost { factor } => factor as f32 * scale,
+                FaultKind::LittleIsEnough { epsilon } => -(epsilon as f32) * scale,
+                _ => unreachable!("gated by is_attack"),
+            };
+            bytes[at..at + 4].copy_from_slice(&poisoned.to_le_bytes());
+        }
+    }
+    let form = payload.form();
+    *payload =
+        UpdatePayload::decode(form, &bytes).expect("value/scale rewrites preserve frame structure");
+}
+
+/// Byte offset of the `f32` scale/norm field shared by the two packed
+/// wire headers.
+const PACKED_SCALE_OFFSET: usize = 8;
+
+/// The attacked replacement for a slice of transmitted values.
+fn attacked_values(kind: FaultKind, values: &[f32], collusion_seed: u64) -> Vec<f32> {
+    match kind {
+        FaultKind::SignFlip => values.iter().map(|v| -v).collect(),
+        FaultKind::Boost { factor } => values.iter().map(|v| factor as f32 * v).collect(),
+        FaultKind::LittleIsEnough { epsilon } => {
+            let norm = values
+                .iter()
+                .map(|&v| f64::from(v) * f64::from(v))
+                .sum::<f64>()
+                .sqrt();
+            if values.is_empty() || norm == 0.0 {
+                return values.to_vec();
+            }
+            // All colluders seed the same stream, so updates of equal
+            // length (every dense/packed client) poison in the *same*
+            // direction; sparse colluders agree on the leading
+            // coordinates of that direction within their own support.
+            let mut rng = StdRng::seed_from_u64(collusion_seed ^ 0x11E);
+            let mut dir: Vec<f64> = (0..values.len())
+                .map(|_| rng.gen::<f64>() * 2.0 - 1.0)
+                .collect();
+            let mut dir_norm = dir.iter().map(|d| d * d).sum::<f64>().sqrt();
+            if dir_norm == 0.0 {
+                dir[0] = 1.0;
+                dir_norm = 1.0;
+            }
+            let scale = epsilon * norm / dir_norm;
+            dir.iter().map(|&d| (scale * d) as f32).collect()
+        }
+        _ => unreachable!("gated by is_attack"),
+    }
+}
+
 /// A per-client fault assignment with seeded stochastic evaluation.
 ///
 /// # Examples
@@ -165,6 +366,9 @@ pub fn corrupt_payload(payload: &mut UpdatePayload, seed: u64) -> Result<(), Dec
 pub struct FaultPlan {
     kinds: Vec<FaultKind>,
     rng: StdRng,
+    /// Base seed for per-round collusion streams; independent of the plan
+    /// RNG so attacks never perturb delivery/corruption sequences.
+    attack_seed: u64,
 }
 
 impl FaultPlan {
@@ -173,6 +377,7 @@ impl FaultPlan {
         FaultPlan {
             kinds: vec![FaultKind::Reliable; clients],
             rng: StdRng::seed_from_u64(0),
+            attack_seed: 0xB12A,
         }
     }
 
@@ -181,7 +386,8 @@ impl FaultPlan {
     /// # Panics
     ///
     /// Panics when `kinds` is empty or any kind's parameters are invalid
-    /// (`period < 2`, `prob ∉ [0,1]`, `factor ≤ 1`).
+    /// (`period < 2`, `prob ∉ [0,1]`, `factor ≤ 1`, a non-finite or
+    /// identity boost factor, `epsilon ≤ 0`).
     pub fn new(kinds: Vec<FaultKind>, seed: u64) -> Self {
         assert!(!kinds.is_empty(), "need at least one client");
         for k in &kinds {
@@ -208,11 +414,25 @@ impl FaultPlan {
                         "corruption probability must be in [0,1]"
                     )
                 }
+                FaultKind::SignFlip => {}
+                FaultKind::Boost { factor } => {
+                    assert!(
+                        factor.is_finite() && factor != 1.0,
+                        "boost factor must be finite and ≠ 1"
+                    )
+                }
+                FaultKind::LittleIsEnough { epsilon } => {
+                    assert!(
+                        epsilon.is_finite() && epsilon > 0.0,
+                        "little-is-enough epsilon must be finite and > 0"
+                    )
+                }
             }
         }
         FaultPlan {
             kinds,
             rng: StdRng::seed_from_u64(seed ^ 0xFA17),
+            attack_seed: seed ^ 0xB12A,
         }
     }
 
@@ -274,7 +494,12 @@ impl FaultPlan {
     /// Panics when `client` is out of bounds.
     pub fn update_delivered(&mut self, client: usize, round: usize) -> bool {
         match self.kinds[client] {
-            FaultKind::Reliable | FaultKind::Stale { .. } | FaultKind::Corruption { .. } => true,
+            FaultKind::Reliable
+            | FaultKind::Stale { .. }
+            | FaultKind::Corruption { .. }
+            | FaultKind::SignFlip
+            | FaultKind::Boost { .. }
+            | FaultKind::LittleIsEnough { .. } => true,
             FaultKind::Dropout { period } => round % period == period - 1,
             FaultKind::DataLoss { prob } => self.rng.gen::<f64>() >= prob,
             FaultKind::Crash { .. } => !self.crashed(client, round),
@@ -328,6 +553,28 @@ impl FaultPlan {
             }
             _ => None,
         }
+    }
+
+    /// For a Byzantine client, the attack to apply to this uplink via
+    /// [`attack_payload`]; `None` for honest and merely-faulty clients.
+    /// Attacks fire every round and draw nothing from the plan RNG, so
+    /// adding an attacker to a fleet never perturbs the loss/corruption
+    /// sequences of other fault kinds (same guarantee as
+    /// [`FaultPlan::corrupts_update`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `client` is out of bounds.
+    pub fn attacks_update(&self, client: usize) -> Option<FaultKind> {
+        let kind = self.kinds[client];
+        kind.is_attack().then_some(kind)
+    }
+
+    /// The shared seed colluding attackers use in `round` (the
+    /// [`FaultKind::LittleIsEnough`] direction stream): derived from the
+    /// plan seed, identical for every colluder, different every round.
+    pub fn collusion_seed(&self, round: usize) -> u64 {
+        self.attack_seed ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
     }
 
     /// Compute-time slowdown factor of one client (1.0 unless stale).
@@ -568,5 +815,215 @@ mod tests {
     #[should_panic(expected = "factor")]
     fn invalid_staleness_panics() {
         FaultPlan::new(vec![FaultKind::Stale { factor: 1.0 }], 0);
+    }
+
+    // --- Byzantine attack kinds ---
+
+    #[test]
+    fn fault_kind_names_round_trip() {
+        use std::str::FromStr;
+        let kinds = [
+            FaultKind::Reliable,
+            FaultKind::Dropout { period: 2 },
+            FaultKind::DataLoss { prob: 0.5 },
+            FaultKind::Stale { factor: 3.0 },
+            FaultKind::Crash {
+                at_round: 2,
+                down_for: 2,
+            },
+            FaultKind::Corruption { prob: 0.5 },
+            FaultKind::SignFlip,
+            FaultKind::Boost { factor: 10.0 },
+            FaultKind::LittleIsEnough { epsilon: 0.3 },
+        ];
+        for k in kinds {
+            // FromStr fills in the documented default parameters, which are
+            // exactly the ones above — a full value round-trip.
+            assert_eq!(FaultKind::from_str(k.as_str()).unwrap(), k);
+            assert_eq!(format!("{k}"), k.as_str());
+        }
+        assert_eq!(
+            FaultKind::from_str("LIE").unwrap(),
+            FaultKind::LittleIsEnough { epsilon: 0.3 }
+        );
+        assert!(FaultKind::from_str("gaslight").is_err());
+    }
+
+    #[test]
+    fn attack_clients_deliver_every_round_and_report_their_kind() {
+        let mut plan = FaultPlan::new(
+            vec![
+                FaultKind::SignFlip,
+                FaultKind::Boost { factor: 10.0 },
+                FaultKind::LittleIsEnough { epsilon: 0.3 },
+                FaultKind::Reliable,
+            ],
+            7,
+        );
+        for round in 0..5 {
+            for c in 0..4 {
+                assert!(plan.update_delivered(c, round));
+            }
+        }
+        assert_eq!(plan.attacks_update(0), Some(FaultKind::SignFlip));
+        assert_eq!(
+            plan.attacks_update(1),
+            Some(FaultKind::Boost { factor: 10.0 })
+        );
+        assert!(plan.attacks_update(3).is_none());
+        assert_eq!(plan.affected_clients(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn attack_clients_do_not_perturb_other_rng_streams() {
+        // Mirrors corruption_clients_do_not_perturb_other_rng_streams: a
+        // DataLoss client's delivery sequence is identical whether or not
+        // a Byzantine client shares the plan and attacks every round.
+        let run = |with_attacker: bool| {
+            let second = if with_attacker {
+                FaultKind::LittleIsEnough { epsilon: 0.3 }
+            } else {
+                FaultKind::Reliable
+            };
+            let mut plan = FaultPlan::new(vec![FaultKind::DataLoss { prob: 0.4 }, second], 13);
+            (0..200)
+                .map(|r| {
+                    if let Some(kind) = plan.attacks_update(1) {
+                        let mut p = UpdatePayload::dense(vec![1.0, -2.0, 3.0]);
+                        attack_payload(&mut p, kind, plan.collusion_seed(r));
+                    }
+                    plan.update_delivered(0, r)
+                })
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn sign_flip_and_boost_transform_dense_and_sparse_values_exactly() {
+        use adafl_compression::top_k;
+        let base: Vec<f32> = (0..64).map(|i| ((i as f32) * 0.11).sin()).collect();
+
+        let mut p = UpdatePayload::dense(base.clone());
+        attack_payload(&mut p, FaultKind::SignFlip, 0);
+        let flipped: Vec<f32> = base.iter().map(|v| -v).collect();
+        assert_eq!(p.into_dense(), flipped);
+
+        let sparse = top_k(&base, 16);
+        let mut p = UpdatePayload::Sparse(sparse.clone());
+        attack_payload(&mut p, FaultKind::Boost { factor: 8.0 }, 0);
+        let UpdatePayload::Sparse(got) = p else {
+            unreachable!("form preserved")
+        };
+        assert_eq!(got.indices(), sparse.indices());
+        let boosted: Vec<f32> = sparse.values().iter().map(|v| 8.0 * v).collect();
+        assert_eq!(got.values(), boosted.as_slice());
+    }
+
+    #[test]
+    fn packed_form_attacks_rewrite_only_the_scale() {
+        use adafl_compression::{QsgdQuantizer, TernGrad};
+        let g: Vec<f32> = (0..128).map(|i| ((i as f32) * 0.07).cos()).collect();
+        for mut p in [
+            UpdatePayload::quantized(QsgdQuantizer::new(8, 1).quantize(&g)),
+            UpdatePayload::ternary(TernGrad::new(1).ternarize(&g)),
+        ] {
+            let before = p.clone().into_dense();
+            let charged = p.encoded_len();
+            let form = p.form();
+            attack_payload(&mut p, FaultKind::SignFlip, 0);
+            // Negating the scale negates every decoded value exactly; the
+            // frame re-parses and the ledger charge is unchanged.
+            assert_eq!(p.encoded_len(), charged);
+            assert_eq!(p.form(), form);
+            let after = p.into_dense();
+            let negated: Vec<f32> = before.iter().map(|v| -v).collect();
+            assert_eq!(after, negated);
+        }
+    }
+
+    #[test]
+    fn little_is_enough_stays_inside_the_norm_envelope_and_colludes() {
+        let norm = |v: &[f32]| {
+            v.iter()
+                .map(|&x| f64::from(x) * f64::from(x))
+                .sum::<f64>()
+                .sqrt()
+        };
+        let a: Vec<f32> = (0..256).map(|i| ((i as f32) * 0.05).sin()).collect();
+        let b: Vec<f32> = (0..256).map(|i| ((i as f32) * 0.09).cos()).collect();
+        let kind = FaultKind::LittleIsEnough { epsilon: 0.3 };
+        let seed = 42u64;
+
+        let mut pa = UpdatePayload::dense(a.clone());
+        let mut pb = UpdatePayload::dense(b.clone());
+        attack_payload(&mut pa, kind, seed);
+        attack_payload(&mut pb, kind, seed);
+        let da = pa.into_dense();
+        let db = pb.into_dense();
+
+        // Poisoned norm ≈ ε · honest norm — well inside any norm screen.
+        assert!((norm(&da) / norm(&a) - 0.3).abs() < 1e-3);
+        assert!((norm(&db) / norm(&b) - 0.3).abs() < 1e-3);
+        // Colluders sharing a round seed send *parallel* updates: the
+        // cosine of the two poisoned directions is 1.
+        let dot: f64 = da
+            .iter()
+            .zip(&db)
+            .map(|(&x, &y)| f64::from(x) * f64::from(y))
+            .sum();
+        let cos = dot / (norm(&da) * norm(&db));
+        assert!(cos > 0.9999, "colluders disagree, cos = {cos}");
+        // A different round seed changes the direction.
+        let mut pc = UpdatePayload::dense(a.clone());
+        attack_payload(&mut pc, kind, seed ^ 1);
+        let dc = pc.into_dense();
+        let dot: f64 = da
+            .iter()
+            .zip(&dc)
+            .map(|(&x, &y)| f64::from(x) * f64::from(y))
+            .sum();
+        let cos = dot / (norm(&da) * norm(&dc));
+        assert!(cos < 0.9, "rounds share a direction, cos = {cos}");
+    }
+
+    #[test]
+    fn attack_payload_is_deterministic_per_seed() {
+        let base: Vec<f32> = (0..100).map(|i| (i as f32) * 0.01 - 0.5).collect();
+        let kind = FaultKind::LittleIsEnough { epsilon: 0.5 };
+        let mut one = UpdatePayload::dense(base.clone());
+        let mut two = UpdatePayload::dense(base);
+        attack_payload(&mut one, kind, 99);
+        attack_payload(&mut two, kind, 99);
+        assert_eq!(one, two);
+    }
+
+    #[test]
+    fn collusion_seed_varies_by_round_not_by_query() {
+        let plan = FaultPlan::new(vec![FaultKind::SignFlip], 3);
+        assert_eq!(plan.collusion_seed(4), plan.collusion_seed(4));
+        assert_ne!(plan.collusion_seed(4), plan.collusion_seed(5));
+        // Different plan seeds produce different collusion streams.
+        let other = FaultPlan::new(vec![FaultKind::SignFlip], 4);
+        assert_ne!(plan.collusion_seed(4), other.collusion_seed(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a Byzantine attack")]
+    fn attack_payload_rejects_non_attack_kinds() {
+        let mut p = UpdatePayload::dense(vec![1.0]);
+        attack_payload(&mut p, FaultKind::Reliable, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "boost factor")]
+    fn identity_boost_panics() {
+        FaultPlan::new(vec![FaultKind::Boost { factor: 1.0 }], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn non_positive_epsilon_panics() {
+        FaultPlan::new(vec![FaultKind::LittleIsEnough { epsilon: 0.0 }], 0);
     }
 }

@@ -44,6 +44,7 @@ pub mod faults;
 pub mod history;
 pub mod ledger;
 pub mod pool;
+pub mod robust;
 pub mod runtime;
 pub mod sync;
 

@@ -1,0 +1,728 @@
+//! Byzantine-robust pre-aggregation (ByzFL-style robust aggregators).
+//!
+//! The [`DefenseGate`](crate::defense::DefenseGate) screens *individually
+//! implausible* updates — non-finite values, norm outliers. A colluding
+//! adversary defeats it with updates that are plausible one at a time yet
+//! poisonous in aggregate (sign-flips preserve norms; little-is-enough
+//! shifts stay inside the norm envelope). A [`RobustAggregator`] closes
+//! that gap: it runs **between** the gate's screen and the aggregation
+//! policy, replacing the screened cohort with a robust estimate of its
+//! centre before any [`AggregationPolicy`](crate::runtime::AggregationPolicy)
+//! sees it. Because it transforms `Vec<RoundUpdate>` → `Vec<RoundUpdate>`,
+//! it composes with every aggregation policy (FedAvg, FedProx, Scaffold,
+//! AdaFL) and every wire codec — estimators operate on the decoded dense
+//! views, so dense, sparse, quantized and ternary uplinks all feed the
+//! same math.
+//!
+//! # Estimators and breakdown points
+//!
+//! | method | estimate | tolerates |
+//! |---|---|---|
+//! | [`RobustMethod::TrimmedMean`] | coordinate-wise mean after dropping the `t` smallest and largest values | `f ≤ t`, `2t < n` |
+//! | [`RobustMethod::Median`] | coordinate-wise median | `f < n/2` |
+//! | [`RobustMethod::Krum`] | the single update closest to its `n−f−2` nearest neighbours | `2f + 2 < n` |
+//! | [`RobustMethod::MultiKrum`] | the `m` best-scored updates, passed through | `2f + 2 < n` |
+//! | [`RobustMethod::GeometricMedian`] | Weiszfeld fixed point of Σ‖x − vᵢ‖ | `f < n/2` |
+//!
+//! # Determinism
+//!
+//! Every estimator is a pure function of the screened update set: the
+//! stage first sorts the cohort by client id, so all floating-point
+//! accumulation orders are fixed and the output is **bitwise identical
+//! under any permutation of the input** (property-tested). No estimator
+//! draws randomness. All comparison-based selection uses
+//! [`f32::total_cmp`]/[`f64::total_cmp`], so even non-finite values that
+//! slip past a disabled gate order deterministically.
+
+use crate::runtime::{RoundUpdate, UpdatePayload};
+
+/// Which robust estimator replaces the plain weighted mean.
+///
+/// All parameters are validated by [`RobustAggregator::new`].
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum RobustMethod {
+    /// Coordinate-wise trimmed mean: per coordinate, drop the
+    /// `⌊trim_ratio·n⌋` smallest and largest values, average the rest.
+    /// `trim_ratio = 0` reproduces the plain unweighted mean bit-for-bit.
+    TrimmedMean {
+        /// Fraction of the cohort trimmed from **each** end, in `[0, 0.5)`.
+        trim_ratio: f64,
+    },
+    /// Coordinate-wise median. Even cohorts average the two middle values
+    /// (the same tie-break as the defense gate's norm screen).
+    Median,
+    /// Krum (Blanchard et al.): score each update by the summed squared
+    /// distance to its `n−f−2` nearest neighbours; pass through the single
+    /// lowest-scored update.
+    Krum {
+        /// Number of Byzantine clients the scores budget for.
+        f: usize,
+    },
+    /// Multi-Krum: pass through the `m` lowest-scored updates (ties broken
+    /// by client order). `f = 0, m ≥ n` passes every update through
+    /// unchanged, reproducing plain aggregation exactly.
+    MultiKrum {
+        /// Number of Byzantine clients the scores budget for.
+        f: usize,
+        /// Number of updates passed through (clamped to the cohort size).
+        m: usize,
+    },
+    /// Geometric median via Weiszfeld iteration, started at the
+    /// coordinate-wise mean. `max_iters = 0` reproduces the plain
+    /// unweighted mean bit-for-bit.
+    GeometricMedian {
+        /// Iteration cap (64 is plenty at these dimensions).
+        max_iters: usize,
+        /// Stop once the iterate moves less than this L2 distance.
+        tol: f64,
+    },
+}
+
+impl RobustMethod {
+    /// The method's canonical lowercase name, round-tripping through
+    /// [`FromStr`](std::str::FromStr) — the spelling JSON experiment
+    /// configs and telemetry fields use.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RobustMethod::TrimmedMean { .. } => "trimmed-mean",
+            RobustMethod::Median => "median",
+            RobustMethod::Krum { .. } => "krum",
+            RobustMethod::MultiKrum { .. } => "multi-krum",
+            RobustMethod::GeometricMedian { .. } => "geometric-median",
+        }
+    }
+}
+
+impl std::str::FromStr for RobustMethod {
+    type Err = String;
+
+    /// Parses a canonical method name (case-insensitive) with the default
+    /// parameters documented per variant: `trimmed-mean` → ratio 0.25,
+    /// `krum` → f 1, `multi-krum` → f 1, m 3, `geometric-median` → 64
+    /// iterations at tolerance 1e-9.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "trimmed-mean" | "trimmed_mean" => Ok(RobustMethod::TrimmedMean { trim_ratio: 0.25 }),
+            "median" => Ok(RobustMethod::Median),
+            "krum" => Ok(RobustMethod::Krum { f: 1 }),
+            "multi-krum" | "multi_krum" => Ok(RobustMethod::MultiKrum { f: 1, m: 3 }),
+            "geometric-median" | "geometric_median" => Ok(RobustMethod::GeometricMedian {
+                max_iters: 64,
+                tol: 1e-9,
+            }),
+            other => Err(format!(
+                "unknown robust method {other:?}; expected one of \
+                 trimmed-mean, median, krum, multi-krum, geometric-median"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for RobustMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What one robust pre-aggregation pass did, for telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RobustStats {
+    /// Updates entering the stage (post-screen).
+    pub input: usize,
+    /// Updates leaving the stage (1 for blend estimators, `m` for
+    /// Multi-Krum).
+    pub output: usize,
+    /// Updates fully excluded by selection (Krum family); 0 for blend
+    /// estimators, which down-weight instead of rejecting.
+    pub rejected: usize,
+    /// Coordinate entries dropped by trimming (`2t·dim` for trimmed mean).
+    pub trimmed_values: u64,
+}
+
+/// The robust pre-aggregation stage: validated method + the
+/// [`RobustAggregator::pre_aggregate`] entry the runtime calls between
+/// defense screening and the aggregation policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustAggregator {
+    method: RobustMethod,
+}
+
+impl RobustAggregator {
+    /// Wraps a method, validating its parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `trim_ratio ∉ [0, 0.5)`, `m = 0`, or `tol` is not a
+    /// finite non-negative number.
+    pub fn new(method: RobustMethod) -> Self {
+        match method {
+            RobustMethod::TrimmedMean { trim_ratio } => assert!(
+                (0.0..0.5).contains(&trim_ratio),
+                "trim ratio must be in [0, 0.5)"
+            ),
+            RobustMethod::Median | RobustMethod::Krum { .. } => {}
+            RobustMethod::MultiKrum { m, .. } => {
+                assert!(m >= 1, "multi-krum must keep at least one update")
+            }
+            RobustMethod::GeometricMedian { tol, .. } => assert!(
+                tol.is_finite() && tol >= 0.0,
+                "weiszfeld tolerance must be finite and non-negative"
+            ),
+        }
+        RobustAggregator { method }
+    }
+
+    /// The configured method.
+    pub fn method(&self) -> &RobustMethod {
+        &self.method
+    }
+
+    /// Replaces a screened cohort with its robust estimate.
+    ///
+    /// The cohort is first sorted by client id (the canonical order that
+    /// makes every estimator permutation-invariant), then densified to
+    /// `dim`-length views. Selection methods (Krum, Multi-Krum) pass the
+    /// winning updates through untouched — original payloads, weights and
+    /// client ids. Blend methods (trimmed mean, median, geometric median)
+    /// synthesize a single dense update carrying the estimate, attributed
+    /// to the lowest surviving client id with weight 1.0 — robust
+    /// estimators are deliberately *unweighted*, since sample counts are
+    /// self-reported and a Byzantine client would lie about them.
+    ///
+    /// Cohorts of one update pass through unchanged: no estimator can
+    /// out-vote a lone sender.
+    pub fn pre_aggregate(
+        &self,
+        dim: usize,
+        mut updates: Vec<RoundUpdate>,
+    ) -> (Vec<RoundUpdate>, RobustStats) {
+        let n = updates.len();
+        let mut stats = RobustStats {
+            input: n,
+            output: n,
+            ..RobustStats::default()
+        };
+        if n <= 1 {
+            return (updates, stats);
+        }
+        updates.sort_by_key(|a| a.client);
+        let dense: Vec<Vec<f32>> = updates
+            .iter()
+            .map(|u| {
+                let mut d = vec![0.0f32; dim];
+                u.payload.add_scaled_into(&mut d, 1.0);
+                d
+            })
+            .collect();
+        let views: Vec<&[f32]> = dense.iter().map(|d| d.as_slice()).collect();
+
+        let synthesize = |estimate: Vec<f32>, updates: &[RoundUpdate]| RoundUpdate {
+            client: updates[0].client,
+            payload: UpdatePayload::dense(estimate),
+            weight: 1.0,
+        };
+
+        match self.method {
+            RobustMethod::TrimmedMean { trim_ratio } => {
+                let trim = trim_count(n, trim_ratio);
+                let estimate = coordinate_trimmed_mean(&views, trim);
+                stats.output = 1;
+                stats.trimmed_values = (2 * trim * dim) as u64;
+                let out = vec![synthesize(estimate, &updates)];
+                (out, stats)
+            }
+            RobustMethod::Median => {
+                let estimate = coordinate_median(&views);
+                stats.output = 1;
+                let out = vec![synthesize(estimate, &updates)];
+                (out, stats)
+            }
+            RobustMethod::Krum { f } => {
+                let winners = krum_select(&views, f, 1);
+                stats.output = winners.len();
+                stats.rejected = n - winners.len();
+                let out = take_indices(updates, &winners);
+                (out, stats)
+            }
+            RobustMethod::MultiKrum { f, m } => {
+                let winners = krum_select(&views, f, m);
+                stats.output = winners.len();
+                stats.rejected = n - winners.len();
+                let out = take_indices(updates, &winners);
+                (out, stats)
+            }
+            RobustMethod::GeometricMedian { max_iters, tol } => {
+                let estimate = geometric_median(&views, max_iters, tol);
+                stats.output = 1;
+                let out = vec![synthesize(estimate, &updates)];
+                (out, stats)
+            }
+        }
+    }
+}
+
+/// Updates trimmed from each end for a cohort of `n`: `⌊ratio·n⌋`, clamped
+/// so at least one value survives (`2t < n`).
+pub fn trim_count(n: usize, ratio: f64) -> usize {
+    ((ratio * n as f64).floor() as usize).min(n.saturating_sub(1) / 2)
+}
+
+/// Keeps `indices` (ascending positions into `updates`), dropping the rest.
+fn take_indices(updates: Vec<RoundUpdate>, indices: &[usize]) -> Vec<RoundUpdate> {
+    let mut keep = vec![false; updates.len()];
+    for &i in indices {
+        keep[i] = true;
+    }
+    updates
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(u, k)| k.then_some(u))
+        .collect()
+}
+
+/// Coordinate-wise trimmed mean over equal-length views: per coordinate,
+/// the `trim` smallest and largest values are dropped and the survivors
+/// averaged **in view order**, so `trim = 0` is bit-identical to a plain
+/// sequential mean.
+///
+/// # Panics
+///
+/// Panics when `views` is empty or `2·trim ≥ n`.
+pub fn coordinate_trimmed_mean(views: &[&[f32]], trim: usize) -> Vec<f32> {
+    let n = views.len();
+    assert!(n > 0, "trimmed mean of an empty cohort");
+    assert!(2 * trim < n, "trim must leave at least one survivor");
+    let dim = views[0].len();
+    let kept = (n - 2 * trim) as f32;
+    let mut estimate = vec![0.0f32; dim];
+    let mut col: Vec<(f32, usize)> = Vec::with_capacity(n);
+    let mut survivors: Vec<usize> = Vec::with_capacity(n);
+    for (j, out) in estimate.iter_mut().enumerate() {
+        col.clear();
+        col.extend(views.iter().enumerate().map(|(i, v)| (v[j], i)));
+        // total_cmp gives non-finite values a fixed order; the view index
+        // breaks value ties so the survivor set is permutation-stable.
+        col.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        survivors.clear();
+        survivors.extend(col[trim..n - trim].iter().map(|&(_, i)| i));
+        // Summing in ascending view order (not sorted-value order) pins
+        // the float accumulation order independently of the data.
+        survivors.sort_unstable();
+        let mut sum = 0.0f32;
+        for &i in &survivors {
+            sum += views[i][j];
+        }
+        *out = sum / kept;
+    }
+    estimate
+}
+
+/// Coordinate-wise median over equal-length views. Even cohorts average
+/// the two middle values — the same symmetric tie-break the defense gate's
+/// norm screen uses.
+///
+/// # Panics
+///
+/// Panics when `views` is empty.
+pub fn coordinate_median(views: &[&[f32]]) -> Vec<f32> {
+    let n = views.len();
+    assert!(n > 0, "median of an empty cohort");
+    let dim = views[0].len();
+    let mut estimate = vec![0.0f32; dim];
+    let mut col: Vec<f32> = Vec::with_capacity(n);
+    for (j, out) in estimate.iter_mut().enumerate() {
+        col.clear();
+        col.extend(views.iter().map(|v| v[j]));
+        col.sort_by(f32::total_cmp);
+        *out = if n % 2 == 1 {
+            col[n / 2]
+        } else {
+            0.5 * (col[n / 2 - 1] + col[n / 2])
+        };
+    }
+    estimate
+}
+
+/// Krum/Multi-Krum selection: scores each view by the summed squared
+/// distance to its `k = max(1, n−f−2)` nearest neighbours and returns the
+/// positions of the `m` lowest-scored views, ascending. Ties break toward
+/// the lower position, so selection is deterministic and
+/// permutation-stable; distances involving non-finite values order last
+/// under `total_cmp`, so NaN-laden views are never preferred.
+///
+/// # Panics
+///
+/// Panics when `views` is empty.
+pub fn krum_select(views: &[&[f32]], f: usize, m: usize) -> Vec<usize> {
+    let n = views.len();
+    assert!(n > 0, "krum over an empty cohort");
+    let m = m.clamp(1, n);
+    if n == 1 {
+        return vec![0];
+    }
+    let mut d2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let s: f64 = views[i]
+                .iter()
+                .zip(views[j])
+                .map(|(&a, &b)| {
+                    let e = f64::from(a) - f64::from(b);
+                    e * e
+                })
+                .sum();
+            d2[i * n + j] = s;
+            d2[j * n + i] = s;
+        }
+    }
+    let k = n.saturating_sub(f + 2).clamp(1, n - 1);
+    let mut scores: Vec<(f64, usize)> = Vec::with_capacity(n);
+    let mut row: Vec<f64> = Vec::with_capacity(n - 1);
+    for i in 0..n {
+        row.clear();
+        row.extend((0..n).filter(|&j| j != i).map(|j| d2[i * n + j]));
+        row.sort_by(f64::total_cmp);
+        // Ascending partial sum: a fixed accumulation order per candidate.
+        let score: f64 = row[..k].iter().sum();
+        scores.push((score, i));
+    }
+    scores.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut selected: Vec<usize> = scores[..m].iter().map(|&(_, i)| i).collect();
+    selected.sort_unstable();
+    selected
+}
+
+/// Geometric median via Weiszfeld iteration, started at the plain mean
+/// (`max_iters = 0` returns that mean bit-for-bit). Iterates in `f64`;
+/// a view coinciding with the iterate gets its inverse-distance weight
+/// clamped at `1e12` instead of dividing by zero.
+///
+/// # Panics
+///
+/// Panics when `views` is empty.
+pub fn geometric_median(views: &[&[f32]], max_iters: usize, tol: f64) -> Vec<f32> {
+    let mean = coordinate_trimmed_mean(views, 0);
+    if max_iters == 0 {
+        return mean;
+    }
+    let mut x: Vec<f64> = mean.iter().map(|&v| f64::from(v)).collect();
+    let mut next = vec![0.0f64; x.len()];
+    for _ in 0..max_iters {
+        let mut weight_sum = 0.0f64;
+        next.iter_mut().for_each(|v| *v = 0.0);
+        for v in views {
+            let d2: f64 = v
+                .iter()
+                .zip(&x)
+                .map(|(&a, &b)| {
+                    let e = f64::from(a) - b;
+                    e * e
+                })
+                .sum();
+            let w = if d2 > 1e-24 { d2.sqrt().recip() } else { 1e12 };
+            weight_sum += w;
+            for (acc, &a) in next.iter_mut().zip(v.iter()) {
+                *acc += w * f64::from(a);
+            }
+        }
+        let mut shift2 = 0.0f64;
+        for (acc, xv) in next.iter_mut().zip(x.iter_mut()) {
+            *acc /= weight_sum;
+            let e = *acc - *xv;
+            shift2 += e * e;
+            *xv = *acc;
+        }
+        if shift2.sqrt() <= tol {
+            break;
+        }
+    }
+    x.iter().map(|&v| v as f32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::str::FromStr;
+
+    fn update(client: usize, values: Vec<f32>, weight: f32) -> RoundUpdate {
+        RoundUpdate {
+            client,
+            payload: UpdatePayload::dense(values),
+            weight,
+        }
+    }
+
+    /// `n` honest views clustered near `base` plus `f` adversarial views.
+    fn cohort(
+        honest: usize,
+        base: f32,
+        attackers: usize,
+        poison: f32,
+        dim: usize,
+    ) -> Vec<Vec<f32>> {
+        let mut out = Vec::new();
+        for i in 0..honest {
+            // Small deterministic spread so honest clients are not identical.
+            out.push(
+                (0..dim)
+                    .map(|j| base + 0.01 * ((i + j) % 5) as f32)
+                    .collect(),
+            );
+        }
+        for _ in 0..attackers {
+            out.push(vec![poison; dim]);
+        }
+        out
+    }
+
+    fn views(cohort: &[Vec<f32>]) -> Vec<&[f32]> {
+        cohort.iter().map(|v| v.as_slice()).collect()
+    }
+
+    fn l2(a: &[f32], b: &[f32]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| {
+                let e = f64::from(x) - f64::from(y);
+                e * e
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    #[test]
+    fn method_names_round_trip() {
+        let methods = [
+            RobustMethod::TrimmedMean { trim_ratio: 0.25 },
+            RobustMethod::Median,
+            RobustMethod::Krum { f: 1 },
+            RobustMethod::MultiKrum { f: 1, m: 3 },
+            RobustMethod::GeometricMedian {
+                max_iters: 64,
+                tol: 1e-9,
+            },
+        ];
+        for m in methods {
+            let parsed = RobustMethod::from_str(m.as_str()).expect("canonical name parses");
+            assert_eq!(parsed.as_str(), m.as_str());
+            assert_eq!(format!("{m}"), m.as_str());
+        }
+        assert!(RobustMethod::from_str("majority-vote").is_err());
+    }
+
+    #[test]
+    fn trim_count_clamps_to_leave_a_survivor() {
+        assert_eq!(trim_count(10, 0.25), 2);
+        assert_eq!(trim_count(10, 0.0), 0);
+        assert_eq!(trim_count(10, 0.49), 4);
+        assert_eq!(trim_count(3, 0.49), 1);
+        assert_eq!(trim_count(2, 0.49), 0);
+        assert_eq!(trim_count(1, 0.49), 0);
+    }
+
+    // --- breakdown-point tests: honest majority recovers, past-breakdown
+    // fails as expected ---
+
+    #[test]
+    fn trimmed_mean_survives_minority_then_breaks_past_trim() {
+        let honest_mean = {
+            let c = cohort(6, 1.0, 0, 0.0, 8);
+            coordinate_trimmed_mean(&views(&c), 0)
+        };
+        // 4 of 10 sign-flip-and-boost attackers, trim 4 from each end:
+        // estimate stays near the honest mean.
+        let c = cohort(6, 1.0, 4, -100.0, 8);
+        let est = coordinate_trimmed_mean(&views(&c), 4);
+        assert!(l2(&est, &honest_mean) < 0.1, "robust estimate drifted");
+        // Same attack but trim 1 < f=4: poison survives trimming and the
+        // estimate is dragged far from the honest mean.
+        let est = coordinate_trimmed_mean(&views(&c), 1);
+        assert!(l2(&est, &honest_mean) > 10.0, "expected breakdown");
+    }
+
+    #[test]
+    fn median_survives_minority_then_breaks_at_majority() {
+        let c = cohort(6, 1.0, 4, -100.0, 4);
+        let est = coordinate_median(&views(&c));
+        assert!(est.iter().all(|&v| v > 0.5), "median captured by minority");
+        // 6 of 10 attackers: the median sits inside the attacker mass.
+        let c = cohort(4, 1.0, 6, -100.0, 4);
+        let est = coordinate_median(&views(&c));
+        assert!(est.iter().all(|&v| v < -50.0), "expected breakdown");
+    }
+
+    #[test]
+    fn krum_selects_honest_then_breaks_under_collusion() {
+        // 7 honest + 3 boosted outliers, f = 3 (2f+2 = 8 < 10): Krum must
+        // pick an honest update.
+        let c = cohort(7, 1.0, 3, 250.0, 8);
+        let sel = krum_select(&views(&c), 3, 1);
+        assert!(sel[0] < 7, "krum picked an attacker at {}", sel[0]);
+        // 4 colluders sending the *same* vector in a cohort of 6 with an
+        // under-budgeted f = 1: each colluder's nearest neighbours are its
+        // accomplices at distance 0, so a colluder wins (2f+2 < n fails).
+        let c = cohort(2, 1.0, 4, -50.0, 8);
+        let sel = krum_select(&views(&c), 1, 1);
+        assert!(sel[0] >= 2, "expected a colluder to win past breakdown");
+    }
+
+    #[test]
+    fn multi_krum_keeps_honest_updates() {
+        let c = cohort(7, 1.0, 3, 250.0, 8);
+        let sel = krum_select(&views(&c), 3, 4);
+        assert_eq!(sel.len(), 4);
+        assert!(sel.iter().all(|&i| i < 7), "multi-krum kept an attacker");
+        // m clamps to the cohort size.
+        assert_eq!(krum_select(&views(&c), 0, 99).len(), 10);
+    }
+
+    #[test]
+    fn geometric_median_survives_minority_then_breaks_at_majority() {
+        let honest_mean = {
+            let c = cohort(7, 1.0, 0, 0.0, 8);
+            coordinate_trimmed_mean(&views(&c), 0)
+        };
+        let c = cohort(7, 1.0, 3, 1000.0, 8);
+        let est = geometric_median(&views(&c), 128, 1e-9);
+        assert!(
+            l2(&est, &honest_mean) < 0.5,
+            "geometric median dragged to {est:?}"
+        );
+        // Plain mean is destroyed by the same attack (sanity check that
+        // the test attack is actually doing something).
+        let mean = coordinate_trimmed_mean(&views(&c), 0);
+        assert!(l2(&mean, &honest_mean) > 100.0);
+        // 6 of 10 attackers: majority mass wins the geometric median.
+        let c = cohort(4, 1.0, 6, 1000.0, 8);
+        let est = geometric_median(&views(&c), 128, 1e-9);
+        assert!(l2(&est, &honest_mean) > 100.0, "expected breakdown");
+    }
+
+    #[test]
+    fn weiszfeld_zero_iters_is_exactly_the_mean() {
+        let c = cohort(5, 0.3, 2, -7.0, 16);
+        let v = views(&c);
+        assert_eq!(
+            geometric_median(&v, 0, 1e-9),
+            coordinate_trimmed_mean(&v, 0)
+        );
+    }
+
+    #[test]
+    fn weiszfeld_handles_coincident_points() {
+        // All views identical: the iterate coincides with every view and
+        // the clamped weight must not produce NaN.
+        let c = vec![vec![2.0f32; 4]; 5];
+        let est = geometric_median(&views(&c), 32, 1e-12);
+        assert!(est.iter().all(|v| (v - 2.0).abs() < 1e-6), "{est:?}");
+    }
+
+    // --- stage-level behaviour ---
+
+    #[test]
+    fn pre_aggregate_is_deterministic_and_permutation_invariant() {
+        let agg = RobustAggregator::new(RobustMethod::TrimmedMean { trim_ratio: 0.3 });
+        let base = vec![
+            update(3, vec![1.0, 2.0, 3.0], 5.0),
+            update(0, vec![-1.0, 0.5, 2.0], 7.0),
+            update(7, vec![100.0, -100.0, 0.0], 1.0),
+            update(1, vec![0.9, 1.9, 2.9], 2.0),
+        ];
+        let mut shuffled = base.clone();
+        shuffled.reverse();
+        shuffled.swap(0, 2);
+        let (a, sa) = agg.pre_aggregate(3, base);
+        let (b, sb) = agg.pre_aggregate(3, shuffled);
+        assert_eq!(a, b, "output depends on arrival order");
+        assert_eq!(sa, sb);
+        // Blend estimators attribute the synthetic update to the lowest
+        // surviving client id with unit weight.
+        assert_eq!(a[0].client, 0);
+        assert_eq!(a[0].weight, 1.0);
+    }
+
+    #[test]
+    fn selection_methods_pass_originals_through() {
+        let agg = RobustAggregator::new(RobustMethod::MultiKrum { f: 1, m: 2 });
+        let updates = vec![
+            update(2, vec![1.0, 1.0], 3.0),
+            update(5, vec![1.1, 0.9], 4.0),
+            update(9, vec![50.0, -50.0], 2.0),
+        ];
+        let (out, stats) = agg.pre_aggregate(2, updates.clone());
+        assert_eq!(out.len(), 2);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.output, 2);
+        // Winners keep their payloads, weights and client ids.
+        assert_eq!(out[0], updates[0]);
+        assert_eq!(out[1], updates[1]);
+    }
+
+    #[test]
+    fn singleton_and_empty_cohorts_pass_through() {
+        let agg = RobustAggregator::new(RobustMethod::Median);
+        let one = vec![update(4, vec![1.0, 2.0], 6.0)];
+        let (out, stats) = agg.pre_aggregate(2, one.clone());
+        assert_eq!(out, one);
+        assert_eq!(stats.rejected, 0);
+        let (out, _) = agg.pre_aggregate(2, Vec::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn blend_estimate_densifies_every_codec() {
+        use adafl_compression::top_k;
+        // A sparse update must contribute its dense expansion, not its
+        // packed value list.
+        let agg = RobustAggregator::new(RobustMethod::TrimmedMean { trim_ratio: 0.0 });
+        let dense = vec![0.0f32, 4.0, 0.0, -2.0];
+        let updates = vec![
+            update(0, dense.clone(), 1.0),
+            RoundUpdate {
+                client: 1,
+                payload: UpdatePayload::Sparse(top_k(&dense, 2)),
+                weight: 1.0,
+            },
+        ];
+        let (out, _) = agg.pre_aggregate(4, updates);
+        assert_eq!(out[0].payload.clone().into_dense(), dense);
+    }
+
+    #[test]
+    #[should_panic(expected = "trim ratio")]
+    fn half_trim_ratio_panics() {
+        RobustAggregator::new(RobustMethod::TrimmedMean { trim_ratio: 0.5 });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one update")]
+    fn zero_m_panics() {
+        RobustAggregator::new(RobustMethod::MultiKrum { f: 1, m: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance")]
+    fn negative_tol_panics() {
+        RobustAggregator::new(RobustMethod::GeometricMedian {
+            max_iters: 8,
+            tol: -1.0,
+        });
+    }
+
+    #[test]
+    fn nonfinite_values_cannot_win_selection() {
+        // Without a defense gate, NaN views must never be preferred.
+        let c = vec![
+            vec![1.0f32, 1.0],
+            vec![1.1, 0.9],
+            vec![0.95, 1.05],
+            vec![f32::NAN, 1.0],
+        ];
+        let sel = krum_select(&views(&c), 1, 1);
+        assert!(sel[0] < 3, "krum selected the NaN view");
+        // Trimmed mean orders NaN to one end; with trim ≥ 1 it is dropped.
+        let est = coordinate_trimmed_mean(&views(&c), 1);
+        assert!(est.iter().all(|v| v.is_finite()), "{est:?}");
+    }
+}

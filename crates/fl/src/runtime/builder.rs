@@ -22,6 +22,7 @@ use crate::config::FlConfig;
 use crate::defense::DefenseConfig;
 use crate::faults::FaultPlan;
 use crate::r#async::{AsyncEngine, AsyncStrategy};
+use crate::robust::RobustMethod;
 use crate::sync::{StaticCompression, SyncEngine, SyncStrategy};
 use adafl_data::partition::Partitioner;
 use adafl_data::Dataset;
@@ -39,6 +40,7 @@ pub struct RuntimeBuilder {
     faults: Option<FaultPlan>,
     retry: Option<ReliablePolicy>,
     defense: Option<DefenseConfig>,
+    robust: Option<RobustMethod>,
     recorder: Option<SharedRecorder>,
     update_budget: u64,
     eval_every: Option<u64>,
@@ -56,6 +58,7 @@ impl RuntimeBuilder {
             faults: None,
             retry: None,
             defense: None,
+            robust: None,
             recorder: None,
             update_budget: 0,
             eval_every: None,
@@ -112,6 +115,15 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Enables Byzantine-robust pre-aggregation between the defense screen
+    /// and the aggregation policy (`None` keeps plain aggregation).
+    /// Synchronous flavours only — robust estimators need a cohort to
+    /// out-vote, which the one-update-at-a-time async path never has.
+    pub fn robust(mut self, method: Option<RobustMethod>) -> Self {
+        self.robust = method;
+        self
+    }
+
     /// Attaches a telemetry recorder.
     pub fn recorder(mut self, recorder: SharedRecorder) -> Self {
         self.recorder = Some(recorder);
@@ -156,7 +168,7 @@ impl RuntimeBuilder {
 
     /// Builds a [`SyncRuntime`] specialised by `policies`, applying the
     /// resilience options in the canonical order (retry → defense →
-    /// recorder) the benchmark runner has always used.
+    /// robust → recorder) the benchmark runner has always used.
     pub fn build_sync_runtime(mut self, policies: SyncPolicies) -> SyncRuntime {
         let (shards, network, compute, faults) = self.take_parts();
         let mut rt = SyncRuntime::new(
@@ -174,6 +186,9 @@ impl RuntimeBuilder {
         if let Some(cfg) = self.defense {
             rt.set_defense(cfg);
         }
+        if let Some(method) = self.robust {
+            rt.set_robust(method);
+        }
         if let Some(recorder) = self.recorder {
             rt.set_recorder(recorder);
         }
@@ -184,8 +199,15 @@ impl RuntimeBuilder {
     ///
     /// # Panics
     ///
-    /// Panics when [`RuntimeBuilder::update_budget`] was not set.
+    /// Panics when [`RuntimeBuilder::update_budget`] was not set, or when
+    /// [`RuntimeBuilder::robust`] was — robust pre-aggregation needs a
+    /// synchronous cohort.
     pub fn build_async_runtime(mut self, policy: Box<dyn AsyncPolicy>) -> AsyncRuntime {
+        assert!(
+            self.robust.is_none(),
+            "robust pre-aggregation requires a synchronous cohort; \
+             async flavours apply updates one at a time"
+        );
         let (shards, network, compute, faults) = self.take_parts();
         let mut rt = AsyncRuntime::new(
             self.fl,

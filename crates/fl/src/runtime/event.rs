@@ -13,7 +13,7 @@ use crate::client::{evaluate_model, FlClient};
 use crate::compute::ComputeModel;
 use crate::config::FlConfig;
 use crate::defense::{DefenseConfig, DefenseGate};
-use crate::faults::{corrupt_payload, FaultPlan};
+use crate::faults::{attack_payload, corrupt_payload, FaultPlan};
 use crate::history::{RoundRecord, RunHistory};
 use crate::ledger::CommunicationLedger;
 use crate::runtime::payload::UpdatePayload;
@@ -255,6 +255,22 @@ impl AsyncRuntime {
                         queue.push(done + SimTime::from_seconds(1.0), Event::Resync { client });
                         continue;
                     };
+                    // Byzantine clients poison the encoded bytes before
+                    // upload; colluders key their shared direction to the
+                    // global version they trained from, the async analogue
+                    // of the sync runtime's per-round collusion seed.
+                    if let Some(kind) = self.faults.attacks_update(client) {
+                        let seed = self.faults.collusion_seed(client_versions[client] as usize);
+                        attack_payload(&mut payload, kind, seed);
+                        if self.recorder.enabled() {
+                            self.recorder.counter_add(names::FL_ATTACKS, 1);
+                            self.recorder.event(
+                                EventRecord::new(names::EVENT_ATTACK, done.seconds())
+                                    .client(client)
+                                    .field("kind", kind.as_str()),
+                            );
+                        }
+                    }
                     // Corruption faults flip the update's *encoded bytes*
                     // in transit; frames that re-parse carry poisoned
                     // values for the defensive gate, frames that do not

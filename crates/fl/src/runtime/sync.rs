@@ -16,10 +16,11 @@ use crate::client::{evaluate_model, FlClient, LocalOutcome};
 use crate::compute::ComputeModel;
 use crate::config::FlConfig;
 use crate::defense::{DefenseConfig, DefenseGate};
-use crate::faults::{corrupt_payload, FaultKind, FaultPlan};
+use crate::faults::{attack_payload, corrupt_payload, FaultKind, FaultPlan};
 use crate::history::{RoundRecord, RunHistory};
 use crate::ledger::CommunicationLedger;
 use crate::pool::WorkerPool;
+use crate::robust::{RobustAggregator, RobustMethod};
 use adafl_compression::dense_wire_size;
 use adafl_data::Dataset;
 use adafl_netsim::{FleetNetwork, ReliablePolicy, SimTime};
@@ -64,6 +65,7 @@ pub struct SyncRuntime {
     parallel: bool,
     recorder: SharedRecorder,
     defense: Option<DefenseGate>,
+    robust: Option<RobustAggregator>,
     crash_checkpoints: Vec<Option<Checkpoint>>,
     pool: WorkerPool,
 }
@@ -120,6 +122,7 @@ impl SyncRuntime {
             parallel: true,
             recorder: adafl_telemetry::noop(),
             defense: None,
+            robust: None,
             crash_checkpoints: vec![None; config.clients],
             pool: WorkerPool::with_default_size(),
             selection: policies.selection,
@@ -180,6 +183,19 @@ impl SyncRuntime {
     /// quorum are skipped with state carried forward. Off by default.
     pub fn set_defense(&mut self, cfg: DefenseConfig) {
         self.defense = Some(DefenseGate::new(cfg));
+    }
+
+    /// Enables Byzantine-robust pre-aggregation: after defense screening
+    /// and before the aggregation policy, the cohort is replaced by the
+    /// robust estimate of [`RobustMethod`] (see [`crate::robust`]). Off
+    /// by default — plain weighted-mean aggregation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the method's parameters are invalid
+    /// (see [`RobustAggregator::new`]).
+    pub fn set_robust(&mut self, method: RobustMethod) {
+        self.robust = Some(RobustAggregator::new(method));
     }
 
     /// The communication ledger (cumulative).
@@ -335,6 +351,21 @@ impl SyncRuntime {
                 }
                 continue;
             };
+            // Byzantine clients poison the *encoded bytes* before upload:
+            // well-formed frames carrying adversarial values, invisible to
+            // the decoder — stopping them is the robust stage's job.
+            if let Some(kind) = self.faults.attacks_update(c) {
+                attack_payload(&mut payload, kind, self.faults.collusion_seed(round));
+                if tracing {
+                    self.recorder.counter_add(names::FL_ATTACKS, 1);
+                    self.recorder.event(
+                        EventRecord::new(names::EVENT_ATTACK, train_done.seconds())
+                            .round(round)
+                            .client(c)
+                            .field("kind", kind.as_str()),
+                    );
+                }
+            }
             // Corruption faults flip the update's *encoded bytes* in
             // transit. Dense and sparse frames re-parse with poisoned
             // values the defensive gate must catch; packed frames may stop
@@ -422,6 +453,7 @@ impl SyncRuntime {
 
         let updates = self.screen_updates(round, updates, participants.len());
         let delivered = updates.len();
+        let updates = self.robust_stage(round, updates);
         if !updates.is_empty() {
             self.aggregation
                 .aggregate(&mut self.global, &mut self.global_gradient, updates);
@@ -550,6 +582,43 @@ impl SyncRuntime {
                 );
             }
             return Vec::new();
+        }
+        out
+    }
+
+    /// Byzantine-robust pre-aggregation: replaces the screened cohort with
+    /// the robust estimate (see [`crate::robust`]) before the aggregation
+    /// policy sees it. Identity when no robust method is set.
+    fn robust_stage(&mut self, round: usize, updates: Vec<RoundUpdate>) -> Vec<RoundUpdate> {
+        let Some(robust) = self.robust.as_ref() else {
+            return updates;
+        };
+        if updates.len() < 2 {
+            return updates;
+        }
+        let tracing = self.recorder.enabled();
+        let wall_start = self.recorder.wall_micros();
+        let (out, stats) = robust.pre_aggregate(self.global.len(), updates);
+        if tracing {
+            if stats.rejected > 0 {
+                self.recorder
+                    .counter_add(names::FL_ROBUST_REJECTED, stats.rejected as u64);
+            }
+            if stats.trimmed_values > 0 {
+                self.recorder
+                    .counter_add(names::FL_ROBUST_TRIMMED, stats.trimmed_values);
+            }
+            // The estimator runs at the server between arrival and
+            // aggregation: zero simulated width, real wall cost.
+            let now = self.clock.seconds();
+            self.recorder.span(
+                SpanRecord::new(names::SPAN_ROBUST, now, now)
+                    .round(round)
+                    .wall(self.recorder.wall_micros().saturating_sub(wall_start))
+                    .field("method", robust.method().as_str())
+                    .field("input", stats.input)
+                    .field("output", stats.output),
+            );
         }
         out
     }

@@ -1,0 +1,135 @@
+//! Property tests for the Byzantine-robust pre-aggregators (satellite of
+//! the robustness PR): every estimator is **permutation-invariant** over
+//! client arrival order (bitwise — the stage canonicalises by client id
+//! before any float touches an accumulator), **deterministic** (same
+//! cohort in, same bytes out), and the parameter-free configurations
+//! (`trim_ratio = 0`, Weiszfeld with zero iterations, Multi-Krum with
+//! `f = 0, m ≥ n`) **exactly reproduce plain aggregation** on an honest
+//! cohort.
+//!
+//! `PROPTEST_CASES` scales the case count (CI runs these elevated).
+
+use adafl_fl::robust::{RobustAggregator, RobustMethod};
+use adafl_fl::runtime::{RoundUpdate, UpdatePayload};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+const MAX_N: usize = 6;
+const MAX_DIM: usize = 16;
+
+fn values() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-100.0f32..100.0, MAX_N * MAX_DIM)
+}
+
+/// Builds a cohort of `n` updates of dimension `dim` with ascending,
+/// non-contiguous client ids and varying weights.
+fn cohort(values: &[f32], n: usize, dim: usize) -> Vec<RoundUpdate> {
+    (0..n)
+        .map(|i| RoundUpdate {
+            client: 3 * i + 1,
+            payload: UpdatePayload::dense(values[i * dim..(i + 1) * dim].to_vec()),
+            weight: (i + 1) as f32,
+        })
+        .collect()
+}
+
+/// Plain sequential mean in client order — the reference the zero-trim and
+/// zero-iteration estimators must hit bit-for-bit.
+fn plain_mean(updates: &[RoundUpdate], dim: usize) -> Vec<f32> {
+    let mut acc = vec![0.0f32; dim];
+    for u in updates {
+        u.payload.add_scaled_into(&mut acc, 1.0);
+    }
+    acc.iter().map(|a| a / updates.len() as f32).collect()
+}
+
+fn every_method() -> [RobustMethod; 5] {
+    [
+        RobustMethod::TrimmedMean { trim_ratio: 0.3 },
+        RobustMethod::Median,
+        RobustMethod::Krum { f: 1 },
+        RobustMethod::MultiKrum { f: 1, m: 2 },
+        RobustMethod::GeometricMedian {
+            max_iters: 16,
+            tol: 1e-9,
+        },
+    ]
+}
+
+proptest! {
+    #[test]
+    fn every_estimator_is_permutation_invariant(
+        values in values(),
+        n in 2usize..MAX_N + 1,
+        dim in 1usize..MAX_DIM + 1,
+        perm_seed in 0u64..u64::MAX,
+    ) {
+        let base = cohort(&values, n, dim);
+        let mut shuffled = base.clone();
+        shuffled.shuffle(&mut StdRng::seed_from_u64(perm_seed));
+        for method in every_method() {
+            let agg = RobustAggregator::new(method);
+            let (a, sa) = agg.pre_aggregate(dim, base.clone());
+            let (b, sb) = agg.pre_aggregate(dim, shuffled.clone());
+            // Bitwise equality: RoundUpdate derives PartialEq over f32
+            // payloads, so any accumulation-order drift fails here.
+            prop_assert_eq!(&a, &b);
+            prop_assert_eq!(sa, sb);
+        }
+    }
+
+    #[test]
+    fn every_estimator_is_deterministic(
+        values in values(),
+        n in 2usize..MAX_N + 1,
+        dim in 1usize..MAX_DIM + 1,
+    ) {
+        let base = cohort(&values, n, dim);
+        for method in every_method() {
+            let agg = RobustAggregator::new(method);
+            let (a, _) = agg.pre_aggregate(dim, base.clone());
+            let (b, _) = agg.pre_aggregate(dim, base.clone());
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn zero_parameter_estimators_reproduce_plain_aggregation(
+        values in values(),
+        n in 2usize..MAX_N + 1,
+        dim in 1usize..MAX_DIM + 1,
+        perm_seed in 0u64..u64::MAX,
+    ) {
+        // The honest cohort arrives in arbitrary order; the stage must
+        // still reproduce the client-ordered plain mean exactly.
+        let base = cohort(&values, n, dim);
+        let mean = plain_mean(&base, dim);
+        let mut arrivals = base.clone();
+        arrivals.shuffle(&mut StdRng::seed_from_u64(perm_seed));
+
+        // Trimmed mean with nothing trimmed is the plain mean, bit-for-bit.
+        let agg = RobustAggregator::new(RobustMethod::TrimmedMean { trim_ratio: 0.0 });
+        let (out, stats) = agg.pre_aggregate(dim, arrivals.clone());
+        prop_assert_eq!(out.len(), 1);
+        prop_assert_eq!(out[0].payload.clone().into_dense(), mean.clone());
+        prop_assert_eq!(stats.trimmed_values, 0);
+
+        // Weiszfeld starts at the plain mean; zero iterations returns it.
+        let agg = RobustAggregator::new(RobustMethod::GeometricMedian {
+            max_iters: 0,
+            tol: 1e-9,
+        });
+        let (out, _) = agg.pre_aggregate(dim, arrivals.clone());
+        prop_assert_eq!(out[0].payload.clone().into_dense(), mean);
+
+        // Multi-Krum with no Byzantine budget and a full keep-count passes
+        // every update through untouched (in client order), so whatever
+        // aggregation policy follows sees exactly the honest cohort.
+        let agg = RobustAggregator::new(RobustMethod::MultiKrum { f: 0, m: MAX_N });
+        let (out, stats) = agg.pre_aggregate(dim, arrivals);
+        prop_assert_eq!(out, base);
+        prop_assert_eq!(stats.rejected, 0);
+    }
+}

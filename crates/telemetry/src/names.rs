@@ -39,6 +39,12 @@ pub const FL_CRASHES: &str = "fl.crashes";
 pub const FL_RECOVERIES: &str = "fl.recoveries";
 /// Updates corrupted in transit by the fault plan (counter).
 pub const FL_CORRUPTIONS: &str = "fl.corruptions";
+/// Updates poisoned by a Byzantine attacker (counter).
+pub const FL_ATTACKS: &str = "fl.attacks";
+/// Updates fully excluded by the robust pre-aggregation stage (counter).
+pub const FL_ROBUST_REJECTED: &str = "fl.robust.rejected_updates";
+/// Coordinate entries dropped by robust trimming (counter).
+pub const FL_ROBUST_TRIMMED: &str = "fl.robust.trimmed_values";
 /// Arrived updates whose wire bytes failed to decode (counter).
 pub const FL_DECODE_REJECTIONS: &str = "fl.decode_rejections";
 /// Updates discarded by the round deadline (counter).
@@ -76,6 +82,8 @@ pub const MESH_PATH_HOPS: &str = "netsim.mesh.path_hops";
 pub const SPAN_ROUND: &str = "round";
 /// One client's local training interval.
 pub const SPAN_CLIENT_COMPUTE: &str = "client_compute";
+/// One robust pre-aggregation pass (wall time is the estimator cost).
+pub const SPAN_ROBUST: &str = "robust_aggregate";
 /// A delivered client→server transfer.
 pub const SPAN_UPLINK: &str = "uplink";
 /// A delivered server→client transfer.
@@ -99,6 +107,8 @@ pub const EVENT_CRASH: &str = "crash";
 pub const EVENT_RECOVERY: &str = "recovery";
 /// A fault corrupted an update in transit.
 pub const EVENT_CORRUPTION: &str = "corruption";
+/// A Byzantine attacker poisoned an update before upload.
+pub const EVENT_ATTACK: &str = "byzantine_attack";
 /// An arrived update's wire bytes were rejected by the decoder.
 pub const EVENT_DECODE_REJECT: &str = "decode_reject";
 /// An update withheld by the fault plan.
