@@ -107,6 +107,43 @@ impl Args {
                 .unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}"))
         })
     }
+
+    /// Resolved worker-thread count for the run, via [`resolve_threads`]:
+    /// the `--threads` flag, else `ADAFL_THREADS`, else the host's
+    /// available parallelism.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `--threads` is present but unparsable.
+    pub fn threads(&self) -> usize {
+        resolve_threads(self.get("threads"))
+    }
+}
+
+/// Thread-count resolution shared by the experiment binaries: an explicit
+/// `--threads` value wins, else the `ADAFL_THREADS` environment variable,
+/// else the host's available parallelism. Always at least 1.
+///
+/// # Panics
+///
+/// Panics when `explicit` is present but unparsable.
+pub fn resolve_threads(explicit: Option<&str>) -> usize {
+    explicit
+        .map(|v| {
+            v.parse::<usize>()
+                .unwrap_or_else(|_| panic!("--threads expects an integer, got {v:?}"))
+        })
+        .or_else(|| {
+            std::env::var("ADAFL_THREADS")
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+        .max(1)
 }
 
 #[cfg(test)]

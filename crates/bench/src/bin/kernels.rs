@@ -14,7 +14,13 @@
 //!   paper's CNN. The pre-PR baseline is measured once on the same machine
 //!   and passed in via `--e2e-baseline-ms`.
 //!
-//! Usage: `kernels [--smoke] [--e2e-only] [--out PATH] [--e2e-baseline-ms MS]`
+//! Usage: `kernels [--smoke] [--e2e-only] [--out PATH] [--e2e-baseline-ms MS]
+//! [--threads N]`
+//!
+//! `--threads` (default: `ADAFL_THREADS`, then host parallelism) pins the
+//! server worker-pool width for the end-to-end run and is recorded in the
+//! report's `meta` block alongside whether the SIMD kernels were compiled
+//! in, so checked-in numbers are traceable to their build.
 
 use adafl_data::partition::Partitioner;
 use adafl_data::synthetic::SyntheticSpec;
@@ -109,6 +115,7 @@ struct E2eEntry {
 struct Report {
     schema: String,
     smoke: bool,
+    meta: adafl_bench::report::RunMeta,
     micro: Vec<MicroEntry>,
     e2e: E2eEntry,
 }
@@ -272,6 +279,14 @@ fn main() {
         .position(|a| a == "--e2e-baseline-ms")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<f64>().ok());
+    let threads = adafl_bench::args::resolve_threads(
+        args.iter()
+            .position(|a| a == "--threads")
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str),
+    );
+    // Pin the server pool width for every runtime built below.
+    std::env::set_var("ADAFL_THREADS", threads.to_string());
 
     let micro = if e2e_only {
         Vec::new()
@@ -303,6 +318,7 @@ fn main() {
     let report = Report {
         schema: "adafl.bench.kernels.v1".to_string(),
         smoke,
+        meta: adafl_bench::report::RunMeta::current(threads),
         micro,
         e2e,
     };

@@ -9,6 +9,9 @@
 //! (round spans, per-client transfers, compression byte counters) as JSONL.
 //! Tracing is passive: the experiment output is byte-identical either way.
 //!
+//! Pass `--threads N` (default: `ADAFL_THREADS`, then host parallelism) to
+//! pin the worker-pool width; results are identical at any width.
+//!
 //! Example configuration:
 //!
 //! ```json
@@ -43,6 +46,8 @@ use adafl_telemetry::{export, InMemoryRecorder, SharedRecorder};
 
 fn main() {
     let args = Args::from_env();
+    // Pin the worker-pool width before any runtime is built.
+    std::env::set_var("ADAFL_THREADS", args.threads().to_string());
     let path = args
         .get("config")
         .expect("--config <file.json> is required");

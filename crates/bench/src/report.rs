@@ -1,6 +1,27 @@
-//! Reporting helpers: CSV series and aligned text tables.
+//! Reporting helpers: CSV series, aligned text tables and run provenance.
 
 use crate::runner::RunResult;
+
+/// Build/run provenance attached to benchmark JSON reports, so a checked-in
+/// number can be traced to the pool width and kernel build that produced it.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct RunMeta {
+    /// Server worker-pool width the run was pinned to.
+    pub threads: usize,
+    /// Whether the explicit SIMD micro-kernels were compiled in
+    /// (`--features simd`).
+    pub simd: bool,
+}
+
+impl RunMeta {
+    /// Captures the current build configuration at the given pool width.
+    pub fn current(threads: usize) -> Self {
+        RunMeta {
+            threads,
+            simd: cfg!(feature = "simd"),
+        }
+    }
+}
 
 /// Prints a CSV header followed by every run's records, tagged with extra
 /// key columns (e.g. distribution, straggler fraction).

@@ -44,6 +44,7 @@ pub struct RuntimeBuilder {
     recorder: Option<SharedRecorder>,
     update_budget: u64,
     eval_every: Option<u64>,
+    threads: Option<usize>,
 }
 
 impl RuntimeBuilder {
@@ -62,6 +63,7 @@ impl RuntimeBuilder {
             recorder: None,
             update_budget: 0,
             eval_every: None,
+            threads: None,
         }
     }
 
@@ -121,6 +123,15 @@ impl RuntimeBuilder {
     /// out-vote, which the one-update-at-a-time async path never has.
     pub fn robust(mut self, method: Option<RobustMethod>) -> Self {
         self.robust = method;
+        self
+    }
+
+    /// Pins the server worker-pool width for synchronous flavours
+    /// (`None` keeps the `ADAFL_THREADS` / host-parallelism default; see
+    /// [`SyncRuntime::set_threads`]). Async flavours have no server pool
+    /// and ignore this.
+    pub fn threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -191,6 +202,9 @@ impl RuntimeBuilder {
         }
         if let Some(recorder) = self.recorder {
             rt.set_recorder(recorder);
+        }
+        if let Some(threads) = self.threads {
+            rt.set_threads(threads);
         }
         rt
     }

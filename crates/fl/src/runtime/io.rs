@@ -22,9 +22,72 @@
 //!   star ledgers are unchanged byte for byte.
 
 use super::payload::UpdatePayload;
+use crate::faults::{attack_payload, corrupt_payload, FaultKind};
 use crate::ledger::CommunicationLedger;
+use crate::pool::WorkerPool;
+use adafl_compression::DecodeError;
 use adafl_netsim::{FleetNetwork, ReliablePolicy, ReliableTransfer, SimTime};
 use adafl_telemetry::SharedRecorder;
+
+/// One client's prepared uplink before the wire-level fault transforms:
+/// the encoded payload plus the attack/corruption the fault plan assigns.
+#[derive(Debug)]
+pub struct UplinkFrame {
+    /// The payload as the compression policy produced it.
+    pub payload: UpdatePayload,
+    /// Byzantine attack rewriting the encoded bytes, with its collusion
+    /// seed, when the client is an attacker.
+    pub attack: Option<(FaultKind, u64)>,
+    /// Transit bit-flip seed when the update is corrupted in flight.
+    pub corrupt: Option<u64>,
+}
+
+/// Outcome of [`process_uplink_frames`] for one frame, in submission order.
+#[derive(Debug)]
+pub struct ProcessedFrame {
+    /// The payload after any attack and corruption transforms.
+    pub payload: UpdatePayload,
+    /// The attack that ran, for telemetry.
+    pub attacked: Option<FaultKind>,
+    /// Whether a corruption transform ran, for telemetry.
+    pub corrupted: bool,
+    /// Set when corruption broke the frame so the decoder rejects it.
+    pub decode_error: Option<DecodeError>,
+}
+
+/// Applies each frame's attack and corruption transforms — the per-client
+/// codec encode/decode work of the uplink path — across the worker pool.
+///
+/// Every frame is processed independently by a pure function of its own
+/// bytes, and [`WorkerPool::scope_run`] returns results in submission
+/// order, so the output is byte-identical at any pool width (a
+/// single-thread pool runs the same code inline).
+pub fn process_uplink_frames(pool: &WorkerPool, frames: Vec<UplinkFrame>) -> Vec<ProcessedFrame> {
+    let jobs: Vec<Box<dyn FnOnce() -> ProcessedFrame + Send>> = frames
+        .into_iter()
+        .map(|mut frame| {
+            Box::new(move || {
+                let attacked = frame.attack.map(|(kind, seed)| {
+                    attack_payload(&mut frame.payload, kind, seed);
+                    kind
+                });
+                let mut corrupted = false;
+                let mut decode_error = None;
+                if let Some(seed) = frame.corrupt {
+                    corrupted = true;
+                    decode_error = corrupt_payload(&mut frame.payload, seed).err();
+                }
+                ProcessedFrame {
+                    payload: frame.payload,
+                    attacked,
+                    corrupted,
+                    decode_error,
+                }
+            }) as Box<_>
+        })
+        .collect();
+    pool.scope_run(jobs)
+}
 
 /// Outcome of driving one transfer through [`RoundIo`].
 #[derive(Debug, Clone, Copy, PartialEq)]

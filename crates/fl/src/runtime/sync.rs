@@ -6,7 +6,7 @@
 //! ledger charging, telemetry spans and history recording — and delegates
 //! the three flavour-specific decisions to a [`SyncPolicies`] bundle.
 
-use super::io::RoundIo;
+use super::io::{process_uplink_frames, RoundIo, UplinkFrame};
 use super::payload::RoundUpdate;
 use super::policy::{
     AggregationPolicy, CompressionPolicy, SelectionCtx, SelectionPolicy, SyncUploadCtx,
@@ -15,8 +15,8 @@ use crate::checkpoint::Checkpoint;
 use crate::client::{evaluate_model, FlClient, LocalOutcome};
 use crate::compute::ComputeModel;
 use crate::config::FlConfig;
-use crate::defense::{DefenseConfig, DefenseGate};
-use crate::faults::{attack_payload, corrupt_payload, FaultKind, FaultPlan};
+use crate::defense::{DefenseConfig, DefenseGate, RejectReason, Sanitized};
+use crate::faults::{FaultKind, FaultPlan};
 use crate::history::{RoundRecord, RunHistory};
 use crate::ledger::CommunicationLedger;
 use crate::pool::WorkerPool;
@@ -124,7 +124,7 @@ impl SyncRuntime {
             defense: None,
             robust: None,
             crash_checkpoints: vec![None; config.clients],
-            pool: WorkerPool::with_default_size(),
+            pool: WorkerPool::from_env_or_default(),
             selection: policies.selection,
             compression: policies.compression,
             aggregation: policies.aggregation,
@@ -149,6 +149,14 @@ impl SyncRuntime {
     /// Results are identical either way; this only affects wall-clock time.
     pub fn set_parallel(&mut self, parallel: bool) {
         self.parallel = parallel;
+    }
+
+    /// Rebuilds the server worker pool with exactly `threads` workers
+    /// (1 runs every pooled stage inline). Every pooled stage collects
+    /// results in submission order, so histories, ledgers and traces are
+    /// identical at any width; this only affects wall-clock time.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.pool = WorkerPool::new(threads.max(1));
     }
 
     /// Replaces the compression policy (used by
@@ -302,29 +310,34 @@ impl SyncRuntime {
         // sequential: outcomes come back in cohort order.
         let outcomes = self.train_ready(&ready);
 
-        // Phase 3 — compression, fault gating, uplink and deadline policy,
-        // in deterministic cohort order.
+        // Phase 3 — compression, fault gating, uplink and deadline policy.
+        // Split into three passes so the per-frame codec work fans across
+        // the worker pool without disturbing anything order-sensitive:
+        //
+        //   A. policy bookkeeping and wire-form preparation, in cohort
+        //      order (aggregation and compression policies are stateful);
+        //   B. attack/corruption transforms on the encoded bytes — pure
+        //      per-frame functions run across the pool, results collected
+        //      in submission order;
+        //   C. telemetry, uplink charging and deadline policy, in cohort
+        //      order (the network RNG and the event stream are both
+        //      order-pinned).
+        //
+        // Streamed telemetry (spans/events) is emitted only in pass C, in
+        // the same per-client order as a single loop would; pass A touches
+        // only aggregate counters/histograms, whose export is order-free.
+        // Histories, ledgers and traces are byte-identical at any pool
+        // width.
         let effective_lr = self.config.learning_rate / (1.0 - self.config.momentum);
-        for (&(rank, c, downlink_done), outcome) in ready.iter().zip(outcomes) {
+        let mut frames: Vec<UplinkFrame> = Vec::with_capacity(ready.len());
+        let mut prepared: Vec<(SimTime, bool, bool)> = Vec::with_capacity(ready.len());
+        for (&(rank, c, downlink_done), outcome) in ready.iter().zip(&outcomes) {
             self.aggregation
                 .after_local_round(c, &outcome.delta, outcome.steps, effective_lr);
 
             // Stale clients' slowdowns were folded into the compute model
             // at construction.
             let train_done = downlink_done + self.compute.training_time(c, self.config.local_steps);
-            if tracing {
-                self.recorder.span(
-                    SpanRecord::new(
-                        names::SPAN_CLIENT_COMPUTE,
-                        downlink_done.seconds(),
-                        train_done.seconds(),
-                    )
-                    .round(round)
-                    .client(c)
-                    .field("steps", outcome.steps),
-                );
-            }
-
             let delivered = self.faults.update_delivered(c, round);
             let payload = {
                 let ctx = SyncUploadCtx {
@@ -339,7 +352,47 @@ impl SyncRuntime {
                 };
                 self.compression.prepare(&ctx, &outcome.delta)
             };
-            let Some(mut payload) = payload else {
+            let has_frame = payload.is_some();
+            if let Some(payload) = payload {
+                frames.push(UplinkFrame {
+                    payload,
+                    // Byzantine clients poison the *encoded bytes* before
+                    // upload: well-formed frames carrying adversarial
+                    // values, invisible to the decoder — stopping them is
+                    // the robust stage's job.
+                    attack: self
+                        .faults
+                        .attacks_update(c)
+                        .map(|kind| (kind, self.faults.collusion_seed(round))),
+                    // Corruption faults flip the update's *encoded bytes*
+                    // in transit. Dense and sparse frames re-parse with
+                    // poisoned values the defensive gate must catch; packed
+                    // frames may stop parsing entirely, which the server
+                    // counts as a decode rejection when the bytes arrive.
+                    corrupt: self.faults.corrupts_update(c),
+                });
+            }
+            prepared.push((train_done, delivered, has_frame));
+        }
+
+        let mut processed = process_uplink_frames(&self.pool, frames).into_iter();
+
+        for ((&(_, c, downlink_done), outcome), &(train_done, delivered, has_frame)) in
+            ready.iter().zip(&outcomes).zip(&prepared)
+        {
+            if tracing {
+                self.recorder.span(
+                    SpanRecord::new(
+                        names::SPAN_CLIENT_COMPUTE,
+                        downlink_done.seconds(),
+                        train_done.seconds(),
+                    )
+                    .round(round)
+                    .client(c)
+                    .field("steps", outcome.steps),
+                );
+            }
+            if !has_frame {
                 debug_assert!(!delivered, "policies only drop undelivered updates");
                 if tracing {
                     self.recorder.counter_add(names::FL_DROPOUTS, 1);
@@ -350,12 +403,11 @@ impl SyncRuntime {
                     );
                 }
                 continue;
-            };
-            // Byzantine clients poison the *encoded bytes* before upload:
-            // well-formed frames carrying adversarial values, invisible to
-            // the decoder — stopping them is the robust stage's job.
-            if let Some(kind) = self.faults.attacks_update(c) {
-                attack_payload(&mut payload, kind, self.faults.collusion_seed(round));
+            }
+            let frame = processed
+                .next()
+                .expect("one processed frame per prepared frame");
+            if let Some(kind) = frame.attacked {
                 if tracing {
                     self.recorder.counter_add(names::FL_ATTACKS, 1);
                     self.recorder.event(
@@ -366,24 +418,15 @@ impl SyncRuntime {
                     );
                 }
             }
-            // Corruption faults flip the update's *encoded bytes* in
-            // transit. Dense and sparse frames re-parse with poisoned
-            // values the defensive gate must catch; packed frames may stop
-            // parsing entirely, which the server counts as a decode
-            // rejection when the bytes arrive.
-            let mut decode_error: Option<adafl_compression::DecodeError> = None;
-            if let Some(seed) = self.faults.corrupts_update(c) {
-                decode_error = corrupt_payload(&mut payload, seed).err();
-                if tracing {
-                    self.recorder.counter_add(names::FL_CORRUPTIONS, 1);
-                    self.recorder.event(
-                        EventRecord::new(names::EVENT_CORRUPTION, train_done.seconds())
-                            .round(round)
-                            .client(c),
-                    );
-                }
+            if frame.corrupted && tracing {
+                self.recorder.counter_add(names::FL_CORRUPTIONS, 1);
+                self.recorder.event(
+                    EventRecord::new(names::EVENT_CORRUPTION, train_done.seconds())
+                        .round(round)
+                        .client(c),
+                );
             }
-            let delivery = self.io.uplink_update(c, &payload, train_done);
+            let delivery = self.io.uplink_update(c, &frame.payload, train_done);
             match delivery.arrival {
                 Some(arrival) => {
                     let elapsed = arrival - self.clock;
@@ -410,7 +453,7 @@ impl SyncRuntime {
                         }
                     }
                     round_time = round_time.max(elapsed);
-                    if let Some(err) = decode_error {
+                    if let Some(err) = frame.decode_error {
                         // The bytes travelled, were charged and gated the
                         // round clock, but the server cannot parse them:
                         // the update is dropped before the defense gate
@@ -428,7 +471,7 @@ impl SyncRuntime {
                     }
                     updates.push(RoundUpdate {
                         client: c,
-                        payload,
+                        payload: frame.payload,
                         weight: outcome.num_samples as f32,
                     });
                 }
@@ -524,17 +567,34 @@ impl SyncRuntime {
         mut updates: Vec<RoundUpdate>,
         expected: usize,
     ) -> Vec<RoundUpdate> {
-        let Some(gate) = self.defense.as_mut() else {
+        if self.defense.is_none() {
             return updates;
-        };
+        }
         let tracing = self.recorder.enabled();
         let now = self.clock.seconds();
+        // Scrub + norm-screen in parallel: `sanitize` takes `&self` and
+        // touches only its own update's values, and `scope_run` collects in
+        // submission order, so the verdicts are identical at any pool
+        // width. Telemetry is replayed sequentially below, in the original
+        // update order.
+        let screened: Vec<Result<Sanitized, RejectReason>> = {
+            let gate = self.defense.as_ref().expect("checked above");
+            let jobs: Vec<Box<dyn FnOnce() -> Result<Sanitized, RejectReason> + Send + '_>> =
+                updates
+                    .iter_mut()
+                    .map(|u| {
+                        // The screens run over the transmitted values; the
+                        // L2 norm of a sparse update equals the norm of its
+                        // dense form.
+                        Box::new(move || gate.sanitize(u.payload.values_mut())) as Box<_>
+                    })
+                    .collect();
+            self.pool.scope_run(jobs)
+        };
         let mut kept: Vec<RoundUpdate> = Vec::with_capacity(updates.len());
         let mut norms: Vec<f64> = Vec::with_capacity(updates.len());
-        for mut u in updates.drain(..) {
-            // The screens run over the transmitted values; the L2 norm of a
-            // sparse update equals the norm of its dense form.
-            match gate.sanitize(u.payload.values_mut()) {
+        for (u, screened) in updates.drain(..).zip(screened) {
+            match screened {
                 Ok(s) => {
                     if tracing && s.scrubbed > 0 {
                         self.recorder
@@ -556,7 +616,11 @@ impl SyncRuntime {
                 }
             }
         }
-        let verdicts = gate.admit_batch(&norms);
+        let verdicts = self
+            .defense
+            .as_mut()
+            .expect("checked above")
+            .admit_batch(&norms);
         let mut out: Vec<RoundUpdate> = Vec::with_capacity(kept.len());
         for (u, ok) in kept.into_iter().zip(verdicts) {
             if ok {
@@ -571,6 +635,7 @@ impl SyncRuntime {
                 );
             }
         }
+        let gate = self.defense.as_ref().expect("checked above");
         if !gate.quorum_met(out.len(), expected) {
             if tracing {
                 self.recorder.counter_add(names::FL_QUORUM_SKIPS, 1);
@@ -588,7 +653,8 @@ impl SyncRuntime {
 
     /// Byzantine-robust pre-aggregation: replaces the screened cohort with
     /// the robust estimate (see [`crate::robust`]) before the aggregation
-    /// policy sees it. Identity when no robust method is set.
+    /// policy sees it, fanning the densify and distance-matrix work across
+    /// the worker pool. Identity when no robust method is set.
     fn robust_stage(&mut self, round: usize, updates: Vec<RoundUpdate>) -> Vec<RoundUpdate> {
         let Some(robust) = self.robust.as_ref() else {
             return updates;
@@ -598,7 +664,7 @@ impl SyncRuntime {
         }
         let tracing = self.recorder.enabled();
         let wall_start = self.recorder.wall_micros();
-        let (out, stats) = robust.pre_aggregate(self.global.len(), updates);
+        let (out, stats) = robust.pre_aggregate_with(self.global.len(), updates, Some(&self.pool));
         if tracing {
             if stats.rejected > 0 {
                 self.recorder

@@ -2,7 +2,8 @@
 
 use crate::{Layer, LayerWorkspace};
 use adafl_tensor::{
-    col2im_into, he_normal, im2col_into, matmul_into, matmul_nt, matmul_tn, Conv2dGeometry, Tensor,
+    col2im_into, he_normal, im2col_into, matmul_into_with, matmul_nt_with, matmul_tn_with,
+    Conv2dGeometry, Tensor,
 };
 use rand::Rng;
 
@@ -89,7 +90,7 @@ impl Layer for Conv2d {
         input: &Tensor,
         out: &mut Tensor,
         _train: bool,
-        _ws: &mut LayerWorkspace,
+        ws: &mut LayerWorkspace,
     ) {
         assert_eq!(input.rank(), 2, "conv input must be [batch, c*h*w]");
         let batch = input.shape().dims()[0];
@@ -112,13 +113,14 @@ impl Layer for Conv2d {
             let cols = &mut self.cached_cols[i * cols_len..(i + 1) * cols_len];
             im2col_into(row, &self.geom, cols);
             let sample_out = &mut out.as_mut_slice()[i * out_width..(i + 1) * out_width];
-            matmul_into(
+            matmul_into_with(
                 self.weight.as_slice(),
                 cols,
                 sample_out,
                 self.out_channels,
                 patch_len,
                 n_patches,
+                &mut ws.pack,
             );
             for (ch, chunk) in sample_out.chunks_mut(n_patches).enumerate() {
                 let b = self.bias.as_slice()[ch];
@@ -144,13 +146,14 @@ impl Layer for Conv2d {
         for (i, dy) in grad_out.as_slice().chunks(out_width).enumerate() {
             let cols = &self.cached_cols[i * cols_len..(i + 1) * cols_len];
             // dW += dY · colsᵀ  (dY: [out_ch, n_patches], cols: [patch_len, n_patches])
-            matmul_nt(
+            matmul_nt_with(
                 dy,
                 cols,
                 self.grad_weight.as_mut_slice(),
                 self.out_channels,
                 n_patches,
                 patch_len,
+                &mut ws.pack,
             );
             // db += per-channel sums of dY.
             for (ch, chunk) in dy.chunks(n_patches).enumerate() {
@@ -158,13 +161,14 @@ impl Layer for Conv2d {
             }
             // dCols = Wᵀ · dY  (W: [out_ch, patch_len])
             ws.scratch.fill(0.0);
-            matmul_tn(
+            matmul_tn_with(
                 self.weight.as_slice(),
                 dy,
                 &mut ws.scratch,
                 self.out_channels,
                 patch_len,
                 n_patches,
+                &mut ws.pack,
             );
             let dimg = &mut grad_in.as_mut_slice()[i * in_volume..(i + 1) * in_volume];
             col2im_into(&ws.scratch, &self.geom, dimg);

@@ -1,7 +1,7 @@
 //! Fully-connected (linear) layer.
 
 use crate::{Layer, LayerWorkspace};
-use adafl_tensor::{matmul_into, matmul_nt, matmul_tn, xavier_uniform, Tensor};
+use adafl_tensor::{matmul_into_with, matmul_nt_with, matmul_tn_with, xavier_uniform, Tensor};
 use rand::Rng;
 
 /// Fully-connected layer computing `y = x·W + b`.
@@ -79,7 +79,7 @@ impl Layer for Dense {
         input: &Tensor,
         out: &mut Tensor,
         _train: bool,
-        _ws: &mut LayerWorkspace,
+        ws: &mut LayerWorkspace,
     ) {
         assert_eq!(
             input.shape().dims().get(1).copied(),
@@ -89,13 +89,14 @@ impl Layer for Dense {
         let batch = input.shape().dims()[0];
         out.resize_reuse(&[batch, self.out_features]);
         out.as_mut_slice().fill(0.0);
-        matmul_into(
+        matmul_into_with(
             input.as_slice(),
             self.weight.as_slice(),
             out.as_mut_slice(),
             batch,
             self.in_features,
             self.out_features,
+            &mut ws.pack,
         );
         out.add_row_broadcast(&self.bias).expect("bias broadcast");
         match &mut self.cached_input {
@@ -104,7 +105,7 @@ impl Layer for Dense {
         }
     }
 
-    fn backward_into(&mut self, grad_out: &Tensor, grad_in: &mut Tensor, _ws: &mut LayerWorkspace) {
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: &mut Tensor, ws: &mut LayerWorkspace) {
         let input = self
             .cached_input
             .as_ref()
@@ -113,13 +114,14 @@ impl Layer for Dense {
         assert_eq!(grad_out.shape().dims(), [batch, self.out_features]);
 
         // dW += Xᵀ · dY
-        matmul_tn(
+        matmul_tn_with(
             input.as_slice(),
             grad_out.as_slice(),
             self.grad_weight.as_mut_slice(),
             batch,
             self.in_features,
             self.out_features,
+            &mut ws.pack,
         );
         // db += column sums of dY, accumulated row by row (same summation
         // order as the former sum_rows + axpy, without the temporary).
@@ -133,13 +135,14 @@ impl Layer for Dense {
         // dX = dY · Wᵀ
         grad_in.resize_reuse(&[batch, self.in_features]);
         grad_in.as_mut_slice().fill(0.0);
-        matmul_nt(
+        matmul_nt_with(
             grad_out.as_slice(),
             self.weight.as_slice(),
             grad_in.as_mut_slice(),
             batch,
             self.out_features,
             self.in_features,
+            &mut ws.pack,
         );
     }
 

@@ -21,6 +21,9 @@ use adafl_tensor::Tensor;
 pub struct LayerWorkspace {
     /// Flat `f32` scratch (e.g. convolution backward's `dcols` matrix).
     pub scratch: Vec<f32>,
+    /// Matmul panel-packing buffer reused across every kernel call the
+    /// layer makes (see `adafl_tensor::PackBuf`).
+    pub pack: adafl_tensor::PackBuf,
     /// First activation ping-pong buffer for composite layers.
     pub ping: Tensor,
     /// Second activation ping-pong buffer for composite layers.

@@ -1,4 +1,4 @@
-//! Register-blocked matrix multiplication kernels.
+//! Panel-packed, register-blocked matrix multiplication kernels.
 //!
 //! Three variants cover the needs of forward and backward passes without
 //! materialising transposes:
@@ -7,19 +7,49 @@
 //! * [`matmul_tn`] — `C = Aᵀ · B` (weight gradients)
 //! * [`matmul_nt`] — `C = A · Bᵀ` (input gradients)
 //!
-//! All three run a register-blocked micro-kernel: an `MR`-row × `NR`-column
-//! tile of `C` is accumulated in local arrays across a k-block, so each
-//! loaded panel of `B` feeds `MR` rows of output and `C` is touched once per
-//! k-block instead of once per `(i, kk)` pair. The accumulators are plain
-//! fixed-size `f32` arrays with independent lanes, which LLVM autovectorises
-//! without any unordered reductions — results stay bit-deterministic for a
-//! given shape. The kernels are dense on purpose: sparsity-aware paths live
-//! in `crates/compression`, not here.
+//! All three follow the same two-step shape: **pack once, stream lanes**.
+//! Operands are first repacked into contiguous panels inside a reusable
+//! [`PackBuf`] — `B` into `KC × NR` column panels (tail columns zero-padded
+//! to the full lane width), `A` into `KC × MR` row panels — and the
+//! micro-kernel then streams those panels with perfectly sequential loads.
+//! Packing is a layout change only: every floating-point operation happens
+//! in exactly the same order as the unpacked kernels did, so results are
+//! bit-for-bit identical, and the zero-padded tail lanes are discarded
+//! before write-back so they never contribute.
+//!
+//! The micro-kernel accumulates an `MR`-row × `NR`-column tile of `C` in
+//! local arrays across a k-block, touching `C` once per k-block. With the
+//! `simd` cargo feature the tile runs on explicit `std::arch` intrinsics
+//! (AVX2 on x86_64, NEON on aarch64) using *separate* multiply and add
+//! instructions — never FMA — so the SIMD lanes compute the exact same
+//! IEEE-754 sequence as the scalar fallback and stay bit-deterministic.
+//! Without the feature (or on other architectures) a scalar tile with
+//! independent lanes autovectorises and produces the same bits.
+//!
+//! ```text
+//! B panel layout (one KC-deep k-block, NR = 16 lanes per column tile):
+//!
+//!   b[(kb+kk)*n + j .. +NR]  ──pack──▶  panel[jt][kk*NR .. kk*NR+NR]
+//!
+//!   jt=0 tile               jt=1 tile              … (tail zero-padded)
+//!   ┌────────────────┐      ┌────────────────┐
+//!   │ kk=0: 16 lanes │      │ kk=0: 16 lanes │
+//!   │ kk=1: 16 lanes │      │ kk=1: 16 lanes │
+//!   │      …         │      │      …         │
+//!   │ kk=KC-1        │      │ kk=KC-1        │
+//!   └────────────────┘      └────────────────┘
+//!   contiguous in memory ── the micro-kernel walks straight through.
+//! ```
+//!
+//! The kernels are dense on purpose: sparsity-aware paths live in
+//! `crates/compression`, not here.
 //!
 //! The [`oracle`] module keeps the naive triple-loop kernels as a reference
-//! for unit and property tests.
+//! for approximate checks, plus `*_ordered` variants that replicate the
+//! exact blocked reduction order for bitwise-equality tests.
 
 use crate::{Result, Tensor, TensorError};
+use std::cell::RefCell;
 
 /// k-blocking factor: bounds the `B` panel touched by one micro-kernel pass
 /// to `KC × NR × 4` bytes (16 KiB), which stays L1-resident.
@@ -31,9 +61,43 @@ const MR: usize = 4;
 /// register file without spilling, leaving registers for the `B` panel.
 const NR: usize = 16;
 /// Lane width for the dot-product (`NT`) kernel accumulators: two 256-bit
-/// vectors per dot product, giving eight independent FMA chains across a
-/// 4-wide column tile to cover FMA latency.
+/// vectors per dot product, giving eight independent multiply-add chains
+/// across a 4-wide column tile to cover arithmetic latency.
 const LANES: usize = 16;
+
+/// Reusable packing scratch for the matmul kernels.
+///
+/// Holds the packed `A` and `B` panels between calls so steady-state
+/// training performs no per-step heap allocation. Buffers only ever grow;
+/// a `PackBuf` can be reused across arbitrary shapes. The convenience
+/// wrappers ([`matmul_into`] etc.) fall back to a thread-local `PackBuf`;
+/// hot paths thread one through explicitly via the `*_with` variants.
+#[derive(Debug, Default)]
+pub struct PackBuf {
+    a: Vec<f32>,
+    b: Vec<f32>,
+    /// Transpose scratch for the short-`k` NT path, which rewrites the
+    /// transposed operand once and reruns the NN kernel.
+    t: Vec<f32>,
+}
+
+impl PackBuf {
+    /// Creates an empty packing buffer; it grows on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+thread_local! {
+    static PACK: RefCell<PackBuf> = RefCell::new(PackBuf::new());
+}
+
+/// Grows `v` to at least `len` elements without shrinking capacity.
+fn ensure_len(v: &mut Vec<f32>, len: usize) {
+    if v.len() < len {
+        v.resize(len, 0.0);
+    }
+}
 
 fn dims2(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
     if t.rank() != 2 {
@@ -79,8 +143,249 @@ impl Tensor {
     }
 }
 
-/// Micro-kernel for `matmul_into`: accumulates `R` rows of `C` starting at
-/// row `i`, over the k-range `kb..ke`, for every column tile.
+// ---------------------------------------------------------------------------
+// Packing
+// ---------------------------------------------------------------------------
+
+/// Whether panel-packing pays for an NN/TN problem of this shape.
+///
+/// Packing wins once the `B` k-slab outgrows half of a typical L1d (strided
+/// panel walks start missing) or the column count is ragged past one tile
+/// (packed tiles zero-pad the tail lanes; the direct kernel re-runs a
+/// narrow scalar tail per row block). Below that the raw slab is
+/// cache-resident, every pass over it is cheap, and the pack writes are
+/// pure overhead — the direct register-blocked panels are faster.
+fn worth_packing(k: usize, n: usize) -> bool {
+    let slab_bytes = k.min(KC) * n * core::mem::size_of::<f32>();
+    slab_bytes > 16 * 1024 || (n > NR && !n.is_multiple_of(NR))
+}
+
+/// Whether the explicit SIMD micro-kernels may run on this CPU. Call once
+/// per kernel invocation and thread the answer down — the cached feature
+/// probe is cheap but not free in a per-tile loop.
+#[inline]
+fn simd_tiles_available() -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+    {
+        true
+    }
+    #[cfg(not(all(feature = "simd", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+    {
+        false
+    }
+}
+
+/// Packs the `kb..ke` k-slab of row-major `b` (`k×n`) into contiguous
+/// `kc×NR` column tiles; tail lanes beyond `n` are zero-filled so the
+/// micro-kernel always streams full `NR`-wide rows.
+fn pack_b_panels(b: &[f32], kb: usize, ke: usize, n: usize, out: &mut Vec<f32>) {
+    let kc = ke - kb;
+    let tiles = n.div_ceil(NR);
+    ensure_len(out, tiles * kc * NR);
+    for jt in 0..tiles {
+        let j = jt * NR;
+        let w = NR.min(n - j);
+        let tile = &mut out[jt * kc * NR..][..kc * NR];
+        for kk in 0..kc {
+            let dst = &mut tile[kk * NR..][..NR];
+            dst[..w].copy_from_slice(&b[(kb + kk) * n + j..][..w]);
+            dst[w..].fill(0.0);
+        }
+    }
+}
+
+/// Packs `r` rows of row-major `a` (`m×k`) starting at row `i`, k-slab
+/// `kb..ke`, into `kc×r` layout: the `r` values for one `kk` are adjacent.
+fn pack_a_nn(a: &[f32], i: usize, r: usize, kb: usize, ke: usize, k: usize, out: &mut Vec<f32>) {
+    let kc = ke - kb;
+    ensure_len(out, kc * r);
+    for rr in 0..r {
+        let row = &a[(i + rr) * k + kb..][..kc];
+        for (kk, &v) in row.iter().enumerate() {
+            out[kk * r + rr] = v;
+        }
+    }
+}
+
+/// Packs `r` columns of column-stored `a` (`k×m`, the TN operand) starting
+/// at column `i`, k-slab `kb..ke`, into the same `kc×r` layout as
+/// [`pack_a_nn`]. The source values are already adjacent per `kk`.
+fn pack_a_tn(a: &[f32], i: usize, r: usize, kb: usize, ke: usize, m: usize, out: &mut Vec<f32>) {
+    let kc = ke - kb;
+    ensure_len(out, kc * r);
+    for kk in 0..kc {
+        out[kk * r..][..r].copy_from_slice(&a[(kb + kk) * m + i..][..r]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Micro-kernel tiles (scalar + SIMD)
+// ---------------------------------------------------------------------------
+
+/// Scalar `R×NR` tile: independent accumulator lanes, `kk` ascending, so
+/// LLVM autovectorises without reordering any reduction.
+#[allow(clippy::needless_range_loop)]
+fn tile_scalar<const R: usize>(
+    a_pack: &[f32],
+    b_tile: &[f32],
+    kc: usize,
+    acc: &mut [[f32; NR]; R],
+) {
+    for kk in 0..kc {
+        let av = &a_pack[kk * R..][..R];
+        let bv = &b_tile[kk * NR..][..NR];
+        for r in 0..R {
+            let a = av[r];
+            for (x, &b) in acc[r].iter_mut().zip(bv) {
+                *x += a * b;
+            }
+        }
+    }
+}
+
+/// AVX2 `R×NR` tile. Uses separate multiply and add (never FMA) so every
+/// lane computes the exact IEEE-754 sequence of [`tile_scalar`].
+///
+/// # Safety
+///
+/// Caller must ensure AVX2 is available and that `a_pack` holds at least
+/// `kc*R` and `b_tile` at least `kc*NR` elements.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+unsafe fn tile_avx2<const R: usize>(
+    a_pack: &[f32],
+    b_tile: &[f32],
+    kc: usize,
+    acc: &mut [[f32; NR]; R],
+) {
+    use core::arch::x86_64::*;
+    let mut lo = [_mm256_setzero_ps(); R];
+    let mut hi = [_mm256_setzero_ps(); R];
+    let ap = a_pack.as_ptr();
+    let bp = b_tile.as_ptr();
+    for kk in 0..kc {
+        let b0 = _mm256_loadu_ps(bp.add(kk * NR));
+        let b1 = _mm256_loadu_ps(bp.add(kk * NR + 8));
+        for r in 0..R {
+            let a = _mm256_set1_ps(*ap.add(kk * R + r));
+            lo[r] = _mm256_add_ps(lo[r], _mm256_mul_ps(a, b0));
+            hi[r] = _mm256_add_ps(hi[r], _mm256_mul_ps(a, b1));
+        }
+    }
+    for r in 0..R {
+        _mm256_storeu_ps(acc[r].as_mut_ptr(), lo[r]);
+        _mm256_storeu_ps(acc[r].as_mut_ptr().add(8), hi[r]);
+    }
+}
+
+/// NEON `R×NR` tile; same bit-exact separate multiply/add discipline as
+/// [`tile_avx2`].
+///
+/// # Safety
+///
+/// Caller must ensure `a_pack` holds at least `kc*R` and `b_tile` at least
+/// `kc*NR` elements. NEON itself is mandatory on aarch64.
+#[cfg(all(feature = "simd", target_arch = "aarch64"))]
+unsafe fn tile_neon<const R: usize>(
+    a_pack: &[f32],
+    b_tile: &[f32],
+    kc: usize,
+    acc: &mut [[f32; NR]; R],
+) {
+    use core::arch::aarch64::*;
+    let mut v = [[vdupq_n_f32(0.0); 4]; R];
+    let ap = a_pack.as_ptr();
+    let bp = b_tile.as_ptr();
+    for kk in 0..kc {
+        let b0 = vld1q_f32(bp.add(kk * NR));
+        let b1 = vld1q_f32(bp.add(kk * NR + 4));
+        let b2 = vld1q_f32(bp.add(kk * NR + 8));
+        let b3 = vld1q_f32(bp.add(kk * NR + 12));
+        for r in 0..R {
+            let a = vdupq_n_f32(*ap.add(kk * R + r));
+            v[r][0] = vaddq_f32(v[r][0], vmulq_f32(a, b0));
+            v[r][1] = vaddq_f32(v[r][1], vmulq_f32(a, b1));
+            v[r][2] = vaddq_f32(v[r][2], vmulq_f32(a, b2));
+            v[r][3] = vaddq_f32(v[r][3], vmulq_f32(a, b3));
+        }
+    }
+    for r in 0..R {
+        for q in 0..4 {
+            vst1q_f32(acc[r].as_mut_ptr().add(q * 4), v[r][q]);
+        }
+    }
+}
+
+/// Runs one `R×NR` tile over a packed k-slab, dispatching to the widest
+/// bit-compatible implementation available. `simd` is the hoisted
+/// [`simd_tiles_available`] answer.
+#[cfg_attr(
+    not(all(feature = "simd", any(target_arch = "x86_64", target_arch = "aarch64"))),
+    allow(unused_variables)
+)]
+#[inline]
+fn run_tile<const R: usize>(
+    simd: bool,
+    a_pack: &[f32],
+    b_tile: &[f32],
+    kc: usize,
+    acc: &mut [[f32; NR]; R],
+) {
+    debug_assert!(a_pack.len() >= kc * R);
+    debug_assert!(b_tile.len() >= kc * NR);
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd {
+        // SAFETY: AVX2 presence checked by the caller; lengths asserted.
+        unsafe { tile_avx2::<R>(a_pack, b_tile, kc, acc) };
+        return;
+    }
+    #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+    if simd {
+        // SAFETY: NEON is mandatory on aarch64; lengths asserted above.
+        unsafe { tile_neon::<R>(a_pack, b_tile, kc, acc) };
+        return;
+    }
+    tile_scalar::<R>(a_pack, b_tile, kc, acc);
+}
+
+/// Accumulates `R` packed rows against every packed `B` column tile of one
+/// k-slab, writing `c +=` for the first `w` real lanes of each tile.
+#[allow(clippy::too_many_arguments)]
+fn gemm_packed<const R: usize>(
+    simd: bool,
+    a_pack: &[f32],
+    b_pack: &[f32],
+    c: &mut [f32],
+    i: usize,
+    kc: usize,
+    n: usize,
+) {
+    let mut jt = 0;
+    let mut j = 0;
+    while j < n {
+        let w = NR.min(n - j);
+        let b_tile = &b_pack[jt * kc * NR..][..kc * NR];
+        let mut acc = [[0.0f32; NR]; R];
+        run_tile::<R>(simd, &a_pack[..kc * R], b_tile, kc, &mut acc);
+        for (r, lane) in acc.iter().enumerate() {
+            let c_row = &mut c[(i + r) * n + j..][..w];
+            for (cv, &x) in c_row.iter_mut().zip(&lane[..w]) {
+                *cv += x;
+            }
+        }
+        j += NR;
+        jt += 1;
+    }
+}
+
+/// Direct (no-pack) micro-kernel for `matmul_into`: accumulates `R` rows of
+/// `C` over the k-slab `kb..ke`, reading the raw strided operands. Used when
+/// `worth_packing` says the slab is cache-resident; the per-element
+/// accumulation order is identical to the packed path.
 #[allow(clippy::too_many_arguments)]
 fn nn_panel<const R: usize>(
     a: &[f32],
@@ -135,37 +440,9 @@ fn nn_panel<const R: usize>(
     }
 }
 
-/// Computes `c += a · b` where `a` is `m×k`, `b` is `k×n`, `c` is `m×n`,
-/// all row-major flat slices.
-///
-/// Register-blocked: 4×16 tiles of `c` accumulate in locals across each
-/// k-block, so one loaded `b` panel feeds four output rows.
-///
-/// # Panics
-///
-/// Panics when slice lengths do not match the stated dimensions.
-pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    assert_eq!(a.len(), m * k, "lhs length");
-    assert_eq!(b.len(), k * n, "rhs length");
-    assert_eq!(c.len(), m * n, "out length");
-    for kb in (0..k).step_by(KC) {
-        let ke = (kb + KC).min(k);
-        let mut i = 0;
-        while i + MR <= m {
-            nn_panel::<MR>(a, b, c, i, kb, ke, k, n);
-            i += MR;
-        }
-        match m - i {
-            3 => nn_panel::<3>(a, b, c, i, kb, ke, k, n),
-            2 => nn_panel::<2>(a, b, c, i, kb, ke, k, n),
-            1 => nn_panel::<1>(a, b, c, i, kb, ke, k, n),
-            _ => {}
-        }
-    }
-}
-
-/// Micro-kernel for `matmul_tn`: same tile shape as [`nn_panel`], but `a` is
-/// `k×m`, so the `R` row values for a given `kk` are contiguous.
+/// Direct (no-pack) micro-kernel for `matmul_tn`: same tile shape as
+/// [`nn_panel`], but `a` is `k×m`, so the `R` row values for a given `kk`
+/// are one contiguous load.
 #[allow(clippy::too_many_arguments)]
 fn tn_panel<const R: usize>(
     a: &[f32],
@@ -220,38 +497,176 @@ fn tn_panel<const R: usize>(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------------
+
+/// Computes `c += a · b` where `a` is `m×k`, `b` is `k×n`, `c` is `m×n`,
+/// all row-major flat slices. Uses a thread-local [`PackBuf`]; hot paths
+/// should prefer [`matmul_into_with`].
+///
+/// # Panics
+///
+/// Panics when slice lengths do not match the stated dimensions.
+pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    PACK.with(|p| matmul_into_with(a, b, c, m, k, n, &mut p.borrow_mut()));
+}
+
+/// [`matmul_into`] with an explicit packing buffer.
+///
+/// When `worth_packing` approves, each `KC`-deep slab of `b` is packed
+/// once into contiguous `NR`-wide column tiles and reused across every row
+/// block of `a`, whose rows are packed `kc×MR`; the micro-kernel then
+/// streams both panels with unit-stride loads. Cache-resident shapes skip
+/// the packing and run the same tiles over the raw strided operands.
+/// Accumulation order is identical either way, so results are bit-for-bit
+/// unchanged.
+///
+/// # Panics
+///
+/// Panics when slice lengths do not match the stated dimensions.
+pub fn matmul_into_with(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    pack: &mut PackBuf,
+) {
+    assert_eq!(a.len(), m * k, "lhs length");
+    assert_eq!(b.len(), k * n, "rhs length");
+    assert_eq!(c.len(), m * n, "out length");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if !worth_packing(k, n) {
+        for kb in (0..k).step_by(KC) {
+            let ke = (kb + KC).min(k);
+            let mut i = 0;
+            while i + MR <= m {
+                nn_panel::<MR>(a, b, c, i, kb, ke, k, n);
+                i += MR;
+            }
+            match m - i {
+                3 => nn_panel::<3>(a, b, c, i, kb, ke, k, n),
+                2 => nn_panel::<2>(a, b, c, i, kb, ke, k, n),
+                1 => nn_panel::<1>(a, b, c, i, kb, ke, k, n),
+                _ => {}
+            }
+        }
+        return;
+    }
+    let simd = simd_tiles_available();
+    for kb in (0..k).step_by(KC) {
+        let ke = (kb + KC).min(k);
+        let kc = ke - kb;
+        pack_b_panels(b, kb, ke, n, &mut pack.b);
+        let mut i = 0;
+        while i + MR <= m {
+            pack_a_nn(a, i, MR, kb, ke, k, &mut pack.a);
+            gemm_packed::<MR>(simd, &pack.a, &pack.b, c, i, kc, n);
+            i += MR;
+        }
+        let r = m - i;
+        if r > 0 {
+            pack_a_nn(a, i, r, kb, ke, k, &mut pack.a);
+            match r {
+                3 => gemm_packed::<3>(simd, &pack.a, &pack.b, c, i, kc, n),
+                2 => gemm_packed::<2>(simd, &pack.a, &pack.b, c, i, kc, n),
+                1 => gemm_packed::<1>(simd, &pack.a, &pack.b, c, i, kc, n),
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
 /// Computes `c += aᵀ · b` where `a` is `k×m`, `b` is `k×n`, `c` is `m×n`.
+/// Uses a thread-local [`PackBuf`]; hot paths should prefer
+/// [`matmul_tn_with`].
 ///
 /// This is the weight-gradient kernel: `dW = Xᵀ · dY` without materialising
-/// `Xᵀ`. Same 4×16 register blocking as [`matmul_into`]; the transposed
-/// layout makes the four per-row `a` values one contiguous load.
+/// `Xᵀ`.
 ///
 /// # Panics
 ///
 /// Panics when slice lengths do not match the stated dimensions.
 pub fn matmul_tn(a: &[f32], b: &[f32], c: &mut [f32], k: usize, m: usize, n: usize) {
+    PACK.with(|p| matmul_tn_with(a, b, c, k, m, n, &mut p.borrow_mut()));
+}
+
+/// [`matmul_tn`] with an explicit packing buffer. Same panel scheme,
+/// shape-dependent pack/direct split and bitwise guarantee as
+/// [`matmul_into_with`]; the transposed `a` layout makes its panel packing
+/// a straight `memcpy` per `kk`.
+///
+/// # Panics
+///
+/// Panics when slice lengths do not match the stated dimensions.
+pub fn matmul_tn_with(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    k: usize,
+    m: usize,
+    n: usize,
+    pack: &mut PackBuf,
+) {
     assert_eq!(a.len(), k * m, "lhs length");
     assert_eq!(b.len(), k * n, "rhs length");
     assert_eq!(c.len(), m * n, "out length");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if !worth_packing(k, n) {
+        for kb in (0..k).step_by(KC) {
+            let ke = (kb + KC).min(k);
+            let mut i = 0;
+            while i + MR <= m {
+                tn_panel::<MR>(a, b, c, i, kb, ke, m, n);
+                i += MR;
+            }
+            match m - i {
+                3 => tn_panel::<3>(a, b, c, i, kb, ke, m, n),
+                2 => tn_panel::<2>(a, b, c, i, kb, ke, m, n),
+                1 => tn_panel::<1>(a, b, c, i, kb, ke, m, n),
+                _ => {}
+            }
+        }
+        return;
+    }
+    let simd = simd_tiles_available();
     for kb in (0..k).step_by(KC) {
         let ke = (kb + KC).min(k);
+        let kc = ke - kb;
+        pack_b_panels(b, kb, ke, n, &mut pack.b);
         let mut i = 0;
         while i + MR <= m {
-            tn_panel::<MR>(a, b, c, i, kb, ke, m, n);
+            pack_a_tn(a, i, MR, kb, ke, m, &mut pack.a);
+            gemm_packed::<MR>(simd, &pack.a, &pack.b, c, i, kc, n);
             i += MR;
         }
-        match m - i {
-            3 => tn_panel::<3>(a, b, c, i, kb, ke, m, n),
-            2 => tn_panel::<2>(a, b, c, i, kb, ke, m, n),
-            1 => tn_panel::<1>(a, b, c, i, kb, ke, m, n),
-            _ => {}
+        let r = m - i;
+        if r > 0 {
+            pack_a_tn(a, i, r, kb, ke, m, &mut pack.a);
+            match r {
+                3 => gemm_packed::<3>(simd, &pack.a, &pack.b, c, i, kc, n),
+                2 => gemm_packed::<2>(simd, &pack.a, &pack.b, c, i, kc, n),
+                1 => gemm_packed::<1>(simd, &pack.a, &pack.b, c, i, kc, n),
+                _ => unreachable!(),
+            }
         }
     }
 }
 
+// ---------------------------------------------------------------------------
+// NT (A · Bᵀ) kernel
+// ---------------------------------------------------------------------------
+
 /// `Q` simultaneous dot products of `a` against rows of `b` starting at row
 /// `j`, each accumulated in [`LANES`] independent lanes and horizontally
 /// summed in a fixed order (left to right), so results are deterministic.
+/// Unpacked fallback used for column tails and `k < LANES`.
 fn nt_dots<const Q: usize>(a: &[f32], b: &[f32], j: usize, k: usize) -> [f32; Q] {
     let b_rows: [&[f32]; Q] = core::array::from_fn(|q| &b[(j + q) * k..][..k]);
     let mut acc = [[0.0f32; LANES]; Q];
@@ -279,26 +694,302 @@ fn nt_dots<const Q: usize>(a: &[f32], b: &[f32], j: usize, k: usize) -> [f32; Q]
     out
 }
 
+/// Packs full 4-row column tiles of `b` (`n×k`) into chunk-interleaved
+/// layout: chunk `t` of tile rows `q∈0..4` lands at `(t*4+q)*LANES`, so the
+/// micro-kernel reads one `a` chunk and four adjacent `b` chunks per step.
+fn pack_b_nt(b: &[f32], n: usize, k: usize, chunks: usize, out: &mut Vec<f32>) {
+    let tiles4 = n / 4;
+    let tile_len = chunks * 4 * LANES;
+    ensure_len(out, tiles4 * tile_len);
+    for jt in 0..tiles4 {
+        let tile = &mut out[jt * tile_len..][..tile_len];
+        for q in 0..4 {
+            let row = &b[(jt * 4 + q) * k..][..k];
+            for t in 0..chunks {
+                tile[(t * 4 + q) * LANES..][..LANES].copy_from_slice(&row[t * LANES..][..LANES]);
+            }
+        }
+    }
+}
+
+/// Scalar lane accumulation over a packed NT tile; bit-identical to the
+/// chunked phase of `nt_dots`.
+#[allow(clippy::needless_range_loop)]
+fn nt_acc_scalar(a_row: &[f32], b_tile: &[f32], chunks: usize, acc: &mut [[f32; LANES]; 4]) {
+    for t in 0..chunks {
+        let al = &a_row[t * LANES..][..LANES];
+        let bt = &b_tile[t * 4 * LANES..][..4 * LANES];
+        for q in 0..4 {
+            let bl = &bt[q * LANES..][..LANES];
+            for ((x, &av), &bv) in acc[q].iter_mut().zip(al).zip(bl) {
+                *x += av * bv;
+            }
+        }
+    }
+}
+
+/// AVX2 NT tile: lane accumulation over the packed chunks (separate
+/// mul/add, no FMA), then the horizontal finish done in-register — the
+/// `4×LANES` accumulator block is transposed with shuffles so one SSE lane
+/// per dot product walks the exact left-to-right scalar sum sequence of
+/// [`nt_finish`], 16 sequential vector adds replacing 60 scalar ones.
+/// Returns the four chunk-phase dot values; the `k % LANES` tail is the
+/// caller's job.
+///
+/// # Safety
+///
+/// Caller must ensure AVX2 is available, `a_row` holds at least
+/// `chunks*LANES` and `b_tile` at least `chunks*4*LANES` elements.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+unsafe fn nt_tile_avx2(a_row: &[f32], b_tile: &[f32], chunks: usize) -> [f32; 4] {
+    use core::arch::x86_64::*;
+    let mut lo = [_mm256_setzero_ps(); 4];
+    let mut hi = [_mm256_setzero_ps(); 4];
+    let ap = a_row.as_ptr();
+    let bp = b_tile.as_ptr();
+    for t in 0..chunks {
+        let a0 = _mm256_loadu_ps(ap.add(t * LANES));
+        let a1 = _mm256_loadu_ps(ap.add(t * LANES + 8));
+        for q in 0..4 {
+            let base = (t * 4 + q) * LANES;
+            let b0 = _mm256_loadu_ps(bp.add(base));
+            let b1 = _mm256_loadu_ps(bp.add(base + 8));
+            lo[q] = _mm256_add_ps(lo[q], _mm256_mul_ps(a0, b0));
+            hi[q] = _mm256_add_ps(hi[q], _mm256_mul_ps(a1, b1));
+        }
+    }
+    // Transpose the 4×8 `lo` block: `v{t}` holds lane column `t` of all
+    // four dots in its low 128 bits and column `t+4` in its high bits.
+    let u0 = _mm256_unpacklo_ps(lo[0], lo[1]);
+    let u1 = _mm256_unpackhi_ps(lo[0], lo[1]);
+    let u2 = _mm256_unpacklo_ps(lo[2], lo[3]);
+    let u3 = _mm256_unpackhi_ps(lo[2], lo[3]);
+    let v0 = _mm256_shuffle_ps(u0, u2, 0b0100_0100);
+    let v1 = _mm256_shuffle_ps(u0, u2, 0b1110_1110);
+    let v2 = _mm256_shuffle_ps(u1, u3, 0b0100_0100);
+    let v3 = _mm256_shuffle_ps(u1, u3, 0b1110_1110);
+    // Same for the `hi` block: columns 8..11 low, 12..15 high.
+    let u4 = _mm256_unpacklo_ps(hi[0], hi[1]);
+    let u5 = _mm256_unpackhi_ps(hi[0], hi[1]);
+    let u6 = _mm256_unpacklo_ps(hi[2], hi[3]);
+    let u7 = _mm256_unpackhi_ps(hi[2], hi[3]);
+    let w0 = _mm256_shuffle_ps(u4, u6, 0b0100_0100);
+    let w1 = _mm256_shuffle_ps(u4, u6, 0b1110_1110);
+    let w2 = _mm256_shuffle_ps(u5, u7, 0b0100_0100);
+    let w3 = _mm256_shuffle_ps(u5, u7, 0b1110_1110);
+    // Strict left-to-right sum of the 16 lane columns, all four dots in
+    // parallel lanes: identical IEEE sequence to the scalar finish.
+    let mut s = _mm_setzero_ps();
+    s = _mm_add_ps(s, _mm256_castps256_ps128(v0));
+    s = _mm_add_ps(s, _mm256_castps256_ps128(v1));
+    s = _mm_add_ps(s, _mm256_castps256_ps128(v2));
+    s = _mm_add_ps(s, _mm256_castps256_ps128(v3));
+    s = _mm_add_ps(s, _mm256_extractf128_ps(v0, 1));
+    s = _mm_add_ps(s, _mm256_extractf128_ps(v1, 1));
+    s = _mm_add_ps(s, _mm256_extractf128_ps(v2, 1));
+    s = _mm_add_ps(s, _mm256_extractf128_ps(v3, 1));
+    s = _mm_add_ps(s, _mm256_castps256_ps128(w0));
+    s = _mm_add_ps(s, _mm256_castps256_ps128(w1));
+    s = _mm_add_ps(s, _mm256_castps256_ps128(w2));
+    s = _mm_add_ps(s, _mm256_castps256_ps128(w3));
+    s = _mm_add_ps(s, _mm256_extractf128_ps(w0, 1));
+    s = _mm_add_ps(s, _mm256_extractf128_ps(w1, 1));
+    s = _mm_add_ps(s, _mm256_extractf128_ps(w2, 1));
+    s = _mm_add_ps(s, _mm256_extractf128_ps(w3, 1));
+    let mut out = [0.0f32; 4];
+    _mm_storeu_ps(out.as_mut_ptr(), s);
+    out
+}
+
+/// NEON lane accumulation over a packed NT tile (separate mul/add, no FMA).
+///
+/// # Safety
+///
+/// Caller must ensure `a_row` holds at least `chunks*LANES` and `b_tile` at
+/// least `chunks*4*LANES` elements. NEON itself is mandatory on aarch64.
+#[cfg(all(feature = "simd", target_arch = "aarch64"))]
+unsafe fn nt_acc_neon(a_row: &[f32], b_tile: &[f32], chunks: usize, acc: &mut [[f32; LANES]; 4]) {
+    use core::arch::aarch64::*;
+    let mut v = [[vdupq_n_f32(0.0); 4]; 4];
+    let ap = a_row.as_ptr();
+    let bp = b_tile.as_ptr();
+    for t in 0..chunks {
+        let a0 = vld1q_f32(ap.add(t * LANES));
+        let a1 = vld1q_f32(ap.add(t * LANES + 4));
+        let a2 = vld1q_f32(ap.add(t * LANES + 8));
+        let a3 = vld1q_f32(ap.add(t * LANES + 12));
+        for q in 0..4 {
+            let base = (t * 4 + q) * LANES;
+            v[q][0] = vaddq_f32(v[q][0], vmulq_f32(a0, vld1q_f32(bp.add(base))));
+            v[q][1] = vaddq_f32(v[q][1], vmulq_f32(a1, vld1q_f32(bp.add(base + 4))));
+            v[q][2] = vaddq_f32(v[q][2], vmulq_f32(a2, vld1q_f32(bp.add(base + 8))));
+            v[q][3] = vaddq_f32(v[q][3], vmulq_f32(a3, vld1q_f32(bp.add(base + 12))));
+        }
+    }
+    for q in 0..4 {
+        for h in 0..4 {
+            vst1q_f32(acc[q].as_mut_ptr().add(h * 4), v[q][h]);
+        }
+    }
+}
+
+/// Four dot products against one packed NT tile: lane accumulation on the
+/// packed chunks, then the fixed-order horizontal sum and sequential tail
+/// of [`nt_finish`] (done in-register on AVX2), reading tail elements from
+/// the raw `b` rows. Bit-identical to `nt_dots::<4>`. `simd` is the hoisted
+/// [`simd_tiles_available`] answer.
+#[cfg_attr(
+    not(all(feature = "simd", any(target_arch = "x86_64", target_arch = "aarch64"))),
+    allow(unused_variables)
+)]
+#[inline]
+fn nt_tile4(
+    simd: bool,
+    a_row: &[f32],
+    b_tile: &[f32],
+    b: &[f32],
+    j: usize,
+    k: usize,
+    chunks: usize,
+) -> [f32; 4] {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd {
+        // SAFETY: AVX2 presence checked by the caller; callers size slices.
+        let mut d = unsafe { nt_tile_avx2(a_row, b_tile, chunks) };
+        let tail = chunks * LANES;
+        if tail < k {
+            for (q, sum) in d.iter_mut().enumerate() {
+                let b_row = &b[(j + q) * k..][..k];
+                for kk in tail..k {
+                    *sum += a_row[kk] * b_row[kk];
+                }
+            }
+        }
+        return d;
+    }
+    let mut acc = [[0.0f32; LANES]; 4];
+    #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+    if simd {
+        // SAFETY: NEON is mandatory on aarch64; callers size the slices.
+        unsafe { nt_acc_neon(a_row, b_tile, chunks, &mut acc) };
+        return nt_finish(a_row, b, j, k, chunks, &acc);
+    }
+    nt_acc_scalar(a_row, b_tile, chunks, &mut acc);
+    nt_finish(a_row, b, j, k, chunks, &acc)
+}
+
+/// Rewrites the short-`k` NT operand `b` (`n×k`, `k < LANES`) as its `k×n`
+/// transpose so the NN kernel can take over. With no full lane chunk, the
+/// NT dot order degenerates to a plain ascending-`k` sum — exactly the NN
+/// kernel's per-element order — so the handoff is bit-exact while replacing
+/// `n` short serial dot chains per row with full-width column tiles.
+fn transpose_short_k(b: &[f32], n: usize, k: usize, out: &mut Vec<f32>) {
+    ensure_len(out, k * n);
+    for (j, row) in b.chunks_exact(k).enumerate() {
+        for (kk, &v) in row.iter().enumerate() {
+            out[kk * n + j] = v;
+        }
+    }
+}
+
+/// Shared NT finishing step: fixed-order horizontal lane sum plus the
+/// sequential `k % LANES` tail from the raw operand.
+fn nt_finish(
+    a_row: &[f32],
+    b: &[f32],
+    j: usize,
+    k: usize,
+    chunks: usize,
+    acc: &[[f32; LANES]; 4],
+) -> [f32; 4] {
+    let mut out = [0.0f32; 4];
+    for (q, lane) in acc.iter().enumerate() {
+        let mut sum = 0.0f32;
+        for &x in lane {
+            sum += x;
+        }
+        let b_row = &b[(j + q) * k..][..k];
+        for kk in chunks * LANES..k {
+            sum += a_row[kk] * b_row[kk];
+        }
+        out[q] = sum;
+    }
+    out
+}
+
 /// Computes `c += a · bᵀ` where `a` is `m×k`, `b` is `n×k`, `c` is `m×n`.
+/// Uses a thread-local [`PackBuf`]; hot paths should prefer
+/// [`matmul_nt_with`].
 ///
 /// This is the input-gradient kernel: `dX = dY · Wᵀ` without materialising
-/// `Wᵀ`. Both operands are contiguous along `k`, so the kernel runs four
-/// lane-accumulated dot products at a time, reusing each loaded `a` chunk
-/// across four `b` rows.
+/// `Wᵀ`.
 ///
 /// # Panics
 ///
 /// Panics when slice lengths do not match the stated dimensions.
 pub fn matmul_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    PACK.with(|p| matmul_nt_with(a, b, c, m, k, n, &mut p.borrow_mut()));
+}
+
+/// [`matmul_nt`] with an explicit packing buffer.
+///
+/// Three shape-dependent schedules, all computing the identical per-element
+/// reduction:
+///
+/// * `k < LANES` — no full lane chunk exists, so the dot order degenerates
+///   to a plain ascending-`k` sum; `b` is transposed once (tiny) and the
+///   problem reruns as [`matmul_into_with`], which vectorises across output
+///   columns instead of running short serial dots.
+/// * `k ≥ LANES` with `n ≥ 4` — full 4-row column tiles of `b` are packed
+///   once into a chunk-interleaved panel (fixing the strided-access penalty
+///   of walking four `k`-long rows in parallel) and reused across every row
+///   of `a`; on AVX2 the per-tile horizontal finish runs in-register.
+/// * Otherwise — the unpacked `nt_dots` fallback.
+///
+/// # Panics
+///
+/// Panics when slice lengths do not match the stated dimensions.
+pub fn matmul_nt_with(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    pack: &mut PackBuf,
+) {
     assert_eq!(a.len(), m * k, "lhs length");
     assert_eq!(b.len(), n * k, "rhs length");
     assert_eq!(c.len(), m * n, "out length");
+    if m == 0 || n == 0 {
+        return;
+    }
+    let chunks = k / LANES;
+    if chunks == 0 && k > 0 {
+        transpose_short_k(b, n, k, &mut pack.t);
+        let bt = core::mem::take(&mut pack.t);
+        matmul_into_with(a, &bt[..k * n], c, m, k, n, pack);
+        pack.t = bt;
+        return;
+    }
+    let packed = chunks > 0 && n >= 4;
+    let simd = simd_tiles_available();
+    if packed {
+        pack_b_nt(b, n, k, chunks, &mut pack.b);
+    }
+    let tile_len = chunks * 4 * LANES;
     for i in 0..m {
         let a_row = &a[i * k..][..k];
         let c_row = &mut c[i * n..][..n];
         let mut j = 0;
         while j + 4 <= n {
-            let d = nt_dots::<4>(a_row, b, j, k);
+            let d = if packed {
+                let b_tile = &pack.b[(j / 4) * tile_len..][..tile_len];
+                nt_tile4(simd, a_row, b_tile, b, j, k, chunks)
+            } else {
+                nt_dots::<4>(a_row, b, j, k)
+            };
             for (cv, &x) in c_row[j..j + 4].iter_mut().zip(&d) {
                 *cv += x;
             }
@@ -312,11 +1003,13 @@ pub fn matmul_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usi
     }
 }
 
-/// Naive triple-loop reference kernels.
+/// Naive triple-loop reference kernels plus ordered-reduction references.
 ///
-/// These are the correctness oracle for the blocked kernels above — used by
-/// unit tests here and the property tests in `tests/kernel_equivalence.rs`.
-/// Never call them from production code.
+/// The naive kernels are the approximate-correctness oracle for the packed
+/// kernels above; the `*_ordered` variants replicate the production
+/// kernels' exact reduction order (k-blocked partial sums, lane-split dot
+/// products) with simple loops, so tests can assert *bitwise* f32 equality.
+/// Never call any of them from production code.
 pub mod oracle {
     /// `C = A · B` by the textbook i-j-k triple loop.
     pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
@@ -352,6 +1045,74 @@ pub mod oracle {
                 for kk in 0..k {
                     c[i * n + j] += a[i * k + kk] * b[j * k + kk];
                 }
+            }
+        }
+        c
+    }
+
+    /// `C = A · B` with the production reduction order: per-element partial
+    /// sums over each `KC`-deep k-block, accumulated left to right. Bitwise
+    /// equal to [`super::matmul_into`] on a zeroed output.
+    pub fn matmul_ordered(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for kb in (0..k).step_by(super::KC) {
+            let ke = (kb + super::KC).min(k);
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for kk in kb..ke {
+                        acc += a[i * k + kk] * b[kk * n + j];
+                    }
+                    c[i * n + j] += acc;
+                }
+            }
+        }
+        c
+    }
+
+    /// `C = Aᵀ · B` with the production reduction order (k-blocked partial
+    /// sums). Bitwise equal to [`super::matmul_tn`] on a zeroed output.
+    pub fn matmul_tn_ordered(a: &[f32], b: &[f32], k: usize, m: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for kb in (0..k).step_by(super::KC) {
+            let ke = (kb + super::KC).min(k);
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for kk in kb..ke {
+                        acc += a[kk * m + i] * b[kk * n + j];
+                    }
+                    c[i * n + j] += acc;
+                }
+            }
+        }
+        c
+    }
+
+    /// `C = A · Bᵀ` with the production reduction order: `LANES` independent
+    /// lanes over the chunked prefix, a left-to-right horizontal sum, then
+    /// the sequential tail. Bitwise equal to [`super::matmul_nt`] on a
+    /// zeroed output.
+    pub fn matmul_nt_ordered(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        const LANES: usize = super::LANES;
+        let chunks = k / LANES;
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut lanes = [0.0f32; LANES];
+                for t in 0..chunks {
+                    for (l, x) in lanes.iter_mut().enumerate() {
+                        *x += a[i * k + t * LANES + l] * b[j * k + t * LANES + l];
+                    }
+                }
+                let mut sum = 0.0f32;
+                for &x in &lanes {
+                    sum += x;
+                }
+                for kk in chunks * LANES..k {
+                    sum += a[i * k + kk] * b[j * k + kk];
+                }
+                c[i * n + j] = sum;
             }
         }
         c
@@ -455,5 +1216,78 @@ mod tests {
         let mut c = [100.0f32; 4];
         matmul_into(&a, &b, &mut c, 2, 2, 2);
         assert_eq!(c, [119.0, 122.0, 143.0, 150.0]);
+    }
+
+    fn fill(len: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn packed_bitwise_matches_ordered_oracle() {
+        // Shapes straddle every boundary: MR/NR tails, k-block edges, the
+        // LANES remainder, and the 4-wide NT column tiles.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (5, 17, 3),
+            (4, 256, 16),
+            (7, 257, 19),
+            (13, 300, 33),
+            (65, 66, 67),
+        ] {
+            let a = fill(m * k, (m * 1000 + k * 10 + n) as u64);
+            let b_nn = fill(k * n, (n * 1000 + m) as u64);
+            let mut c = vec![0.0f32; m * n];
+            matmul_into(&a, &b_nn, &mut c, m, k, n);
+            assert_eq!(
+                c,
+                oracle::matmul_ordered(&a, &b_nn, m, k, n),
+                "{m}x{k}x{n} nn"
+            );
+
+            let a_tn = fill(k * m, (m + k + n) as u64);
+            let mut c = vec![0.0f32; m * n];
+            matmul_tn(&a_tn, &b_nn, &mut c, k, m, n);
+            assert_eq!(
+                c,
+                oracle::matmul_tn_ordered(&a_tn, &b_nn, k, m, n),
+                "{m}x{k}x{n} tn"
+            );
+
+            let b_nt = fill(n * k, (k * 7 + 3) as u64);
+            let mut c = vec![0.0f32; m * n];
+            matmul_nt(&a, &b_nt, &mut c, m, k, n);
+            assert_eq!(
+                c,
+                oracle::matmul_nt_ordered(&a, &b_nt, m, k, n),
+                "{m}x{k}x{n} nt"
+            );
+        }
+    }
+
+    #[test]
+    fn pack_buf_reuse_across_shapes() {
+        // One PackBuf serving shrinking and growing shapes must not leak
+        // stale panel data between calls.
+        let mut pack = PackBuf::new();
+        for &(m, k, n) in &[(9, 280, 21), (2, 3, 2), (33, 64, 47), (1, 500, 1)] {
+            let a = fill(m * k, 1);
+            let b = fill(k * n, 2);
+            let mut c = vec![0.0f32; m * n];
+            matmul_into_with(&a, &b, &mut c, m, k, n, &mut pack);
+            assert_eq!(c, oracle::matmul_ordered(&a, &b, m, k, n));
+
+            let b_nt = fill(n * k, 3);
+            let mut c = vec![0.0f32; m * n];
+            matmul_nt_with(&a, &b_nt, &mut c, m, k, n, &mut pack);
+            assert_eq!(c, oracle::matmul_nt_ordered(&a, &b_nt, m, k, n));
+        }
     }
 }

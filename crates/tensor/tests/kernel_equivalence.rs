@@ -1,21 +1,33 @@
-//! Property tests: the register-blocked matmul kernels must agree with the
+//! Property tests: the panel-packed matmul kernels must agree with the
 //! naive triple-loop oracle on ragged shapes.
 //!
-//! Shapes are drawn from {1..17} ∪ {63, 64, 65} per dimension, straddling
+//! Shapes are drawn from {1..17} ∪ {63, 64, 80} per dimension, straddling
 //! every kernel boundary: partial MR row tiles, partial NR column tiles,
-//! and the KC k-block edge. Accumulation order differs between the blocked
-//! kernels and the oracle, so equality is up to a small relative tolerance.
+//! and the KC k-block edge. Two comparison tiers:
+//!
+//! * against the **naive** oracles, whose accumulation order differs,
+//!   equality holds up to a small relative tolerance;
+//! * against the **ordered** oracles, which replay the production
+//!   reduction order in plain scalar code, equality is **exact** — the
+//!   bitwise contract the golden traces rely on, and the property that
+//!   pins the SIMD tiles (`--features simd`) to the scalar ones.
 
-use adafl_tensor::{matmul_into, matmul_nt, matmul_tn, oracle};
+use adafl_tensor::{
+    matmul_into, matmul_into_with, matmul_nt, matmul_nt_with, matmul_tn, matmul_tn_with, oracle,
+    PackBuf,
+};
 use proptest::prelude::*;
 
-/// Maps a raw draw in `0..20` onto {1..17} ∪ {63, 64, 65}.
+/// Maps a raw draw in `0..20` onto {1..17} ∪ {63, 64, 80}.
+///
+/// 80 pushes the `B` k-slab past the pack-vs-direct threshold, so shape
+/// pairs drawn here exercise both schedules of every kernel.
 fn dim(raw: usize) -> usize {
     match raw {
         0..=16 => raw + 1,
         17 => 63,
         18 => 64,
-        _ => 65,
+        _ => 80,
     }
 }
 
@@ -82,6 +94,101 @@ proptest! {
         for (i, (&x, &y)) in c.iter().zip(&expected).enumerate() {
             prop_assert!(close(x, y), "C[{i}] = {x} vs oracle {y} (m={m} k={k} n={n})");
         }
+    }
+
+    #[test]
+    fn packed_matmul_bitwise_matches_ordered_oracle(
+        rm in 0usize..20, rk in 0usize..20, rn in 0usize..20, seed in 0u64..1_000_000
+    ) {
+        let (m, k, n) = (dim(rm), dim(rk), dim(rn));
+        let a = fill(m * k, seed);
+        let b = fill(k * n, seed ^ 0xA5A5);
+        let mut c = vec![0.0f32; m * n];
+        matmul_into(&a, &b, &mut c, m, k, n);
+        let expected = oracle::matmul_ordered(&a, &b, m, k, n);
+        for (i, (&x, &y)) in c.iter().zip(&expected).enumerate() {
+            prop_assert!(
+                x.to_bits() == y.to_bits(),
+                "C[{i}] = {x:?} vs ordered oracle {y:?} (m={m} k={k} n={n})"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_matmul_tn_bitwise_matches_ordered_oracle(
+        rm in 0usize..20, rk in 0usize..20, rn in 0usize..20, seed in 0u64..1_000_000
+    ) {
+        let (m, k, n) = (dim(rm), dim(rk), dim(rn));
+        let a = fill(k * m, seed);
+        let b = fill(k * n, seed ^ 0x5A5A);
+        let mut c = vec![0.0f32; m * n];
+        matmul_tn(&a, &b, &mut c, k, m, n);
+        let expected = oracle::matmul_tn_ordered(&a, &b, k, m, n);
+        for (i, (&x, &y)) in c.iter().zip(&expected).enumerate() {
+            prop_assert!(
+                x.to_bits() == y.to_bits(),
+                "C[{i}] = {x:?} vs ordered oracle {y:?} (m={m} k={k} n={n})"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_matmul_nt_bitwise_matches_ordered_oracle(
+        rm in 0usize..20, rk in 0usize..20, rn in 0usize..20, seed in 0u64..1_000_000
+    ) {
+        let (m, k, n) = (dim(rm), dim(rk), dim(rn));
+        let a = fill(m * k, seed);
+        let b = fill(n * k, seed ^ 0x3C3C);
+        let mut c = vec![0.0f32; m * n];
+        matmul_nt(&a, &b, &mut c, m, k, n);
+        let expected = oracle::matmul_nt_ordered(&a, &b, m, k, n);
+        for (i, (&x, &y)) in c.iter().zip(&expected).enumerate() {
+            prop_assert!(
+                x.to_bits() == y.to_bits(),
+                "C[{i}] = {x:?} vs ordered oracle {y:?} (m={m} k={k} n={n})"
+            );
+        }
+    }
+
+    #[test]
+    fn reused_pack_buffer_is_bitwise_equivalent(
+        rm in 0usize..20, rk in 0usize..20, rn in 0usize..20, seed in 0u64..1_000_000
+    ) {
+        // One PackBuf carried across all three kernels and a second,
+        // differently-shaped call: stale panel contents must never leak.
+        let (m, k, n) = (dim(rm), dim(rk), dim(rn));
+        let mut pack = PackBuf::new();
+        let a = fill(m * k, seed);
+        let b = fill(k * n, seed ^ 0xA5A5);
+        let bt = fill(n * k, seed ^ 0x3C3C);
+        let at = fill(k * m, seed ^ 0x5A5A);
+
+        let mut c = vec![0.0f32; m * n];
+        matmul_into_with(&a, &b, &mut c, m, k, n, &mut pack);
+        let mut fresh = vec![0.0f32; m * n];
+        matmul_into(&a, &b, &mut fresh, m, k, n);
+        prop_assert_eq!(&c, &fresh);
+
+        let mut c = vec![0.0f32; m * n];
+        matmul_tn_with(&at, &b, &mut c, k, m, n, &mut pack);
+        let mut fresh = vec![0.0f32; m * n];
+        matmul_tn(&at, &b, &mut fresh, k, m, n);
+        prop_assert_eq!(&c, &fresh);
+
+        let mut c = vec![0.0f32; m * n];
+        matmul_nt_with(&a, &bt, &mut c, m, k, n, &mut pack);
+        let mut fresh = vec![0.0f32; m * n];
+        matmul_nt(&a, &bt, &mut fresh, m, k, n);
+        prop_assert_eq!(&c, &fresh);
+
+        // Smaller follow-up shape through the same (now oversized) buffer.
+        let (m2, k2, n2) = (m.div_ceil(2), k.div_ceil(2), n.div_ceil(2));
+        let a2 = fill(m2 * k2, seed ^ 0x99);
+        let b2 = fill(k2 * n2, seed ^ 0x66);
+        let mut c = vec![0.0f32; m2 * n2];
+        matmul_into_with(&a2, &b2, &mut c, m2, k2, n2, &mut pack);
+        let expected = oracle::matmul_ordered(&a2, &b2, m2, k2, n2);
+        prop_assert_eq!(&c, &expected);
     }
 
     #[test]
