@@ -118,7 +118,7 @@ fn main() {
                     partitioner: adafl_data::partition::Partitioner::Iid,
                     update_budget: 0,
                     task: task.clone(),
-                    resilience,
+                    resilience: resilience.clone(),
                     fl,
                 };
                 let rec = InMemoryRecorder::shared();

@@ -36,11 +36,14 @@
 
 use adafl_bench::args::Args;
 use adafl_bench::config::ExperimentConfig;
-use adafl_bench::runner::{run_async_with, run_sync_with, Resilience, RunResult, Scenario};
+use adafl_bench::runner::{
+    run_async_with, run_sync_with, Capacity, Resilience, RunResult, Scenario,
+};
 use adafl_bench::tasks::Task;
 use adafl_bench::{fleet, report};
 use adafl_fl::faults::{FaultKind, FaultPlan};
 use adafl_fl::robust::RobustMethod;
+use adafl_fl::submodel::CapacityTier;
 use adafl_fl::FlConfig;
 use adafl_telemetry::{export, InMemoryRecorder, SharedRecorder};
 
@@ -95,6 +98,26 @@ fn main() {
         name.parse()
             .unwrap_or_else(|e| panic!("invalid config {path}: {e}"))
     });
+    let capacity: Option<Capacity> = cfg.capacity.as_deref().map(|mode| {
+        let adaptive = match mode {
+            "adaptive" => true,
+            "static" => false,
+            other => {
+                panic!("invalid config {path}: capacity must be \"static\" or \"adaptive\", got {other:?}")
+            }
+        };
+        let names = cfg
+            .tiers
+            .clone()
+            .unwrap_or_else(|| vec!["full".into(), "half".into(), "quarter".into()]);
+        let tiers = names
+            .iter()
+            .map(|t| {
+                CapacityTier::parse(t).unwrap_or_else(|e| panic!("invalid config {path}: {e}"))
+            })
+            .collect();
+        Capacity { tiers, adaptive }
+    });
     let scenario = Scenario {
         network: fleet::mixed_network_with(
             cfg.clients,
@@ -108,6 +131,7 @@ fn main() {
         update_budget: cfg.update_budget,
         resilience: Resilience {
             robust,
+            capacity,
             ..Resilience::default()
         },
         faults,

@@ -69,6 +69,20 @@ pub struct ExperimentConfig {
     /// `null` keeps plain aggregation. Sync protocols only.
     #[serde(default)]
     pub robust: Option<String>,
+    /// Heterogeneous-capacity assignment mode: `"static"` (client-id
+    /// round-robin over the tier ladder) or `"adaptive"` (utility-driven
+    /// promotion/demotion via
+    /// [`AdaptiveCapacity`](adafl_core::AdaptiveCapacity)). `null` keeps
+    /// every client training the full model. Sync protocols only, and not
+    /// combinable with the `adafl` strategy.
+    #[serde(default)]
+    pub capacity: Option<String>,
+    /// Capacity tier ladder, widest first, parsed via
+    /// [`CapacityTier::parse`](adafl_fl::submodel::CapacityTier); `null`
+    /// with [`capacity`](Self::capacity) set uses
+    /// `["full", "half", "quarter"]`.
+    #[serde(default)]
+    pub tiers: Option<Vec<String>>,
     /// Async protocols: total server-received updates before stopping.
     #[serde(default = "default_budget")]
     pub update_budget: u64,

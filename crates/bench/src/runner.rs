@@ -6,7 +6,7 @@
 //! inputs plus the strategy name.
 
 use crate::tasks::Task;
-use adafl_core::{AdaFlBuild, AdaFlConfig};
+use adafl_core::{AdaFlBuild, AdaFlConfig, AdaptiveCapacity};
 use adafl_data::partition::Partitioner;
 use adafl_fl::compute::ComputeModel;
 use adafl_fl::defense::DefenseConfig;
@@ -15,17 +15,41 @@ use adafl_fl::r#async::strategies::{FedAsync, FedBuff};
 use adafl_fl::r#async::AsyncStrategy;
 use adafl_fl::robust::RobustMethod;
 use adafl_fl::runtime::RuntimeBuilder;
+use adafl_fl::submodel::{CapacityPolicy, CapacityTier};
 use adafl_fl::sync::strategies::{FedAdam, FedAvg, FedProx, Scaffold};
 use adafl_fl::sync::SyncStrategy;
+use adafl_fl::StaticCapacity;
 use adafl_fl::{FlConfig, RunHistory};
 use adafl_netsim::{ClientNetwork, ReliablePolicy};
 use adafl_telemetry::SharedRecorder;
 
+/// Heterogeneous-capacity configuration for synchronous scenarios: the
+/// tier ladder clients are assigned from and how assignments are made.
+#[derive(Debug, Clone)]
+pub struct Capacity {
+    /// Tier ladder, ordered widest → narrowest.
+    pub tiers: Vec<CapacityTier>,
+    /// `true`: utility-driven [`AdaptiveCapacity`] (alignment EMA
+    /// promotes/demotes); `false`: static `client % tiers.len()`
+    /// assignment.
+    pub adaptive: bool,
+}
+
+impl Capacity {
+    fn policy(&self, clients: usize) -> Box<dyn CapacityPolicy> {
+        if self.adaptive {
+            Box::new(AdaptiveCapacity::new(self.tiers.clone(), clients))
+        } else {
+            Box::new(StaticCapacity::new(self.tiers.clone()))
+        }
+    }
+}
+
 /// Optional reliability layer for a scenario: retry transport over the
 /// lossy links and/or the defensive aggregation gate at the server. The
-/// default (both `None`) reproduces the legacy fire-and-forget behaviour
+/// default (all `None`) reproduces the legacy fire-and-forget behaviour
 /// byte for byte.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Resilience {
     /// Reliable-transport policy; `None` = fire-and-forget.
     pub retry: Option<ReliablePolicy>,
@@ -34,6 +58,9 @@ pub struct Resilience {
     /// Byzantine-robust pre-aggregation (sync flavours only); `None` =
     /// plain aggregation over the screened cohort.
     pub robust: Option<RobustMethod>,
+    /// Heterogeneous-capacity sub-view training (sync flavours only);
+    /// `None` = every client trains the full model.
+    pub capacity: Option<Capacity>,
 }
 
 impl Resilience {
@@ -44,6 +71,7 @@ impl Resilience {
             retry: Some(ReliablePolicy::default()),
             defense: Some(DefenseConfig::default()),
             robust: None,
+            capacity: None,
         }
     }
 }
@@ -83,6 +111,12 @@ impl Scenario {
             .retry_policy(self.resilience.retry)
             .defense(self.resilience.defense)
             .robust(self.resilience.robust)
+            .capacity(
+                self.resilience
+                    .capacity
+                    .as_ref()
+                    .map(|c| c.policy(self.fl.clients)),
+            )
             .recorder(recorder)
     }
 }
@@ -149,6 +183,12 @@ pub fn run_sync(scenario: &Scenario, strategy: &str) -> RunResult {
 pub fn run_sync_with(scenario: &Scenario, strategy: &str, recorder: SharedRecorder) -> RunResult {
     let builder = scenario.builder(recorder);
     if strategy == "adafl" {
+        assert!(
+            scenario.resilience.capacity.is_none(),
+            "capacity tiers cannot be combined with the adafl strategy: its \
+             score-adaptive DGC compression keeps per-client error feedback \
+             bound to the full model dimension"
+        );
         let mut engine = builder.build_adafl_sync(&scenario.ada);
         let history = engine.run();
         result(history, engine.ledger())
@@ -184,7 +224,9 @@ pub fn run_async_with(scenario: &Scenario, strategy: &str, recorder: SharedRecor
         let history = engine.run();
         result(history, engine.ledger())
     } else {
-        let mut engine = builder.build_async(async_baseline(strategy));
+        let mut engine = builder
+            .build_async(async_baseline(strategy))
+            .unwrap_or_else(|e| panic!("{e}"));
         let history = engine.run();
         result(history, engine.ledger())
     }

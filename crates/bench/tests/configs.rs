@@ -57,6 +57,21 @@ fn every_checked_in_config_deserializes() {
                 "{path:?} robust name is not canonical"
             );
         }
+        if let Some(capacity) = &cfg.capacity {
+            assert!(
+                matches!(capacity.as_str(), "static" | "adaptive"),
+                "{path:?} has invalid capacity mode {capacity:?}"
+            );
+            for tier in cfg.tiers.as_deref().unwrap_or(&[]) {
+                let parsed = adafl_fl::submodel::CapacityTier::parse(tier)
+                    .unwrap_or_else(|e| panic!("{path:?} names an unknown tier: {e}"));
+                assert_eq!(
+                    parsed.canonical(),
+                    *tier,
+                    "{path:?} tier name is not canonical"
+                );
+            }
+        }
         seen += 1;
     }
     assert!(
@@ -86,7 +101,49 @@ fn schema_defaults_fill_missing_fields() {
     );
     assert!(cfg.attack.is_none());
     assert!(cfg.robust.is_none());
+    assert!(cfg.capacity.is_none());
+    assert!(cfg.tiers.is_none());
     assert_eq!(cfg.attack_fraction, 0.3);
+}
+
+#[test]
+fn capacity_tier_names_round_trip_through_the_schema() {
+    use adafl_fl::submodel::CapacityTier;
+    let cfg: ExperimentConfig = serde_json::from_str(
+        r#"{
+            "protocol": "sync",
+            "strategy": "fedavg",
+            "task": "mnist-logreg",
+            "partition": "Iid",
+            "capacity": "static",
+            "tiers": ["full", "half", "quarter", "width:0.75", "layers:2"]
+        }"#,
+    )
+    .unwrap();
+    assert_eq!(cfg.capacity.as_deref(), Some("static"));
+    let tiers: Vec<CapacityTier> = cfg
+        .tiers
+        .as_deref()
+        .unwrap()
+        .iter()
+        .map(|t| CapacityTier::parse(t).unwrap())
+        .collect();
+    assert_eq!(
+        tiers,
+        vec![
+            CapacityTier::Full,
+            CapacityTier::Width(0.5),
+            CapacityTier::Width(0.25),
+            CapacityTier::Width(0.75),
+            CapacityTier::Layers(2),
+        ]
+    );
+    // Canonical names survive a parse → canonical → parse cycle, so
+    // re-serialized configs stay stable.
+    for (tier, name) in tiers.iter().zip(cfg.tiers.as_deref().unwrap()) {
+        assert_eq!(CapacityTier::parse(&tier.canonical()).unwrap(), *tier);
+        assert_eq!(tier.canonical(), *name, "{name} is not canonical");
+    }
 }
 
 #[test]

@@ -26,6 +26,7 @@
 //! | sparse | `u64` dense_len · `u64` nnz · (`u32` idx, `f32` val)×nnz | `16 + 8·nnz` |
 //! | quantized | `u64` levels≪56 \| len · `f32` norm · `u8` code×len | `12 + len` |
 //! | ternary | `u64` len · `f32` scale · `u8`×⌈len/4⌉ (2-bit codes) | `12 + ⌈len/4⌉` |
+//! | view | `u64` dense_len · `u32` nseg · (`u32` off, `u32` len)×nseg | `12 + 8·nseg` |
 //!
 //! # Decoder hardening
 //!
@@ -57,6 +58,13 @@ pub const TERNARY_HEADER_BYTES: usize = 12;
 /// Low 56 bits of the quantized header hold the coordinate count; the top
 /// byte holds the level count.
 pub const QUANTIZED_LEN_MASK: u64 = (1 << 56) - 1;
+
+/// Header bytes of the view-descriptor wire form (`u64` dense_len +
+/// `u32` segment count).
+pub const VIEW_HEADER_BYTES: usize = 12;
+
+/// Bytes per view-descriptor segment (`u32` offset + `u32` length).
+pub const VIEW_SEGMENT_BYTES: usize = 8;
 
 /// Error from a [`WireCodec::decode`] implementation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -191,6 +199,222 @@ impl WireCodec for DenseUpdate {
     }
 }
 
+/// The coordinate mask of a parameter sub-view, as transmitted over the
+/// wire alongside a sub-model update.
+///
+/// Heterogeneous-capacity clients train only a slice of the model
+/// (federated-dropout/FedRolex width slicing, SLT layer freezing); the
+/// server and client must agree which global coordinates the transmitted
+/// values occupy. A `ViewDescriptor` is that agreement in compact form: a
+/// sorted, disjoint list of `(offset, len)` coordinate segments into a
+/// dense vector of `dense_len` coordinates. It is a [`WireCodec`], so its
+/// `encoded_len()` is byte-charged to the communication ledger exactly
+/// like the payload it frames — constrained-link savings from sub-model
+/// training are measured net of descriptor overhead.
+///
+/// # Examples
+///
+/// ```
+/// use adafl_compression::{ViewDescriptor, WireCodec};
+///
+/// let d = ViewDescriptor::new(10, vec![(2, 3), (7, 1)]);
+/// assert_eq!(d.view_len(), 4);
+/// let bytes = d.encode();
+/// assert_eq!(bytes.len(), d.encoded_len());
+/// assert_eq!(ViewDescriptor::decode(&bytes).unwrap(), d);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewDescriptor {
+    dense_len: usize,
+    segments: Vec<(u32, u32)>,
+}
+
+impl ViewDescriptor {
+    /// Builds a descriptor from sorted, disjoint, non-empty segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a segment is empty, out of `dense_len` range, unsorted
+    /// or overlapping, or when `dense_len` exceeds the `u32` coordinate
+    /// space of the wire format.
+    pub fn new(dense_len: usize, segments: Vec<(u32, u32)>) -> Self {
+        assert!(
+            u32::try_from(dense_len).is_ok(),
+            "dense_len exceeds the u32 coordinate space"
+        );
+        let mut at = 0u64;
+        for &(off, len) in &segments {
+            assert!(len > 0, "view segments must be non-empty");
+            assert!(
+                u64::from(off) >= at,
+                "view segments must be sorted and disjoint"
+            );
+            at = u64::from(off) + u64::from(len);
+            assert!(at <= dense_len as u64, "view segment out of range");
+        }
+        ViewDescriptor {
+            dense_len,
+            segments,
+        }
+    }
+
+    /// The trivial full-width view: one segment covering every coordinate.
+    pub fn full(dense_len: usize) -> Self {
+        let segments = if dense_len == 0 {
+            Vec::new()
+        } else {
+            vec![(0u32, u32::try_from(dense_len).expect("checked by new"))]
+        };
+        ViewDescriptor::new(dense_len, segments)
+    }
+
+    /// The dense coordinate space the view slices.
+    pub fn dense_len(&self) -> usize {
+        self.dense_len
+    }
+
+    /// Number of coordinates the view covers (the transmitted value count).
+    pub fn view_len(&self) -> usize {
+        self.segments.iter().map(|&(_, len)| len as usize).sum()
+    }
+
+    /// The covering segments, sorted and disjoint.
+    pub fn segments(&self) -> &[(u32, u32)] {
+        &self.segments
+    }
+
+    /// Whether the view covers every coordinate.
+    pub fn is_full(&self) -> bool {
+        self.view_len() == self.dense_len
+    }
+
+    /// Gathers the covered coordinates of `dense` into a fresh vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dense.len()` differs from [`ViewDescriptor::dense_len`].
+    pub fn extract(&self, dense: &[f32]) -> Vec<f32> {
+        assert_eq!(dense.len(), self.dense_len, "dense length mismatch");
+        let mut out = Vec::with_capacity(self.view_len());
+        for &(off, len) in &self.segments {
+            out.extend_from_slice(&dense[off as usize..off as usize + len as usize]);
+        }
+        out
+    }
+
+    /// Writes view-local `values` into the covered coordinates of `dest`;
+    /// uncovered coordinates are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics when lengths disagree with the descriptor.
+    pub fn scatter_into(&self, values: &[f32], dest: &mut [f32]) {
+        assert_eq!(dest.len(), self.dense_len, "dense length mismatch");
+        assert_eq!(values.len(), self.view_len(), "view length mismatch");
+        let mut at = 0usize;
+        for &(off, len) in &self.segments {
+            let len = len as usize;
+            dest[off as usize..off as usize + len].copy_from_slice(&values[at..at + len]);
+            at += len;
+        }
+    }
+
+    /// Accumulates `dest[covered] += scale · values` over the covered
+    /// coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics when lengths disagree with the descriptor.
+    pub fn scatter_add_scaled(&self, values: &[f32], dest: &mut [f32], scale: f32) {
+        assert_eq!(dest.len(), self.dense_len, "dense length mismatch");
+        assert_eq!(values.len(), self.view_len(), "view length mismatch");
+        let mut at = 0usize;
+        for &(off, len) in &self.segments {
+            let len = len as usize;
+            for (d, v) in dest[off as usize..off as usize + len]
+                .iter_mut()
+                .zip(&values[at..at + len])
+            {
+                *d += scale * v;
+            }
+            at += len;
+        }
+    }
+
+    /// Parses a descriptor from the *front* of `buf`, returning it with the
+    /// number of bytes consumed — the entry point for composite frames
+    /// where the descriptor headers a payload of another wire form.
+    ///
+    /// # Errors
+    ///
+    /// Rejects truncated buffers, segment counts the buffer cannot hold,
+    /// and segments that are empty, unsorted, overlapping or out of range —
+    /// with checked arithmetic and allocations bounded by the buffer
+    /// length, like every decoder in this module.
+    pub fn decode_prefix(buf: &[u8]) -> Result<(Self, usize), DecodeError> {
+        let mut cur = buf;
+        if cur.len() < VIEW_HEADER_BYTES {
+            return Err(DecodeError::Truncated);
+        }
+        let dense_len = usize::try_from(cur.get_u64_le()).map_err(|_| DecodeError::Truncated)?;
+        if u32::try_from(dense_len).is_err() {
+            return Err(DecodeError::InvalidHeader);
+        }
+        let nseg = cur.get_u32_le() as usize;
+        let need = nseg
+            .checked_mul(VIEW_SEGMENT_BYTES)
+            .ok_or(DecodeError::Truncated)?;
+        if cur.len() < need {
+            return Err(DecodeError::Truncated);
+        }
+        let mut segments = Vec::with_capacity(nseg);
+        let mut at = 0u64;
+        for _ in 0..nseg {
+            let off = cur.get_u32_le();
+            let len = cur.get_u32_le();
+            if len == 0 || u64::from(off) < at {
+                return Err(DecodeError::InvalidIndices);
+            }
+            at = u64::from(off) + u64::from(len);
+            if at > dense_len as u64 {
+                return Err(DecodeError::InvalidIndices);
+            }
+            segments.push((off, len));
+        }
+        Ok((
+            ViewDescriptor {
+                dense_len,
+                segments,
+            },
+            VIEW_HEADER_BYTES + need,
+        ))
+    }
+}
+
+impl WireCodec for ViewDescriptor {
+    fn encoded_len(&self) -> usize {
+        VIEW_HEADER_BYTES + VIEW_SEGMENT_BYTES * self.segments.len()
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.encoded_len());
+        out.put_u64_le(self.dense_len as u64);
+        out.put_u32_le(self.segments.len() as u32);
+        for &(off, len) in &self.segments {
+            out.put_u32_le(off);
+            out.put_u32_le(len);
+        }
+    }
+
+    fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
+        let (desc, consumed) = Self::decode_prefix(buf)?;
+        if consumed < buf.len() {
+            return Err(DecodeError::TrailingBytes);
+        }
+        Ok(desc)
+    }
+}
+
 /// Appends `values` as consecutive little-endian `f32`s.
 pub fn write_f32s<B: BufMut>(buf: &mut B, values: &[f32]) {
     for &v in values {
@@ -290,6 +514,115 @@ mod tests {
         assert_ne!(base, fletcher64(b"fldaa"));
         assert_ne!(base, fletcher64(b"adaf"));
         assert_eq!(base, fletcher64(b"adafl"));
+    }
+
+    #[test]
+    fn view_descriptor_round_trips_and_sizes() {
+        let d = ViewDescriptor::new(100, vec![(3, 7), (20, 1), (90, 10)]);
+        assert_eq!(d.view_len(), 18);
+        assert!(!d.is_full());
+        let bytes = d.encode();
+        assert_eq!(bytes.len(), d.encoded_len());
+        assert_eq!(bytes.len(), VIEW_HEADER_BYTES + 3 * VIEW_SEGMENT_BYTES);
+        assert_eq!(ViewDescriptor::decode(&bytes).unwrap(), d);
+    }
+
+    #[test]
+    fn view_descriptor_full_covers_everything() {
+        let d = ViewDescriptor::full(5);
+        assert!(d.is_full());
+        assert_eq!(d.view_len(), 5);
+        assert_eq!(d.segments(), &[(0, 5)]);
+        let empty = ViewDescriptor::full(0);
+        assert!(empty.is_full());
+        assert_eq!(empty.view_len(), 0);
+    }
+
+    #[test]
+    fn view_descriptor_extract_scatter_round_trip() {
+        let d = ViewDescriptor::new(8, vec![(1, 2), (5, 1)]);
+        let dense: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        let view = d.extract(&dense);
+        assert_eq!(view, vec![1.0, 2.0, 5.0]);
+        let mut dest = vec![-1.0f32; 8];
+        d.scatter_into(&view, &mut dest);
+        assert_eq!(dest, vec![-1.0, 1.0, 2.0, -1.0, -1.0, 5.0, -1.0, -1.0]);
+        d.scatter_add_scaled(&view, &mut dest, 2.0);
+        assert_eq!(dest[1], 3.0);
+        assert_eq!(dest[0], -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and disjoint")]
+    fn view_descriptor_rejects_overlap() {
+        let _ = ViewDescriptor::new(10, vec![(0, 5), (4, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn view_descriptor_rejects_out_of_range() {
+        let _ = ViewDescriptor::new(10, vec![(8, 3)]);
+    }
+
+    #[test]
+    fn view_descriptor_decode_rejects_malformed() {
+        let d = ViewDescriptor::new(10, vec![(2, 3)]);
+        let bytes = d.encode();
+        assert_eq!(
+            ViewDescriptor::decode(&bytes[..bytes.len() - 1]).unwrap_err(),
+            DecodeError::Truncated
+        );
+        let mut long = bytes.clone();
+        long.push(0);
+        assert_eq!(
+            ViewDescriptor::decode(&long).unwrap_err(),
+            DecodeError::TrailingBytes
+        );
+        // Unsorted segments on the wire.
+        let bad = ViewDescriptor {
+            dense_len: 10,
+            segments: vec![(5, 2), (1, 1)],
+        };
+        assert_eq!(
+            ViewDescriptor::decode(&bad.encode()).unwrap_err(),
+            DecodeError::InvalidIndices
+        );
+        // Zero-length segment on the wire.
+        let zero = ViewDescriptor {
+            dense_len: 10,
+            segments: vec![(1, 0)],
+        };
+        assert_eq!(
+            ViewDescriptor::decode(&zero.encode()).unwrap_err(),
+            DecodeError::InvalidIndices
+        );
+        // dense_len beyond the u32 coordinate space.
+        let mut huge = Vec::new();
+        huge.put_u64_le(u64::from(u32::MAX) + 1);
+        huge.put_u32_le(0);
+        assert_eq!(
+            ViewDescriptor::decode(&huge).unwrap_err(),
+            DecodeError::InvalidHeader
+        );
+        // Segment count the buffer cannot hold.
+        let mut lying = Vec::new();
+        lying.put_u64_le(10);
+        lying.put_u32_le(u32::MAX);
+        assert_eq!(
+            ViewDescriptor::decode(&lying).unwrap_err(),
+            DecodeError::Truncated
+        );
+    }
+
+    #[test]
+    fn view_descriptor_decode_prefix_reports_consumption() {
+        let d = ViewDescriptor::new(6, vec![(0, 2), (4, 2)]);
+        let mut framed = d.encode();
+        let header = framed.len();
+        framed.extend_from_slice(&[0xAB; 9]);
+        let (parsed, consumed) = ViewDescriptor::decode_prefix(&framed).unwrap();
+        assert_eq!(parsed, d);
+        assert_eq!(consumed, header);
     }
 
     #[test]

@@ -45,7 +45,7 @@ mod telemetry;
 mod terngrad;
 mod topk;
 
-pub use codec::{DecodeError, DenseUpdate, WireCodec};
+pub use codec::{DecodeError, DenseUpdate, ViewDescriptor, WireCodec};
 pub use dgc::DgcCompressor;
 pub use error_feedback::ErrorFeedback;
 pub use quantize::{QsgdQuantizer, QuantizedUpdate};

@@ -74,6 +74,9 @@ impl AdaFlBuild for RuntimeBuilder {
     fn build_adafl_async(self, ada: &AdaFlConfig) -> AdaFlAsyncEngine {
         ada.validate();
         let policy = AdaFlAsyncPolicy::new(ada, self.fl().clients);
-        AdaFlAsyncEngine::from_runtime(self.build_async_runtime(Box::new(policy)))
+        let rt = self
+            .build_async_runtime(Box::new(policy))
+            .unwrap_or_else(|e| panic!("{e}"));
+        AdaFlAsyncEngine::from_runtime(rt)
     }
 }

@@ -1,0 +1,171 @@
+//! Utility-driven capacity-tier assignment (AdaFL × heterogeneous
+//! submodels).
+//!
+//! The paper's utility score ranks clients by how *useful* their updates
+//! are; [`AdaptiveCapacity`] reuses the same alignment signal — the cosine
+//! similarity between a client's (densified) update and the previous
+//! round's global direction `ĝ`, fed back by the runtime through
+//! [`CapacityPolicy::observe`] — to decide how *much* of the model each
+//! client should train. Well-aligned clients are promoted to wider
+//! sub-views (their gradients are worth the bandwidth); misaligned or
+//! noisy clients are demoted to narrow ones, bounding what their updates
+//! can perturb while keeping them in the fleet.
+
+use adafl_fl::submodel::{CapacityPolicy, CapacityTier};
+
+/// Smoothing factor of the per-client alignment EMA: high enough to react
+/// within a few rounds, low enough that one noisy batch cannot flip tiers.
+const EMA_ALPHA: f32 = 0.3;
+
+/// Rank-banded adaptive tier assignment.
+///
+/// For the first `warmup` rounds every client cycles through the ladder
+/// round-robin (`tiers[client % tiers.len()]`), seeding alignment scores
+/// across all tiers. Afterwards clients are ranked by their alignment EMA
+/// (ties broken by client id, unobserved clients sit at the neutral 0)
+/// and the ranking is cut into `tiers.len()` equal bands: the best-aligned
+/// band trains the first — widest — tier, the worst-aligned band the last.
+///
+/// Assignment is a pure function of the observed scores, so runs are
+/// reproducible: no RNG, no wall clock.
+#[derive(Debug)]
+pub struct AdaptiveCapacity {
+    /// Tier ladder, ordered widest → narrowest.
+    tiers: Vec<CapacityTier>,
+    /// Per-client EMA of the runtime's alignment feedback.
+    ema: Vec<f32>,
+    /// Whether a client has ever been observed (first score is taken
+    /// as-is instead of blended with the neutral 0).
+    seen: Vec<bool>,
+    warmup: u64,
+}
+
+impl AdaptiveCapacity {
+    /// Creates an adaptive policy over `clients` clients with the given
+    /// tier ladder (widest first) and a 3-round warmup.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tiers` is empty or `clients` is 0.
+    pub fn new(tiers: Vec<CapacityTier>, clients: usize) -> Self {
+        assert!(!tiers.is_empty(), "tier ladder must not be empty");
+        assert!(clients > 0, "need at least one client");
+        AdaptiveCapacity {
+            tiers,
+            ema: vec![0.0; clients],
+            seen: vec![false; clients],
+            warmup: 3,
+        }
+    }
+
+    /// Overrides the warmup length (rounds of round-robin ladder cycling
+    /// before rank-banding kicks in).
+    pub fn with_warmup(mut self, warmup: u64) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// The client's position in the fleet ordered by descending EMA,
+    /// ties broken by lower client id.
+    fn rank(&self, client: usize) -> usize {
+        let mine = self.ema[client];
+        self.ema
+            .iter()
+            .enumerate()
+            .filter(|&(j, &s)| s > mine || (s == mine && j < client))
+            .count()
+    }
+}
+
+impl CapacityPolicy for AdaptiveCapacity {
+    fn assign(&mut self, round: u64, client: usize) -> CapacityTier {
+        assert!(client < self.ema.len(), "client id out of range");
+        let n = self.tiers.len();
+        if round < self.warmup {
+            // Warmup: deterministic round-robin through the ladder,
+            // shifted each round so every client samples every tier.
+            let slot = (client + round as usize) % n;
+            return self.tiers[slot];
+        }
+        let band = self.rank(client) * n / self.ema.len();
+        self.tiers[band.min(n - 1)]
+    }
+
+    fn observe(&mut self, _round: u64, client: usize, score: f32) {
+        if !score.is_finite() {
+            return;
+        }
+        if self.seen[client] {
+            self.ema[client] = EMA_ALPHA * score + (1.0 - EMA_ALPHA) * self.ema[client];
+        } else {
+            self.ema[client] = score;
+            self.seen[client] = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder() -> Vec<CapacityTier> {
+        vec![
+            CapacityTier::Full,
+            CapacityTier::Width(0.5),
+            CapacityTier::Width(0.25),
+        ]
+    }
+
+    #[test]
+    fn warmup_cycles_every_client_through_the_ladder() {
+        let mut p = AdaptiveCapacity::new(ladder(), 3);
+        for c in 0..3 {
+            let mut tiers: Vec<CapacityTier> = (0..3).map(|r| p.assign(r, c)).collect();
+            tiers.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+            let mut want = ladder();
+            want.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+            assert_eq!(tiers, want, "client {c} missed part of the ladder");
+        }
+    }
+
+    #[test]
+    fn aligned_clients_are_promoted_and_misaligned_demoted() {
+        let mut p = AdaptiveCapacity::new(ladder(), 6).with_warmup(0);
+        for _ in 0..5 {
+            for c in 0..6 {
+                // Clients 0–1 aligned, 2–3 neutral-ish, 4–5 opposed.
+                let score = match c {
+                    0 | 1 => 0.9,
+                    2 | 3 => 0.1,
+                    _ => -0.8,
+                };
+                p.observe(0, c, score);
+            }
+        }
+        assert_eq!(p.assign(10, 0), CapacityTier::Full);
+        assert_eq!(p.assign(10, 1), CapacityTier::Full);
+        assert_eq!(p.assign(10, 2), CapacityTier::Width(0.5));
+        assert_eq!(p.assign(10, 3), CapacityTier::Width(0.5));
+        assert_eq!(p.assign(10, 4), CapacityTier::Width(0.25));
+        assert_eq!(p.assign(10, 5), CapacityTier::Width(0.25));
+    }
+
+    #[test]
+    fn unobserved_clients_sit_between_promoted_and_demoted() {
+        let mut p = AdaptiveCapacity::new(ladder(), 3).with_warmup(0);
+        p.observe(0, 0, 0.9);
+        p.observe(0, 2, -0.9);
+        assert_eq!(p.assign(1, 0), CapacityTier::Full);
+        assert_eq!(p.assign(1, 1), CapacityTier::Width(0.5));
+        assert_eq!(p.assign(1, 2), CapacityTier::Width(0.25));
+    }
+
+    #[test]
+    fn non_finite_scores_are_ignored() {
+        let mut p = AdaptiveCapacity::new(ladder(), 2).with_warmup(0);
+        p.observe(0, 0, f32::NAN);
+        p.observe(0, 1, 0.5);
+        // Client 1 observed and positive → outranks the NaN-fed client 0.
+        assert_eq!(p.assign(1, 1), CapacityTier::Full);
+    }
+}

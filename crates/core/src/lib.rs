@@ -54,6 +54,7 @@
 
 mod async_engine;
 mod build;
+pub mod capacity;
 pub mod compression_control;
 mod config;
 pub mod policies;
@@ -64,6 +65,7 @@ pub mod wire;
 
 pub use async_engine::AdaFlAsyncEngine;
 pub use build::{adafl_sync_policies, AdaFlBuild};
+pub use capacity::AdaptiveCapacity;
 pub use compression_control::CompressionController;
 pub use config::AdaFlConfig;
 pub use selection::select_clients;

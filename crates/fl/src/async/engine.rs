@@ -68,6 +68,7 @@ impl AsyncEngine {
             .partitioned(train_set, partitioner)
             .update_budget(update_budget)
             .build_async(strategy)
+            .expect("no sync-only options set")
     }
 
     /// Wraps a fully-assembled runtime (the builder's exit point).
@@ -230,7 +231,8 @@ mod tests {
             .network(network)
             .compute(compute)
             .update_budget(40)
-            .build_async(Box::new(FedAsync::new(0.6, 0.5)));
+            .build_async(Box::new(FedAsync::new(0.6, 0.5)))
+            .unwrap();
         let history = e.run();
         // Sends are ledgered at transmit time, so in-flight updates beyond
         // the arrival budget are included.

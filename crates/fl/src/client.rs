@@ -228,8 +228,99 @@ impl FlClient {
                     .apply_gradient_step_ws(&mut self.optimizer, &mut self.ws);
             }
         }
-        let local = self.model.params_flat();
-        let delta: Vec<f32> = local.iter().zip(global).map(|(l, g)| l - g).collect();
+        // Reuse the flat-parameter scratch for the delta read-back; the
+        // delta vector itself escapes, but the steady-state loop no longer
+        // allocates a second full-width temporary per round.
+        self.model.params_flat_into(&mut self.hook_params);
+        let delta: Vec<f32> = self
+            .hook_params
+            .iter()
+            .zip(global)
+            .map(|(l, g)| l - g)
+            .collect();
+        LocalOutcome {
+            delta,
+            mean_loss: total_loss / steps as f32,
+            num_samples: self.data.len(),
+            steps,
+        }
+    }
+
+    /// Runs `steps` of local mini-batch SGD over a parameter *sub-view*:
+    /// the heterogeneous-capacity path where the server ships only the
+    /// covered coordinates.
+    ///
+    /// `view_values` are the covered coordinates of the global model
+    /// (`view.extract(global)` server-side). They are scattered into the
+    /// local replica; *uncovered coordinates keep the client's stale local
+    /// values* — the server did not transmit them, and the byte ledger
+    /// stays honest. During training the gradient is masked to the view
+    /// ([`adafl_nn::SubView::zero_outside`]) so frozen coordinates never
+    /// move, and `hook` (FedProx/SCAFFOLD) sees the full-width masked
+    /// gradient with the post-scatter parameters as its round anchor.
+    ///
+    /// The returned [`LocalOutcome::delta`] is **view-local**: element `i`
+    /// is the change of the `i`-th covered coordinate, ready to wrap in a
+    /// sub-view payload of length `view.view_len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `view` does not match the model's parameter count,
+    /// `view_values.len()` differs from `view.view_len()`, or `steps` is
+    /// zero.
+    pub fn train_local_view(
+        &mut self,
+        view: &adafl_nn::SubView,
+        view_values: &[f32],
+        steps: usize,
+        mut hook: Option<GradientHook<'_>>,
+    ) -> LocalOutcome {
+        assert!(steps > 0, "local steps must be positive");
+        assert_eq!(
+            view.dense_len(),
+            self.model.param_count(),
+            "view dimension mismatch"
+        );
+        // Install the transmitted slice; the rest of the replica stays.
+        self.model.params_flat_into(&mut self.hook_params);
+        view.scatter(view_values, &mut self.hook_params);
+        self.model.set_params_flat(&self.hook_params);
+        // The round anchor the hook receives as its "global" argument:
+        // the replica right after synchronisation, like full-width rounds.
+        let anchor = self.hook_params.clone();
+        self.optimizer.reset();
+        let mut total_loss = 0.0f32;
+        for _ in 0..steps {
+            self.loader
+                .next_batch_into(&self.data, &mut self.batch_x, &mut self.batch_labels);
+            self.model.zero_grads();
+            self.model
+                .forward_into(&self.batch_x, &mut self.logits, true, &mut self.ws);
+            let loss = CrossEntropyLoss.loss_and_grad_into(
+                &self.logits,
+                &self.batch_labels,
+                &mut self.dlogits,
+            );
+            total_loss += loss;
+            self.model
+                .backward_into(&self.dlogits, &mut self.dinput, &mut self.ws);
+            self.model.grads_flat_into(&mut self.hook_grads);
+            view.zero_outside(&mut self.hook_grads);
+            self.model.params_flat_into(&mut self.hook_params);
+            if let Some(h) = hook.as_mut() {
+                h(&mut self.hook_grads, &self.hook_params, &anchor);
+                // Re-mask: a hook term (e.g. FedProx's pull toward the
+                // anchor) must not thaw frozen coordinates.
+                view.zero_outside(&mut self.hook_grads);
+            }
+            self.optimizer.step(&mut self.hook_params, &self.hook_grads);
+            self.model.set_params_flat(&self.hook_params);
+        }
+        self.model.params_flat_into(&mut self.hook_params);
+        let mut delta = view.extract(&self.hook_params);
+        for (d, v) in delta.iter_mut().zip(view_values) {
+            *d -= v;
+        }
         LocalOutcome {
             delta,
             mean_loss: total_loss / steps as f32,
@@ -402,5 +493,66 @@ mod tests {
     #[should_panic(expected = "must not be empty")]
     fn empty_shard_panics() {
         FlClient::new(0, spec().build(0), Dataset::empty(64), 0.05, 0.9, 16, 0);
+    }
+
+    fn mlp_client() -> FlClient {
+        let shard = SyntheticSpec::mnist_like(8, 60).generate(1);
+        let spec = ModelSpec::Mlp {
+            in_features: 64,
+            hidden: vec![16],
+            classes: 10,
+        };
+        FlClient::new(0, spec.build(0), shard, 0.05, 0.9, 16, 3)
+    }
+
+    #[test]
+    fn full_view_training_is_bitwise_train_local() {
+        let mut a = mlp_client();
+        let mut b = mlp_client();
+        let global = a.model().params_flat();
+        let view = adafl_nn::SubView::full(&b.model().segment_map());
+        let out_a = a.train_local(&global, 3, None);
+        let out_b = b.train_local_view(&view, &global, 3, None);
+        assert_eq!(out_a, out_b, "full view must be the trivial case");
+    }
+
+    #[test]
+    fn view_training_freezes_uncovered_coordinates() {
+        let mut c = mlp_client();
+        let map = c.model().segment_map();
+        let view = adafl_nn::SubView::width(&map, 0.25, 0);
+        assert!(!view.is_full());
+        let before = c.model().params_flat();
+        let values = view.extract(&before);
+        let out = c.train_local_view(&view, &values, 3, None);
+        assert_eq!(out.delta.len(), view.view_len());
+        assert!(out.delta.iter().any(|&d| d != 0.0));
+        let after = c.model().params_flat();
+        let mut diff: Vec<f32> = after.iter().zip(&before).map(|(a, b)| a - b).collect();
+        let unmasked = diff.clone();
+        view.zero_outside(&mut diff);
+        assert_eq!(diff, unmasked, "all movement must be inside the view");
+    }
+
+    #[test]
+    fn view_training_freezes_even_with_a_hook() {
+        let mut c = mlp_client();
+        let map = c.model().segment_map();
+        let view = adafl_nn::SubView::layers(&map, 1);
+        let before = c.model().params_flat();
+        let values = view.extract(&before);
+        // A hook that pushes every coordinate (FedProx-like anchored pull
+        // plus a constant): must not thaw frozen layers.
+        let mut hook = |grad: &mut [f32], params: &[f32], anchor: &[f32]| {
+            for ((g, p), a) in grad.iter_mut().zip(params).zip(anchor) {
+                *g += 0.1 * (p - a) + 0.05;
+            }
+        };
+        c.train_local_view(&view, &values, 2, Some(&mut hook));
+        let after = c.model().params_flat();
+        let mut diff: Vec<f32> = after.iter().zip(&before).map(|(a, b)| a - b).collect();
+        let unmasked = diff.clone();
+        view.zero_outside(&mut diff);
+        assert_eq!(diff, unmasked, "hook terms must stay inside the view");
     }
 }

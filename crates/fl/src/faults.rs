@@ -214,6 +214,13 @@ fn corruption_pattern(rng: &mut StdRng) -> f32 {
 /// parse; the payload is left untouched (the runtime drops it on arrival
 /// — the bytes still travelled and were charged).
 pub fn corrupt_payload(payload: &mut UpdatePayload, seed: u64) -> Result<(), DecodeError> {
+    // A sub-view frame corrupts in its inner payload's value bytes: the
+    // descriptor header is simulation framing (a real transport would
+    // checksum it separately), and recursing keeps the per-form flip
+    // positions identical to full-width traffic.
+    if let UpdatePayload::SubView { inner, .. } = payload {
+        return corrupt_payload(inner, seed);
+    }
     let mut bytes = payload.encode();
     let mut rng = StdRng::seed_from_u64(seed ^ 0xC0_44);
     match payload {
@@ -247,6 +254,7 @@ pub fn corrupt_payload(payload: &mut UpdatePayload, seed: u64) -> Result<(), Dec
                 bytes[at] = rng.gen::<u8>();
             }
         }
+        UpdatePayload::SubView { .. } => unreachable!("handled by recursion above"),
     }
     let form = payload.form();
     *payload = UpdatePayload::decode(form, &bytes)?;
@@ -278,6 +286,12 @@ pub fn corrupt_payload(payload: &mut UpdatePayload, seed: u64) -> Result<(), Dec
 /// ([`FaultKind::is_attack`]).
 pub fn attack_payload(payload: &mut UpdatePayload, kind: FaultKind, collusion_seed: u64) {
     assert!(kind.is_attack(), "{kind} is not a Byzantine attack kind");
+    // Attackers rewrite the values they transmit; for a sub-view that is
+    // the inner view-local payload (a Byzantine client cannot forge the
+    // descriptor without the server noticing the length mismatch).
+    if let UpdatePayload::SubView { inner, .. } = payload {
+        return attack_payload(inner, kind, collusion_seed);
+    }
     let mut bytes = payload.encode();
     match payload {
         UpdatePayload::Dense(d) => {
@@ -308,6 +322,7 @@ pub fn attack_payload(payload: &mut UpdatePayload, kind: FaultKind, collusion_se
             };
             bytes[at..at + 4].copy_from_slice(&poisoned.to_le_bytes());
         }
+        UpdatePayload::SubView { .. } => unreachable!("handled by recursion above"),
     }
     let form = payload.form();
     *payload =

@@ -46,9 +46,11 @@ pub mod ledger;
 pub mod pool;
 pub mod robust;
 pub mod runtime;
+pub mod submodel;
 pub mod sync;
 
 pub use client::{FlClient, LocalOutcome};
 pub use config::FlConfig;
 pub use history::{RoundRecord, RunHistory};
 pub use ledger::CommunicationLedger;
+pub use submodel::{CapacityPolicy, CapacityTier, StaticCapacity};

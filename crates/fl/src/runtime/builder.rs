@@ -23,11 +23,45 @@ use crate::defense::DefenseConfig;
 use crate::faults::FaultPlan;
 use crate::r#async::{AsyncEngine, AsyncStrategy};
 use crate::robust::RobustMethod;
+use crate::submodel::CapacityPolicy;
 use crate::sync::{StaticCompression, SyncEngine, SyncStrategy};
 use adafl_data::partition::Partitioner;
 use adafl_data::Dataset;
 use adafl_netsim::{ClientNetwork, FleetNetwork, LinkProfile, LinkTrace, ReliablePolicy};
 use adafl_telemetry::SharedRecorder;
+
+/// Why a [`RuntimeBuilder`] could not assemble the requested flavour.
+///
+/// Construction is infallible for synchronous flavours; asynchronous
+/// flavours reject resilience options that only make sense with a
+/// per-round cohort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// [`RuntimeBuilder::robust`] was combined with an async flavour.
+    RobustRequiresSync,
+    /// [`RuntimeBuilder::capacity`] was combined with an async flavour.
+    CapacityRequiresSync,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::RobustRequiresSync => f.write_str(
+                "robust pre-aggregation cannot be combined with an async flavour: \
+                 robust estimators need a synchronous cohort to out-vote, and the \
+                 one-update-at-a-time async path never has one",
+            ),
+            BuildError::CapacityRequiresSync => f.write_str(
+                "capacity tiers cannot be combined with an async flavour: sub-view \
+                 assignment and coverage-weighted aggregation need a synchronous \
+                 per-round cohort",
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
 
 /// Gathers scenario parts once, then builds any protocol flavour.
 #[derive(Debug)]
@@ -41,6 +75,7 @@ pub struct RuntimeBuilder {
     retry: Option<ReliablePolicy>,
     defense: Option<DefenseConfig>,
     robust: Option<RobustMethod>,
+    capacity: Option<Box<dyn CapacityPolicy>>,
     recorder: Option<SharedRecorder>,
     update_budget: u64,
     eval_every: Option<u64>,
@@ -60,6 +95,7 @@ impl RuntimeBuilder {
             retry: None,
             defense: None,
             robust: None,
+            capacity: None,
             recorder: None,
             update_budget: 0,
             eval_every: None,
@@ -123,6 +159,14 @@ impl RuntimeBuilder {
     /// out-vote, which the one-update-at-a-time async path never has.
     pub fn robust(mut self, method: Option<RobustMethod>) -> Self {
         self.robust = method;
+        self
+    }
+
+    /// Enables heterogeneous-capacity (sub-view) training under the given
+    /// tier-assignment policy (`None` keeps full-model rounds). Synchronous
+    /// flavours only — see [`SyncRuntime::set_capacity`].
+    pub fn capacity(mut self, policy: Option<Box<dyn CapacityPolicy>>) -> Self {
+        self.capacity = policy;
         self
     }
 
@@ -200,6 +244,9 @@ impl RuntimeBuilder {
         if let Some(method) = self.robust {
             rt.set_robust(method);
         }
+        if let Some(policy) = self.capacity {
+            rt.set_capacity(policy);
+        }
         if let Some(recorder) = self.recorder {
             rt.set_recorder(recorder);
         }
@@ -211,17 +258,25 @@ impl RuntimeBuilder {
 
     /// Builds an [`AsyncRuntime`] specialised by `policy`.
     ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] naming the unsupported combination when
+    /// [`RuntimeBuilder::robust`] or [`RuntimeBuilder::capacity`] was set —
+    /// both need a synchronous per-round cohort.
+    ///
     /// # Panics
     ///
-    /// Panics when [`RuntimeBuilder::update_budget`] was not set, or when
-    /// [`RuntimeBuilder::robust`] was — robust pre-aggregation needs a
-    /// synchronous cohort.
-    pub fn build_async_runtime(mut self, policy: Box<dyn AsyncPolicy>) -> AsyncRuntime {
-        assert!(
-            self.robust.is_none(),
-            "robust pre-aggregation requires a synchronous cohort; \
-             async flavours apply updates one at a time"
-        );
+    /// Panics when [`RuntimeBuilder::update_budget`] was not set.
+    pub fn build_async_runtime(
+        mut self,
+        policy: Box<dyn AsyncPolicy>,
+    ) -> Result<AsyncRuntime, BuildError> {
+        if self.robust.is_some() {
+            return Err(BuildError::RobustRequiresSync);
+        }
+        if self.capacity.is_some() {
+            return Err(BuildError::CapacityRequiresSync);
+        }
         let (shards, network, compute, faults) = self.take_parts();
         let mut rt = AsyncRuntime::new(
             self.fl,
@@ -245,7 +300,7 @@ impl RuntimeBuilder {
         if let Some(recorder) = self.recorder {
             rt.set_recorder(recorder);
         }
-        rt
+        Ok(rt)
     }
 
     /// Builds the baseline synchronous flavour: uniform random selection,
@@ -267,9 +322,66 @@ impl RuntimeBuilder {
     /// Builds the baseline asynchronous flavour (dense exchanges, no
     /// utility gate) around the given [`AsyncStrategy`], wrapped in the
     /// legacy [`AsyncEngine`] facade.
-    pub fn build_async(self, strategy: Box<dyn AsyncStrategy>) -> AsyncEngine {
-        AsyncEngine::from_runtime(
-            self.build_async_runtime(Box::new(StrategyAsyncPolicy::new(strategy))),
-        )
+    ///
+    /// # Errors
+    ///
+    /// See [`RuntimeBuilder::build_async_runtime`].
+    pub fn build_async(self, strategy: Box<dyn AsyncStrategy>) -> Result<AsyncEngine, BuildError> {
+        self.build_async_runtime(Box::new(StrategyAsyncPolicy::new(strategy)))
+            .map(AsyncEngine::from_runtime)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::r#async::strategies::FedAsync;
+    use crate::submodel::{CapacityTier, StaticCapacity};
+    use adafl_data::synthetic::SyntheticSpec;
+    use adafl_nn::models::ModelSpec;
+
+    fn builder() -> RuntimeBuilder {
+        let data = SyntheticSpec::mnist_like(4, 40).generate(0);
+        let cfg = FlConfig::builder()
+            .clients(2)
+            .rounds(1)
+            .model(ModelSpec::LogisticRegression {
+                in_features: 16,
+                classes: 10,
+            })
+            .build();
+        RuntimeBuilder::new(cfg, data)
+    }
+
+    #[test]
+    fn async_build_rejects_robust_with_named_error() {
+        let err = builder()
+            .robust(Some(RobustMethod::Median))
+            .update_budget(10)
+            .build_async(Box::new(FedAsync::new(0.6, 0.5)))
+            .expect_err("robust + async must be rejected");
+        assert_eq!(err, BuildError::RobustRequiresSync);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("robust pre-aggregation") && msg.contains("async"),
+            "error must name the unsupported combination: {msg}"
+        );
+    }
+
+    #[test]
+    fn async_build_rejects_capacity_with_named_error() {
+        let err = builder()
+            .capacity(Some(Box::new(StaticCapacity::new(vec![
+                CapacityTier::Full,
+            ]))))
+            .update_budget(10)
+            .build_async(Box::new(FedAsync::new(0.6, 0.5)))
+            .expect_err("capacity + async must be rejected");
+        assert_eq!(err, BuildError::CapacityRequiresSync);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("capacity tiers") && msg.contains("async"),
+            "error must name the unsupported combination: {msg}"
+        );
     }
 }

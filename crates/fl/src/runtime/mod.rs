@@ -46,7 +46,7 @@ mod sync;
 pub use baseline::{
     RandomSelection, StaticCompressionPolicy, StrategyAggregation, StrategyAsyncPolicy,
 };
-pub use builder::RuntimeBuilder;
+pub use builder::{BuildError, RuntimeBuilder};
 pub use event::AsyncRuntime;
 pub use io::{Delivery, RoundIo};
 pub use payload::{RoundUpdate, UpdatePayload, WireForm};

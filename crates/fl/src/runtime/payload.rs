@@ -9,7 +9,8 @@
 //! `encode()` (what corruption faults flip) can never disagree.
 
 use adafl_compression::{
-    DecodeError, DenseUpdate, QuantizedUpdate, SparseUpdate, TernaryUpdate, WireCodec,
+    DecodeError, DenseUpdate, QuantizedUpdate, SparseUpdate, TernaryUpdate, ViewDescriptor,
+    WireCodec,
 };
 
 /// Which of the four wire forms a buffer holds. The simulated network
@@ -52,6 +53,18 @@ pub enum UpdatePayload {
         /// `wire.to_dense()`, the surface defense and aggregation touch.
         values: Vec<f32>,
     },
+    /// A sub-model update: a coordinate-view descriptor framing an inner
+    /// payload whose values are *view-local* (length = `desc.view_len()`,
+    /// not the global dimension). The descriptor travels on the wire ahead
+    /// of the inner form and its bytes are part of `encoded_len()`, so the
+    /// ledger charges the framing overhead of heterogeneous capacity.
+    SubView {
+        /// Which global coordinates the inner values occupy.
+        desc: ViewDescriptor,
+        /// The view-local update in any of the four base wire forms
+        /// (never a nested `SubView`).
+        inner: Box<UpdatePayload>,
+    },
 }
 
 impl UpdatePayload {
@@ -72,13 +85,43 @@ impl UpdatePayload {
         UpdatePayload::Ternary { wire, values }
     }
 
-    /// The wire form this payload travels as.
+    /// Frames a view-local payload with its coordinate descriptor. The
+    /// inner values must be view-local: `inner`'s dense length equals
+    /// `desc.view_len()`, not the global dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a nested `SubView` — the wire format has exactly one
+    /// descriptor per frame.
+    pub fn sub_view(desc: ViewDescriptor, inner: UpdatePayload) -> Self {
+        assert!(
+            !matches!(inner, UpdatePayload::SubView { .. }),
+            "sub-view payloads cannot nest"
+        );
+        UpdatePayload::SubView {
+            desc,
+            inner: Box::new(inner),
+        }
+    }
+
+    /// The wire form this payload travels as; for a sub-view, the inner
+    /// payload's form (the descriptor framing travels out of band, like
+    /// the form tag itself).
     pub fn form(&self) -> WireForm {
         match self {
             UpdatePayload::Dense(_) => WireForm::Dense,
             UpdatePayload::Sparse(_) => WireForm::Sparse,
             UpdatePayload::Quantized { .. } => WireForm::Quantized,
             UpdatePayload::Ternary { .. } => WireForm::Ternary,
+            UpdatePayload::SubView { inner, .. } => inner.form(),
+        }
+    }
+
+    /// The view descriptor, when this payload is a sub-view frame.
+    pub fn view_descriptor(&self) -> Option<&ViewDescriptor> {
+        match self {
+            UpdatePayload::SubView { desc, .. } => Some(desc),
+            _ => None,
         }
     }
 
@@ -91,16 +134,24 @@ impl UpdatePayload {
             UpdatePayload::Sparse(s) => s.encoded_len(),
             UpdatePayload::Quantized { wire, .. } => wire.encoded_len(),
             UpdatePayload::Ternary { wire, .. } => wire.encoded_len(),
+            UpdatePayload::SubView { desc, inner } => desc.encoded_len() + inner.encoded_len(),
         }
     }
 
-    /// Serialises the transmitted form.
+    /// Serialises the transmitted form. A sub-view frame is the descriptor
+    /// bytes followed by the inner payload's encoding.
     pub fn encode(&self) -> Vec<u8> {
         match self {
             UpdatePayload::Dense(d) => d.encode(),
             UpdatePayload::Sparse(s) => s.encode(),
             UpdatePayload::Quantized { wire, .. } => wire.encode(),
             UpdatePayload::Ternary { wire, .. } => wire.encode(),
+            UpdatePayload::SubView { desc, inner } => {
+                let mut out = Vec::with_capacity(self.encoded_len());
+                desc.encode_into(&mut out);
+                out.extend_from_slice(&inner.encode());
+                out
+            }
         }
     }
 
@@ -120,6 +171,38 @@ impl UpdatePayload {
         })
     }
 
+    /// Parses a sub-view frame: a [`ViewDescriptor`] prefix followed by an
+    /// inner payload of the given wire form (the inverse of
+    /// [`UpdatePayload::encode`] for the `SubView` variant).
+    ///
+    /// # Errors
+    ///
+    /// Propagates descriptor and inner-form [`DecodeError`]s; also rejects
+    /// an inner payload whose dense length disagrees with the descriptor's
+    /// view length.
+    pub fn decode_view(inner_form: WireForm, buf: &[u8]) -> Result<Self, DecodeError> {
+        let (desc, consumed) = ViewDescriptor::decode_prefix(buf)?;
+        let inner = UpdatePayload::decode(inner_form, &buf[consumed..])?;
+        if inner.dense_len() != desc.view_len() {
+            return Err(DecodeError::InvalidIndices);
+        }
+        Ok(UpdatePayload::sub_view(desc, inner))
+    }
+
+    /// The dense length of this payload's value space: the global
+    /// dimension for base forms, the view-local length for a sub-view's
+    /// inner payload, and the *global* dimension for the sub-view frame
+    /// itself.
+    pub fn dense_len(&self) -> usize {
+        match self {
+            UpdatePayload::Dense(d) => d.len(),
+            UpdatePayload::Sparse(s) => s.dense_len(),
+            UpdatePayload::Quantized { values, .. } => values.len(),
+            UpdatePayload::Ternary { values, .. } => values.len(),
+            UpdatePayload::SubView { desc, .. } => desc.dense_len(),
+        }
+    }
+
     /// Mutable view of the transmitted values — the surface corruption
     /// faults and the defensive gate's scrubbing operate on. The L2 norm
     /// of a sparse update's values equals the norm of its dense form, so
@@ -132,10 +215,15 @@ impl UpdatePayload {
             UpdatePayload::Sparse(s) => s.values_mut(),
             UpdatePayload::Quantized { values, .. } => values,
             UpdatePayload::Ternary { values, .. } => values,
+            // View-local values: screening and scrubbing operate on what
+            // was transmitted, which for a sub-view is the covered slice.
+            UpdatePayload::SubView { inner, .. } => inner.values_mut(),
         }
     }
 
-    /// Accumulates `scale · self` into `dest`.
+    /// Accumulates `scale · self` into `dest`. For a sub-view, `dest` is
+    /// the *global* vector and the inner values scatter into the covered
+    /// coordinates only.
     pub fn add_scaled_into(&self, dest: &mut [f32], scale: f32) {
         match self {
             UpdatePayload::Dense(d) => {
@@ -149,17 +237,35 @@ impl UpdatePayload {
                     *out += scale * x;
                 }
             }
+            UpdatePayload::SubView { desc, inner } => match inner.as_ref() {
+                UpdatePayload::Dense(d) => desc.scatter_add_scaled(d.values(), dest, scale),
+                UpdatePayload::Quantized { values, .. } | UpdatePayload::Ternary { values, .. } => {
+                    desc.scatter_add_scaled(values, dest, scale)
+                }
+                UpdatePayload::Sparse(s) => {
+                    // A sparse inner is sparse *within the view*: densify
+                    // to view-local, then scatter through the descriptor.
+                    desc.scatter_add_scaled(&s.to_dense(), dest, scale)
+                }
+                UpdatePayload::SubView { .. } => unreachable!("sub-views cannot nest"),
+            },
         }
     }
 
     /// The payload as a dense vector (moves the dense/decoded form out
-    /// without a copy; expands the sparse form).
+    /// without a copy; expands the sparse form). A sub-view densifies to
+    /// the *global* dimension with zeros outside its coverage.
     pub fn into_dense(self) -> Vec<f32> {
         match self {
             UpdatePayload::Dense(d) => d.into_values(),
             UpdatePayload::Sparse(s) => s.to_dense(),
             UpdatePayload::Quantized { values, .. } => values,
             UpdatePayload::Ternary { values, .. } => values,
+            UpdatePayload::SubView { ref desc, .. } => {
+                let mut dense = vec![0.0f32; desc.dense_len()];
+                self.add_scaled_into(&mut dense, 1.0);
+                dense
+            }
         }
     }
 }
@@ -211,6 +317,66 @@ mod tests {
             unreachable!()
         };
         assert_eq!(values, &wire.to_dense());
+    }
+
+    #[test]
+    fn sub_view_scatters_through_its_descriptor() {
+        let desc = ViewDescriptor::new(6, vec![(1, 2), (4, 1)]);
+        let p = UpdatePayload::sub_view(desc.clone(), UpdatePayload::dense(vec![1.0, 2.0, 3.0]));
+        assert_eq!(p.dense_len(), 6);
+        let mut dest = vec![0.0f32; 6];
+        p.add_scaled_into(&mut dest, 2.0);
+        assert_eq!(dest, vec![0.0, 2.0, 4.0, 0.0, 6.0, 0.0]);
+        assert_eq!(p.into_dense(), vec![0.0, 1.0, 2.0, 0.0, 3.0, 0.0]);
+
+        // Sparse inner: sparse *within the view*.
+        let sparse_inner = UpdatePayload::Sparse(top_k(&[5.0, 0.0, -7.0], 2));
+        let p = UpdatePayload::sub_view(desc, sparse_inner);
+        assert_eq!(p.into_dense(), vec![0.0, 5.0, 0.0, 0.0, -7.0, 0.0]);
+    }
+
+    #[test]
+    fn sub_view_wire_frame_round_trips_and_charges_descriptor() {
+        let g = [0.5f32, -2.0, 3.5];
+        let desc = ViewDescriptor::new(10, vec![(2, 2), (8, 1)]);
+        for inner in [
+            UpdatePayload::dense(g.to_vec()),
+            UpdatePayload::Sparse(top_k(&g, 2)),
+            UpdatePayload::quantized(QsgdQuantizer::new(4, 2).quantize(&g)),
+            UpdatePayload::ternary(TernGrad::new(2).ternarize(&g)),
+        ] {
+            let inner_len = inner.encoded_len();
+            let p = UpdatePayload::sub_view(desc.clone(), inner);
+            assert_eq!(p.encoded_len(), desc.encoded_len() + inner_len);
+            let bytes = p.encode();
+            assert_eq!(bytes.len(), p.encoded_len());
+            assert_eq!(UpdatePayload::decode_view(p.form(), &bytes).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn decode_view_rejects_length_mismatch() {
+        // Descriptor says 3 covered coordinates, inner carries 2.
+        let p = UpdatePayload::sub_view(
+            ViewDescriptor::new(10, vec![(0, 3)]),
+            UpdatePayload::dense(vec![1.0, 2.0, 3.0]),
+        );
+        let mut bytes = p.encode();
+        // Rewrite the inner dense header's length field (descriptor is
+        // 12 + 8 bytes, then the dense u64 length).
+        bytes[20] = 2;
+        bytes.truncate(bytes.len() - 4);
+        assert!(UpdatePayload::decode_view(WireForm::Dense, &bytes).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot nest")]
+    fn sub_view_rejects_nesting() {
+        let inner = UpdatePayload::sub_view(
+            ViewDescriptor::full(2),
+            UpdatePayload::dense(vec![1.0, 2.0]),
+        );
+        let _ = UpdatePayload::sub_view(ViewDescriptor::full(2), inner);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! the three flavour-specific decisions to a [`SyncPolicies`] bundle.
 
 use super::io::{process_uplink_frames, RoundIo, UplinkFrame};
-use super::payload::RoundUpdate;
+use super::payload::{RoundUpdate, UpdatePayload};
 use super::policy::{
     AggregationPolicy, CompressionPolicy, SelectionCtx, SelectionPolicy, SyncUploadCtx,
 };
@@ -20,11 +20,14 @@ use crate::faults::{FaultKind, FaultPlan};
 use crate::history::{RoundRecord, RunHistory};
 use crate::ledger::CommunicationLedger;
 use crate::pool::WorkerPool;
-use crate::robust::{RobustAggregator, RobustMethod};
-use adafl_compression::dense_wire_size;
+use crate::robust::{RobustAggregator, RobustMethod, RobustStats};
+use crate::submodel::{coverage_weighted_fold, CapacityPolicy};
+use adafl_compression::{dense_wire_size, ViewDescriptor, WireCodec};
 use adafl_data::Dataset;
 use adafl_netsim::{FleetNetwork, ReliablePolicy, SimTime};
+use adafl_nn::{ParamSegmentMap, SubView};
 use adafl_telemetry::{names, EventRecord, SharedRecorder, SpanRecord};
+use adafl_tensor::vecops;
 
 /// The policy bundle specialising a [`SyncRuntime`] into one protocol
 /// flavour.
@@ -39,6 +42,15 @@ pub struct SyncPolicies {
     /// Whether the server enforces `FlConfig::round_deadline` (§III
     /// max-wait policy); the AdaFL flavour waits for its whole cohort.
     pub enforce_deadline: bool,
+}
+
+/// Server-side state for heterogeneous-capacity (sub-view) rounds: the
+/// tier-assignment policy plus the global model's parameter segment map
+/// from which each round's [`SubView`]s are cut.
+#[derive(Debug)]
+struct CapacityState {
+    policy: Box<dyn CapacityPolicy>,
+    map: ParamSegmentMap,
 }
 
 /// Policy-driven synchronous round runtime. One round: select → broadcast
@@ -66,6 +78,7 @@ pub struct SyncRuntime {
     recorder: SharedRecorder,
     defense: Option<DefenseGate>,
     robust: Option<RobustAggregator>,
+    capacity: Option<CapacityState>,
     crash_checkpoints: Vec<Option<Checkpoint>>,
     pool: WorkerPool,
 }
@@ -123,6 +136,7 @@ impl SyncRuntime {
             recorder: adafl_telemetry::noop(),
             defense: None,
             robust: None,
+            capacity: None,
             crash_checkpoints: vec![None; config.clients],
             pool: WorkerPool::from_env_or_default(),
             selection: policies.selection,
@@ -206,6 +220,30 @@ impl SyncRuntime {
         self.robust = Some(RobustAggregator::new(method));
     }
 
+    /// Enables heterogeneous-capacity training: each round the policy
+    /// assigns every selected client a [`crate::submodel::CapacityTier`],
+    /// the client receives only the matching parameter [`SubView`] (the
+    /// downlink is charged at view size plus the descriptor header, not
+    /// the full model), trains with gradients masked to the view, and
+    /// uploads a view-local update wrapped in a sub-view payload. The
+    /// server then aggregates with the coverage-weighted fold (each
+    /// coordinate averaged over the clients whose view covers it) and
+    /// maintains `ĝ` from that fold. Off by default — without this call
+    /// the classic full-broadcast path is byte-identical to before this
+    /// feature existed.
+    ///
+    /// Compose with stateless compression only: policies carrying
+    /// per-client dimension-bound state (top-k error feedback, adaptive
+    /// DGC) assume full-width deltas and will reject view-local lengths.
+    /// The aggregation policy's `aggregate` is bypassed in favour of the
+    /// coverage fold; its gradient hook and `after_local_round` (fed the
+    /// densified delta) still run, so FedProx/SCAFFOLD-style local
+    /// regularisation composes with capacity tiers.
+    pub fn set_capacity(&mut self, policy: Box<dyn CapacityPolicy>) {
+        let map = self.global_model.segment_map();
+        self.capacity = Some(CapacityState { policy, map });
+    }
+
     /// The communication ledger (cumulative).
     pub fn ledger(&self) -> &CommunicationLedger {
         self.io.ledger()
@@ -286,6 +324,21 @@ impl SyncRuntime {
         .filter(|&c| !self.faults.crashed(c, round))
         .collect();
 
+        // Heterogeneous capacity: assign each participant a tier and cut
+        // its parameter sub-view for this round, indexed by cohort rank.
+        // `None` leaves the classic full-broadcast path byte-identical.
+        let cap_round: Option<Vec<(SubView, ViewDescriptor)>> = self.capacity.as_mut().map(|cap| {
+            participants
+                .iter()
+                .map(|&c| {
+                    let tier = cap.policy.assign(round as u64, c);
+                    let view = tier.view(&cap.map, round as u64);
+                    let desc = ViewDescriptor::new(view.dense_len(), view.segments().to_vec());
+                    (view, desc)
+                })
+                .collect()
+        });
+
         let dense_bytes = dense_wire_size(self.global.len());
         let mut updates: Vec<RoundUpdate> = Vec::new();
         let mut round_time = SimTime::ZERO;
@@ -299,7 +352,16 @@ impl SyncRuntime {
         // server pays for the broadcast whether or not it lands.
         let mut ready: Vec<(usize, usize, SimTime)> = Vec::with_capacity(participants.len());
         for (rank, &c) in participants.iter().enumerate() {
-            let delivery = self.io.downlink(c, dense_bytes, self.clock, true);
+            let bytes = match &cap_round {
+                // A tiered client receives only its view's values plus the
+                // descriptor naming them — never the full model.
+                Some(views) => {
+                    let (view, desc) = &views[rank];
+                    dense_wire_size(view.view_len()) + desc.encoded_len()
+                }
+                None => dense_bytes,
+            };
+            let delivery = self.io.downlink(c, bytes, self.clock, true);
             if let Some(t) = delivery.arrival {
                 ready.push((rank, c, t));
             }
@@ -308,7 +370,7 @@ impl SyncRuntime {
         // Phase 2 — local training, in parallel when enabled. Clients are
         // independent, so parallel execution is bit-identical to
         // sequential: outcomes come back in cohort order.
-        let outcomes = self.train_ready(&ready);
+        let outcomes = self.train_ready(&ready, cap_round.as_deref());
 
         // Phase 3 — compression, fault gating, uplink and deadline policy.
         // Split into three passes so the per-frame codec work fans across
@@ -331,9 +393,22 @@ impl SyncRuntime {
         let effective_lr = self.config.learning_rate / (1.0 - self.config.momentum);
         let mut frames: Vec<UplinkFrame> = Vec::with_capacity(ready.len());
         let mut prepared: Vec<(SimTime, bool, bool)> = Vec::with_capacity(ready.len());
+        // Scratch for densifying view-local deltas (capacity mode only):
+        // stateful aggregation policies see full-width deltas with zeros
+        // outside the client's view.
+        let mut densified: Vec<f32> = Vec::new();
         for (&(rank, c, downlink_done), outcome) in ready.iter().zip(&outcomes) {
+            let delta_full: &[f32] = match &cap_round {
+                Some(views) => {
+                    densified.clear();
+                    densified.resize(self.global.len(), 0.0);
+                    views[rank].0.scatter(&outcome.delta, &mut densified);
+                    &densified
+                }
+                None => &outcome.delta,
+            };
             self.aggregation
-                .after_local_round(c, &outcome.delta, outcome.steps, effective_lr);
+                .after_local_round(c, delta_full, outcome.steps, effective_lr);
 
             // Stale clients' slowdowns were folded into the compute model
             // at construction.
@@ -345,13 +420,22 @@ impl SyncRuntime {
                     client: c,
                     rank,
                     cohort: participants.len(),
-                    dense_bytes,
+                    // Compression ratios are relative to what this client
+                    // would send uncompressed: its view, not the model.
+                    dense_bytes: match &cap_round {
+                        Some(views) => dense_wire_size(views[rank].0.view_len()),
+                        None => dense_bytes,
+                    },
                     delivered,
                     tracing,
                     recorder: &self.recorder,
                 };
                 self.compression.prepare(&ctx, &outcome.delta)
             };
+            let payload = payload.map(|inner| match &cap_round {
+                Some(views) => UpdatePayload::sub_view(views[rank].1.clone(), inner),
+                None => inner,
+            });
             let has_frame = payload.is_some();
             if let Some(payload) = payload {
                 frames.push(UplinkFrame {
@@ -496,10 +580,36 @@ impl SyncRuntime {
 
         let updates = self.screen_updates(round, updates, participants.len());
         let delivered = updates.len();
+        // Capacity feedback: score each surviving update's alignment with
+        // the previous round's aggregate direction (ĝ) so adaptive
+        // policies can promote well-aligned clients and demote noisy ones.
+        if let Some(cap) = self.capacity.as_mut() {
+            let mut dense = vec![0.0f32; self.global.len()];
+            for u in &updates {
+                dense.fill(0.0);
+                u.payload.add_scaled_into(&mut dense, 1.0);
+                let score = vecops::cosine_similarity(&dense, &self.global_gradient);
+                cap.policy.observe(round as u64, u.client, score);
+            }
+        }
         let updates = self.robust_stage(round, updates);
         if !updates.is_empty() {
-            self.aggregation
-                .aggregate(&mut self.global, &mut self.global_gradient, updates);
+            match &self.capacity {
+                Some(_) => {
+                    // Coverage-weighted fold: each coordinate is averaged
+                    // over the clients whose views cover it; with all
+                    // full-width clients this is bitwise FedAvg. The fold
+                    // doubles as the `ĝ` digest read back by `observe`.
+                    if let Some(mean) = coverage_weighted_fold(self.global.len(), &updates) {
+                        vecops::axpy(&mut self.global, 1.0, &mean);
+                        self.global_gradient.copy_from_slice(&mean);
+                    }
+                }
+                None => {
+                    self.aggregation
+                        .aggregate(&mut self.global, &mut self.global_gradient, updates)
+                }
+            }
         }
         if tracing {
             let (start, end) = (round_start.seconds(), self.clock.seconds());
@@ -664,7 +774,14 @@ impl SyncRuntime {
         }
         let tracing = self.recorder.enabled();
         let wall_start = self.recorder.wall_micros();
-        let (out, stats) = robust.pre_aggregate_with(self.global.len(), updates, Some(&self.pool));
+        let has_views = updates
+            .iter()
+            .any(|u| u.payload.view_descriptor().is_some());
+        let (out, stats) = if has_views {
+            Self::robust_by_coverage(robust, &self.pool, self.global.len(), updates)
+        } else {
+            robust.pre_aggregate_with(self.global.len(), updates, Some(&self.pool))
+        };
         if tracing {
             if stats.rejected > 0 {
                 self.recorder
@@ -689,11 +806,86 @@ impl SyncRuntime {
         out
     }
 
+    /// Runs the robust estimator separately per coverage group. Updates
+    /// sharing a view descriptor are comparable coordinate-for-coordinate
+    /// at view width; densifying mixed-width updates would let the zero
+    /// padding outside narrow views masquerade as small coordinates and
+    /// skew medians and distance rankings. Groups of one pass through
+    /// untouched — there is nothing to compare a singleton against.
+    fn robust_by_coverage(
+        robust: &RobustAggregator,
+        pool: &WorkerPool,
+        dense_len: usize,
+        updates: Vec<RoundUpdate>,
+    ) -> (Vec<RoundUpdate>, RobustStats) {
+        let mut groups: Vec<(Option<ViewDescriptor>, Vec<RoundUpdate>)> = Vec::new();
+        for u in updates {
+            let key = u.payload.view_descriptor().cloned();
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, g)) => g.push(u),
+                None => groups.push((key, vec![u])),
+            }
+        }
+        let mut out: Vec<RoundUpdate> = Vec::new();
+        let mut total = RobustStats::default();
+        for (key, group) in groups {
+            if group.len() < 2 {
+                total.input += group.len();
+                total.output += group.len();
+                out.extend(group);
+                continue;
+            }
+            match key {
+                Some(desc) => {
+                    // Unwrap to the view-local inner payloads, estimate at
+                    // view width, then re-wrap under the shared descriptor.
+                    let inner: Vec<RoundUpdate> = group
+                        .into_iter()
+                        .map(|u| RoundUpdate {
+                            client: u.client,
+                            weight: u.weight,
+                            payload: match u.payload {
+                                UpdatePayload::SubView { inner, .. } => *inner,
+                                _ => unreachable!("grouped under Some descriptor"),
+                            },
+                        })
+                        .collect();
+                    let (est, stats) =
+                        robust.pre_aggregate_with(desc.view_len(), inner, Some(pool));
+                    total.input += stats.input;
+                    total.output += stats.output;
+                    total.rejected += stats.rejected;
+                    total.trimmed_values += stats.trimmed_values;
+                    out.extend(est.into_iter().map(|u| RoundUpdate {
+                        client: u.client,
+                        weight: u.weight,
+                        payload: UpdatePayload::sub_view(desc.clone(), u.payload),
+                    }));
+                }
+                None => {
+                    let (est, stats) = robust.pre_aggregate_with(dense_len, group, Some(pool));
+                    total.input += stats.input;
+                    total.output += stats.output;
+                    total.rejected += stats.rejected;
+                    total.trimmed_values += stats.trimmed_values;
+                    out.extend(est);
+                }
+            }
+        }
+        (out, total)
+    }
+
     /// Trains the broadcast-ready clients, returning outcomes in the same
     /// (cohort) order. Parallel across the pool when enabled — clients are
     /// mutually independent during local training, so results do not
-    /// depend on scheduling.
-    fn train_ready(&mut self, ready: &[(usize, usize, SimTime)]) -> Vec<LocalOutcome> {
+    /// depend on scheduling. When `views` is set (capacity mode), each
+    /// ready client trains on its rank's sub-view of the global vector
+    /// instead of the full model.
+    fn train_ready(
+        &mut self,
+        ready: &[(usize, usize, SimTime)],
+        views: Option<&[(SubView, ViewDescriptor)]>,
+    ) -> Vec<LocalOutcome> {
         let steps = self.config.local_steps;
         let aggregation = &self.aggregation;
         let use_hook = aggregation.uses_gradient_hook();
@@ -713,8 +905,9 @@ impl SyncRuntime {
             .collect();
         let jobs: Vec<Box<dyn FnOnce() -> LocalOutcome + Send + '_>> = ready
             .iter()
-            .map(|&(_, c, _)| {
+            .map(|&(rank, c, _)| {
                 let client = slots[c].take().expect("ready client listed once");
+                let view = views.map(|v| &v[rank].0);
                 Box::new(move || {
                     // The hooked and hook-free training paths are distinct
                     // float paths; the aggregation policy pins the choice.
@@ -722,9 +915,21 @@ impl SyncRuntime {
                         let mut hook = |grad: &mut [f32], params: &[f32], g: &[f32]| {
                             aggregation.gradient_hook(c, grad, params, g);
                         };
-                        client.train_local(global, steps, Some(&mut hook))
+                        match view {
+                            Some(view) => {
+                                let values = view.extract(global);
+                                client.train_local_view(view, &values, steps, Some(&mut hook))
+                            }
+                            None => client.train_local(global, steps, Some(&mut hook)),
+                        }
                     } else {
-                        client.train_local(global, steps, None)
+                        match view {
+                            Some(view) => {
+                                let values = view.extract(global);
+                                client.train_local_view(view, &values, steps, None)
+                            }
+                            None => client.train_local(global, steps, None),
+                        }
                     }
                 }) as Box<_>
             })

@@ -1,0 +1,351 @@
+//! Heterogeneous-capacity submodel training: tiers, policies, and
+//! coverage-weighted aggregation.
+//!
+//! Embedded fleets mix device classes: a gateway-class node can train the
+//! full model while a sensor-class node only has the memory and cycles for
+//! a quarter of it. This module turns that budget into a *capacity tier*
+//! ([`CapacityTier`]) and a per-round assignment ([`CapacityPolicy`]), and
+//! closes the loop server-side with [`coverage_weighted_fold`] — the
+//! FedAvg generalisation where each global coordinate averages only the
+//! clients whose slice covered it.
+//!
+//! The tiers map onto the two slicing families of
+//! [`adafl_nn::SubView`]: fractional width (federated dropout / FedRolex
+//! rolling windows) and top-k trainable layers (SLT-style freezing). With
+//! every client at [`CapacityTier::Full`], the fold is bitwise identical
+//! to FedAvg's weighted average — the property pinned by the
+//! `subview_roundtrip` proptests.
+
+use crate::runtime::{RoundUpdate, UpdatePayload};
+use adafl_nn::{ParamSegmentMap, SubView};
+
+/// How much of the model a client trains this round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CapacityTier {
+    /// The whole model: the trivial full view.
+    Full,
+    /// A rolling width slice keeping this fraction of each block's output
+    /// units (in `(0, 1]`; `0.5` = half width, `0.25` = quarter).
+    Width(f32),
+    /// Only the last `k` parameterised layers train (SLT-style freezing).
+    Layers(usize),
+}
+
+impl CapacityTier {
+    /// Parses a tier from its config spelling: `full`, `half`, `quarter`,
+    /// `width:<fraction>`, or `layers:<k>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending token when it matches none of the forms or
+    /// carries an out-of-range argument.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let t = s.trim();
+        match t {
+            "full" => return Ok(CapacityTier::Full),
+            "half" => return Ok(CapacityTier::Width(0.5)),
+            "quarter" => return Ok(CapacityTier::Width(0.25)),
+            _ => {}
+        }
+        if let Some(frac) = t.strip_prefix("width:") {
+            let f: f32 = frac
+                .parse()
+                .map_err(|_| format!("bad width fraction in tier `{t}`"))?;
+            if !(f > 0.0 && f <= 1.0) {
+                return Err(format!("width fraction out of (0, 1] in tier `{t}`"));
+            }
+            return Ok(CapacityTier::Width(f));
+        }
+        if let Some(k) = t.strip_prefix("layers:") {
+            let k: usize = k
+                .parse()
+                .map_err(|_| format!("bad layer count in tier `{t}`"))?;
+            if k == 0 {
+                return Err(format!("layer count must be positive in tier `{t}`"));
+            }
+            return Ok(CapacityTier::Layers(k));
+        }
+        Err(format!("unknown capacity tier `{t}`"))
+    }
+
+    /// The canonical config spelling ([`CapacityTier::parse`]'s inverse).
+    pub fn canonical(&self) -> String {
+        match *self {
+            CapacityTier::Full => "full".to_string(),
+            CapacityTier::Width(f) => {
+                if f == 0.5 {
+                    "half".to_string()
+                } else if f == 0.25 {
+                    "quarter".to_string()
+                } else {
+                    format!("width:{f}")
+                }
+            }
+            CapacityTier::Layers(k) => format!("layers:{k}"),
+        }
+    }
+
+    /// Materialises the tier as a concrete coordinate view for `round`.
+    pub fn view(&self, map: &ParamSegmentMap, round: u64) -> SubView {
+        match *self {
+            CapacityTier::Full => SubView::full(map),
+            CapacityTier::Width(f) => SubView::width(map, f, round),
+            CapacityTier::Layers(k) => SubView::layers(map, k),
+        }
+    }
+}
+
+/// Assigns each client a capacity tier per round — the submodel
+/// counterpart of the compression policy.
+///
+/// Implementations are deterministic functions of their inputs and
+/// observed history, keeping runs reproducible. [`CapacityPolicy::observe`]
+/// feeds back AdaFL's utility score (cosine similarity of the client's
+/// update to the aggregated gradient estimate) so adaptive policies can
+/// promote clients whose slices help and demote those whose don't.
+pub trait CapacityPolicy: std::fmt::Debug + Send {
+    /// The tier `client` trains at in `round`.
+    fn assign(&mut self, round: u64, client: usize) -> CapacityTier;
+
+    /// Post-aggregation feedback: the utility score of `client`'s update
+    /// this round. Default: ignored (static policies).
+    fn observe(&mut self, round: u64, client: usize, score: f32) {
+        let _ = (round, client, score);
+    }
+}
+
+/// The static tiered policy: client `i` permanently trains at tier
+/// `tiers[i % tiers.len()]` — a fixed fleet mix like 25% full / 50% half /
+/// 25% quarter.
+#[derive(Debug, Clone)]
+pub struct StaticCapacity {
+    tiers: Vec<CapacityTier>,
+}
+
+impl StaticCapacity {
+    /// Builds the policy from a non-empty tier cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tiers` is empty.
+    pub fn new(tiers: Vec<CapacityTier>) -> Self {
+        assert!(!tiers.is_empty(), "need at least one capacity tier");
+        StaticCapacity { tiers }
+    }
+}
+
+impl CapacityPolicy for StaticCapacity {
+    fn assign(&mut self, _round: u64, client: usize) -> CapacityTier {
+        self.tiers[client % self.tiers.len()]
+    }
+}
+
+/// Coverage-weighted aggregation: each global coordinate averages only
+/// the clients whose slice covered it.
+///
+/// For coordinate `i`, the result is `Σ_{covering c} w_c·v_c[i] / Σ_
+/// {covering c} w_c`; coordinates no client covered stay `0.0` (the
+/// global model does not move there). Full-width payloads cover every
+/// coordinate — including sparse ones, which transmitted the whole dense
+/// coordinate space with zeros off-support.
+///
+/// The accumulation order replicates
+/// [`adafl_tensor::vecops::weighted_average`] exactly — per-coordinate
+/// denominators build by client order, then each client folds in with
+/// `w/den[i]` — so when every client is full-width the result is bitwise
+/// `==` FedAvg's weighted average.
+///
+/// Returns `None` when `updates` is empty or all weights are zero.
+pub fn coverage_weighted_fold(dim: usize, updates: &[RoundUpdate]) -> Option<Vec<f32>> {
+    if updates.is_empty() {
+        return None;
+    }
+    let mut den = vec![0.0f32; dim];
+    for u in updates {
+        match u.payload.view_descriptor() {
+            Some(desc) => {
+                for &(off, len) in desc.segments() {
+                    for d in &mut den[off as usize..(off + len) as usize] {
+                        *d += u.weight;
+                    }
+                }
+            }
+            None => {
+                for d in den.iter_mut() {
+                    *d += u.weight;
+                }
+            }
+        }
+    }
+    if den.iter().all(|&d| d == 0.0) {
+        return None;
+    }
+    let mut mean = vec![0.0f32; dim];
+    for u in updates {
+        fold_one(&u.payload, u.weight, &den, &mut mean);
+    }
+    Some(mean)
+}
+
+/// Adds one client's contribution `mean[i] += (w / den[i]) · v[i]` over
+/// the coordinates its payload covers.
+fn fold_one(payload: &UpdatePayload, weight: f32, den: &[f32], mean: &mut [f32]) {
+    match payload {
+        UpdatePayload::Dense(d) => {
+            for (i, &v) in d.values().iter().enumerate() {
+                if den[i] != 0.0 {
+                    mean[i] += (weight / den[i]) * v;
+                }
+            }
+        }
+        UpdatePayload::Sparse(s) => {
+            // Same index walk as `SparseUpdate::add_into`, with the
+            // per-coordinate scale.
+            for (&idx, &v) in s.indices().iter().zip(s.values()) {
+                let i = idx as usize;
+                if den[i] != 0.0 {
+                    mean[i] += (weight / den[i]) * v;
+                }
+            }
+        }
+        UpdatePayload::Quantized { values, .. } | UpdatePayload::Ternary { values, .. } => {
+            for (i, &v) in values.iter().enumerate() {
+                if den[i] != 0.0 {
+                    mean[i] += (weight / den[i]) * v;
+                }
+            }
+        }
+        UpdatePayload::SubView { desc, inner } => {
+            // View-local values walk the descriptor's segments; a sparse
+            // inner densifies within the view first.
+            let scatter = |values: &[f32], mean: &mut [f32]| {
+                let mut at = 0usize;
+                for &(off, len) in desc.segments() {
+                    for (i, &v) in
+                        (off as usize..(off + len) as usize).zip(&values[at..at + len as usize])
+                    {
+                        if den[i] != 0.0 {
+                            mean[i] += (weight / den[i]) * v;
+                        }
+                    }
+                    at += len as usize;
+                }
+            };
+            match inner.as_ref() {
+                UpdatePayload::Dense(d) => scatter(d.values(), mean),
+                UpdatePayload::Quantized { values, .. } | UpdatePayload::Ternary { values, .. } => {
+                    scatter(values, mean)
+                }
+                UpdatePayload::Sparse(s) => scatter(&s.to_dense(), mean),
+                UpdatePayload::SubView { .. } => unreachable!("sub-views cannot nest"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adafl_compression::ViewDescriptor;
+    use adafl_tensor::vecops;
+
+    #[test]
+    fn tier_parse_round_trips() {
+        for spelling in ["full", "half", "quarter", "width:0.7", "layers:2"] {
+            let tier = CapacityTier::parse(spelling).unwrap();
+            assert_eq!(tier.canonical(), spelling);
+            assert_eq!(CapacityTier::parse(&tier.canonical()).unwrap(), tier);
+        }
+        assert!(CapacityTier::parse("w:0.5").is_err());
+        assert!(CapacityTier::parse("width:0").is_err());
+        assert!(CapacityTier::parse("width:1.5").is_err());
+        assert!(CapacityTier::parse("layers:0").is_err());
+        assert!(CapacityTier::parse("layers:x").is_err());
+    }
+
+    #[test]
+    fn static_capacity_cycles_tiers() {
+        let mut p = StaticCapacity::new(vec![
+            CapacityTier::Full,
+            CapacityTier::Width(0.5),
+            CapacityTier::Width(0.25),
+        ]);
+        assert_eq!(p.assign(0, 0), CapacityTier::Full);
+        assert_eq!(p.assign(0, 1), CapacityTier::Width(0.5));
+        assert_eq!(p.assign(0, 2), CapacityTier::Width(0.25));
+        assert_eq!(p.assign(5, 3), CapacityTier::Full);
+        // Assignment is per-client, not per-round.
+        assert_eq!(p.assign(9, 1), CapacityTier::Width(0.5));
+    }
+
+    fn dense_update(client: usize, v: Vec<f32>, weight: f32) -> RoundUpdate {
+        RoundUpdate {
+            client,
+            payload: UpdatePayload::dense(v),
+            weight,
+        }
+    }
+
+    #[test]
+    fn all_full_width_fold_is_bitwise_fedavg() {
+        let v1 = vec![0.25f32, -1.5, 3.0, 0.125];
+        let v2 = vec![1.0f32, 2.0, -0.5, 0.75];
+        let v3 = vec![-0.375f32, 0.1, 0.2, -0.3];
+        let updates = vec![
+            dense_update(0, v1.clone(), 3.0),
+            dense_update(1, v2.clone(), 5.0),
+            dense_update(2, v3.clone(), 2.0),
+        ];
+        let fold = coverage_weighted_fold(4, &updates).unwrap();
+        let reference = vecops::weighted_average(
+            &[v1.as_slice(), v2.as_slice(), v3.as_slice()],
+            &[3.0, 5.0, 2.0],
+        )
+        .unwrap();
+        assert_eq!(fold, reference);
+    }
+
+    #[test]
+    fn partial_coverage_averages_covering_clients_only() {
+        // Client 0 covers everything; client 1 covers only [2, 4).
+        let view = UpdatePayload::sub_view(
+            ViewDescriptor::new(4, vec![(2, 2)]),
+            UpdatePayload::dense(vec![10.0, 20.0]),
+        );
+        let updates = vec![
+            dense_update(0, vec![1.0, 2.0, 3.0, 4.0], 1.0),
+            RoundUpdate {
+                client: 1,
+                payload: view,
+                weight: 1.0,
+            },
+        ];
+        let fold = coverage_weighted_fold(4, &updates).unwrap();
+        assert_eq!(fold[0], 1.0);
+        assert_eq!(fold[1], 2.0);
+        assert_eq!(fold[2], (3.0 + 10.0) / 2.0);
+        assert_eq!(fold[3], (4.0 + 20.0) / 2.0);
+    }
+
+    #[test]
+    fn uncovered_coordinates_stay_zero() {
+        let view = UpdatePayload::sub_view(
+            ViewDescriptor::new(3, vec![(0, 1)]),
+            UpdatePayload::dense(vec![6.0]),
+        );
+        let updates = vec![RoundUpdate {
+            client: 0,
+            payload: view,
+            weight: 2.0,
+        }];
+        let fold = coverage_weighted_fold(3, &updates).unwrap();
+        assert_eq!(fold, vec![6.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_or_zero_weight_folds_to_none() {
+        assert!(coverage_weighted_fold(3, &[]).is_none());
+        let updates = vec![dense_update(0, vec![1.0, 1.0, 1.0], 0.0)];
+        assert!(coverage_weighted_fold(3, &updates).is_none());
+    }
+}

@@ -38,6 +38,7 @@ fn engine_with_network(network: ClientNetwork, budget: u64) -> AsyncEngine {
         .compute(ComputeModel::uniform(CLIENTS, 0.05))
         .update_budget(budget)
         .build_async(Box::new(FedAsync::new(0.6, 0.5)))
+        .unwrap()
 }
 
 #[test]
@@ -101,7 +102,8 @@ fn fedbuff_partial_buffer_never_updates_global() {
         .network(network)
         .compute(ComputeModel::uniform(CLIENTS, 0.05))
         .update_budget(6) // fewer arrivals than the buffer needs
-        .build_async(Box::new(FedBuff::new(10, 1.0)));
+        .build_async(Box::new(FedBuff::new(10, 1.0)))
+        .unwrap();
     e.run();
     assert_eq!(e.version(), 0, "buffer flushed early");
 }

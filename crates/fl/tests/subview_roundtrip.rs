@@ -1,0 +1,161 @@
+//! Property tests pinning the sub-view wire format and the FedAvg
+//! degeneracy of coverage-weighted aggregation.
+//!
+//! Two claims keep heterogeneous capacity honest:
+//!
+//! 1. a full-width [`SubView`] is a lossless frame — a payload built from
+//!    `extract` survives encode → decode → scatter bitwise in all four
+//!    wire forms, so turning the capacity machinery on with `full` tiers
+//!    changes no transmitted value;
+//! 2. [`coverage_weighted_fold`] with all-full-width clients is bitwise
+//!    `==` [`vecops::weighted_average`] — the aggregation rule degenerates
+//!    to exactly FedAvg, not approximately.
+//!
+//! Together with the golden-trace suite (capacity *off*), these pin both
+//! edges of the feature: off is byte-identical to the legacy path, and on
+//! with trivial tiers is value-identical.
+
+use adafl_compression::{top_k, QsgdQuantizer, TernGrad, ViewDescriptor};
+use adafl_fl::runtime::{RoundUpdate, UpdatePayload};
+use adafl_fl::submodel::coverage_weighted_fold;
+use adafl_nn::models::ModelSpec;
+use adafl_nn::SubView;
+use adafl_tensor::vecops;
+use proptest::prelude::*;
+
+/// Parameter count of the test MLP (6 → 8 → 4 → 3 with biases).
+const DIM: usize = 6 * 8 + 8 + 8 * 4 + 4 + 4 * 3 + 3;
+
+const MAX_N: usize = 6;
+const MAX_DIM: usize = 48;
+
+fn mlp_map() -> adafl_nn::ParamSegmentMap {
+    let map = ModelSpec::Mlp {
+        in_features: 6,
+        hidden: vec![8, 4],
+        classes: 3,
+    }
+    .build(7)
+    .segment_map();
+    assert_eq!(map.total_len(), DIM, "test MLP dimension drifted");
+    map
+}
+
+fn dense_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-50.0f32..50.0, len)
+}
+
+/// The four base wire forms a view-local delta can travel as.
+fn inner_forms(values: &[f32], k: usize, seed: u64) -> [UpdatePayload; 4] {
+    [
+        UpdatePayload::dense(values.to_vec()),
+        UpdatePayload::Sparse(top_k(values, k)),
+        UpdatePayload::quantized(QsgdQuantizer::new(4, seed).quantize(values)),
+        UpdatePayload::ternary(TernGrad::new(seed).ternarize(values)),
+    ]
+}
+
+proptest! {
+    // extract → encode → decode → scatter is bitwise lossless for the
+    // full view in every wire form: the decoded payload equals the
+    // transmitted one, and scattering its view-local values reproduces
+    // the payload's own densification exactly. For the dense inner form
+    // the scattered vector is bitwise the original delta.
+    #[test]
+    fn full_width_subview_round_trips_every_wire_form(
+        dense in dense_vec(DIM),
+        k in 1usize..DIM,
+        seed in 0u64..1024,
+    ) {
+        let map = mlp_map();
+        let view = SubView::full(&map);
+        prop_assert!(view.is_full());
+        let extracted = view.extract(&dense);
+        // The full view's gather is the identity.
+        prop_assert_eq!(&extracted, &dense);
+
+        let desc = ViewDescriptor::new(view.dense_len(), view.segments().to_vec());
+        prop_assert_eq!(desc.view_len(), extracted.len());
+        for inner in inner_forms(&extracted, k, seed) {
+            let payload = UpdatePayload::sub_view(desc.clone(), inner);
+            let bytes = payload.encode();
+            prop_assert_eq!(bytes.len(), payload.encoded_len());
+
+            let decoded = UpdatePayload::decode_view(payload.form(), &bytes).unwrap();
+            prop_assert_eq!(&decoded, &payload);
+
+            // Scatter the decoded view-local values back through the
+            // SubView and compare against the payload's densification.
+            let UpdatePayload::SubView { inner, .. } = decoded else {
+                panic!("decode_view returned a non-view payload");
+            };
+            let view_values = inner.into_dense();
+            let mut scattered = vec![0.0f32; view.dense_len()];
+            view.scatter(&view_values, &mut scattered);
+            let reference = payload.clone().into_dense();
+            prop_assert_eq!(&scattered, &reference);
+            if matches!(payload.form(), adafl_fl::runtime::WireForm::Dense) {
+                prop_assert_eq!(&scattered, &dense);
+            }
+        }
+    }
+
+    // Partial views are exact on their coverage: scattering an extracted
+    // slice into a zeroed buffer equals masking the original vector to
+    // the view, for every width fraction and rolling round.
+    #[test]
+    fn width_view_extract_scatter_masks_exactly(
+        dense in dense_vec(DIM),
+        frac in 0.05f32..1.0,
+        round in 0u64..64,
+    ) {
+        let map = mlp_map();
+        let view = SubView::width(&map, frac, round);
+        let extracted = view.extract(&dense);
+        prop_assert_eq!(extracted.len(), view.view_len());
+
+        let mut scattered = vec![0.0f32; DIM];
+        view.scatter(&extracted, &mut scattered);
+        let mut masked = dense.clone();
+        view.zero_outside(&mut masked);
+        prop_assert_eq!(scattered, masked);
+    }
+
+    // With every client full-width — framed or not — the coverage fold
+    // is bitwise FedAvg: per-coordinate denominators accumulate the same
+    // weight sequence `weighted_average` sums, so `w/den[i]` equals
+    // `w/total` exactly.
+    #[test]
+    fn all_full_width_fold_is_bitwise_fedavg(
+        pool in dense_vec(MAX_N * MAX_DIM),
+        weights in proptest::collection::vec(0.5f32..8.0, MAX_N),
+        n in 1usize..MAX_N + 1,
+        dim in 1usize..MAX_DIM + 1,
+        framed in 0usize..2,
+    ) {
+        let framed = framed == 1;
+        let vectors: Vec<&[f32]> = (0..n)
+            .map(|c| &pool[c * MAX_DIM..c * MAX_DIM + dim])
+            .collect();
+        let weights = &weights[..n];
+
+        let updates: Vec<RoundUpdate> = vectors
+            .iter()
+            .zip(weights)
+            .enumerate()
+            .map(|(client, (v, &weight))| {
+                let inner = UpdatePayload::dense(v.to_vec());
+                let payload = if framed {
+                    UpdatePayload::sub_view(ViewDescriptor::full(dim), inner)
+                } else {
+                    inner
+                };
+                RoundUpdate { client, payload, weight }
+            })
+            .collect();
+
+        let fold = coverage_weighted_fold(dim, &updates).unwrap();
+        let reference = vecops::weighted_average(&vectors, weights).unwrap();
+        prop_assert_eq!(fold, reference);
+    }
+}

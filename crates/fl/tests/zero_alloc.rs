@@ -86,4 +86,24 @@ fn steady_state_training_steps_allocate_nothing() {
         allocs_one_step > 0,
         "fixed per-call overhead should register"
     );
+
+    // The gradient-hook configuration (the path sub-view training rides:
+    // mask → hook → re-mask over the flat gradient) must not reintroduce
+    // per-step allocations either. The hook itself only rescales in place.
+    let mut hook = |grads: &mut [f32], _params: &[f32], _global: &[f32]| {
+        for g in grads.iter_mut() {
+            *g *= 0.5;
+        }
+    };
+    client.train_local(&global, 12, Some(&mut hook));
+    let (hooked_one_step, _) =
+        allocations_during(|| client.train_local(&global, 1, Some(&mut hook)));
+    let (hooked_eleven_steps, _) =
+        allocations_during(|| client.train_local(&global, 11, Some(&mut hook)));
+    assert_eq!(
+        hooked_eleven_steps, hooked_one_step,
+        "per-step allocations crept into the gradient-hook path: \
+         1-step call made {hooked_one_step} allocations, \
+         11-step call made {hooked_eleven_steps}"
+    );
 }

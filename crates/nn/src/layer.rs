@@ -1,3 +1,4 @@
+use crate::subview::BlockLayout;
 use crate::workspace::LayerWorkspace;
 use adafl_tensor::Tensor;
 
@@ -71,6 +72,20 @@ pub trait Layer: Send + std::fmt::Debug {
     /// Visits each gradient block (read-only), in the same order as
     /// [`Layer::visit_params`].
     fn visit_grads(&self, _f: &mut dyn FnMut(&[f32])) {}
+
+    /// Describes each parameter block's unit structure, in the same order
+    /// as [`Layer::visit_params`] — the registry parameter sub-views are
+    /// cut from.
+    ///
+    /// The default derives an unsliceable [`BlockLayout::Whole`] per
+    /// visited block, so external layers keep working (they are simply
+    /// never width-sliced). Layers with output-unit structure (dense
+    /// columns, conv channel rows) override this to opt into slicing.
+    fn param_block_layouts(&self) -> Vec<BlockLayout> {
+        let mut out = Vec::new();
+        self.visit_params(&mut |p| out.push(BlockLayout::Whole { len: p.len() }));
+        out
+    }
 
     /// Resets accumulated gradients to zero.
     fn zero_grads(&mut self) {}

@@ -194,6 +194,21 @@ impl Layer for Conv2d {
         f(self.grad_bias.as_slice());
     }
 
+    fn param_block_layouts(&self) -> Vec<crate::BlockLayout> {
+        // Output channels are contiguous weight rows; the bias has one
+        // scalar per channel.
+        vec![
+            crate::BlockLayout::Rows {
+                units: self.out_channels,
+                row_len: self.geom.patch_len(),
+            },
+            crate::BlockLayout::Rows {
+                units: self.out_channels,
+                row_len: 1,
+            },
+        ]
+    }
+
     fn zero_grads(&mut self) {
         self.grad_weight.as_mut_slice().fill(0.0);
         self.grad_bias.as_mut_slice().fill(0.0);

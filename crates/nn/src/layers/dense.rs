@@ -165,6 +165,21 @@ impl Layer for Dense {
         f(self.grad_bias.as_slice());
     }
 
+    fn param_block_layouts(&self) -> Vec<crate::BlockLayout> {
+        // Output neurons are weight columns; the bias has one scalar per
+        // output unit, so both blocks slice on the same unit count.
+        vec![
+            crate::BlockLayout::Cols {
+                rows: self.in_features,
+                cols: self.out_features,
+            },
+            crate::BlockLayout::Rows {
+                units: self.out_features,
+                row_len: 1,
+            },
+        ]
+    }
+
     fn zero_grads(&mut self) {
         self.grad_weight.as_mut_slice().fill(0.0);
         self.grad_bias.as_mut_slice().fill(0.0);

@@ -124,6 +124,13 @@ impl Layer for Residual {
         }
     }
 
+    fn param_block_layouts(&self) -> Vec<crate::BlockLayout> {
+        self.body
+            .iter()
+            .flat_map(|l| l.param_block_layouts())
+            .collect()
+    }
+
     fn zero_grads(&mut self) {
         for layer in &mut self.body {
             layer.zero_grads();

@@ -44,8 +44,10 @@ mod model;
 pub mod models;
 pub mod optim;
 pub mod schedule;
+mod subview;
 mod workspace;
 
 pub use layer::Layer;
 pub use model::Model;
+pub use subview::{BlockLayout, ParamSegmentMap, SubView};
 pub use workspace::{LayerWorkspace, ModelWorkspace};

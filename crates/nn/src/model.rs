@@ -163,7 +163,17 @@ impl Model {
         }
     }
 
+    /// Builds the per-layer offset/shape registry that parameter sub-views
+    /// are cut from (see [`crate::ParamSegmentMap`]).
+    pub fn segment_map(&self) -> crate::ParamSegmentMap {
+        crate::ParamSegmentMap::from_layers(&self.layers)
+    }
+
     /// Flattens all parameters into one vector (stable layer order).
+    ///
+    /// This is the trivial full-view case of the parameter sub-view
+    /// machinery: [`crate::SubView::full`] over [`Model::segment_map`]
+    /// selects exactly these coordinates in this order.
     pub fn params_flat(&self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.param_count());
         for layer in &self.layers {

@@ -1,0 +1,518 @@
+//! Typed parameter sub-views: which slice of the model a client owns.
+//!
+//! Heterogeneous-capacity federated learning (federated dropout, FedRolex,
+//! HeteroFL) lets constrained clients train a *slice* of the global model.
+//! This module gives that slice a type. A [`ParamSegmentMap`] is the
+//! registry of every parameter block's offset and unit structure inside the
+//! flat vector that [`crate::Model::params_flat`] produces — `params_flat`
+//! itself is just the trivial full-view case. A [`SubView`] is a concrete
+//! selection of flat-vector coordinates, materialised as sorted, disjoint
+//! `(offset, len)` segments so gather/scatter run as straight `memcpy`s
+//! over the existing flat path.
+//!
+//! Two slicing families cover the paper's capacity tiers:
+//!
+//! * **Width slicing** ([`SubView::width`]) — FedRolex-style rolling
+//!   windows over each block's output units (columns of a dense weight,
+//!   channel rows of a conv weight). The window start advances with the
+//!   round index so every coordinate is trained eventually; the final
+//!   classifier layer is never sliced (dropping output classes would make
+//!   some labels untrainable).
+//! * **Layer freezing** ([`SubView::layers`]) — SLT-style: only the last
+//!   `k` parameterised layers train; earlier layers stay frozen.
+//!
+//! These are coordinate *views*, not smaller models: the client still runs
+//! the full architecture and masks gradients outside the view, which keeps
+//! forward/backward numerics identical to full-width training and needs no
+//! per-tier model surgery (see the "sub-views, not sub-models" decision in
+//! DESIGN.md).
+
+use crate::Layer;
+
+/// The unit structure of one parameter block inside the flat vector.
+///
+/// "Units" are the output neurons/channels that width slicing selects. A
+/// block without unit structure ([`BlockLayout::Whole`]) is always kept in
+/// full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockLayout {
+    /// Opaque block — width slicing keeps it whole.
+    Whole {
+        /// Scalar count.
+        len: usize,
+    },
+    /// Row-major matrix whose *columns* are the sliceable units — a dense
+    /// weight `[in_features, out_features]`, where each output neuron is a
+    /// strided column.
+    Cols {
+        /// Row count (`in_features`).
+        rows: usize,
+        /// Column count = unit count (`out_features`).
+        cols: usize,
+    },
+    /// Row-major matrix whose *rows* are the sliceable units — a conv
+    /// weight `[out_channels, patch_len]`, where each channel is a
+    /// contiguous row. A bias vector is `Rows { units, row_len: 1 }`.
+    Rows {
+        /// Row count = unit count (`out_channels`).
+        units: usize,
+        /// Scalars per unit row.
+        row_len: usize,
+    },
+}
+
+impl BlockLayout {
+    /// Total scalar count of the block.
+    pub fn len(&self) -> usize {
+        match *self {
+            BlockLayout::Whole { len } => len,
+            BlockLayout::Cols { rows, cols } => rows * cols,
+            BlockLayout::Rows { units, row_len } => units * row_len,
+        }
+    }
+
+    /// Returns `true` for a zero-sized block.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of sliceable units; `0` when the block is unsliceable.
+    pub fn units(&self) -> usize {
+        match *self {
+            BlockLayout::Whole { .. } => 0,
+            BlockLayout::Cols { cols, .. } => cols,
+            BlockLayout::Rows { units, .. } => units,
+        }
+    }
+
+    /// Appends flat-vector segments covering the given unit ranges
+    /// (sorted, disjoint, in `0..units()`), for a block starting at
+    /// `offset`.
+    fn push_unit_segments(
+        &self,
+        offset: usize,
+        ranges: &[(usize, usize)],
+        out: &mut Vec<(u32, u32)>,
+    ) {
+        match *self {
+            BlockLayout::Whole { len } => {
+                if len > 0 {
+                    out.push((offset as u32, len as u32));
+                }
+            }
+            BlockLayout::Cols { rows, cols } => {
+                for r in 0..rows {
+                    for &(a, b) in ranges {
+                        out.push(((offset + r * cols + a) as u32, (b - a) as u32));
+                    }
+                }
+            }
+            BlockLayout::Rows { row_len, .. } => {
+                for &(a, b) in ranges {
+                    out.push(((offset + a * row_len) as u32, ((b - a) * row_len) as u32));
+                }
+            }
+        }
+    }
+
+    /// Appends one segment covering the whole block.
+    fn push_full_segment(&self, offset: usize, out: &mut Vec<(u32, u32)>) {
+        let len = self.len();
+        if len > 0 {
+            out.push((offset as u32, len as u32));
+        }
+    }
+}
+
+/// One parameter block's position in the flat vector.
+#[derive(Debug, Clone, Copy)]
+struct BlockEntry {
+    /// Flat-vector offset of the block's first scalar.
+    offset: usize,
+    /// Index of the owning top-level layer.
+    layer: usize,
+    /// Unit structure.
+    layout: BlockLayout,
+}
+
+/// Per-layer offset/shape registry derived from a [`crate::Model`].
+///
+/// Records, for every parameter block, its flat-vector offset and
+/// [`BlockLayout`], plus which top-level layer owns it — everything a
+/// capacity policy needs to cut coordinate views without touching layer
+/// internals. Build one with [`crate::Model::segment_map`].
+#[derive(Debug, Clone)]
+pub struct ParamSegmentMap {
+    blocks: Vec<BlockEntry>,
+    /// Indices of top-level layers that own at least one parameter.
+    param_layers: Vec<usize>,
+    total: usize,
+}
+
+impl ParamSegmentMap {
+    /// Builds the registry from an ordered layer stack (the `Model`
+    /// constructor's view of the world).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a layer's [`Layer::param_block_layouts`] disagrees with
+    /// its [`Layer::param_count`] — a broken override, caught here rather
+    /// than as silent coordinate corruption later.
+    pub(crate) fn from_layers(layers: &[Box<dyn Layer>]) -> Self {
+        let mut blocks = Vec::new();
+        let mut param_layers = Vec::new();
+        let mut offset = 0usize;
+        for (layer_idx, layer) in layers.iter().enumerate() {
+            let layouts = layer.param_block_layouts();
+            let layer_len: usize = layouts.iter().map(BlockLayout::len).sum();
+            assert_eq!(
+                layer_len,
+                layer.param_count(),
+                "param_block_layouts of layer `{}` does not cover param_count",
+                layer.name()
+            );
+            if layer_len > 0 {
+                param_layers.push(layer_idx);
+            }
+            for layout in layouts {
+                blocks.push(BlockEntry {
+                    offset,
+                    layer: layer_idx,
+                    layout,
+                });
+                offset += layout.len();
+            }
+        }
+        ParamSegmentMap {
+            blocks,
+            param_layers,
+            total: offset,
+        }
+    }
+
+    /// Total flat-vector length (== `Model::param_count`).
+    pub fn total_len(&self) -> usize {
+        self.total
+    }
+
+    /// Number of parameter blocks across all layers.
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of top-level layers that own parameters.
+    pub fn n_param_layers(&self) -> usize {
+        self.param_layers.len()
+    }
+
+    /// Index of the last parameterised top-level layer (the classifier
+    /// head), or `None` for a parameterless model.
+    fn last_param_layer(&self) -> Option<usize> {
+        self.param_layers.last().copied()
+    }
+}
+
+/// FedRolex rolling window: which `k` of `units` units round `round`
+/// keeps, as sorted unit ranges (two when the window wraps).
+fn rolling_ranges(units: usize, keep_fraction: f32, round: u64) -> Vec<(usize, usize)> {
+    debug_assert!(units > 0);
+    let k = ((keep_fraction * units as f32).ceil() as usize).clamp(1, units);
+    if k == units {
+        return vec![(0, units)];
+    }
+    let s = (round % units as u64) as usize;
+    if s + k <= units {
+        vec![(s, s + k)]
+    } else {
+        vec![(0, s + k - units), (s, units)]
+    }
+}
+
+/// A concrete coordinate selection over the flat parameter vector.
+///
+/// Materialised as sorted, disjoint `(offset, len)` segments — the same
+/// shape the wire-level view descriptor and the tensor segment kernels
+/// speak, so extraction, scatter and gradient masking are shared code.
+///
+/// # Examples
+///
+/// ```
+/// use adafl_nn::{models, SubView};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let model = models::mlp(&mut StdRng::seed_from_u64(0), 4, &[8], 3);
+/// let map = model.segment_map();
+/// let half = SubView::width(&map, 0.5, 0);
+/// assert!(half.view_len() < map.total_len());
+/// let full = SubView::full(&map);
+/// assert!(full.is_full());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubView {
+    dense_len: usize,
+    segments: Vec<(u32, u32)>,
+}
+
+impl SubView {
+    /// The trivial view covering every coordinate — what `params_flat`
+    /// has always exchanged.
+    pub fn full(map: &ParamSegmentMap) -> Self {
+        let segments = if map.total == 0 {
+            Vec::new()
+        } else {
+            vec![(0u32, map.total as u32)]
+        };
+        SubView {
+            dense_len: map.total,
+            segments,
+        }
+    }
+
+    /// FedRolex-style width slice keeping `keep_fraction` of each block's
+    /// units, with the rolling window advanced by `round` so all
+    /// coordinates get trained across rounds.
+    ///
+    /// Unsliceable blocks and the final parameterised layer (the
+    /// classifier head) are kept in full; `keep_fraction >= 1` yields the
+    /// full view.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `keep_fraction` is not positive.
+    pub fn width(map: &ParamSegmentMap, keep_fraction: f32, round: u64) -> Self {
+        assert!(keep_fraction > 0.0, "keep_fraction must be positive");
+        if keep_fraction >= 1.0 {
+            return SubView::full(map);
+        }
+        let head = map.last_param_layer();
+        let mut segments = Vec::new();
+        for entry in &map.blocks {
+            let units = entry.layout.units();
+            if units == 0 || Some(entry.layer) == head {
+                entry.layout.push_full_segment(entry.offset, &mut segments);
+            } else {
+                let ranges = rolling_ranges(units, keep_fraction, round);
+                entry
+                    .layout
+                    .push_unit_segments(entry.offset, &ranges, &mut segments);
+            }
+        }
+        SubView {
+            dense_len: map.total,
+            segments,
+        }
+    }
+
+    /// SLT-style layer freezing: only the last `top_k` parameterised
+    /// layers are covered (trainable); earlier layers stay frozen.
+    ///
+    /// `top_k` of zero or beyond the parameterised layer count clamps to
+    /// the full view.
+    pub fn layers(map: &ParamSegmentMap, top_k: usize) -> Self {
+        let n = map.param_layers.len();
+        if n == 0 || top_k == 0 || top_k >= n {
+            return SubView::full(map);
+        }
+        let trainable_from = map.param_layers[n - top_k];
+        let mut segments = Vec::new();
+        for entry in &map.blocks {
+            if entry.layer >= trainable_from {
+                entry.layout.push_full_segment(entry.offset, &mut segments);
+            }
+        }
+        SubView {
+            dense_len: map.total,
+            segments,
+        }
+    }
+
+    /// The dense flat-vector length this view slices.
+    pub fn dense_len(&self) -> usize {
+        self.dense_len
+    }
+
+    /// Number of covered coordinates.
+    pub fn view_len(&self) -> usize {
+        self.segments.iter().map(|&(_, len)| len as usize).sum()
+    }
+
+    /// Whether every coordinate is covered.
+    pub fn is_full(&self) -> bool {
+        self.view_len() == self.dense_len
+    }
+
+    /// The covering segments, sorted and disjoint.
+    pub fn segments(&self) -> &[(u32, u32)] {
+        &self.segments
+    }
+
+    /// Gathers the covered coordinates of `dense` into `out` (cleared
+    /// first; allocation-free once `out` has capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dense.len()` differs from [`SubView::dense_len`].
+    pub fn extract_into(&self, dense: &[f32], out: &mut Vec<f32>) {
+        assert_eq!(dense.len(), self.dense_len, "dense length mismatch");
+        adafl_tensor::vecops::gather_segments_into(dense, &self.segments, out);
+    }
+
+    /// Gathers the covered coordinates into a fresh vector.
+    pub fn extract(&self, dense: &[f32]) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.extract_into(dense, &mut out);
+        out
+    }
+
+    /// Writes view-local `values` into the covered coordinates of `dest`;
+    /// uncovered coordinates are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics when lengths disagree with the view.
+    pub fn scatter(&self, values: &[f32], dest: &mut [f32]) {
+        assert_eq!(dest.len(), self.dense_len, "dense length mismatch");
+        adafl_tensor::vecops::scatter_segments(dest, &self.segments, values);
+    }
+
+    /// Zeroes every coordinate of `buf` *outside* the view — the gradient
+    /// mask that keeps frozen coordinates from moving during local
+    /// training.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `buf.len()` differs from [`SubView::dense_len`].
+    pub fn zero_outside(&self, buf: &mut [f32]) {
+        assert_eq!(buf.len(), self.dense_len, "dense length mismatch");
+        adafl_tensor::vecops::zero_outside_segments(buf, &self.segments);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mlp_map() -> (crate::Model, ParamSegmentMap) {
+        let model = models::mlp(&mut StdRng::seed_from_u64(7), 6, &[8, 4], 3);
+        let map = model.segment_map();
+        (model, map)
+    }
+
+    #[test]
+    fn map_covers_param_count() {
+        let (model, map) = mlp_map();
+        assert_eq!(map.total_len(), model.param_count());
+        // Three dense layers → three (weight, bias) pairs.
+        assert_eq!(map.n_blocks(), 6);
+        assert_eq!(map.n_param_layers(), 3);
+    }
+
+    #[test]
+    fn full_view_is_identity() {
+        let (model, map) = mlp_map();
+        let view = SubView::full(&map);
+        assert!(view.is_full());
+        let flat = model.params_flat();
+        assert_eq!(view.extract(&flat), flat);
+    }
+
+    #[test]
+    fn width_view_respects_fraction_and_keeps_head() {
+        let (model, map) = mlp_map();
+        let view = SubView::width(&map, 0.5, 0);
+        assert!(!view.is_full());
+        assert!(view.view_len() < map.total_len());
+        // The classifier head (last dense: 4×3 weight + 3 bias) is whole.
+        let flat = model.params_flat();
+        let head_len = 4 * 3 + 3;
+        let mut masked = flat.clone();
+        view.zero_outside(&mut masked);
+        assert_eq!(
+            &masked[flat.len() - head_len..],
+            &flat[flat.len() - head_len..]
+        );
+    }
+
+    #[test]
+    fn width_view_rolls_across_rounds() {
+        let (_, map) = mlp_map();
+        let r0 = SubView::width(&map, 0.25, 0);
+        let r1 = SubView::width(&map, 0.25, 1);
+        assert_ne!(r0, r1);
+        assert_eq!(r0.view_len(), r1.view_len());
+        // The union over enough rounds covers everything: every coordinate
+        // appears in some round's view.
+        let mut covered = vec![false; map.total_len()];
+        for round in 0..8 {
+            let v = SubView::width(&map, 0.25, round);
+            for &(off, len) in v.segments() {
+                for c in covered[off as usize..(off + len) as usize].iter_mut() {
+                    *c = true;
+                }
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn width_view_extract_scatter_round_trip() {
+        let (model, map) = mlp_map();
+        let flat = model.params_flat();
+        let view = SubView::width(&map, 0.5, 3);
+        let values = view.extract(&flat);
+        assert_eq!(values.len(), view.view_len());
+        let mut dest = vec![0.0f32; flat.len()];
+        view.scatter(&values, &mut dest);
+        let mut expected = flat.clone();
+        view.zero_outside(&mut expected);
+        assert_eq!(dest, expected);
+    }
+
+    #[test]
+    fn layer_view_freezes_prefix() {
+        let (model, map) = mlp_map();
+        let view = SubView::layers(&map, 1);
+        // Only the classifier head (4×3 + 3) is trainable.
+        assert_eq!(view.view_len(), 4 * 3 + 3);
+        let flat = model.params_flat();
+        let values = view.extract(&flat);
+        assert_eq!(values, flat[flat.len() - (4 * 3 + 3)..].to_vec());
+        // top_k at or past the layer count is the full view.
+        assert!(SubView::layers(&map, 3).is_full());
+        assert!(SubView::layers(&map, 99).is_full());
+        assert!(SubView::layers(&map, 0).is_full());
+    }
+
+    #[test]
+    fn cnn_map_slices_channels() {
+        let model = models::mnist_cnn(&mut StdRng::seed_from_u64(0), 16, 16, 10);
+        let map = model.segment_map();
+        assert_eq!(map.total_len(), model.param_count());
+        let half = SubView::width(&map, 0.5, 0);
+        assert!(half.view_len() < map.total_len());
+        // Segments must be sorted and disjoint — validated by the mask
+        // kernel, which asserts exactly that.
+        let mut buf = vec![1.0f32; map.total_len()];
+        half.zero_outside(&mut buf);
+        // Round trip through extract/scatter stays consistent.
+        let flat = model.params_flat();
+        let mut dest = vec![0.0f32; flat.len()];
+        half.scatter(&half.extract(&flat), &mut dest);
+        let mut expected = flat.clone();
+        half.zero_outside(&mut expected);
+        assert_eq!(dest, expected);
+    }
+
+    #[test]
+    fn rolling_window_wraps() {
+        assert_eq!(rolling_ranges(8, 0.5, 0), vec![(0, 4)]);
+        assert_eq!(rolling_ranges(8, 0.5, 6), vec![(0, 2), (6, 8)]);
+        assert_eq!(rolling_ranges(8, 1.0, 3), vec![(0, 8)]);
+        assert_eq!(rolling_ranges(8, 0.01, 2), vec![(2, 3)]);
+        // round beyond units wraps via modulo.
+        assert_eq!(rolling_ranges(4, 0.5, 9), vec![(1, 3)]);
+    }
+}

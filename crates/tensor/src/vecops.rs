@@ -98,6 +98,81 @@ pub fn weighted_average(vectors: &[&[f32]], weights: &[f32]) -> Option<Vec<f32>>
     Some(out)
 }
 
+/// Gathers the coordinates covered by `segments` (sorted, disjoint
+/// `(offset, len)` ranges into `src`) into `out`, clearing it first.
+///
+/// These segment kernels are the flat-vector face of parameter sub-views:
+/// a sliced weight matrix (an output-neuron column range of a row-major
+/// gemm operand) flattens to a run of strided segments, and gathering
+/// them materialises the sub-view's contiguous value vector.
+///
+/// # Panics
+///
+/// Panics when a segment reaches past `src.len()`.
+pub fn gather_segments_into(src: &[f32], segments: &[(u32, u32)], out: &mut Vec<f32>) {
+    out.clear();
+    out.reserve(segments.iter().map(|&(_, len)| len as usize).sum());
+    for &(off, len) in segments {
+        out.extend_from_slice(&src[off as usize..off as usize + len as usize]);
+    }
+}
+
+/// Scatters `values` (a vector gathered by [`gather_segments_into`]) back
+/// into the covered coordinates of `dst`; uncovered coordinates are left
+/// untouched.
+///
+/// # Panics
+///
+/// Panics when `values.len()` differs from the segments' total length or a
+/// segment reaches past `dst.len()`.
+pub fn scatter_segments(dst: &mut [f32], segments: &[(u32, u32)], values: &[f32]) {
+    let mut at = 0usize;
+    for &(off, len) in segments {
+        let len = len as usize;
+        dst[off as usize..off as usize + len].copy_from_slice(&values[at..at + len]);
+        at += len;
+    }
+    assert_eq!(at, values.len(), "segment/value length mismatch");
+}
+
+/// Accumulates `dst[covered] += k · values` over the covered coordinates,
+/// the scatter-add counterpart of [`scatter_segments`].
+///
+/// # Panics
+///
+/// Panics when `values.len()` differs from the segments' total length or a
+/// segment reaches past `dst.len()`.
+pub fn scatter_add_segments(dst: &mut [f32], segments: &[(u32, u32)], values: &[f32], k: f32) {
+    let mut at = 0usize;
+    for &(off, len) in segments {
+        let len = len as usize;
+        axpy(
+            &mut dst[off as usize..off as usize + len],
+            k,
+            &values[at..at + len],
+        );
+        at += len;
+    }
+    assert_eq!(at, values.len(), "segment/value length mismatch");
+}
+
+/// Zeroes every coordinate of `buf` *outside* the covered segments — the
+/// gradient mask of sub-view training (frozen coordinates must not move).
+///
+/// # Panics
+///
+/// Panics when segments are unsorted, overlapping, or out of range.
+pub fn zero_outside_segments(buf: &mut [f32], segments: &[(u32, u32)]) {
+    let mut at = 0usize;
+    for &(off, len) in segments {
+        let off = off as usize;
+        assert!(off >= at, "segments must be sorted and disjoint");
+        buf[at..off].fill(0.0);
+        at = off + len as usize;
+    }
+    buf[at..].fill(0.0);
+}
+
 /// Clips `a` in place to the L2 ball of radius `max_norm`, returning the
 /// scaling factor applied (1.0 when no clipping occurred).
 ///
@@ -169,6 +244,38 @@ mod tests {
         assert!(weighted_average(&[&v1, &v2], &[1.0, 1.0]).is_none());
         assert!(weighted_average(&[&v1], &[0.0]).is_none());
         assert!(weighted_average(&[&v1], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn segment_gather_scatter_round_trip() {
+        let src: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let segs = [(1u32, 2u32), (5, 1), (8, 2)];
+        let mut gathered = Vec::new();
+        gather_segments_into(&src, &segs, &mut gathered);
+        assert_eq!(gathered, vec![1.0, 2.0, 5.0, 8.0, 9.0]);
+
+        let mut dst = vec![0.0f32; 10];
+        scatter_segments(&mut dst, &segs, &gathered);
+        assert_eq!(dst, vec![0.0, 1.0, 2.0, 0.0, 0.0, 5.0, 0.0, 0.0, 8.0, 9.0]);
+
+        let mut acc = vec![1.0f32; 10];
+        scatter_add_segments(&mut acc, &segs, &gathered, 2.0);
+        assert_eq!(acc[1], 3.0);
+        assert_eq!(acc[0], 1.0);
+        assert_eq!(acc[9], 19.0);
+    }
+
+    #[test]
+    fn zero_outside_segments_masks_complement() {
+        let mut buf = vec![1.0f32; 8];
+        zero_outside_segments(&mut buf, &[(2, 2), (6, 1)]);
+        assert_eq!(buf, vec![0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 0.0]);
+        let mut all = vec![1.0f32; 4];
+        zero_outside_segments(&mut all, &[(0, 4)]);
+        assert_eq!(all, vec![1.0; 4]);
+        let mut none = vec![1.0f32; 3];
+        zero_outside_segments(&mut none, &[]);
+        assert_eq!(none, vec![0.0; 3]);
     }
 
     #[test]

@@ -72,7 +72,8 @@ fn main() {
         .compute(compute)
         .faults(FaultPlan::reliable(CLIENTS))
         .update_budget(BUDGET)
-        .build_async(Box::new(FedAsync::new(0.6, 0.5)));
+        .build_async(Box::new(FedAsync::new(0.6, 0.5)))
+        .expect("no sync-only options set");
     let base = fedasync.run();
 
     // Fully-asynchronous AdaFL.

@@ -192,13 +192,18 @@ fn robust_stage_composes_with_the_adafl_engine() {
 }
 
 /// Robust estimators need a cohort to out-vote; the async flavours apply
-/// updates one at a time, so the builder refuses the combination loudly
-/// instead of silently skipping the stage.
+/// updates one at a time, so the builder refuses the combination with a
+/// typed error instead of silently skipping the stage.
 #[test]
-#[should_panic(expected = "synchronous cohort")]
 fn async_builder_rejects_robust_pre_aggregation() {
-    builder(3, FaultPlan::reliable(CLIENTS))
+    let err = builder(3, FaultPlan::reliable(CLIENTS))
         .robust(Some(RobustMethod::Median))
         .update_budget(20)
-        .build_async(Box::new(FedAsync::new(0.6, 0.5)));
+        .build_async(Box::new(FedAsync::new(0.6, 0.5)))
+        .expect_err("robust + async must be rejected");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("robust pre-aggregation") && msg.contains("async"),
+        "error must name the unsupported combination: {msg}"
+    );
 }

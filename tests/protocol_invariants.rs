@@ -164,7 +164,8 @@ fn staleness_hurts_more_than_dropout_in_async() {
         .network(broadband())
         .compute(stale_compute)
         .update_budget(budget)
-        .build_async(Box::new(FedAsync::new(0.6, 0.5)));
+        .build_async(Box::new(FedAsync::new(0.6, 0.5)))
+        .unwrap();
     let stale = stale_engine.run();
 
     // Dropout fleet: 40% of clients on links that lose half the updates.
@@ -177,7 +178,8 @@ fn staleness_hurts_more_than_dropout_in_async() {
         .network(ClientNetwork::new(traces, 3))
         .compute(ComputeModel::uniform(CLIENTS, 0.1))
         .update_budget(budget)
-        .build_async(Box::new(FedAsync::new(0.6, 0.5)));
+        .build_async(Box::new(FedAsync::new(0.6, 0.5)))
+        .unwrap();
     let lossy = lossy_engine.run();
 
     // Compare accuracy at the earlier of the two horizons.
