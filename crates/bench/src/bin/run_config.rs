@@ -79,6 +79,12 @@ fn main() {
     if let Some(m) = cfg.momentum {
         builder = builder.momentum(m);
     }
+    if let Some(n) = cfg.cohort_size {
+        builder = builder.cohort_size(n);
+    }
+    if cfg.edge_aggregators > 0 {
+        builder = builder.edge_aggregators(cfg.edge_aggregators);
+    }
     let fl = builder.build();
 
     let profile: adafl_netsim::LinkProfile = cfg

@@ -83,6 +83,18 @@ pub struct ExperimentConfig {
     /// `["full", "half", "quarter"]`.
     #[serde(default)]
     pub tiers: Option<Vec<String>>,
+    /// Cohort size for fleet-scale scheduling: participants run through
+    /// the round phases in contiguous chunks of this many clients, and
+    /// eligible aggregation policies switch to the streaming fold (see
+    /// `adafl_fl::runtime::SinkMode`). `null` keeps the classic
+    /// whole-cohort pass. Sync protocols only.
+    #[serde(default)]
+    pub cohort_size: Option<usize>,
+    /// Edge-aggregator count for hierarchical streaming aggregation; `0`
+    /// keeps a flat client→server topology. Requires
+    /// [`cohort_size`](Self::cohort_size).
+    #[serde(default)]
+    pub edge_aggregators: usize,
     /// Async protocols: total server-received updates before stopping.
     #[serde(default = "default_budget")]
     pub update_budget: u64,

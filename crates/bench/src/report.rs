@@ -11,6 +11,10 @@ pub struct RunMeta {
     /// Whether the explicit SIMD micro-kernels were compiled in
     /// (`--features simd`).
     pub simd: bool,
+    /// Peak resident-set size of the benchmark process when the report
+    /// was captured (`VmHWM` from `/proc/self/status`); `None` off Linux
+    /// or when procfs is unreadable.
+    pub peak_rss_bytes: Option<u64>,
 }
 
 impl RunMeta {
@@ -19,8 +23,38 @@ impl RunMeta {
         RunMeta {
             threads,
             simd: cfg!(feature = "simd"),
+            peak_rss_bytes: peak_rss_bytes(),
         }
     }
+}
+
+/// Parses a `VmHWM:`/`VmRSS:`-style kB line from `/proc/self/status`.
+fn proc_status_kb(key: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with(key))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Peak resident-set size (`VmHWM`) of this process in bytes, read from
+/// `/proc/self/status`. `None` when procfs is unavailable (non-Linux).
+pub fn peak_rss_bytes() -> Option<u64> {
+    proc_status_kb("VmHWM:")
+}
+
+/// Current resident-set size (`VmRSS`) of this process in bytes, read
+/// from `/proc/self/status`. `None` when procfs is unavailable.
+pub fn current_rss_bytes() -> Option<u64> {
+    proc_status_kb("VmRSS:")
+}
+
+/// Resets the kernel's peak-RSS watermark (`VmHWM`) to the current RSS by
+/// writing `5` to `/proc/self/clear_refs`, so per-phase peaks can be
+/// measured inside one process. Returns whether the reset took effect
+/// (requires Linux and sufficient privileges); measurements should fall
+/// back to reporting the monotonic peak when it did not.
+pub fn reset_peak_rss() -> bool {
+    std::fs::write("/proc/self/clear_refs", "5").is_ok()
 }
 
 /// Prints a CSV header followed by every run's records, tagged with extra

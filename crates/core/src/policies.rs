@@ -27,7 +27,8 @@ use crate::wire;
 use adafl_compression::{dense_wire_size, top_k, DgcCompressor, WireCodec};
 use adafl_fl::runtime::{
     AggregationPolicy, AsyncApplyCtx, AsyncDownlinkCtx, AsyncPolicy, AsyncUploadCtx,
-    CompressionPolicy, RoundUpdate, SelectionCtx, SelectionPolicy, SyncUploadCtx, UpdatePayload,
+    CompressionPolicy, RoundUpdate, SelectionCtx, SelectionPolicy, StreamAccumulator,
+    SyncUploadCtx, UpdatePayload,
 };
 use adafl_fl::LocalOutcome;
 use adafl_telemetry::{names, EventRecord, SpanRecord};
@@ -198,6 +199,24 @@ impl AggregationPolicy for AdaFlAggregation {
             u.payload
                 .add_scaled_into(&mut mean, u.weight / total_weight);
         }
+        vecops::axpy(global, 1.0, &mean);
+        *global_gradient = mean;
+    }
+
+    fn supports_streaming(&self) -> bool {
+        true
+    }
+
+    fn finish(
+        &mut self,
+        global: &mut [f32],
+        global_gradient: &mut Vec<f32>,
+        acc: &StreamAccumulator,
+    ) {
+        // Same weighted mean as `aggregate`, from the streamed partial
+        // sums; the mean also becomes the next round's `ĝ` digest.
+        let inv = 1.0 / acc.total_weight;
+        let mean: Vec<f32> = acc.sum.iter().map(|s| s * inv).collect();
         vecops::axpy(global, 1.0, &mean);
         *global_gradient = mean;
     }

@@ -151,6 +151,30 @@ impl FlClient {
         self.id
     }
 
+    /// Rebinds this client object to impersonate client `id` for one
+    /// round: installs its shard and reseeds the batch loader from
+    /// `(seed, id, round)` so the data order is a deterministic function
+    /// of who is being simulated and when — independent of which pool
+    /// slot runs it. Model, optimizer and scratch buffers are reused;
+    /// `train_local` overwrites parameters from the global model anyway.
+    ///
+    /// This is the cohort-resident pool's workhorse: a fleet of a million
+    /// clients needs only `cohort_size` live [`FlClient`]s.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data` is empty.
+    pub fn rebind(&mut self, id: usize, data: Dataset, seed: u64, round: u64) {
+        assert!(!data.is_empty(), "client dataset must not be empty");
+        self.id = id;
+        self.data = data;
+        self.loader = BatchLoader::new(
+            self.loader.batch_size(),
+            seed ^ (id as u64).wrapping_mul(0x517C_C1B7)
+                ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+    }
+
     /// The local model replica.
     pub fn model(&self) -> &Model {
         &self.model

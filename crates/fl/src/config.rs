@@ -47,6 +47,21 @@ pub struct FlConfig {
     /// updates each round (the §III "maximum wait time"); updates arriving
     /// later are dropped. `None` waits for every participant.
     pub round_deadline: Option<f64>,
+    /// Synchronous only: schedule each round's participants in cohorts of
+    /// at most this many clients and, when the aggregation policy supports
+    /// it, fold updates into a streaming accumulator instead of buffering
+    /// the whole cohort (O(model) instead of O(clients × model) server
+    /// memory). `None` keeps the classic single-cohort buffered round,
+    /// byte-identical to before this field existed.
+    #[serde(default)]
+    pub cohort_size: Option<usize>,
+    /// Number of edge aggregators in the hierarchical tier between
+    /// clients and server (streaming rounds only; update `u` folds at
+    /// edge `u.client % edge_aggregators`, and each active edge ships one
+    /// dense partial to the server, charged as relay bytes). `0` means a
+    /// flat client→server topology.
+    #[serde(default)]
+    pub edge_aggregators: usize,
 }
 
 impl FlConfig {
@@ -86,6 +101,8 @@ pub struct FlConfigBuilder {
     model: Option<ModelSpec>,
     seed: u64,
     round_deadline: Option<f64>,
+    cohort_size: Option<usize>,
+    edge_aggregators: usize,
 }
 
 impl Default for FlConfigBuilder {
@@ -101,6 +118,8 @@ impl Default for FlConfigBuilder {
             model: None,
             seed: 42,
             round_deadline: None,
+            cohort_size: None,
+            edge_aggregators: 0,
         }
     }
 }
@@ -167,6 +186,21 @@ impl FlConfigBuilder {
         self
     }
 
+    /// Schedules each synchronous round in cohorts of at most `n`
+    /// clients, enabling the streaming fold path for aggregation policies
+    /// that support it (see [`FlConfig::cohort_size`]).
+    pub fn cohort_size(mut self, n: usize) -> Self {
+        self.cohort_size = Some(n);
+        self
+    }
+
+    /// Inserts `n` edge aggregators between clients and server for
+    /// streaming rounds (see [`FlConfig::edge_aggregators`]).
+    pub fn edge_aggregators(mut self, n: usize) -> Self {
+        self.edge_aggregators = n;
+        self
+    }
+
     /// Validates and builds the configuration.
     ///
     /// # Panics
@@ -193,6 +227,17 @@ impl FlConfigBuilder {
         if let Some(d) = self.round_deadline {
             assert!(d > 0.0 && d.is_finite(), "round deadline must be positive");
         }
+        if let Some(n) = self.cohort_size {
+            assert!(n > 0, "cohort size must be positive");
+        }
+        assert!(
+            self.edge_aggregators == 0 || self.cohort_size.is_some(),
+            "edge aggregators require cohort scheduling (set cohort_size)"
+        );
+        assert!(
+            self.edge_aggregators <= self.clients,
+            "cannot have more edge aggregators than clients"
+        );
         FlConfig {
             clients: self.clients,
             rounds: self.rounds,
@@ -204,6 +249,8 @@ impl FlConfigBuilder {
             model: self.model.expect("model spec is required"),
             seed: self.seed,
             round_deadline: self.round_deadline,
+            cohort_size: self.cohort_size,
+            edge_aggregators: self.edge_aggregators,
         }
     }
 }
@@ -288,5 +335,71 @@ mod tests {
             .round_deadline(0.0)
             .model(spec())
             .build();
+    }
+
+    #[test]
+    fn cohort_fields_default_off_and_build() {
+        let cfg = FlConfig::builder().model(spec()).build();
+        assert_eq!(cfg.cohort_size, None);
+        assert_eq!(cfg.edge_aggregators, 0);
+        let scaled = FlConfig::builder()
+            .clients(100)
+            .cohort_size(16)
+            .edge_aggregators(4)
+            .model(spec())
+            .build();
+        assert_eq!(scaled.cohort_size, Some(16));
+        assert_eq!(scaled.edge_aggregators, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cohort size")]
+    fn zero_cohort_size_panics() {
+        FlConfig::builder().cohort_size(0).model(spec()).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "edge aggregators require cohort")]
+    fn edges_without_cohort_panics() {
+        FlConfig::builder()
+            .edge_aggregators(2)
+            .model(spec())
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "more edge aggregators than clients")]
+    fn too_many_edges_panics() {
+        FlConfig::builder()
+            .clients(2)
+            .cohort_size(2)
+            .edge_aggregators(3)
+            .model(spec())
+            .build();
+    }
+
+    #[test]
+    fn cohort_fields_round_trip_json_and_absent_fields_default() {
+        let cfg = FlConfig::builder()
+            .clients(50)
+            .cohort_size(8)
+            .edge_aggregators(2)
+            .model(spec())
+            .build();
+        let json = serde_json::to_string(&cfg).expect("serialize");
+        let back: FlConfig = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, cfg);
+        // Configs written before the fields existed still load, with the
+        // streaming path off.
+        let legacy = r#"{
+            "clients": 4, "rounds": 2, "participation": 0.5,
+            "local_steps": 1, "batch_size": 8, "learning_rate": 0.02,
+            "momentum": 0.9,
+            "model": {"LogisticRegression": {"in_features": 4, "classes": 2}},
+            "seed": 7, "round_deadline": null
+        }"#;
+        let old: FlConfig = serde_json::from_str(legacy).expect("legacy json loads");
+        assert_eq!(old.cohort_size, None);
+        assert_eq!(old.edge_aggregators, 0);
     }
 }

@@ -1,6 +1,16 @@
 //! Run histories: the per-round series the experiment harness prints.
+//!
+//! Histories are unbounded by default. For fleet-scale runs,
+//! [`RunHistory::bounded`] caps resident records at a fixed window and
+//! spills evicted records to a JSONL file one line per record, so a
+//! million-round run holds O(window) memory;
+//! [`RunHistory::read_spill_records`] re-reads a spill file line by line
+//! without ever materialising the whole file's records at once, and
+//! [`RunHistory::from_csv`] parses the [`RunHistory::to_csv`] rendering
+//! the same way — streaming over lines, no up-front collection.
 
 use adafl_netsim::SimTime;
+use std::io::{BufRead, Write};
 
 /// One evaluation point of a federated run.
 #[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq)]
@@ -45,6 +55,15 @@ pub struct RoundRecord {
 pub struct RunHistory {
     label: String,
     records: Vec<RoundRecord>,
+    /// Ring-buffer capacity; `None` keeps every record resident.
+    #[serde(default)]
+    capacity: Option<usize>,
+    /// Path evicted records are appended to as JSONL; `None` discards.
+    #[serde(default)]
+    spill_path: Option<String>,
+    /// How many records have been evicted from the resident window.
+    #[serde(default)]
+    spilled: u64,
 }
 
 impl RunHistory {
@@ -53,7 +72,26 @@ impl RunHistory {
         RunHistory {
             label: label.into(),
             records: Vec::new(),
+            capacity: None,
+            spill_path: None,
+            spilled: 0,
         }
+    }
+
+    /// Creates a bounded history: at most `capacity` records stay
+    /// resident, and once the window is full each push evicts the oldest
+    /// record — appended as one JSON line to `spill_path` when set,
+    /// discarded otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn bounded(label: impl Into<String>, capacity: usize, spill_path: Option<String>) -> Self {
+        assert!(capacity > 0, "history capacity must be positive");
+        let mut h = RunHistory::new(label);
+        h.capacity = Some(capacity);
+        h.spill_path = spill_path;
+        h
     }
 
     /// The strategy label.
@@ -61,9 +99,119 @@ impl RunHistory {
         &self.label
     }
 
-    /// Appends one evaluation point.
+    /// Ring-buffer capacity, `None` when unbounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Number of records evicted from the resident window so far.
+    pub fn spilled(&self) -> u64 {
+        self.spilled
+    }
+
+    /// The spill destination, when one is configured.
+    pub fn spill_path(&self) -> Option<&str> {
+        self.spill_path.as_deref()
+    }
+
+    /// Appends one evaluation point, evicting the oldest resident record
+    /// first when the bounded window is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an evicted record cannot be appended to the spill file.
     pub fn push(&mut self, record: RoundRecord) {
+        if let Some(cap) = self.capacity {
+            if self.records.len() == cap {
+                let evicted = self.records.remove(0);
+                self.spilled += 1;
+                if let Some(path) = &self.spill_path {
+                    let line = serde_json::to_string(&evicted).expect("round record serializes");
+                    let mut file = std::fs::OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(path)
+                        .unwrap_or_else(|e| panic!("cannot open spill file {path}: {e}"));
+                    writeln!(file, "{line}")
+                        .unwrap_or_else(|e| panic!("cannot spill to {path}: {e}"));
+                }
+            }
+        }
         self.records.push(record);
+    }
+
+    /// Re-reads a JSONL spill stream one line at a time, invoking `f` per
+    /// record; the full record set is never resident. Blank lines are
+    /// skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O or parse error message of the first bad line.
+    pub fn read_spill_records<R: BufRead>(
+        reader: R,
+        mut f: impl FnMut(RoundRecord),
+    ) -> Result<usize, String> {
+        let mut n = 0usize;
+        for (i, line) in reader.lines().enumerate() {
+            let line = line.map_err(|e| format!("spill line {}: {e}", i + 1))?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let record: RoundRecord =
+                serde_json::from_str(&line).map_err(|e| format!("spill line {}: {e:?}", i + 1))?;
+            f(record);
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Parses the [`RunHistory::to_csv`] rendering back into a history,
+    /// streaming over lines — spilled or archived histories re-read
+    /// without an up-front copy of every line. The label is taken from
+    /// the first data row; precision is the CSV's (3 decimals for time,
+    /// 4 for accuracy/loss).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line.
+    pub fn from_csv(csv: &str) -> Result<RunHistory, String> {
+        let mut history: Option<RunHistory> = None;
+        for (i, line) in csv.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            if i == 0 {
+                if !line.starts_with("label,round") {
+                    return Err(format!("line 1: expected history CSV header, got {line:?}"));
+                }
+                continue;
+            }
+            let mut fields = line.split(',');
+            let mut next = |name: &str| {
+                fields
+                    .next()
+                    .ok_or_else(|| format!("line {}: missing {name}", i + 1))
+            };
+            let label = next("label")?.to_string();
+            let record = RoundRecord {
+                round: parse(next("round")?, i, "round")?,
+                sim_time: SimTime::from_seconds(parse::<f64>(
+                    next("sim_time_s")?,
+                    i,
+                    "sim_time_s",
+                )?),
+                accuracy: parse(next("accuracy")?, i, "accuracy")?,
+                loss: parse(next("loss")?, i, "loss")?,
+                uplink_bytes: parse(next("uplink_bytes")?, i, "uplink_bytes")?,
+                uplink_updates: parse(next("uplink_updates")?, i, "uplink_updates")?,
+                contributors: parse(next("contributors")?, i, "contributors")?,
+            };
+            history
+                .get_or_insert_with(|| RunHistory::new(label))
+                .records
+                .push(record);
+        }
+        history.ok_or_else(|| "empty history CSV".to_string())
     }
 
     /// All evaluation points in order.
@@ -140,6 +288,12 @@ impl RunHistory {
     }
 }
 
+/// Parses one CSV field, naming the line and column on failure.
+fn parse<T: std::str::FromStr>(s: &str, line_idx: usize, name: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("line {}: bad {name} value {s:?}", line_idx + 1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,5 +359,77 @@ mod tests {
         assert_eq!(h.final_accuracy(), 0.0);
         assert_eq!(h.best_accuracy(), 0.0);
         assert!(h.time_to_accuracy(0.1).is_none());
+    }
+
+    #[test]
+    fn from_csv_round_trips_to_csv() {
+        let h = history();
+        let parsed = RunHistory::from_csv(&h.to_csv()).expect("parses");
+        assert_eq!(parsed.label(), "test");
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed.records()[1].round, 2);
+        assert_eq!(parsed.records()[1].uplink_bytes, 200);
+        assert!((parsed.records()[2].accuracy - 0.6).abs() < 1e-4);
+    }
+
+    #[test]
+    fn from_csv_rejects_garbage() {
+        assert!(RunHistory::from_csv("").is_err());
+        assert!(RunHistory::from_csv("not,a,history\n").is_err());
+        let bad_row = "label,round,sim_time_s,accuracy,loss,uplink_bytes,uplink_updates,contributors\nx,NaNrounds,1.0,0.5,0.5,1,1,1\n";
+        let err = RunHistory::from_csv(bad_row).expect_err("bad round");
+        assert!(err.contains("round"), "{err}");
+    }
+
+    #[test]
+    fn bounded_history_evicts_front_and_counts_spills() {
+        let mut h = RunHistory::bounded("ring", 2, None);
+        h.push(record(1, 1.0, 0.1));
+        h.push(record(2, 2.0, 0.2));
+        h.push(record(3, 3.0, 0.3));
+        h.push(record(4, 4.0, 0.4));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.spilled(), 2);
+        assert_eq!(h.records()[0].round, 3);
+        assert_eq!(h.final_accuracy(), 0.4);
+    }
+
+    #[test]
+    fn bounded_history_spills_jsonl_that_rereads_line_by_line() {
+        let path =
+            std::env::temp_dir().join(format!("adafl-history-spill-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let path_str = path.to_str().expect("utf-8 temp path").to_string();
+        let mut h = RunHistory::bounded("ring", 1, Some(path_str));
+        for r in 1..=4 {
+            h.push(record(r, r as f64, 0.1 * r as f32));
+        }
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.spilled(), 3);
+        let file = std::fs::File::open(&path).expect("spill file exists");
+        let mut rounds = Vec::new();
+        let n = RunHistory::read_spill_records(std::io::BufReader::new(file), |r| {
+            rounds.push(r.round);
+        })
+        .expect("spill parses");
+        assert_eq!(n, 3);
+        assert_eq!(rounds, vec![1, 2, 3]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bounded_history_serde_round_trips_and_plain_histories_stay_loadable() {
+        let mut h = RunHistory::bounded("ring", 2, None);
+        h.push(record(1, 1.0, 0.1));
+        h.push(record(2, 2.0, 0.2));
+        h.push(record(3, 3.0, 0.3));
+        let json = serde_json::to_string(&h).expect("serialize");
+        let back: RunHistory = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, h);
+        // Histories serialized before the ring fields existed still load.
+        let legacy = r#"{"label": "old", "records": []}"#;
+        let old: RunHistory = serde_json::from_str(legacy).expect("legacy loads");
+        assert_eq!(old.capacity(), None);
+        assert_eq!(old.spilled(), 0);
     }
 }

@@ -41,6 +41,7 @@ pub mod compute;
 pub mod config;
 pub mod defense;
 pub mod faults;
+pub mod fleet;
 pub mod history;
 pub mod ledger;
 pub mod pool;
@@ -51,6 +52,7 @@ pub mod sync;
 
 pub use client::{FlClient, LocalOutcome};
 pub use config::FlConfig;
+pub use fleet::{ClientPool, Fleet, ShardSource, VecShardSource};
 pub use history::{RoundRecord, RunHistory};
 pub use ledger::CommunicationLedger;
 pub use submodel::{CapacityPolicy, CapacityTier, StaticCapacity};

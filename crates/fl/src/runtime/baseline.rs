@@ -144,6 +144,13 @@ impl AggregationPolicy for StrategyAggregation {
             .collect();
         self.strategy.aggregate(global, &updates);
     }
+
+    fn supports_streaming(&self) -> bool {
+        // FedAvg's aggregate is exactly the weighted mean the default
+        // fold/finish compute; the stateful strategies (FedAdam's server
+        // optimiser, SCAFFOLD's control variates) need the buffered path.
+        self.strategy.name() == "fedavg"
+    }
 }
 
 /// Adapts an [`AsyncStrategy`] (FedAsync/FedBuff) to the runtime's async

@@ -21,6 +21,7 @@ use crate::compute::ComputeModel;
 use crate::config::FlConfig;
 use crate::defense::DefenseConfig;
 use crate::faults::FaultPlan;
+use crate::fleet::ShardSource;
 use crate::r#async::{AsyncEngine, AsyncStrategy};
 use crate::robust::RobustMethod;
 use crate::submodel::CapacityPolicy;
@@ -69,6 +70,7 @@ pub struct RuntimeBuilder {
     fl: FlConfig,
     test_set: Dataset,
     shards: Option<Vec<Dataset>>,
+    shard_source: Option<Box<dyn ShardSource>>,
     network: Option<FleetNetwork>,
     compute: Option<ComputeModel>,
     faults: Option<FaultPlan>,
@@ -89,6 +91,7 @@ impl RuntimeBuilder {
             fl,
             test_set,
             shards: None,
+            shard_source: None,
             network: None,
             compute: None,
             faults: None,
@@ -119,6 +122,16 @@ impl RuntimeBuilder {
     pub fn partitioned(self, train_set: &Dataset, partitioner: Partitioner) -> Self {
         let shards = partitioner.split(train_set, self.fl.clients, self.fl.seed_for("partition"));
         self.shards(shards)
+    }
+
+    /// Uses an on-demand [`ShardSource`] and a cohort-resident client
+    /// pool instead of one live client per simulated client — the
+    /// fleet-scale configuration (synchronous flavours only; see
+    /// [`SyncRuntime::new_pooled`] for the combinations pooled fleets
+    /// reject). Takes precedence over [`RuntimeBuilder::shards`].
+    pub fn shard_source(mut self, source: Box<dyn ShardSource>) -> Self {
+        self.shard_source = Some(source);
+        self
     }
 
     /// Uses an explicit network — a star [`ClientNetwork`] or a mesh
@@ -203,6 +216,11 @@ impl RuntimeBuilder {
             .shards
             .take()
             .expect("provide shards via .shards(..) or .partitioned(..)");
+        let (network, compute, faults) = self.take_env();
+        (shards, network, compute, faults)
+    }
+
+    fn take_env(&mut self) -> (FleetNetwork, ComputeModel, FaultPlan) {
         let network = self.network.take().unwrap_or_else(|| {
             ClientNetwork::new(
                 vec![LinkTrace::constant(LinkProfile::Broadband.spec()); self.fl.clients],
@@ -218,23 +236,39 @@ impl RuntimeBuilder {
             .faults
             .take()
             .unwrap_or_else(|| FaultPlan::reliable(self.fl.clients));
-        (shards, network, compute, faults)
+        (network, compute, faults)
     }
 
     /// Builds a [`SyncRuntime`] specialised by `policies`, applying the
     /// resilience options in the canonical order (retry → defense →
     /// robust → recorder) the benchmark runner has always used.
     pub fn build_sync_runtime(mut self, policies: SyncPolicies) -> SyncRuntime {
-        let (shards, network, compute, faults) = self.take_parts();
-        let mut rt = SyncRuntime::new(
-            self.fl,
-            shards,
-            self.test_set,
-            network,
-            compute,
-            faults,
-            policies,
-        );
+        let mut rt = match self.shard_source.take() {
+            Some(source) => {
+                let (network, compute, faults) = self.take_env();
+                SyncRuntime::new_pooled(
+                    self.fl,
+                    source,
+                    self.test_set,
+                    network,
+                    compute,
+                    faults,
+                    policies,
+                )
+            }
+            None => {
+                let (shards, network, compute, faults) = self.take_parts();
+                SyncRuntime::new(
+                    self.fl,
+                    shards,
+                    self.test_set,
+                    network,
+                    compute,
+                    faults,
+                    policies,
+                )
+            }
+        };
         if let Some(policy) = self.retry {
             rt.set_retry_policy(policy);
         }
@@ -277,6 +311,11 @@ impl RuntimeBuilder {
         if self.capacity.is_some() {
             return Err(BuildError::CapacityRequiresSync);
         }
+        assert!(
+            self.shard_source.is_none(),
+            "pooled fleets are synchronous-only: the async event loop keeps \
+             per-client versions alive across the whole run"
+        );
         let (shards, network, compute, faults) = self.take_parts();
         let mut rt = AsyncRuntime::new(
             self.fl,

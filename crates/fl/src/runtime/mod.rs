@@ -41,6 +41,7 @@ mod event;
 mod io;
 mod payload;
 mod policy;
+mod sink;
 mod sync;
 
 pub use baseline::{
@@ -52,6 +53,7 @@ pub use io::{Delivery, RoundIo};
 pub use payload::{RoundUpdate, UpdatePayload, WireForm};
 pub use policy::{
     AggregationPolicy, AsyncApplyCtx, AsyncDownlinkCtx, AsyncPolicy, AsyncUploadCtx,
-    CompressionPolicy, SelectionCtx, SelectionPolicy, SyncUploadCtx,
+    CompressionPolicy, SelectionCtx, SelectionPolicy, StreamAccumulator, SyncUploadCtx,
 };
+pub use sink::{SinkMode, UpdateSink};
 pub use sync::{SyncPolicies, SyncRuntime};

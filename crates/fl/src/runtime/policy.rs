@@ -103,6 +103,59 @@ pub trait CompressionPolicy: fmt::Debug + Send {
     fn prepare(&mut self, ctx: &SyncUploadCtx<'_>, delta: &[f32]) -> Option<UpdatePayload>;
 }
 
+/// Partial aggregation state for the streaming fold path: a running
+/// weighted sum of update payloads plus its total weight.
+///
+/// One accumulator is O(model) regardless of how many updates folded into
+/// it — the whole point of the streaming path. Accumulators produced by
+/// different edge aggregators merge with [`StreamAccumulator::merge`] in
+/// ascending edge order (the deterministic-merge rule pinned by the
+/// streaming-vs-buffered parity test).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamAccumulator {
+    /// Running weighted sum `Σ wᵢ·vᵢ` over the folded payloads.
+    pub sum: Vec<f32>,
+    /// Running weight total `Σ wᵢ`.
+    pub total_weight: f32,
+    /// Number of updates folded so far.
+    pub count: usize,
+}
+
+impl StreamAccumulator {
+    /// An empty accumulator for a `dim`-parameter model.
+    pub fn new(dim: usize) -> Self {
+        StreamAccumulator {
+            sum: vec![0.0; dim],
+            total_weight: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Folds another partial accumulator into this one (element-wise sum;
+    /// weights and counts add). Callers merge partials in ascending edge
+    /// order so the result is independent of scheduling.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the accumulators' dimensions differ.
+    pub fn merge(&mut self, other: &StreamAccumulator) {
+        assert_eq!(self.sum.len(), other.sum.len(), "accumulator dim mismatch");
+        for (a, b) in self.sum.iter_mut().zip(&other.sum) {
+            *a += b;
+        }
+        self.total_weight += other.total_weight;
+        self.count += other.count;
+    }
+
+    /// Resets to the empty state without releasing the sum buffer, so one
+    /// allocation serves every round.
+    pub fn reset(&mut self) {
+        self.sum.fill(0.0);
+        self.total_weight = 0.0;
+        self.count = 0;
+    }
+}
+
 /// Folds delivered synchronous updates into the global model, adapting
 /// [`SyncStrategy`](crate::sync::SyncStrategy) or implementing a custom
 /// rule (AdaFL's sample-weighted sparse mean).
@@ -136,6 +189,46 @@ pub trait AggregationPolicy: fmt::Debug + Send + Sync {
         global_gradient: &mut Vec<f32>,
         updates: Vec<RoundUpdate>,
     );
+
+    /// Whether this policy's round result can be produced by the
+    /// incremental [`AggregationPolicy::fold`]/[`AggregationPolicy::finish`]
+    /// contract instead of [`AggregationPolicy::aggregate`] over the whole
+    /// buffered cohort. `false` by default: only policies whose aggregate
+    /// is a weighted mean (FedAvg, AdaFL) opt in, and the runtime then
+    /// keeps O(model) instead of O(clients × model) round state.
+    fn supports_streaming(&self) -> bool {
+        false
+    }
+
+    /// Folds one delivered update into a partial accumulator as it
+    /// arrives. The default accumulates the *unscaled* weighted sum
+    /// (`sum += w·v`, `total_weight += w`); normalisation is deferred to
+    /// [`AggregationPolicy::finish`] because the total weight is unknown
+    /// mid-round. Only called when
+    /// [`AggregationPolicy::supports_streaming`] is `true`.
+    fn fold(&mut self, acc: &mut StreamAccumulator, update: &RoundUpdate) {
+        update.payload.add_scaled_into(&mut acc.sum, update.weight);
+        acc.total_weight += update.weight;
+        acc.count += 1;
+    }
+
+    /// Applies the merged accumulator to the global model at the end of a
+    /// streaming round: scale the sum by `1/total_weight` and add the mean
+    /// to `global`. Policies that maintain `ĝ` (AdaFL) override this to
+    /// also write `global_gradient`. Only called when the accumulator is
+    /// non-empty.
+    fn finish(
+        &mut self,
+        global: &mut [f32],
+        _global_gradient: &mut Vec<f32>,
+        acc: &StreamAccumulator,
+    ) {
+        debug_assert!(acc.count > 0, "finish requires a non-empty accumulator");
+        let inv = 1.0 / acc.total_weight;
+        for (g, s) in global.iter_mut().zip(&acc.sum) {
+            *g += s * inv;
+        }
+    }
 }
 
 /// Context handed to [`AsyncPolicy::downlink_bytes`].

@@ -11,12 +11,14 @@ use super::payload::{RoundUpdate, UpdatePayload};
 use super::policy::{
     AggregationPolicy, CompressionPolicy, SelectionCtx, SelectionPolicy, SyncUploadCtx,
 };
+use super::sink::{SinkMode, UpdateSink};
 use crate::checkpoint::Checkpoint;
 use crate::client::{evaluate_model, FlClient, LocalOutcome};
 use crate::compute::ComputeModel;
 use crate::config::FlConfig;
 use crate::defense::{DefenseConfig, DefenseGate, RejectReason, Sanitized};
 use crate::faults::{FaultKind, FaultPlan};
+use crate::fleet::{ClientPool, Fleet, ShardSource};
 use crate::history::{RoundRecord, RunHistory};
 use crate::ledger::CommunicationLedger;
 use crate::pool::WorkerPool;
@@ -59,7 +61,7 @@ struct CapacityState {
 #[derive(Debug)]
 pub struct SyncRuntime {
     config: FlConfig,
-    clients: Vec<FlClient>,
+    clients: Fleet,
     global: Vec<f32>,
     global_model: adafl_nn::Model,
     /// Previous round's aggregated global delta (`ĝ`); stays zero unless
@@ -81,6 +83,10 @@ pub struct SyncRuntime {
     capacity: Option<CapacityState>,
     crash_checkpoints: Vec<Option<Checkpoint>>,
     pool: WorkerPool,
+    /// Parity knob: when set, streaming-eligible rounds buffer the
+    /// updates and replay the identical folds at round end instead of
+    /// folding at arrival (see [`SinkMode::BufferedFold`]).
+    buffered_fold: bool,
 }
 
 impl SyncRuntime {
@@ -95,19 +101,11 @@ impl SyncRuntime {
         shards: Vec<Dataset>,
         test_set: Dataset,
         network: impl Into<FleetNetwork>,
-        mut compute: ComputeModel,
+        compute: ComputeModel,
         faults: FaultPlan,
-        mut policies: SyncPolicies,
+        policies: SyncPolicies,
     ) -> Self {
         assert_eq!(shards.len(), config.clients, "shard count mismatch");
-        let network = network.into();
-        assert_eq!(network.len(), config.clients, "network size mismatch");
-        assert_eq!(
-            compute.clients(),
-            config.clients,
-            "compute model size mismatch"
-        );
-        assert_eq!(faults.clients(), config.clients, "fault plan size mismatch");
         let clients = FlClient::fleet(
             &config.model,
             shards,
@@ -116,6 +114,88 @@ impl SyncRuntime {
             config.batch_size,
             config.seed_for("model"),
         );
+        Self::with_fleet(
+            config,
+            Fleet::Resident(clients),
+            test_set,
+            network.into(),
+            compute,
+            faults,
+            policies,
+        )
+    }
+
+    /// Assembles a runtime whose per-client state lives in a
+    /// cohort-resident [`ClientPool`] over `source` instead of one live
+    /// [`FlClient`] per simulated client — O(cohort × model) instead of
+    /// O(clients × model) memory, the fleet-scale configuration.
+    ///
+    /// Pooled fleets have no per-client persistent state, so two
+    /// combinations are rejected here: crash faults (their checkpoints
+    /// snapshot a specific resident client) and — by documentation rather
+    /// than assertion — selection policies that probe individual clients
+    /// (the [`SelectionCtx::clients`] slice is empty in pooled mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `source` disagrees with `config.clients`, any
+    /// fleet-shaped input disagrees in size, or the fault plan contains
+    /// crash faults.
+    pub fn new_pooled(
+        config: FlConfig,
+        source: Box<dyn ShardSource>,
+        test_set: Dataset,
+        network: impl Into<FleetNetwork>,
+        compute: ComputeModel,
+        faults: FaultPlan,
+        policies: SyncPolicies,
+    ) -> Self {
+        assert_eq!(
+            source.clients(),
+            config.clients,
+            "shard source size mismatch"
+        );
+        for c in 0..config.clients {
+            assert!(
+                !matches!(faults.kind(c), FaultKind::Crash { .. }),
+                "crash faults require a resident fleet (client {c} crashes)"
+            );
+        }
+        let pool = ClientPool::new(
+            config.model.clone(),
+            source,
+            config.learning_rate,
+            config.momentum,
+            config.batch_size,
+            config.seed_for("model"),
+        );
+        Self::with_fleet(
+            config,
+            Fleet::Pooled(pool),
+            test_set,
+            network.into(),
+            compute,
+            faults,
+            policies,
+        )
+    }
+
+    fn with_fleet(
+        config: FlConfig,
+        clients: Fleet,
+        test_set: Dataset,
+        network: FleetNetwork,
+        mut compute: ComputeModel,
+        faults: FaultPlan,
+        mut policies: SyncPolicies,
+    ) -> Self {
+        assert_eq!(network.len(), config.clients, "network size mismatch");
+        assert_eq!(
+            compute.clients(),
+            config.clients,
+            "compute model size mismatch"
+        );
+        assert_eq!(faults.clients(), config.clients, "fault plan size mismatch");
         let mut global_model = config.model.build(config.seed_for("model"));
         let global = global_model.params_flat();
         // Re-evaluate to ensure consistency between server copy and fleet.
@@ -139,6 +219,7 @@ impl SyncRuntime {
             capacity: None,
             crash_checkpoints: vec![None; config.clients],
             pool: WorkerPool::from_env_or_default(),
+            buffered_fold: false,
             selection: policies.selection,
             compression: policies.compression,
             aggregation: policies.aggregation,
@@ -244,6 +325,49 @@ impl SyncRuntime {
         self.capacity = Some(CapacityState { policy, map });
     }
 
+    /// Parity knob for the streaming path: when enabled,
+    /// streaming-eligible rounds buffer their updates and replay the
+    /// identical fold calls at round end ([`SinkMode::BufferedFold`])
+    /// instead of folding at arrival. Results are bitwise identical to
+    /// streaming by construction; the `streaming_parity` test runs both
+    /// and asserts exactly that. Off by default.
+    pub fn set_buffered_fold(&mut self, on: bool) {
+        self.buffered_fold = on;
+    }
+
+    /// Whether this fleet's per-client state is cohort-pooled.
+    pub fn is_pooled(&self) -> bool {
+        self.clients.is_pooled()
+    }
+
+    /// Live [`FlClient`]s currently resident — the whole fleet for
+    /// resident storage, the peak cohort seen so far for pooled storage.
+    pub fn resident_clients(&self) -> usize {
+        self.clients.resident_count()
+    }
+
+    /// Which sink behaviour rounds currently use. Streaming is strictly
+    /// opt-in: it requires cohort scheduling (`cohort_size`), a policy
+    /// that declares streaming support, and none of the stages that need
+    /// the whole cohort side by side (defense gate, robust
+    /// pre-aggregation, capacity tiers). Everything else stays on the
+    /// legacy buffer-everything path, byte-identical to before the sink
+    /// existed.
+    pub fn sink_mode(&self) -> SinkMode {
+        let eligible = self.config.cohort_size.is_some()
+            && self.aggregation.supports_streaming()
+            && self.defense.is_none()
+            && self.robust.is_none()
+            && self.capacity.is_none();
+        if !eligible {
+            SinkMode::Legacy
+        } else if self.buffered_fold {
+            SinkMode::BufferedFold
+        } else {
+            SinkMode::Streaming
+        }
+    }
+
     /// The communication ledger (cumulative).
     pub fn ledger(&self) -> &CommunicationLedger {
         self.io.ledger()
@@ -312,7 +436,7 @@ impl SyncRuntime {
                 round,
                 clock: self.clock,
                 config: &self.config,
-                clients: &mut self.clients,
+                clients: self.clients.resident_mut(),
                 io: &mut self.io,
                 global: &self.global,
                 global_gradient: &self.global_gradient,
@@ -340,227 +464,263 @@ impl SyncRuntime {
         });
 
         let dense_bytes = dense_wire_size(self.global.len());
-        let mut updates: Vec<RoundUpdate> = Vec::new();
         let mut round_time = SimTime::ZERO;
         let mut deadline_hit = false;
         let tracing = self.recorder.enabled();
         let round_start = self.clock;
         let wall_start = self.recorder.wall_micros();
 
-        // Phase 1 — broadcast the global model; clients whose broadcast is
-        // lost sit the round out (unless reliable transport saves it). The
-        // server pays for the broadcast whether or not it lands.
-        let mut ready: Vec<(usize, usize, SimTime)> = Vec::with_capacity(participants.len());
-        for (rank, &c) in participants.iter().enumerate() {
-            let bytes = match &cap_round {
-                // A tiered client receives only its view's values plus the
-                // descriptor naming them — never the full model.
-                Some(views) => {
-                    let (view, desc) = &views[rank];
-                    dense_wire_size(view.view_len()) + desc.encoded_len()
-                }
-                None => dense_bytes,
-            };
-            let delivery = self.io.downlink(c, bytes, self.clock, true);
-            if let Some(t) = delivery.arrival {
-                ready.push((rank, c, t));
-            }
-        }
+        // The round's update sink: legacy rounds buffer everything for the
+        // screen → robust → aggregate pipeline; streaming-eligible rounds
+        // fold each update into edge accumulators the moment it arrives,
+        // so server memory stays O(model × edges) regardless of fleet
+        // size.
+        let mut sink = UpdateSink::new(
+            self.sink_mode(),
+            self.global.len(),
+            self.config.edge_aggregators,
+        );
 
-        // Phase 2 — local training, in parallel when enabled. Clients are
-        // independent, so parallel execution is bit-identical to
-        // sequential: outcomes come back in cohort order.
-        let outcomes = self.train_ready(&ready, cap_round.as_deref());
-
-        // Phase 3 — compression, fault gating, uplink and deadline policy.
-        // Split into three passes so the per-frame codec work fans across
-        // the worker pool without disturbing anything order-sensitive:
-        //
-        //   A. policy bookkeeping and wire-form preparation, in cohort
-        //      order (aggregation and compression policies are stateful);
-        //   B. attack/corruption transforms on the encoded bytes — pure
-        //      per-frame functions run across the pool, results collected
-        //      in submission order;
-        //   C. telemetry, uplink charging and deadline policy, in cohort
-        //      order (the network RNG and the event stream are both
-        //      order-pinned).
-        //
-        // Streamed telemetry (spans/events) is emitted only in pass C, in
-        // the same per-client order as a single loop would; pass A touches
-        // only aggregate counters/histograms, whose export is order-free.
-        // Histories, ledgers and traces are byte-identical at any pool
-        // width.
         let effective_lr = self.config.learning_rate / (1.0 - self.config.momentum);
-        let mut frames: Vec<UplinkFrame> = Vec::with_capacity(ready.len());
-        let mut prepared: Vec<(SimTime, bool, bool)> = Vec::with_capacity(ready.len());
         // Scratch for densifying view-local deltas (capacity mode only):
         // stateful aggregation policies see full-width deltas with zeros
         // outside the client's view.
         let mut densified: Vec<f32> = Vec::new();
-        for (&(rank, c, downlink_done), outcome) in ready.iter().zip(&outcomes) {
-            let delta_full: &[f32] = match &cap_round {
-                Some(views) => {
-                    densified.clear();
-                    densified.resize(self.global.len(), 0.0);
-                    views[rank].0.scatter(&outcome.delta, &mut densified);
-                    &densified
-                }
-                None => &outcome.delta,
-            };
-            self.aggregation
-                .after_local_round(c, delta_full, outcome.steps, effective_lr);
 
-            // Stale clients' slowdowns were folded into the compute model
-            // at construction.
-            let train_done = downlink_done + self.compute.training_time(c, self.config.local_steps);
-            let delivered = self.faults.update_delivered(c, round);
-            let payload = {
-                let ctx = SyncUploadCtx {
-                    round,
-                    client: c,
-                    rank,
-                    cohort: participants.len(),
-                    // Compression ratios are relative to what this client
-                    // would send uncompressed: its view, not the model.
-                    dense_bytes: match &cap_round {
-                        Some(views) => dense_wire_size(views[rank].0.view_len()),
-                        None => dense_bytes,
-                    },
-                    delivered,
-                    tracing,
-                    recorder: &self.recorder,
+        // Cohort scheduling: participants run through phases 1–3 in
+        // contiguous chunks of `cohort_size` — one chunk covering everyone
+        // when unset, which is byte-identical to the pre-cohort monolithic
+        // loop. Ranks stay global across chunks so capacity views and
+        // upload contexts see the same cohort coordinates either way.
+        let chunk_size = self.config.cohort_size.unwrap_or(participants.len()).max(1);
+        let mut chunk_start = 0;
+        while chunk_start < participants.len() {
+            let chunk_end = (chunk_start + chunk_size).min(participants.len());
+            let chunk = &participants[chunk_start..chunk_end];
+
+            // Phase 1 — broadcast the global model; clients whose
+            // broadcast is lost sit the round out (unless reliable
+            // transport saves it). The server pays for the broadcast
+            // whether or not it lands.
+            let mut ready: Vec<(usize, usize, SimTime)> = Vec::with_capacity(chunk.len());
+            for (offset, &c) in chunk.iter().enumerate() {
+                let rank = chunk_start + offset;
+                let bytes = match &cap_round {
+                    // A tiered client receives only its view's values plus
+                    // the descriptor naming them — never the full model.
+                    Some(views) => {
+                        let (view, desc) = &views[rank];
+                        dense_wire_size(view.view_len()) + desc.encoded_len()
+                    }
+                    None => dense_bytes,
                 };
-                self.compression.prepare(&ctx, &outcome.delta)
-            };
-            let payload = payload.map(|inner| match &cap_round {
-                Some(views) => UpdatePayload::sub_view(views[rank].1.clone(), inner),
-                None => inner,
-            });
-            let has_frame = payload.is_some();
-            if let Some(payload) = payload {
-                frames.push(UplinkFrame {
-                    payload,
-                    // Byzantine clients poison the *encoded bytes* before
-                    // upload: well-formed frames carrying adversarial
-                    // values, invisible to the decoder — stopping them is
-                    // the robust stage's job.
-                    attack: self
-                        .faults
-                        .attacks_update(c)
-                        .map(|kind| (kind, self.faults.collusion_seed(round))),
-                    // Corruption faults flip the update's *encoded bytes*
-                    // in transit. Dense and sparse frames re-parse with
-                    // poisoned values the defensive gate must catch; packed
-                    // frames may stop parsing entirely, which the server
-                    // counts as a decode rejection when the bytes arrive.
-                    corrupt: self.faults.corrupts_update(c),
+                let delivery = self.io.downlink(c, bytes, self.clock, true);
+                if let Some(t) = delivery.arrival {
+                    ready.push((rank, c, t));
+                }
+            }
+
+            // Phase 2 — local training, in parallel when enabled. Clients
+            // are independent, so parallel execution is bit-identical to
+            // sequential: outcomes come back in cohort order.
+            let outcomes = self.train_ready(round, &ready, cap_round.as_deref());
+
+            // Phase 3 — compression, fault gating, uplink and deadline
+            // policy. Split into three passes so the per-frame codec work
+            // fans across the worker pool without disturbing anything
+            // order-sensitive:
+            //
+            //   A. policy bookkeeping and wire-form preparation, in cohort
+            //      order (aggregation and compression policies are
+            //      stateful);
+            //   B. attack/corruption transforms on the encoded bytes —
+            //      pure per-frame functions run across the pool, results
+            //      collected in submission order;
+            //   C. telemetry, uplink charging and deadline policy, in
+            //      cohort order (the network RNG and the event stream are
+            //      both order-pinned).
+            //
+            // Streamed telemetry (spans/events) is emitted only in pass C,
+            // in the same per-client order as a single loop would; pass A
+            // touches only aggregate counters/histograms, whose export is
+            // order-free. Histories, ledgers and traces are byte-identical
+            // at any pool width.
+            let mut frames: Vec<UplinkFrame> = Vec::with_capacity(ready.len());
+            let mut prepared: Vec<(SimTime, bool, bool)> = Vec::with_capacity(ready.len());
+            for (&(rank, c, downlink_done), outcome) in ready.iter().zip(&outcomes) {
+                let delta_full: &[f32] = match &cap_round {
+                    Some(views) => {
+                        densified.clear();
+                        densified.resize(self.global.len(), 0.0);
+                        views[rank].0.scatter(&outcome.delta, &mut densified);
+                        &densified
+                    }
+                    None => &outcome.delta,
+                };
+                self.aggregation
+                    .after_local_round(c, delta_full, outcome.steps, effective_lr);
+
+                // Stale clients' slowdowns were folded into the compute
+                // model at construction.
+                let train_done =
+                    downlink_done + self.compute.training_time(c, self.config.local_steps);
+                let delivered = self.faults.update_delivered(c, round);
+                let payload = {
+                    let ctx = SyncUploadCtx {
+                        round,
+                        client: c,
+                        rank,
+                        cohort: participants.len(),
+                        // Compression ratios are relative to what this
+                        // client would send uncompressed: its view, not
+                        // the model.
+                        dense_bytes: match &cap_round {
+                            Some(views) => dense_wire_size(views[rank].0.view_len()),
+                            None => dense_bytes,
+                        },
+                        delivered,
+                        tracing,
+                        recorder: &self.recorder,
+                    };
+                    self.compression.prepare(&ctx, &outcome.delta)
+                };
+                let payload = payload.map(|inner| match &cap_round {
+                    Some(views) => UpdatePayload::sub_view(views[rank].1.clone(), inner),
+                    None => inner,
                 });
+                let has_frame = payload.is_some();
+                if let Some(payload) = payload {
+                    frames.push(UplinkFrame {
+                        payload,
+                        // Byzantine clients poison the *encoded bytes*
+                        // before upload: well-formed frames carrying
+                        // adversarial values, invisible to the decoder —
+                        // stopping them is the robust stage's job.
+                        attack: self
+                            .faults
+                            .attacks_update(c)
+                            .map(|kind| (kind, self.faults.collusion_seed(round))),
+                        // Corruption faults flip the update's *encoded
+                        // bytes* in transit. Dense and sparse frames
+                        // re-parse with poisoned values the defensive gate
+                        // must catch; packed frames may stop parsing
+                        // entirely, which the server counts as a decode
+                        // rejection when the bytes arrive.
+                        corrupt: self.faults.corrupts_update(c),
+                    });
+                }
+                prepared.push((train_done, delivered, has_frame));
             }
-            prepared.push((train_done, delivered, has_frame));
-        }
 
-        let mut processed = process_uplink_frames(&self.pool, frames).into_iter();
+            let mut processed = process_uplink_frames(&self.pool, frames).into_iter();
 
-        for ((&(_, c, downlink_done), outcome), &(train_done, delivered, has_frame)) in
-            ready.iter().zip(&outcomes).zip(&prepared)
-        {
-            if tracing {
-                self.recorder.span(
-                    SpanRecord::new(
-                        names::SPAN_CLIENT_COMPUTE,
-                        downlink_done.seconds(),
-                        train_done.seconds(),
-                    )
-                    .round(round)
-                    .client(c)
-                    .field("steps", outcome.steps),
-                );
-            }
-            if !has_frame {
-                debug_assert!(!delivered, "policies only drop undelivered updates");
+            for ((&(_, c, downlink_done), outcome), &(train_done, delivered, has_frame)) in
+                ready.iter().zip(&outcomes).zip(&prepared)
+            {
                 if tracing {
-                    self.recorder.counter_add(names::FL_DROPOUTS, 1);
+                    self.recorder.span(
+                        SpanRecord::new(
+                            names::SPAN_CLIENT_COMPUTE,
+                            downlink_done.seconds(),
+                            train_done.seconds(),
+                        )
+                        .round(round)
+                        .client(c)
+                        .field("steps", outcome.steps),
+                    );
+                }
+                if !has_frame {
+                    debug_assert!(!delivered, "policies only drop undelivered updates");
+                    if tracing {
+                        self.recorder.counter_add(names::FL_DROPOUTS, 1);
+                        self.recorder.event(
+                            EventRecord::new(names::EVENT_DROPOUT, train_done.seconds())
+                                .round(round)
+                                .client(c),
+                        );
+                    }
+                    continue;
+                }
+                let frame = processed
+                    .next()
+                    .expect("one processed frame per prepared frame");
+                if let Some(kind) = frame.attacked {
+                    if tracing {
+                        self.recorder.counter_add(names::FL_ATTACKS, 1);
+                        self.recorder.event(
+                            EventRecord::new(names::EVENT_ATTACK, train_done.seconds())
+                                .round(round)
+                                .client(c)
+                                .field("kind", kind.as_str()),
+                        );
+                    }
+                }
+                if frame.corrupted && tracing {
+                    self.recorder.counter_add(names::FL_CORRUPTIONS, 1);
                     self.recorder.event(
-                        EventRecord::new(names::EVENT_DROPOUT, train_done.seconds())
+                        EventRecord::new(names::EVENT_CORRUPTION, train_done.seconds())
                             .round(round)
                             .client(c),
                     );
                 }
-                continue;
-            }
-            let frame = processed
-                .next()
-                .expect("one processed frame per prepared frame");
-            if let Some(kind) = frame.attacked {
-                if tracing {
-                    self.recorder.counter_add(names::FL_ATTACKS, 1);
-                    self.recorder.event(
-                        EventRecord::new(names::EVENT_ATTACK, train_done.seconds())
-                            .round(round)
-                            .client(c)
-                            .field("kind", kind.as_str()),
-                    );
-                }
-            }
-            if frame.corrupted && tracing {
-                self.recorder.counter_add(names::FL_CORRUPTIONS, 1);
-                self.recorder.event(
-                    EventRecord::new(names::EVENT_CORRUPTION, train_done.seconds())
-                        .round(round)
-                        .client(c),
-                );
-            }
-            let delivery = self.io.uplink_update(c, &frame.payload, train_done);
-            match delivery.arrival {
-                Some(arrival) => {
-                    let elapsed = arrival - self.clock;
-                    if self.enforce_deadline {
-                        if let Some(deadline) = self.config.round_deadline {
-                            // §III max-wait-time policy: the server drops
-                            // updates arriving after the deadline.
-                            if elapsed.seconds() > deadline {
-                                deadline_hit = true;
-                                if tracing {
-                                    self.recorder.counter_add(names::FL_DEADLINE_MISSES, 1);
-                                    self.recorder.event(
-                                        EventRecord::new(
-                                            names::EVENT_DEADLINE_MISS,
-                                            arrival.seconds(),
-                                        )
-                                        .round(round)
-                                        .client(c)
-                                        .field("elapsed_seconds", elapsed.seconds()),
-                                    );
+                let delivery = self.io.uplink_update(c, &frame.payload, train_done);
+                match delivery.arrival {
+                    Some(arrival) => {
+                        let elapsed = arrival - self.clock;
+                        if self.enforce_deadline {
+                            if let Some(deadline) = self.config.round_deadline {
+                                // §III max-wait-time policy: the server
+                                // drops updates arriving after the
+                                // deadline.
+                                if elapsed.seconds() > deadline {
+                                    deadline_hit = true;
+                                    if tracing {
+                                        self.recorder.counter_add(names::FL_DEADLINE_MISSES, 1);
+                                        self.recorder.event(
+                                            EventRecord::new(
+                                                names::EVENT_DEADLINE_MISS,
+                                                arrival.seconds(),
+                                            )
+                                            .round(round)
+                                            .client(c)
+                                            .field("elapsed_seconds", elapsed.seconds()),
+                                        );
+                                    }
+                                    continue;
                                 }
-                                continue;
                             }
                         }
-                    }
-                    round_time = round_time.max(elapsed);
-                    if let Some(err) = frame.decode_error {
-                        // The bytes travelled, were charged and gated the
-                        // round clock, but the server cannot parse them:
-                        // the update is dropped before the defense gate
-                        // ever sees values.
-                        if tracing {
-                            self.recorder.counter_add(names::FL_DECODE_REJECTIONS, 1);
-                            self.recorder.event(
-                                EventRecord::new(names::EVENT_DECODE_REJECT, arrival.seconds())
-                                    .round(round)
-                                    .client(c)
-                                    .field("error", err.to_string()),
-                            );
+                        round_time = round_time.max(elapsed);
+                        if let Some(err) = frame.decode_error {
+                            // The bytes travelled, were charged and gated
+                            // the round clock, but the server cannot parse
+                            // them: the update is dropped before the
+                            // defense gate ever sees values.
+                            if tracing {
+                                self.recorder.counter_add(names::FL_DECODE_REJECTIONS, 1);
+                                self.recorder.event(
+                                    EventRecord::new(names::EVENT_DECODE_REJECT, arrival.seconds())
+                                        .round(round)
+                                        .client(c)
+                                        .field("error", err.to_string()),
+                                );
+                            }
+                            continue;
                         }
-                        continue;
+                        sink.accept(
+                            &mut *self.aggregation,
+                            RoundUpdate {
+                                client: c,
+                                payload: frame.payload,
+                                weight: outcome.num_samples as f32,
+                            },
+                        );
                     }
-                    updates.push(RoundUpdate {
-                        client: c,
-                        payload: frame.payload,
-                        weight: outcome.num_samples as f32,
-                    });
+                    None => continue,
                 }
-                None => continue,
             }
+
+            chunk_start = chunk_end;
         }
 
         // Eq. 3: the round completes when the slowest delivered participant
@@ -572,45 +732,74 @@ impl SyncRuntime {
                     .round_deadline
                     .expect("deadline_hit implies a deadline"),
             );
-        } else if updates.is_empty() {
+        } else if sink.delivered() == 0 {
             self.clock += SimTime::from_seconds(0.5);
         } else {
             self.clock += round_time;
         }
 
-        let updates = self.screen_updates(round, updates, participants.len());
-        let delivered = updates.len();
-        // Capacity feedback: score each surviving update's alignment with
-        // the previous round's aggregate direction (ĝ) so adaptive
-        // policies can promote well-aligned clients and demote noisy ones.
-        if let Some(cap) = self.capacity.as_mut() {
-            let mut dense = vec![0.0f32; self.global.len()];
-            for u in &updates {
-                dense.fill(0.0);
-                u.payload.add_scaled_into(&mut dense, 1.0);
-                let score = vecops::cosine_similarity(&dense, &self.global_gradient);
-                cap.policy.observe(round as u64, u.client, score);
-            }
-        }
-        let updates = self.robust_stage(round, updates);
-        if !updates.is_empty() {
-            match &self.capacity {
-                Some(_) => {
-                    // Coverage-weighted fold: each coordinate is averaged
-                    // over the clients whose views cover it; with all
-                    // full-width clients this is bitwise FedAvg. The fold
-                    // doubles as the `ĝ` digest read back by `observe`.
-                    if let Some(mean) = coverage_weighted_fold(self.global.len(), &updates) {
-                        vecops::axpy(&mut self.global, 1.0, &mean);
-                        self.global_gradient.copy_from_slice(&mean);
+        let delivered = match sink.mode() {
+            SinkMode::Legacy => {
+                let updates = sink.into_buffered();
+                let updates = self.screen_updates(round, updates, participants.len());
+                let delivered = updates.len();
+                // Capacity feedback: score each surviving update's
+                // alignment with the previous round's aggregate direction
+                // (ĝ) so adaptive policies can promote well-aligned
+                // clients and demote noisy ones.
+                if let Some(cap) = self.capacity.as_mut() {
+                    let mut dense = vec![0.0f32; self.global.len()];
+                    for u in &updates {
+                        dense.fill(0.0);
+                        u.payload.add_scaled_into(&mut dense, 1.0);
+                        let score = vecops::cosine_similarity(&dense, &self.global_gradient);
+                        cap.policy.observe(round as u64, u.client, score);
                     }
                 }
-                None => {
-                    self.aggregation
-                        .aggregate(&mut self.global, &mut self.global_gradient, updates)
+                let updates = self.robust_stage(round, updates);
+                if !updates.is_empty() {
+                    match &self.capacity {
+                        Some(_) => {
+                            // Coverage-weighted fold: each coordinate is
+                            // averaged over the clients whose views cover
+                            // it; with all full-width clients this is
+                            // bitwise FedAvg. The fold doubles as the `ĝ`
+                            // digest read back by `observe`.
+                            if let Some(mean) = coverage_weighted_fold(self.global.len(), &updates)
+                            {
+                                vecops::axpy(&mut self.global, 1.0, &mean);
+                                self.global_gradient.copy_from_slice(&mean);
+                            }
+                        }
+                        None => self.aggregation.aggregate(
+                            &mut self.global,
+                            &mut self.global_gradient,
+                            updates,
+                        ),
+                    }
                 }
+                delivered
             }
-        }
+            SinkMode::Streaming | SinkMode::BufferedFold => {
+                let delivered = sink.delivered();
+                if let Some((merged, charges)) = sink.finish(&mut *self.aggregation) {
+                    // Hierarchical tier: each active edge ships one dense
+                    // partial to the server, charged to its lead client
+                    // through the relay-byte machinery. A flat topology
+                    // (edge_aggregators == 0) ships nothing extra — the
+                    // server-side accumulator is free.
+                    if self.config.edge_aggregators > 0 {
+                        let partial_bytes = dense_wire_size(self.global.len());
+                        for &(lead, _) in &charges {
+                            self.io.ledger_mut().record_relay(lead, partial_bytes);
+                        }
+                    }
+                    self.aggregation
+                        .finish(&mut self.global, &mut self.global_gradient, &merged);
+                }
+                delivered
+            }
+        };
         if tracing {
             let (start, end) = (round_start.seconds(), self.clock.seconds());
             self.recorder
@@ -636,7 +825,10 @@ impl SyncRuntime {
                 continue;
             };
             if round == at_round {
-                let snapshot = Checkpoint::new(round as u64, self.clients[c].model().params_flat());
+                let snapshot = Checkpoint::new(
+                    round as u64,
+                    self.clients.resident_client(c).model().params_flat(),
+                );
                 self.crash_checkpoints[c] = Some(snapshot);
                 if tracing {
                     self.recorder.counter_add(names::FL_CRASHES, 1);
@@ -653,7 +845,9 @@ impl SyncRuntime {
                     // from flash after a reboot.
                     let restored =
                         Checkpoint::decode(&ckpt.encode()).expect("checkpoint round-trips");
-                    self.clients[c].sync_to_global(&restored.params);
+                    self.clients
+                        .resident_client(c)
+                        .sync_to_global(&restored.params);
                     if tracing {
                         self.recorder.counter_add(names::FL_RECOVERIES, 1);
                         self.recorder.event(
@@ -883,6 +1077,7 @@ impl SyncRuntime {
     /// instead of the full model.
     fn train_ready(
         &mut self,
+        round: usize,
         ready: &[(usize, usize, SimTime)],
         views: Option<&[(SubView, ViewDescriptor)]>,
     ) -> Vec<LocalOutcome> {
@@ -890,23 +1085,38 @@ impl SyncRuntime {
         let aggregation = &self.aggregation;
         let use_hook = aggregation.uses_gradient_hook();
         let global = &self.global;
-        // Boolean mask over client ids (O(N), not an O(N²) contains scan),
-        // then per-id slots so each ready client's &mut is taken exactly
-        // once — in cohort order, whatever that order is.
-        let mut is_ready = vec![false; self.clients.len()];
-        for &(_, c, _) in ready {
-            is_ready[c] = true;
-        }
-        let mut slots: Vec<Option<&mut FlClient>> = self
-            .clients
-            .iter_mut()
-            .enumerate()
-            .map(|(c, client)| is_ready[c].then_some(client))
-            .collect();
+        // One live client per ready entry, in ready (cohort) order.
+        let slots: Vec<&mut FlClient> = match &mut self.clients {
+            Fleet::Resident(clients) => {
+                // Boolean mask over client ids (O(N), not an O(N²)
+                // contains scan), then per-id slots so each ready client's
+                // &mut is taken exactly once — in cohort order, whatever
+                // that order is.
+                let mut is_ready = vec![false; clients.len()];
+                for &(_, c, _) in ready {
+                    is_ready[c] = true;
+                }
+                let mut by_id: Vec<Option<&mut FlClient>> = clients
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(c, client)| is_ready[c].then_some(client))
+                    .collect();
+                ready
+                    .iter()
+                    .map(|&(_, c, _)| by_id[c].take().expect("ready client listed once"))
+                    .collect()
+            }
+            Fleet::Pooled(pool) => {
+                // Cohort-resident pool: rebind one slot per ready client
+                // for this round; state does not persist across rounds.
+                let ids: Vec<usize> = ready.iter().map(|&(_, c, _)| c).collect();
+                pool.checkout(&ids, round as u64)
+            }
+        };
         let jobs: Vec<Box<dyn FnOnce() -> LocalOutcome + Send + '_>> = ready
             .iter()
-            .map(|&(rank, c, _)| {
-                let client = slots[c].take().expect("ready client listed once");
+            .zip(slots)
+            .map(|(&(rank, c, _), client)| {
                 let view = views.map(|v| &v[rank].0);
                 Box::new(move || {
                     // The hooked and hook-free training paths are distinct

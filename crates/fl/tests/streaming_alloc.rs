@@ -1,0 +1,118 @@
+//! Allocation-regression guard for the streaming aggregation path.
+//!
+//! The streaming fold's contract is O(model) steady-state memory: once a
+//! sink's per-edge accumulators exist, folding an update must not
+//! allocate at all — `fold` adds into the pre-sized accumulator in place.
+//! A counting global allocator pins exactly that: accepting 64 updates
+//! through a streaming [`UpdateSink`] allocates nothing beyond what
+//! accepting 1 update does (namely nothing), and merging edge partials is
+//! likewise allocation-free. This is what lets a round fold a 100k-client
+//! cohort without the server's memory growing past the model size.
+//!
+//! Kept as a single `#[test]` so no concurrent test thread perturbs the
+//! counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use adafl_fl::runtime::{
+    AggregationPolicy, RoundUpdate, SinkMode, StreamAccumulator, UpdatePayload, UpdateSink,
+};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn allocations_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let result = f();
+    (ALLOCATIONS.load(Ordering::Relaxed) - before, result)
+}
+
+/// A policy using the trait's default fold/finish (the streaming
+/// weighted mean every streaming-capable policy builds on).
+#[derive(Debug)]
+struct MeanPolicy;
+
+impl AggregationPolicy for MeanPolicy {
+    fn label(&self) -> &str {
+        "mean"
+    }
+    fn aggregate(
+        &mut self,
+        _global: &mut [f32],
+        _global_gradient: &mut Vec<f32>,
+        _updates: Vec<RoundUpdate>,
+    ) {
+        unreachable!("streaming-only test");
+    }
+    fn supports_streaming(&self) -> bool {
+        true
+    }
+}
+
+#[test]
+fn streaming_fold_is_allocation_free_at_steady_state() {
+    const DIM: usize = 4096;
+    const EDGES: usize = 4;
+    let mut policy = MeanPolicy;
+
+    // Materialise the round's updates up front — in the runtime these are
+    // decoded wire frames that exist either way; the property under test
+    // is the *sink's* footprint, not the transport's.
+    let updates: Vec<RoundUpdate> = (0..64)
+        .map(|c| RoundUpdate {
+            client: c,
+            payload: UpdatePayload::dense(vec![0.125 * (c as f32 + 1.0); DIM]),
+            weight: (c % 7 + 1) as f32,
+        })
+        .collect();
+
+    // Sink construction allocates the per-edge accumulators: O(model ×
+    // edges), once per round.
+    let mut sink = UpdateSink::new(SinkMode::Streaming, DIM, EDGES);
+
+    // Warm-up: the first accept exercises any lazy init.
+    sink.accept(&mut policy, updates[0].clone());
+
+    let folds: Vec<RoundUpdate> = updates[1..].to_vec();
+    let (allocs, ()) = allocations_during(|| {
+        for u in folds {
+            sink.accept(&mut policy, u);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "folding an update into a streaming sink must not allocate"
+    );
+    assert_eq!(sink.delivered(), 64);
+
+    // Merging edge partials is element-wise into the destination buffer.
+    let mut merged = StreamAccumulator::new(DIM);
+    let partial = StreamAccumulator::new(DIM);
+    let (allocs, ()) = allocations_during(|| merged.merge(&partial));
+    assert_eq!(allocs, 0, "merging partial accumulators must not allocate");
+
+    // Resetting for the next round reuses the same buffer.
+    let (allocs, ()) = allocations_during(|| merged.reset());
+    assert_eq!(allocs, 0, "resetting an accumulator must not allocate");
+}
